@@ -1,0 +1,77 @@
+/**
+ * @file
+ * @brief Reproduces **Figure 3**: runtime, CG iteration count, and accuracy as
+ *        a function of the CG termination epsilon (the relative residual).
+ *
+ * Expected shape (paper, measured at 2^15 x 2^12): iterations stay tiny until
+ * ~1e-6, jump sharply one decade later, then grow by ~2 per decade; accuracy
+ * jumps to its plateau around 1e-7..1e-8 and stays there; total runtime grows
+ * only by a factor of ~1.8 from 1e-7 to 1e-15 — "if a high accuracy is
+ * desired, it is fine to select a relatively small epsilon; the exact choice
+ * is not critical".
+ */
+
+#include "common/bench_utils.hpp"
+#include "plssvm/backends/cuda/csvm.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace bench = plssvm::bench;
+
+int main(int argc, char **argv) {
+    const auto options = bench::bench_options::parse(
+        argc, argv, "Figure 3: runtime, CG iterations, and accuracy vs the CG epsilon");
+
+    // m >> d like the paper's 2^15 x 2^12 setup, few informative dimensions
+    // (the sklearn "planes" structure): this reproduces the paper's iteration
+    // growth of roughly +2 per decade and the mild total runtime growth. The
+    // paper's *accuracy* staircase (56.9 % -> 90.8 % between 1e-6 and 1e-8)
+    // requires the full-scale system's ill-conditioning and is compressed at
+    // reduced scale — see EXPERIMENTS.md.
+    const auto points = std::max<std::size_t>(64, static_cast<std::size_t>(2048 * options.scale));
+    const auto features = std::max<std::size_t>(16, static_cast<std::size_t>(64 * options.scale));
+
+    plssvm::datagen::classification_params gen;
+    gen.num_points = points;
+    gen.num_features = features;
+    gen.num_informative = 4;
+    gen.num_redundant = 1;
+    gen.class_sep = 2.0;
+    gen.flip_y = 0.01;
+    gen.seed = options.seed;
+    const auto data = plssvm::datagen::make_classification<double>(gen);
+
+    std::printf("== Fig 3: epsilon sweep (%zu points x %zu features, simulated A100) ==\n", points, features);
+    bench::table_printer table{ { "epsilon", "CG iters", "cg sim [s]", "total sim [s]", "accuracy" } };
+
+    double runtime_1e7 = 0.0;
+    double runtime_1e15 = 0.0;
+    for (int exponent = -1; exponent >= -15; exponent -= 2) {
+        const double epsilon = std::pow(10.0, exponent);
+        plssvm::backend::cuda::csvm<double> svm{ plssvm::parameter{ plssvm::kernel_type::linear } };
+        const auto model = svm.fit(data, plssvm::solver_control{ .epsilon = epsilon });
+        const double cg_sim = svm.performance_tracker().get("cg").sim_seconds;
+        const double total_sim = svm.performance_tracker().total_sim_seconds();
+        if (exponent == -7) {
+            runtime_1e7 = total_sim;
+        }
+        if (exponent == -15) {
+            runtime_1e15 = total_sim;
+        }
+        table.add_row({ "1e" + std::to_string(exponent),
+                        std::to_string(model.num_iterations()),
+                        bench::format_double(cg_sim, 4),
+                        bench::format_double(total_sim, 4),
+                        bench::format_double(100.0 * svm.score(model, data), 2) + " %" });
+    }
+    table.print();
+    if (runtime_1e7 > 0.0) {
+        std::printf("\nruntime growth 1e-7 -> 1e-15: %.2fx (paper: ~1.83x)\n", runtime_1e15 / runtime_1e7);
+    }
+    std::printf("shape check: iterations ~flat to the accuracy jump, then ~+2 per decade;\n"
+                "accuracy reaches its plateau within one or two decades after the jump.\n");
+    return 0;
+}

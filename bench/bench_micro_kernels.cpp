@@ -1,0 +1,122 @@
+/**
+ * @file
+ * @brief Google-benchmark micro-benchmarks of the library's hot kernels:
+ *        scalar kernel functions, the blocked device matvec body, the host
+ *        Q~ operator, the CG BLAS-1 helpers, and the AoS->SoA transform.
+ *
+ * These track the host-side performance of the functional kernel bodies
+ * (useful when tuning the blocked loops); the paper-figure benches live in
+ * the other binaries.
+ */
+
+#include "plssvm/backends/device/kernels.hpp"
+#include "plssvm/backends/openmp/q_operator.hpp"
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+#include "plssvm/solver/cg.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+namespace {
+
+using plssvm::kernel_params;
+using plssvm::kernel_type;
+
+[[nodiscard]] plssvm::aos_matrix<double> make_points(const std::size_t m, const std::size_t d) {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = m;
+    gen.num_features = d;
+    gen.seed = 1;
+    return plssvm::datagen::make_classification<double>(gen).points();
+}
+
+void BM_LinearKernel(benchmark::State &state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const std::vector<double> x(dim, 0.5);
+    const std::vector<double> y(dim, -0.25);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(plssvm::kernels::dot(x.data(), y.data(), dim));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_LinearKernel)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RbfKernel(benchmark::State &state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const std::vector<double> x(dim, 0.5);
+    const std::vector<double> y(dim, -0.25);
+    const kernel_params<double> kp{ kernel_type::rbf, 3, 0.1, 0.0 };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(plssvm::kernels::apply(kp, x.data(), y.data(), dim));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_RbfKernel)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_TransformToSoa(benchmark::State &state) {
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const auto points = make_points(m, 128);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(plssvm::transform_to_soa(points, 64));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(m) * 128);
+}
+BENCHMARK(BM_TransformToSoa)->Arg(256)->Arg(1024);
+
+void BM_DeviceSvmKernel(benchmark::State &state) {
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const std::size_t dim = 64;
+    const auto points = make_points(m, dim);
+    const auto soa = plssvm::transform_to_soa(points, 64);
+    const kernel_params<double> kp{ kernel_type::linear, 3, 1.0, 0.0 };
+    const std::size_t padded = soa.padded_rows();
+    std::vector<double> q(padded, 0.1);
+    std::vector<double> in(padded, 0.5);
+    std::vector<double> out(padded, 0.0);
+    const plssvm::sim::block_config cfg{};
+    for (auto _ : state) {
+        std::fill(out.begin(), out.end(), 0.0);
+        plssvm::backend::device::kernel_svm(soa.data().data(), q.data(), in.data(), out.data(),
+                                            m - 1, padded, dim, kp, 1.0, 1.0, cfg);
+        benchmark::DoNotOptimize(out.data());
+    }
+    // ~ (m-1)^2 / 2 kernel evaluations of 2*dim flops
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>((m - 1) * (m - 1) / 2) * 2 * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_DeviceSvmKernel)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_OpenMpQOperatorApply(benchmark::State &state) {
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const std::size_t dim = 64;
+    const auto points = make_points(m, dim);
+    const kernel_params<double> kp{ kernel_type::linear, 3, 1.0, 0.0 };
+    plssvm::backend::openmp::q_operator<double> op{ points, kp, 1.0 };
+    std::vector<double> x(op.size(), 0.5);
+    std::vector<double> out(op.size());
+    for (auto _ : state) {
+        op.apply(x, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(op.size() * op.size()) * 2 * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_OpenMpQOperatorApply)->Arg(256)->Arg(512);
+
+void BM_CgDotProduct(benchmark::State &state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::vector<double> x(n, 1.5);
+    const std::vector<double> y(n, -0.5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(plssvm::solver::dot_product(x, y));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CgDotProduct)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

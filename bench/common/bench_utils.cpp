@@ -1,0 +1,135 @@
+#include "common/bench_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+namespace plssvm::bench {
+
+run_stats compute_stats(const std::vector<double> &samples) {
+    run_stats stats;
+    if (samples.empty()) {
+        return stats;
+    }
+    stats.samples = samples.size();
+    stats.mean = std::accumulate(samples.begin(), samples.end(), 0.0) / static_cast<double>(samples.size());
+    stats.min = *std::min_element(samples.begin(), samples.end());
+    stats.max = *std::max_element(samples.begin(), samples.end());
+    double variance = 0.0;
+    for (const double s : samples) {
+        variance += (s - stats.mean) * (s - stats.mean);
+    }
+    variance /= static_cast<double>(samples.size());
+    stats.stddev = std::sqrt(variance);
+    stats.cov = stats.mean > 0.0 ? stats.stddev / stats.mean : 0.0;
+    return stats;
+}
+
+run_stats measure(const std::size_t repeats, const std::function<double()> &fn) {
+    std::vector<double> samples;
+    samples.reserve(repeats);
+    for (std::size_t r = 0; r < repeats; ++r) {
+        samples.push_back(fn());
+    }
+    return compute_stats(samples);
+}
+
+table_printer::table_printer(std::vector<std::string> headers) :
+    headers_{ std::move(headers) } {}
+
+void table_printer::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void table_printer::print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto &row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    const auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) {
+        total += w + 2;
+    }
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_) {
+        print_row(row);
+    }
+}
+
+std::string format_seconds(const double seconds) {
+    char buf[64];
+    if (seconds < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    } else if (seconds < 120.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+    }
+    return buf;
+}
+
+std::string format_double(const double value, const int precision) {
+    std::ostringstream out;
+    out.precision(precision);
+    out << std::fixed << value;
+    return std::move(out).str();
+}
+
+bench_options bench_options::parse(const int argc, char **argv, const std::string &description) {
+    bench_options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg{ argv[i] };
+        const auto next_value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "Missing value for option '%s'\n", arg.c_str());
+                std::exit(EXIT_FAILURE);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scale") {
+            options.scale = std::stod(next_value());
+        } else if (arg == "--repeats") {
+            options.repeats = std::stoul(next_value());
+        } else if (arg == "--seed") {
+            options.seed = std::stoull(next_value());
+        } else if (arg == "--quick") {
+            options.quick = true;
+            options.repeats = 1;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("%s\n\nOptions:\n"
+                        "  --scale <f>    problem-size multiplier (default 1.0)\n"
+                        "  --repeats <n>  measurement repetitions (default 3)\n"
+                        "  --seed <n>     base RNG seed (default 42)\n"
+                        "  --quick        smoke mode: smallest sizes, 1 repeat\n",
+                        description.c_str());
+            std::exit(EXIT_SUCCESS);
+        } else {
+            std::fprintf(stderr, "Unknown option '%s' (try --help)\n", arg.c_str());
+            std::exit(EXIT_FAILURE);
+        }
+    }
+    if (options.scale <= 0.0) {
+        std::fprintf(stderr, "--scale must be positive\n");
+        std::exit(EXIT_FAILURE);
+    }
+    return options;
+}
+
+}  // namespace plssvm::bench

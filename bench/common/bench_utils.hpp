@@ -1,0 +1,86 @@
+/**
+ * @file
+ * @brief Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Each bench binary regenerates one table or figure of the paper. They all
+ * share: repeated-run statistics (mean, coefficient of variation — the paper
+ * reports CoV per implementation), aligned table printing, and a common
+ * command-line convention (`--scale <f>` grows/shrinks problem sizes,
+ * `--repeats <n>` sets the number of measurement repetitions).
+ */
+
+#ifndef PLSSVM_BENCH_COMMON_BENCH_UTILS_HPP_
+#define PLSSVM_BENCH_COMMON_BENCH_UTILS_HPP_
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace plssvm::bench {
+
+/// Aggregated statistics of repeated runtime measurements.
+struct run_stats {
+    double mean{ 0.0 };
+    double stddev{ 0.0 };
+    double min{ 0.0 };
+    double max{ 0.0 };
+    /// Coefficient of variation sigma/mu (paper §IV-C reports this per library).
+    double cov{ 0.0 };
+    std::size_t samples{ 0 };
+};
+
+/// Compute statistics over @p samples (empty input yields all zeros).
+[[nodiscard]] run_stats compute_stats(const std::vector<double> &samples);
+
+/// Run @p fn @p repeats times, collecting the returned seconds per run.
+[[nodiscard]] run_stats measure(std::size_t repeats, const std::function<double()> &fn);
+
+/// Wall-clock stopwatch helper.
+class stopwatch {
+  public:
+    stopwatch() :
+        start_{ std::chrono::steady_clock::now() } {}
+
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Minimal aligned-column table printer for bench output.
+class table_printer {
+  public:
+    explicit table_printer(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with an adaptive unit ("12.3 ms", "4.56 s", "2.1 min").
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// Format a double with @p precision significant decimals.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+/// Common CLI options shared by all bench binaries.
+struct bench_options {
+    double scale{ 1.0 };       ///< problem-size multiplier (1.0 = defaults)
+    std::size_t repeats{ 3 };  ///< measurement repetitions
+    std::uint64_t seed{ 42 };  ///< base RNG seed (run r uses seed + r)
+    bool quick{ false };       ///< single-repeat smoke mode (CI)
+
+    /// Parse `--scale`, `--repeats`, `--seed`, `--quick` from argv; exits on `--help`.
+    [[nodiscard]] static bench_options parse(int argc, char **argv, const std::string &description);
+};
+
+}  // namespace plssvm::bench
+
+#endif  // PLSSVM_BENCH_COMMON_BENCH_UTILS_HPP_

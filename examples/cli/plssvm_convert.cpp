@@ -1,0 +1,67 @@
+/**
+ * @file
+ * @brief `plssvm-convert`: convert between the two supported data formats
+ *        (LIBSVM sparse <-> ARFF), with optional dense LIBSVM output.
+ *
+ * Usage: plssvm-convert [-f libsvm|libsvm-dense|arff] input_file output_file
+ *
+ * The output format defaults to the opposite family of the input (detected
+ * by extension, like `data_set::from_file`).
+ */
+
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/detail/string_utils.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/io/arff.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+int main(int argc, char **argv) {
+    std::string format;
+    int arg = 1;
+    for (; arg < argc && argv[arg][0] == '-'; ++arg) {
+        const std::string flag{ argv[arg] };
+        if (flag == "-f" && arg + 1 < argc) {
+            format = plssvm::detail::to_lower_case(argv[++arg]);
+        } else {
+            std::printf("Usage: plssvm-convert [-f libsvm|libsvm-dense|arff] input_file output_file\n");
+            return flag == "-h" || flag == "--help" ? EXIT_SUCCESS : EXIT_FAILURE;
+        }
+    }
+    if (arg + 2 > argc) {
+        std::printf("Usage: plssvm-convert [-f libsvm|libsvm-dense|arff] input_file output_file\n");
+        return EXIT_FAILURE;
+    }
+    const std::string input{ argv[arg] };
+    const std::string output{ argv[arg + 1] };
+
+    try {
+        const auto data = plssvm::data_set<double>::from_file(input);
+        if (format.empty()) {
+            // default: convert to the other family
+            const bool input_is_arff = plssvm::detail::ends_with(plssvm::detail::to_lower_case(input), ".arff");
+            format = input_is_arff ? "libsvm" : "arff";
+        }
+
+        const std::vector<double> *labels = data.has_labels() ? &data.labels() : nullptr;
+        if (format == "arff") {
+            plssvm::io::write_arff_file(output, data.points(), labels);
+        } else if (format == "libsvm") {
+            data.save_libsvm(output, /*sparse=*/true);
+        } else if (format == "libsvm-dense") {
+            data.save_libsvm(output, /*sparse=*/false);
+        } else {
+            std::fprintf(stderr, "Unknown output format '%s'\n", format.c_str());
+            return EXIT_FAILURE;
+        }
+        std::printf("Converted %zu points (%zu features%s) from '%s' to %s '%s'\n",
+                    data.num_data_points(), data.num_features(),
+                    data.has_labels() ? ", labeled" : "", input.c_str(), format.c_str(), output.c_str());
+        return EXIT_SUCCESS;
+    } catch (const plssvm::exception &e) {
+        std::fprintf(stderr, "Error: %s\n", e.what());
+        return EXIT_FAILURE;
+    }
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * @brief `plssvm-predict`: LIBSVM-compatible prediction CLI (drop-in `svm-predict`).
+ *
+ * Usage: plssvm-predict test_file model_file output_file
+ *
+ * Writes one predicted label per line to output_file. If the test file
+ * carries labels, the accuracy is reported like `svm-predict` does.
+ */
+
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/core/predict.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+int main(int argc, char **argv) {
+    if (argc != 4) {
+        std::printf("Usage: plssvm-predict test_file model_file output_file\n");
+        return argc == 1 ? EXIT_SUCCESS : EXIT_FAILURE;
+    }
+    try {
+        const auto model = plssvm::model<double>::load(argv[2]);
+        // the test file may omit trailing zero features the model knows about
+        const auto data = plssvm::data_set<double>::from_file(argv[1], model.num_features());
+
+        const auto labels = plssvm::predict_labels(model, data.points());
+
+        std::ofstream out{ argv[3] };
+        if (!out) {
+            std::fprintf(stderr, "Error: can't open output file '%s'\n", argv[3]);
+            return EXIT_FAILURE;
+        }
+        for (const double label : labels) {
+            out << label << '\n';
+        }
+
+        if (data.has_labels()) {
+            std::size_t correct = 0;
+            for (std::size_t i = 0; i < labels.size(); ++i) {
+                correct += labels[i] == data.labels()[i];
+            }
+            std::printf("Accuracy = %.4f%% (%zu/%zu) (classification)\n",
+                        100.0 * static_cast<double>(correct) / static_cast<double>(labels.size()),
+                        correct, labels.size());
+        }
+        return EXIT_SUCCESS;
+    } catch (const plssvm::exception &e) {
+        std::fprintf(stderr, "Error: %s\n", e.what());
+        return EXIT_FAILURE;
+    }
+}

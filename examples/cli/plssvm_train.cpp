@@ -1,0 +1,146 @@
+/**
+ * @file
+ * @brief `plssvm-train`: LIBSVM-compatible training CLI (drop-in `svm-train`).
+ *
+ * Usage: plssvm-train [options] training_set_file [model_file]
+ *
+ * LIBSVM options supported:
+ *   -t kernel_type : 0 = linear, 1 = polynomial, 2 = rbf, 3 = sigmoid (default 0)
+ *   -d degree      : polynomial degree (default 3)
+ *   -g gamma       : kernel gamma (default 1/num_features)
+ *   -r coef0       : polynomial/sigmoid coef0 (default 0)
+ *   -c cost        : C parameter (default 1)
+ *   -e epsilon     : CG relative-residual termination (default 0.001)
+ *
+ * PLSSVM extensions:
+ *   -b backend     : openmp | cuda | opencl | sycl (default openmp)
+ *   -D device      : simulated device name, repeatable for multi-GPU
+ *                    (e.g. -D a100 -D a100; device backends only)
+ *   -i max_iter    : CG iteration budget (default: system size)
+ *   -q             : quiet mode
+ */
+
+#include "plssvm/core/csvm_factory.hpp"
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/ext/cross_validation.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+void print_usage() {
+    std::printf("Usage: plssvm-train [options] training_set_file [model_file]\n"
+                "options:\n"
+                "  -t kernel_type : 0=linear, 1=polynomial, 2=rbf, 3=sigmoid (default 0)\n"
+                "  -d degree      : polynomial degree (default 3)\n"
+                "  -g gamma       : kernel gamma (default 1/num_features)\n"
+                "  -r coef0       : polynomial/sigmoid coef0 (default 0)\n"
+                "  -c cost        : C parameter (default 1)\n"
+                "  -e epsilon     : CG relative residual termination (default 0.001)\n"
+                "  -b backend     : openmp | cuda | opencl | sycl (default openmp)\n"
+                "  -D device      : simulated device (repeatable for multi-GPU)\n"
+                "  -i max_iter    : CG iteration budget\n"
+                "  -v folds       : k-fold cross-validation mode (like svm-train -v)\n"
+                "  -q             : quiet mode\n");
+}
+
+}  // namespace
+
+int main(int argc, char **argv) {
+    plssvm::parameter params;
+    plssvm::solver_control ctrl;
+    ctrl.epsilon = 1e-3;
+    plssvm::backend_type backend = plssvm::backend_type::openmp;
+    std::vector<plssvm::sim::device_spec> devices;
+    bool quiet = false;
+    std::size_t cv_folds = 0;
+
+    int arg = 1;
+    try {
+        for (; arg < argc && argv[arg][0] == '-'; ++arg) {
+            const std::string flag{ argv[arg] };
+            if (flag == "-q") {
+                quiet = true;
+                continue;
+            }
+            if (flag == "-h" || flag == "--help") {
+                print_usage();
+                return EXIT_SUCCESS;
+            }
+            if (arg + 1 >= argc) {
+                std::fprintf(stderr, "Missing value for option %s\n", flag.c_str());
+                return EXIT_FAILURE;
+            }
+            const std::string value{ argv[++arg] };
+            if (flag == "-t") {
+                params.kernel = plssvm::kernel_type_from_string(value);
+            } else if (flag == "-d") {
+                params.degree = std::stoi(value);
+            } else if (flag == "-g") {
+                params.gamma = std::stod(value);
+            } else if (flag == "-r") {
+                params.coef0 = std::stod(value);
+            } else if (flag == "-c") {
+                params.cost = std::stod(value);
+            } else if (flag == "-e") {
+                ctrl.epsilon = std::stod(value);
+            } else if (flag == "-b") {
+                backend = plssvm::backend_type_from_string(value);
+            } else if (flag == "-D") {
+                devices.push_back(plssvm::sim::devices::by_name(value));
+            } else if (flag == "-i") {
+                ctrl.max_iterations = std::stoul(value);
+            } else if (flag == "-v") {
+                cv_folds = std::stoul(value);
+            } else {
+                std::fprintf(stderr, "Unknown option %s\n", flag.c_str());
+                print_usage();
+                return EXIT_FAILURE;
+            }
+        }
+
+        if (arg >= argc) {
+            print_usage();
+            return EXIT_FAILURE;
+        }
+        const std::string input_file{ argv[arg] };
+        const std::string model_file = arg + 1 < argc ? argv[arg + 1] : input_file + ".model";
+
+        const auto data = plssvm::data_set<double>::from_file(input_file);
+        if (!quiet) {
+            std::printf("Read %zu data points with %zu features from '%s'\n",
+                        data.num_data_points(), data.num_features(), input_file.c_str());
+        }
+
+        if (cv_folds > 0) {
+            // cross-validation mode: report the accuracy estimate, no model file
+            const auto cv = plssvm::ext::cross_validate(backend, params, data, cv_folds, ctrl, 42, devices);
+            std::printf("Cross Validation Accuracy = %.4f%% (+- %.4f%%)\n",
+                        100.0 * cv.mean_accuracy, 100.0 * cv.stddev_accuracy);
+            return EXIT_SUCCESS;
+        }
+
+        auto svm = plssvm::make_csvm<double>(backend, params, devices);
+        const auto model = svm->fit(data, ctrl);
+        model.save(model_file);
+
+        if (!quiet) {
+            std::printf("Trained with backend '%s' in %zu CG iterations\n",
+                        std::string{ svm->backend_name() }.c_str(), model.num_iterations());
+            std::printf("Training accuracy: %.4f\n", svm->score(model, data));
+            std::printf("Model written to '%s'\n", model_file.c_str());
+        }
+        return EXIT_SUCCESS;
+    } catch (const plssvm::exception &e) {
+        std::fprintf(stderr, "Error: %s\n", e.what());
+        return EXIT_FAILURE;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "Invalid argument: %s\n", e.what());
+        return EXIT_FAILURE;
+    }
+}

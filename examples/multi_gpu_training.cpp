@@ -1,0 +1,49 @@
+/**
+ * @file
+ * @brief Multi-GPU training via the feature-wise data split (paper §III-C-5).
+ *
+ * Trains the same linear-kernel problem on 1, 2, and 4 simulated A100s,
+ * showing (a) identical models regardless of device count, (b) the simulated
+ * speedup, and (c) the per-device memory reduction that lets multi-GPU
+ * setups learn data sets that do not fit on a single GPU (paper §IV-G).
+ */
+
+#include "plssvm/backends/cuda/csvm.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+
+#include <cstdio>
+#include <vector>
+
+int main() {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 1024;
+    gen.num_features = 256;
+    gen.class_sep = 1.5;
+    const auto data = plssvm::datagen::make_classification<double>(gen);
+
+    const plssvm::parameter params{ plssvm::kernel_type::linear };
+    const plssvm::solver_control ctrl{ .epsilon = 1e-6 };
+
+    std::printf("%-8s %14s %10s %18s %10s\n", "devices", "sim cg [ms]", "speedup", "mem/device [MiB]", "rho");
+
+    double single_device_seconds = 0.0;
+    for (const std::size_t num_devices : { 1, 2, 4 }) {
+        const std::vector<plssvm::sim::device_spec> specs(num_devices, plssvm::sim::devices::nvidia_a100());
+        plssvm::backend::cuda::csvm<double> svm{ params, specs };
+        const auto model = svm.fit(data, ctrl);
+
+        const double cg_seconds = svm.performance_tracker().get("cg").sim_seconds;
+        if (num_devices == 1) {
+            single_device_seconds = cg_seconds;
+        }
+        std::printf("%-8zu %14.2f %9.2fx %18.2f %10.6f\n",
+                    num_devices,
+                    cg_seconds * 1e3,
+                    single_device_seconds / cg_seconds,
+                    static_cast<double>(svm.peak_device_memory(0)) / (1024.0 * 1024.0),
+                    model.rho());
+    }
+    std::printf("\nThe model (rho column) is identical for every device count: the\n"
+                "feature split changes the work partitioning, not the mathematics.\n");
+    return 0;
+}

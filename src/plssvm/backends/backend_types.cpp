@@ -1,0 +1,46 @@
+#include "plssvm/backends/backend_types.hpp"
+
+#include "plssvm/detail/string_utils.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace plssvm {
+
+std::string_view backend_type_to_string(const backend_type backend) {
+    switch (backend) {
+        case backend_type::openmp:
+            return "openmp";
+        case backend_type::cuda:
+            return "cuda";
+        case backend_type::opencl:
+            return "opencl";
+        case backend_type::sycl:
+            return "sycl";
+    }
+    return "unknown";
+}
+
+backend_type backend_type_from_string(const std::string_view name) {
+    const std::string lower = detail::to_lower_case(detail::trim(name));
+    if (lower == "openmp" || lower == "omp" || lower == "cpu") {
+        return backend_type::openmp;
+    }
+    if (lower == "cuda") {
+        return backend_type::cuda;
+    }
+    if (lower == "opencl" || lower == "ocl") {
+        return backend_type::opencl;
+    }
+    if (lower == "sycl" || lower == "hipsycl" || lower == "dpcpp" || lower == "dpc++") {
+        return backend_type::sycl;
+    }
+    throw unsupported_backend_exception{ "Unknown backend: '" + std::string{ name } + "'!" };
+}
+
+std::ostream &operator<<(std::ostream &out, const backend_type backend) {
+    return out << backend_type_to_string(backend);
+}
+
+}  // namespace plssvm

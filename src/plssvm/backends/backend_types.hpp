@@ -1,0 +1,32 @@
+/**
+ * @file
+ * @brief Runtime-selectable backend identifiers (paper §III: "The actual used
+ *        backend can be selected at runtime").
+ */
+
+#ifndef PLSSVM_BACKENDS_BACKEND_TYPES_HPP_
+#define PLSSVM_BACKENDS_BACKEND_TYPES_HPP_
+
+#include <iosfwd>
+#include <string_view>
+
+namespace plssvm {
+
+/// The four backends of the paper.
+enum class backend_type {
+    openmp,  ///< CPU threads, host memory
+    cuda,    ///< simulated device with the CUDA runtime profile (NVIDIA only)
+    opencl,  ///< simulated device with the OpenCL runtime profile
+    sycl,    ///< simulated device with the SYCL runtime profile
+};
+
+[[nodiscard]] std::string_view backend_type_to_string(backend_type backend);
+
+/// @throws plssvm::unsupported_backend_exception on unknown names
+[[nodiscard]] backend_type backend_type_from_string(std::string_view name);
+
+std::ostream &operator<<(std::ostream &out, backend_type backend);
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_BACKENDS_BACKEND_TYPES_HPP_

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * @brief The CUDA backend (simulated; NVIDIA devices only).
+ *
+ * Identical kernels to the other device backends; the CUDA runtime profile
+ * has the lowest launch overhead and the full kernel efficiency (Table I
+ * shows CUDA as the fastest backend on NVIDIA hardware).
+ */
+
+#ifndef PLSSVM_BACKENDS_CUDA_CSVM_HPP_
+#define PLSSVM_BACKENDS_CUDA_CSVM_HPP_
+
+#include "plssvm/backends/device/csvm.hpp"
+#include "plssvm/sim/device_spec.hpp"
+
+#include <vector>
+
+namespace plssvm::backend::cuda {
+
+template <typename T>
+class csvm final : public device::device_csvm<T> {
+  public:
+    /// Train on @p specs (defaults to one NVIDIA A100, the paper's GPU node).
+    explicit csvm(parameter params,
+                  const std::vector<sim::device_spec> &specs = { sim::devices::nvidia_a100() },
+                  const sim::block_config &cfg = {}) :
+        device::device_csvm<T>{ params, sim::backend_runtime::cuda, specs, cfg } {}
+};
+
+}  // namespace plssvm::backend::cuda
+
+#endif  // PLSSVM_BACKENDS_CUDA_CSVM_HPP_

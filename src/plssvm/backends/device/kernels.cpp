@@ -1,0 +1,142 @@
+#include "plssvm/backends/device/kernels.hpp"
+
+#include "plssvm/detail/assert.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace plssvm::backend::device {
+
+template <typename T>
+void kernel_q(const T *data, const std::size_t n, const std::size_t padded, const std::size_t last_row,
+              const std::size_t dim, const kernel_params<T> &kp, T *q_out) {
+    PLSSVM_ASSERT(last_row < padded, "x_m row index out of the padded range!");
+    // accumulate the kernel "core" feature-block-wise: for each feature the
+    // inner loop reads a contiguous SoA column segment (coalesced access)
+    std::vector<T> core(n, T{ 0 });
+    if (kernels::uses_inner_product_core(kp.kernel)) {
+        for (std::size_t f = 0; f < dim; ++f) {
+            const T *column = data + f * padded;
+            const T last_value = column[last_row];
+            #pragma omp simd
+            for (std::size_t i = 0; i < n; ++i) {
+                core[i] += column[i] * last_value;
+            }
+        }
+    } else {
+        for (std::size_t f = 0; f < dim; ++f) {
+            const T *column = data + f * padded;
+            const T last_value = column[last_row];
+            #pragma omp simd
+            for (std::size_t i = 0; i < n; ++i) {
+                const T diff = column[i] - last_value;
+                core[i] += diff * diff;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        q_out[i] = kernels::finish(kp, core[i]);
+    }
+    std::fill(q_out + n, q_out + padded, T{ 0 });
+}
+
+namespace {
+
+/// Compute the tile x tile kernel-core block for point tiles starting at
+/// (i0, j0): core[ti * tile + tj] = core(x_{i0+ti}, x_{j0+tj}).
+template <typename T>
+void compute_core_tile(const T *data, const std::size_t padded, const std::size_t dim,
+                       const bool inner_product, const std::size_t i0, const std::size_t j0,
+                       const std::size_t tile, T *core) {
+    std::fill(core, core + tile * tile, T{ 0 });
+    if (inner_product) {
+        for (std::size_t f = 0; f < dim; ++f) {
+            const T *column = data + f * padded;
+            const T *xi = column + i0;
+            const T *xj = column + j0;
+            for (std::size_t ti = 0; ti < tile; ++ti) {
+                const T v = xi[ti];
+                T *row = core + ti * tile;
+                #pragma omp simd
+                for (std::size_t tj = 0; tj < tile; ++tj) {
+                    row[tj] += v * xj[tj];
+                }
+            }
+        }
+    } else {
+        for (std::size_t f = 0; f < dim; ++f) {
+            const T *column = data + f * padded;
+            const T *xi = column + i0;
+            const T *xj = column + j0;
+            for (std::size_t ti = 0; ti < tile; ++ti) {
+                const T v = xi[ti];
+                T *row = core + ti * tile;
+                #pragma omp simd
+                for (std::size_t tj = 0; tj < tile; ++tj) {
+                    const T diff = v - xj[tj];
+                    row[tj] += diff * diff;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+template <typename T>
+void kernel_svm(const T *data, const T *q, const T *in, T *out,
+                const std::size_t n, const std::size_t padded, const std::size_t dim,
+                const kernel_params<T> &kp, const T q_mm_entry, const T diag,
+                const sim::block_config &cfg) {
+    const std::size_t tile = cfg.tile();
+    PLSSVM_ASSERT(padded % tile == 0, "Padded size must be a multiple of the tile size!");
+    const std::size_t num_tiles = padded / tile;
+    const bool inner_product = kernels::uses_inner_product_core(kp.kernel);
+
+    std::vector<T> core(tile * tile);
+
+    for (std::size_t bi = 0; bi < num_tiles; ++bi) {
+        const std::size_t bj_begin = cfg.triangular ? bi : 0;
+        for (std::size_t bj = bj_begin; bj < num_tiles; ++bj) {
+            const std::size_t i0 = bi * tile;
+            const std::size_t j0 = bj * tile;
+            compute_core_tile(data, padded, dim, inner_product, i0, j0, tile, core.data());
+
+            for (std::size_t ti = 0; ti < tile; ++ti) {
+                const std::size_t i = i0 + ti;
+                if (i >= n) {
+                    break;  // rows beyond the system are padding
+                }
+                const T *core_row = core.data() + ti * tile;
+                T acc_i{ 0 };  // accumulates out[i] contributions of this row
+                for (std::size_t tj = 0; tj < tile; ++tj) {
+                    const std::size_t j = j0 + tj;
+                    if (j >= n) {
+                        break;
+                    }
+                    if (cfg.triangular && bi == bj && j < i) {
+                        continue;  // lower half of a diagonal block is mirrored
+                    }
+                    const T temp = kernels::finish(kp, core_row[tj]) - q[i] - q[j] + q_mm_entry;
+                    if (i == j) {
+                        acc_i += (temp + diag) * in[i];
+                    } else {
+                        acc_i += temp * in[j];
+                        if (cfg.triangular) {
+                            out[j] += temp * in[i];  // mirrored entry (i, j) -> (j, i)
+                        }
+                    }
+                }
+                out[i] += acc_i;
+            }
+        }
+    }
+}
+
+template void kernel_q<float>(const float *, std::size_t, std::size_t, std::size_t, std::size_t, const kernel_params<float> &, float *);
+template void kernel_q<double>(const double *, std::size_t, std::size_t, std::size_t, std::size_t, const kernel_params<double> &, double *);
+template void kernel_svm<float>(const float *, const float *, const float *, float *, std::size_t, std::size_t, std::size_t, const kernel_params<float> &, float, float, const sim::block_config &);
+template void kernel_svm<double>(const double *, const double *, const double *, double *, std::size_t, std::size_t, std::size_t, const kernel_params<double> &, double, double, const sim::block_config &);
+
+}  // namespace plssvm::backend::device

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * @brief Functional bodies of the device kernels (§III-C).
+ *
+ * These are the three compute kernels the paper profiles ("our implementation
+ * only spawns 3 compute kernels"): `device_kernel_q`, `device_kernel_svm`
+ * (the implicit matrix-vector product inside CG) and the prediction kernel.
+ * They operate on the padded feature-major (SoA) layout exactly like the
+ * CUDA/OpenCL/SYCL kernels of native PLSSVM:
+ *
+ *  - padding to full blocks avoids boundary checks (§III-C-1),
+ *  - only upper-triangular blocks are computed and mirrored (§III-C-1),
+ *  - the q vector is precomputed, reducing kernel evaluations per matrix
+ *    entry from three to one (§III-C-2),
+ *  - the block/internal tiling mirrors the shared-memory and register
+ *    blocking (§III-C-3/4) — functionally identical on the host, and the
+ *    cost model charges global-memory traffic according to the tiling.
+ *
+ * Matrix entries follow Eq. 16:
+ *   Q~_ij = k(x_i,x_j) + delta_ij/C - k(x_m,x_j) - k(x_i,x_m) + k(x_m,x_m) + 1/C
+ *         = finish(core(i,j)) - q_i - q_j + q_mm_entry   (+ diag on i == j)
+ * where for single-device execution q_mm_entry = k(x_m,x_m) + 1/C and
+ * diag = 1/C. For the multi-device feature split (§III-C-5) each device uses
+ * its *partial* kernel sums; device 0 carries the 1/C terms so that summing
+ * the per-device result vectors yields the exact full product.
+ */
+
+#ifndef PLSSVM_BACKENDS_DEVICE_KERNELS_HPP_
+#define PLSSVM_BACKENDS_DEVICE_KERNELS_HPP_
+
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/sim/cost_model.hpp"
+
+#include <cstddef>
+
+namespace plssvm::backend::device {
+
+/**
+ * @brief `device_kernel_q`: q_i = k(x_i, x_m) over the feature slice.
+ *
+ * @param data feature-major data: data[f * padded + i], f in [0, dim)
+ * @param n number of reduced rows (m - 1)
+ * @param padded padded point count (rows >= n + 1 hold x_m and padding)
+ * @param last_row row index of x_m inside the padded layout (= m - 1)
+ * @param dim features on this device
+ * @param kp kernel parameters (gamma resolved; multi-device passes the slice)
+ * @param q_out output vector, padded length; entries >= n are zeroed
+ */
+template <typename T>
+void kernel_q(const T *data, std::size_t n, std::size_t padded, std::size_t last_row,
+              std::size_t dim, const kernel_params<T> &kp, T *q_out);
+
+/**
+ * @brief `device_kernel_svm`: out += Q~ * in, blocked and triangular.
+ *
+ * @param data feature-major data slice (padded rows)
+ * @param q precomputed q vector (padded, zero beyond n)
+ * @param in input vector (padded, zero beyond n)
+ * @param out output vector (padded); caller must zero it first
+ * @param n system size (m - 1)
+ * @param padded padded point count
+ * @param dim features on this device
+ * @param kp kernel parameters
+ * @param q_mm_entry the constant added to every entry (see file comment)
+ * @param diag extra diagonal term (1/C, or 0 on secondary devices)
+ * @param cfg blocking configuration (tile size, triangular toggle)
+ */
+template <typename T>
+void kernel_svm(const T *data, const T *q, const T *in, T *out,
+                std::size_t n, std::size_t padded, std::size_t dim,
+                const kernel_params<T> &kp, T q_mm_entry, T diag,
+                const sim::block_config &cfg);
+
+}  // namespace plssvm::backend::device
+
+#endif  // PLSSVM_BACKENDS_DEVICE_KERNELS_HPP_

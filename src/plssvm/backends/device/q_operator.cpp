@@ -1,0 +1,207 @@
+#include "plssvm/backends/device/q_operator.hpp"
+
+#include "plssvm/backends/device/kernels.hpp"
+#include "plssvm/core/lssvm_math.hpp"
+#include "plssvm/detail/assert.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plssvm::backend::device {
+
+namespace {
+
+/// Max simulated-clock advance over all devices between two sample points
+/// (concurrently executing devices overlap; the slowest one gates progress).
+class clock_mark {
+  public:
+    explicit clock_mark(const std::vector<sim::device> &devs) {
+        marks_.reserve(devs.size());
+        for (const sim::device &dev : devs) {
+            marks_.push_back(dev.clock_seconds());
+        }
+    }
+
+    [[nodiscard]] double elapsed_max(const std::vector<sim::device> &devs) const {
+        double max_delta = 0.0;
+        for (std::size_t d = 0; d < devs.size(); ++d) {
+            max_delta = std::max(max_delta, devs[d].clock_seconds() - marks_[d]);
+        }
+        return max_delta;
+    }
+
+  private:
+    std::vector<double> marks_;
+};
+
+}  // namespace
+
+template <typename T>
+device_q_operator<T>::device_q_operator(std::vector<sim::device> &devs,
+                                        const aos_matrix<T> &points,
+                                        const kernel_params<T> &kp,
+                                        const T cost,
+                                        const sim::block_config &cfg,
+                                        detail::tracker &tracker) :
+    devices_{ devs },
+    kp_{ kp },
+    cfg_{ cfg },
+    n_{ points.num_rows() - 1 } {
+    PLSSVM_ASSERT(!devs.empty(), "At least one device is required!");
+    PLSSVM_ASSERT(points.num_rows() >= 2, "The reduced system requires at least two data points!");
+    if (devs.size() > 1 && !kernels::supports_feature_split(kp.kernel)) {
+        throw unsupported_kernel_exception{ "Multi-device execution is only supported for the linear kernel (the feature split requires an additively decomposable kernel)!" };
+    }
+
+    const std::size_t m = points.num_rows();
+    const std::size_t dim = points.num_cols();
+    const std::size_t num_devices = devs.size();
+    // pad so the padded range contains x_m (row m-1) and fills whole tiles
+    padded_ = soa_matrix<T>::round_up(m, cfg_.tile());
+
+    // --- transform: AoS -> per-device padded SoA feature slices (§III-A) ---
+    std::vector<soa_matrix<T>> slices;
+    {
+        const detail::scoped_timer timer{ tracker, "transform" };
+        slices.reserve(num_devices);
+        const std::size_t features_per_device = dim / num_devices;
+        const std::size_t remainder = dim % num_devices;
+        std::size_t first = 0;
+        for (std::size_t d = 0; d < num_devices; ++d) {
+            const std::size_t count = features_per_device + (d < remainder ? 1 : 0);
+            soa_matrix<T> slice{ m, count, cfg_.tile() };
+            for (std::size_t row = 0; row < m; ++row) {
+                const T *src = points.row_data(row);
+                for (std::size_t f = 0; f < count; ++f) {
+                    slice(row, f) = src[first + f];
+                }
+            }
+            device_state state;
+            state.first_feature = first;
+            state.num_features = count;
+            state.diag = d == 0 ? T{ 1 } / cost : T{ 0 };
+            states_.push_back(std::move(state));
+            slices.push_back(std::move(slice));
+            first += count;
+        }
+        PLSSVM_ASSERT(first == dim, "Feature split does not cover all features!");
+    }
+
+    // --- h2d: allocate device buffers and upload the data slices ---
+    {
+        const clock_mark mark{ devices_ };
+        const detail::scoped_timer timer{ tracker, "h2d" };
+        for (std::size_t d = 0; d < num_devices; ++d) {
+            device_state &state = states_[d];
+            sim::device &dev = devices_[d];
+            state.data = std::make_unique<sim::device_buffer<T>>(dev, padded_ * state.num_features);
+            state.q = std::make_unique<sim::device_buffer<T>>(dev, padded_);
+            state.in = std::make_unique<sim::device_buffer<T>>(dev, padded_);
+            state.out = std::make_unique<sim::device_buffer<T>>(dev, padded_);
+            state.data->copy_from_host(slices[d].data().data(), slices[d].data().size());
+        }
+        tracker.add("h2d-sim", 0.0, mark.elapsed_max(devices_));
+    }
+
+    // --- q kernel: partial q vectors, one launch per device (§III-C-2) ---
+    const std::size_t last_row = m - 1;
+    T k_mm_total{ 0 };
+    for (std::size_t d = 0; d < num_devices; ++d) {
+        device_state &state = states_[d];
+        sim::device &dev = devices_[d];
+        const sim::kernel_cost cost_q = sim::q_kernel_cost(n_, state.num_features, kp_.kernel, sizeof(T));
+        dev.launch("device_kernel_q", cost_q, [&] {
+            kernel_q(state.data->data(), n_, padded_, last_row, state.num_features, kp_, state.q->data());
+        });
+        // partial k(x_m, x_m) over this device's feature slice
+        T k_mm{ 0 };
+        if (kernels::uses_inner_product_core(kp_.kernel)) {
+            const T *base = state.data->data();
+            for (std::size_t f = 0; f < state.num_features; ++f) {
+                const T v = base[f * padded_ + last_row];
+                k_mm += v * v;
+            }
+        }
+        // single device: full epilogue + 1/C; multi device (linear only): raw partials
+        if (num_devices == 1) {
+            state.q_mm_entry = kernels::finish(kp_, kernels::uses_inner_product_core(kp_.kernel) ? k_mm : T{ 0 }) + T{ 1 } / cost;
+        } else {
+            state.q_mm_entry = k_mm + (d == 0 ? T{ 1 } / cost : T{ 0 });
+        }
+        k_mm_total += k_mm;
+    }
+    q_mm_ = (devices_.size() == 1
+                 ? states_[0].q_mm_entry
+                 : kernels::finish(kp_, k_mm_total) + T{ 1 } / cost);
+
+    scratch_.assign(padded_, T{ 0 });
+}
+
+template <typename T>
+void device_q_operator<T>::apply(const std::vector<T> &x, std::vector<T> &out) {
+    PLSSVM_ASSERT(x.size() == n_ && out.size() == n_, "Vector size does not match the operator size!");
+    const clock_mark mark{ devices_ };
+
+    // stage the padded direction vector once on the host
+    std::copy(x.begin(), x.end(), scratch_.begin());
+    std::fill(scratch_.begin() + static_cast<std::ptrdiff_t>(n_), scratch_.end(), T{ 0 });
+
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        device_state &state = states_[d];
+        sim::device &dev = devices_[d];
+        state.in->copy_from_host(scratch_.data(), padded_);
+        // out buffers are accumulated into by the kernel; zero them first
+        std::fill(state.out->data(), state.out->data() + padded_, T{ 0 });
+        const sim::kernel_cost cost = sim::svm_kernel_cost(n_, state.num_features, kp_.kernel, cfg_, sizeof(T));
+        dev.launch("device_kernel_svm", cost, [&] {
+            kernel_svm(state.data->data(), state.q->data(), state.in->data(), state.out->data(),
+                       n_, padded_, state.num_features, kp_, state.q_mm_entry, state.diag, cfg_);
+        });
+    }
+
+    // download the partial results and reduce on the host (§III-C-5)
+    std::fill(out.begin(), out.end(), T{ 0 });
+    std::vector<T> partial(padded_);
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        states_[d].out->copy_to_host(partial.data(), padded_);
+        #pragma omp simd
+        for (std::size_t i = 0; i < n_; ++i) {
+            out[i] += partial[i];
+        }
+    }
+
+    apply_sim_seconds_ += mark.elapsed_max(devices_);
+}
+
+template <typename T>
+std::vector<T> device_q_operator<T>::q_host() const {
+    std::vector<T> q(n_, T{ 0 });
+    std::vector<T> partial(padded_);
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        states_[d].q->copy_to_host(partial.data(), padded_);
+        if (devices_.size() == 1) {
+            std::copy(partial.begin(), partial.begin() + static_cast<std::ptrdiff_t>(n_), q.begin());
+        } else {
+            // linear kernel: the full q is the sum of the per-slice partials
+            for (std::size_t i = 0; i < n_; ++i) {
+                q[i] += partial[i];
+            }
+        }
+    }
+    return q;
+}
+
+template <typename T>
+std::size_t device_q_operator<T>::device_allocated_bytes(const std::size_t d) const {
+    PLSSVM_ASSERT(d < devices_.size(), "Device index out of range!");
+    return devices_[d].allocated_bytes();
+}
+
+template class device_q_operator<float>;
+template class device_q_operator<double>;
+
+}  // namespace plssvm::backend::device

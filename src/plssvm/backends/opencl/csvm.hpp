@@ -1,0 +1,32 @@
+/**
+ * @file
+ * @brief The OpenCL backend (simulated; supports NVIDIA, AMD, and Intel).
+ *
+ * Same kernels as the CUDA backend with the OpenCL runtime profile: slightly
+ * higher launch overhead and a small efficiency penalty (Table I shows
+ * OpenCL "closely following" CUDA on NVIDIA devices and being the fastest
+ * option on AMD/Intel hardware).
+ */
+
+#ifndef PLSSVM_BACKENDS_OPENCL_CSVM_HPP_
+#define PLSSVM_BACKENDS_OPENCL_CSVM_HPP_
+
+#include "plssvm/backends/device/csvm.hpp"
+#include "plssvm/sim/device_spec.hpp"
+
+#include <vector>
+
+namespace plssvm::backend::opencl {
+
+template <typename T>
+class csvm final : public device::device_csvm<T> {
+  public:
+    explicit csvm(parameter params,
+                  const std::vector<sim::device_spec> &specs = { sim::devices::nvidia_a100() },
+                  const sim::block_config &cfg = {}) :
+        device::device_csvm<T>{ params, sim::backend_runtime::opencl, specs, cfg } {}
+};
+
+}  // namespace plssvm::backend::opencl
+
+#endif  // PLSSVM_BACKENDS_OPENCL_CSVM_HPP_

@@ -1,0 +1,55 @@
+#include "plssvm/backends/openmp/q_operator.hpp"
+
+#include "plssvm/core/lssvm_math.hpp"
+#include "plssvm/detail/assert.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace plssvm::backend::openmp {
+
+template <typename T>
+q_operator<T>::q_operator(const aos_matrix<T> &points, const kernel_params<T> &kp, const T cost) :
+    points_{ points },
+    kp_{ kp },
+    cost_{ cost },
+    n_{ points.num_rows() - 1 },
+    q_{ compute_q_vector(points, kp) },
+    q_mm_{ compute_q_mm(points, kp, cost) } {
+    PLSSVM_ASSERT(points.num_rows() >= 2, "The reduced system requires at least two data points!");
+}
+
+template <typename T>
+void q_operator<T>::apply(const std::vector<T> &x, std::vector<T> &out) {
+    PLSSVM_ASSERT(x.size() == n_ && out.size() == n_, "Vector size does not match the operator size!");
+
+    // (Q~ x)_i = sum_j k(x_i, x_j) x_j            (expensive part, recomputed)
+    //          - q_i * S - <q, x> + c0 * S        (rank-one corrections)
+    //          + x_i / C                          (regularisation diagonal)
+    // with S = sum_j x_j and c0 = k(x_m, x_m) + 1/C = q_mm.
+    T sum_x{ 0 };
+    T q_dot_x{ 0 };
+    #pragma omp parallel for simd reduction(+ : sum_x, q_dot_x)
+    for (std::size_t j = 0; j < n_; ++j) {
+        sum_x += x[j];
+        q_dot_x += q_[j] * x[j];
+    }
+
+    const std::size_t dim = points_.num_cols();
+    const T inv_cost = T{ 1 } / cost_;
+
+    #pragma omp parallel for schedule(dynamic, 16)
+    for (std::size_t i = 0; i < n_; ++i) {
+        const T *xi = points_.row_data(i);
+        T kernel_sum{ 0 };
+        for (std::size_t j = 0; j < n_; ++j) {
+            kernel_sum += kernels::apply(kp_, xi, points_.row_data(j), dim) * x[j];
+        }
+        out[i] = kernel_sum - q_[i] * sum_x - q_dot_x + q_mm_ * sum_x + inv_cost * x[i];
+    }
+}
+
+template class q_operator<float>;
+template class q_operator<double>;
+
+}  // namespace plssvm::backend::openmp

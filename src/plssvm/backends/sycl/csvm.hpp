@@ -1,0 +1,32 @@
+/**
+ * @file
+ * @brief The SYCL backend (simulated; hipSYCL on NVIDIA/AMD, DPC++ on Intel).
+ *
+ * Same kernels with the SYCL runtime profile, which encodes the paper's
+ * Table I observations: near-OpenCL performance on NVIDIA compute capability
+ * >= 7.0, a >3x penalty on older NVIDIA architectures, and roughly half the
+ * OpenCL throughput on the Intel iGPU with DPC++.
+ */
+
+#ifndef PLSSVM_BACKENDS_SYCL_CSVM_HPP_
+#define PLSSVM_BACKENDS_SYCL_CSVM_HPP_
+
+#include "plssvm/backends/device/csvm.hpp"
+#include "plssvm/sim/device_spec.hpp"
+
+#include <vector>
+
+namespace plssvm::backend::sycl {
+
+template <typename T>
+class csvm final : public device::device_csvm<T> {
+  public:
+    explicit csvm(parameter params,
+                  const std::vector<sim::device_spec> &specs = { sim::devices::nvidia_a100() },
+                  const sim::block_config &cfg = {}) :
+        device::device_csvm<T>{ params, sim::backend_runtime::sycl, specs, cfg } {}
+};
+
+}  // namespace plssvm::backend::sycl
+
+#endif  // PLSSVM_BACKENDS_SYCL_CSVM_HPP_

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * @brief LRU cache of kernel matrix rows (LIBSVM's `Cache` equivalent).
+ *
+ * SMO touches two kernel rows per iteration; re-evaluating a row costs
+ * O(m * d). LIBSVM bounds the cache by bytes (default 100 MB); rows are
+ * evicted least-recently-used.
+ */
+
+#ifndef PLSSVM_BASELINES_SMO_KERNEL_CACHE_HPP_
+#define PLSSVM_BASELINES_SMO_KERNEL_CACHE_HPP_
+
+#include "plssvm/baselines/smo/kernel_source.hpp"
+#include "plssvm/detail/assert.hpp"
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace plssvm::baseline::smo {
+
+template <typename T>
+class kernel_cache {
+  public:
+    /**
+     * @param source the kernel row producer
+     * @param cache_bytes maximum bytes of cached rows (>= one row is always kept)
+     */
+    kernel_cache(const kernel_source<T> &source, const std::size_t cache_bytes) :
+        source_{ source },
+        max_rows_{ std::max<std::size_t>(2, cache_bytes / (source.num_points() * sizeof(T))) } {}
+
+    /// Kernel row i; computed on miss, LRU-refreshed on hit.
+    [[nodiscard]] const std::vector<T> &row(const std::size_t i) {
+        if (const auto it = index_.find(i); it != index_.end()) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+            return it->second->data;
+        }
+        ++misses_;
+        if (lru_.size() >= max_rows_) {
+            index_.erase(lru_.back().row_index);
+            lru_.pop_back();
+        }
+        lru_.push_front(cache_entry{ i, std::vector<T>(source_.num_points()) });
+        source_.compute_row(i, lru_.front().data.data());
+        index_.emplace(i, lru_.begin());
+        return lru_.front().data;
+    }
+
+    [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+    [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+    [[nodiscard]] std::size_t cached_rows() const noexcept { return lru_.size(); }
+    [[nodiscard]] std::size_t capacity_rows() const noexcept { return max_rows_; }
+
+  private:
+    struct cache_entry {
+        std::size_t row_index;
+        std::vector<T> data;
+    };
+
+    const kernel_source<T> &source_;
+    std::size_t max_rows_;
+    std::list<cache_entry> lru_;
+    std::unordered_map<std::size_t, typename std::list<cache_entry>::iterator> index_;
+    std::size_t hits_{ 0 };
+    std::size_t misses_{ 0 };
+};
+
+}  // namespace plssvm::baseline::smo
+
+#endif  // PLSSVM_BASELINES_SMO_KERNEL_CACHE_HPP_

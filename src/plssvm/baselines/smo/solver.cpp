@@ -1,0 +1,223 @@
+#include "plssvm/baselines/smo/solver.hpp"
+
+#include "plssvm/detail/assert.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace plssvm::baseline::smo {
+
+namespace {
+
+/// Numerical floor for the curvature a = K_ii + K_jj - 2 K_ij (LIBSVM's TAU).
+constexpr double tau = 1e-12;
+
+}  // namespace
+
+template <typename T>
+smo_result<T> solve_c_svc(const kernel_source<T> &source,
+                          const std::vector<T> &y,
+                          const smo_options &options,
+                          const std::function<void(std::size_t, std::size_t)> &step_hook) {
+    const std::size_t m = source.num_points();
+    PLSSVM_ASSERT(y.size() == m, "Label count does not match the kernel source!");
+    if (options.cost <= 0.0) {
+        throw invalid_parameter_exception{ "SMO requires a positive C!" };
+    }
+
+    const T C = static_cast<T>(options.cost);
+    const T eps = static_cast<T>(options.epsilon);
+    const std::size_t max_iterations =
+        options.max_iterations != 0 ? options.max_iterations : std::max<std::size_t>(10'000'000, 100 * m);
+
+    kernel_cache<T> cache{ source, options.cache_bytes };
+
+    // diagonal K_ii (= QD in LIBSVM, since y_i^2 = 1)
+    std::vector<T> diag(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        diag[i] = source.diagonal(i);
+    }
+
+    std::vector<T> alpha(m, T{ 0 });
+    // gradient of the dual objective; alpha = 0 => G_i = -1
+    std::vector<T> G(m, T{ -1 });
+
+    const auto is_upper_bound = [&](const std::size_t t) { return alpha[t] >= C; };
+    const auto is_lower_bound = [&](const std::size_t t) { return alpha[t] <= T{ 0 }; };
+
+    smo_result<T> result;
+    std::size_t iteration = 0;
+
+    while (iteration < max_iterations) {
+        // --- working set selection (second order, Fan et al. / LIBSVM) ---
+        T Gmax = -std::numeric_limits<T>::infinity();   // max over I_up of -y_t G_t
+        T Gmax2 = -std::numeric_limits<T>::infinity();  // max over I_low of +y_t G_t
+        std::size_t i = m;                               // first index (I_up violator)
+
+        for (std::size_t t = 0; t < m; ++t) {
+            if (y[t] > T{ 0 } ? !is_upper_bound(t) : !is_lower_bound(t)) {  // t in I_up
+                if (-y[t] * G[t] >= Gmax) {
+                    Gmax = -y[t] * G[t];
+                    i = t;
+                }
+            }
+        }
+
+        std::size_t j = m;  // second index (maximal second-order gain)
+        T obj_min = std::numeric_limits<T>::infinity();
+        const std::vector<T> *row_i = nullptr;
+        if (i < m) {
+            row_i = &cache.row(i);
+        }
+
+        for (std::size_t t = 0; t < m; ++t) {
+            if (y[t] > T{ 0 } ? !is_lower_bound(t) : !is_upper_bound(t)) {  // t in I_low
+                Gmax2 = std::max(Gmax2, y[t] * G[t]);
+                const T grad_diff = Gmax + y[t] * G[t];
+                if (grad_diff > T{ 0 } && row_i != nullptr) {
+                    // curvature along the (i, t) direction
+                    T a = diag[i] + diag[t] - T{ 2 } * y[i] * y[t] * (*row_i)[t];
+                    if (a <= T{ 0 }) {
+                        a = static_cast<T>(tau);
+                    }
+                    const T obj = -(grad_diff * grad_diff) / a;
+                    if (obj <= obj_min) {
+                        obj_min = obj;
+                        j = t;
+                    }
+                }
+            }
+        }
+
+        if (Gmax + Gmax2 < eps || j == m) {
+            result.converged = Gmax + Gmax2 < eps;
+            break;
+        }
+
+        // --- two-variable analytic update (LIBSVM Solver::Solve inner step) ---
+        const std::vector<T> &Ki = *row_i;
+        const std::vector<T> &Kj = cache.row(j);
+
+        const T old_alpha_i = alpha[i];
+        const T old_alpha_j = alpha[j];
+
+        if (y[i] != y[j]) {
+            // LIBSVM's QD[i]+QD[j]+2*Q_i[j] with Q_ij = y_i y_j K_ij = -K_ij here
+            T quad_coef = diag[i] + diag[j] - T{ 2 } * Ki[j];
+            if (quad_coef <= T{ 0 }) {
+                quad_coef = static_cast<T>(tau);
+            }
+            const T delta = (-G[i] - G[j]) / quad_coef;
+            const T diff = alpha[i] - alpha[j];
+            alpha[i] += delta;
+            alpha[j] += delta;
+            if (diff > T{ 0 }) {
+                if (alpha[j] < T{ 0 }) {
+                    alpha[j] = T{ 0 };
+                    alpha[i] = diff;
+                }
+                if (alpha[i] > C) {
+                    alpha[i] = C;
+                    alpha[j] = C - diff;
+                }
+            } else {
+                if (alpha[i] < T{ 0 }) {
+                    alpha[i] = T{ 0 };
+                    alpha[j] = -diff;
+                }
+                if (alpha[j] > C) {
+                    alpha[j] = C;
+                    alpha[i] = C + diff;
+                }
+            }
+        } else {
+            T quad_coef = diag[i] + diag[j] - T{ 2 } * Ki[j];
+            if (quad_coef <= T{ 0 }) {
+                quad_coef = static_cast<T>(tau);
+            }
+            const T delta = (G[i] - G[j]) / quad_coef;
+            const T sum = alpha[i] + alpha[j];
+            alpha[i] -= delta;
+            alpha[j] += delta;
+            if (sum > C) {
+                if (alpha[i] > C) {
+                    alpha[i] = C;
+                    alpha[j] = sum - C;
+                }
+                if (alpha[j] > C) {
+                    alpha[j] = C;
+                    alpha[i] = sum - C;
+                }
+            } else {
+                if (alpha[j] < T{ 0 }) {
+                    alpha[j] = T{ 0 };
+                    alpha[i] = sum;
+                }
+                if (alpha[i] < T{ 0 }) {
+                    alpha[i] = T{ 0 };
+                    alpha[j] = sum;
+                }
+            }
+        }
+
+        // --- gradient update: G_t += Q_ti d_alpha_i + Q_tj d_alpha_j ---
+        const T delta_alpha_i = alpha[i] - old_alpha_i;
+        const T delta_alpha_j = alpha[j] - old_alpha_j;
+        const T yi_dai = y[i] * delta_alpha_i;
+        const T yj_daj = y[j] * delta_alpha_j;
+        #pragma omp parallel for simd schedule(static)
+        for (std::size_t t = 0; t < m; ++t) {
+            G[t] += y[t] * (Ki[t] * yi_dai + Kj[t] * yj_daj);
+        }
+
+        ++iteration;
+        if (step_hook) {
+            step_hook(i, j);
+        }
+    }
+
+    // --- rho (LIBSVM Solver::calculate_rho) ---
+    T upper = std::numeric_limits<T>::infinity();
+    T lower = -std::numeric_limits<T>::infinity();
+    T sum_free{ 0 };
+    std::size_t num_free = 0;
+    for (std::size_t t = 0; t < m; ++t) {
+        const T yG = y[t] * G[t];
+        if (is_upper_bound(t)) {
+            if (y[t] < T{ 0 }) {
+                upper = std::min(upper, yG);
+            } else {
+                lower = std::max(lower, yG);
+            }
+        } else if (is_lower_bound(t)) {
+            if (y[t] > T{ 0 }) {
+                upper = std::min(upper, yG);
+            } else {
+                lower = std::max(lower, yG);
+            }
+        } else {
+            ++num_free;
+            sum_free += yG;
+        }
+    }
+    result.rho = num_free > 0 ? sum_free / static_cast<T>(num_free) : (upper + lower) / T{ 2 };
+
+    // dual objective 0.5 a^T Q a - e^T a = 0.5 sum_i a_i (G_i - 1)
+    T objective{ 0 };
+    for (std::size_t t = 0; t < m; ++t) {
+        objective += alpha[t] * (G[t] - T{ 1 });
+    }
+    result.objective = objective / T{ 2 };
+
+    result.alpha = std::move(alpha);
+    result.iterations = iteration;
+    return result;
+}
+
+template smo_result<float> solve_c_svc<float>(const kernel_source<float> &, const std::vector<float> &, const smo_options &, const std::function<void(std::size_t, std::size_t)> &);
+template smo_result<double> solve_c_svc<double>(const kernel_source<double> &, const std::vector<double> &, const smo_options &, const std::function<void(std::size_t, std::size_t)> &);
+
+}  // namespace plssvm::baseline::smo

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * @brief Sequential Minimal Optimization solver for the C-SVC dual problem —
+ *        the LIBSVM-style baseline the paper compares against (§I, §IV).
+ *
+ * Solves   min_a 0.5 a^T Q a - e^T a   s.t. 0 <= a_i <= C, y^T a = 0,
+ * with Q_ij = y_i y_j k(x_i, x_j), using the second-order working-set
+ * selection of Fan et al. (the algorithm behind LIBSVM) and an LRU kernel
+ * cache. The inherently sequential two-variable update loop is exactly the
+ * parallelization bottleneck the paper's §II-G discusses.
+ *
+ * Deviation from LIBSVM: shrinking is not implemented (the active set is
+ * always the full set). This changes constants, not the asymptotic runtime
+ * shape the benchmarks compare.
+ */
+
+#ifndef PLSSVM_BASELINES_SMO_SOLVER_HPP_
+#define PLSSVM_BASELINES_SMO_SOLVER_HPP_
+
+#include "plssvm/baselines/smo/kernel_cache.hpp"
+#include "plssvm/baselines/smo/kernel_source.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace plssvm::baseline::smo {
+
+struct smo_options {
+    double cost{ 1.0 };  ///< the C regularisation parameter
+    /// KKT violation tolerance (LIBSVM's `-e`, default 1e-3).
+    double epsilon{ 1e-3 };
+    /// Iteration budget; 0 means LIBSVM's max(10^7, 100 * m).
+    std::size_t max_iterations{ 0 };
+    /// Kernel cache size in bytes (LIBSVM default: 100 MB).
+    std::size_t cache_bytes{ 100ull * 1024 * 1024 };
+};
+
+template <typename T>
+struct smo_result {
+    std::vector<T> alpha;  ///< dual variables in [0, C]
+    T rho{ 0 };            ///< decision offset: f(x) = sum y_i a_i k(x_i, x) - rho
+    std::size_t iterations{ 0 };
+    bool converged{ false };
+    T objective{ 0 };  ///< final dual objective value
+};
+
+/**
+ * @brief Run SMO until the maximal KKT violation drops below epsilon.
+ * @param source kernel row producer (dense or sparse)
+ * @param y the +-1 labels
+ * @param options solver controls
+ * @param step_hook optional callback invoked once per SMO iteration with the
+ *        selected pair (used by instrumented baselines/tests)
+ */
+template <typename T>
+[[nodiscard]] smo_result<T> solve_c_svc(const kernel_source<T> &source,
+                                        const std::vector<T> &y,
+                                        const smo_options &options,
+                                        const std::function<void(std::size_t, std::size_t)> &step_hook = {});
+
+}  // namespace plssvm::baseline::smo
+
+#endif  // PLSSVM_BASELINES_SMO_SOLVER_HPP_

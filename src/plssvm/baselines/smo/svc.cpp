@@ -1,0 +1,94 @@
+#include "plssvm/baselines/smo/svc.hpp"
+
+#include "plssvm/core/predict.hpp"
+#include "plssvm/core/sparse_matrix.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace plssvm::baseline::smo {
+
+template <typename T>
+svc<T>::svc(parameter params, const representation repr, const std::size_t cache_bytes) :
+    params_{ params },
+    repr_{ repr },
+    cache_bytes_{ cache_bytes } {
+    params_.validate();
+}
+
+template <typename T>
+model<T> svc<T>::fit(const data_set<T> &data, const double epsilon) {
+    if (!data.has_labels()) {
+        throw invalid_data_exception{ "Training requires a labeled data set!" };
+    }
+    const std::vector<T> &y = data.binary_labels();
+
+    const kernel_params<T> kp{ params_.kernel, params_.degree,
+                               static_cast<T>(params_.effective_gamma(data.num_features())),
+                               static_cast<T>(params_.coef0) };
+
+    smo_options options;
+    options.cost = params_.cost;
+    options.epsilon = epsilon;
+    options.cache_bytes = cache_bytes_;
+
+    smo_result<T> solved;
+    csr_matrix<T> csr;  // must outlive the sparse source
+    if (repr_ == representation::dense) {
+        const dense_kernel_source<T> source{ data.points(), kp };
+        solved = solve_c_svc(source, y, options);
+    } else {
+        csr = csr_matrix<T>{ data.points() };
+        const sparse_kernel_source<T> source{ csr, kp };
+        solved = solve_c_svc(source, y, options);
+    }
+    last_iterations_ = solved.iterations;
+
+    // keep only the support vectors (alpha > 0); coefficient = y_i * alpha_i
+    std::vector<std::size_t> sv_indices;
+    for (std::size_t i = 0; i < solved.alpha.size(); ++i) {
+        if (solved.alpha[i] > T{ 0 }) {
+            sv_indices.push_back(i);
+        }
+    }
+    if (sv_indices.empty()) {
+        // degenerate problem (e.g. all labels equal after flips); keep one
+        // vector so the model stays well-formed
+        sv_indices.push_back(0);
+    }
+
+    aos_matrix<T> support_vectors{ sv_indices.size(), data.num_features() };
+    std::vector<T> coef(sv_indices.size());
+    for (std::size_t s = 0; s < sv_indices.size(); ++s) {
+        const std::size_t i = sv_indices[s];
+        const T *src = data.points().row_data(i);
+        std::copy(src, src + data.num_features(), support_vectors.row_data(s));
+        coef[s] = y[i] * solved.alpha[i];
+    }
+
+    model<T> trained{ params_, std::move(support_vectors), std::move(coef), solved.rho,
+                      data.distinct_labels()[0], data.distinct_labels()[1] };
+    trained.set_num_iterations(solved.iterations);
+    return trained;
+}
+
+template <typename T>
+std::vector<T> svc<T>::predict(const model<T> &trained, const data_set<T> &data) const {
+    return predict_labels(trained, data.points());
+}
+
+template <typename T>
+T svc<T>::score(const model<T> &trained, const data_set<T> &data) const {
+    if (!data.has_labels()) {
+        throw invalid_data_exception{ "Scoring requires a labeled data set!" };
+    }
+    return accuracy(trained, data.points(), data.labels());
+}
+
+template class svc<float>;
+template class svc<double>;
+
+}  // namespace plssvm::baseline::smo

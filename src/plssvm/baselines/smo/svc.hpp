@@ -1,0 +1,72 @@
+/**
+ * @file
+ * @brief LIBSVM-style C-SVC front-end over the SMO solver.
+ *
+ * The `fit`/`predict`/`score` surface mirrors `plssvm::csvm` so the benches
+ * can swap solvers freely. Two representations are provided because the
+ * paper benchmarks both: `representation::sparse` corresponds to stock
+ * LIBSVM, `representation::dense` to the dense LIBSVM variant
+ * ("LIBSVM-DENSE" in Fig. 1).
+ */
+
+#ifndef PLSSVM_BASELINES_SMO_SVC_HPP_
+#define PLSSVM_BASELINES_SMO_SVC_HPP_
+
+#include "plssvm/baselines/smo/solver.hpp"
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/core/parameter.hpp"
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace plssvm::baseline::smo {
+
+/// Internal data representation used for kernel evaluations.
+enum class representation {
+    sparse,  ///< (index, value) rows, LIBSVM's native storage
+    dense,   ///< contiguous rows (the "LIBSVM-DENSE" variant)
+};
+
+template <typename T>
+class svc {
+  public:
+    /**
+     * @param params SVM hyper-parameters (kernel, C, gamma, ...)
+     * @param repr kernel evaluation representation
+     * @param cache_bytes kernel cache size (LIBSVM default 100 MB)
+     */
+    explicit svc(parameter params,
+                 representation repr = representation::sparse,
+                 std::size_t cache_bytes = 100ull * 1024 * 1024);
+
+    /**
+     * @brief Train with SMO; @p epsilon is the KKT tolerance (LIBSVM `-e`).
+     *
+     * The returned model stores only the support vectors with non-zero dual
+     * weight (unlike the LS-SVM, SMO solutions are sparse in alpha); the
+     * stored coefficients are y_i * alpha_i, LIBSVM's `sv_coef`.
+     */
+    [[nodiscard]] model<T> fit(const data_set<T> &data, double epsilon = 1e-3);
+
+    [[nodiscard]] std::vector<T> predict(const model<T> &trained, const data_set<T> &data) const;
+    [[nodiscard]] T score(const model<T> &trained, const data_set<T> &data) const;
+
+    [[nodiscard]] std::string_view name() const noexcept {
+        return repr_ == representation::sparse ? "libsvm" : "libsvm-dense";
+    }
+
+    /// SMO iterations of the last fit.
+    [[nodiscard]] std::size_t last_iterations() const noexcept { return last_iterations_; }
+
+  private:
+    parameter params_;
+    representation repr_;
+    std::size_t cache_bytes_;
+    std::size_t last_iterations_{ 0 };
+};
+
+}  // namespace plssvm::baseline::smo
+
+#endif  // PLSSVM_BASELINES_SMO_SVC_HPP_

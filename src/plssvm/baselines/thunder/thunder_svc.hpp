@@ -1,0 +1,92 @@
+/**
+ * @file
+ * @brief ThunderSVM-style baseline: batched SMO on a (simulated) GPU.
+ *
+ * ThunderSVM runs SMO on the GPU: per iteration it launches reduction
+ * kernels for the working-pair selection, a tiny two-variable update kernel,
+ * a gradient-update kernel, and batched kernel-row computations on cache
+ * misses — the paper's Nsight profile shows ">1600 compute kernels, most
+ * running significantly less than one millisecond" with the most intense
+ * kernel at ~2.4 % of FP64 peak (§IV-C).
+ *
+ * This baseline reproduces that execution structure: it solves the same
+ * C-SVC dual as the sequential SMO baseline (bit-identical alphas) while
+ * issuing the corresponding per-step device launches on a simulated GPU
+ * whose kernel efficiency is scaled to the paper's measured 2.4 %, so the
+ * cost model reproduces the paper-shaped PLSSVM/ThunderSVM gap.
+ *
+ * Constructed without devices it runs as the ThunderSVM *CPU* mode used in
+ * the paper's Fig. 1a/1b.
+ */
+
+#ifndef PLSSVM_BASELINES_THUNDER_THUNDER_SVC_HPP_
+#define PLSSVM_BASELINES_THUNDER_THUNDER_SVC_HPP_
+
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/sim/device.hpp"
+#include "plssvm/sim/device_spec.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace plssvm::baseline::thunder {
+
+struct thunder_options {
+    /// Working set size (ThunderSVM default: 1024); only used to report the
+    /// equivalent number of "outer" batches.
+    std::size_t working_set_size{ 512 };
+    /// Kernel row cache budget in bytes (host solver and device cache alike).
+    std::size_t cache_bytes{ 512ull * 1024 * 1024 };
+    /// Fraction of FP64 peak ThunderSVM's kernels achieve (paper: 2.4 %).
+    double kernel_efficiency{ 0.024 };
+};
+
+template <typename T>
+class thunder_svc {
+  public:
+    /**
+     * @param params SVM hyper-parameters
+     * @param spec simulated GPU to run on; `nullopt` selects CPU mode
+     * @param options ThunderSVM-style solver tuning
+     */
+    explicit thunder_svc(parameter params,
+                         std::optional<sim::device_spec> spec = sim::devices::nvidia_a100(),
+                         thunder_options options = {});
+
+    /// Train; @p epsilon is the KKT tolerance (like LIBSVM's `-e`).
+    [[nodiscard]] model<T> fit(const data_set<T> &data, double epsilon = 1e-3);
+
+    [[nodiscard]] std::vector<T> predict(const model<T> &trained, const data_set<T> &data) const;
+    [[nodiscard]] T score(const model<T> &trained, const data_set<T> &data) const;
+
+    [[nodiscard]] std::string_view name() const noexcept { return device_ ? "thundersvm-gpu" : "thundersvm-cpu"; }
+
+    /// Simulated device seconds of the last fit (0 in CPU mode).
+    [[nodiscard]] double last_sim_seconds() const noexcept { return last_sim_seconds_; }
+    /// Outer/total SMO iterations of the last fit.
+    [[nodiscard]] std::size_t last_outer_iterations() const noexcept { return last_outer_iterations_; }
+    [[nodiscard]] std::size_t last_total_steps() const noexcept { return last_total_steps_; }
+    /// Peak simulated device memory of the last fit (0 in CPU mode).
+    [[nodiscard]] std::size_t peak_device_memory() const noexcept { return peak_device_memory_; }
+    /// Device profiler of the last fit (nullptr in CPU mode).
+    [[nodiscard]] const sim::profiler *last_profiler() const noexcept { return device_ ? &device_->prof() : nullptr; }
+
+  private:
+    parameter params_;
+    std::optional<sim::device_spec> spec_;
+    thunder_options options_;
+    std::unique_ptr<sim::device> device_;
+    double last_sim_seconds_{ 0.0 };
+    std::size_t last_outer_iterations_{ 0 };
+    std::size_t last_total_steps_{ 0 };
+    std::size_t peak_device_memory_{ 0 };
+};
+
+}  // namespace plssvm::baseline::thunder
+
+#endif  // PLSSVM_BASELINES_THUNDER_THUNDER_SVC_HPP_

@@ -1,0 +1,107 @@
+#include "plssvm/core/csvm.hpp"
+
+#include "plssvm/core/predict.hpp"
+#include "plssvm/detail/assert.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace plssvm {
+
+template <typename T>
+csvm<T>::csvm(parameter params) :
+    params_{ params } {
+    params_.validate();
+}
+
+template <typename T>
+kernel_params<T> csvm<T>::make_kernel_params(const std::size_t num_features) const {
+    return kernel_params<T>{
+        params_.kernel,
+        params_.degree,
+        static_cast<T>(params_.effective_gamma(num_features)),
+        static_cast<T>(params_.coef0),
+    };
+}
+
+template <typename T>
+model<T> csvm<T>::fit(const data_set<T> &data, const solver_control &ctrl) {
+    ctrl.validate();
+    if (!data.has_labels()) {
+        throw invalid_data_exception{ "Training requires a labeled data set!" };
+    }
+    const std::vector<T> &labels = data.binary_labels();  // throws if not binary
+    if (data.num_data_points() < 2) {
+        throw invalid_data_exception{ "Training requires at least two data points!" };
+    }
+
+    const kernel_params<T> kp = make_kernel_params(data.num_features());
+    solve_result solved = solve_lssvm(data.points(), labels, kp, ctrl);
+    PLSSVM_ASSERT(solved.alpha.size() == data.num_data_points(), "Backend returned a weight vector of wrong size!");
+
+    model<T> trained{ params_,
+                      data.points(),
+                      std::move(solved.alpha),
+                      /*rho=*/-solved.bias,
+                      /*positive_label=*/data.distinct_labels()[0],
+                      /*negative_label=*/data.distinct_labels()[1] };
+    trained.set_num_iterations(solved.iterations);
+    return trained;
+}
+
+template <typename T>
+model<T> csvm<T>::fit_regression(const data_set<T> &data, const solver_control &ctrl) {
+    ctrl.validate();
+    if (!data.has_labels()) {
+        throw invalid_data_exception{ "Regression training requires labeled data (the targets)!" };
+    }
+    if (data.num_data_points() < 2) {
+        throw invalid_data_exception{ "Training requires at least two data points!" };
+    }
+
+    const kernel_params<T> kp = make_kernel_params(data.num_features());
+    solve_result solved = solve_lssvm(data.points(), data.labels(), kp, ctrl);
+    PLSSVM_ASSERT(solved.alpha.size() == data.num_data_points(), "Backend returned a weight vector of wrong size!");
+
+    // label mapping is meaningless for regression; keep the +-1 placeholders
+    model<T> trained{ params_, data.points(), std::move(solved.alpha),
+                      /*rho=*/-solved.bias, T{ 1 }, T{ -1 } };
+    trained.set_num_iterations(solved.iterations);
+    return trained;
+}
+
+template <typename T>
+std::vector<T> csvm<T>::predict_values(const model<T> &trained, const data_set<T> &data) const {
+    return decision_values(trained, data.points());
+}
+
+template <typename T>
+std::vector<T> csvm<T>::predict(const model<T> &trained, const data_set<T> &data) const {
+    // route through the (possibly backend-overridden) decision value path
+    std::vector<T> values = predict_values(trained, data);
+    for (T &v : values) {
+        v = trained.label_from_decision(v);
+    }
+    return values;
+}
+
+template <typename T>
+T csvm<T>::score(const model<T> &trained, const data_set<T> &data) const {
+    if (!data.has_labels()) {
+        throw invalid_data_exception{ "Scoring requires a labeled data set!" };
+    }
+    const std::vector<T> predicted = predict(trained, data);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        correct += predicted[i] == data.labels()[i];
+    }
+    return static_cast<T>(correct) / static_cast<T>(predicted.size());
+}
+
+template class csvm<float>;
+template class csvm<double>;
+
+}  // namespace plssvm

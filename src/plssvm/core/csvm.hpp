@@ -1,0 +1,113 @@
+/**
+ * @file
+ * @brief The user-facing SVM class: `fit`, `predict`, `score`.
+ *
+ * `csvm` is the backend-independent front-end. Concrete backends (OpenMP,
+ * CUDA, OpenCL, SYCL — the latter three running on the simulated device
+ * layer, see DESIGN.md) implement the expensive part: solving the reduced
+ * LS-SVM system. The training pipeline is the paper's four steps
+ * (§III): read (done by `data_set`), transform, solve (CG), write; each step
+ * reports its runtime through the performance tracker so the component
+ * figures (Fig. 2/4) can be regenerated.
+ */
+
+#ifndef PLSSVM_CORE_CSVM_HPP_
+#define PLSSVM_CORE_CSVM_HPP_
+
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/detail/tracker.hpp"
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace plssvm {
+
+template <typename T>
+class csvm {
+  public:
+    using real_type = T;
+
+    explicit csvm(parameter params);
+    csvm(const csvm &) = delete;
+    csvm &operator=(const csvm &) = delete;
+    virtual ~csvm() = default;
+
+    /**
+     * @brief Train an LS-SVM classifier on @p data.
+     * @param data a labeled, binary data set with at least two points
+     * @param ctrl CG termination controls (epsilon, iteration budget)
+     * @throws plssvm::invalid_data_exception if @p data is unlabeled or not binary
+     */
+    [[nodiscard]] model<T> fit(const data_set<T> &data, const solver_control &ctrl = {});
+
+    /**
+     * @brief Train an LS-SVM *regressor* (LS-SVR) on @p data.
+     *
+     * The least-squares dual system is label-agnostic: with real-valued
+     * targets the identical reduced system (Eq. 14) yields a kernel ridge
+     * regressor — the regression support the paper lists as future work (§V).
+     * Predictions are the raw decision values (`predict_values`).
+     *
+     * @param data a labeled data set; labels are the regression targets
+     * @throws plssvm::invalid_data_exception if @p data is unlabeled
+     */
+    [[nodiscard]] model<T> fit_regression(const data_set<T> &data, const solver_control &ctrl = {});
+
+    /// Decision values f(x) = sum_i alpha_i k(sv_i, x) - rho for every point.
+    /// The device backends override this with their device prediction kernels.
+    [[nodiscard]] virtual std::vector<T> predict_values(const model<T> &trained, const data_set<T> &data) const;
+
+    /// Predicted labels in the original label domain of the trained model.
+    [[nodiscard]] std::vector<T> predict(const model<T> &trained, const data_set<T> &data) const;
+
+    /**
+     * @brief Classification accuracy of @p trained on labeled @p data, in [0, 1].
+     * @throws plssvm::invalid_data_exception if @p data has no labels
+     */
+    [[nodiscard]] T score(const model<T> &trained, const data_set<T> &data) const;
+
+    [[nodiscard]] const parameter &params() const noexcept { return params_; }
+
+    /// Human-readable backend identifier ("openmp", "cuda", ...).
+    [[nodiscard]] virtual std::string_view backend_name() const noexcept = 0;
+
+    /// Component timings of the last `fit` call (read/transform/cg/write/...).
+    [[nodiscard]] detail::tracker &performance_tracker() noexcept { return tracker_; }
+    [[nodiscard]] const detail::tracker &performance_tracker() const noexcept { return tracker_; }
+
+  protected:
+    /// Result of a backend solve: full weight vector (size m), bias, CG stats.
+    struct solve_result {
+        std::vector<T> alpha;
+        T bias{ 0 };
+        std::size_t iterations{ 0 };
+        double final_relative_residual{ 0.0 };
+    };
+
+    /**
+     * @brief Backend hook: solve the reduced system Q~ alpha~ = y¯ - y_m 1 and
+     *        recover (full alpha, bias).
+     * @param points the training points (row-major host layout)
+     * @param labels the +-1 labels (size m)
+     * @param kp kernel parameters with gamma resolved
+     * @param ctrl CG controls
+     */
+    [[nodiscard]] virtual solve_result solve_lssvm(const aos_matrix<T> &points,
+                                                   const std::vector<T> &labels,
+                                                   const kernel_params<T> &kp,
+                                                   const solver_control &ctrl) = 0;
+
+    /// Resolve `parameter` into runtime kernel params for @p num_features.
+    [[nodiscard]] kernel_params<T> make_kernel_params(std::size_t num_features) const;
+
+    parameter params_;
+    mutable detail::tracker tracker_;
+};
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_CSVM_HPP_

@@ -1,0 +1,36 @@
+#include "plssvm/core/csvm_factory.hpp"
+
+#include "plssvm/backends/cuda/csvm.hpp"
+#include "plssvm/backends/opencl/csvm.hpp"
+#include "plssvm/backends/openmp/csvm.hpp"
+#include "plssvm/backends/sycl/csvm.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace plssvm {
+
+template <typename T>
+std::unique_ptr<csvm<T>> make_csvm(const backend_type backend,
+                                   const parameter &params,
+                                   const std::vector<sim::device_spec> &devices,
+                                   const sim::block_config &cfg) {
+    const std::vector<sim::device_spec> &specs =
+        devices.empty() ? std::vector<sim::device_spec>{ sim::devices::nvidia_a100() } : devices;
+    switch (backend) {
+        case backend_type::openmp:
+            return std::make_unique<backend::openmp::csvm<T>>(params);
+        case backend_type::cuda:
+            return std::make_unique<backend::cuda::csvm<T>>(params, specs, cfg);
+        case backend_type::opencl:
+            return std::make_unique<backend::opencl::csvm<T>>(params, specs, cfg);
+        case backend_type::sycl:
+            return std::make_unique<backend::sycl::csvm<T>>(params, specs, cfg);
+    }
+    throw unsupported_backend_exception{ "Unknown backend!" };
+}
+
+template std::unique_ptr<csvm<float>> make_csvm<float>(backend_type, const parameter &, const std::vector<sim::device_spec> &, const sim::block_config &);
+template std::unique_ptr<csvm<double>> make_csvm<double>(backend_type, const parameter &, const std::vector<sim::device_spec> &, const sim::block_config &);
+
+}  // namespace plssvm

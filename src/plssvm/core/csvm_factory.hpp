@@ -1,0 +1,38 @@
+/**
+ * @file
+ * @brief Runtime backend selection: create a `csvm` for any backend.
+ */
+
+#ifndef PLSSVM_CORE_CSVM_FACTORY_HPP_
+#define PLSSVM_CORE_CSVM_FACTORY_HPP_
+
+#include "plssvm/backends/backend_types.hpp"
+#include "plssvm/core/csvm.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/sim/cost_model.hpp"
+#include "plssvm/sim/device_spec.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace plssvm {
+
+/**
+ * @brief Create an SVM using @p backend.
+ * @param backend one of openmp / cuda / opencl / sycl
+ * @param params SVM hyper-parameters
+ * @param devices simulated devices for the device backends; empty selects the
+ *        default (one NVIDIA A100); ignored by the openmp backend
+ * @param cfg device kernel blocking configuration
+ * @throws plssvm::unsupported_backend_exception for invalid combinations
+ *         (e.g. CUDA with an AMD device)
+ */
+template <typename T>
+[[nodiscard]] std::unique_ptr<csvm<T>> make_csvm(backend_type backend,
+                                                 const parameter &params,
+                                                 const std::vector<sim::device_spec> &devices = {},
+                                                 const sim::block_config &cfg = {});
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_CSVM_FACTORY_HPP_

@@ -1,0 +1,114 @@
+#include "plssvm/core/data_set.hpp"
+
+#include "plssvm/detail/string_utils.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/io/arff.hpp"
+#include "plssvm/io/libsvm.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace plssvm {
+
+template <typename T>
+data_set<T>::data_set(aos_matrix<T> points) :
+    points_{ std::move(points) } {
+    if (points_.num_rows() == 0 || points_.num_cols() == 0) {
+        throw invalid_data_exception{ "A data set must contain at least one data point with at least one feature!" };
+    }
+}
+
+template <typename T>
+data_set<T>::data_set(aos_matrix<T> points, std::vector<T> labels) :
+    points_{ std::move(points) },
+    labels_{ std::move(labels) } {
+    if (points_.num_rows() == 0 || points_.num_cols() == 0) {
+        throw invalid_data_exception{ "A data set must contain at least one data point with at least one feature!" };
+    }
+    if (labels_.size() != points_.num_rows()) {
+        throw invalid_data_exception{ "Number of labels (" + std::to_string(labels_.size()) + ") does not match the number of data points (" + std::to_string(points_.num_rows()) + ")!" };
+    }
+    build_label_mapping();
+}
+
+template <typename T>
+void data_set<T>::build_label_mapping() {
+    distinct_labels_.clear();
+    for (const T label : labels_) {
+        if (std::find(distinct_labels_.begin(), distinct_labels_.end(), label) == distinct_labels_.end()) {
+            distinct_labels_.push_back(label);
+        }
+    }
+    binary_labels_.clear();
+    if (distinct_labels_.size() == 2) {
+        binary_labels_.reserve(labels_.size());
+        for (const T label : labels_) {
+            binary_labels_.push_back(label == distinct_labels_[0] ? T{ 1 } : T{ -1 });
+        }
+    }
+}
+
+template <typename T>
+const std::vector<T> &data_set<T>::binary_labels() const {
+    if (!is_binary()) {
+        throw invalid_data_exception{ "The data set is not a binary classification problem (found " + std::to_string(distinct_labels_.size()) + " distinct labels)!" };
+    }
+    return binary_labels_;
+}
+
+template <typename T>
+T data_set<T>::original_label(const T binary_label) const {
+    if (!is_binary()) {
+        throw invalid_data_exception{ "Label back-mapping requires a binary data set!" };
+    }
+    return binary_label > T{ 0 } ? distinct_labels_[0] : distinct_labels_[1];
+}
+
+template <typename T>
+data_set<T> data_set<T>::from_file(const std::string &filename, const std::size_t min_num_features) {
+    if (detail::ends_with(detail::to_lower_case(filename), ".arff")) {
+        return from_arff_file(filename);
+    }
+    return from_libsvm_file(filename, min_num_features);
+}
+
+template <typename T>
+data_set<T> data_set<T>::from_libsvm_file(const std::string &filename, const std::size_t min_num_features) {
+    io::libsvm_parse_result<T> parsed = io::parse_libsvm_file<T>(filename, min_num_features);
+    if (parsed.has_labels) {
+        return data_set{ std::move(parsed.points), std::move(parsed.labels) };
+    }
+    return data_set{ std::move(parsed.points) };
+}
+
+template <typename T>
+data_set<T> data_set<T>::from_arff_file(const std::string &filename) {
+    io::arff_parse_result<T> parsed = io::parse_arff_file<T>(filename);
+    if (parsed.has_labels) {
+        return data_set{ std::move(parsed.points), std::move(parsed.labels) };
+    }
+    return data_set{ std::move(parsed.points) };
+}
+
+template <typename T>
+void data_set<T>::save_libsvm(const std::string &filename, const bool sparse) const {
+    io::write_libsvm_file(filename, points_, labels_.empty() ? nullptr : &labels_, sparse);
+}
+
+template <typename T>
+io::scaling<T> data_set<T>::scale(const T lo, const T hi) {
+    io::scaling<T> factors{ lo, hi };
+    factors.fit_transform(points_);
+    return factors;
+}
+
+template <typename T>
+void data_set<T>::scale(const io::scaling<T> &factors) {
+    factors.transform(points_);
+}
+
+template class data_set<float>;
+template class data_set<double>;
+
+}  // namespace plssvm

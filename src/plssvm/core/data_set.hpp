@@ -1,0 +1,85 @@
+/**
+ * @file
+ * @brief The labeled/unlabeled data set abstraction handed to `csvm::fit` and
+ *        `csvm::predict`.
+ *
+ * A `data_set` owns the dense points (zeros materialised for sparse inputs)
+ * plus, if present, the original numeric labels and their mapping onto the
+ * internal binary +-1 representation. Binary classification is what the paper
+ * ships; the one-vs-all extension in `plssvm::ext` builds on the raw labels.
+ */
+
+#ifndef PLSSVM_CORE_DATA_SET_HPP_
+#define PLSSVM_CORE_DATA_SET_HPP_
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/io/scaling.hpp"
+
+#include <string>
+#include <vector>
+
+namespace plssvm {
+
+template <typename T>
+class data_set {
+  public:
+    using real_type = T;
+
+    /// Create an unlabeled data set (prediction input).
+    explicit data_set(aos_matrix<T> points);
+
+    /**
+     * @brief Create a labeled data set. Labels may be arbitrary numeric values;
+     *        for binary problems exactly two distinct values are expected and
+     *        mapped onto +1 (first distinct value in file order) and -1.
+     * @throws plssvm::invalid_data_exception on size mismatch or empty data
+     */
+    data_set(aos_matrix<T> points, std::vector<T> labels);
+
+    /// Load from a file; format auto-detected (".arff" -> ARFF, else LIBSVM).
+    [[nodiscard]] static data_set from_file(const std::string &filename, std::size_t min_num_features = 0);
+
+    /// Load explicitly as LIBSVM.
+    [[nodiscard]] static data_set from_libsvm_file(const std::string &filename, std::size_t min_num_features = 0);
+
+    /// Load explicitly as ARFF.
+    [[nodiscard]] static data_set from_arff_file(const std::string &filename);
+
+    /// Save in LIBSVM format (sparse by default).
+    void save_libsvm(const std::string &filename, bool sparse = true) const;
+
+    [[nodiscard]] std::size_t num_data_points() const noexcept { return points_.num_rows(); }
+    [[nodiscard]] std::size_t num_features() const noexcept { return points_.num_cols(); }
+    [[nodiscard]] const aos_matrix<T> &points() const noexcept { return points_; }
+
+    [[nodiscard]] bool has_labels() const noexcept { return !labels_.empty(); }
+    /// Original numeric labels as given by the user/file.
+    [[nodiscard]] const std::vector<T> &labels() const noexcept { return labels_; }
+    /// Labels mapped to +-1 (only valid for binary problems).
+    [[nodiscard]] const std::vector<T> &binary_labels() const;
+    /// The distinct original label values, in first-occurrence order.
+    [[nodiscard]] const std::vector<T> &distinct_labels() const noexcept { return distinct_labels_; }
+    /// True if exactly two distinct labels exist.
+    [[nodiscard]] bool is_binary() const noexcept { return distinct_labels_.size() == 2; }
+
+    /// Map an internal +-1 prediction back to the original label domain.
+    [[nodiscard]] T original_label(T binary_label) const;
+
+    /// Scale all features into [lo, hi] in place and return the learned factors.
+    io::scaling<T> scale(T lo = T{ -1 }, T hi = T{ 1 });
+
+    /// Apply previously learned scaling factors (test data path).
+    void scale(const io::scaling<T> &factors);
+
+  private:
+    void build_label_mapping();
+
+    aos_matrix<T> points_;
+    std::vector<T> labels_;           ///< original labels
+    std::vector<T> binary_labels_;    ///< +-1 representation (binary problems)
+    std::vector<T> distinct_labels_;  ///< first-occurrence order
+};
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_DATA_SET_HPP_

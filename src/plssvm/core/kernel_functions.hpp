@@ -1,0 +1,121 @@
+/**
+ * @file
+ * @brief Scalar kernel function evaluations (paper §II-E).
+ *
+ * These are the host-side reference implementations operating on contiguous
+ * feature vectors (AoS rows). The device backends implement the same math in
+ * their blocked kernels; tests cross-check both against each other.
+ */
+
+#ifndef PLSSVM_CORE_KERNEL_FUNCTIONS_HPP_
+#define PLSSVM_CORE_KERNEL_FUNCTIONS_HPP_
+
+#include "plssvm/core/kernel_types.hpp"
+#include "plssvm/detail/assert.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace plssvm {
+
+/// Runtime kernel parameters with gamma already resolved (see `parameter::effective_gamma`).
+template <typename T>
+struct kernel_params {
+    kernel_type kernel{ kernel_type::linear };
+    int degree{ 3 };
+    T gamma{ 1 };
+    T coef0{ 0 };
+};
+
+namespace kernels {
+
+/// <x, y> over @p dim entries.
+template <typename T>
+[[nodiscard]] T dot(const T *x, const T *y, const std::size_t dim) noexcept {
+    T sum{ 0 };
+    #pragma omp simd reduction(+ : sum)
+    for (std::size_t k = 0; k < dim; ++k) {
+        sum += x[k] * y[k];
+    }
+    return sum;
+}
+
+/// ||x - y||^2 over @p dim entries.
+template <typename T>
+[[nodiscard]] T squared_euclidean_distance(const T *x, const T *y, const std::size_t dim) noexcept {
+    T sum{ 0 };
+    #pragma omp simd reduction(+ : sum)
+    for (std::size_t k = 0; k < dim; ++k) {
+        const T diff = x[k] - y[k];
+        sum += diff * diff;
+    }
+    return sum;
+}
+
+/// Integer power by squaring (the polynomial degree is a small positive int).
+template <typename T>
+[[nodiscard]] T int_pow(T base, int exponent) noexcept {
+    PLSSVM_ASSERT(exponent >= 0, "int_pow expects a non-negative exponent!");
+    T result{ 1 };
+    while (exponent > 0) {
+        if (exponent & 1) {
+            result *= base;
+        }
+        base *= base;
+        exponent >>= 1;
+    }
+    return result;
+}
+
+/// Evaluate k(x, y) for the given kernel parameters.
+template <typename T>
+[[nodiscard]] T apply(const kernel_params<T> &params, const T *x, const T *y, const std::size_t dim) noexcept {
+    switch (params.kernel) {
+        case kernel_type::linear:
+            return dot(x, y, dim);
+        case kernel_type::polynomial:
+            return int_pow(params.gamma * dot(x, y, dim) + params.coef0, params.degree);
+        case kernel_type::rbf:
+            return std::exp(-params.gamma * squared_euclidean_distance(x, y, dim));
+        case kernel_type::sigmoid:
+            return std::tanh(params.gamma * dot(x, y, dim) + params.coef0);
+    }
+    return T{ 0 };  // unreachable; all enumerators handled above
+}
+
+/// Given a raw inner-product or squared-distance "core" value, finish the
+/// kernel evaluation. The blocked device kernels accumulate the core value in
+/// registers and call this epilogue once per matrix entry.
+template <typename T>
+[[nodiscard]] T finish(const kernel_params<T> &params, const T core) noexcept {
+    switch (params.kernel) {
+        case kernel_type::linear:
+            return core;
+        case kernel_type::polynomial:
+            return int_pow(params.gamma * core + params.coef0, params.degree);
+        case kernel_type::rbf:
+            return std::exp(-params.gamma * core);
+        case kernel_type::sigmoid:
+            return std::tanh(params.gamma * core + params.coef0);
+    }
+    return T{ 0 };  // unreachable
+}
+
+/// Whether the kernel's "core" accumulation is the inner product (true) or the
+/// squared euclidean distance (false, RBF only).
+[[nodiscard]] constexpr bool uses_inner_product_core(const kernel_type kernel) noexcept {
+    return kernel != kernel_type::rbf;
+}
+
+/// Whether k(x, y) decomposes additively over disjoint feature slices, which
+/// is what enables the multi-device feature split of §III-C-5. Only the plain
+/// inner product does; the poly/rbf/sigmoid epilogues are non-linear.
+[[nodiscard]] constexpr bool supports_feature_split(const kernel_type kernel) noexcept {
+    return kernel == kernel_type::linear;
+}
+
+}  // namespace kernels
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_KERNEL_FUNCTIONS_HPP_

@@ -1,0 +1,46 @@
+#include "plssvm/core/kernel_types.hpp"
+
+#include "plssvm/detail/string_utils.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace plssvm {
+
+std::string_view kernel_type_to_string(const kernel_type kernel) {
+    switch (kernel) {
+        case kernel_type::linear:
+            return "linear";
+        case kernel_type::polynomial:
+            return "polynomial";
+        case kernel_type::rbf:
+            return "rbf";
+        case kernel_type::sigmoid:
+            return "sigmoid";
+    }
+    return "unknown";
+}
+
+kernel_type kernel_type_from_string(const std::string_view name) {
+    const std::string lower = detail::to_lower_case(detail::trim(name));
+    if (lower == "linear" || lower == "0") {
+        return kernel_type::linear;
+    }
+    if (lower == "polynomial" || lower == "poly" || lower == "1") {
+        return kernel_type::polynomial;
+    }
+    if (lower == "rbf" || lower == "radial" || lower == "2") {
+        return kernel_type::rbf;
+    }
+    if (lower == "sigmoid" || lower == "3") {
+        return kernel_type::sigmoid;
+    }
+    throw invalid_parameter_exception{ "Unknown kernel type: '" + std::string{ name } + "'!" };
+}
+
+std::ostream &operator<<(std::ostream &out, const kernel_type kernel) {
+    return out << kernel_type_to_string(kernel);
+}
+
+}  // namespace plssvm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * @brief Kernel function identifiers (paper §II-E).
+ *
+ * The paper ships linear, polynomial, and radial (RBF) kernels; the sigmoid
+ * kernel is listed as LIBSVM/ThunderSVM-only functionality and implemented
+ * here as the extension the paper's §IV-H calls out.
+ */
+
+#ifndef PLSSVM_CORE_KERNEL_TYPES_HPP_
+#define PLSSVM_CORE_KERNEL_TYPES_HPP_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace plssvm {
+
+/// Supported kernel functions k(x, y).
+enum class kernel_type {
+    linear = 0,      ///< <x, y>
+    polynomial = 1,  ///< (gamma * <x, y> + coef0)^degree
+    rbf = 2,         ///< exp(-gamma * ||x - y||^2)
+    sigmoid = 3,     ///< tanh(gamma * <x, y> + coef0)  (extension, §IV-H)
+};
+
+/// Name used in model files and CLI flags (matches LIBSVM's `-t` naming).
+[[nodiscard]] std::string_view kernel_type_to_string(kernel_type kernel);
+
+/**
+ * @brief Parse a kernel name ("linear", "polynomial"/"poly", "rbf"/"radial",
+ *        "sigmoid"; case-insensitive) or a LIBSVM numeric id ("0".."3").
+ * @throws plssvm::invalid_parameter_exception on unknown names.
+ */
+[[nodiscard]] kernel_type kernel_type_from_string(std::string_view name);
+
+/// Stream the canonical kernel name.
+std::ostream &operator<<(std::ostream &out, kernel_type kernel);
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_KERNEL_TYPES_HPP_

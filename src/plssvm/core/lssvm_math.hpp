@@ -1,0 +1,100 @@
+/**
+ * @file
+ * @brief Backend-independent pieces of the LS-SVM linear system (paper §II-F).
+ *
+ * The full system  [Q 1; 1^T 0] [alpha; b] = [y; 0]  with
+ * Q_ij = k(x_i, x_j) + delta_ij / C  is reduced following Chu et al. to
+ *
+ *      Q~ alpha~ = y¯ - y_m * 1,        Q~ of size (m-1) x (m-1),
+ *      Q~_ij = k(x_i,x_j) + delta_ij/C - k(x_m,x_j) - k(x_i,x_m) + k(x_m,x_m) + 1/C,
+ *
+ * from which the bias and the eliminated weight are recovered as
+ *
+ *      b       = y_m + Q_mm * <1, alpha~> - <q, alpha~>,
+ *      alpha_m = -<1, alpha~>                       (enforcing sum_i alpha_i = 0).
+ *
+ * Every backend computes the expensive kernel sums itself; the small shared
+ * formulas live here so host and device paths cannot drift apart.
+ */
+
+#ifndef PLSSVM_CORE_LSSVM_MATH_HPP_
+#define PLSSVM_CORE_LSSVM_MATH_HPP_
+
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/detail/assert.hpp"
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace plssvm {
+
+/**
+ * @brief Right-hand side of the reduced system: rhs_i = y_i - y_m, i < m-1.
+ * @param labels the +-1 training labels (size m >= 2)
+ */
+template <typename T>
+[[nodiscard]] std::vector<T> reduced_rhs(const std::vector<T> &labels) {
+    PLSSVM_ASSERT(labels.size() >= 2, "The reduced system requires at least two data points!");
+    const std::size_t n = labels.size() - 1;
+    const T y_m = labels.back();
+    std::vector<T> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        rhs[i] = labels[i] - y_m;
+    }
+    return rhs;
+}
+
+/**
+ * @brief Reference (host) computation of the q vector: q_i = k(x_i, x_m) for
+ *        i < m-1. Device backends compute the same values in
+ *        `device_kernel_q`; tests cross-check both.
+ */
+template <typename T>
+[[nodiscard]] std::vector<T> compute_q_vector(const aos_matrix<T> &points, const kernel_params<T> &kp) {
+    PLSSVM_ASSERT(points.num_rows() >= 2, "The reduced system requires at least two data points!");
+    const std::size_t n = points.num_rows() - 1;
+    const T *last = points.row_data(n);
+    std::vector<T> q(n);
+    #pragma omp parallel for
+    for (std::size_t i = 0; i < n; ++i) {
+        q[i] = kernels::apply(kp, points.row_data(i), last, points.num_cols());
+    }
+    return q;
+}
+
+/// Q_mm = k(x_m, x_m) + 1/C — the bottom-right entry of the full Q matrix.
+template <typename T>
+[[nodiscard]] T compute_q_mm(const aos_matrix<T> &points, const kernel_params<T> &kp, const T cost) {
+    const std::size_t last = points.num_rows() - 1;
+    return kernels::apply(kp, points.row_data(last), points.row_data(last), points.num_cols()) + T{ 1 } / cost;
+}
+
+/// b = y_m + Q_mm * <1, alpha~> - <q, alpha~>   (paper Eq. 15).
+template <typename T>
+[[nodiscard]] T recover_bias(const std::vector<T> &alpha_tilde,
+                             const std::vector<T> &q,
+                             const T q_mm,
+                             const T y_m) {
+    PLSSVM_ASSERT(alpha_tilde.size() == q.size(), "alpha~ and q must have the same size!");
+    T sum_alpha{ 0 };
+    T q_dot_alpha{ 0 };
+    for (std::size_t i = 0; i < alpha_tilde.size(); ++i) {
+        sum_alpha += alpha_tilde[i];
+        q_dot_alpha += q[i] * alpha_tilde[i];
+    }
+    return y_m + q_mm * sum_alpha - q_dot_alpha;
+}
+
+/// Append alpha_m = -sum(alpha~), yielding the full weight vector of size m.
+template <typename T>
+[[nodiscard]] std::vector<T> expand_alpha(std::vector<T> alpha_tilde) {
+    const T sum = std::accumulate(alpha_tilde.begin(), alpha_tilde.end(), T{ 0 });
+    alpha_tilde.push_back(-sum);
+    return alpha_tilde;
+}
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_LSSVM_MATH_HPP_

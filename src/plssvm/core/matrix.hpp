@@ -1,0 +1,176 @@
+/**
+ * @file
+ * @brief Dense matrix types and the AoS -> SoA layout transform (paper §III-A).
+ *
+ * Training data is first parsed into an `aos_matrix` (one row per data point,
+ * row-major, the natural parsing layout). Before device execution it is
+ * transformed into an `soa_matrix`: feature-major (column-major) with the
+ * point dimension padded to a multiple of the block size, so the blocked
+ * device kernels never have to check boundary conditions (§III-C-1) and
+ * feature-wise accesses are coalesced/cache-friendly.
+ */
+
+#ifndef PLSSVM_CORE_MATRIX_HPP_
+#define PLSSVM_CORE_MATRIX_HPP_
+
+#include "plssvm/detail/assert.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace plssvm {
+
+/**
+ * @brief Row-major dense matrix: entry (point, feature) at `data[point * cols + feature]`.
+ */
+template <typename T>
+class aos_matrix {
+  public:
+    using value_type = T;
+
+    aos_matrix() = default;
+
+    /// Create a zero-initialised @p rows x @p cols matrix.
+    aos_matrix(const std::size_t rows, const std::size_t cols) :
+        rows_{ rows },
+        cols_{ cols },
+        data_(rows * cols, T{ 0 }) {}
+
+    /// Create from existing storage (size must be rows * cols).
+    aos_matrix(const std::size_t rows, const std::size_t cols, std::vector<T> data) :
+        rows_{ rows },
+        cols_{ cols },
+        data_{ std::move(data) } {
+        PLSSVM_ASSERT(data_.size() == rows_ * cols_, "Storage size does not match the matrix shape!");
+    }
+
+    [[nodiscard]] std::size_t num_rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t num_cols() const noexcept { return cols_; }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    [[nodiscard]] T &operator()(const std::size_t row, const std::size_t col) noexcept {
+        PLSSVM_ASSERT(row < rows_ && col < cols_, "Matrix index out of bounds!");
+        return data_[row * cols_ + col];
+    }
+
+    [[nodiscard]] const T &operator()(const std::size_t row, const std::size_t col) const noexcept {
+        PLSSVM_ASSERT(row < rows_ && col < cols_, "Matrix index out of bounds!");
+        return data_[row * cols_ + col];
+    }
+
+    /// Pointer to the beginning of row @p row (contiguous, `num_cols()` entries).
+    [[nodiscard]] const T *row_data(const std::size_t row) const noexcept {
+        PLSSVM_ASSERT(row < rows_, "Row index out of bounds!");
+        return data_.data() + row * cols_;
+    }
+
+    [[nodiscard]] T *row_data(const std::size_t row) noexcept {
+        PLSSVM_ASSERT(row < rows_, "Row index out of bounds!");
+        return data_.data() + row * cols_;
+    }
+
+    [[nodiscard]] const std::vector<T> &data() const noexcept { return data_; }
+    [[nodiscard]] std::vector<T> &data() noexcept { return data_; }
+
+    [[nodiscard]] bool operator==(const aos_matrix &) const = default;
+
+  private:
+    std::size_t rows_{ 0 };
+    std::size_t cols_{ 0 };
+    std::vector<T> data_;
+};
+
+/**
+ * @brief Feature-major (Structure-of-Arrays) matrix with padded point dimension.
+ *
+ * Entry (point, feature) lives at `data[feature * padded_rows + point]`;
+ * entries with `point >= num_rows()` are padding and always zero. Zero padding
+ * is semantically safe for all shipped kernels: it adds zero summands to the
+ * scalar products of the linear/polynomial/sigmoid kernels and zero distance
+ * contributions to the RBF kernel.
+ */
+template <typename T>
+class soa_matrix {
+  public:
+    using value_type = T;
+
+    soa_matrix() = default;
+
+    /// Create a zero-initialised matrix for @p rows points, padding the point
+    /// dimension up to a multiple of @p row_padding (>= 1).
+    soa_matrix(const std::size_t rows, const std::size_t cols, const std::size_t row_padding) :
+        rows_{ rows },
+        cols_{ cols },
+        padded_rows_{ round_up(rows, row_padding) },
+        data_(padded_rows_ * cols, T{ 0 }) {}
+
+    [[nodiscard]] std::size_t num_rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t num_cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t padded_rows() const noexcept { return padded_rows_; }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    [[nodiscard]] T &operator()(const std::size_t row, const std::size_t col) noexcept {
+        PLSSVM_ASSERT(row < padded_rows_ && col < cols_, "Matrix index out of bounds!");
+        return data_[col * padded_rows_ + row];
+    }
+
+    [[nodiscard]] const T &operator()(const std::size_t row, const std::size_t col) const noexcept {
+        PLSSVM_ASSERT(row < padded_rows_ && col < cols_, "Matrix index out of bounds!");
+        return data_[col * padded_rows_ + row];
+    }
+
+    /// Pointer to the contiguous column of feature @p col (`padded_rows()` entries).
+    [[nodiscard]] const T *feature_data(const std::size_t col) const noexcept {
+        PLSSVM_ASSERT(col < cols_, "Feature index out of bounds!");
+        return data_.data() + col * padded_rows_;
+    }
+
+    [[nodiscard]] const std::vector<T> &data() const noexcept { return data_; }
+
+    [[nodiscard]] bool operator==(const soa_matrix &) const = default;
+
+    [[nodiscard]] static std::size_t round_up(const std::size_t value, const std::size_t multiple) noexcept {
+        PLSSVM_ASSERT(multiple > 0, "Padding multiple must be positive!");
+        return (value + multiple - 1) / multiple * multiple;
+    }
+
+  private:
+    std::size_t rows_{ 0 };
+    std::size_t cols_{ 0 };
+    std::size_t padded_rows_{ 0 };
+    std::vector<T> data_;
+};
+
+/**
+ * @brief The "transform" pipeline component (paper Fig. 2): convert the parsed
+ *        row-major data into the padded feature-major device layout.
+ */
+template <typename T>
+[[nodiscard]] soa_matrix<T> transform_to_soa(const aos_matrix<T> &aos, const std::size_t row_padding) {
+    soa_matrix<T> soa{ aos.num_rows(), aos.num_cols(), row_padding };
+    // Iterate row-major over the source for sequential reads; the strided
+    // writes are the unavoidable part of the transpose.
+    for (std::size_t row = 0; row < aos.num_rows(); ++row) {
+        const T *src = aos.row_data(row);
+        for (std::size_t col = 0; col < aos.num_cols(); ++col) {
+            soa(row, col) = src[col];
+        }
+    }
+    return soa;
+}
+
+/// Inverse transform (used by tests and the model writer).
+template <typename T>
+[[nodiscard]] aos_matrix<T> transform_to_aos(const soa_matrix<T> &soa) {
+    aos_matrix<T> aos{ soa.num_rows(), soa.num_cols() };
+    for (std::size_t row = 0; row < soa.num_rows(); ++row) {
+        for (std::size_t col = 0; col < soa.num_cols(); ++col) {
+            aos(row, col) = soa(row, col);
+        }
+    }
+    return aos;
+}
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_MATRIX_HPP_

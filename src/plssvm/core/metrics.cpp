@@ -1,0 +1,126 @@
+#include "plssvm/core/metrics.hpp"
+
+#include "plssvm/exceptions.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace plssvm::metrics {
+
+namespace {
+
+template <typename T>
+void check_sizes(const std::vector<T> &predicted, const std::vector<T> &truth) {
+    if (predicted.size() != truth.size()) {
+        throw invalid_data_exception{ "Metric inputs differ in size: " + std::to_string(predicted.size()) + " vs " + std::to_string(truth.size()) + "!" };
+    }
+    if (predicted.empty()) {
+        throw invalid_data_exception{ "Metrics require at least one sample!" };
+    }
+}
+
+}  // namespace
+
+template <typename T>
+confusion_matrix confusion(const std::vector<T> &predicted, const std::vector<T> &truth, const T positive_label) {
+    check_sizes(predicted, truth);
+    confusion_matrix cm;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const bool predicted_positive = predicted[i] == positive_label;
+        const bool actual_positive = truth[i] == positive_label;
+        if (predicted_positive && actual_positive) {
+            ++cm.true_positives;
+        } else if (predicted_positive && !actual_positive) {
+            ++cm.false_positives;
+        } else if (!predicted_positive && actual_positive) {
+            ++cm.false_negatives;
+        } else {
+            ++cm.true_negatives;
+        }
+    }
+    return cm;
+}
+
+template <typename T>
+double accuracy_score(const std::vector<T> &predicted, const std::vector<T> &truth) {
+    check_sizes(predicted, truth);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        correct += predicted[i] == truth[i];
+    }
+    return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+double precision(const confusion_matrix &cm) noexcept {
+    const std::size_t denominator = cm.true_positives + cm.false_positives;
+    return denominator == 0 ? 0.0 : static_cast<double>(cm.true_positives) / static_cast<double>(denominator);
+}
+
+double recall(const confusion_matrix &cm) noexcept {
+    const std::size_t denominator = cm.true_positives + cm.false_negatives;
+    return denominator == 0 ? 0.0 : static_cast<double>(cm.true_positives) / static_cast<double>(denominator);
+}
+
+double f1_score(const confusion_matrix &cm) noexcept {
+    const double p = precision(cm);
+    const double r = recall(cm);
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+template <typename T>
+double mean_squared_error(const std::vector<T> &predicted, const std::vector<T> &truth) {
+    check_sizes(predicted, truth);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double diff = static_cast<double>(predicted[i]) - static_cast<double>(truth[i]);
+        sum += diff * diff;
+    }
+    return sum / static_cast<double>(predicted.size());
+}
+
+template <typename T>
+double mean_absolute_error(const std::vector<T> &predicted, const std::vector<T> &truth) {
+    check_sizes(predicted, truth);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        sum += std::abs(static_cast<double>(predicted[i]) - static_cast<double>(truth[i]));
+    }
+    return sum / static_cast<double>(predicted.size());
+}
+
+template <typename T>
+double r2_score(const std::vector<T> &predicted, const std::vector<T> &truth) {
+    check_sizes(predicted, truth);
+    double mean = 0.0;
+    for (const T value : truth) {
+        mean += static_cast<double>(value);
+    }
+    mean /= static_cast<double>(truth.size());
+
+    double residual = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        const double diff = static_cast<double>(predicted[i]) - static_cast<double>(truth[i]);
+        residual += diff * diff;
+        const double centered = static_cast<double>(truth[i]) - mean;
+        total += centered * centered;
+    }
+    if (total == 0.0) {
+        // constant ground truth: perfect iff the residual is zero
+        return residual == 0.0 ? 1.0 : 0.0;
+    }
+    return 1.0 - residual / total;
+}
+
+template confusion_matrix confusion<float>(const std::vector<float> &, const std::vector<float> &, float);
+template confusion_matrix confusion<double>(const std::vector<double> &, const std::vector<double> &, double);
+template double accuracy_score<float>(const std::vector<float> &, const std::vector<float> &);
+template double accuracy_score<double>(const std::vector<double> &, const std::vector<double> &);
+template double mean_squared_error<float>(const std::vector<float> &, const std::vector<float> &);
+template double mean_squared_error<double>(const std::vector<double> &, const std::vector<double> &);
+template double mean_absolute_error<float>(const std::vector<float> &, const std::vector<float> &);
+template double mean_absolute_error<double>(const std::vector<double> &, const std::vector<double> &);
+template double r2_score<float>(const std::vector<float> &, const std::vector<float> &);
+template double r2_score<double>(const std::vector<double> &, const std::vector<double> &);
+
+}  // namespace plssvm::metrics

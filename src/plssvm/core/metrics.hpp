@@ -1,0 +1,65 @@
+/**
+ * @file
+ * @brief Classification and regression quality metrics.
+ *
+ * Binary classification metrics follow the usual conventions with the
+ * model's positive label as the "positive" class; regression metrics support
+ * the LS-SVR extension.
+ */
+
+#ifndef PLSSVM_CORE_METRICS_HPP_
+#define PLSSVM_CORE_METRICS_HPP_
+
+#include <cstddef>
+#include <vector>
+
+namespace plssvm::metrics {
+
+/// Binary confusion counts for a given positive label.
+struct confusion_matrix {
+    std::size_t true_positives{ 0 };
+    std::size_t true_negatives{ 0 };
+    std::size_t false_positives{ 0 };
+    std::size_t false_negatives{ 0 };
+
+    [[nodiscard]] std::size_t total() const noexcept {
+        return true_positives + true_negatives + false_positives + false_negatives;
+    }
+};
+
+/**
+ * @brief Tally the confusion matrix of @p predicted against @p truth.
+ * @throws plssvm::invalid_data_exception on size mismatch or empty input
+ */
+template <typename T>
+[[nodiscard]] confusion_matrix confusion(const std::vector<T> &predicted, const std::vector<T> &truth, T positive_label);
+
+/// Fraction of correct predictions.
+template <typename T>
+[[nodiscard]] double accuracy_score(const std::vector<T> &predicted, const std::vector<T> &truth);
+
+/// TP / (TP + FP); 0 when no positive predictions exist.
+[[nodiscard]] double precision(const confusion_matrix &cm) noexcept;
+
+/// TP / (TP + FN); 0 when no positive ground truth exists.
+[[nodiscard]] double recall(const confusion_matrix &cm) noexcept;
+
+/// Harmonic mean of precision and recall; 0 when either is 0.
+[[nodiscard]] double f1_score(const confusion_matrix &cm) noexcept;
+
+/// Mean squared error (regression).
+template <typename T>
+[[nodiscard]] double mean_squared_error(const std::vector<T> &predicted, const std::vector<T> &truth);
+
+/// Mean absolute error (regression).
+template <typename T>
+[[nodiscard]] double mean_absolute_error(const std::vector<T> &predicted, const std::vector<T> &truth);
+
+/// Coefficient of determination R^2; 1 is perfect, 0 matches the mean
+/// predictor, negative is worse than the mean predictor.
+template <typename T>
+[[nodiscard]] double r2_score(const std::vector<T> &predicted, const std::vector<T> &truth);
+
+}  // namespace plssvm::metrics
+
+#endif  // PLSSVM_CORE_METRICS_HPP_

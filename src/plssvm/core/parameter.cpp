@@ -1,0 +1,55 @@
+#include "plssvm/core/parameter.hpp"
+
+#include "plssvm/exceptions.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace plssvm {
+
+double parameter::effective_gamma(const std::size_t num_features) const {
+    if (gamma.has_value()) {
+        return *gamma;
+    }
+    if (num_features == 0) {
+        throw invalid_parameter_exception{ "Default gamma = 1/num_features requires at least one feature!" };
+    }
+    return 1.0 / static_cast<double>(num_features);
+}
+
+void parameter::validate() const {
+    if (cost <= 0.0) {
+        throw invalid_parameter_exception{ "The cost parameter C must be positive, got " + std::to_string(cost) + "!" };
+    }
+    if (gamma.has_value() && *gamma <= 0.0 && kernel != kernel_type::linear) {
+        throw invalid_parameter_exception{ "gamma must be positive, got " + std::to_string(*gamma) + "!" };
+    }
+    if (kernel == kernel_type::polynomial && degree < 1) {
+        throw invalid_parameter_exception{ "The polynomial degree must be at least 1, got " + std::to_string(degree) + "!" };
+    }
+}
+
+void solver_control::validate() const {
+    if (epsilon <= 0.0 || epsilon >= 1.0) {
+        throw invalid_parameter_exception{ "The CG relative residual epsilon must be in (0, 1), got " + std::to_string(epsilon) + "!" };
+    }
+    if (residual_refresh_interval == 0) {
+        throw invalid_parameter_exception{ "The residual refresh interval must be positive!" };
+    }
+}
+
+std::ostream &operator<<(std::ostream &out, const parameter &params) {
+    out << "kernel = " << params.kernel
+        << ", degree = " << params.degree
+        << ", gamma = ";
+    if (params.gamma.has_value()) {
+        out << *params.gamma;
+    } else {
+        out << "1/num_features";
+    }
+    out << ", coef0 = " << params.coef0
+        << ", cost = " << params.cost;
+    return out;
+}
+
+}  // namespace plssvm

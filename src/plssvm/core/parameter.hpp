@@ -1,0 +1,68 @@
+/**
+ * @file
+ * @brief SVM hyper-parameters and solver controls.
+ *
+ * Mirrors the LIBSVM parameter set the paper's CLI exposes (`-t`, `-d`, `-g`,
+ * `-r`, `-c`, `-e`) plus the PLSSVM-specific backend selection and CG budget.
+ */
+
+#ifndef PLSSVM_CORE_PARAMETER_HPP_
+#define PLSSVM_CORE_PARAMETER_HPP_
+
+#include "plssvm/core/kernel_types.hpp"
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+
+namespace plssvm {
+
+/**
+ * @brief Hyper-parameters of the (LS-)SVM.
+ *
+ * `gamma` defaults to `1 / num_features` when unset, exactly like LIBSVM's
+ * default; call `effective_gamma(num_features)` once the data is known.
+ */
+struct parameter {
+    /// Kernel function to use (paper §II-E).
+    kernel_type kernel{ kernel_type::linear };
+    /// Degree of the polynomial kernel.
+    int degree{ 3 };
+    /// gamma of the polynomial/rbf/sigmoid kernels; unset means 1/num_features.
+    std::optional<double> gamma{};
+    /// coef0 (r) of the polynomial/sigmoid kernels.
+    double coef0{ 0.0 };
+    /// Regularisation weight C (> 0); the LS-SVM adds 1/C on the Q diagonal.
+    double cost{ 1.0 };
+
+    /// Resolve gamma: the explicit value if set, otherwise 1/num_features.
+    [[nodiscard]] double effective_gamma(std::size_t num_features) const;
+
+    /// @throws plssvm::invalid_parameter_exception on invalid combinations.
+    void validate() const;
+
+    [[nodiscard]] bool operator==(const parameter &) const = default;
+};
+
+/**
+ * @brief Controls of the iterative CG solver (paper §III-B, Fig. 3).
+ */
+struct solver_control {
+    /// Relative residual termination threshold ("epsilon" throughout the paper).
+    double epsilon{ 1e-6 };
+    /// Maximum CG iterations; unset means m-1 (system size).
+    std::optional<std::size_t> max_iterations{};
+    /// Re-compute the exact residual every this many iterations to fight drift.
+    std::size_t residual_refresh_interval{ 50 };
+    /// Throw `solver_exception` when the budget is exhausted before convergence.
+    bool strict{ false };
+
+    /// @throws plssvm::invalid_parameter_exception on invalid values.
+    void validate() const;
+};
+
+std::ostream &operator<<(std::ostream &out, const parameter &params);
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_PARAMETER_HPP_

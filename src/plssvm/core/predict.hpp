@@ -1,0 +1,98 @@
+/**
+ * @file
+ * @brief Model-based prediction as free functions.
+ *
+ * Shared by the PLSSVM `csvm` classes and the SMO baselines (which produce
+ * the same `model` representation: coefficients + support vectors + rho), so
+ * accuracy comparisons between the LS-SVM and SMO solvers use one identical
+ * decision-function implementation.
+ */
+
+#ifndef PLSSVM_CORE_PREDICT_HPP_
+#define PLSSVM_CORE_PREDICT_HPP_
+
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plssvm {
+
+/// Decision values f(x) = sum_i coef_i k(sv_i, x) - rho for all rows of @p points.
+template <typename T>
+[[nodiscard]] std::vector<T> decision_values(const model<T> &trained, const aos_matrix<T> &points) {
+    if (points.num_cols() != trained.num_features()) {
+        throw invalid_data_exception{ "The data has " + std::to_string(points.num_cols()) + " features but the model was trained with " + std::to_string(trained.num_features()) + "!" };
+    }
+    const aos_matrix<T> &sv = trained.support_vectors();
+    const std::vector<T> &alpha = trained.alpha();
+    const std::size_t num_points = points.num_rows();
+    const std::size_t dim = points.num_cols();
+    const T bias = trained.bias();
+
+    std::vector<T> values(num_points);
+
+    if (trained.params().kernel == kernel_type::linear) {
+        // linear kernel: collapse the support vectors into the normal vector w
+        std::vector<T> w(dim, T{ 0 });
+        for (std::size_t i = 0; i < sv.num_rows(); ++i) {
+            const T a = alpha[i];
+            const T *row = sv.row_data(i);
+            #pragma omp simd
+            for (std::size_t k = 0; k < dim; ++k) {
+                w[k] += a * row[k];
+            }
+        }
+        #pragma omp parallel for
+        for (std::size_t p = 0; p < num_points; ++p) {
+            values[p] = kernels::dot(w.data(), points.row_data(p), dim) + bias;
+        }
+    } else {
+        const kernel_params<T> kp{ trained.params().kernel, trained.params().degree,
+                                   trained.effective_gamma(), static_cast<T>(trained.params().coef0) };
+        #pragma omp parallel for
+        for (std::size_t p = 0; p < num_points; ++p) {
+            T sum{ 0 };
+            const T *x = points.row_data(p);
+            for (std::size_t i = 0; i < sv.num_rows(); ++i) {
+                sum += alpha[i] * kernels::apply(kp, sv.row_data(i), x, dim);
+            }
+            values[p] = sum + bias;
+        }
+    }
+    return values;
+}
+
+/// Predicted labels in the model's original label domain.
+template <typename T>
+[[nodiscard]] std::vector<T> predict_labels(const model<T> &trained, const aos_matrix<T> &points) {
+    std::vector<T> values = decision_values(trained, points);
+    for (T &v : values) {
+        v = trained.label_from_decision(v);
+    }
+    return values;
+}
+
+/// Fraction of rows whose predicted label equals @p truth.
+template <typename T>
+[[nodiscard]] T accuracy(const model<T> &trained, const aos_matrix<T> &points, const std::vector<T> &truth) {
+    if (truth.size() != points.num_rows()) {
+        throw invalid_data_exception{ "Number of labels does not match the number of data points!" };
+    }
+    const std::vector<T> predicted = predict_labels(trained, points);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        if (predicted[i] == truth[i]) {
+            ++correct;
+        }
+    }
+    return static_cast<T>(correct) / static_cast<T>(predicted.size());
+}
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_PREDICT_HPP_

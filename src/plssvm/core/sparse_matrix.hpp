@@ -1,0 +1,133 @@
+/**
+ * @file
+ * @brief Compressed sparse row (CSR) matrix substrate.
+ *
+ * Used by the LIBSVM-style SMO baseline in its sparse mode (the paper
+ * benchmarks both "LIBSVM" = sparse and "LIBSVM-DENSE"), and listed by the
+ * paper (§V) as the planned representation for a future sparse CG solver.
+ */
+
+#ifndef PLSSVM_CORE_SPARSE_MATRIX_HPP_
+#define PLSSVM_CORE_SPARSE_MATRIX_HPP_
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/detail/assert.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace plssvm {
+
+template <typename T>
+class csr_matrix {
+  public:
+    /// One stored entry: (column index, value).
+    struct entry {
+        std::uint32_t index;
+        T value;
+    };
+
+    csr_matrix() = default;
+
+    /// Build from a dense matrix, dropping exact zeros.
+    explicit csr_matrix(const aos_matrix<T> &dense) :
+        rows_{ dense.num_rows() },
+        cols_{ dense.num_cols() } {
+        offsets_.reserve(rows_ + 1);
+        offsets_.push_back(0);
+        for (std::size_t r = 0; r < rows_; ++r) {
+            const T *src = dense.row_data(r);
+            for (std::size_t c = 0; c < cols_; ++c) {
+                if (src[c] != T{ 0 }) {
+                    entries_.push_back(entry{ static_cast<std::uint32_t>(c), src[c] });
+                }
+            }
+            offsets_.push_back(entries_.size());
+        }
+    }
+
+    [[nodiscard]] std::size_t num_rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t num_cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t num_nonzeros() const noexcept { return entries_.size(); }
+
+    [[nodiscard]] const entry *row_begin(const std::size_t row) const noexcept {
+        PLSSVM_ASSERT(row < rows_, "Row index out of bounds!");
+        return entries_.data() + offsets_[row];
+    }
+
+    [[nodiscard]] const entry *row_end(const std::size_t row) const noexcept {
+        PLSSVM_ASSERT(row < rows_, "Row index out of bounds!");
+        return entries_.data() + offsets_[row + 1];
+    }
+
+    [[nodiscard]] std::size_t row_nnz(const std::size_t row) const noexcept {
+        return offsets_[row + 1] - offsets_[row];
+    }
+
+    /// <row_a, row_b> via index merge (LIBSVM's sparse dot product).
+    [[nodiscard]] T dot(const std::size_t row_a, const std::size_t row_b) const noexcept {
+        const entry *a = row_begin(row_a);
+        const entry *a_end = row_end(row_a);
+        const entry *b = row_begin(row_b);
+        const entry *b_end = row_end(row_b);
+        T sum{ 0 };
+        while (a != a_end && b != b_end) {
+            if (a->index == b->index) {
+                sum += a->value * b->value;
+                ++a;
+                ++b;
+            } else if (a->index < b->index) {
+                ++a;
+            } else {
+                ++b;
+            }
+        }
+        return sum;
+    }
+
+    /// ||row_a - row_b||^2 via index merge.
+    [[nodiscard]] T squared_distance(const std::size_t row_a, const std::size_t row_b) const noexcept {
+        const entry *a = row_begin(row_a);
+        const entry *a_end = row_end(row_a);
+        const entry *b = row_begin(row_b);
+        const entry *b_end = row_end(row_b);
+        T sum{ 0 };
+        while (a != a_end || b != b_end) {
+            if (b == b_end || (a != a_end && a->index < b->index)) {
+                sum += a->value * a->value;
+                ++a;
+            } else if (a == a_end || b->index < a->index) {
+                sum += b->value * b->value;
+                ++b;
+            } else {
+                const T diff = a->value - b->value;
+                sum += diff * diff;
+                ++a;
+                ++b;
+            }
+        }
+        return sum;
+    }
+
+    /// Densify (used by tests for round-trip checks).
+    [[nodiscard]] aos_matrix<T> to_dense() const {
+        aos_matrix<T> dense{ rows_, cols_ };
+        for (std::size_t r = 0; r < rows_; ++r) {
+            for (const entry *e = row_begin(r); e != row_end(r); ++e) {
+                dense(r, e->index) = e->value;
+            }
+        }
+        return dense;
+    }
+
+  private:
+    std::size_t rows_{ 0 };
+    std::size_t cols_{ 0 };
+    std::vector<std::size_t> offsets_;
+    std::vector<entry> entries_;
+};
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_CORE_SPARSE_MATRIX_HPP_

@@ -1,0 +1,123 @@
+#include "plssvm/datagen/make_classification.hpp"
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/detail/rng.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace plssvm::datagen {
+
+template <typename T>
+data_set<T> make_classification(const classification_params &params) {
+    if (params.num_points < 2 || params.num_features == 0) {
+        throw invalid_parameter_exception{ "make_classification requires at least 2 points and 1 feature!" };
+    }
+    if (params.flip_y < 0.0 || params.flip_y >= 1.0) {
+        throw invalid_parameter_exception{ "flip_y must be in [0, 1)!" };
+    }
+    if (params.class_balance <= 0.0 || params.class_balance >= 1.0) {
+        throw invalid_parameter_exception{ "class_balance must be in (0, 1)!" };
+    }
+
+    std::size_t informative = params.num_informative != 0 ? params.num_informative : std::max<std::size_t>(1, params.num_features / 2);
+    informative = std::min(informative, params.num_features);
+    std::size_t redundant = params.num_redundant != 0 ? params.num_redundant : (params.num_features - informative) / 2;
+    if (informative + redundant > params.num_features) {
+        throw invalid_parameter_exception{ "num_informative + num_redundant (" + std::to_string(informative + redundant) + ") exceeds num_features (" + std::to_string(params.num_features) + ")!" };
+    }
+    const std::size_t noise = params.num_features - informative - redundant;
+
+    // two engines: the distribution geometry must not depend on the sample
+    // seed, so train/test sets drawn with different `seed`s stay compatible
+    detail::random_engine geometry_engine = detail::make_engine(params.centroid_seed);
+    detail::random_engine engine = detail::make_engine(params.seed);
+
+    const std::size_t m = params.num_points;
+    const std::size_t num_positive = std::max<std::size_t>(1, static_cast<std::size_t>(static_cast<double>(m) * params.class_balance));
+
+    // Redundant features mix the informative ones through a fixed random map
+    // B (redundant x informative), shared by both classes like sklearn does.
+    std::vector<T> mix(redundant * informative);
+    for (T &entry : mix) {
+        entry = detail::standard_normal<T>(geometry_engine);
+    }
+
+    // Class centroids: two vertices of the {-sep, +sep}^informative hypercube.
+    // sklearn picks random distinct vertices (they agree in ~half of the
+    // coordinates); the antipodal fallback keeps them fully opposed.
+    const T sep = static_cast<T>(params.class_sep);
+    std::vector<T> centroid_pos(informative, sep);
+    std::vector<T> centroid_neg(informative, -sep);
+    if (params.hypercube) {
+        bool distinct = false;
+        for (std::size_t f = 0; f < informative; ++f) {
+            centroid_pos[f] = detail::uniform_index(geometry_engine, 0, 1) == 0 ? -sep : sep;
+            centroid_neg[f] = detail::uniform_index(geometry_engine, 0, 1) == 0 ? -sep : sep;
+            distinct = distinct || centroid_pos[f] != centroid_neg[f];
+        }
+        if (!distinct && informative > 0) {
+            centroid_neg[0] = -centroid_pos[0];  // force distinct vertices
+        }
+    }
+
+    aos_matrix<T> points{ m, params.num_features };
+    std::vector<T> labels(m);
+
+    for (std::size_t p = 0; p < m; ++p) {
+        const bool positive = p < num_positive;
+        const std::vector<T> &centroid = positive ? centroid_pos : centroid_neg;
+        T *row = points.row_data(p);
+        // informative block: Gaussian cluster around the class hypercube vertex
+        for (std::size_t f = 0; f < informative; ++f) {
+            row[f] = centroid[f] + detail::standard_normal<T>(engine);
+        }
+        // redundant block: linear images of the informative block
+        for (std::size_t r = 0; r < redundant; ++r) {
+            T sum{ 0 };
+            for (std::size_t f = 0; f < informative; ++f) {
+                sum += mix[r * informative + f] * row[f];
+            }
+            // normalise so redundant features have comparable magnitude
+            row[informative + r] = sum / static_cast<T>(informative);
+        }
+        // noise block: pure N(0, 1) features without class signal
+        for (std::size_t f = 0; f < noise; ++f) {
+            row[informative + redundant + f] = detail::standard_normal<T>(engine);
+        }
+        labels[p] = positive ? T{ 1 } : T{ -1 };
+    }
+
+    // flip a flip_y fraction of the labels uniformly at random (paper: 1 %).
+    // The draws happen even for flip_y = 0 so that the RNG stream — and with
+    // it the subsequent shuffle — is identical across flip_y settings.
+    for (std::size_t p = 0; p < m; ++p) {
+        if (detail::uniform_real<double>(engine, 0.0, 1.0) < params.flip_y) {
+            labels[p] = -labels[p];
+        }
+    }
+
+    // shuffle points and labels together so class blocks don't stay contiguous
+    std::vector<std::size_t> perm(m);
+    std::iota(perm.begin(), perm.end(), std::size_t{ 0 });
+    std::shuffle(perm.begin(), perm.end(), engine);
+
+    aos_matrix<T> shuffled{ m, params.num_features };
+    std::vector<T> shuffled_labels(m);
+    for (std::size_t p = 0; p < m; ++p) {
+        const T *src = points.row_data(perm[p]);
+        std::copy(src, src + params.num_features, shuffled.row_data(p));
+        shuffled_labels[p] = labels[perm[p]];
+    }
+
+    return data_set<T>{ std::move(shuffled), std::move(shuffled_labels) };
+}
+
+template data_set<float> make_classification<float>(const classification_params &);
+template data_set<double> make_classification<double>(const classification_params &);
+
+}  // namespace plssvm::datagen

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * @brief C++ port of the synthetic classification generator the paper uses.
+ *
+ * The paper's data sets come from scikit-learn's `make_classification`
+ * (problem type "planes" in PLSSVM's `generate_data.py`, §IV-B): two adjacent
+ * Gaussian class clusters placed at opposite hypercube vertices, slightly
+ * overlapping, with redundant features (linear combinations of informative
+ * ones), pure-noise features, and 1 % randomly flipped labels.
+ */
+
+#ifndef PLSSVM_DATAGEN_MAKE_CLASSIFICATION_HPP_
+#define PLSSVM_DATAGEN_MAKE_CLASSIFICATION_HPP_
+
+#include "plssvm/core/data_set.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace plssvm::datagen {
+
+/// Parameters of the generator; the defaults mirror the paper's setup.
+struct classification_params {
+    std::size_t num_points{ 1024 };
+    std::size_t num_features{ 64 };
+    /// Informative dimensions carrying class signal; 0 means num_features / 2.
+    std::size_t num_informative{ 0 };
+    /// Redundant dimensions (random linear combinations of informative ones);
+    /// 0 means half of the remaining dimensions.
+    std::size_t num_redundant{ 0 };
+    /// Distance of each class centroid from the origin per informative axis.
+    /// Larger values separate the classes more; ~1.0 gives the paper's
+    /// "adjacent, slightly overlapping" clusters.
+    double class_sep{ 1.0 };
+    /// Place class centroids on two random (distinct) vertices of the
+    /// {-class_sep, +class_sep}^informative hypercube like scikit-learn does.
+    /// The vertices agree in roughly half of the coordinates, giving the data
+    /// a large common mean component; disabling this places the centroids
+    /// antipodally (+-class_sep in every informative dimension).
+    bool hypercube{ true };
+    /// Fraction of labels flipped uniformly at random (paper: 1 %).
+    double flip_y{ 0.01 };
+    /// Fraction of points in the +1 class.
+    double class_balance{ 0.5 };
+    /// Seed for the *sampled points* (noise, flips, shuffle). Different seeds
+    /// give independent draws from the same distribution -- safe for
+    /// train/test splits.
+    std::uint64_t seed{ 42 };
+    /// Seed for the *distribution itself* (hypercube vertices, redundant-
+    /// feature mixing matrix). Change it to get a different problem geometry;
+    /// keep it fixed so data sets with different `seed`s stay compatible.
+    std::uint64_t centroid_seed{ 0xC0FFEE };
+};
+
+/**
+ * @brief Generate a labeled binary data set (labels +1 / -1).
+ * @throws plssvm::invalid_parameter_exception on inconsistent sizes
+ *         (e.g. informative + redundant > num_features)
+ */
+template <typename T>
+[[nodiscard]] data_set<T> make_classification(const classification_params &params);
+
+}  // namespace plssvm::datagen
+
+#endif  // PLSSVM_DATAGEN_MAKE_CLASSIFICATION_HPP_

@@ -1,0 +1,168 @@
+#include "plssvm/datagen/sat6.hpp"
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/detail/rng.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace plssvm::datagen {
+
+std::string_view sat6_class_name(const sat6_class c) {
+    switch (c) {
+        case sat6_class::building:
+            return "building";
+        case sat6_class::road:
+            return "road";
+        case sat6_class::barren_land:
+            return "barren_land";
+        case sat6_class::trees:
+            return "trees";
+        case sat6_class::grassland:
+            return "grassland";
+        case sat6_class::water:
+            return "water";
+    }
+    return "unknown";
+}
+
+double sat6_binary_label(const sat6_class c) {
+    return (c == sat6_class::building || c == sat6_class::road) ? -1.0 : 1.0;
+}
+
+namespace {
+
+/// Base spectral signature (R, G, B, IR) per class, roughly matching real
+/// land-cover reflectance relationships (vegetation: high IR; water: low IR).
+constexpr std::array<std::array<double, 4>, 6> class_signatures{ {
+    { 0.45, 0.40, 0.42, -0.20 },   // building: bright grey, low IR
+    { 0.10, 0.08, 0.12, -0.35 },   // road: dark asphalt, low IR
+    { 0.35, 0.15, -0.10, 0.10 },   // barren land: brownish
+    { -0.30, 0.20, -0.25, 0.70 },  // trees: green, very high IR
+    { -0.10, 0.35, -0.15, 0.45 },  // grassland: light green, high IR
+    { -0.55, -0.35, 0.25, -0.75 }, // water: blue, very low IR
+} };
+
+/// Class-specific spatial texture in [-1, 1], evaluated per pixel.
+[[nodiscard]] double texture_value(const sat6_class c, const std::size_t x, const std::size_t y,
+                                   const std::size_t size, detail::random_engine &engine,
+                                   const double rot_offset) {
+    const double fx = static_cast<double>(x) / static_cast<double>(size);
+    const double fy = static_cast<double>(y) / static_cast<double>(size);
+    switch (c) {
+        case sat6_class::building: {
+            // blocky structures: sharp rectangular plateaus
+            const int bx = static_cast<int>(fx * 4.0 + rot_offset) % 2;
+            const int by = static_cast<int>(fy * 4.0 + rot_offset) % 2;
+            return (bx == by ? 0.3 : -0.3) + 0.05 * detail::standard_normal<double>(engine);
+        }
+        case sat6_class::road: {
+            // a linear strip crossing the patch
+            const double dist = std::abs(fx - fy + rot_offset * 0.2);
+            return (dist < 0.12 ? 0.4 : -0.2) + 0.05 * detail::standard_normal<double>(engine);
+        }
+        case sat6_class::barren_land:
+            // smooth undulation
+            return 0.15 * std::sin(6.28 * (fx + rot_offset)) * std::cos(6.28 * fy);
+        case sat6_class::trees:
+            // high-frequency canopy speckle
+            return 0.25 * detail::standard_normal<double>(engine);
+        case sat6_class::grassland:
+            // mild speckle
+            return 0.10 * detail::standard_normal<double>(engine);
+        case sat6_class::water:
+            // near-uniform with gentle ripples
+            return 0.05 * std::sin(12.56 * (fx + fy) + rot_offset);
+    }
+    return 0.0;
+}
+
+}  // namespace
+
+template <typename T>
+data_set<T> make_sat6(const sat6_params &params) {
+    if (params.num_images < 2 || params.image_size == 0 || params.num_channels == 0 || params.num_channels > 4) {
+        throw invalid_parameter_exception{ "make_sat6 requires >= 2 images, a positive image size, and 1-4 channels!" };
+    }
+    if (params.man_made_fraction <= 0.0 || params.man_made_fraction >= 1.0) {
+        throw invalid_parameter_exception{ "man_made_fraction must be in (0, 1)!" };
+    }
+
+    detail::random_engine engine = detail::make_engine(params.seed);
+
+    const std::size_t pixels = params.image_size * params.image_size;
+    const std::size_t num_features = pixels * params.num_channels;
+    const std::size_t m = params.num_images;
+
+    // Distribute images over classes: man-made fraction split evenly between
+    // building/road, the rest evenly over the four natural classes.
+    std::vector<sat6_class> assignment(m);
+    const auto num_man_made = static_cast<std::size_t>(static_cast<double>(m) * params.man_made_fraction);
+    for (std::size_t i = 0; i < m; ++i) {
+        if (i < num_man_made) {
+            assignment[i] = (i % 2 == 0) ? sat6_class::building : sat6_class::road;
+        } else {
+            constexpr std::array natural{ sat6_class::barren_land, sat6_class::trees, sat6_class::grassland, sat6_class::water };
+            assignment[i] = natural[(i - num_man_made) % natural.size()];
+        }
+    }
+    std::shuffle(assignment.begin(), assignment.end(), engine);
+
+    aos_matrix<T> points{ m, num_features };
+    std::vector<T> labels(m);
+
+    for (std::size_t img = 0; img < m; ++img) {
+        const sat6_class c = assignment[img];
+        const auto &signature = class_signatures[static_cast<std::size_t>(c)];
+        // mixed patches: blend with a second class; c stays dominant
+        sat6_class c2 = c;
+        double blend = 0.0;  // weight of the second class, < 0.5
+        if (detail::uniform_real<double>(engine, 0.0, 1.0) < params.mixed_fraction) {
+            c2 = static_cast<sat6_class>((static_cast<std::size_t>(c) + detail::uniform_index(engine, 1, 5)) % 6);
+            blend = detail::uniform_real<double>(engine, 0.2, 0.5);
+        }
+        const auto &signature2 = class_signatures[static_cast<std::size_t>(c2)];
+        // Per-image variation: global brightness, per-channel spectral jitter,
+        // and texture orientation jitter. The correlated (image-level) terms
+        // are what makes classes genuinely confusable for the classifier.
+        const double brightness = params.brightness_jitter * detail::standard_normal<double>(engine);
+        std::array<double, 4> channel_offset{};
+        for (std::size_t ch = 0; ch < params.num_channels; ++ch) {
+            channel_offset[ch] = params.channel_jitter * detail::standard_normal<double>(engine);
+        }
+        const double rot_offset = detail::uniform_real<double>(engine, 0.0, 1.0);
+
+        T *row = points.row_data(img);
+        for (std::size_t y = 0; y < params.image_size; ++y) {
+            for (std::size_t x = 0; x < params.image_size; ++x) {
+                double tex = texture_value(c, x, y, params.image_size, engine, rot_offset);
+                if (blend > 0.0) {
+                    tex = (1.0 - blend) * tex
+                          + blend * texture_value(c2, x, y, params.image_size, engine, rot_offset);
+                }
+                for (std::size_t ch = 0; ch < params.num_channels; ++ch) {
+                    const double noise = params.noise_level * detail::standard_normal<double>(engine);
+                    const double spectral = (1.0 - blend) * signature[ch] + blend * signature2[ch];
+                    double value = spectral + brightness + channel_offset[ch] + tex + noise;
+                    value = std::clamp(value, -1.0, 1.0);
+                    // channel-major flattening: feature = ch * pixels + y * size + x
+                    row[ch * pixels + y * params.image_size + x] = static_cast<T>(value);
+                }
+            }
+        }
+        labels[img] = params.binary_labels ? static_cast<T>(sat6_binary_label(c))
+                                           : static_cast<T>(static_cast<int>(c));
+    }
+
+    return data_set<T>{ std::move(points), std::move(labels) };
+}
+
+template data_set<float> make_sat6<float>(const sat6_params &);
+template data_set<double> make_sat6<double>(const sat6_params &);
+
+}  // namespace plssvm::datagen

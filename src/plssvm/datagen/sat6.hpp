@@ -1,0 +1,78 @@
+/**
+ * @file
+ * @brief Synthetic SAT-6-like airborne image data set (paper §IV-B/D substitute).
+ *
+ * The real SAT-6 data set (324 000 training images, 28x28 pixels, 4 channels
+ * R/G/B/IR => 3136 features) is not redistributable here, so this generator
+ * produces images with the same shape and a comparable classification
+ * structure: six land-cover classes rendered as textured spectral patches,
+ * mapped to the paper's binary problem (buildings + roads => -1 "man-made",
+ * barren/trees/grassland/water => +1 "natural"). Features land in [-1, 1]
+ * like the paper's svm-scale preprocessing.
+ */
+
+#ifndef PLSSVM_DATAGEN_SAT6_HPP_
+#define PLSSVM_DATAGEN_SAT6_HPP_
+
+#include "plssvm/core/data_set.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace plssvm::datagen {
+
+/// The six SAT-6 land-cover classes.
+enum class sat6_class {
+    building = 0,
+    road = 1,
+    barren_land = 2,
+    trees = 3,
+    grassland = 4,
+    water = 5,
+};
+
+/// Human-readable class name.
+[[nodiscard]] std::string_view sat6_class_name(sat6_class c);
+
+/// Binary label of a class: -1 for man-made (building, road), +1 otherwise.
+[[nodiscard]] double sat6_binary_label(sat6_class c);
+
+struct sat6_params {
+    /// Total number of images; the paper's training split has 324 000 with a
+    /// 193 729 : 130 271 man-made/natural imbalance which we mirror by ratio.
+    std::size_t num_images{ 4096 };
+    /// Image edge length (paper: 28) and channel count (paper: 4, RGB-IR).
+    std::size_t image_size{ 28 };
+    std::size_t num_channels{ 4 };
+    /// Fraction of man-made images (paper: 193729/324000 ~ 0.598).
+    double man_made_fraction{ 0.598 };
+    /// Per-pixel texture noise strength.
+    double noise_level{ 0.25 };
+    /// Per-image global brightness jitter (correlated over all pixels);
+    /// the main driver of class confusability: a dark building patch can look
+    /// like asphalt, a bright one like barren land.
+    double brightness_jitter{ 0.35 };
+    /// Per-image, per-channel spectral jitter (atmospheric/sensor variation).
+    double channel_jitter{ 0.30 };
+    /// Fraction of images that are convex blends of two land-cover classes
+    /// (mixed patches: a road through grassland, buildings among trees...).
+    /// Blends crossing the man-made/natural boundary are genuinely ambiguous
+    /// and bound the reachable accuracy like the real data set does.
+    double mixed_fraction{ 0.15 };
+    /// true: the paper's binary mapping (man-made -1 / natural +1);
+    /// false: the original six class labels 0..5 (multi-class extension).
+    bool binary_labels{ true };
+    std::uint64_t seed{ 42 };
+};
+
+/**
+ * @brief Generate a binary SAT-6-like data set with labels -1 (man-made) / +1
+ *        (natural); features are flattened channel-major images in [-1, 1].
+ */
+template <typename T>
+[[nodiscard]] data_set<T> make_sat6(const sat6_params &params);
+
+}  // namespace plssvm::datagen
+
+#endif  // PLSSVM_DATAGEN_SAT6_HPP_

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * @brief Lightweight runtime assertion macro used throughout the library.
+ *
+ * Unlike the standard `assert`, `PLSSVM_ASSERT` stays active in Release builds
+ * (the checks guard algorithmic invariants whose violation would silently
+ * corrupt results) and reports a formatted message with source location.
+ */
+
+#ifndef PLSSVM_DETAIL_ASSERT_HPP_
+#define PLSSVM_DETAIL_ASSERT_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace plssvm::detail {
+
+/// Print an assertion failure report and abort. Used by `PLSSVM_ASSERT`.
+[[noreturn]] inline void assert_fail(const char *cond, const char *msg, const char *file, int line) {
+    std::fprintf(stderr, "PLSSVM assertion failed: (%s) at %s:%d\n  %s\n", cond, file, line, msg);
+    std::abort();
+}
+
+}  // namespace plssvm::detail
+
+#define PLSSVM_ASSERT(cond, msg)                                                 \
+    do {                                                                          \
+        if (!(cond)) {                                                            \
+            ::plssvm::detail::assert_fail(#cond, msg, __FILE__, __LINE__);        \
+        }                                                                         \
+    } while (false)
+
+#endif  // PLSSVM_DETAIL_ASSERT_HPP_

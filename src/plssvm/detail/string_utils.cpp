@@ -1,0 +1,123 @@
+#include "plssvm/detail/string_utils.hpp"
+
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+namespace plssvm::detail {
+
+namespace {
+
+[[nodiscard]] constexpr bool is_space(const char c) noexcept {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v';
+}
+
+}  // namespace
+
+std::string_view trim_left(std::string_view str) {
+    while (!str.empty() && is_space(str.front())) {
+        str.remove_prefix(1);
+    }
+    return str;
+}
+
+std::string_view trim_right(std::string_view str) {
+    while (!str.empty() && is_space(str.back())) {
+        str.remove_suffix(1);
+    }
+    return str;
+}
+
+std::string_view trim(std::string_view str) {
+    return trim_left(trim_right(str));
+}
+
+bool starts_with(const std::string_view str, const std::string_view prefix) {
+    return str.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(const std::string_view str, const std::string_view suffix) {
+    return str.size() >= suffix.size() && str.substr(str.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower_case(const std::string_view str) {
+    std::string result{ str };
+    std::transform(result.begin(), result.end(), result.begin(),
+                   [](const unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return result;
+}
+
+std::string to_upper_case(const std::string_view str) {
+    std::string result{ str };
+    std::transform(result.begin(), result.end(), result.begin(),
+                   [](const unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    return result;
+}
+
+std::vector<std::string_view> split(const std::string_view str, const char delim) {
+    std::vector<std::string_view> tokens;
+    const bool drop_empty = is_space(delim);
+    std::size_t start = 0;
+    while (start <= str.size()) {
+        const std::size_t end = str.find(delim, start);
+        const std::string_view token = str.substr(start, end == std::string_view::npos ? std::string_view::npos : end - start);
+        if (!drop_empty || !token.empty()) {
+            tokens.push_back(token);
+        }
+        if (end == std::string_view::npos) {
+            break;
+        }
+        start = end + 1;
+    }
+    return tokens;
+}
+
+namespace {
+
+// GCC 12 libstdc++ supports std::from_chars for floating point; use it for
+// integers and floating point alike and fall back to strtod only if needed.
+template <typename T>
+[[nodiscard]] bool parse_impl(const std::string_view str, T &out) noexcept {
+    const std::string_view trimmed = trim(str);
+    if (trimmed.empty()) {
+        return false;
+    }
+    const char *first = trimmed.data();
+    const char *last = trimmed.data() + trimmed.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+template <typename T>
+T convert_to(const std::string_view str) {
+    T value{};
+    if (!parse_impl(str, value)) {
+        throw invalid_file_format_exception{ "Can't convert '" + std::string{ str } + "' to a number!" };
+    }
+    return value;
+}
+
+template <typename T>
+bool convert_to_safe(const std::string_view str, T &out) noexcept {
+    return parse_impl(str, out);
+}
+
+template float convert_to<float>(std::string_view);
+template double convert_to<double>(std::string_view);
+template int convert_to<int>(std::string_view);
+template long convert_to<long>(std::string_view);
+template unsigned long convert_to<unsigned long>(std::string_view);
+
+template bool convert_to_safe<float>(std::string_view, float &) noexcept;
+template bool convert_to_safe<double>(std::string_view, double &) noexcept;
+template bool convert_to_safe<int>(std::string_view, int &) noexcept;
+template bool convert_to_safe<long>(std::string_view, long &) noexcept;
+template bool convert_to_safe<unsigned long>(std::string_view, unsigned long &) noexcept;
+
+}  // namespace plssvm::detail

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * @brief Small string helpers used by the file parsers and CLI front-ends.
+ *
+ * The LIBSVM/ARFF parsers are on the hot path of the "read" component the
+ * paper measures (Fig. 2), therefore everything here works on
+ * `std::string_view` without allocating.
+ */
+
+#ifndef PLSSVM_DETAIL_STRING_UTILS_HPP_
+#define PLSSVM_DETAIL_STRING_UTILS_HPP_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plssvm::detail {
+
+/// Remove leading whitespace (spaces and tabs) from @p str.
+[[nodiscard]] std::string_view trim_left(std::string_view str);
+
+/// Remove trailing whitespace (spaces, tabs, carriage returns) from @p str.
+[[nodiscard]] std::string_view trim_right(std::string_view str);
+
+/// Remove leading and trailing whitespace from @p str.
+[[nodiscard]] std::string_view trim(std::string_view str);
+
+/// Check whether @p str starts with the prefix @p prefix.
+[[nodiscard]] bool starts_with(std::string_view str, std::string_view prefix);
+
+/// Check whether @p str ends with the suffix @p suffix.
+[[nodiscard]] bool ends_with(std::string_view str, std::string_view suffix);
+
+/// Convert @p str to lower case (ASCII).
+[[nodiscard]] std::string to_lower_case(std::string_view str);
+
+/// Convert @p str to upper case (ASCII).
+[[nodiscard]] std::string to_upper_case(std::string_view str);
+
+/// Split @p str at every occurrence of @p delim; empty tokens are dropped when
+/// @p delim is whitespace-like (' '), kept otherwise (CSV semantics).
+[[nodiscard]] std::vector<std::string_view> split(std::string_view str, char delim = ' ');
+
+/**
+ * @brief Parse a floating point value from @p str.
+ * @throws plssvm::invalid_file_format_exception if @p str is not a valid number
+ *         or contains trailing garbage.
+ */
+template <typename T>
+[[nodiscard]] T convert_to(std::string_view str);
+
+/// Parse, returning `false` on failure instead of throwing (hot parser loop).
+template <typename T>
+[[nodiscard]] bool convert_to_safe(std::string_view str, T &out) noexcept;
+
+}  // namespace plssvm::detail
+
+#endif  // PLSSVM_DETAIL_STRING_UTILS_HPP_

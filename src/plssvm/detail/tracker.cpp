@@ -1,0 +1,47 @@
+#include "plssvm/detail/tracker.hpp"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace plssvm::detail {
+
+void tracker::add(const std::string_view name, const double wall_seconds, const double sim_seconds) {
+    component_timing &entry = components_[std::string{ name }];
+    entry.wall_seconds += wall_seconds;
+    entry.sim_seconds += sim_seconds;
+    ++entry.invocations;
+}
+
+component_timing tracker::get(const std::string_view name) const {
+    const auto it = components_.find(std::string{ name });
+    return it == components_.end() ? component_timing{} : it->second;
+}
+
+double tracker::total_wall_seconds() const noexcept {
+    double sum = 0.0;
+    for (const auto &[name, timing] : components_) {
+        sum += timing.wall_seconds;
+    }
+    return sum;
+}
+
+double tracker::total_sim_seconds() const noexcept {
+    double sum = 0.0;
+    for (const auto &[name, timing] : components_) {
+        sum += timing.sim_seconds;
+    }
+    return sum;
+}
+
+scoped_timer::scoped_timer(tracker &t, std::string name) :
+    tracker_{ t },
+    name_{ std::move(name) },
+    start_{ std::chrono::steady_clock::now() } {}
+
+scoped_timer::~scoped_timer() {
+    const auto end = std::chrono::steady_clock::now();
+    tracker_.add(name_, std::chrono::duration<double>(end - start_).count());
+}
+
+}  // namespace plssvm::detail

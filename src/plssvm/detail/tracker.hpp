@@ -1,0 +1,87 @@
+/**
+ * @file
+ * @brief Per-component performance tracker.
+ *
+ * The paper's Fig. 2 and Fig. 4 break the training pipeline into the
+ * components "read", "transform", "h2d", "cg", "write", and "total".
+ * Every `csvm` implementation reports its stage timings through this tracker
+ * so the bench harness can regenerate those figures from the library itself
+ * instead of instrumenting from the outside.
+ *
+ * Two clocks are recorded per component:
+ *  - wall seconds (real execution on this machine), and
+ *  - simulated device seconds (accumulated by the virtual device layer;
+ *    zero for purely host-side components).
+ */
+
+#ifndef PLSSVM_DETAIL_TRACKER_HPP_
+#define PLSSVM_DETAIL_TRACKER_HPP_
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace plssvm::detail {
+
+/// Timing record of a single pipeline component.
+struct component_timing {
+    double wall_seconds{ 0.0 };  ///< measured wall-clock seconds
+    double sim_seconds{ 0.0 };   ///< simulated device seconds (virtual backends)
+    std::size_t invocations{ 0 };
+
+    /// The seconds a user should report: simulated time when a virtual device
+    /// was involved, wall time otherwise.
+    [[nodiscard]] double reported_seconds() const noexcept {
+        return sim_seconds > 0.0 ? sim_seconds : wall_seconds;
+    }
+};
+
+/**
+ * @brief Accumulates component timings for one training/prediction run.
+ *
+ * Not thread-safe by design: each `csvm` owns one tracker and stages run
+ * sequentially (the pipeline of the paper is strictly read -> transform ->
+ * cg -> write).
+ */
+class tracker {
+  public:
+    /// Add @p wall_seconds (and optionally @p sim_seconds) to component @p name.
+    void add(std::string_view name, double wall_seconds, double sim_seconds = 0.0);
+
+    /// Lookup a component; returns a zero record if the component never ran.
+    [[nodiscard]] component_timing get(std::string_view name) const;
+
+    /// All recorded components (sorted by name).
+    [[nodiscard]] const std::map<std::string, component_timing> &components() const noexcept { return components_; }
+
+    /// Sum of wall seconds over all components.
+    [[nodiscard]] double total_wall_seconds() const noexcept;
+
+    /// Sum of simulated seconds over all components.
+    [[nodiscard]] double total_sim_seconds() const noexcept;
+
+    /// Remove all recorded timings.
+    void clear() noexcept { components_.clear(); }
+
+  private:
+    std::map<std::string, component_timing> components_;
+};
+
+/// RAII stopwatch: adds the elapsed wall time to @p t under @p name on destruction.
+class scoped_timer {
+  public:
+    scoped_timer(tracker &t, std::string name);
+    scoped_timer(const scoped_timer &) = delete;
+    scoped_timer &operator=(const scoped_timer &) = delete;
+    ~scoped_timer();
+
+  private:
+    tracker &tracker_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace plssvm::detail
+
+#endif  // PLSSVM_DETAIL_TRACKER_HPP_

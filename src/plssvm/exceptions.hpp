@@ -1,0 +1,79 @@
+/**
+ * @file
+ * @brief Exception hierarchy of the PLSSVM library.
+ *
+ * All exceptions thrown by the library derive from `plssvm::exception`, so a
+ * downstream user can catch everything library-related with a single handler
+ * while still being able to distinguish error classes.
+ */
+
+#ifndef PLSSVM_EXCEPTIONS_HPP_
+#define PLSSVM_EXCEPTIONS_HPP_
+
+#include <stdexcept>
+#include <string>
+
+namespace plssvm {
+
+/// Base class for all exceptions thrown by the PLSSVM library.
+class exception : public std::runtime_error {
+  public:
+    explicit exception(const std::string &msg) :
+        std::runtime_error{ msg } {}
+};
+
+/// Thrown when a data or model file cannot be opened, read, or written.
+class file_not_found_exception : public exception {
+  public:
+    using exception::exception;
+};
+
+/// Thrown when a data file (LIBSVM/ARFF) or model file is malformed.
+class invalid_file_format_exception : public exception {
+  public:
+    using exception::exception;
+};
+
+/// Thrown when an SVM parameter is outside its valid domain (e.g. C <= 0).
+class invalid_parameter_exception : public exception {
+  public:
+    using exception::exception;
+};
+
+/// Thrown when a requested backend is unknown or unavailable at runtime.
+class unsupported_backend_exception : public exception {
+  public:
+    using exception::exception;
+};
+
+/// Thrown when a kernel function does not support the requested operation
+/// (e.g. multi-device execution for the polynomial kernel).
+class unsupported_kernel_exception : public exception {
+  public:
+    using exception::exception;
+};
+
+/// Thrown when a data set is structurally unusable (empty, inconsistent
+/// dimensions, labels not forming a binary problem, ...).
+class invalid_data_exception : public exception {
+  public:
+    using exception::exception;
+};
+
+/// Thrown by the simulated device layer on out-of-bounds accesses,
+/// double-frees, or exceeding device memory.
+class device_exception : public exception {
+  public:
+    using exception::exception;
+};
+
+/// Thrown when an iterative solver fails to converge within its iteration budget
+/// *and* the caller requested strict convergence.
+class solver_exception : public exception {
+  public:
+    using exception::exception;
+};
+
+}  // namespace plssvm
+
+#endif  // PLSSVM_EXCEPTIONS_HPP_

@@ -1,0 +1,92 @@
+#include "plssvm/ext/cross_validation.hpp"
+
+#include "plssvm/core/csvm_factory.hpp"
+#include "plssvm/detail/rng.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace plssvm::ext {
+
+cross_validation_result cross_validate(const backend_type backend,
+                                       const parameter &params,
+                                       const data_set<double> &data,
+                                       const std::size_t folds,
+                                       const solver_control &ctrl,
+                                       const std::uint64_t seed,
+                                       const std::vector<sim::device_spec> &devices) {
+    if (!data.has_labels() || !data.is_binary()) {
+        throw invalid_data_exception{ "Cross-validation requires a labeled binary data set!" };
+    }
+    const std::size_t m = data.num_data_points();
+    if (folds < 2 || folds > m) {
+        throw invalid_parameter_exception{ "The fold count must be in [2, num_data_points]!" };
+    }
+
+    // deterministic shuffle of the point indices
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), std::size_t{ 0 });
+    auto engine = detail::make_engine(seed);
+    std::shuffle(order.begin(), order.end(), engine);
+
+    const std::size_t dim = data.num_features();
+    cross_validation_result result;
+    result.fold_accuracies.reserve(folds);
+
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+        // contiguous validation block in the shuffled order
+        const std::size_t begin = fold * m / folds;
+        const std::size_t end = (fold + 1) * m / folds;
+        const std::size_t val_size = end - begin;
+        const std::size_t train_size = m - val_size;
+        if (train_size < 2 || val_size == 0) {
+            throw invalid_parameter_exception{ "Too many folds for the data set size!" };
+        }
+
+        aos_matrix<double> train_points{ train_size, dim };
+        std::vector<double> train_labels;
+        train_labels.reserve(train_size);
+        aos_matrix<double> val_points{ val_size, dim };
+        std::vector<double> val_labels;
+        val_labels.reserve(val_size);
+
+        std::size_t train_row = 0;
+        std::size_t val_row = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t src = order[i];
+            const double *src_row = data.points().row_data(src);
+            if (i >= begin && i < end) {
+                std::copy(src_row, src_row + dim, val_points.row_data(val_row++));
+                val_labels.push_back(data.labels()[src]);
+            } else {
+                std::copy(src_row, src_row + dim, train_points.row_data(train_row++));
+                train_labels.push_back(data.labels()[src]);
+            }
+        }
+
+        const data_set<double> train{ std::move(train_points), std::move(train_labels) };
+        const data_set<double> validation{ std::move(val_points), std::move(val_labels) };
+        if (!train.is_binary()) {
+            // a fold may have swallowed one class entirely; report it clearly
+            throw invalid_data_exception{ "A cross-validation training fold contains only one class; use fewer folds!" };
+        }
+
+        auto svm = make_csvm<double>(backend, params, devices);
+        const auto model = svm->fit(train, ctrl);
+        result.fold_accuracies.push_back(svm->score(model, validation));
+    }
+
+    result.mean_accuracy = std::accumulate(result.fold_accuracies.begin(), result.fold_accuracies.end(), 0.0)
+                           / static_cast<double>(folds);
+    double variance = 0.0;
+    for (const double accuracy : result.fold_accuracies) {
+        variance += (accuracy - result.mean_accuracy) * (accuracy - result.mean_accuracy);
+    }
+    result.stddev_accuracy = std::sqrt(variance / static_cast<double>(folds));
+    return result;
+}
+
+}  // namespace plssvm::ext

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * @brief k-fold cross-validation (LIBSVM's `-v` option; part of the standard
+ *        LIBSVM functionality the paper's §V aims to cover).
+ */
+
+#ifndef PLSSVM_EXT_CROSS_VALIDATION_HPP_
+#define PLSSVM_EXT_CROSS_VALIDATION_HPP_
+
+#include "plssvm/backends/backend_types.hpp"
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/sim/device_spec.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace plssvm::ext {
+
+/// Result of a k-fold cross-validation run.
+struct cross_validation_result {
+    /// Accuracy of each fold (classifier trained on the other k-1 folds).
+    std::vector<double> fold_accuracies;
+    /// Mean over the folds.
+    double mean_accuracy{ 0.0 };
+    /// Standard deviation over the folds.
+    double stddev_accuracy{ 0.0 };
+};
+
+/**
+ * @brief Run stratified-free k-fold cross-validation of a binary LS-SVM.
+ *
+ * Points are shuffled deterministically (by @p seed) and split into @p folds
+ * contiguous validation blocks.
+ *
+ * @param backend which backend trains the per-fold machines
+ * @param params SVM hyper-parameters
+ * @param data the full labeled binary data set
+ * @param folds number of folds (>= 2, <= number of points)
+ * @param ctrl CG controls
+ * @param seed shuffle seed
+ * @param devices simulated devices for device backends
+ * @throws plssvm::invalid_parameter_exception for an invalid fold count
+ * @throws plssvm::invalid_data_exception for unlabeled/non-binary data
+ */
+[[nodiscard]] cross_validation_result cross_validate(backend_type backend,
+                                                     const parameter &params,
+                                                     const data_set<double> &data,
+                                                     std::size_t folds,
+                                                     const solver_control &ctrl = {},
+                                                     std::uint64_t seed = 42,
+                                                     const std::vector<sim::device_spec> &devices = {});
+
+}  // namespace plssvm::ext
+
+#endif  // PLSSVM_EXT_CROSS_VALIDATION_HPP_

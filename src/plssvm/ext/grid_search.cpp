@@ -1,0 +1,48 @@
+#include "plssvm/ext/grid_search.hpp"
+
+#include "plssvm/exceptions.hpp"
+
+#include <vector>
+
+namespace plssvm::ext {
+
+grid_search_result grid_search(const backend_type backend,
+                               const parameter &base,
+                               const data_set<double> &data,
+                               const std::vector<double> &costs,
+                               const std::vector<double> &gammas,
+                               const std::size_t folds,
+                               const solver_control &ctrl) {
+    if (costs.empty()) {
+        throw invalid_parameter_exception{ "Grid search requires at least one C candidate!" };
+    }
+    const std::vector<double> gamma_grid = gammas.empty() ? std::vector<double>{ 0.0 } : gammas;
+
+    grid_search_result result;
+    result.best.mean_accuracy = -1.0;
+    for (const double cost : costs) {
+        for (const double gamma : gamma_grid) {
+            parameter params = base;
+            params.cost = cost;
+            if (gamma > 0.0) {
+                params.gamma = gamma;
+            } else {
+                params.gamma.reset();  // 1/num_features default
+            }
+            const cross_validation_result cv = cross_validate(backend, params, data, folds, ctrl);
+
+            grid_point point;
+            point.cost = cost;
+            point.gamma = gamma;
+            point.mean_accuracy = cv.mean_accuracy;
+            point.stddev_accuracy = cv.stddev_accuracy;
+            result.evaluated.push_back(point);
+            if (point.mean_accuracy > result.best.mean_accuracy) {
+                result.best = point;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace plssvm::ext

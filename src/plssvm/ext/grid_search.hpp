@@ -1,0 +1,57 @@
+/**
+ * @file
+ * @brief Grid search over (C, gamma) with cross-validated model selection —
+ *        the usual LIBSVM workflow (`grid.py`) on top of the LS-SVM.
+ */
+
+#ifndef PLSSVM_EXT_GRID_SEARCH_HPP_
+#define PLSSVM_EXT_GRID_SEARCH_HPP_
+
+#include "plssvm/backends/backend_types.hpp"
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/ext/cross_validation.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace plssvm::ext {
+
+/// One evaluated grid point.
+struct grid_point {
+    double cost{ 1.0 };
+    double gamma{ 0.0 };  ///< 0 means the 1/num_features default
+    double mean_accuracy{ 0.0 };
+    double stddev_accuracy{ 0.0 };
+};
+
+/// Result of a grid search: every evaluated point plus the winner.
+struct grid_search_result {
+    std::vector<grid_point> evaluated;
+    grid_point best;
+};
+
+/**
+ * @brief Cross-validate every (cost, gamma) combination and return the best.
+ *
+ * @param backend backend for the per-fold machines
+ * @param base base parameters (kernel, degree, coef0 are kept fixed)
+ * @param data labeled binary data set
+ * @param costs candidate C values (must be non-empty)
+ * @param gammas candidate gamma values; 0 entries mean the 1/num_features
+ *        default; an empty list evaluates only the default
+ * @param folds cross-validation folds
+ * @param ctrl CG controls
+ * @throws plssvm::invalid_parameter_exception for an empty cost grid
+ */
+[[nodiscard]] grid_search_result grid_search(backend_type backend,
+                                             const parameter &base,
+                                             const data_set<double> &data,
+                                             const std::vector<double> &costs,
+                                             const std::vector<double> &gammas = {},
+                                             std::size_t folds = 5,
+                                             const solver_control &ctrl = {});
+
+}  // namespace plssvm::ext
+
+#endif  // PLSSVM_EXT_GRID_SEARCH_HPP_

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * @brief ARFF data file parser (the second input format PLSSVM supports).
+ *
+ * Supported subset: `@relation`, numeric `@attribute` declarations, an
+ * optional nominal class attribute (which must be the last attribute), and
+ * dense `@data` rows. Sparse ARFF rows (`{index value, ...}`) are also
+ * accepted and densified, matching the library's dense-internal policy.
+ */
+
+#ifndef PLSSVM_IO_ARFF_HPP_
+#define PLSSVM_IO_ARFF_HPP_
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/io/file_reader.hpp"
+
+#include <string>
+#include <vector>
+
+namespace plssvm::io {
+
+template <typename T>
+struct arff_parse_result {
+    aos_matrix<T> points;
+    std::vector<T> labels;  ///< numeric labels; empty if no class attribute
+    bool has_labels{ false };
+    std::string relation_name;
+};
+
+/**
+ * @brief Parse ARFF content from @p reader.
+ * @throws plssvm::invalid_file_format_exception on header/data inconsistencies
+ * @throws plssvm::invalid_data_exception if no data rows are present
+ */
+template <typename T>
+[[nodiscard]] arff_parse_result<T> parse_arff(const file_reader &reader);
+
+/// Convenience overload opening @p filename first.
+template <typename T>
+[[nodiscard]] arff_parse_result<T> parse_arff_file(const std::string &filename);
+
+/// Write an ARFF file with numeric attributes and a trailing class attribute.
+template <typename T>
+void write_arff_file(const std::string &filename,
+                     const aos_matrix<T> &points,
+                     const std::vector<T> *labels,
+                     const std::string &relation_name = "plssvm_data");
+
+}  // namespace plssvm::io
+
+#endif  // PLSSVM_IO_ARFF_HPP_

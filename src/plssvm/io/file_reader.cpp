@@ -1,0 +1,46 @@
+#include "plssvm/io/file_reader.hpp"
+
+#include "plssvm/detail/string_utils.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace plssvm::io {
+
+file_reader::file_reader(const std::string &filename, const char comment) {
+    std::ifstream file{ filename, std::ios::binary };
+    if (!file) {
+        throw file_not_found_exception{ "Can't open file '" + filename + "'!" };
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    buffer_ = std::move(contents).str();
+    split_into_lines(comment);
+}
+
+file_reader file_reader::from_string(std::string contents, const char comment) {
+    file_reader reader;
+    reader.buffer_ = std::move(contents);
+    reader.split_into_lines(comment);
+    return reader;
+}
+
+void file_reader::split_into_lines(const char comment) {
+    const std::string_view view{ buffer_ };
+    std::size_t start = 0;
+    while (start < view.size()) {
+        std::size_t end = view.find('\n', start);
+        if (end == std::string_view::npos) {
+            end = view.size();
+        }
+        const std::string_view line = detail::trim(view.substr(start, end - start));
+        if (!line.empty() && line.front() != comment) {
+            lines_.push_back(line);
+        }
+        start = end + 1;
+    }
+}
+
+}  // namespace plssvm::io

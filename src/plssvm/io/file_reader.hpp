@@ -1,0 +1,48 @@
+/**
+ * @file
+ * @brief Whole-file reader that exposes the contents as trimmed line views.
+ *
+ * Reading the training file is the "read" component of the paper's pipeline
+ * (Fig. 2). The file is slurped in one I/O operation and split into
+ * `std::string_view` lines without copying, so parsing cost stays linear in
+ * file size.
+ */
+
+#ifndef PLSSVM_IO_FILE_READER_HPP_
+#define PLSSVM_IO_FILE_READER_HPP_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plssvm::io {
+
+class file_reader {
+  public:
+    /**
+     * @brief Read the whole file at @p filename into memory and split it into
+     *        lines. Lines that are empty (after trimming) or start with
+     *        @p comment are skipped.
+     * @throws plssvm::file_not_found_exception if the file cannot be opened.
+     */
+    explicit file_reader(const std::string &filename, char comment = '#');
+
+    /// Construct from an in-memory buffer (used by tests and generators).
+    static file_reader from_string(std::string contents, char comment = '#');
+
+    [[nodiscard]] std::size_t num_lines() const noexcept { return lines_.size(); }
+    [[nodiscard]] std::string_view line(const std::size_t i) const { return lines_.at(i); }
+    [[nodiscard]] const std::vector<std::string_view> &lines() const noexcept { return lines_; }
+
+  private:
+    file_reader() = default;
+    void split_into_lines(char comment);
+
+    std::string buffer_;
+    std::vector<std::string_view> lines_;
+};
+
+}  // namespace plssvm::io
+
+#endif  // PLSSVM_IO_FILE_READER_HPP_

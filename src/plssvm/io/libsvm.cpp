@@ -1,0 +1,180 @@
+#include "plssvm/io/libsvm.hpp"
+
+#include "plssvm/detail/string_utils.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace plssvm::io {
+
+namespace {
+
+/// One parsed sparse entry.
+template <typename T>
+struct sparse_entry {
+    std::size_t index;  ///< zero-based feature index
+    T value;
+};
+
+/// Parsed representation of a single line before densification.
+template <typename T>
+struct sparse_line {
+    std::optional<T> label;
+    std::vector<sparse_entry<T>> entries;
+};
+
+template <typename T>
+[[nodiscard]] sparse_line<T> parse_line(const std::string_view line, const std::size_t line_number) {
+    sparse_line<T> result;
+    const std::vector<std::string_view> tokens = detail::split(line, ' ');
+    std::size_t first_feature_token = 0;
+
+    // A token without ':' in front position is the label.
+    if (!tokens.empty() && tokens.front().find(':') == std::string_view::npos) {
+        T label{};
+        if (!detail::convert_to_safe(tokens.front(), label)) {
+            throw invalid_file_format_exception{ "Line " + std::to_string(line_number) + ": invalid label '" + std::string{ tokens.front() } + "'!" };
+        }
+        result.label = label;
+        first_feature_token = 1;
+    }
+
+    long previous_index = 0;
+    for (std::size_t t = first_feature_token; t < tokens.size(); ++t) {
+        const std::string_view token = tokens[t];
+        const std::size_t colon = token.find(':');
+        if (colon == std::string_view::npos) {
+            throw invalid_file_format_exception{ "Line " + std::to_string(line_number) + ": expected 'index:value', got '" + std::string{ token } + "'!" };
+        }
+        long index{};
+        if (!detail::convert_to_safe(token.substr(0, colon), index) || index <= 0) {
+            throw invalid_file_format_exception{ "Line " + std::to_string(line_number) + ": feature indices must be positive integers, got '" + std::string{ token.substr(0, colon) } + "'!" };
+        }
+        if (index <= previous_index) {
+            throw invalid_file_format_exception{ "Line " + std::to_string(line_number) + ": feature indices must be strictly ascending!" };
+        }
+        previous_index = index;
+        T value{};
+        if (!detail::convert_to_safe(token.substr(colon + 1), value)) {
+            throw invalid_file_format_exception{ "Line " + std::to_string(line_number) + ": invalid feature value '" + std::string{ token.substr(colon + 1) } + "'!" };
+        }
+        result.entries.push_back(sparse_entry<T>{ static_cast<std::size_t>(index - 1), value });
+    }
+    return result;
+}
+
+}  // namespace
+
+template <typename T>
+libsvm_parse_result<T> parse_libsvm(const file_reader &reader, const std::size_t min_num_features) {
+    if (reader.num_lines() == 0) {
+        throw invalid_data_exception{ "The LIBSVM file contains no data points!" };
+    }
+
+    std::vector<sparse_line<T>> parsed;
+    parsed.reserve(reader.num_lines());
+    std::size_t max_index = min_num_features;  // number of features = max 1-based index
+    std::size_t num_labeled = 0;
+
+    for (std::size_t i = 0; i < reader.num_lines(); ++i) {
+        sparse_line<T> line = parse_line<T>(reader.line(i), i + 1);
+        if (!line.entries.empty()) {
+            max_index = std::max(max_index, line.entries.back().index + 1);
+        }
+        if (line.label.has_value()) {
+            ++num_labeled;
+        }
+        parsed.push_back(std::move(line));
+    }
+
+    if (num_labeled != 0 && num_labeled != parsed.size()) {
+        throw invalid_file_format_exception{ "Inconsistent file: some lines have labels, some don't!" };
+    }
+    if (max_index == 0) {
+        throw invalid_data_exception{ "The LIBSVM file contains no features!" };
+    }
+
+    libsvm_parse_result<T> result;
+    result.has_labels = num_labeled > 0;
+    result.points = aos_matrix<T>{ parsed.size(), max_index };
+    if (result.has_labels) {
+        result.labels.reserve(parsed.size());
+    }
+
+    for (std::size_t row = 0; row < parsed.size(); ++row) {
+        T *dst = result.points.row_data(row);
+        for (const sparse_entry<T> &entry : parsed[row].entries) {
+            dst[entry.index] = entry.value;
+        }
+        if (result.has_labels) {
+            result.labels.push_back(*parsed[row].label);
+        }
+    }
+    return result;
+}
+
+template <typename T>
+libsvm_parse_result<T> parse_libsvm_file(const std::string &filename, const std::size_t min_num_features) {
+    const file_reader reader{ filename };
+    return parse_libsvm<T>(reader, min_num_features);
+}
+
+namespace {
+
+template <typename T>
+void write_libsvm_stream(std::ostream &out, const aos_matrix<T> &points, const std::vector<T> *labels, const bool sparse) {
+    if (labels != nullptr && !labels->empty() && labels->size() != points.num_rows()) {
+        throw invalid_data_exception{ "Number of labels does not match the number of data points!" };
+    }
+    out.precision(17);  // round-trip safe for double
+    for (std::size_t row = 0; row < points.num_rows(); ++row) {
+        if (labels != nullptr && !labels->empty()) {
+            out << (*labels)[row] << ' ';
+        }
+        const T *src = points.row_data(row);
+        for (std::size_t col = 0; col < points.num_cols(); ++col) {
+            if (!sparse || src[col] != T{ 0 }) {
+                out << (col + 1) << ':' << src[col] << ' ';
+            }
+        }
+        out << '\n';
+    }
+}
+
+}  // namespace
+
+template <typename T>
+void write_libsvm_file(const std::string &filename, const aos_matrix<T> &points, const std::vector<T> *labels, const bool sparse) {
+    std::ofstream out{ filename };
+    if (!out) {
+        throw file_not_found_exception{ "Can't open file '" + filename + "' for writing!" };
+    }
+    write_libsvm_stream(out, points, labels, sparse);
+}
+
+template <typename T>
+std::string write_libsvm_string(const aos_matrix<T> &points, const std::vector<T> *labels, const bool sparse) {
+    std::ostringstream out;
+    write_libsvm_stream(out, points, labels, sparse);
+    return std::move(out).str();
+}
+
+template struct libsvm_parse_result<float>;
+template struct libsvm_parse_result<double>;
+
+template libsvm_parse_result<float> parse_libsvm<float>(const file_reader &, std::size_t);
+template libsvm_parse_result<double> parse_libsvm<double>(const file_reader &, std::size_t);
+template libsvm_parse_result<float> parse_libsvm_file<float>(const std::string &, std::size_t);
+template libsvm_parse_result<double> parse_libsvm_file<double>(const std::string &, std::size_t);
+template void write_libsvm_file<float>(const std::string &, const aos_matrix<float> &, const std::vector<float> *, bool);
+template void write_libsvm_file<double>(const std::string &, const aos_matrix<double> &, const std::vector<double> *, bool);
+template std::string write_libsvm_string<float>(const aos_matrix<float> &, const std::vector<float> *, bool);
+template std::string write_libsvm_string<double>(const aos_matrix<double> &, const std::vector<double> *, bool);
+
+}  // namespace plssvm::io

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * @brief LIBSVM model file reader/writer (free functions used by `plssvm::model`).
+ *
+ * Written files follow the LIBSVM `svm_model` layout: a key/value header
+ * (`svm_type`, `kernel_type`, `nr_class`, `total_sv`, `rho`, `label`,
+ * `nr_sv`), the literal line `SV`, then one `coef index:value ...` line per
+ * support vector with the vectors grouped by class like LIBSVM emits them.
+ */
+
+#ifndef PLSSVM_IO_MODEL_IO_HPP_
+#define PLSSVM_IO_MODEL_IO_HPP_
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/core/parameter.hpp"
+
+#include <string>
+#include <vector>
+
+namespace plssvm::io {
+
+/// In-memory representation of a LIBSVM model file.
+template <typename T>
+struct model_file {
+    parameter params;
+    aos_matrix<T> support_vectors;
+    std::vector<T> alpha;
+    T rho{ 0 };
+    T positive_label{ 1 };
+    T negative_label{ -1 };
+};
+
+/// @throws plssvm::file_not_found_exception, plssvm::invalid_file_format_exception
+template <typename T>
+[[nodiscard]] model_file<T> read_model_file(const std::string &filename);
+
+template <typename T>
+void write_model_file(const std::string &filename, const model_file<T> &model);
+
+}  // namespace plssvm::io
+
+#endif  // PLSSVM_IO_MODEL_IO_HPP_

@@ -1,0 +1,113 @@
+#include "plssvm/io/scaling.hpp"
+
+#include "plssvm/detail/string_utils.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/io/file_reader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <tuple>
+
+namespace plssvm::io {
+
+template <typename T>
+scaling<T>::scaling(const T lo, const T hi) :
+    lo_{ lo },
+    hi_{ hi } {
+    if (lo >= hi) {
+        throw invalid_parameter_exception{ "Scaling interval requires lower < upper!" };
+    }
+}
+
+template <typename T>
+void scaling<T>::fit(const aos_matrix<T> &points) {
+    factors_.assign(points.num_cols(), factor{ std::numeric_limits<T>::max(), std::numeric_limits<T>::lowest() });
+    for (std::size_t row = 0; row < points.num_rows(); ++row) {
+        const T *src = points.row_data(row);
+        for (std::size_t col = 0; col < points.num_cols(); ++col) {
+            factors_[col].min = std::min(factors_[col].min, src[col]);
+            factors_[col].max = std::max(factors_[col].max, src[col]);
+        }
+    }
+}
+
+template <typename T>
+void scaling<T>::transform(aos_matrix<T> &points) const {
+    if (points.num_cols() != factors_.size()) {
+        throw invalid_data_exception{ "Scaling was fitted on " + std::to_string(factors_.size()) + " features but the data has " + std::to_string(points.num_cols()) + "!" };
+    }
+    const T mid = (lo_ + hi_) / T{ 2 };
+    for (std::size_t row = 0; row < points.num_rows(); ++row) {
+        T *dst = points.row_data(row);
+        for (std::size_t col = 0; col < points.num_cols(); ++col) {
+            const factor &f = factors_[col];
+            if (f.min == f.max) {
+                dst[col] = mid;
+            } else {
+                dst[col] = lo_ + (hi_ - lo_) * (dst[col] - f.min) / (f.max - f.min);
+            }
+        }
+    }
+}
+
+template <typename T>
+void scaling<T>::fit_transform(aos_matrix<T> &points) {
+    fit(points);
+    transform(points);
+}
+
+template <typename T>
+void scaling<T>::save(const std::string &filename) const {
+    std::ofstream out{ filename };
+    if (!out) {
+        throw file_not_found_exception{ "Can't open scaling file '" + filename + "' for writing!" };
+    }
+    out.precision(17);
+    out << "x\n"
+        << lo_ << ' ' << hi_ << '\n';
+    for (std::size_t col = 0; col < factors_.size(); ++col) {
+        out << (col + 1) << ' ' << factors_[col].min << ' ' << factors_[col].max << '\n';
+    }
+}
+
+template <typename T>
+scaling<T> scaling<T>::load(const std::string &filename) {
+    const file_reader reader{ filename };
+    if (reader.num_lines() < 2 || detail::trim(reader.line(0)) != "x") {
+        throw invalid_file_format_exception{ "Scaling file '" + filename + "' is missing the 'x' header!" };
+    }
+    const auto interval = detail::split(reader.line(1), ' ');
+    if (interval.size() != 2) {
+        throw invalid_file_format_exception{ "Scaling file '" + filename + "': invalid interval line!" };
+    }
+    scaling result{ detail::convert_to<T>(interval[0]), detail::convert_to<T>(interval[1]) };
+
+    // Feature lines are `index min max` with ascending 1-based indices; gaps
+    // denote features that were absent (kept at [0, 0] like svm-scale).
+    std::size_t max_index = 0;
+    std::vector<std::tuple<std::size_t, T, T>> entries;
+    for (std::size_t i = 2; i < reader.num_lines(); ++i) {
+        const auto tokens = detail::split(reader.line(i), ' ');
+        if (tokens.size() != 3) {
+            throw invalid_file_format_exception{ "Scaling file '" + filename + "': invalid factor line '" + std::string{ reader.line(i) } + "'!" };
+        }
+        const auto index = detail::convert_to<unsigned long>(tokens[0]);
+        if (index == 0) {
+            throw invalid_file_format_exception{ "Scaling file '" + filename + "': indices are 1-based!" };
+        }
+        entries.emplace_back(index - 1, detail::convert_to<T>(tokens[1]), detail::convert_to<T>(tokens[2]));
+        max_index = std::max(max_index, static_cast<std::size_t>(index));
+    }
+    result.factors_.assign(max_index, factor{ T{ 0 }, T{ 0 } });
+    for (const auto &[idx, mn, mx] : entries) {
+        result.factors_[idx] = factor{ mn, mx };
+    }
+    return result;
+}
+
+template class scaling<float>;
+template class scaling<double>;
+
+}  // namespace plssvm::io

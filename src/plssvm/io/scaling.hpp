@@ -1,0 +1,66 @@
+/**
+ * @file
+ * @brief Per-feature linear scaling, equivalent to LIBSVM's `svm-scale`.
+ *
+ * The paper scales all SAT-6 features to [-1, 1] with `svm-scale` before
+ * training (§IV-B). Scaling factors are learned on the training set and must
+ * be re-applied unchanged to test data, so they can be saved to and restored
+ * from a file in the `svm-scale -s/-r` format.
+ */
+
+#ifndef PLSSVM_IO_SCALING_HPP_
+#define PLSSVM_IO_SCALING_HPP_
+
+#include "plssvm/core/matrix.hpp"
+
+#include <string>
+#include <vector>
+
+namespace plssvm::io {
+
+/// Scaling interval and learned per-feature extrema.
+template <typename T>
+class scaling {
+  public:
+    /// One feature's observed range in the training data.
+    struct factor {
+        T min{ 0 };
+        T max{ 0 };
+    };
+
+    /// Create an empty scaling targeting [lo, hi] (defaults to [-1, 1]).
+    explicit scaling(T lo = T{ -1 }, T hi = T{ 1 });
+
+    /// Learn per-feature minima/maxima from @p points.
+    void fit(const aos_matrix<T> &points);
+
+    /**
+     * @brief Scale @p points in place. Constant features (min == max) map to
+     *        the interval midpoint, matching svm-scale behaviour.
+     * @throws plssvm::invalid_data_exception if the feature count differs from fit()
+     */
+    void transform(aos_matrix<T> &points) const;
+
+    /// fit() followed by transform().
+    void fit_transform(aos_matrix<T> &points);
+
+    /// Save in the `svm-scale -s` file format (`x\n lo hi\n idx min max...`).
+    void save(const std::string &filename) const;
+
+    /// Restore factors previously written by save() (`svm-scale -r` semantics).
+    [[nodiscard]] static scaling load(const std::string &filename);
+
+    [[nodiscard]] T lower() const noexcept { return lo_; }
+    [[nodiscard]] T upper() const noexcept { return hi_; }
+    [[nodiscard]] const std::vector<factor> &factors() const noexcept { return factors_; }
+    [[nodiscard]] bool fitted() const noexcept { return !factors_.empty(); }
+
+  private:
+    T lo_;
+    T hi_;
+    std::vector<factor> factors_;
+};
+
+}  // namespace plssvm::io
+
+#endif  // PLSSVM_IO_SCALING_HPP_

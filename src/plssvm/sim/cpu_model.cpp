@@ -1,0 +1,31 @@
+#include "plssvm/sim/cpu_model.hpp"
+
+#include "plssvm/detail/assert.hpp"
+
+#include <cmath>
+
+namespace plssvm::sim {
+
+double cpu_model::compute_speedup(const std::size_t threads) const {
+    PLSSVM_ASSERT(threads > 0, "Thread count must be positive!");
+    return std::pow(static_cast<double>(threads), compute_eff);
+}
+
+double cpu_model::io_speedup(const std::size_t threads) const {
+    PLSSVM_ASSERT(threads > 0, "Thread count must be positive!");
+    const std::size_t socket_threads = cores_per_socket;  // one thread per core within a socket
+    if (threads <= socket_threads) {
+        return std::pow(static_cast<double>(threads), io_eff);
+    }
+    // beyond one socket: every doubling of threads costs a NUMA penalty
+    const double base = std::pow(static_cast<double>(socket_threads), io_eff);
+    const double doublings = std::log2(static_cast<double>(threads) / static_cast<double>(socket_threads));
+    return base / std::pow(numa_penalty, doublings);
+}
+
+double cpu_model::project(const double single_core_seconds, const std::size_t threads, const bool compute_bound) const {
+    const double speedup = compute_bound ? compute_speedup(threads) : io_speedup(threads);
+    return single_core_seconds / speedup;
+}
+
+}  // namespace plssvm::sim

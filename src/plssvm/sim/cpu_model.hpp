@@ -1,0 +1,63 @@
+/**
+ * @file
+ * @brief Analytic many-core CPU scaling model (Fig. 4a substitute).
+ *
+ * The paper measures PLSSVM's OpenMP backend on a 2-socket, 2x64-core
+ * (256-thread) AMD EPYC 7742 node: the compute-bound "cg" component scales to
+ * a parallel speedup of 74.7 at 256 threads, while the I/O-bound "read" and
+ * "write" components scale up to ~16 cores and then *degrade once OpenMP
+ * spans both sockets* (>64 cores). This host has a single core, so the
+ * scaling curves are produced by a parametric model that encodes exactly
+ * those two mechanisms:
+ *
+ *  - compute components follow a power law speedup S(p) = p^eff — fitted to
+ *    the paper's two anchor points (S(16) ~ 8.2, S(256) = 74.7 gives
+ *    eff ~ 0.78),
+ *  - I/O components scale sub-linearly up to one socket and pay a NUMA
+ *    penalty factor beyond it.
+ *
+ * The model multiplies *measured single-core component times* of the real
+ * OpenMP backend, so everything except the thread-scaling curve itself is
+ * real measurement.
+ */
+
+#ifndef PLSSVM_SIM_CPU_MODEL_HPP_
+#define PLSSVM_SIM_CPU_MODEL_HPP_
+
+#include <cstddef>
+
+namespace plssvm::sim {
+
+struct cpu_model {
+    /// Physical cores per socket (EPYC 7742: 64).
+    std::size_t cores_per_socket{ 64 };
+    /// Number of sockets (paper machine: 2).
+    std::size_t num_sockets{ 2 };
+    /// SMT threads per core (EPYC: 2).
+    std::size_t threads_per_core{ 2 };
+    /// Power-law exponent of compute-bound components: S(p) = p^compute_eff.
+    double compute_eff{ 0.78 };
+    /// Power-law exponent of I/O-bound components up to one socket.
+    double io_eff{ 0.62 };
+    /// Per-doubling slowdown factor of I/O components beyond one socket
+    /// (cross-socket page traffic); Fig. 4a shows read/write getting *slower*.
+    double numa_penalty{ 1.45 };
+
+    [[nodiscard]] std::size_t max_threads() const noexcept {
+        return cores_per_socket * num_sockets * threads_per_core;
+    }
+
+    /// Parallel speedup of a compute-bound component on @p threads threads.
+    [[nodiscard]] double compute_speedup(std::size_t threads) const;
+
+    /// Parallel speedup (possibly < its smaller-thread values) of an
+    /// I/O-bound component on @p threads threads.
+    [[nodiscard]] double io_speedup(std::size_t threads) const;
+
+    /// Projected runtime of a component measured at @p single_core_seconds.
+    [[nodiscard]] double project(double single_core_seconds, std::size_t threads, bool compute_bound) const;
+};
+
+}  // namespace plssvm::sim
+
+#endif  // PLSSVM_SIM_CPU_MODEL_HPP_

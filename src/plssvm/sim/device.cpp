@@ -1,0 +1,45 @@
+#include "plssvm/sim/device.hpp"
+
+#include <string>
+#include <utility>
+
+namespace plssvm::sim {
+
+device::device(device_spec spec, runtime_profile profile) :
+    spec_{ std::move(spec) },
+    profile_{ profile } {
+    // one-time runtime/context initialisation (paper §V: "The GPU
+    // implementations have a small overhead accessing the GPU(s)")
+    clock_seconds_ += profile_.init_overhead_s;
+}
+
+void device::launch(const std::string_view name, const kernel_cost &cost, const std::function<void()> &body) {
+    if (body) {
+        body();
+    }
+    const double seconds = roofline_seconds(spec_, profile_, cost);
+    clock_seconds_ += seconds;
+    profiler_.record(name, cost, seconds);
+}
+
+void device::transfer_h2d(const double bytes) {
+    clock_seconds_ += transfer_seconds(spec_, profile_, bytes);
+}
+
+void device::transfer_d2h(const double bytes) {
+    clock_seconds_ += transfer_seconds(spec_, profile_, bytes);
+}
+
+void device::account_alloc(const std::size_t bytes) {
+    if (allocated_bytes_ + bytes > spec_.capacity_bytes()) {
+        throw device_exception{ "Device '" + spec_.name + "' out of memory: requested " + std::to_string(bytes) + " B on top of " + std::to_string(allocated_bytes_) + " B allocated (capacity " + std::to_string(spec_.capacity_bytes()) + " B)!" };
+    }
+    allocated_bytes_ += bytes;
+    peak_allocated_bytes_ = std::max(peak_allocated_bytes_, allocated_bytes_);
+}
+
+void device::account_free(const std::size_t bytes) noexcept {
+    allocated_bytes_ = bytes > allocated_bytes_ ? 0 : allocated_bytes_ - bytes;
+}
+
+}  // namespace plssvm::sim

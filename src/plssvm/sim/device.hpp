@@ -1,0 +1,157 @@
+/**
+ * @file
+ * @brief The simulated accelerator: memory accounting, transfers, launches.
+ *
+ * A `device` owns a simulated clock. Kernel launches execute their body
+ * *functionally on the host* (bit-identical math to a native backend) while
+ * the clock advances by the roofline time of the launch's declared
+ * `kernel_cost`. Memory is accounted against the device's real capacity so
+ * out-of-memory behaviour (the reason the paper's multi-GPU mode exists,
+ * §IV-G) is faithfully reproduced.
+ */
+
+#ifndef PLSSVM_SIM_DEVICE_HPP_
+#define PLSSVM_SIM_DEVICE_HPP_
+
+#include "plssvm/detail/assert.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/sim/cost_model.hpp"
+#include "plssvm/sim/device_spec.hpp"
+#include "plssvm/sim/profiler.hpp"
+#include "plssvm/sim/runtime_profile.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plssvm::sim {
+
+class device {
+  public:
+    /// Create a device; constructing models the one-time runtime/context
+    /// initialisation overhead (charged to the simulated clock).
+    device(device_spec spec, runtime_profile profile);
+
+    device(const device &) = delete;
+    device &operator=(const device &) = delete;
+    device(device &&) = default;
+    device &operator=(device &&) = default;
+
+    [[nodiscard]] const device_spec &spec() const noexcept { return spec_; }
+    [[nodiscard]] const runtime_profile &profile() const noexcept { return profile_; }
+
+    /**
+     * @brief Launch a kernel: run @p body on the host, advance the simulated
+     *        clock by the roofline time of @p cost, record it in the profiler.
+     */
+    void launch(std::string_view name, const kernel_cost &cost, const std::function<void()> &body);
+
+    /// Account a host-to-device transfer of @p bytes.
+    void transfer_h2d(double bytes);
+
+    /// Account a device-to-host transfer of @p bytes.
+    void transfer_d2h(double bytes);
+
+    /// Simulated seconds elapsed on this device since construction/reset.
+    [[nodiscard]] double clock_seconds() const noexcept { return clock_seconds_; }
+    void reset_clock() noexcept { clock_seconds_ = 0.0; }
+
+    [[nodiscard]] std::size_t allocated_bytes() const noexcept { return allocated_bytes_; }
+    [[nodiscard]] std::size_t peak_allocated_bytes() const noexcept { return peak_allocated_bytes_; }
+
+    [[nodiscard]] profiler &prof() noexcept { return profiler_; }
+    [[nodiscard]] const profiler &prof() const noexcept { return profiler_; }
+
+  private:
+    template <typename T>
+    friend class device_buffer;
+
+    /// @throws plssvm::device_exception when the allocation exceeds capacity
+    void account_alloc(std::size_t bytes);
+    void account_free(std::size_t bytes) noexcept;
+
+    device_spec spec_;
+    runtime_profile profile_;
+    double clock_seconds_{ 0.0 };
+    std::size_t allocated_bytes_{ 0 };
+    std::size_t peak_allocated_bytes_{ 0 };
+    profiler profiler_;
+};
+
+/**
+ * @brief RAII "device memory" allocation backed by host storage.
+ *
+ * Copies between host and buffer advance the owning device's simulated clock
+ * by the PCIe transfer time of the copied bytes.
+ */
+template <typename T>
+class device_buffer {
+  public:
+    device_buffer(device &dev, const std::size_t size) :
+        device_{ &dev },
+        storage_(size, T{ 0 }) {
+        device_->account_alloc(size * sizeof(T));
+    }
+
+    device_buffer(const device_buffer &) = delete;
+    device_buffer &operator=(const device_buffer &) = delete;
+
+    device_buffer(device_buffer &&other) noexcept :
+        device_{ other.device_ },
+        storage_{ std::move(other.storage_) } {
+        other.device_ = nullptr;
+    }
+
+    device_buffer &operator=(device_buffer &&other) noexcept {
+        if (this != &other) {
+            release();
+            device_ = other.device_;
+            storage_ = std::move(other.storage_);
+            other.device_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~device_buffer() { release(); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+
+    /// Copy @p count values from @p src into the buffer at @p offset (H2D).
+    void copy_from_host(const T *src, const std::size_t count, const std::size_t offset = 0) {
+        if (offset + count > storage_.size()) {
+            throw device_exception{ "H2D copy out of bounds!" };
+        }
+        std::copy(src, src + count, storage_.begin() + static_cast<std::ptrdiff_t>(offset));
+        device_->transfer_h2d(static_cast<double>(count * sizeof(T)));
+    }
+
+    /// Copy the whole buffer (or @p count values) back to @p dst (D2H).
+    void copy_to_host(T *dst, const std::size_t count) const {
+        if (count > storage_.size()) {
+            throw device_exception{ "D2H copy out of bounds!" };
+        }
+        std::copy(storage_.begin(), storage_.begin() + static_cast<std::ptrdiff_t>(count), dst);
+        device_->transfer_d2h(static_cast<double>(count * sizeof(T)));
+    }
+
+    /// Raw access for kernel bodies (device-side view; no clock cost).
+    [[nodiscard]] T *data() noexcept { return storage_.data(); }
+    [[nodiscard]] const T *data() const noexcept { return storage_.data(); }
+
+  private:
+    void release() noexcept {
+        if (device_ != nullptr) {
+            device_->account_free(storage_.size() * sizeof(T));
+            device_ = nullptr;
+        }
+    }
+
+    device *device_;
+    std::vector<T> storage_;
+};
+
+}  // namespace plssvm::sim
+
+#endif  // PLSSVM_SIM_DEVICE_HPP_

@@ -1,0 +1,31 @@
+#include "plssvm/sim/profiler.hpp"
+
+#include <string>
+
+namespace plssvm::sim {
+
+void profiler::record(const std::string_view name, const kernel_cost &cost, const double seconds) {
+    kernel_stats &stats = kernels_[std::string{ name }];
+    ++stats.launches;
+    stats.flops += cost.flops;
+    stats.global_bytes += cost.global_bytes;
+    stats.seconds += seconds;
+}
+
+std::size_t profiler::total_launches() const noexcept {
+    std::size_t sum = 0;
+    for (const auto &[name, stats] : kernels_) {
+        sum += stats.launches;
+    }
+    return sum;
+}
+
+double profiler::total_seconds() const noexcept {
+    double sum = 0.0;
+    for (const auto &[name, stats] : kernels_) {
+        sum += stats.seconds;
+    }
+    return sum;
+}
+
+}  // namespace plssvm::sim

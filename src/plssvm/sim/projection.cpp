@@ -1,0 +1,89 @@
+#include "plssvm/sim/projection.hpp"
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/detail/assert.hpp"
+
+#include <cstddef>
+
+namespace plssvm::sim {
+
+projection_result project_plssvm_training(const device_spec &spec,
+                                          const backend_runtime runtime,
+                                          const projection_params &params) {
+    PLSSVM_ASSERT(params.num_points >= 2, "Projection requires at least two data points!");
+    PLSSVM_ASSERT(params.num_devices >= 1, "Projection requires at least one device!");
+
+    const runtime_profile profile = runtime_profile::for_device(runtime, spec);
+    const std::size_t n = params.num_points - 1;
+    const std::size_t padded = soa_matrix<double>::round_up(params.num_points, params.blocking.tile());
+    // balanced feature split; the slowest (largest) slice gates progress
+    const std::size_t dim_per_device =
+        (params.num_features + params.num_devices - 1) / params.num_devices;
+    const double rb = static_cast<double>(params.real_bytes);
+
+    projection_result result;
+    result.init_seconds = profile.init_overhead_s;
+
+    // data upload: slice matrix + the three padded vectors
+    const double data_bytes = static_cast<double>(padded) * static_cast<double>(dim_per_device) * rb;
+    result.h2d_seconds = transfer_seconds(spec, profile, data_bytes);
+    result.per_device_memory_bytes = data_bytes + 3.0 * static_cast<double>(padded) * rb;
+
+    // one q kernel per device
+    result.q_kernel_seconds =
+        roofline_seconds(spec, profile, q_kernel_cost(n, dim_per_device, params.kernel, params.real_bytes));
+
+    // per CG iteration: upload direction, svm kernel, download partial result
+    const kernel_cost svm_cost = svm_kernel_cost(n, dim_per_device, params.kernel, params.blocking, params.real_bytes);
+    const double vector_bytes = static_cast<double>(padded) * rb;
+    const double per_iteration = transfer_seconds(spec, profile, vector_bytes)
+                                 + roofline_seconds(spec, profile, svm_cost)
+                                 + transfer_seconds(spec, profile, vector_bytes);
+    result.cg_seconds = static_cast<double>(params.cg_iterations) * per_iteration;
+    result.svm_kernel_flops = static_cast<double>(params.cg_iterations) * svm_cost.flops;
+
+    result.total_seconds = result.init_seconds + result.h2d_seconds + result.q_kernel_seconds + result.cg_seconds;
+    return result;
+}
+
+projection_result project_thunder_training(const device_spec &spec,
+                                           const thunder_projection_params &params) {
+    PLSSVM_ASSERT(params.num_points >= 2, "Projection requires at least two data points!");
+
+    device_spec thunder_spec = spec;
+    thunder_spec.fp64_efficiency = params.kernel_efficiency;
+    const runtime_profile profile = runtime_profile::for_device(backend_runtime::cuda, thunder_spec);
+
+    const double m = static_cast<double>(params.num_points);
+    const double dim = static_cast<double>(params.num_features);
+    const double rb = static_cast<double>(params.real_bytes);
+    const double epilogue = params.kernel == kernel_type::linear ? 0.0 : 10.0;
+
+    projection_result result;
+    result.init_seconds = profile.init_overhead_s;
+    result.h2d_seconds = transfer_seconds(spec, profile, m * dim * rb);
+    // dense data + device-resident kernel row cache (ThunderSVM's footprint
+    // exceeds the raw data size, §IV-G)
+    result.per_device_memory_bytes = m * dim * rb * 1.6;
+
+    // per SMO step: two selection reductions, the tiny two-variable update,
+    // and the gradient update (the same launches the functional baseline
+    // issues through the simulated device)
+    const double per_step = 2.0 * roofline_seconds(thunder_spec, profile,
+                                                   vector_kernel_cost(params.num_points, params.real_bytes))
+                            + roofline_seconds(thunder_spec, profile, vector_kernel_cost(64, params.real_bytes))
+                            + roofline_seconds(thunder_spec, profile,
+                                               vector_kernel_cost(2 * params.num_points, params.real_bytes));
+    // kernel-row computations for every distinct row touched
+    kernel_cost row_cost;
+    row_cost.flops = m * (2.0 * dim + epilogue);
+    row_cost.global_bytes = (m * dim + 2.0 * m) * rb;
+    const double rows_seconds = static_cast<double>(params.distinct_rows)
+                                * roofline_seconds(thunder_spec, profile, row_cost);
+    result.cg_seconds = static_cast<double>(params.total_steps) * per_step + rows_seconds;
+    result.svm_kernel_flops = static_cast<double>(params.distinct_rows) * row_cost.flops;
+    result.total_seconds = result.init_seconds + result.h2d_seconds + result.cg_seconds;
+    return result;
+}
+
+}  // namespace plssvm::sim

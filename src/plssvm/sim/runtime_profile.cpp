@@ -1,0 +1,59 @@
+#include "plssvm/sim/runtime_profile.hpp"
+
+#include "plssvm/exceptions.hpp"
+
+#include <string>
+
+namespace plssvm::sim {
+
+std::string_view backend_runtime_to_string(const backend_runtime runtime) {
+    switch (runtime) {
+        case backend_runtime::cuda:
+            return "cuda";
+        case backend_runtime::opencl:
+            return "opencl";
+        case backend_runtime::sycl:
+            return "sycl";
+    }
+    return "unknown";
+}
+
+runtime_profile runtime_profile::for_device(const backend_runtime runtime, const device_spec &spec) {
+    runtime_profile profile;
+    profile.runtime = runtime;
+    switch (runtime) {
+        case backend_runtime::cuda:
+            if (spec.vendor != vendor_type::nvidia) {
+                throw unsupported_backend_exception{ "The CUDA backend requires an NVIDIA device, got '" + spec.name + "'!" };
+            }
+            profile.kernel_launch_overhead_s = 5e-6;
+            profile.init_overhead_s = 0.25;
+            profile.efficiency_factor = 1.0;
+            break;
+        case backend_runtime::opencl:
+            profile.kernel_launch_overhead_s = 10e-6;
+            profile.init_overhead_s = 0.35;
+            // OpenCL trails CUDA slightly on NVIDIA (Table I: a few percent up
+            // to ~45 % on the V100); a single factor models the common case.
+            profile.efficiency_factor = 0.92;
+            break;
+        case backend_runtime::sycl:
+            profile.kernel_launch_overhead_s = 12e-6;
+            profile.init_overhead_s = 0.40;
+            if (spec.vendor == vendor_type::nvidia) {
+                // hipSYCL: near-OpenCL on compute capability >= 7.0, over 3x
+                // slower than CUDA/OpenCL on older architectures (Table I).
+                profile.efficiency_factor = spec.compute_capability >= 7.0 ? 0.80 : 0.30;
+            } else if (spec.vendor == vendor_type::amd) {
+                // hipSYCL on AMD: "again slightly slower compared to OpenCL"
+                profile.efficiency_factor = 0.74;
+            } else {
+                // DPC++ on the Intel iGPU: "two times slower than OpenCL"
+                profile.efficiency_factor = 0.46;
+            }
+            break;
+    }
+    return profile;
+}
+
+}  // namespace plssvm::sim

@@ -1,0 +1,132 @@
+#include "plssvm/solver/cg.hpp"
+
+#include "plssvm/detail/assert.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plssvm::solver {
+
+template <typename T>
+T dot_product(const std::vector<T> &x, const std::vector<T> &y) {
+    PLSSVM_ASSERT(x.size() == y.size(), "dot_product requires equally sized vectors!");
+    T sum{ 0 };
+    const std::size_t n = x.size();
+    #pragma omp parallel for simd reduction(+ : sum)
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += x[i] * y[i];
+    }
+    return sum;
+}
+
+template <typename T>
+void axpy(const T a, const std::vector<T> &x, std::vector<T> &y) {
+    PLSSVM_ASSERT(x.size() == y.size(), "axpy requires equally sized vectors!");
+    const std::size_t n = x.size();
+    #pragma omp parallel for simd
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] += a * x[i];
+    }
+}
+
+template <typename T>
+void xpay(const std::vector<T> &x, const T a, std::vector<T> &y) {
+    PLSSVM_ASSERT(x.size() == y.size(), "xpay requires equally sized vectors!");
+    const std::size_t n = x.size();
+    #pragma omp parallel for simd
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] = x[i] + a * y[i];
+    }
+}
+
+template <typename T>
+cg_result conjugate_gradients(linear_operator<T> &A,
+                              const std::vector<T> &b,
+                              std::vector<T> &x,
+                              const solver_control &ctrl,
+                              const cg_observer &observer) {
+    ctrl.validate();
+    const std::size_t n = A.size();
+    PLSSVM_ASSERT(b.size() == n, "Right-hand side size does not match the operator!");
+    PLSSVM_ASSERT(x.size() == n, "Initial guess size does not match the operator!");
+
+    const std::size_t max_iterations = ctrl.max_iterations.value_or(n);
+
+    const T norm_b_squared = dot_product(b, b);
+    cg_result result;
+    if (norm_b_squared == T{ 0 }) {
+        // b = 0 => x = 0 is the exact solution.
+        std::fill(x.begin(), x.end(), T{ 0 });
+        result.converged = true;
+        return result;
+    }
+
+    // r = b - A x
+    std::vector<T> r(n);
+    std::vector<T> Ax(n);
+    A.apply(x, Ax);
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - Ax[i];
+    }
+
+    std::vector<T> d = r;  // initial search direction
+    std::vector<T> Ad(n);
+    T delta = dot_product(r, r);
+    const T target = static_cast<T>(ctrl.epsilon) * static_cast<T>(ctrl.epsilon) * norm_b_squared;
+
+    std::size_t iteration = 0;
+    while (iteration < max_iterations && delta > target) {
+        A.apply(d, Ad);
+        const T dAd = dot_product(d, Ad);
+        if (dAd <= T{ 0 }) {
+            // Loss of positive definiteness (numerically); bail out with the
+            // current iterate rather than dividing by a non-positive value.
+            break;
+        }
+        const T alpha = delta / dAd;
+        axpy(alpha, d, x);
+
+        ++iteration;
+        if (iteration % ctrl.residual_refresh_interval == 0) {
+            // recompute the exact residual to remove accumulated drift
+            A.apply(x, Ax);
+            for (std::size_t i = 0; i < n; ++i) {
+                r[i] = b[i] - Ax[i];
+            }
+        } else {
+            axpy(-alpha, Ad, r);
+        }
+
+        const T delta_new = dot_product(r, r);
+        const T beta = delta_new / delta;
+        xpay(r, beta, d);
+        delta = delta_new;
+
+        if (observer) {
+            observer(iteration, std::sqrt(static_cast<double>(delta / norm_b_squared)));
+        }
+    }
+
+    result.iterations = iteration;
+    result.final_relative_residual = std::sqrt(static_cast<double>(delta / norm_b_squared));
+    result.converged = delta <= target;
+    if (!result.converged && ctrl.strict) {
+        throw solver_exception{ "CG did not converge within " + std::to_string(max_iterations) + " iterations (relative residual " + std::to_string(result.final_relative_residual) + ")!" };
+    }
+    return result;
+}
+
+template float dot_product<float>(const std::vector<float> &, const std::vector<float> &);
+template double dot_product<double>(const std::vector<double> &, const std::vector<double> &);
+template void axpy<float>(float, const std::vector<float> &, std::vector<float> &);
+template void axpy<double>(double, const std::vector<double> &, std::vector<double> &);
+template void xpay<float>(const std::vector<float> &, float, std::vector<float> &);
+template void xpay<double>(const std::vector<double> &, double, std::vector<double> &);
+
+template cg_result conjugate_gradients<float>(linear_operator<float> &, const std::vector<float> &, std::vector<float> &, const solver_control &, const cg_observer &);
+template cg_result conjugate_gradients<double>(linear_operator<double> &, const std::vector<double> &, std::vector<double> &, const solver_control &, const cg_observer &);
+
+}  // namespace plssvm::solver

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * @brief Abstract linear operator consumed by the CG solver.
+ *
+ * The LS-SVM system matrix Q~ has (m-1)^2 entries and is never materialised
+ * (paper §III-B); every backend provides its own implicit matrix-vector
+ * product behind this interface.
+ */
+
+#ifndef PLSSVM_SOLVER_OPERATOR_HPP_
+#define PLSSVM_SOLVER_OPERATOR_HPP_
+
+#include <cstddef>
+#include <vector>
+
+namespace plssvm::solver {
+
+template <typename T>
+class linear_operator {
+  public:
+    linear_operator() = default;
+    linear_operator(const linear_operator &) = delete;
+    linear_operator &operator=(const linear_operator &) = delete;
+    linear_operator(linear_operator &&) = delete;
+    linear_operator &operator=(linear_operator &&) = delete;
+    virtual ~linear_operator() = default;
+
+    /// Dimension n of the square operator.
+    [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+    /// Compute out = A * x. Both vectors have size() entries; out is overwritten.
+    virtual void apply(const std::vector<T> &x, std::vector<T> &out) = 0;
+};
+
+}  // namespace plssvm::solver
+
+#endif  // PLSSVM_SOLVER_OPERATOR_HPP_

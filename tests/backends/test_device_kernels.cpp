@@ -1,0 +1,229 @@
+/**
+ * @file
+ * @brief Property tests of the blocked device kernels (§III-C): equivalence
+ *        with a dense reference construction of Q~, invariance under padding
+ *        and every blocking configuration, and agreement between kernel_q and
+ *        the host reference.
+ */
+
+#include "plssvm/backends/device/kernels.hpp"
+#include "plssvm/backends/openmp/q_operator.hpp"
+#include "plssvm/core/lssvm_math.hpp"
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+#include "plssvm/detail/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::kernel_params;
+using plssvm::kernel_type;
+using plssvm::soa_matrix;
+
+[[nodiscard]] aos_matrix<double> random_points(const std::size_t m, const std::size_t d, const std::uint64_t seed = 5) {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = m;
+    gen.num_features = d;
+    gen.seed = seed;
+    return plssvm::datagen::make_classification<double>(gen).points();
+}
+
+/// Dense reference: build Q~ entry by entry via Eq. 16 and multiply.
+[[nodiscard]] std::vector<double> dense_reference_matvec(const aos_matrix<double> &points,
+                                                         const kernel_params<double> &kp,
+                                                         const double cost,
+                                                         const std::vector<double> &x) {
+    const std::size_t n = points.num_rows() - 1;
+    const std::size_t dim = points.num_cols();
+    const std::size_t last = n;
+    std::vector<double> out(n, 0.0);
+    const double q_mm = plssvm::kernels::apply(kp, points.row_data(last), points.row_data(last), dim) + 1.0 / cost;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double q_i = plssvm::kernels::apply(kp, points.row_data(i), points.row_data(last), dim);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double q_j = plssvm::kernels::apply(kp, points.row_data(j), points.row_data(last), dim);
+            double entry = plssvm::kernels::apply(kp, points.row_data(i), points.row_data(j), dim) - q_i - q_j + q_mm;
+            if (i == j) {
+                entry += 1.0 / cost;
+            }
+            out[i] += entry * x[j];
+        }
+    }
+    return out;
+}
+
+class DeviceKernelConfigs
+    : public ::testing::TestWithParam<std::tuple<kernel_type, std::size_t, std::size_t, bool>> {};
+
+TEST_P(DeviceKernelConfigs, BlockedMatvecMatchesDenseReference) {
+    const auto [kt, block_size, internal_size, triangular] = GetParam();
+    const std::size_t m = 97;  // deliberately not a multiple of any tile size
+    const std::size_t dim = 9;
+    const aos_matrix<double> points = random_points(m, dim);
+
+    kernel_params<double> kp{ kt, 2, 0.35, 0.75 };
+    const double cost = 1.5;
+
+    const plssvm::sim::block_config cfg{ block_size, internal_size, triangular, true };
+    const soa_matrix<double> soa = plssvm::transform_to_soa(points, cfg.tile());
+    const std::size_t padded = soa.padded_rows();
+    const std::size_t n = m - 1;
+
+    // device q vector
+    std::vector<double> q(padded, 0.0);
+    plssvm::backend::device::kernel_q(soa.data().data(), n, padded, m - 1, dim, kp, q.data());
+
+    // input vector (padded with zeros)
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = 0.1 * static_cast<double>(i % 7) - 0.3;
+    }
+    std::vector<double> x_padded(padded, 0.0);
+    std::copy(x.begin(), x.end(), x_padded.begin());
+
+    const double q_mm = plssvm::compute_q_mm(points, kp, cost);
+    std::vector<double> out(padded, 0.0);
+    plssvm::backend::device::kernel_svm(soa.data().data(), q.data(), x_padded.data(), out.data(),
+                                        n, padded, dim, kp, q_mm, 1.0 / cost, cfg);
+
+    const std::vector<double> reference = dense_reference_matvec(points, kp, cost, x);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(out[i], reference[i], 1e-9 * (1.0 + std::abs(reference[i]))) << "row " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DeviceKernelConfigs,
+    ::testing::Combine(::testing::Values(kernel_type::linear, kernel_type::polynomial, kernel_type::rbf, kernel_type::sigmoid),
+                       ::testing::Values(std::size_t{ 4 }, std::size_t{ 16 }),
+                       ::testing::Values(std::size_t{ 1 }, std::size_t{ 4 }),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::string{ plssvm::kernel_type_to_string(std::get<0>(info.param)) }
+               + "_b" + std::to_string(std::get<1>(info.param))
+               + "_i" + std::to_string(std::get<2>(info.param))
+               + (std::get<3>(info.param) ? "_tri" : "_full");
+    });
+
+TEST(DeviceKernels, QKernelMatchesHostReference) {
+    const aos_matrix<double> points = random_points(61, 5);
+    for (const kernel_type kt : { kernel_type::linear, kernel_type::polynomial, kernel_type::rbf }) {
+        const kernel_params<double> kp{ kt, 3, 0.5, 1.0 };
+        const std::vector<double> host_q = plssvm::compute_q_vector(points, kp);
+
+        const soa_matrix<double> soa = plssvm::transform_to_soa(points, 64);
+        std::vector<double> device_q(soa.padded_rows(), -1.0);
+        plssvm::backend::device::kernel_q(soa.data().data(), 60, soa.padded_rows(), 60, 5, kp, device_q.data());
+
+        for (std::size_t i = 0; i < 60; ++i) {
+            EXPECT_NEAR(device_q[i], host_q[i], 1e-12);
+        }
+        // padding region must be zeroed
+        for (std::size_t i = 60; i < soa.padded_rows(); ++i) {
+            EXPECT_DOUBLE_EQ(device_q[i], 0.0);
+        }
+    }
+}
+
+TEST(DeviceKernels, PaddingAmountDoesNotChangeResults) {
+    const aos_matrix<double> points = random_points(33, 4);
+    const kernel_params<double> kp{ kernel_type::linear, 3, 1.0, 0.0 };
+    const std::size_t n = 32;
+    std::vector<double> x(n, 0.5);
+
+    std::vector<std::vector<double>> results;
+    for (const std::size_t tile : { 4UL, 16UL, 64UL }) {
+        const plssvm::sim::block_config cfg{ tile, 1, true, true };
+        const soa_matrix<double> soa = plssvm::transform_to_soa(points, tile);
+        std::vector<double> q(soa.padded_rows(), 0.0);
+        plssvm::backend::device::kernel_q(soa.data().data(), n, soa.padded_rows(), 32, 4, kp, q.data());
+        std::vector<double> x_padded(soa.padded_rows(), 0.0);
+        std::copy(x.begin(), x.end(), x_padded.begin());
+        std::vector<double> out(soa.padded_rows(), 0.0);
+        plssvm::backend::device::kernel_svm(soa.data().data(), q.data(), x_padded.data(), out.data(),
+                                            n, soa.padded_rows(), 4, kp, 2.0, 1.0, cfg);
+        results.emplace_back(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(results[0][i], results[1][i], 1e-10);
+        EXPECT_NEAR(results[0][i], results[2][i], 1e-10);
+    }
+}
+
+TEST(OpenMpQOperator, MatchesDenseReference) {
+    const aos_matrix<double> points = random_points(50, 6);
+    const kernel_params<double> kp{ kernel_type::rbf, 3, 0.4, 0.0 };
+    const double cost = 2.0;
+    plssvm::backend::openmp::q_operator<double> op{ points, kp, cost };
+    ASSERT_EQ(op.size(), 49U);
+
+    std::vector<double> x(49);
+    for (std::size_t i = 0; i < 49; ++i) {
+        x[i] = std::sin(static_cast<double>(i));
+    }
+    std::vector<double> out(49);
+    op.apply(x, out);
+    const std::vector<double> reference = dense_reference_matvec(points, kp, cost, x);
+    for (std::size_t i = 0; i < 49; ++i) {
+        EXPECT_NEAR(out[i], reference[i], 1e-9 * (1.0 + std::abs(reference[i])));
+    }
+}
+
+TEST(OpenMpQOperator, OperatorIsSymmetric) {
+    // <Ax, y> == <x, Ay> for arbitrary vectors (Q~ is symmetric, §II-G)
+    const aos_matrix<double> points = random_points(40, 5);
+    const kernel_params<double> kp{ kernel_type::linear, 3, 1.0, 0.0 };
+    plssvm::backend::openmp::q_operator<double> op{ points, kp, 1.0 };
+    const std::size_t n = op.size();
+
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = std::cos(static_cast<double>(i));
+        y[i] = static_cast<double>(i % 5) - 2.0;
+    }
+    std::vector<double> ax(n);
+    std::vector<double> ay(n);
+    op.apply(x, ax);
+    op.apply(y, ay);
+    double axy = 0.0;
+    double xay = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        axy += ax[i] * y[i];
+        xay += x[i] * ay[i];
+    }
+    EXPECT_NEAR(axy, xay, 1e-8 * (1.0 + std::abs(axy)));
+}
+
+TEST(OpenMpQOperator, OperatorIsPositiveDefinite) {
+    // x^T Q~ x > 0 for non-zero x (required for CG, §II-G / §III-B)
+    const aos_matrix<double> points = random_points(35, 4);
+    for (const kernel_type kt : { kernel_type::linear, kernel_type::rbf }) {
+        const kernel_params<double> kp{ kt, 3, 0.5, 0.0 };
+        plssvm::backend::openmp::q_operator<double> op{ points, kp, 1.0 };
+        const std::size_t n = op.size();
+        std::vector<double> ax(n);
+        for (std::uint64_t trial = 0; trial < 10; ++trial) {
+            auto engine = plssvm::detail::make_engine(trial);
+            std::vector<double> x(n);
+            for (double &v : x) {
+                v = plssvm::detail::standard_normal<double>(engine);
+            }
+            op.apply(x, ax);
+            double quadratic_form = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                quadratic_form += x[i] * ax[i];
+            }
+            EXPECT_GT(quadratic_form, 0.0);
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * @brief Tests of the device prediction path (`device_kernel_w` /
+ *        `device_kernel_predict`): agreement with the host reference and
+ *        device accounting.
+ */
+
+#include "plssvm/backends/cuda/csvm.hpp"
+#include "plssvm/backends/openmp/csvm.hpp"
+#include "plssvm/core/predict.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using plssvm::data_set;
+using plssvm::kernel_type;
+using plssvm::parameter;
+
+[[nodiscard]] data_set<double> make_data(const std::uint64_t seed = 31) {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 130;  // not a tile multiple
+    gen.num_features = 9;
+    gen.class_sep = 2.0;
+    gen.seed = seed;
+    return plssvm::datagen::make_classification<double>(gen);
+}
+
+class DevicePredictAllKernels : public ::testing::TestWithParam<kernel_type> {};
+
+TEST_P(DevicePredictAllKernels, MatchesHostReference) {
+    const auto train = make_data(31);
+    const auto test = make_data(32);
+    parameter params{ GetParam() };
+    params.gamma = 0.3;
+    params.coef0 = 0.5;
+
+    plssvm::backend::cuda::csvm<double> svm{ params };
+    const auto model = svm.fit(train, plssvm::solver_control{ .epsilon = 1e-10 });
+
+    const auto device_values = svm.predict_values(model, test);
+    const auto host_values = plssvm::decision_values(model, test.points());
+    ASSERT_EQ(device_values.size(), host_values.size());
+    for (std::size_t i = 0; i < device_values.size(); ++i) {
+        EXPECT_NEAR(device_values[i], host_values[i], 1e-9 * (1.0 + std::abs(host_values[i])));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, DevicePredictAllKernels,
+                         ::testing::Values(kernel_type::linear, kernel_type::polynomial,
+                                           kernel_type::rbf, kernel_type::sigmoid),
+                         [](const auto &info) { return std::string{ plssvm::kernel_type_to_string(info.param) }; });
+
+TEST(DevicePredict, TrackerRecordsPredictComponent) {
+    const auto data = make_data();
+    plssvm::backend::cuda::csvm<double> svm{ parameter{ kernel_type::rbf } };
+    const auto model = svm.fit(data);
+    (void) svm.predict(model, data);
+    EXPECT_GT(svm.performance_tracker().get("predict").sim_seconds, 0.0);
+}
+
+TEST(DevicePredict, ProfilerSeesPredictKernels) {
+    const auto data = make_data();
+    plssvm::backend::cuda::csvm<double> linear_svm{ parameter{ kernel_type::linear } };
+    const auto linear_model = linear_svm.fit(data);
+    (void) linear_svm.predict(linear_model, data);
+    EXPECT_TRUE(linear_svm.devices()[0].prof().kernels().contains("device_kernel_w"));
+
+    plssvm::backend::cuda::csvm<double> rbf_svm{ parameter{ kernel_type::rbf } };
+    const auto rbf_model = rbf_svm.fit(data);
+    (void) rbf_svm.predict(rbf_model, data);
+    EXPECT_TRUE(rbf_svm.devices()[0].prof().kernels().contains("device_kernel_predict"));
+}
+
+TEST(DevicePredict, ScoreMatchesHostBackend) {
+    const auto data = make_data();
+    const parameter params{ kernel_type::linear };
+    const plssvm::solver_control ctrl{ .epsilon = 1e-10 };
+    plssvm::backend::openmp::csvm<double> host{ params };
+    plssvm::backend::cuda::csvm<double> device{ params };
+    const auto host_model = host.fit(data, ctrl);
+    const auto device_model = device.fit(data, ctrl);
+    EXPECT_DOUBLE_EQ(host.score(host_model, data), device.score(device_model, data));
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * @brief Tests of the sparse-CG extension (paper §V future work): the CSR
+ *        implicit operator must agree exactly with the dense one.
+ */
+
+#include "plssvm/backends/openmp/csvm.hpp"
+#include "plssvm/backends/openmp/q_operator.hpp"
+#include "plssvm/backends/openmp/sparse_q_operator.hpp"
+#include "plssvm/core/sparse_matrix.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+#include "plssvm/detail/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::csr_matrix;
+using plssvm::data_set;
+using plssvm::kernel_params;
+using plssvm::kernel_type;
+using plssvm::parameter;
+
+/// Data with ~70 % exact zeros (the scenario sparse evaluation targets).
+[[nodiscard]] aos_matrix<double> sparse_points(const std::size_t m, const std::size_t d, const std::uint64_t seed = 13) {
+    auto engine = plssvm::detail::make_engine(seed);
+    aos_matrix<double> points{ m, d };
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t f = 0; f < d; ++f) {
+            if (plssvm::detail::uniform_real<double>(engine, 0.0, 1.0) > 0.7) {
+                points(i, f) = plssvm::detail::standard_normal<double>(engine);
+            }
+        }
+    }
+    return points;
+}
+
+class SparseOperatorKernels : public ::testing::TestWithParam<kernel_type> {};
+
+TEST_P(SparseOperatorKernels, MatchesDenseOperator) {
+    const aos_matrix<double> points = sparse_points(70, 12);
+    const csr_matrix<double> csr{ points };
+    const kernel_params<double> kp{ GetParam(), 2, 0.4, 0.6 };
+    const double cost = 1.3;
+
+    plssvm::backend::openmp::q_operator<double> dense_op{ points, kp, cost };
+    plssvm::backend::openmp::sparse_q_operator<double> sparse_op{ csr, kp, cost };
+    ASSERT_EQ(dense_op.size(), sparse_op.size());
+    EXPECT_NEAR(dense_op.q_mm(), sparse_op.q_mm(), 1e-12);
+    for (std::size_t i = 0; i < dense_op.size(); ++i) {
+        EXPECT_NEAR(dense_op.q()[i], sparse_op.q()[i], 1e-12);
+    }
+
+    std::vector<double> x(dense_op.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = std::sin(static_cast<double>(i) * 0.7);
+    }
+    std::vector<double> dense_out(x.size());
+    std::vector<double> sparse_out(x.size());
+    dense_op.apply(x, dense_out);
+    sparse_op.apply(x, sparse_out);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(dense_out[i], sparse_out[i], 1e-9 * (1.0 + std::abs(dense_out[i])));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, SparseOperatorKernels,
+                         ::testing::Values(kernel_type::linear, kernel_type::polynomial,
+                                           kernel_type::rbf, kernel_type::sigmoid),
+                         [](const auto &info) { return std::string{ plssvm::kernel_type_to_string(info.param) }; });
+
+TEST(SparseSolver, ProducesSameModelAsDenseSolver) {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 120;
+    gen.num_features = 10;
+    gen.seed = 17;
+    const auto data = plssvm::datagen::make_classification<double>(gen);
+
+    const parameter params{ kernel_type::linear };
+    const plssvm::solver_control ctrl{ .epsilon = 1e-12 };
+    plssvm::backend::openmp::csvm<double> dense{ params, /*use_sparse_solver=*/false };
+    plssvm::backend::openmp::csvm<double> sparse{ params, /*use_sparse_solver=*/true };
+    EXPECT_EQ(dense.backend_name(), "openmp");
+    EXPECT_EQ(sparse.backend_name(), "openmp-sparse");
+
+    const auto dense_model = dense.fit(data, ctrl);
+    const auto sparse_model = sparse.fit(data, ctrl);
+    for (std::size_t i = 0; i < dense_model.alpha().size(); ++i) {
+        EXPECT_NEAR(dense_model.alpha()[i], sparse_model.alpha()[i], 1e-7);
+    }
+    EXPECT_NEAR(dense_model.rho(), sparse_model.rho(), 1e-7);
+}
+
+}  // namespace

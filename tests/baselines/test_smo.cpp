@@ -1,0 +1,161 @@
+/**
+ * @file
+ * @brief Tests of the LIBSVM-style SMO baseline (working-set selection,
+ *        kernel cache, sparse/dense parity, KKT conditions).
+ */
+
+#include "plssvm/baselines/smo/kernel_cache.hpp"
+#include "plssvm/baselines/smo/solver.hpp"
+#include "plssvm/baselines/smo/svc.hpp"
+#include "plssvm/core/sparse_matrix.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::data_set;
+using plssvm::kernel_params;
+using plssvm::kernel_type;
+using plssvm::parameter;
+namespace smo = plssvm::baseline::smo;
+
+[[nodiscard]] data_set<double> make_planes(const std::size_t points, const std::size_t features,
+                                           const double sep = 2.5, const double flip = 0.0) {
+    plssvm::datagen::classification_params params;
+    params.num_points = points;
+    params.num_features = features;
+    params.class_sep = sep;
+    params.flip_y = flip;
+    return plssvm::datagen::make_classification<double>(params);
+}
+
+TEST(SmoSolver, SolvesTinyProblemExactly) {
+    // two points, one per class: alpha_0 = alpha_1 by symmetry, f separates them
+    aos_matrix<double> points{ 2, 1 };
+    points(0, 0) = 1.0;
+    points(1, 0) = -1.0;
+    const std::vector<double> y{ 1.0, -1.0 };
+    const kernel_params<double> kp{ kernel_type::linear, 3, 1.0, 0.0 };
+    const smo::dense_kernel_source<double> source{ points, kp };
+    const auto result = smo::solve_c_svc<double>(source, y, smo::smo_options{ .cost = 10.0, .epsilon = 1e-6 });
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.alpha[0], result.alpha[1], 1e-9);
+    // analytic optimum: max 2a - a^2 (K11+K22-2K12 = 4) / ... => a = 0.5
+    EXPECT_NEAR(result.alpha[0], 0.5, 1e-6);
+    EXPECT_NEAR(result.rho, 0.0, 1e-6);
+}
+
+TEST(SmoSolver, SatisfiesKktConditions) {
+    const data_set<double> data = make_planes(160, 8);
+    const kernel_params<double> kp{ kernel_type::linear, 3, 1.0, 0.0 };
+    const smo::dense_kernel_source<double> source{ data.points(), kp };
+    const double C = 1.0;
+    const auto result = smo::solve_c_svc<double>(source, data.binary_labels(), smo::smo_options{ .cost = C, .epsilon = 1e-6 });
+    ASSERT_TRUE(result.converged);
+
+    // box constraints
+    for (const double a : result.alpha) {
+        EXPECT_GE(a, -1e-12);
+        EXPECT_LE(a, C + 1e-12);
+    }
+    // equality constraint sum_i y_i alpha_i = 0
+    double sum = 0.0;
+    for (std::size_t i = 0; i < result.alpha.size(); ++i) {
+        sum += data.binary_labels()[i] * result.alpha[i];
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(SmoSolver, SparseAndDenseRepresentationsAgree) {
+    const data_set<double> data = make_planes(128, 6);
+    const kernel_params<double> kp{ kernel_type::rbf, 3, 0.25, 0.0 };
+    const std::vector<double> &y = data.binary_labels();
+    const smo::smo_options options{ .cost = 1.0, .epsilon = 1e-8 };
+
+    const smo::dense_kernel_source<double> dense{ data.points(), kp };
+    const plssvm::csr_matrix<double> csr{ data.points() };
+    const smo::sparse_kernel_source<double> sparse{ csr, kp };
+
+    const auto dense_result = smo::solve_c_svc<double>(dense, y, options);
+    const auto sparse_result = smo::solve_c_svc<double>(sparse, y, options);
+
+    ASSERT_EQ(dense_result.alpha.size(), sparse_result.alpha.size());
+    for (std::size_t i = 0; i < dense_result.alpha.size(); ++i) {
+        EXPECT_NEAR(dense_result.alpha[i], sparse_result.alpha[i], 1e-6);
+    }
+    EXPECT_NEAR(dense_result.rho, sparse_result.rho, 1e-6);
+}
+
+TEST(SmoSolver, TighterEpsilonNeverWorsensObjective) {
+    const data_set<double> data = make_planes(96, 6, 1.5, 0.02);
+    const kernel_params<double> kp{ kernel_type::linear, 3, 1.0, 0.0 };
+    const smo::dense_kernel_source<double> source{ data.points(), kp };
+    const auto loose = smo::solve_c_svc<double>(source, data.binary_labels(), smo::smo_options{ .cost = 1.0, .epsilon = 1e-2 });
+    const auto tight = smo::solve_c_svc<double>(source, data.binary_labels(), smo::smo_options{ .cost = 1.0, .epsilon = 1e-8 });
+    EXPECT_LE(tight.objective, loose.objective + 1e-12);
+    EXPECT_GE(tight.iterations, loose.iterations);
+}
+
+TEST(SmoSvc, ReachesHighAccuracyOnSeparableData) {
+    const data_set<double> data = make_planes(256, 16, 3.0);
+    smo::svc<double> svc{ parameter{ kernel_type::linear } };
+    const auto model = svc.fit(data, 1e-4);
+    EXPECT_GE(svc.score(model, data), 0.97);
+}
+
+TEST(SmoSvc, SmoSolutionIsSparseInAlpha) {
+    // well separated data: SMO needs only a few support vectors, in contrast
+    // to the LS-SVM where every point is one (paper §II-C / §IV-H)
+    const data_set<double> data = make_planes(256, 8, 4.0);
+    smo::svc<double> svc{ parameter{ kernel_type::linear } };
+    const auto model = svc.fit(data, 1e-4);
+    EXPECT_LT(model.num_support_vectors(), data.num_data_points() / 2);
+}
+
+TEST(SmoSvc, DenseVariantName) {
+    smo::svc<double> sparse_svc{ parameter{} };
+    smo::svc<double> dense_svc{ parameter{}, smo::representation::dense };
+    EXPECT_EQ(sparse_svc.name(), "libsvm");
+    EXPECT_EQ(dense_svc.name(), "libsvm-dense");
+}
+
+TEST(KernelCache, EvictsLeastRecentlyUsed) {
+    aos_matrix<double> points{ 8, 2 };
+    for (std::size_t i = 0; i < 8; ++i) {
+        points(i, 0) = static_cast<double>(i);
+    }
+    const kernel_params<double> kp{ kernel_type::linear, 3, 1.0, 0.0 };
+    const smo::dense_kernel_source<double> source{ points, kp };
+    // capacity: 2 rows (8 doubles * 2 rows = 128 bytes)
+    smo::kernel_cache<double> cache{ source, 2 * 8 * sizeof(double) };
+
+    (void) cache.row(0);
+    (void) cache.row(1);
+    EXPECT_EQ(cache.misses(), 2U);
+    (void) cache.row(0);  // hit, refreshes 0
+    EXPECT_EQ(cache.hits(), 1U);
+    (void) cache.row(2);  // evicts 1 (LRU)
+    (void) cache.row(0);  // still cached
+    EXPECT_EQ(cache.hits(), 2U);
+    (void) cache.row(1);  // miss again
+    EXPECT_EQ(cache.misses(), 4U);
+}
+
+TEST(KernelCache, RowValuesAreCorrect) {
+    const data_set<double> data = make_planes(32, 4);
+    const kernel_params<double> kp{ kernel_type::rbf, 3, 0.5, 0.0 };
+    const smo::dense_kernel_source<double> source{ data.points(), kp };
+    smo::kernel_cache<double> cache{ source, 1024 * 1024 };
+    const auto &row = cache.row(5);
+    for (std::size_t j = 0; j < data.num_data_points(); ++j) {
+        const double expected = plssvm::kernels::apply(kp, data.points().row_data(5), data.points().row_data(j), 4);
+        EXPECT_DOUBLE_EQ(row[j], expected);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * @brief Tests of the ThunderSVM-style batched-SMO baseline.
+ */
+
+#include "plssvm/baselines/smo/svc.hpp"
+#include "plssvm/baselines/thunder/thunder_svc.hpp"
+#include "plssvm/backends/openmp/csvm.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace {
+
+using plssvm::data_set;
+using plssvm::kernel_type;
+using plssvm::parameter;
+namespace thunder = plssvm::baseline::thunder;
+
+[[nodiscard]] data_set<double> make_planes(const std::size_t points, const std::size_t features,
+                                           const double sep = 2.5) {
+    plssvm::datagen::classification_params params;
+    params.num_points = points;
+    params.num_features = features;
+    params.class_sep = sep;
+    params.flip_y = 0.0;
+    return plssvm::datagen::make_classification<double>(params);
+}
+
+TEST(ThunderSvc, CpuModeReachesHighAccuracy) {
+    const data_set<double> data = make_planes(256, 16, 3.0);
+    thunder::thunder_svc<double> svc{ parameter{ kernel_type::linear }, std::nullopt };
+    const auto model = svc.fit(data, 1e-4);
+    EXPECT_GE(svc.score(model, data), 0.97);
+    EXPECT_EQ(svc.last_sim_seconds(), 0.0);
+    EXPECT_EQ(svc.name(), "thundersvm-cpu");
+}
+
+TEST(ThunderSvc, GpuModeReachesHighAccuracy) {
+    const data_set<double> data = make_planes(256, 16, 3.0);
+    thunder::thunder_svc<double> svc{ parameter{ kernel_type::linear } };
+    const auto model = svc.fit(data, 1e-4);
+    EXPECT_GE(svc.score(model, data), 0.97);
+    EXPECT_GT(svc.last_sim_seconds(), 0.0);
+    EXPECT_EQ(svc.name(), "thundersvm-gpu");
+}
+
+TEST(ThunderSvc, AgreesWithSequentialSmo) {
+    // batched SMO solves the same dual problem; decision agreement on the
+    // training data should be (near) perfect for a strict tolerance
+    const data_set<double> data = make_planes(192, 10, 2.0);
+    thunder::thunder_svc<double> batched{ parameter{ kernel_type::linear }, std::nullopt };
+    plssvm::baseline::smo::svc<double> sequential{ parameter{ kernel_type::linear } };
+
+    const auto batched_model = batched.fit(data, 1e-6);
+    const auto sequential_model = sequential.fit(data, 1e-6);
+
+    const auto batched_pred = batched.predict(batched_model, data);
+    const auto sequential_pred = sequential.predict(sequential_model, data);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < batched_pred.size(); ++i) {
+        agree += batched_pred[i] == sequential_pred[i];
+    }
+    EXPECT_GE(static_cast<double>(agree) / static_cast<double>(batched_pred.size()), 0.99);
+}
+
+TEST(ThunderSvc, SpawnsManySmallKernels) {
+    // the execution profile the paper measures: plenty of tiny kernels
+    // (selection + per-step updates), few large ones (§IV-C)
+    const data_set<double> data = make_planes(512, 32, 1.5);
+    thunder::thunder_svc<double> svc{ parameter{ kernel_type::linear } };
+    (void) svc.fit(data, 1e-5);
+    const plssvm::sim::profiler *prof = svc.last_profiler();
+    ASSERT_NE(prof, nullptr);
+    EXPECT_GT(prof->total_launches(), 100U);
+    // tiny kernels dominate the launch count
+    const auto &kernels = prof->kernels();
+    ASSERT_TRUE(kernels.contains("smo_step"));
+    ASSERT_TRUE(kernels.contains("compute_kernel_rows"));
+    EXPECT_GT(kernels.at("smo_step").launches, kernels.at("compute_kernel_rows").launches);
+}
+
+TEST(ThunderSvc, RbfKernelTrains) {
+    const data_set<double> data = make_planes(192, 12, 2.0);
+    parameter params{ kernel_type::rbf };
+    params.gamma = 0.1;
+    thunder::thunder_svc<double> svc{ params, std::nullopt };
+    const auto model = svc.fit(data, 1e-4);
+    EXPECT_GE(svc.score(model, data), 0.95);
+}
+
+TEST(ThunderSvc, UsesMoreDeviceMemoryThanPlssvm) {
+    // §IV-G: ThunderSVM keeps kernel rows on the GPU; its footprint exceeds
+    // the raw data size, unlike PLSSVM's implicit representation
+    const data_set<double> data = make_planes(512, 32);
+    thunder::thunder_svc<double> svc{ parameter{ kernel_type::linear } };
+    (void) svc.fit(data, 1e-4);
+    const std::size_t raw_data_bytes = 512 * 32 * sizeof(double);
+    EXPECT_GT(svc.peak_device_memory(), raw_data_bytes);
+}
+
+}  // namespace

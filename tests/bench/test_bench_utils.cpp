@@ -1,0 +1,71 @@
+/**
+ * @file
+ * @brief Unit tests for the bench harness statistics (CoV etc. back the
+ *        paper-comparison claims, so they deserve their own coverage).
+ */
+
+#include "common/bench_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using plssvm::bench::compute_stats;
+
+TEST(BenchStats, EmptyInputIsAllZero) {
+    const auto stats = compute_stats({});
+    EXPECT_EQ(stats.samples, 0U);
+    EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+    EXPECT_DOUBLE_EQ(stats.cov, 0.0);
+}
+
+TEST(BenchStats, SingleSample) {
+    const auto stats = compute_stats({ 2.5 });
+    EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+    EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(stats.cov, 0.0);
+    EXPECT_DOUBLE_EQ(stats.min, 2.5);
+    EXPECT_DOUBLE_EQ(stats.max, 2.5);
+}
+
+TEST(BenchStats, KnownValues) {
+    const auto stats = compute_stats({ 1.0, 2.0, 3.0, 4.0 });
+    EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+    EXPECT_DOUBLE_EQ(stats.min, 1.0);
+    EXPECT_DOUBLE_EQ(stats.max, 4.0);
+    // population stddev of {1,2,3,4} = sqrt(1.25)
+    EXPECT_NEAR(stats.stddev, std::sqrt(1.25), 1e-12);
+    EXPECT_NEAR(stats.cov, std::sqrt(1.25) / 2.5, 1e-12);
+}
+
+TEST(BenchStats, ConstantSamplesHaveZeroCov) {
+    const auto stats = compute_stats({ 3.0, 3.0, 3.0 });
+    EXPECT_DOUBLE_EQ(stats.cov, 0.0);
+}
+
+TEST(BenchStats, MeasureCollectsRepeats) {
+    int calls = 0;
+    const auto stats = plssvm::bench::measure(5, [&]() {
+        ++calls;
+        return static_cast<double>(calls);
+    });
+    EXPECT_EQ(calls, 5);
+    EXPECT_EQ(stats.samples, 5U);
+    EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+}
+
+TEST(BenchFormat, AdaptiveSecondsUnits) {
+    EXPECT_EQ(plssvm::bench::format_seconds(0.0000005), "0.5 us");
+    EXPECT_EQ(plssvm::bench::format_seconds(0.0123), "12.30 ms");
+    EXPECT_EQ(plssvm::bench::format_seconds(4.5), "4.50 s");
+    EXPECT_EQ(plssvm::bench::format_seconds(240.0), "4.0 min");
+}
+
+TEST(BenchFormat, FixedPrecisionDouble) {
+    EXPECT_EQ(plssvm::bench::format_double(1.23456, 2), "1.23");
+    EXPECT_EQ(plssvm::bench::format_double(0.5, 3), "0.500");
+}
+
+}  // namespace

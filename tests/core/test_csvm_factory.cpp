@@ -1,0 +1,122 @@
+/**
+ * @file
+ * @brief Tests of the runtime backend factory and the performance tracker.
+ */
+
+#include "plssvm/backends/device/csvm.hpp"
+#include "plssvm/core/csvm_factory.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+#include "plssvm/detail/tracker.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using plssvm::backend_type;
+using plssvm::parameter;
+
+TEST(CsvmFactory, CreatesEveryBackend) {
+    for (const auto backend : { backend_type::openmp, backend_type::cuda,
+                                backend_type::opencl, backend_type::sycl }) {
+        const auto svm = plssvm::make_csvm<double>(backend, parameter{});
+        ASSERT_NE(svm, nullptr);
+        EXPECT_EQ(svm->backend_name(), plssvm::backend_type_to_string(backend));
+    }
+}
+
+TEST(CsvmFactory, FloatInstantiation) {
+    const auto svm = plssvm::make_csvm<float>(backend_type::openmp, parameter{});
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 96;
+    gen.num_features = 8;
+    gen.class_sep = 3.0;
+    const auto data = plssvm::datagen::make_classification<float>(gen);
+    const auto model = svm->fit(data, plssvm::solver_control{ .epsilon = 1e-4 });
+    EXPECT_GE(svm->score(model, data), 0.95F);
+}
+
+TEST(CsvmFactory, DefaultDeviceIsA100) {
+    const auto svm = plssvm::make_csvm<double>(backend_type::cuda, parameter{});
+    // the device backends default to the paper's scaling GPU
+    const auto *device_svm = dynamic_cast<plssvm::backend::device::device_csvm<double> *>(svm.get());
+    ASSERT_NE(device_svm, nullptr);
+    EXPECT_EQ(device_svm->num_devices(), 1U);
+    EXPECT_EQ(device_svm->devices()[0].spec().name, "NVIDIA A100");
+}
+
+TEST(CsvmFactory, ExplicitDeviceList) {
+    const std::vector<plssvm::sim::device_spec> specs{ plssvm::sim::devices::nvidia_v100(),
+                                                       plssvm::sim::devices::nvidia_v100() };
+    const auto svm = plssvm::make_csvm<double>(backend_type::opencl, parameter{}, specs);
+    const auto *device_svm = dynamic_cast<plssvm::backend::device::device_csvm<double> *>(svm.get());
+    ASSERT_NE(device_svm, nullptr);
+    EXPECT_EQ(device_svm->num_devices(), 2U);
+}
+
+TEST(CsvmFactory, InvalidCombinationThrows) {
+    EXPECT_THROW((void) plssvm::make_csvm<double>(backend_type::cuda, parameter{},
+                                                  { plssvm::sim::devices::intel_uhd_p630() }),
+                 plssvm::unsupported_backend_exception);
+}
+
+TEST(CsvmFactory, InvalidParameterThrowsAtConstruction) {
+    parameter params;
+    params.cost = -1.0;
+    EXPECT_THROW((void) plssvm::make_csvm<double>(backend_type::openmp, params),
+                 plssvm::invalid_parameter_exception);
+}
+
+// ---- performance tracker ----------------------------------------------------
+
+TEST(Tracker, AccumulatesComponents) {
+    plssvm::detail::tracker tracker;
+    tracker.add("cg", 1.0, 2.0);
+    tracker.add("cg", 0.5, 1.0);
+    tracker.add("read", 0.25);
+    const auto cg = tracker.get("cg");
+    EXPECT_DOUBLE_EQ(cg.wall_seconds, 1.5);
+    EXPECT_DOUBLE_EQ(cg.sim_seconds, 3.0);
+    EXPECT_EQ(cg.invocations, 2U);
+    EXPECT_DOUBLE_EQ(tracker.total_wall_seconds(), 1.75);
+    EXPECT_DOUBLE_EQ(tracker.total_sim_seconds(), 3.0);
+}
+
+TEST(Tracker, UnknownComponentIsZero) {
+    const plssvm::detail::tracker tracker;
+    const auto entry = tracker.get("nonexistent");
+    EXPECT_DOUBLE_EQ(entry.wall_seconds, 0.0);
+    EXPECT_EQ(entry.invocations, 0U);
+}
+
+TEST(Tracker, ReportedSecondsPrefersSimTime) {
+    plssvm::detail::component_timing timing;
+    timing.wall_seconds = 5.0;
+    EXPECT_DOUBLE_EQ(timing.reported_seconds(), 5.0);  // host component
+    timing.sim_seconds = 2.0;
+    EXPECT_DOUBLE_EQ(timing.reported_seconds(), 2.0);  // device component
+}
+
+TEST(Tracker, ClearResets) {
+    plssvm::detail::tracker tracker;
+    tracker.add("cg", 1.0);
+    tracker.clear();
+    EXPECT_TRUE(tracker.components().empty());
+    EXPECT_DOUBLE_EQ(tracker.total_wall_seconds(), 0.0);
+}
+
+TEST(Tracker, ScopedTimerMeasuresElapsedTime) {
+    plssvm::detail::tracker tracker;
+    {
+        const plssvm::detail::scoped_timer timer{ tracker, "scope" };
+        volatile double sink = 0.0;
+        for (int i = 0; i < 100000; ++i) {
+            sink += static_cast<double>(i);
+        }
+        (void) sink;
+    }
+    EXPECT_GT(tracker.get("scope").wall_seconds, 0.0);
+    EXPECT_EQ(tracker.get("scope").invocations, 1U);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * @brief Tests of the `data_set` abstraction: label mapping, file loading,
+ *        scaling integration, and validation.
+ */
+
+#include "plssvm/backends/backend_types.hpp"
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::data_set;
+
+TEST(DataSet, UnlabeledConstruction) {
+    aos_matrix<double> points{ 3, 2 };
+    const data_set<double> data{ std::move(points) };
+    EXPECT_EQ(data.num_data_points(), 3U);
+    EXPECT_EQ(data.num_features(), 2U);
+    EXPECT_FALSE(data.has_labels());
+    EXPECT_FALSE(data.is_binary());
+}
+
+TEST(DataSet, BinaryLabelMappingFollowsFirstOccurrence) {
+    aos_matrix<double> points{ 4, 1 };
+    const data_set<double> data{ std::move(points), { 5.0, 2.0, 5.0, 2.0 } };
+    ASSERT_TRUE(data.is_binary());
+    // first distinct label (5.0) maps to +1
+    EXPECT_EQ(data.binary_labels(), (std::vector<double>{ 1.0, -1.0, 1.0, -1.0 }));
+    EXPECT_DOUBLE_EQ(data.original_label(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(data.original_label(-1.0), 2.0);
+}
+
+TEST(DataSet, CanonicalPlusMinusOneLabels) {
+    aos_matrix<double> points{ 2, 1 };
+    const data_set<double> data{ std::move(points), { -1.0, 1.0 } };
+    EXPECT_EQ(data.binary_labels(), (std::vector<double>{ 1.0, -1.0 }));  // -1 seen first => maps to +1
+    EXPECT_DOUBLE_EQ(data.original_label(1.0), -1.0);
+}
+
+TEST(DataSet, NonBinaryLabelAccessThrows) {
+    aos_matrix<double> points{ 3, 1 };
+    const data_set<double> data{ std::move(points), { 1.0, 2.0, 3.0 } };
+    EXPECT_FALSE(data.is_binary());
+    EXPECT_EQ(data.distinct_labels().size(), 3U);
+    EXPECT_THROW((void) data.binary_labels(), plssvm::invalid_data_exception);
+    EXPECT_THROW((void) data.original_label(1.0), plssvm::invalid_data_exception);
+}
+
+TEST(DataSet, SizeMismatchThrows) {
+    aos_matrix<double> points{ 3, 1 };
+    EXPECT_THROW((data_set<double>{ std::move(points), { 1.0 } }), plssvm::invalid_data_exception);
+}
+
+TEST(DataSet, EmptyThrows) {
+    aos_matrix<double> empty;
+    EXPECT_THROW((data_set<double>{ std::move(empty) }), plssvm::invalid_data_exception);
+}
+
+TEST(DataSet, FromLibsvmFile) {
+    const std::string path = "/tmp/plssvm_test_dataset.libsvm";
+    std::ofstream{ path } << "1 1:1.0 2:2.0\n-1 2:0.5\n";
+    const auto data = data_set<double>::from_file(path);
+    EXPECT_EQ(data.num_data_points(), 2U);
+    EXPECT_EQ(data.num_features(), 2U);
+    EXPECT_TRUE(data.is_binary());
+    std::remove(path.c_str());
+}
+
+TEST(DataSet, FromArffFileByExtension) {
+    const std::string path = "/tmp/plssvm_test_dataset.arff";
+    std::ofstream{ path } << "@RELATION t\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE class {-1,1}\n@DATA\n1.5,1\n-0.5,-1\n";
+    const auto data = data_set<double>::from_file(path);
+    EXPECT_EQ(data.num_data_points(), 2U);
+    EXPECT_EQ(data.num_features(), 1U);
+    EXPECT_TRUE(data.has_labels());
+    std::remove(path.c_str());
+}
+
+TEST(DataSet, SaveLibsvmRoundTrip) {
+    aos_matrix<double> points{ 2, 3 };
+    points(0, 0) = 1.0;
+    points(1, 2) = -2.0;
+    const data_set<double> data{ std::move(points), { 1.0, -1.0 } };
+    const std::string path = "/tmp/plssvm_test_dataset_rt.libsvm";
+    data.save_libsvm(path);
+    const auto loaded = data_set<double>::from_file(path);
+    EXPECT_EQ(loaded.points(), data.points());
+    EXPECT_EQ(loaded.labels(), data.labels());
+    std::remove(path.c_str());
+}
+
+TEST(DataSet, ScaleToInterval) {
+    aos_matrix<double> points{ 2, 1 };
+    points(0, 0) = 0.0;
+    points(1, 0) = 10.0;
+    data_set<double> data{ std::move(points), { 1.0, -1.0 } };
+    const auto factors = data.scale(-1.0, 1.0);
+    EXPECT_DOUBLE_EQ(data.points()(0, 0), -1.0);
+    EXPECT_DOUBLE_EQ(data.points()(1, 0), 1.0);
+    EXPECT_TRUE(factors.fitted());
+}
+
+TEST(DataSet, ScaleTestDataWithTrainFactors) {
+    aos_matrix<double> train_points{ 2, 1 };
+    train_points(0, 0) = 0.0;
+    train_points(1, 0) = 10.0;
+    data_set<double> train{ std::move(train_points), { 1.0, -1.0 } };
+    const auto factors = train.scale();
+
+    aos_matrix<double> test_points{ 1, 1 };
+    test_points(0, 0) = 5.0;
+    data_set<double> test{ std::move(test_points) };
+    test.scale(factors);
+    EXPECT_DOUBLE_EQ(test.points()(0, 0), 0.0);
+}
+
+TEST(Parameter, EffectiveGammaDefault) {
+    const plssvm::parameter params{};
+    EXPECT_DOUBLE_EQ(params.effective_gamma(4), 0.25);
+    plssvm::parameter explicit_gamma{};
+    explicit_gamma.gamma = 2.0;
+    EXPECT_DOUBLE_EQ(explicit_gamma.effective_gamma(4), 2.0);
+}
+
+TEST(Parameter, ValidationRejectsBadValues) {
+    plssvm::parameter params{};
+    params.cost = 0.0;
+    EXPECT_THROW(params.validate(), plssvm::invalid_parameter_exception);
+    params.cost = 1.0;
+    params.kernel = plssvm::kernel_type::polynomial;
+    params.degree = 0;
+    EXPECT_THROW(params.validate(), plssvm::invalid_parameter_exception);
+    params.degree = 3;
+    params.gamma = -1.0;
+    EXPECT_THROW(params.validate(), plssvm::invalid_parameter_exception);
+}
+
+TEST(SolverControl, ValidationRejectsBadValues) {
+    plssvm::solver_control ctrl;
+    ctrl.epsilon = 0.0;
+    EXPECT_THROW(ctrl.validate(), plssvm::invalid_parameter_exception);
+    ctrl.epsilon = 1.0;
+    EXPECT_THROW(ctrl.validate(), plssvm::invalid_parameter_exception);
+    ctrl.epsilon = 0.5;
+    ctrl.residual_refresh_interval = 0;
+    EXPECT_THROW(ctrl.validate(), plssvm::invalid_parameter_exception);
+}
+
+TEST(BackendTypes, RoundTripAndAliases) {
+    for (const auto backend : { plssvm::backend_type::openmp, plssvm::backend_type::cuda,
+                                plssvm::backend_type::opencl, plssvm::backend_type::sycl }) {
+        EXPECT_EQ(plssvm::backend_type_from_string(plssvm::backend_type_to_string(backend)), backend);
+    }
+    EXPECT_EQ(plssvm::backend_type_from_string("OMP"), plssvm::backend_type::openmp);
+    EXPECT_EQ(plssvm::backend_type_from_string("hipsycl"), plssvm::backend_type::sycl);
+    EXPECT_EQ(plssvm::backend_type_from_string("dpc++"), plssvm::backend_type::sycl);
+    EXPECT_THROW((void) plssvm::backend_type_from_string("vulkan"), plssvm::unsupported_backend_exception);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * @brief Unit tests for the scalar kernel functions (paper §II-E).
+ */
+
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using plssvm::kernel_params;
+using plssvm::kernel_type;
+namespace kernels = plssvm::kernels;
+
+TEST(KernelFunctions, DotProduct) {
+    const std::vector<double> x{ 1.0, 2.0, 3.0 };
+    const std::vector<double> y{ 4.0, -5.0, 6.0 };
+    EXPECT_DOUBLE_EQ(kernels::dot(x.data(), y.data(), 3), 4.0 - 10.0 + 18.0);
+}
+
+TEST(KernelFunctions, DotProductEmpty) {
+    const std::vector<double> x{};
+    EXPECT_DOUBLE_EQ(kernels::dot(x.data(), x.data(), 0), 0.0);
+}
+
+TEST(KernelFunctions, SquaredEuclideanDistance) {
+    const std::vector<double> x{ 1.0, 2.0 };
+    const std::vector<double> y{ 4.0, 6.0 };
+    EXPECT_DOUBLE_EQ(kernels::squared_euclidean_distance(x.data(), y.data(), 2), 9.0 + 16.0);
+}
+
+TEST(KernelFunctions, SquaredDistanceToSelfIsZero) {
+    const std::vector<double> x{ 0.5, -1.5, 3.25 };
+    EXPECT_DOUBLE_EQ(kernels::squared_euclidean_distance(x.data(), x.data(), 3), 0.0);
+}
+
+TEST(KernelFunctions, IntPow) {
+    EXPECT_DOUBLE_EQ(kernels::int_pow(2.0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(kernels::int_pow(2.0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(kernels::int_pow(2.0, 10), 1024.0);
+    EXPECT_DOUBLE_EQ(kernels::int_pow(-3.0, 3), -27.0);
+    EXPECT_DOUBLE_EQ(kernels::int_pow(0.5, 2), 0.25);
+}
+
+TEST(KernelFunctions, LinearKernel) {
+    const kernel_params<double> kp{ kernel_type::linear, 3, 1.0, 0.0 };
+    const std::vector<double> x{ 1.0, 2.0 };
+    const std::vector<double> y{ 3.0, 4.0 };
+    EXPECT_DOUBLE_EQ(kernels::apply(kp, x.data(), y.data(), 2), 11.0);
+}
+
+TEST(KernelFunctions, PolynomialKernel) {
+    const kernel_params<double> kp{ kernel_type::polynomial, 2, 0.5, 1.0 };
+    const std::vector<double> x{ 1.0, 2.0 };
+    const std::vector<double> y{ 3.0, 4.0 };
+    // (0.5 * 11 + 1)^2 = 6.5^2
+    EXPECT_DOUBLE_EQ(kernels::apply(kp, x.data(), y.data(), 2), 6.5 * 6.5);
+}
+
+TEST(KernelFunctions, RbfKernel) {
+    const kernel_params<double> kp{ kernel_type::rbf, 3, 0.25, 0.0 };
+    const std::vector<double> x{ 1.0, 2.0 };
+    const std::vector<double> y{ 4.0, 6.0 };
+    EXPECT_DOUBLE_EQ(kernels::apply(kp, x.data(), y.data(), 2), std::exp(-0.25 * 25.0));
+}
+
+TEST(KernelFunctions, RbfKernelOfIdenticalPointsIsOne) {
+    const kernel_params<double> kp{ kernel_type::rbf, 3, 1.5, 0.0 };
+    const std::vector<double> x{ 0.1, -0.7, 2.3 };
+    EXPECT_DOUBLE_EQ(kernels::apply(kp, x.data(), x.data(), 3), 1.0);
+}
+
+TEST(KernelFunctions, SigmoidKernel) {
+    const kernel_params<double> kp{ kernel_type::sigmoid, 3, 0.1, -0.5 };
+    const std::vector<double> x{ 1.0, 2.0 };
+    const std::vector<double> y{ 3.0, 4.0 };
+    EXPECT_DOUBLE_EQ(kernels::apply(kp, x.data(), y.data(), 2), std::tanh(0.1 * 11.0 - 0.5));
+}
+
+TEST(KernelFunctions, FinishMatchesApplyForInnerProductKernels) {
+    const std::vector<double> x{ 0.3, -1.2, 0.8 };
+    const std::vector<double> y{ 1.1, 0.4, -0.6 };
+    for (const kernel_type kt : { kernel_type::linear, kernel_type::polynomial, kernel_type::sigmoid }) {
+        const kernel_params<double> kp{ kt, 3, 0.7, 0.2 };
+        const double core = kernels::dot(x.data(), y.data(), 3);
+        EXPECT_DOUBLE_EQ(kernels::finish(kp, core), kernels::apply(kp, x.data(), y.data(), 3));
+    }
+}
+
+TEST(KernelFunctions, FinishMatchesApplyForRbf) {
+    const std::vector<double> x{ 0.3, -1.2, 0.8 };
+    const std::vector<double> y{ 1.1, 0.4, -0.6 };
+    const kernel_params<double> kp{ kernel_type::rbf, 3, 0.7, 0.0 };
+    const double core = kernels::squared_euclidean_distance(x.data(), y.data(), 3);
+    EXPECT_DOUBLE_EQ(kernels::finish(kp, core), kernels::apply(kp, x.data(), y.data(), 3));
+}
+
+TEST(KernelFunctions, FeatureSplitSupport) {
+    EXPECT_TRUE(kernels::supports_feature_split(kernel_type::linear));
+    EXPECT_FALSE(kernels::supports_feature_split(kernel_type::polynomial));
+    EXPECT_FALSE(kernels::supports_feature_split(kernel_type::rbf));
+    EXPECT_FALSE(kernels::supports_feature_split(kernel_type::sigmoid));
+}
+
+TEST(KernelTypes, RoundTripStrings) {
+    for (const kernel_type kt : { kernel_type::linear, kernel_type::polynomial, kernel_type::rbf, kernel_type::sigmoid }) {
+        EXPECT_EQ(plssvm::kernel_type_from_string(plssvm::kernel_type_to_string(kt)), kt);
+    }
+}
+
+TEST(KernelTypes, ParseAliases) {
+    EXPECT_EQ(plssvm::kernel_type_from_string("poly"), kernel_type::polynomial);
+    EXPECT_EQ(plssvm::kernel_type_from_string("radial"), kernel_type::rbf);
+    EXPECT_EQ(plssvm::kernel_type_from_string("LINEAR"), kernel_type::linear);
+    EXPECT_EQ(plssvm::kernel_type_from_string("0"), kernel_type::linear);
+    EXPECT_EQ(plssvm::kernel_type_from_string("2"), kernel_type::rbf);
+}
+
+TEST(KernelTypes, ParseUnknownThrows) {
+    EXPECT_THROW(plssvm::kernel_type_from_string("gaussian_process"), plssvm::invalid_parameter_exception);
+    EXPECT_THROW(plssvm::kernel_type_from_string(""), plssvm::invalid_parameter_exception);
+}
+
+}  // namespace

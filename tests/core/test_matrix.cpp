@@ -1,0 +1,173 @@
+/**
+ * @file
+ * @brief Tests of the dense matrix types, the AoS->SoA transform with padding
+ *        (paper §III-A), and the CSR sparse matrix substrate.
+ */
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/core/sparse_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::csr_matrix;
+using plssvm::soa_matrix;
+
+TEST(AosMatrix, ZeroInitialised) {
+    const aos_matrix<double> m{ 3, 4 };
+    EXPECT_EQ(m.num_rows(), 3U);
+    EXPECT_EQ(m.num_cols(), 4U);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+        }
+    }
+}
+
+TEST(AosMatrix, RowMajorLayout) {
+    aos_matrix<double> m{ 2, 3 };
+    m(0, 0) = 1.0;
+    m(0, 2) = 3.0;
+    m(1, 1) = 5.0;
+    EXPECT_DOUBLE_EQ(m.data()[0], 1.0);
+    EXPECT_DOUBLE_EQ(m.data()[2], 3.0);
+    EXPECT_DOUBLE_EQ(m.data()[4], 5.0);
+    EXPECT_DOUBLE_EQ(m.row_data(1)[1], 5.0);
+}
+
+TEST(AosMatrix, FromExistingStorage) {
+    const aos_matrix<double> m{ 2, 2, { 1.0, 2.0, 3.0, 4.0 } };
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(AosMatrix, EmptyMatrix) {
+    const aos_matrix<double> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.num_rows(), 0U);
+}
+
+TEST(SoaMatrix, PaddingRoundsUp) {
+    const soa_matrix<double> m{ 10, 3, 16 };
+    EXPECT_EQ(m.num_rows(), 10U);
+    EXPECT_EQ(m.padded_rows(), 16U);
+    const soa_matrix<double> exact{ 32, 3, 16 };
+    EXPECT_EQ(exact.padded_rows(), 32U);
+}
+
+TEST(SoaMatrix, RoundUpHelper) {
+    EXPECT_EQ(soa_matrix<double>::round_up(0, 8), 0U);
+    EXPECT_EQ(soa_matrix<double>::round_up(1, 8), 8U);
+    EXPECT_EQ(soa_matrix<double>::round_up(8, 8), 8U);
+    EXPECT_EQ(soa_matrix<double>::round_up(9, 8), 16U);
+    EXPECT_EQ(soa_matrix<double>::round_up(17, 1), 17U);
+}
+
+TEST(SoaMatrix, FeatureMajorLayout) {
+    soa_matrix<double> m{ 2, 2, 4 };  // padded to 4 rows
+    m(0, 0) = 1.0;
+    m(1, 0) = 2.0;
+    m(0, 1) = 3.0;
+    // feature 0 occupies the first padded_rows entries
+    EXPECT_DOUBLE_EQ(m.data()[0], 1.0);
+    EXPECT_DOUBLE_EQ(m.data()[1], 2.0);
+    EXPECT_DOUBLE_EQ(m.data()[4], 3.0);
+    EXPECT_DOUBLE_EQ(m.feature_data(0)[1], 2.0);
+}
+
+TEST(SoaMatrix, PaddingEntriesAreZero) {
+    soa_matrix<double> m{ 3, 2, 8 };
+    m(0, 0) = 7.0;
+    for (std::size_t col = 0; col < 2; ++col) {
+        for (std::size_t row = 3; row < 8; ++row) {
+            EXPECT_DOUBLE_EQ(m(row, col), 0.0);
+        }
+    }
+}
+
+TEST(LayoutTransform, RoundTripPreservesValues) {
+    aos_matrix<double> aos{ 5, 3 };
+    for (std::size_t r = 0; r < 5; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            aos(r, c) = static_cast<double>(r * 10 + c);
+        }
+    }
+    const soa_matrix<double> soa = plssvm::transform_to_soa(aos, 8);
+    for (std::size_t r = 0; r < 5; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_DOUBLE_EQ(soa(r, c), aos(r, c));
+        }
+    }
+    const aos_matrix<double> back = plssvm::transform_to_aos(soa);
+    EXPECT_EQ(back, aos);
+}
+
+TEST(LayoutTransform, PaddingMultipleOne) {
+    aos_matrix<double> aos{ 3, 2 };
+    aos(2, 1) = -1.5;
+    const soa_matrix<double> soa = plssvm::transform_to_soa(aos, 1);
+    EXPECT_EQ(soa.padded_rows(), 3U);
+    EXPECT_DOUBLE_EQ(soa(2, 1), -1.5);
+}
+
+// ---- CSR sparse matrix -----------------------------------------------------
+
+TEST(CsrMatrix, DropsZeros) {
+    aos_matrix<double> dense{ 2, 4 };
+    dense(0, 1) = 2.0;
+    dense(1, 3) = -3.0;
+    const csr_matrix<double> sparse{ dense };
+    EXPECT_EQ(sparse.num_nonzeros(), 2U);
+    EXPECT_EQ(sparse.row_nnz(0), 1U);
+    EXPECT_EQ(sparse.row_begin(0)->index, 1U);
+    EXPECT_DOUBLE_EQ(sparse.row_begin(0)->value, 2.0);
+}
+
+TEST(CsrMatrix, ToDenseRoundTrip) {
+    aos_matrix<double> dense{ 3, 5 };
+    dense(0, 0) = 1.0;
+    dense(1, 2) = 2.0;
+    dense(1, 4) = 3.0;
+    dense(2, 1) = -4.0;
+    const csr_matrix<double> sparse{ dense };
+    EXPECT_EQ(sparse.to_dense(), dense);
+}
+
+TEST(CsrMatrix, SparseDotMatchesDense) {
+    aos_matrix<double> dense{ 2, 6 };
+    dense(0, 0) = 1.0;
+    dense(0, 3) = 2.0;
+    dense(0, 5) = -1.0;
+    dense(1, 3) = 4.0;
+    dense(1, 4) = 7.0;
+    const csr_matrix<double> sparse{ dense };
+    // overlap only at index 3: 2 * 4 = 8
+    EXPECT_DOUBLE_EQ(sparse.dot(0, 1), 8.0);
+    EXPECT_DOUBLE_EQ(sparse.dot(0, 0), 1.0 + 4.0 + 1.0);
+}
+
+TEST(CsrMatrix, SparseSquaredDistanceMatchesDense) {
+    aos_matrix<double> dense{ 2, 4 };
+    dense(0, 0) = 1.0;
+    dense(0, 2) = 3.0;
+    dense(1, 1) = -2.0;
+    dense(1, 2) = 1.0;
+    const csr_matrix<double> sparse{ dense };
+    // diff = (1, 2, 2, 0) => 1 + 4 + 4 = 9
+    EXPECT_DOUBLE_EQ(sparse.squared_distance(0, 1), 9.0);
+    EXPECT_DOUBLE_EQ(sparse.squared_distance(1, 1), 0.0);
+}
+
+TEST(CsrMatrix, EmptyRow) {
+    const aos_matrix<double> dense{ 2, 3 };  // all zeros
+    const csr_matrix<double> sparse{ dense };
+    EXPECT_EQ(sparse.num_nonzeros(), 0U);
+    EXPECT_DOUBLE_EQ(sparse.dot(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(sparse.squared_distance(0, 1), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * @brief Unit tests for the classification/regression metrics.
+ */
+
+#include "plssvm/core/metrics.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace plssvm::metrics;
+
+TEST(Metrics, ConfusionMatrixCounts) {
+    const std::vector<double> predicted{ 1, 1, -1, -1, 1 };
+    const std::vector<double> truth{ 1, -1, -1, 1, 1 };
+    const auto cm = confusion(predicted, truth, 1.0);
+    EXPECT_EQ(cm.true_positives, 2U);
+    EXPECT_EQ(cm.false_positives, 1U);
+    EXPECT_EQ(cm.false_negatives, 1U);
+    EXPECT_EQ(cm.true_negatives, 1U);
+    EXPECT_EQ(cm.total(), 5U);
+}
+
+TEST(Metrics, AccuracyScore) {
+    const std::vector<double> predicted{ 1, 1, -1, -1 };
+    const std::vector<double> truth{ 1, -1, -1, -1 };
+    EXPECT_DOUBLE_EQ(accuracy_score(predicted, truth), 0.75);
+}
+
+TEST(Metrics, PerfectPredictions) {
+    const std::vector<double> labels{ 1, -1, 1 };
+    const auto cm = confusion(labels, labels, 1.0);
+    EXPECT_DOUBLE_EQ(accuracy_score(labels, labels), 1.0);
+    EXPECT_DOUBLE_EQ(precision(cm), 1.0);
+    EXPECT_DOUBLE_EQ(recall(cm), 1.0);
+    EXPECT_DOUBLE_EQ(f1_score(cm), 1.0);
+}
+
+TEST(Metrics, PrecisionRecallF1) {
+    // 3 TP, 1 FP, 2 FN
+    const std::vector<double> predicted{ 1, 1, 1, 1, -1, -1, -1 };
+    const std::vector<double> truth{ 1, 1, 1, -1, 1, 1, -1 };
+    const auto cm = confusion(predicted, truth, 1.0);
+    EXPECT_DOUBLE_EQ(precision(cm), 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(recall(cm), 3.0 / 5.0);
+    const double p = 0.75;
+    const double r = 0.6;
+    EXPECT_DOUBLE_EQ(f1_score(cm), 2.0 * p * r / (p + r));
+}
+
+TEST(Metrics, DegenerateCasesYieldZero) {
+    confusion_matrix cm;  // all zeros
+    EXPECT_DOUBLE_EQ(precision(cm), 0.0);
+    EXPECT_DOUBLE_EQ(recall(cm), 0.0);
+    EXPECT_DOUBLE_EQ(f1_score(cm), 0.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+    const std::vector<double> a{ 1, 2 };
+    const std::vector<double> b{ 1 };
+    EXPECT_THROW((void) accuracy_score(a, b), plssvm::invalid_data_exception);
+    EXPECT_THROW((void) mean_squared_error(a, b), plssvm::invalid_data_exception);
+    const std::vector<double> empty;
+    EXPECT_THROW((void) accuracy_score(empty, empty), plssvm::invalid_data_exception);
+}
+
+TEST(Metrics, MeanSquaredError) {
+    const std::vector<double> predicted{ 1.0, 2.0, 3.0 };
+    const std::vector<double> truth{ 1.0, 0.0, 0.0 };
+    EXPECT_DOUBLE_EQ(mean_squared_error(predicted, truth), (0.0 + 4.0 + 9.0) / 3.0);
+}
+
+TEST(Metrics, MeanAbsoluteError) {
+    const std::vector<double> predicted{ 1.0, -2.0 };
+    const std::vector<double> truth{ -1.0, 2.0 };
+    EXPECT_DOUBLE_EQ(mean_absolute_error(predicted, truth), 3.0);
+}
+
+TEST(Metrics, R2PerfectFitIsOne) {
+    const std::vector<double> values{ 1.0, 2.0, 3.0, 4.0 };
+    EXPECT_DOUBLE_EQ(r2_score(values, values), 1.0);
+}
+
+TEST(Metrics, R2MeanPredictorIsZero) {
+    const std::vector<double> truth{ 1.0, 2.0, 3.0 };
+    const std::vector<double> mean_prediction{ 2.0, 2.0, 2.0 };
+    EXPECT_DOUBLE_EQ(r2_score(mean_prediction, truth), 0.0);
+}
+
+TEST(Metrics, R2WorseThanMeanIsNegative) {
+    const std::vector<double> truth{ 1.0, 2.0, 3.0 };
+    const std::vector<double> bad{ 3.0, 3.0, -3.0 };
+    EXPECT_LT(r2_score(bad, truth), 0.0);
+}
+
+TEST(Metrics, R2ConstantTruth) {
+    const std::vector<double> truth{ 2.0, 2.0 };
+    EXPECT_DOUBLE_EQ(r2_score(truth, truth), 1.0);
+    const std::vector<double> off{ 2.0, 3.0 };
+    EXPECT_DOUBLE_EQ(r2_score(off, truth), 0.0);
+}
+
+}  // namespace

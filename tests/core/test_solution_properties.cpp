@@ -1,0 +1,174 @@
+/**
+ * @file
+ * @brief Property tests on the *trained solution* itself: the returned
+ *        (alpha, b) must satisfy the LS-SVM optimality system (Eq. 11) —
+ *        a much stronger check than accuracy thresholds.
+ */
+
+#include "plssvm/backends/openmp/csvm.hpp"
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/core/predict.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+#include "plssvm/ext/grid_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace {
+
+using plssvm::data_set;
+using plssvm::kernel_params;
+using plssvm::kernel_type;
+using plssvm::parameter;
+
+[[nodiscard]] data_set<double> make_data(const std::size_t m, const std::uint64_t seed = 3) {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = m;
+    gen.num_features = 7;
+    gen.class_sep = 1.5;
+    gen.seed = seed;
+    return plssvm::datagen::make_classification<double>(gen);
+}
+
+class SolutionOptimality : public ::testing::TestWithParam<kernel_type> {};
+
+TEST_P(SolutionOptimality, TrainedSolutionSatisfiesTheFullSystem) {
+    // Eq. 11: [Q 1; 1^T 0] [alpha; b] = [y; 0] with Q_ij = k(x_i,x_j) + d_ij/C.
+    // The backend solves the *reduced* system (Eq. 14); verify against the
+    // full un-reduced optimality conditions.
+    const auto data = make_data(80);
+    parameter params{ GetParam() };
+    params.gamma = 0.4;
+    params.coef0 = 0.8;
+    params.cost = 2.0;
+    plssvm::backend::openmp::csvm<double> svm{ params };
+    // the polynomial kernel yields a badly conditioned system at this size;
+    // give CG enough iterations to actually reach the tight residual
+    plssvm::solver_control ctrl;
+    ctrl.epsilon = 1e-12;
+    ctrl.max_iterations = 20000;
+    const auto model = svm.fit(data, ctrl);
+
+    const std::size_t m = data.num_data_points();
+    const std::size_t dim = data.num_features();
+    const kernel_params<double> kp{ params.kernel, params.degree, 0.4, 0.8 };
+    const std::vector<double> &alpha = model.alpha();
+    const std::vector<double> &y = data.binary_labels();
+    const double b = model.bias();
+
+    // row i of the full system: sum_j Q_ij alpha_j + b = y_i
+    double max_residual = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        double row = b;
+        for (std::size_t j = 0; j < m; ++j) {
+            double q = plssvm::kernels::apply(kp, data.points().row_data(i), data.points().row_data(j), dim);
+            if (i == j) {
+                q += 1.0 / params.cost;
+            }
+            row += q * alpha[j];
+        }
+        max_residual = std::max(max_residual, std::abs(row - y[i]));
+    }
+    EXPECT_LT(max_residual, 1e-6) << "kernel: " << plssvm::kernel_type_to_string(GetParam());
+
+    // last row: sum_i alpha_i = 0
+    double alpha_sum = 0.0;
+    for (const double a : alpha) {
+        alpha_sum += a;
+    }
+    EXPECT_NEAR(alpha_sum, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, SolutionOptimality,
+                         ::testing::Values(kernel_type::linear, kernel_type::polynomial, kernel_type::rbf),
+                         [](const auto &info) { return std::string{ plssvm::kernel_type_to_string(info.param) }; });
+
+TEST(SolutionProperties, DecisionValuesInterpolateLabelsAtHighCost) {
+    // as C -> infinity the LS-SVM interpolates: f(x_i) -> y_i on the training set
+    const auto data = make_data(60);
+    parameter params{ kernel_type::rbf };
+    params.gamma = 1.0;
+    params.cost = 1e7;
+    plssvm::backend::openmp::csvm<double> svm{ params };
+    const auto model = svm.fit(data, plssvm::solver_control{ .epsilon = 1e-12 });
+    const auto values = svm.predict_values(model, data);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_NEAR(values[i], data.binary_labels()[i], 1e-3);
+    }
+}
+
+TEST(SolutionProperties, SmallCostShrinksTheSolutionNorm) {
+    // 1/C dominates the diagonal as C -> 0, so ||alpha|| must shrink
+    const auto data = make_data(60);
+    const auto norm_for_cost = [&](const double cost) {
+        parameter params{ kernel_type::linear };
+        params.cost = cost;
+        plssvm::backend::openmp::csvm<double> svm{ params };
+        const auto model = svm.fit(data, plssvm::solver_control{ .epsilon = 1e-10 });
+        double norm = 0.0;
+        for (const double a : model.alpha()) {
+            norm += a * a;
+        }
+        return std::sqrt(norm);
+    };
+    EXPECT_LT(norm_for_cost(1e-4), norm_for_cost(1e2));
+}
+
+TEST(SolutionProperties, PredictionIsTranslationConsistentForLinearKernel) {
+    // f(x) with the linear kernel is affine: doubling a feature's scale in
+    // train+test data must not change predicted labels (w rescales inversely)
+    const auto data = make_data(70);
+    plssvm::backend::openmp::csvm<double> svm{ parameter{ kernel_type::linear } };
+    const auto model = svm.fit(data, plssvm::solver_control{ .epsilon = 1e-10 });
+    const auto labels = svm.predict(model, data);
+
+    plssvm::aos_matrix<double> scaled = data.points();
+    for (std::size_t i = 0; i < scaled.num_rows(); ++i) {
+        scaled.row_data(i)[0] *= 2.0;
+    }
+    const data_set<double> scaled_data{ std::move(scaled), data.labels() };
+    plssvm::backend::openmp::csvm<double> svm2{ parameter{ kernel_type::linear } };
+    const auto model2 = svm2.fit(scaled_data, plssvm::solver_control{ .epsilon = 1e-10 });
+    const auto labels2 = svm2.predict(model2, scaled_data);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        agree += labels[i] == labels2[i];
+    }
+    EXPECT_GE(static_cast<double>(agree) / static_cast<double>(labels.size()), 0.97);
+}
+
+// ---- grid search -------------------------------------------------------------
+
+TEST(GridSearch, FindsAReasonableCombination) {
+    const auto data = make_data(120);
+    parameter base{ kernel_type::rbf };
+    const auto result = plssvm::ext::grid_search(plssvm::backend_type::openmp, base, data,
+                                                 { 0.1, 1.0, 10.0 }, { 0.01, 0.1, 1.0 }, 3);
+    EXPECT_EQ(result.evaluated.size(), 9U);
+    EXPECT_GE(result.best.mean_accuracy, 0.85);
+    // the best point must be one of the evaluated ones
+    bool found = false;
+    for (const auto &point : result.evaluated) {
+        found |= point.cost == result.best.cost && point.gamma == result.best.gamma;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(GridSearch, EmptyGammaGridUsesDefault) {
+    const auto data = make_data(80);
+    const auto result = plssvm::ext::grid_search(plssvm::backend_type::openmp, parameter{}, data,
+                                                 { 1.0 }, {}, 3);
+    EXPECT_EQ(result.evaluated.size(), 1U);
+    EXPECT_DOUBLE_EQ(result.evaluated[0].gamma, 0.0);
+}
+
+TEST(GridSearch, EmptyCostGridThrows) {
+    const auto data = make_data(40);
+    EXPECT_THROW((void) plssvm::ext::grid_search(plssvm::backend_type::openmp, parameter{}, data, {}),
+                 plssvm::invalid_parameter_exception);
+}
+
+}  // namespace

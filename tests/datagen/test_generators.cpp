@@ -1,0 +1,218 @@
+/**
+ * @file
+ * @brief Tests of the synthetic data generators (paper §IV-B substitutes).
+ */
+
+#include "plssvm/datagen/make_classification.hpp"
+#include "plssvm/datagen/sat6.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace {
+
+using plssvm::datagen::classification_params;
+using plssvm::datagen::make_classification;
+using plssvm::datagen::make_sat6;
+using plssvm::datagen::sat6_params;
+
+TEST(MakeClassification, ShapeAndLabels) {
+    classification_params params;
+    params.num_points = 200;
+    params.num_features = 16;
+    const auto data = make_classification<double>(params);
+    EXPECT_EQ(data.num_data_points(), 200U);
+    EXPECT_EQ(data.num_features(), 16U);
+    ASSERT_TRUE(data.has_labels());
+    EXPECT_TRUE(data.is_binary());
+    for (const double label : data.labels()) {
+        EXPECT_TRUE(label == 1.0 || label == -1.0);
+    }
+}
+
+TEST(MakeClassification, Deterministic) {
+    classification_params params;
+    params.num_points = 64;
+    params.num_features = 8;
+    params.seed = 123;
+    const auto a = make_classification<double>(params);
+    const auto b = make_classification<double>(params);
+    EXPECT_EQ(a.points(), b.points());
+    EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(MakeClassification, DifferentSeedsDiffer) {
+    classification_params params;
+    params.num_points = 64;
+    params.num_features = 8;
+    params.seed = 1;
+    const auto a = make_classification<double>(params);
+    params.seed = 2;
+    const auto b = make_classification<double>(params);
+    EXPECT_NE(a.points(), b.points());
+}
+
+TEST(MakeClassification, ClassBalanceRespected) {
+    classification_params params;
+    params.num_points = 1000;
+    params.num_features = 8;
+    params.class_balance = 0.7;
+    params.flip_y = 0.0;
+    const auto data = make_classification<double>(params);
+    const auto positives = std::count(data.labels().begin(), data.labels().end(), 1.0);
+    EXPECT_NEAR(static_cast<double>(positives) / 1000.0, 0.7, 0.02);
+}
+
+TEST(MakeClassification, LabelNoiseFlipsRoughlyTheRequestedFraction) {
+    classification_params base;
+    base.num_points = 4000;
+    base.num_features = 8;
+    base.class_sep = 50.0;  // so separable that flips are the only "errors"
+    base.flip_y = 0.0;
+    base.seed = 9;
+    const auto clean = make_classification<double>(base);
+    base.flip_y = 0.05;
+    const auto noisy = make_classification<double>(base);
+
+    std::size_t flipped = 0;
+    for (std::size_t i = 0; i < clean.labels().size(); ++i) {
+        flipped += clean.labels()[i] != noisy.labels()[i];
+    }
+    EXPECT_NEAR(static_cast<double>(flipped) / 4000.0, 0.05, 0.015);
+}
+
+TEST(MakeClassification, LargerSeparationIsEasier) {
+    classification_params params;
+    params.num_points = 400;
+    params.num_features = 8;
+    params.flip_y = 0.0;
+    params.hypercube = false;  // antipodal centroids: separation == class_sep * sqrt(k)
+
+    // with tiny separation the class means almost coincide
+    params.class_sep = 0.05;
+    const auto hard = make_classification<double>(params);
+    params.class_sep = 5.0;
+    const auto easy = make_classification<double>(params);
+
+    const auto mean_distance = [](const plssvm::data_set<double> &data) {
+        std::vector<double> mean_pos(data.num_features(), 0.0);
+        std::vector<double> mean_neg(data.num_features(), 0.0);
+        std::size_t n_pos = 0;
+        std::size_t n_neg = 0;
+        for (std::size_t i = 0; i < data.num_data_points(); ++i) {
+            const double *row = data.points().row_data(i);
+            if (data.labels()[i] > 0) {
+                ++n_pos;
+                for (std::size_t f = 0; f < data.num_features(); ++f) {
+                    mean_pos[f] += row[f];
+                }
+            } else {
+                ++n_neg;
+                for (std::size_t f = 0; f < data.num_features(); ++f) {
+                    mean_neg[f] += row[f];
+                }
+            }
+        }
+        double distance = 0.0;
+        for (std::size_t f = 0; f < data.num_features(); ++f) {
+            const double diff = mean_pos[f] / static_cast<double>(n_pos) - mean_neg[f] / static_cast<double>(n_neg);
+            distance += diff * diff;
+        }
+        return std::sqrt(distance);
+    };
+    EXPECT_GT(mean_distance(easy), 5.0 * mean_distance(hard));
+}
+
+TEST(MakeClassification, InvalidParamsThrow) {
+    classification_params params;
+    params.num_points = 1;
+    EXPECT_THROW((void) make_classification<double>(params), plssvm::invalid_parameter_exception);
+    params.num_points = 10;
+    params.flip_y = 1.5;
+    EXPECT_THROW((void) make_classification<double>(params), plssvm::invalid_parameter_exception);
+    params.flip_y = 0.0;
+    params.num_informative = 8;
+    params.num_redundant = 8;
+    params.num_features = 8;
+    EXPECT_THROW((void) make_classification<double>(params), plssvm::invalid_parameter_exception);
+}
+
+// ---- SAT-6 ------------------------------------------------------------------
+
+TEST(Sat6, ShapeMatchesPaperFormat) {
+    sat6_params params;
+    params.num_images = 64;
+    const auto data = make_sat6<double>(params);
+    EXPECT_EQ(data.num_data_points(), 64U);
+    EXPECT_EQ(data.num_features(), 28U * 28U * 4U);  // 3136, paper §IV-B
+}
+
+TEST(Sat6, FeaturesInScaledRange) {
+    sat6_params params;
+    params.num_images = 32;
+    const auto data = make_sat6<double>(params);
+    for (const double v : data.points().data()) {
+        EXPECT_GE(v, -1.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(Sat6, BinaryLabelImbalanceMatchesPaperRatio) {
+    sat6_params params;
+    params.num_images = 2000;
+    const auto data = make_sat6<double>(params);
+    const auto man_made = std::count(data.labels().begin(), data.labels().end(), -1.0);
+    // paper: 193729 / 324000 ~ 0.598 man-made
+    EXPECT_NEAR(static_cast<double>(man_made) / 2000.0, 0.598, 0.02);
+}
+
+TEST(Sat6, MulticlassLabelsCoverSixClasses) {
+    sat6_params params;
+    params.num_images = 600;
+    params.binary_labels = false;
+    const auto data = make_sat6<double>(params);
+    const std::set<double> distinct(data.labels().begin(), data.labels().end());
+    EXPECT_EQ(distinct.size(), 6U);
+    for (const double label : distinct) {
+        EXPECT_GE(label, 0.0);
+        EXPECT_LE(label, 5.0);
+    }
+}
+
+TEST(Sat6, Deterministic) {
+    sat6_params params;
+    params.num_images = 16;
+    params.seed = 77;
+    const auto a = make_sat6<double>(params);
+    const auto b = make_sat6<double>(params);
+    EXPECT_EQ(a.points(), b.points());
+    EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(Sat6, ClassNamesAndBinaryMapping) {
+    using plssvm::datagen::sat6_class;
+    EXPECT_EQ(plssvm::datagen::sat6_class_name(sat6_class::building), "building");
+    EXPECT_EQ(plssvm::datagen::sat6_class_name(sat6_class::water), "water");
+    EXPECT_DOUBLE_EQ(plssvm::datagen::sat6_binary_label(sat6_class::building), -1.0);
+    EXPECT_DOUBLE_EQ(plssvm::datagen::sat6_binary_label(sat6_class::road), -1.0);
+    EXPECT_DOUBLE_EQ(plssvm::datagen::sat6_binary_label(sat6_class::trees), 1.0);
+    EXPECT_DOUBLE_EQ(plssvm::datagen::sat6_binary_label(sat6_class::grassland), 1.0);
+}
+
+TEST(Sat6, InvalidParamsThrow) {
+    sat6_params params;
+    params.num_images = 1;
+    EXPECT_THROW((void) make_sat6<double>(params), plssvm::invalid_parameter_exception);
+    params.num_images = 10;
+    params.num_channels = 5;
+    EXPECT_THROW((void) make_sat6<double>(params), plssvm::invalid_parameter_exception);
+    params.num_channels = 4;
+    params.man_made_fraction = 1.0;
+    EXPECT_THROW((void) make_sat6<double>(params), plssvm::invalid_parameter_exception);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * @brief Unit tests for the string helpers backing the file parsers.
+ */
+
+#include "plssvm/detail/string_utils.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace plssvm::detail;
+
+TEST(StringUtils, TrimLeft) {
+    EXPECT_EQ(trim_left("  abc"), "abc");
+    EXPECT_EQ(trim_left("\t abc "), "abc ");
+    EXPECT_EQ(trim_left("abc"), "abc");
+    EXPECT_EQ(trim_left("   "), "");
+    EXPECT_EQ(trim_left(""), "");
+}
+
+TEST(StringUtils, TrimRight) {
+    EXPECT_EQ(trim_right("abc  "), "abc");
+    EXPECT_EQ(trim_right(" abc\r\n"), " abc");
+    EXPECT_EQ(trim_right(""), "");
+}
+
+TEST(StringUtils, Trim) {
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("\r\n"), "");
+    EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+    EXPECT_TRUE(starts_with("@attribute x", "@attribute"));
+    EXPECT_FALSE(starts_with("attribute", "@attribute"));
+    EXPECT_TRUE(ends_with("data.arff", ".arff"));
+    EXPECT_FALSE(ends_with("arff", ".arff"));
+    EXPECT_TRUE(starts_with("abc", ""));
+    EXPECT_TRUE(ends_with("abc", ""));
+}
+
+TEST(StringUtils, CaseConversion) {
+    EXPECT_EQ(to_lower_case("LiNeAr"), "linear");
+    EXPECT_EQ(to_upper_case("rbf"), "RBF");
+    EXPECT_EQ(to_lower_case("123-_x"), "123-_x");
+}
+
+TEST(StringUtils, SplitOnSpaceDropsEmptyTokens) {
+    const auto tokens = split("1:0.5   2:1.0  3:2", ' ');
+    ASSERT_EQ(tokens.size(), 3U);
+    EXPECT_EQ(tokens[0], "1:0.5");
+    EXPECT_EQ(tokens[2], "3:2");
+}
+
+TEST(StringUtils, SplitOnCommaKeepsEmptyTokens) {
+    const auto tokens = split("a,,b", ',');
+    ASSERT_EQ(tokens.size(), 3U);
+    EXPECT_EQ(tokens[1], "");
+}
+
+TEST(StringUtils, SplitEmptyString) {
+    EXPECT_TRUE(split("", ' ').empty());
+    EXPECT_EQ(split("", ',').size(), 1U);  // CSV: one empty field
+}
+
+TEST(StringUtils, ConvertToDouble) {
+    EXPECT_DOUBLE_EQ(convert_to<double>("3.25"), 3.25);
+    EXPECT_DOUBLE_EQ(convert_to<double>("-1e-3"), -1e-3);
+    EXPECT_DOUBLE_EQ(convert_to<double>("  42 "), 42.0);
+}
+
+TEST(StringUtils, ConvertToInt) {
+    EXPECT_EQ(convert_to<int>("-17"), -17);
+    EXPECT_EQ(convert_to<unsigned long>("123456789"), 123456789UL);
+}
+
+TEST(StringUtils, ConvertToThrowsOnGarbage) {
+    EXPECT_THROW((void) convert_to<double>("abc"), plssvm::invalid_file_format_exception);
+    EXPECT_THROW((void) convert_to<double>("1.5x"), plssvm::invalid_file_format_exception);
+    EXPECT_THROW((void) convert_to<double>(""), plssvm::invalid_file_format_exception);
+    EXPECT_THROW((void) convert_to<int>("1.5"), plssvm::invalid_file_format_exception);
+}
+
+TEST(StringUtils, ConvertToSafeReportsFailure) {
+    double value = 0.0;
+    EXPECT_TRUE(convert_to_safe("2.5", value));
+    EXPECT_DOUBLE_EQ(value, 2.5);
+    EXPECT_FALSE(convert_to_safe("nope", value));
+    int i = 0;
+    EXPECT_FALSE(convert_to_safe("", i));
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * @brief Tests of k-fold cross-validation.
+ */
+
+#include "plssvm/datagen/make_classification.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/ext/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using plssvm::backend_type;
+using plssvm::parameter;
+
+[[nodiscard]] plssvm::data_set<double> make_data(const std::size_t points = 200) {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = points;
+    gen.num_features = 8;
+    gen.class_sep = 3.0;
+    gen.flip_y = 0.0;
+    gen.seed = 19;
+    return plssvm::datagen::make_classification<double>(gen);
+}
+
+TEST(CrossValidation, FiveFoldOnSeparableData) {
+    const auto data = make_data();
+    const auto result = plssvm::ext::cross_validate(backend_type::openmp, parameter{}, data, 5);
+    EXPECT_EQ(result.fold_accuracies.size(), 5U);
+    EXPECT_GE(result.mean_accuracy, 0.9);
+    for (const double accuracy : result.fold_accuracies) {
+        EXPECT_GE(accuracy, 0.0);
+        EXPECT_LE(accuracy, 1.0);
+    }
+    EXPECT_GE(result.stddev_accuracy, 0.0);
+}
+
+TEST(CrossValidation, DeterministicForFixedSeed) {
+    const auto data = make_data(120);
+    const auto a = plssvm::ext::cross_validate(backend_type::openmp, parameter{}, data, 4, {}, 7);
+    const auto b = plssvm::ext::cross_validate(backend_type::openmp, parameter{}, data, 4, {}, 7);
+    EXPECT_EQ(a.fold_accuracies, b.fold_accuracies);
+}
+
+TEST(CrossValidation, DifferentSeedsShuffleDifferently) {
+    // mean accuracies may coincide, but identical *per-fold* vectors for all
+    // three seeds would indicate the shuffle is ignored
+    const auto data = make_data(150);
+    plssvm::datagen::classification_params gen;  // a harder data set separates folds
+    gen.num_points = 150;
+    gen.num_features = 8;
+    gen.class_sep = 0.8;
+    gen.seed = 23;
+    const auto hard = plssvm::datagen::make_classification<double>(gen);
+    const auto a = plssvm::ext::cross_validate(backend_type::openmp, parameter{}, hard, 5, {}, 1);
+    const auto b = plssvm::ext::cross_validate(backend_type::openmp, parameter{}, hard, 5, {}, 2);
+    const auto c = plssvm::ext::cross_validate(backend_type::openmp, parameter{}, hard, 5, {}, 3);
+    EXPECT_FALSE(a.fold_accuracies == b.fold_accuracies && b.fold_accuracies == c.fold_accuracies);
+}
+
+TEST(CrossValidation, WorksWithDeviceBackend) {
+    const auto data = make_data(120);
+    const auto result = plssvm::ext::cross_validate(backend_type::cuda, parameter{}, data, 3);
+    EXPECT_EQ(result.fold_accuracies.size(), 3U);
+    EXPECT_GE(result.mean_accuracy, 0.9);
+}
+
+TEST(CrossValidation, InvalidFoldCountThrows) {
+    const auto data = make_data(50);
+    EXPECT_THROW((void) plssvm::ext::cross_validate(backend_type::openmp, parameter{}, data, 1),
+                 plssvm::invalid_parameter_exception);
+    EXPECT_THROW((void) plssvm::ext::cross_validate(backend_type::openmp, parameter{}, data, 51),
+                 plssvm::invalid_parameter_exception);
+}
+
+TEST(CrossValidation, UnlabeledDataThrows) {
+    plssvm::aos_matrix<double> points{ 10, 2 };
+    const plssvm::data_set<double> data{ std::move(points) };
+    EXPECT_THROW((void) plssvm::ext::cross_validate(backend_type::openmp, parameter{}, data, 2),
+                 plssvm::invalid_data_exception);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * @brief Tests of the paper's future-work extensions: one-vs-all multi-class
+ *        classification and LS-SVM regression (LS-SVR).
+ */
+
+#include "plssvm/backends/cuda/csvm.hpp"
+#include "plssvm/backends/openmp/csvm.hpp"
+#include "plssvm/core/metrics.hpp"
+#include "plssvm/datagen/sat6.hpp"
+#include "plssvm/detail/rng.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/ext/multiclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using plssvm::backend_type;
+using plssvm::data_set;
+using plssvm::parameter;
+
+/// Three Gaussian blobs with labels 0 / 1 / 2.
+[[nodiscard]] data_set<double> make_blobs(const std::size_t per_class, const std::uint64_t seed = 11) {
+    auto engine = plssvm::detail::make_engine(seed);
+    const double centers[3][2] = { { 4.0, 0.0 }, { -4.0, 4.0 }, { 0.0, -4.0 } };
+    plssvm::aos_matrix<double> points{ 3 * per_class, 2 };
+    std::vector<double> labels(3 * per_class);
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            const std::size_t row = c * per_class + i;
+            points(row, 0) = centers[c][0] + plssvm::detail::standard_normal<double>(engine);
+            points(row, 1) = centers[c][1] + plssvm::detail::standard_normal<double>(engine);
+            labels[row] = static_cast<double>(c);
+        }
+    }
+    return data_set<double>{ std::move(points), std::move(labels) };
+}
+
+TEST(OneVsAll, ClassifiesThreeBlobs) {
+    const auto data = make_blobs(60);
+    plssvm::ext::one_vs_all<double> classifier{ backend_type::openmp, parameter{ plssvm::kernel_type::linear } };
+    const auto model = classifier.fit(data, plssvm::solver_control{ .epsilon = 1e-8 });
+    EXPECT_EQ(model.num_classes(), 3U);
+    EXPECT_GE(classifier.score(model, data), 0.95);
+}
+
+TEST(OneVsAll, PredictionsAreValidClassLabels) {
+    const auto data = make_blobs(40);
+    plssvm::ext::one_vs_all<double> classifier{ backend_type::openmp, parameter{} };
+    const auto model = classifier.fit(data);
+    const auto predicted = classifier.predict(model, data);
+    for (const double label : predicted) {
+        EXPECT_TRUE(label == 0.0 || label == 1.0 || label == 2.0);
+    }
+}
+
+TEST(OneVsAll, WorksWithDeviceBackend) {
+    const auto data = make_blobs(40);
+    plssvm::ext::one_vs_all<double> classifier{ backend_type::cuda, parameter{ plssvm::kernel_type::linear } };
+    const auto model = classifier.fit(data, plssvm::solver_control{ .epsilon = 1e-8 });
+    EXPECT_GE(classifier.score(model, data), 0.95);
+}
+
+TEST(OneVsAll, BinaryProblemMatchesBinaryClassifier) {
+    // on a binary data set one-vs-all must be as good as the plain csvm
+    const auto blobs = make_blobs(50);
+    // restrict to classes 0 and 1
+    std::vector<double> labels;
+    std::vector<double> values;
+    for (std::size_t i = 0; i < blobs.num_data_points(); ++i) {
+        if (blobs.labels()[i] < 2.0) {
+            labels.push_back(blobs.labels()[i]);
+            values.push_back(blobs.points()(i, 0));
+            values.push_back(blobs.points()(i, 1));
+        }
+    }
+    plssvm::aos_matrix<double> points{ labels.size(), 2, std::move(values) };
+    const data_set<double> data{ std::move(points), std::move(labels) };
+
+    plssvm::ext::one_vs_all<double> ova{ backend_type::openmp, parameter{} };
+    plssvm::backend::openmp::csvm<double> binary{ parameter{} };
+    const auto ova_score = ova.score(ova.fit(data), data);
+    const auto binary_score = binary.score(binary.fit(data), data);
+    EXPECT_NEAR(ova_score, binary_score, 0.02);
+}
+
+TEST(OneVsAll, Sat6SixClassProblem) {
+    plssvm::datagen::sat6_params gen;
+    gen.num_images = 240;
+    gen.image_size = 12;  // smaller images keep the test fast
+    gen.binary_labels = false;
+    gen.mixed_fraction = 0.0;
+    const auto data = plssvm::datagen::make_sat6<double>(gen);
+
+    parameter params{ plssvm::kernel_type::rbf };
+    params.gamma = 1.0 / static_cast<double>(data.num_features());
+    params.cost = 10.0;
+    plssvm::ext::one_vs_all<double> classifier{ backend_type::openmp, params };
+    const auto model = classifier.fit(data, plssvm::solver_control{ .epsilon = 1e-6 });
+    EXPECT_EQ(model.num_classes(), 6U);
+    EXPECT_GE(classifier.score(model, data), 0.9);
+}
+
+TEST(OneVsAll, UnlabeledDataThrows) {
+    plssvm::aos_matrix<double> points{ 4, 2 };
+    const data_set<double> data{ std::move(points) };
+    plssvm::ext::one_vs_all<double> classifier{ backend_type::openmp, parameter{} };
+    EXPECT_THROW((void) classifier.fit(data), plssvm::invalid_data_exception);
+}
+
+TEST(OneVsAll, SingleClassThrows) {
+    plssvm::aos_matrix<double> points{ 4, 2 };
+    const data_set<double> data{ std::move(points), std::vector<double>(4, 1.0) };
+    plssvm::ext::one_vs_all<double> classifier{ backend_type::openmp, parameter{} };
+    EXPECT_THROW((void) classifier.fit(data), plssvm::invalid_data_exception);
+}
+
+// ---- LS-SVR regression -------------------------------------------------------
+
+TEST(LsSvr, FitsLinearFunction) {
+    // y = 2 x0 - 3 x1 + 1
+    auto engine = plssvm::detail::make_engine(21);
+    plssvm::aos_matrix<double> points{ 100, 2 };
+    std::vector<double> targets(100);
+    for (std::size_t i = 0; i < 100; ++i) {
+        points(i, 0) = plssvm::detail::standard_normal<double>(engine);
+        points(i, 1) = plssvm::detail::standard_normal<double>(engine);
+        targets[i] = 2.0 * points(i, 0) - 3.0 * points(i, 1) + 1.0;
+    }
+    const data_set<double> data{ std::move(points), std::move(targets) };
+
+    parameter params{ plssvm::kernel_type::linear };
+    params.cost = 1000.0;  // light regularisation for a near-exact fit
+    plssvm::backend::openmp::csvm<double> svm{ params };
+    const auto model = svm.fit_regression(data, plssvm::solver_control{ .epsilon = 1e-10 });
+
+    const auto predicted = svm.predict_values(model, data);
+    EXPECT_GT(plssvm::metrics::r2_score(predicted, data.labels()), 0.999);
+}
+
+TEST(LsSvr, FitsNonlinearFunctionWithRbf) {
+    // y = sin(2 x)
+    auto engine = plssvm::detail::make_engine(22);
+    plssvm::aos_matrix<double> points{ 150, 1 };
+    std::vector<double> targets(150);
+    for (std::size_t i = 0; i < 150; ++i) {
+        points(i, 0) = plssvm::detail::uniform_real<double>(engine, -2.0, 2.0);
+        targets[i] = std::sin(2.0 * points(i, 0));
+    }
+    const data_set<double> data{ std::move(points), std::move(targets) };
+
+    parameter params{ plssvm::kernel_type::rbf };
+    params.gamma = 2.0;
+    params.cost = 100.0;
+    plssvm::backend::openmp::csvm<double> svm{ params };
+    const auto model = svm.fit_regression(data, plssvm::solver_control{ .epsilon = 1e-10 });
+
+    const auto predicted = svm.predict_values(model, data);
+    EXPECT_GT(plssvm::metrics::r2_score(predicted, data.labels()), 0.99);
+    EXPECT_LT(plssvm::metrics::mean_squared_error(predicted, data.labels()), 1e-3);
+}
+
+TEST(LsSvr, DeviceBackendMatchesHost) {
+    auto engine = plssvm::detail::make_engine(23);
+    plssvm::aos_matrix<double> points{ 80, 3 };
+    std::vector<double> targets(80);
+    for (std::size_t i = 0; i < 80; ++i) {
+        for (std::size_t f = 0; f < 3; ++f) {
+            points(i, f) = plssvm::detail::standard_normal<double>(engine);
+        }
+        targets[i] = points(i, 0) + 0.5 * points(i, 1) * points(i, 1);
+    }
+    const data_set<double> data{ std::move(points), std::move(targets) };
+
+    parameter params{ plssvm::kernel_type::rbf };
+    params.gamma = 0.5;
+    params.cost = 10.0;
+    plssvm::backend::openmp::csvm<double> host{ params };
+    plssvm::backend::cuda::csvm<double> device{ params };
+    const auto host_model = host.fit_regression(data, plssvm::solver_control{ .epsilon = 1e-12 });
+    const auto device_model = device.fit_regression(data, plssvm::solver_control{ .epsilon = 1e-12 });
+    for (std::size_t i = 0; i < host_model.alpha().size(); ++i) {
+        EXPECT_NEAR(host_model.alpha()[i], device_model.alpha()[i], 1e-6);
+    }
+}
+
+TEST(LsSvr, RegressionOnUnlabeledDataThrows) {
+    plssvm::aos_matrix<double> points{ 4, 2 };
+    const data_set<double> data{ std::move(points) };
+    plssvm::backend::openmp::csvm<double> svm{ parameter{} };
+    EXPECT_THROW((void) svm.fit_regression(data), plssvm::invalid_data_exception);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * @brief Integration tests exercising the full user workflow across modules:
+ *        generate -> scale -> write files -> read back -> train -> save model
+ *        -> reload -> predict on held-out data, for every backend; plus
+ *        float/double parity and cross-solver accuracy agreement (the paper's
+ *        "accuracies on par with the SMO approaches" claim).
+ */
+
+#include "plssvm/baselines/smo/svc.hpp"
+#include "plssvm/baselines/thunder/thunder_svc.hpp"
+#include "plssvm/core/csvm_factory.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/core/predict.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+#include "plssvm/io/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace {
+
+using plssvm::backend_type;
+using plssvm::data_set;
+using plssvm::parameter;
+
+[[nodiscard]] data_set<double> planes(const std::size_t m, const std::uint64_t seed) {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = m;
+    gen.num_features = 12;
+    gen.class_sep = 1.4;
+    gen.flip_y = 0.01;
+    gen.seed = seed;
+    return plssvm::datagen::make_classification<double>(gen);
+}
+
+class EndToEndAllBackends : public ::testing::TestWithParam<backend_type> {};
+
+TEST_P(EndToEndAllBackends, FullPipelineThroughFiles) {
+    const std::string data_file = "/tmp/plssvm_e2e_train.libsvm";
+    const std::string scale_file = "/tmp/plssvm_e2e_scale.txt";
+    const std::string model_file = "/tmp/plssvm_e2e.model";
+
+    // generate + scale + persist
+    auto train = planes(220, 1);
+    const auto factors = train.scale(-1.0, 1.0);
+    factors.save(scale_file);
+    train.save_libsvm(data_file);
+
+    // read back and train
+    const auto loaded = data_set<double>::from_file(data_file);
+    auto svm = plssvm::make_csvm<double>(GetParam(), parameter{ plssvm::kernel_type::linear });
+    const auto model = svm->fit(loaded, plssvm::solver_control{ .epsilon = 1e-8 });
+    model.save(model_file);
+
+    // fresh process equivalent: reload everything and predict held-out data
+    const auto restored_factors = plssvm::io::scaling<double>::load(scale_file);
+    auto test = planes(80, 2);
+    test.scale(restored_factors);
+    const auto restored_model = plssvm::model<double>::load(model_file);
+    const double accuracy = plssvm::accuracy(restored_model, test.points(), test.labels());
+    EXPECT_GE(accuracy, 0.9) << "backend: " << plssvm::backend_type_to_string(GetParam());
+
+    std::remove(data_file.c_str());
+    std::remove(scale_file.c_str());
+    std::remove(model_file.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EndToEndAllBackends,
+                         ::testing::Values(backend_type::openmp, backend_type::cuda,
+                                           backend_type::opencl, backend_type::sycl),
+                         [](const auto &info) { return std::string{ plssvm::backend_type_to_string(info.param) }; });
+
+TEST(EndToEnd, AllSolversReachComparableAccuracy) {
+    // the paper's headline fairness claim: LS-SVM accuracy is on par with the
+    // SMO implementations at matched termination quality (§IV)
+    const auto train = planes(400, 5);
+    const auto test = planes(150, 6);
+
+    const parameter params{ plssvm::kernel_type::linear };
+    auto lssvm = plssvm::make_csvm<double>(backend_type::openmp, params);
+    const double lssvm_acc = lssvm->score(lssvm->fit(train, plssvm::solver_control{ .epsilon = 1e-6 }), test);
+
+    plssvm::baseline::smo::svc<double> libsvm{ params };
+    const double libsvm_acc = libsvm.score(libsvm.fit(train, 1e-4), test);
+
+    plssvm::baseline::thunder::thunder_svc<double> thunder{ params, std::nullopt };
+    const double thunder_acc = thunder.score(thunder.fit(train, 1e-4), test);
+
+    EXPECT_NEAR(lssvm_acc, libsvm_acc, 0.05);
+    EXPECT_NEAR(lssvm_acc, thunder_acc, 0.05);
+    EXPECT_GE(lssvm_acc, 0.85);
+}
+
+TEST(EndToEnd, FloatAndDoubleAgreeOnPredictions) {
+    // the paper supports single/double via a template switch (§III); at
+    // moderate conditioning the predicted labels must coincide
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 150;
+    gen.num_features = 10;
+    gen.class_sep = 2.0;
+    gen.seed = 8;
+    const auto data64 = plssvm::datagen::make_classification<double>(gen);
+    const auto data32 = plssvm::datagen::make_classification<float>(gen);
+
+    auto svm64 = plssvm::make_csvm<double>(backend_type::openmp, parameter{});
+    auto svm32 = plssvm::make_csvm<float>(backend_type::openmp, parameter{});
+    const auto labels64 = svm64->predict(svm64->fit(data64, plssvm::solver_control{ .epsilon = 1e-6 }), data64);
+    const auto labels32 = svm32->predict(svm32->fit(data32, plssvm::solver_control{ .epsilon = 1e-4 }), data32);
+
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < labels64.size(); ++i) {
+        agree += static_cast<float>(labels64[i]) == labels32[i];
+    }
+    EXPECT_GE(static_cast<double>(agree) / static_cast<double>(labels64.size()), 0.98);
+}
+
+TEST(EndToEnd, ArbitraryLabelValuesSurviveTheFullPipeline) {
+    // LIBSVM data may label classes e.g. 3 / 7; predictions and the model
+    // file must stay in the original label domain
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 100;
+    gen.num_features = 6;
+    gen.class_sep = 3.0;
+    gen.flip_y = 0.0;
+    const auto base = plssvm::datagen::make_classification<double>(gen);
+    std::vector<double> labels(base.num_data_points());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        labels[i] = base.labels()[i] > 0 ? 7.0 : 3.0;
+    }
+    const data_set<double> data{ base.points(), std::move(labels) };
+
+    auto svm = plssvm::make_csvm<double>(backend_type::openmp, parameter{});
+    const auto model = svm->fit(data, plssvm::solver_control{ .epsilon = 1e-8 });
+    const auto predicted = svm->predict(model, data);
+    for (const double label : predicted) {
+        EXPECT_TRUE(label == 7.0 || label == 3.0);
+    }
+
+    const std::string model_file = "/tmp/plssvm_e2e_labels.model";
+    model.save(model_file);
+    const auto reloaded = plssvm::model<double>::load(model_file);
+    EXPECT_DOUBLE_EQ(reloaded.positive_label(), model.positive_label());
+    EXPECT_DOUBLE_EQ(reloaded.negative_label(), model.negative_label());
+    std::remove(model_file.c_str());
+}
+
+TEST(EndToEnd, RepeatedFitsOnTheSameCsvmAreIndependent) {
+    const auto data_a = planes(120, 10);
+    const auto data_b = planes(90, 11);
+    auto svm = plssvm::make_csvm<double>(backend_type::cuda, parameter{});
+    const auto model_a1 = svm->fit(data_a, plssvm::solver_control{ .epsilon = 1e-10 });
+    const auto model_b = svm->fit(data_b, plssvm::solver_control{ .epsilon = 1e-10 });
+    const auto model_a2 = svm->fit(data_a, plssvm::solver_control{ .epsilon = 1e-10 });
+    for (std::size_t i = 0; i < model_a1.alpha().size(); ++i) {
+        EXPECT_NEAR(model_a1.alpha()[i], model_a2.alpha()[i], 1e-10);
+    }
+    EXPECT_EQ(model_b.num_support_vectors(), 90U);
+}
+
+}  // namespace

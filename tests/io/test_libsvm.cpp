@@ -1,0 +1,141 @@
+/**
+ * @file
+ * @brief Tests of the LIBSVM data file parser/writer: sparse densification,
+ *        error handling, and write/read round trips.
+ */
+
+#include "plssvm/exceptions.hpp"
+#include "plssvm/io/file_reader.hpp"
+#include "plssvm/io/libsvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using plssvm::io::file_reader;
+using plssvm::io::parse_libsvm;
+
+[[nodiscard]] file_reader make_reader(const std::string &content) {
+    return file_reader::from_string(content);
+}
+
+TEST(LibsvmParser, ParsesLabeledSparseLines) {
+    const auto result = parse_libsvm<double>(make_reader("1 1:0.5 3:2.0\n-1 2:1.5\n"));
+    EXPECT_TRUE(result.has_labels);
+    ASSERT_EQ(result.points.num_rows(), 2U);
+    ASSERT_EQ(result.points.num_cols(), 3U);
+    EXPECT_DOUBLE_EQ(result.points(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(result.points(0, 1), 0.0);  // densified zero
+    EXPECT_DOUBLE_EQ(result.points(0, 2), 2.0);
+    EXPECT_DOUBLE_EQ(result.points(1, 1), 1.5);
+    EXPECT_DOUBLE_EQ(result.labels[0], 1.0);
+    EXPECT_DOUBLE_EQ(result.labels[1], -1.0);
+}
+
+TEST(LibsvmParser, ParsesUnlabeledLines) {
+    const auto result = parse_libsvm<double>(make_reader("1:1.0 2:2.0\n1:3.0\n"));
+    EXPECT_FALSE(result.has_labels);
+    EXPECT_TRUE(result.labels.empty());
+    EXPECT_EQ(result.points.num_rows(), 2U);
+    EXPECT_EQ(result.points.num_cols(), 2U);
+}
+
+TEST(LibsvmParser, SkipsCommentsAndEmptyLines) {
+    const auto result = parse_libsvm<double>(make_reader("# header comment\n\n1 1:1\n\n# tail\n-1 1:2\n"));
+    EXPECT_EQ(result.points.num_rows(), 2U);
+}
+
+TEST(LibsvmParser, AcceptsRealValuedLabels) {
+    const auto result = parse_libsvm<double>(make_reader("3.5 1:1\n-2.25 1:2\n"));
+    EXPECT_DOUBLE_EQ(result.labels[0], 3.5);
+    EXPECT_DOUBLE_EQ(result.labels[1], -2.25);
+}
+
+TEST(LibsvmParser, MinNumFeaturesExtendsWidth) {
+    const auto result = parse_libsvm<double>(make_reader("1 1:1\n"), 5);
+    EXPECT_EQ(result.points.num_cols(), 5U);
+}
+
+TEST(LibsvmParser, EmptyFileThrows) {
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("")), plssvm::invalid_data_exception);
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("# only comments\n")), plssvm::invalid_data_exception);
+}
+
+TEST(LibsvmParser, MixedLabeledUnlabeledThrows) {
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("1 1:1\n1:2\n")), plssvm::invalid_file_format_exception);
+}
+
+TEST(LibsvmParser, NonAscendingIndicesThrow) {
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("1 3:1 2:1\n")), plssvm::invalid_file_format_exception);
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("1 2:1 2:2\n")), plssvm::invalid_file_format_exception);
+}
+
+TEST(LibsvmParser, ZeroOrNegativeIndicesThrow) {
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("1 0:1\n")), plssvm::invalid_file_format_exception);
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("1 -2:1\n")), plssvm::invalid_file_format_exception);
+}
+
+TEST(LibsvmParser, MalformedValueThrows) {
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("1 1:abc\n")), plssvm::invalid_file_format_exception);
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("xyz 1:1\n")), plssvm::invalid_file_format_exception);
+    EXPECT_THROW((void) parse_libsvm<double>(make_reader("1 1\n")), plssvm::invalid_file_format_exception);
+}
+
+TEST(LibsvmParser, LineWithOnlyLabel) {
+    // legal: a point whose features are all zero
+    const auto result = parse_libsvm<double>(make_reader("1 1:1\n-1\n"));
+    EXPECT_EQ(result.points.num_rows(), 2U);
+    EXPECT_DOUBLE_EQ(result.points(1, 0), 0.0);
+}
+
+TEST(LibsvmWriter, SparseRoundTrip) {
+    plssvm::aos_matrix<double> points{ 2, 3 };
+    points(0, 0) = 1.5;
+    points(1, 2) = -2.5;
+    const std::vector<double> labels{ 1.0, -1.0 };
+    const std::string written = plssvm::io::write_libsvm_string(points, &labels, /*sparse=*/true);
+    // zeros must be omitted in sparse mode
+    EXPECT_EQ(written.find("2:0"), std::string::npos);
+
+    const auto reparsed = parse_libsvm<double>(make_reader(written));
+    EXPECT_EQ(reparsed.points, points);
+    EXPECT_EQ(reparsed.labels, labels);
+}
+
+TEST(LibsvmWriter, DenseWritesAllFeatures) {
+    plssvm::aos_matrix<double> points{ 1, 3 };
+    points(0, 1) = 4.0;
+    const std::string written = plssvm::io::write_libsvm_string<double>(points, nullptr, /*sparse=*/false);
+    EXPECT_NE(written.find("1:0"), std::string::npos);
+    EXPECT_NE(written.find("2:4"), std::string::npos);
+    EXPECT_NE(written.find("3:0"), std::string::npos);
+}
+
+TEST(LibsvmWriter, RoundTripPreservesDoublePrecision) {
+    plssvm::aos_matrix<double> points{ 1, 1 };
+    points(0, 0) = 0.1234567890123456789;  // not exactly representable
+    const std::string written = plssvm::io::write_libsvm_string<double>(points, nullptr);
+    const auto reparsed = parse_libsvm<double>(make_reader(written));
+    EXPECT_DOUBLE_EQ(reparsed.points(0, 0), points(0, 0));
+}
+
+TEST(LibsvmWriter, LabelCountMismatchThrows) {
+    plssvm::aos_matrix<double> points{ 2, 1 };
+    const std::vector<double> labels{ 1.0 };
+    EXPECT_THROW((void) plssvm::io::write_libsvm_string(points, &labels), plssvm::invalid_data_exception);
+}
+
+TEST(FileReader, MissingFileThrows) {
+    EXPECT_THROW(file_reader{ "/nonexistent/path/data.libsvm" }, plssvm::file_not_found_exception);
+}
+
+TEST(FileReader, SplitsAndTrimsLines) {
+    const auto reader = file_reader::from_string("  line1  \r\n\nline2\n# comment\n");
+    ASSERT_EQ(reader.num_lines(), 2U);
+    EXPECT_EQ(reader.line(0), "line1");
+    EXPECT_EQ(reader.line(1), "line2");
+}
+
+}  // namespace

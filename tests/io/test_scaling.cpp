@@ -1,0 +1,120 @@
+/**
+ * @file
+ * @brief Tests of the svm-scale-equivalent feature scaling (paper §IV-B).
+ */
+
+#include "plssvm/exceptions.hpp"
+#include "plssvm/io/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::io::scaling;
+
+[[nodiscard]] aos_matrix<double> sample_points() {
+    aos_matrix<double> points{ 3, 2 };
+    points(0, 0) = 0.0;
+    points(1, 0) = 5.0;
+    points(2, 0) = 10.0;
+    points(0, 1) = -2.0;
+    points(1, 1) = 0.0;
+    points(2, 1) = 2.0;
+    return points;
+}
+
+TEST(Scaling, MapsToTargetInterval) {
+    aos_matrix<double> points = sample_points();
+    scaling<double> factors{ -1.0, 1.0 };
+    factors.fit_transform(points);
+    EXPECT_DOUBLE_EQ(points(0, 0), -1.0);
+    EXPECT_DOUBLE_EQ(points(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(points(2, 0), 1.0);
+    EXPECT_DOUBLE_EQ(points(0, 1), -1.0);
+    EXPECT_DOUBLE_EQ(points(2, 1), 1.0);
+}
+
+TEST(Scaling, CustomInterval) {
+    aos_matrix<double> points = sample_points();
+    scaling<double> factors{ 0.0, 2.0 };
+    factors.fit_transform(points);
+    EXPECT_DOUBLE_EQ(points(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(points(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(points(2, 0), 2.0);
+}
+
+TEST(Scaling, ConstantFeatureMapsToMidpoint) {
+    aos_matrix<double> points{ 2, 1 };
+    points(0, 0) = 3.0;
+    points(1, 0) = 3.0;
+    scaling<double> factors{ -1.0, 1.0 };
+    factors.fit_transform(points);
+    EXPECT_DOUBLE_EQ(points(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(points(1, 0), 0.0);
+}
+
+TEST(Scaling, TestDataUsesTrainingFactors) {
+    aos_matrix<double> train = sample_points();
+    scaling<double> factors{ -1.0, 1.0 };
+    factors.fit(train);
+
+    aos_matrix<double> test{ 1, 2 };
+    test(0, 0) = 20.0;  // beyond the training max: maps beyond +1 (svm-scale behaviour)
+    test(0, 1) = 0.0;
+    factors.transform(test);
+    EXPECT_DOUBLE_EQ(test(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(test(0, 1), 0.0);
+}
+
+TEST(Scaling, FeatureCountMismatchThrows) {
+    aos_matrix<double> train = sample_points();
+    scaling<double> factors{ -1.0, 1.0 };
+    factors.fit(train);
+    aos_matrix<double> wrong{ 1, 3 };
+    EXPECT_THROW(factors.transform(wrong), plssvm::invalid_data_exception);
+}
+
+TEST(Scaling, InvalidIntervalThrows) {
+    EXPECT_THROW((scaling<double>{ 1.0, -1.0 }), plssvm::invalid_parameter_exception);
+    EXPECT_THROW((scaling<double>{ 0.5, 0.5 }), plssvm::invalid_parameter_exception);
+}
+
+TEST(Scaling, SaveLoadRoundTrip) {
+    aos_matrix<double> train = sample_points();
+    scaling<double> factors{ -1.0, 1.0 };
+    factors.fit(train);
+    const std::string path = "/tmp/plssvm_test_scaling.txt";
+    factors.save(path);
+
+    const auto restored = scaling<double>::load(path);
+    EXPECT_DOUBLE_EQ(restored.lower(), -1.0);
+    EXPECT_DOUBLE_EQ(restored.upper(), 1.0);
+    ASSERT_EQ(restored.factors().size(), 2U);
+    EXPECT_DOUBLE_EQ(restored.factors()[0].min, 0.0);
+    EXPECT_DOUBLE_EQ(restored.factors()[0].max, 10.0);
+
+    // applying the restored factors must match applying the originals
+    aos_matrix<double> a = sample_points();
+    aos_matrix<double> b = sample_points();
+    factors.transform(a);
+    restored.transform(b);
+    EXPECT_EQ(a, b);
+    std::remove(path.c_str());
+}
+
+TEST(Scaling, LoadRejectsMalformedFiles) {
+    const std::string path = "/tmp/plssvm_test_scaling_bad.txt";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("y\n-1 1\n", f);  // wrong header
+        std::fclose(f);
+    }
+    EXPECT_THROW((void) scaling<double>::load(path), plssvm::invalid_file_format_exception);
+    std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * @brief Tests of the virtual device layer: memory accounting, transfers,
+ *        the simulated clock, the profiler, and the runtime profiles.
+ */
+
+#include "plssvm/exceptions.hpp"
+#include "plssvm/sim/device.hpp"
+#include "plssvm/sim/device_spec.hpp"
+#include "plssvm/sim/runtime_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace plssvm::sim;
+
+[[nodiscard]] device make_device(const device_spec &spec = devices::nvidia_a100(),
+                                 const backend_runtime runtime = backend_runtime::cuda) {
+    return device{ spec, runtime_profile::for_device(runtime, spec) };
+}
+
+TEST(DeviceSpecs, RegistryContainsAllPaperGpus) {
+    const auto &all = devices::all();
+    EXPECT_EQ(all.size(), 7U);  // 6 Table I GPUs + the A100 scaling GPU
+    EXPECT_NO_THROW((void) devices::by_name("NVIDIA V100"));
+    EXPECT_NO_THROW((void) devices::by_name("a100"));
+    EXPECT_NO_THROW((void) devices::by_name("RadeonVII"));
+    EXPECT_THROW((void) devices::by_name("nonexistent gpu"), plssvm::invalid_parameter_exception);
+}
+
+TEST(DeviceSpecs, A100MatchesPaperNumbers) {
+    const device_spec a100 = devices::nvidia_a100();
+    EXPECT_DOUBLE_EQ(a100.fp64_peak_tflops, 9.7);      // paper §IV-A
+    EXPECT_DOUBLE_EQ(a100.mem_bandwidth_gbs, 1555.0);  // paper §IV-A
+    EXPECT_DOUBLE_EQ(a100.mem_capacity_gib, 40.0);     // paper §IV-A
+}
+
+TEST(Device, InitialClockIsInitOverhead) {
+    const device dev = make_device();
+    EXPECT_DOUBLE_EQ(dev.clock_seconds(), dev.profile().init_overhead_s);
+}
+
+TEST(Device, LaunchAdvancesClockAndRunsBody) {
+    device dev = make_device();
+    const double before = dev.clock_seconds();
+    bool executed = false;
+    kernel_cost cost;
+    cost.flops = 1e9;
+    dev.launch("test_kernel", cost, [&] { executed = true; });
+    EXPECT_TRUE(executed);
+    EXPECT_GT(dev.clock_seconds(), before);
+}
+
+TEST(Device, LaunchTimeFollowsRoofline) {
+    device dev = make_device();
+    kernel_cost compute_bound;
+    compute_bound.flops = 1e12;
+    compute_bound.global_bytes = 8.0;
+    const double t0 = dev.clock_seconds();
+    dev.launch("big", compute_bound, {});
+    const double compute_time = dev.clock_seconds() - t0;
+    // 1e12 flops at 9.7 TF * 0.32 efficiency ~ 0.32 s
+    EXPECT_NEAR(compute_time, 1e12 / (9.7e12 * 0.32), 1e-3);
+}
+
+TEST(Device, TransfersAdvanceClock) {
+    device dev = make_device();
+    const double t0 = dev.clock_seconds();
+    dev.transfer_h2d(20e9);  // 20 GB at 20 GB/s PCIe ~ 1 s
+    EXPECT_NEAR(dev.clock_seconds() - t0, 1.0, 0.01);
+}
+
+TEST(DeviceBuffer, AccountsAllocationAndFree) {
+    device dev = make_device();
+    EXPECT_EQ(dev.allocated_bytes(), 0U);
+    {
+        const device_buffer<double> buffer{ dev, 1000 };
+        EXPECT_EQ(dev.allocated_bytes(), 8000U);
+        EXPECT_EQ(dev.peak_allocated_bytes(), 8000U);
+    }
+    EXPECT_EQ(dev.allocated_bytes(), 0U);
+    EXPECT_EQ(dev.peak_allocated_bytes(), 8000U);  // peak persists
+}
+
+TEST(DeviceBuffer, OutOfMemoryThrows) {
+    device_spec tiny = devices::nvidia_a100();
+    tiny.mem_capacity_gib = 1.0 / 1024.0;  // 1 MiB
+    device dev{ tiny, runtime_profile::for_device(backend_runtime::cuda, tiny) };
+    EXPECT_THROW((device_buffer<double>{ dev, 1024 * 1024 }), plssvm::device_exception);
+}
+
+TEST(DeviceBuffer, CopyRoundTrip) {
+    device dev = make_device();
+    device_buffer<double> buffer{ dev, 4 };
+    const std::vector<double> host{ 1.0, 2.0, 3.0, 4.0 };
+    buffer.copy_from_host(host.data(), 4);
+    std::vector<double> back(4);
+    buffer.copy_to_host(back.data(), 4);
+    EXPECT_EQ(back, host);
+}
+
+TEST(DeviceBuffer, OutOfBoundsCopyThrows) {
+    device dev = make_device();
+    device_buffer<double> buffer{ dev, 4 };
+    const std::vector<double> host(8, 0.0);
+    EXPECT_THROW(buffer.copy_from_host(host.data(), 8), plssvm::device_exception);
+    std::vector<double> back(8);
+    EXPECT_THROW(buffer.copy_to_host(back.data(), 8), plssvm::device_exception);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+    device dev = make_device();
+    device_buffer<double> a{ dev, 100 };
+    const device_buffer<double> b{ std::move(a) };
+    EXPECT_EQ(dev.allocated_bytes(), 800U);
+    // destruction of both must free exactly once (no double free / underflow)
+}
+
+TEST(Profiler, AggregatesPerKernelStats) {
+    device dev = make_device();
+    kernel_cost cost;
+    cost.flops = 1e9;
+    dev.launch("k1", cost, {});
+    dev.launch("k1", cost, {});
+    dev.launch("k2", cost, {});
+    EXPECT_EQ(dev.prof().num_distinct_kernels(), 2U);
+    EXPECT_EQ(dev.prof().total_launches(), 3U);
+    EXPECT_EQ(dev.prof().kernels().at("k1").launches, 2U);
+    EXPECT_DOUBLE_EQ(dev.prof().kernels().at("k1").flops, 2e9);
+    EXPECT_GT(dev.prof().kernels().at("k1").achieved_tflops(), 0.0);
+}
+
+// ---- runtime profiles (Table I behaviours) ---------------------------------
+
+TEST(RuntimeProfile, CudaRequiresNvidia) {
+    EXPECT_THROW((void) runtime_profile::for_device(backend_runtime::cuda, devices::amd_radeon_vii()),
+                 plssvm::unsupported_backend_exception);
+    EXPECT_THROW((void) runtime_profile::for_device(backend_runtime::cuda, devices::intel_uhd_p630()),
+                 plssvm::unsupported_backend_exception);
+    EXPECT_NO_THROW((void) runtime_profile::for_device(backend_runtime::cuda, devices::nvidia_v100()));
+}
+
+TEST(RuntimeProfile, BackendOrderingOnNvidia) {
+    const device_spec v100 = devices::nvidia_v100();
+    const auto cuda = runtime_profile::for_device(backend_runtime::cuda, v100);
+    const auto opencl = runtime_profile::for_device(backend_runtime::opencl, v100);
+    const auto sycl = runtime_profile::for_device(backend_runtime::sycl, v100);
+    // Table I: CUDA fastest, OpenCL close, SYCL slower
+    EXPECT_GT(cuda.efficiency_factor, opencl.efficiency_factor);
+    EXPECT_GT(opencl.efficiency_factor, sycl.efficiency_factor);
+}
+
+TEST(RuntimeProfile, SyclPenaltyOnOldComputeCapability) {
+    const auto sycl_new = runtime_profile::for_device(backend_runtime::sycl, devices::nvidia_v100());   // cc 7.0
+    const auto sycl_old = runtime_profile::for_device(backend_runtime::sycl, devices::nvidia_p100());   // cc 6.0
+    // paper: hipSYCL is >3x slower than CUDA/OpenCL on cc < 7.0
+    EXPECT_LT(sycl_old.efficiency_factor, sycl_new.efficiency_factor / 2.0);
+}
+
+TEST(RuntimeProfile, DpcppOnIntelIsHalfOfOpenCl) {
+    const device_spec intel = devices::intel_uhd_p630();
+    const auto opencl = runtime_profile::for_device(backend_runtime::opencl, intel);
+    const auto sycl = runtime_profile::for_device(backend_runtime::sycl, intel);
+    EXPECT_NEAR(sycl.efficiency_factor / opencl.efficiency_factor, 0.5, 0.05);
+}
+
+// ---- cost model ------------------------------------------------------------
+
+TEST(CostModel, TriangularHalvesFlops) {
+    const block_config full{ 16, 4, false, true };
+    const block_config triangular{ 16, 4, true, true };
+    const auto cost_full = svm_kernel_cost(1024, 64, plssvm::kernel_type::linear, full, 8);
+    const auto cost_tri = svm_kernel_cost(1024, 64, plssvm::kernel_type::linear, triangular, 8);
+    EXPECT_NEAR(cost_tri.flops / cost_full.flops, 0.5, 0.01);
+}
+
+TEST(CostModel, QCachingSavesTwoThirds) {
+    const block_config cached{ 16, 4, true, true };
+    const block_config uncached{ 16, 4, true, false };
+    const auto cost_cached = svm_kernel_cost(1024, 64, plssvm::kernel_type::linear, cached, 8);
+    const auto cost_uncached = svm_kernel_cost(1024, 64, plssvm::kernel_type::linear, uncached, 8);
+    EXPECT_NEAR(cost_uncached.flops / cost_cached.flops, 3.0, 0.01);
+}
+
+TEST(CostModel, LargerTilesReduceGlobalTraffic) {
+    const block_config small{ 4, 1, true, true };
+    const block_config large{ 16, 4, true, true };
+    const auto cost_small = svm_kernel_cost(1024, 64, plssvm::kernel_type::linear, small, 8);
+    const auto cost_large = svm_kernel_cost(1024, 64, plssvm::kernel_type::linear, large, 8);
+    EXPECT_GT(cost_small.global_bytes, cost_large.global_bytes * 4);
+}
+
+TEST(CostModel, NonLinearKernelsCostMoreFlops) {
+    const block_config cfg{};
+    const auto linear = svm_kernel_cost(512, 32, plssvm::kernel_type::linear, cfg, 8);
+    const auto rbf = svm_kernel_cost(512, 32, plssvm::kernel_type::rbf, cfg, 8);
+    EXPECT_GT(rbf.flops, linear.flops);
+}
+
+TEST(CostModel, RooflineTakesTheMaximum) {
+    const device_spec a100 = devices::nvidia_a100();
+    const auto profile = runtime_profile::for_device(backend_runtime::cuda, a100);
+    kernel_cost memory_bound;
+    memory_bound.flops = 1.0;
+    memory_bound.global_bytes = 1e12;  // 1 TB
+    const double t = roofline_seconds(a100, profile, memory_bound);
+    // 1e12 B at 1555 GB/s * 0.75 ~ 0.86 s
+    EXPECT_NEAR(t, 1e12 / (1555e9 * 0.75), 1e-2);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * @brief Tests of the paper-scale projection facility — in particular the key
+ *        consistency property: for a problem small enough to run
+ *        functionally, the projection must agree with the simulated clock of
+ *        a real device-backend training run (both walk the same launch
+ *        sequence with the same cost formulas).
+ */
+
+#include "plssvm/backends/cuda/csvm.hpp"
+#include "plssvm/datagen/make_classification.hpp"
+#include "plssvm/sim/cpu_model.hpp"
+#include "plssvm/sim/projection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace plssvm::sim;
+
+TEST(Projection, MatchesFunctionalDeviceAccounting) {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 512;
+    gen.num_features = 64;
+    gen.seed = 3;
+    const auto data = plssvm::datagen::make_classification<double>(gen);
+
+    plssvm::backend::cuda::csvm<double> svm{ plssvm::parameter{ plssvm::kernel_type::linear } };
+    const auto model = svm.fit(data, plssvm::solver_control{ .epsilon = 1e-6 });
+    const double functional_total = svm.performance_tracker().total_sim_seconds();
+
+    projection_params proj;
+    proj.num_points = 512;
+    proj.num_features = 64;
+    proj.cg_iterations = model.num_iterations();
+    const auto projected = project_plssvm_training(devices::nvidia_a100(), backend_runtime::cuda, proj);
+
+    // identical cost formulas + identical launch sequence => tight agreement
+    EXPECT_NEAR(projected.total_seconds, functional_total, 0.02 * functional_total);
+}
+
+TEST(Projection, MultiDeviceMatchesFunctionalAccounting) {
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 256;
+    gen.num_features = 64;
+    gen.seed = 4;
+    const auto data = plssvm::datagen::make_classification<double>(gen);
+
+    const std::vector<device_spec> specs(4, devices::nvidia_a100());
+    plssvm::backend::cuda::csvm<double> svm{ plssvm::parameter{ plssvm::kernel_type::linear }, specs };
+    const auto model = svm.fit(data, plssvm::solver_control{ .epsilon = 1e-6 });
+    const double functional_total = svm.performance_tracker().total_sim_seconds();
+
+    projection_params proj;
+    proj.num_points = 256;
+    proj.num_features = 64;
+    proj.cg_iterations = model.num_iterations();
+    proj.num_devices = 4;
+    const auto projected = project_plssvm_training(devices::nvidia_a100(), backend_runtime::cuda, proj);
+    EXPECT_NEAR(projected.total_seconds, functional_total, 0.05 * functional_total);
+}
+
+TEST(Projection, CgScalesLinearlyWithIterations) {
+    projection_params proj;
+    proj.num_points = 32768;
+    proj.num_features = 4096;
+    proj.cg_iterations = 10;
+    const auto ten = project_plssvm_training(devices::nvidia_v100(), backend_runtime::cuda, proj);
+    proj.cg_iterations = 20;
+    const auto twenty = project_plssvm_training(devices::nvidia_v100(), backend_runtime::cuda, proj);
+    EXPECT_NEAR(twenty.cg_seconds / ten.cg_seconds, 2.0, 0.01);
+}
+
+TEST(Projection, MultiDeviceSplitsMemoryAndTime) {
+    projection_params proj;
+    proj.num_points = 65536;
+    proj.num_features = 16384;
+    proj.cg_iterations = 35;
+    proj.num_devices = 1;
+    const auto one = project_plssvm_training(devices::nvidia_a100(), backend_runtime::cuda, proj);
+    proj.num_devices = 4;
+    const auto four = project_plssvm_training(devices::nvidia_a100(), backend_runtime::cuda, proj);
+    // paper §IV-G: 4 GPUs give ~3.7x speedup and ~1/3.8 memory per device
+    EXPECT_GT(one.total_seconds / four.total_seconds, 3.5);
+    EXPECT_LT(one.total_seconds / four.total_seconds, 4.1);
+    EXPECT_NEAR(one.per_device_memory_bytes / four.per_device_memory_bytes, 4.0, 0.2);
+}
+
+TEST(Projection, PaperScaleMemoryMatchesPaper) {
+    // paper §IV-G: 2^16 x 2^14 doubles occupy 8.15 GiB on one A100
+    projection_params proj;
+    proj.num_points = 65536;
+    proj.num_features = 16384;
+    const auto result = project_plssvm_training(devices::nvidia_a100(), backend_runtime::cuda, proj);
+    const double gib = result.per_device_memory_bytes / (1024.0 * 1024.0 * 1024.0);
+    EXPECT_NEAR(gib, 8.15, 0.3);
+}
+
+TEST(Projection, Table1OrderingHolds) {
+    projection_params proj;
+    proj.num_points = 32768;
+    proj.num_features = 4096;
+    proj.cg_iterations = 26;
+    const auto v100_cuda = project_plssvm_training(devices::nvidia_v100(), backend_runtime::cuda, proj);
+    const auto v100_opencl = project_plssvm_training(devices::nvidia_v100(), backend_runtime::opencl, proj);
+    const auto v100_sycl = project_plssvm_training(devices::nvidia_v100(), backend_runtime::sycl, proj);
+    const auto p100_cuda = project_plssvm_training(devices::nvidia_p100(), backend_runtime::cuda, proj);
+    const auto gtx_cuda = project_plssvm_training(devices::nvidia_gtx_1080_ti(), backend_runtime::cuda, proj);
+
+    // per-device backend ordering: CUDA < OpenCL < SYCL (Table I)
+    EXPECT_LT(v100_cuda.total_seconds, v100_opencl.total_seconds);
+    EXPECT_LT(v100_opencl.total_seconds, v100_sycl.total_seconds);
+    // cross-device ordering: V100 < P100 < GTX 1080 Ti
+    EXPECT_LT(v100_cuda.total_seconds, p100_cuda.total_seconds);
+    EXPECT_LT(p100_cuda.total_seconds, gtx_cuda.total_seconds);
+}
+
+TEST(Projection, ThunderSlowerThanPlssvmAtPaperScale) {
+    // Fig. 1c setting: 2^14 points x 2^12 features; paper measures 7.2x
+    projection_params plssvm_proj;
+    plssvm_proj.num_points = 16384;
+    plssvm_proj.num_features = 4096;
+    plssvm_proj.cg_iterations = 26;
+    const auto plssvm_time = project_plssvm_training(devices::nvidia_a100(), backend_runtime::cuda, plssvm_proj);
+
+    thunder_projection_params thunder_proj;
+    thunder_proj.num_points = 16384;
+    thunder_proj.num_features = 4096;
+    thunder_proj.total_steps = 2'000'000;  // SMO steps grow ~quadratically in m
+    thunder_proj.distinct_rows = 3000;
+    const auto thunder_time = project_thunder_training(devices::nvidia_a100(), thunder_proj);
+
+    EXPECT_GT(thunder_time.total_seconds, 2.0 * plssvm_time.total_seconds);
+}
+
+// ---- CPU scaling model (Fig. 4a) -------------------------------------------
+
+TEST(CpuModel, ComputeSpeedupMatchesPaperAnchors) {
+    const cpu_model epyc{};
+    // paper: 25.3 min -> 3.1 min on 16 cores (~8.2x) and 74.7x at 256 threads
+    EXPECT_NEAR(epyc.compute_speedup(16), 8.2, 1.0);
+    EXPECT_NEAR(epyc.compute_speedup(256), 74.7, 8.0);
+}
+
+TEST(CpuModel, IoDegradesBeyondOneSocket) {
+    const cpu_model epyc{};
+    const double at_socket = epyc.io_speedup(64);
+    EXPECT_GT(at_socket, epyc.io_speedup(8));     // scales within the socket
+    EXPECT_GT(at_socket, epyc.io_speedup(128));   // degrades across sockets
+    EXPECT_GT(epyc.io_speedup(128), epyc.io_speedup(256));
+}
+
+TEST(CpuModel, ProjectDividesBySpeedup) {
+    const cpu_model epyc{};
+    const double projected = epyc.project(100.0, 16, /*compute_bound=*/true);
+    EXPECT_NEAR(projected, 100.0 / epyc.compute_speedup(16), 1e-9);
+}
+
+TEST(CpuModel, MaxThreads) {
+    const cpu_model epyc{};
+    EXPECT_EQ(epyc.max_threads(), 256U);  // 2 sockets x 64 cores x 2 SMT
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * @brief Tests of the CG solver: exact solutions, termination semantics,
+ *        and property-based checks on random SPD systems.
+ */
+
+#include "plssvm/detail/rng.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/solver/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace {
+
+using plssvm::solver_control;
+using plssvm::solver::cg_result;
+using plssvm::solver::conjugate_gradients;
+using plssvm::solver::linear_operator;
+
+/// Dense symmetric operator for testing.
+class dense_operator final : public linear_operator<double> {
+  public:
+    explicit dense_operator(std::vector<std::vector<double>> matrix) :
+        matrix_{ std::move(matrix) } {}
+
+    [[nodiscard]] std::size_t size() const noexcept override { return matrix_.size(); }
+
+    void apply(const std::vector<double> &x, std::vector<double> &out) override {
+        ++applications;
+        for (std::size_t i = 0; i < matrix_.size(); ++i) {
+            double sum = 0.0;
+            for (std::size_t j = 0; j < matrix_.size(); ++j) {
+                sum += matrix_[i][j] * x[j];
+            }
+            out[i] = sum;
+        }
+    }
+
+    std::size_t applications{ 0 };
+
+  private:
+    std::vector<std::vector<double>> matrix_;
+};
+
+/// Random SPD matrix A = B^T B + shift * I.
+[[nodiscard]] dense_operator random_spd(const std::size_t n, const std::uint64_t seed, const double shift = 1.0) {
+    auto engine = plssvm::detail::make_engine(seed);
+    std::vector<std::vector<double>> b(n, std::vector<double>(n));
+    for (auto &row : b) {
+        for (double &v : row) {
+            v = plssvm::detail::standard_normal<double>(engine);
+        }
+    }
+    std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t k = 0; k < n; ++k) {
+                a[i][j] += b[k][i] * b[k][j];
+            }
+        }
+        a[i][i] += shift;
+    }
+    return dense_operator{ std::move(a) };
+}
+
+TEST(ConjugateGradients, SolvesIdentityInOneIteration) {
+    std::vector<std::vector<double>> eye{ { 1, 0 }, { 0, 1 } };
+    dense_operator op{ eye };
+    const std::vector<double> b{ 3.0, -4.0 };
+    std::vector<double> x(2, 0.0);
+    const cg_result result = conjugate_gradients(op, b, x, solver_control{ .epsilon = 1e-12 });
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 1U);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], -4.0, 1e-12);
+}
+
+TEST(ConjugateGradients, SolvesDiagonalSystem) {
+    std::vector<std::vector<double>> diag{ { 2, 0, 0 }, { 0, 4, 0 }, { 0, 0, 8 } };
+    dense_operator op{ diag };
+    const std::vector<double> b{ 2.0, 8.0, 32.0 };
+    std::vector<double> x(3, 0.0);
+    const cg_result result = conjugate_gradients(op, b, x, solver_control{ .epsilon = 1e-12 });
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(x[0], 1.0, 1e-10);
+    EXPECT_NEAR(x[1], 2.0, 1e-10);
+    EXPECT_NEAR(x[2], 4.0, 1e-10);
+}
+
+TEST(ConjugateGradients, ZeroRhsYieldsZeroSolution) {
+    dense_operator op = random_spd(8, 1);
+    const std::vector<double> b(8, 0.0);
+    std::vector<double> x(8, 5.0);  // non-zero initial guess must be reset
+    const cg_result result = conjugate_gradients(op, b, x, solver_control{});
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 0U);
+    for (const double v : x) {
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+}
+
+TEST(ConjugateGradients, WarmStartFromExactSolutionConvergesImmediately) {
+    dense_operator op = random_spd(6, 2);
+    std::vector<double> x_true(6, 1.0);
+    std::vector<double> b(6);
+    op.apply(x_true, b);
+    std::vector<double> x = x_true;
+    const cg_result result = conjugate_gradients(op, b, x, solver_control{ .epsilon = 1e-10 });
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 0U);
+}
+
+TEST(ConjugateGradients, IterationBudgetRespected) {
+    dense_operator op = random_spd(32, 3, 0.01);  // poorly conditioned
+    const std::vector<double> b(32, 1.0);
+    std::vector<double> x(32, 0.0);
+    solver_control ctrl;
+    ctrl.epsilon = 1e-14;
+    ctrl.max_iterations = 3;
+    const cg_result result = conjugate_gradients(op, b, x, ctrl);
+    EXPECT_EQ(result.iterations, 3U);
+    EXPECT_FALSE(result.converged);
+}
+
+TEST(ConjugateGradients, StrictModeThrowsWhenBudgetExhausted) {
+    dense_operator op = random_spd(32, 3, 0.01);
+    const std::vector<double> b(32, 1.0);
+    std::vector<double> x(32, 0.0);
+    solver_control ctrl;
+    ctrl.epsilon = 1e-14;
+    ctrl.max_iterations = 2;
+    ctrl.strict = true;
+    EXPECT_THROW((void) conjugate_gradients(op, b, x, ctrl), plssvm::solver_exception);
+}
+
+TEST(ConjugateGradients, ObserverSeesMonotoneIterationNumbers) {
+    dense_operator op = random_spd(16, 4);
+    const std::vector<double> b(16, 1.0);
+    std::vector<double> x(16, 0.0);
+    std::vector<std::size_t> seen;
+    (void) conjugate_gradients<double>(op, b, x, solver_control{ .epsilon = 1e-10 },
+                                       [&](const std::size_t it, const double) { seen.push_back(it); });
+    ASSERT_FALSE(seen.empty());
+    for (std::size_t i = 1; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i], seen[i - 1] + 1);
+    }
+}
+
+TEST(ConjugateGradients, InvalidEpsilonThrows) {
+    dense_operator op = random_spd(4, 5);
+    const std::vector<double> b(4, 1.0);
+    std::vector<double> x(4, 0.0);
+    EXPECT_THROW((void) conjugate_gradients(op, b, x, solver_control{ .epsilon = 0.0 }),
+                 plssvm::invalid_parameter_exception);
+    EXPECT_THROW((void) conjugate_gradients(op, b, x, solver_control{ .epsilon = 1.5 }),
+                 plssvm::invalid_parameter_exception);
+}
+
+// --- property-based sweep over random SPD systems ---------------------------
+
+class CgRandomSpd : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(CgRandomSpd, ReachesRequestedRelativeResidual) {
+    const auto [n, seed] = GetParam();
+    dense_operator op = random_spd(n, seed);
+    auto engine = plssvm::detail::make_engine(seed + 1000);
+    std::vector<double> b(n);
+    for (double &v : b) {
+        v = plssvm::detail::standard_normal<double>(engine);
+    }
+    std::vector<double> x(n, 0.0);
+    // in exact arithmetic CG terminates within n iterations; floating point
+    // rounding needs head-room on ill-conditioned random systems
+    solver_control ctrl;
+    ctrl.epsilon = 1e-10;
+    ctrl.max_iterations = 20 * n;
+    const cg_result result = conjugate_gradients(op, b, x, ctrl);
+    ASSERT_TRUE(result.converged);
+
+    // verify the *true* residual, not the recurrence value
+    std::vector<double> ax(n);
+    op.apply(x, ax);
+    double r2 = 0.0;
+    double b2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        r2 += (b[i] - ax[i]) * (b[i] - ax[i]);
+        b2 += b[i] * b[i];
+    }
+    EXPECT_LE(std::sqrt(r2 / b2), 1e-9);  // small slack over the recurrence bound
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgRandomSpd,
+                         ::testing::Combine(::testing::Values(2, 5, 16, 33, 64),
+                                            ::testing::Values(7, 8, 9)));
+
+TEST(ConjugateGradients, ResidualRefreshKeepsDriftBounded) {
+    // force frequent exact-residual recomputation and compare to the default
+    dense_operator op1 = random_spd(48, 11, 0.1);
+    dense_operator op2 = random_spd(48, 11, 0.1);
+    auto engine = plssvm::detail::make_engine(12);
+    std::vector<double> b(48);
+    for (double &v : b) {
+        v = plssvm::detail::standard_normal<double>(engine);
+    }
+    std::vector<double> x1(48, 0.0);
+    std::vector<double> x2(48, 0.0);
+    solver_control frequent;
+    frequent.epsilon = 1e-12;
+    frequent.max_iterations = 2000;
+    frequent.residual_refresh_interval = 2;
+    (void) conjugate_gradients(op1, b, x1, frequent);
+    solver_control standard;
+    standard.epsilon = 1e-12;
+    standard.max_iterations = 2000;
+    (void) conjugate_gradients(op2, b, x2, standard);
+    for (std::size_t i = 0; i < 48; ++i) {
+        EXPECT_NEAR(x1[i], x2[i], 1e-7);
+    }
+}
+
+TEST(CgBlas, DotAxpyXpay) {
+    const std::vector<double> x{ 1.0, 2.0, 3.0 };
+    std::vector<double> y{ 4.0, 5.0, 6.0 };
+    EXPECT_DOUBLE_EQ(plssvm::solver::dot_product(x, y), 4.0 + 10.0 + 18.0);
+    plssvm::solver::axpy(2.0, x, y);  // y += 2x => (6, 9, 12)
+    EXPECT_DOUBLE_EQ(y[0], 6.0);
+    EXPECT_DOUBLE_EQ(y[2], 12.0);
+    plssvm::solver::xpay(x, 0.5, y);  // y = x + 0.5 y => (4, 6.5, 9)
+    EXPECT_DOUBLE_EQ(y[0], 4.0);
+    EXPECT_DOUBLE_EQ(y[1], 6.5);
+    EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+}  // namespace
