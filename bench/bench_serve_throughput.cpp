@@ -1,0 +1,141 @@
+/**
+ * @file
+ * @brief Serving throughput benchmark: batched `serve::inference_engine`
+ *        against a naive per-point `decision_values` loop.
+ *
+ * The naive loop is what a user without the serving layer writes: call the
+ * one-shot `decision_values` free function per incoming request, paying the
+ * per-model setup (collapsed `w`, resolved kernel params, SoA copy) on every
+ * single point. The engine pays it once and streams micro-batches through the
+ * vectorized batch kernels. Reported per kernel type:
+ *
+ *  - naive requests/s (per-point decision_values loop),
+ *  - batched sync requests/s (engine.predict over full batches),
+ *  - async submit requests/s (micro-batcher coalescing path),
+ *  - the batched/naive speedup (the issue's acceptance gate: >= 3x on a
+ *    4-thread host).
+ */
+
+#include "common/bench_utils.hpp"
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/core/predict.hpp"
+#include "plssvm/detail/rng.hpp"
+#include "plssvm/serve/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::kernel_type;
+using plssvm::model;
+
+[[nodiscard]] aos_matrix<double> random_matrix(const std::size_t rows, const std::size_t cols, const std::uint64_t seed) {
+    auto engine = plssvm::detail::make_engine(seed);
+    aos_matrix<double> m{ rows, cols };
+    for (double &v : m.data()) {
+        v = plssvm::detail::standard_normal<double>(engine);
+    }
+    return m;
+}
+
+[[nodiscard]] model<double> make_model(const kernel_type kernel, const std::size_t num_sv, const std::size_t dim, const std::uint64_t seed) {
+    plssvm::parameter params;
+    params.kernel = kernel;
+    params.gamma = 0.2;
+    params.coef0 = 0.5;
+    auto engine = plssvm::detail::make_engine(seed + 1);
+    std::vector<double> alpha(num_sv);
+    for (double &a : alpha) {
+        a = plssvm::detail::standard_normal<double>(engine);
+    }
+    return model<double>{ params, random_matrix(num_sv, dim, seed), std::move(alpha), 0.1, 1.0, -1.0 };
+}
+
+}  // namespace
+
+int main(int argc, char **argv) {
+    const auto options = plssvm::bench::bench_options::parse(argc, argv,
+        "Serving throughput: batched inference engine vs. naive per-point decision_values loop.");
+
+    const auto num_sv = static_cast<std::size_t>(512 * options.scale);
+    const auto dim = static_cast<std::size_t>(64 * options.scale);
+    const std::size_t num_queries = options.quick ? 256 : 2048;
+    const std::size_t engine_threads = 4;  // the acceptance gate's host size
+    const std::size_t repeats = options.quick ? 1 : options.repeats;
+
+    std::printf("serving throughput: %zu SVs, %zu features, %zu queries, %zu engine threads, %zu repeats\n\n",
+                num_sv, dim, num_queries, engine_threads, repeats);
+
+    plssvm::bench::table_printer table{ { "kernel", "naive req/s", "sync req/s", "async req/s", "sync speedup", "p99 latency" } };
+
+    double worst_speedup = -1.0;
+    for (const kernel_type kernel : { kernel_type::linear, kernel_type::polynomial, kernel_type::rbf }) {
+        const model<double> trained = make_model(kernel, num_sv, dim, options.seed);
+        const aos_matrix<double> queries = random_matrix(num_queries, dim, options.seed + 7);
+
+        // naive: the one-shot free function per point, recompiling every call
+        const auto naive = plssvm::bench::measure(repeats, [&]() {
+            plssvm::bench::stopwatch timer;
+            for (std::size_t p = 0; p < num_queries; ++p) {
+                const aos_matrix<double> single{ 1, dim, std::vector<double>(queries.row_data(p), queries.row_data(p) + dim) };
+                volatile double sink = plssvm::decision_values(trained, single).front();
+                (void) sink;
+            }
+            return timer.seconds();
+        });
+
+        plssvm::serve::engine_config config;
+        config.num_threads = engine_threads;
+        config.max_batch_size = 128;
+        config.batch_delay = std::chrono::microseconds{ 200 };
+        plssvm::serve::inference_engine<double> engine{ trained, config };
+
+        // batched sync: one predict call over the whole query matrix
+        const auto sync = plssvm::bench::measure(repeats, [&]() {
+            plssvm::bench::stopwatch timer;
+            volatile double sink = engine.decision_values(queries).front();
+            (void) sink;
+            return timer.seconds();
+        });
+
+        // async: single-point submits coalesced by the micro-batcher
+        const auto async = plssvm::bench::measure(repeats, [&]() {
+            plssvm::bench::stopwatch timer;
+            std::vector<std::future<double>> futures;
+            futures.reserve(num_queries);
+            for (std::size_t p = 0; p < num_queries; ++p) {
+                futures.push_back(engine.submit(std::vector<double>(queries.row_data(p), queries.row_data(p) + dim)));
+            }
+            for (std::future<double> &f : futures) {
+                (void) f.get();
+            }
+            return timer.seconds();
+        });
+
+        const double n = static_cast<double>(num_queries);
+        const double speedup = naive.mean / sync.mean;
+        worst_speedup = worst_speedup < 0.0 ? speedup : std::min(worst_speedup, speedup);
+        const auto stats = engine.stats();
+        table.add_row({ std::string{ plssvm::kernel_type_to_string(kernel) },
+                        plssvm::bench::format_double(n / naive.mean, 0),
+                        plssvm::bench::format_double(n / sync.mean, 0),
+                        plssvm::bench::format_double(n / async.mean, 0),
+                        plssvm::bench::format_double(speedup, 1) + "x",
+                        plssvm::bench::format_seconds(stats.p99_latency_seconds) });
+    }
+
+    table.print();
+    std::printf("\nworst batched-sync speedup over naive loop: %.1fx (acceptance gate: >= 3x)\n", worst_speedup);
+    return worst_speedup >= 3.0 ? 0 : 1;
+}

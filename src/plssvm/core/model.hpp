@@ -6,6 +6,11 @@
  * negative) weight (paper §II-C). The model serialises to the LIBSVM model
  * file format so PLSSVM-trained models can be consumed by LIBSVM tooling and
  * vice versa ("drop-in replacement", paper §I).
+ *
+ * A `model` is the *training-side* representation. For repeated prediction,
+ * compile it into a `plssvm::serve::compiled_model` (or register it with a
+ * `plssvm::serve::model_registry`), which precomputes the collapsed linear
+ * weight vector, cached RBF norms, and the SoA support-vector layout once.
  */
 
 #ifndef PLSSVM_CORE_MODEL_HPP_

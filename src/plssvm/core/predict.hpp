@@ -11,60 +11,34 @@
 #ifndef PLSSVM_CORE_PREDICT_HPP_
 #define PLSSVM_CORE_PREDICT_HPP_
 
-#include "plssvm/core/kernel_functions.hpp"
 #include "plssvm/core/matrix.hpp"
 #include "plssvm/core/model.hpp"
 #include "plssvm/exceptions.hpp"
+#include "plssvm/serve/compiled_model.hpp"
 
 #include <cstddef>
-#include <string>
 #include <vector>
 
 namespace plssvm {
 
-/// Decision values f(x) = sum_i coef_i k(sv_i, x) - rho for all rows of @p points.
+/// Decision values f(x) = sum_i coef_i k(sv_i, x) - rho for all rows of
+/// @p points. One-shot convenience: compiles the prediction state (collapsed
+/// `w` vector, SoA support vectors, cached norms) and evaluates once — note
+/// that for non-linear kernels this materialises a second (padded, SoA) copy
+/// of the support vectors for the duration of the call. Callers that predict
+/// repeatedly should hold a `serve::compiled_model` (or an engine from
+/// `plssvm/serve/serve.hpp`) to pay the compilation exactly once.
 template <typename T>
 [[nodiscard]] std::vector<T> decision_values(const model<T> &trained, const aos_matrix<T> &points) {
-    if (points.num_cols() != trained.num_features()) {
-        throw invalid_data_exception{ "The data has " + std::to_string(points.num_cols()) + " features but the model was trained with " + std::to_string(trained.num_features()) + "!" };
-    }
-    const aos_matrix<T> &sv = trained.support_vectors();
-    const std::vector<T> &alpha = trained.alpha();
-    const std::size_t num_points = points.num_rows();
-    const std::size_t dim = points.num_cols();
-    const T bias = trained.bias();
+    // reject mismatched queries before paying for the compilation
+    serve::compiled_model<T>::validate_feature_count(trained.num_features(), points.num_cols());
+    return serve::compiled_model<T>{ trained }.decision_values(points);
+}
 
-    std::vector<T> values(num_points);
-
-    if (trained.params().kernel == kernel_type::linear) {
-        // linear kernel: collapse the support vectors into the normal vector w
-        std::vector<T> w(dim, T{ 0 });
-        for (std::size_t i = 0; i < sv.num_rows(); ++i) {
-            const T a = alpha[i];
-            const T *row = sv.row_data(i);
-            #pragma omp simd
-            for (std::size_t k = 0; k < dim; ++k) {
-                w[k] += a * row[k];
-            }
-        }
-        #pragma omp parallel for
-        for (std::size_t p = 0; p < num_points; ++p) {
-            values[p] = kernels::dot(w.data(), points.row_data(p), dim) + bias;
-        }
-    } else {
-        const kernel_params<T> kp{ trained.params().kernel, trained.params().degree,
-                                   trained.effective_gamma(), static_cast<T>(trained.params().coef0) };
-        #pragma omp parallel for
-        for (std::size_t p = 0; p < num_points; ++p) {
-            T sum{ 0 };
-            const T *x = points.row_data(p);
-            for (std::size_t i = 0; i < sv.num_rows(); ++i) {
-                sum += alpha[i] * kernels::apply(kp, sv.row_data(i), x, dim);
-            }
-            values[p] = sum + bias;
-        }
-    }
-    return values;
+/// Decision values against an already-compiled model (no per-call setup).
+template <typename T>
+[[nodiscard]] std::vector<T> decision_values(const serve::compiled_model<T> &compiled, const aos_matrix<T> &points) {
+    return compiled.decision_values(points);
 }
 
 /// Predicted labels in the model's original label domain.

@@ -18,6 +18,15 @@ component_timing tracker::get(const std::string_view name) const {
     return it == components_.end() ? component_timing{} : it->second;
 }
 
+void tracker::set_metric(const std::string_view name, const double value) {
+    metrics_[std::string{ name }] = value;
+}
+
+double tracker::get_metric(const std::string_view name) const {
+    const auto it = metrics_.find(std::string{ name });
+    return it == metrics_.end() ? 0.0 : it->second;
+}
+
 double tracker::total_wall_seconds() const noexcept {
     double sum = 0.0;
     for (const auto &[name, timing] : components_) {

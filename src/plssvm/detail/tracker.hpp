@@ -61,11 +61,26 @@ class tracker {
     /// Sum of simulated seconds over all components.
     [[nodiscard]] double total_sim_seconds() const noexcept;
 
-    /// Remove all recorded timings.
-    void clear() noexcept { components_.clear(); }
+    /// Set the named scalar metric (gauge semantics: last write wins). Used by
+    /// the serving layer for non-timing aggregates such as latency percentiles
+    /// and requests/s.
+    void set_metric(std::string_view name, double value);
+
+    /// Lookup a metric; returns 0.0 if it was never set.
+    [[nodiscard]] double get_metric(std::string_view name) const;
+
+    /// All recorded metrics (sorted by name).
+    [[nodiscard]] const std::map<std::string, double> &metrics() const noexcept { return metrics_; }
+
+    /// Remove all recorded timings and metrics.
+    void clear() noexcept {
+        components_.clear();
+        metrics_.clear();
+    }
 
   private:
     std::map<std::string, component_timing> components_;
+    std::map<std::string, double> metrics_;
 };
 
 /// RAII stopwatch: adds the elapsed wall time to @p t under @p name on destruction.

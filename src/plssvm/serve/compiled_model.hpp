@@ -1,0 +1,220 @@
+/**
+ * @file
+ * @brief A prediction-optimized, immutable view of a trained `model`.
+ *
+ * `plssvm::decision_values` historically rebuilt all per-model prediction
+ * state (the collapsed linear normal vector `w`, the resolved kernel
+ * parameters) on *every* call, which is fine for one-shot evaluation but
+ * disastrous for serving: a per-point predict loop pays O(#SV * #features)
+ * setup per point. `compiled_model` performs that work exactly once:
+ *
+ *  - linear kernel: the support vectors and weights are collapsed into the
+ *    normal vector `w`, turning each prediction into a single dot product;
+ *  - rbf kernel: the squared norms ||sv_i||^2 are cached so the distance
+ *    core can be computed as ||sv||^2 + ||x||^2 - 2<sv, x>, i.e. via the
+ *    same vectorizable inner-product sweep as the other kernels;
+ *  - all non-linear kernels: the support vectors are copied into a padded
+ *    feature-major (SoA) layout so the per-feature accumulation sweep is a
+ *    contiguous, vectorizable AXPY over all support vectors at once.
+ *
+ * The batch entry point is deliberately split into a serial range method
+ * (`decision_values_into`) and a parallel convenience wrapper so that the
+ * serving layer can do its own work partitioning on a thread pool without
+ * fighting nested parallelism.
+ */
+
+#ifndef PLSSVM_SERVE_COMPILED_MODEL_HPP_
+#define PLSSVM_SERVE_COMPILED_MODEL_HPP_
+
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plssvm::serve {
+
+/// Padding multiple of the SoA support-vector copy; matches the cache-line
+/// friendly blocking of the device layer and keeps the inner simd loop free
+/// of remainder handling.
+inline constexpr std::size_t compiled_model_row_padding = 64;
+
+template <typename T>
+class compiled_model {
+  public:
+    using real_type = T;
+
+    compiled_model() = default;
+
+    /// Precompute all prediction state from @p trained (the model itself is
+    /// not referenced afterwards).
+    explicit compiled_model(const model<T> &trained) :
+        params_{ trained.params().kernel, trained.params().degree, trained.effective_gamma(), static_cast<T>(trained.params().coef0) },
+        bias_{ trained.bias() },
+        positive_label_{ trained.positive_label() },
+        negative_label_{ trained.negative_label() },
+        dim_{ trained.num_features() },
+        num_sv_{ trained.num_support_vectors() } {
+        const aos_matrix<T> &sv = trained.support_vectors();
+        const std::vector<T> &alpha = trained.alpha();
+
+        if (params_.kernel == kernel_type::linear) {
+            // collapse SVs and weights into the normal vector once
+            w_.assign(dim_, T{ 0 });
+            for (std::size_t i = 0; i < num_sv_; ++i) {
+                const T a = alpha[i];
+                const T *row = sv.row_data(i);
+                #pragma omp simd
+                for (std::size_t k = 0; k < dim_; ++k) {
+                    w_[k] += a * row[k];
+                }
+            }
+        } else {
+            alpha_ = alpha;
+            sv_soa_ = transform_to_soa(sv, compiled_model_row_padding);
+            if (params_.kernel == kernel_type::rbf) {
+                sv_sq_norms_.resize(num_sv_);
+                for (std::size_t i = 0; i < num_sv_; ++i) {
+                    const T *row = sv.row_data(i);
+                    sv_sq_norms_[i] = kernels::dot(row, row, dim_);
+                }
+            }
+        }
+    }
+
+    [[nodiscard]] const kernel_params<T> &params() const noexcept { return params_; }
+    [[nodiscard]] T bias() const noexcept { return bias_; }
+    [[nodiscard]] T positive_label() const noexcept { return positive_label_; }
+    [[nodiscard]] T negative_label() const noexcept { return negative_label_; }
+    [[nodiscard]] std::size_t num_features() const noexcept { return dim_; }
+    [[nodiscard]] std::size_t num_support_vectors() const noexcept { return num_sv_; }
+    [[nodiscard]] bool empty() const noexcept { return dim_ == 0; }
+
+    /// Map a decision value to the original label domain.
+    [[nodiscard]] T label_from_decision(const T decision) const noexcept {
+        return decision > T{ 0 } ? positive_label_ : negative_label_;
+    }
+
+    /// @throws plssvm::invalid_data_exception if @p num_point_features
+    ///         differs from @p num_model_features
+    static void validate_feature_count(const std::size_t num_model_features, const std::size_t num_point_features) {
+        if (num_point_features != num_model_features) {
+            throw invalid_data_exception{ "The data has " + std::to_string(num_point_features) + " features but the model was trained with " + std::to_string(num_model_features) + "!" };
+        }
+    }
+
+    /// @throws plssvm::invalid_data_exception if the feature count differs
+    ///         from the training feature count
+    void validate_features(const std::size_t num_point_features) const {
+        validate_feature_count(dim_, num_point_features);
+    }
+
+    /// Decision value of a single feature vector @p x (`num_features()` entries).
+    [[nodiscard]] T decision_value(const T *x) const {
+        std::vector<T> acc(accumulator_size());
+        return decide_one(x, acc);
+    }
+
+    /**
+     * @brief Serial batch kernel: decision values of rows [@p row_begin, @p row_end)
+     *        of @p points into `out[0 .. row_end - row_begin)`.
+     *
+     * Serial on purpose: callers (the inference engine, the OpenMP wrapper
+     * below) own the parallel decomposition.
+     */
+    void decision_values_into(const aos_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end, T *out) const {
+        validate_features(points.num_cols());
+        // one accumulator reused across the whole range -> no per-point allocation
+        std::vector<T> acc(accumulator_size());
+        for (std::size_t p = row_begin; p < row_end; ++p) {
+            out[p - row_begin] = decide_one(points.row_data(p), acc);
+        }
+    }
+
+    /// Parallel batch evaluation of all rows of @p points.
+    [[nodiscard]] std::vector<T> decision_values(const aos_matrix<T> &points) const {
+        validate_features(points.num_cols());
+        const std::size_t num_points = points.num_rows();
+        std::vector<T> values(num_points);
+        #pragma omp parallel
+        {
+            std::vector<T> acc(accumulator_size());
+            #pragma omp for schedule(static)
+            for (std::size_t p = 0; p < num_points; ++p) {
+                values[p] = decide_one(points.row_data(p), acc);
+            }
+        }
+        return values;
+    }
+
+    /// Predicted labels in the model's original label domain.
+    [[nodiscard]] std::vector<T> predict_labels(const aos_matrix<T> &points) const {
+        std::vector<T> values = decision_values(points);
+        for (T &v : values) {
+            v = label_from_decision(v);
+        }
+        return values;
+    }
+
+  private:
+    /// Scratch entries `decide_one` needs (0 for linear: no accumulator sweep).
+    [[nodiscard]] std::size_t accumulator_size() const noexcept {
+        return params_.kernel == kernel_type::linear ? 0 : sv_soa_.padded_rows();
+    }
+
+    /// f(x) for one point; @p acc must hold `accumulator_size()` entries.
+    [[nodiscard]] T decide_one(const T *x, std::vector<T> &acc) const {
+        if (params_.kernel == kernel_type::linear) {
+            return kernels::dot(w_.data(), x, dim_) + bias_;
+        }
+
+        // feature-major sweep: acc[i] accumulates <sv_i, x> for ALL support
+        // vectors simultaneously over contiguous SoA columns
+        const std::size_t padded = sv_soa_.padded_rows();
+        std::fill(acc.begin(), acc.end(), T{ 0 });
+        T *acc_data = acc.data();
+        for (std::size_t f = 0; f < dim_; ++f) {
+            const T xf = x[f];
+            const T *column = sv_soa_.feature_data(f);
+            #pragma omp simd
+            for (std::size_t i = 0; i < padded; ++i) {
+                acc_data[i] += xf * column[i];
+            }
+        }
+
+        T sum{ 0 };
+        if (params_.kernel == kernel_type::rbf) {
+            // ||sv - x||^2 = ||sv||^2 + ||x||^2 - 2 <sv, x>, clamped against
+            // tiny negative rounding residue so exp(-gamma * core) <= 1
+            const T x_sq = kernels::dot(x, x, dim_);
+            for (std::size_t i = 0; i < num_sv_; ++i) {
+                const T core = std::max(sv_sq_norms_[i] + x_sq - T{ 2 } * acc_data[i], T{ 0 });
+                sum += alpha_[i] * kernels::finish(params_, core);
+            }
+        } else {
+            for (std::size_t i = 0; i < num_sv_; ++i) {
+                sum += alpha_[i] * kernels::finish(params_, acc_data[i]);
+            }
+        }
+        return sum + bias_;
+    }
+
+    kernel_params<T> params_{};
+    T bias_{ 0 };
+    T positive_label_{ 1 };
+    T negative_label_{ -1 };
+    std::size_t dim_{ 0 };
+    std::size_t num_sv_{ 0 };
+    std::vector<T> alpha_;        ///< SV weights (non-linear kernels only)
+    std::vector<T> w_;            ///< collapsed normal vector (linear kernel only)
+    soa_matrix<T> sv_soa_;        ///< padded feature-major SV copy (non-linear kernels only)
+    std::vector<T> sv_sq_norms_;  ///< cached ||sv_i||^2 (rbf kernel only)
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_COMPILED_MODEL_HPP_

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * @brief Thread-pool-backed inference engine over a `compiled_model`.
+ *
+ * The engine exposes the two serving entry points:
+ *  - `predict(points)` / `decision_values(points)`: synchronous batch
+ *    evaluation, partitioned across the engine's thread pool;
+ *  - `submit(point) -> std::future<label>`: asynchronous single-point
+ *    requests, coalesced into batches by the `micro_batcher` and evaluated
+ *    by a dedicated drain thread.
+ *
+ * Every engine records latency/throughput statistics (`stats()`) and can
+ * publish them through `plssvm::detail::tracker` (`report_to()`), the same
+ * channel the training pipeline uses for its component timings.
+ */
+
+#ifndef PLSSVM_SERVE_INFERENCE_ENGINE_HPP_
+#define PLSSVM_SERVE_INFERENCE_ENGINE_HPP_
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/detail/tracker.hpp"
+#include "plssvm/serve/compiled_model.hpp"
+#include "plssvm/serve/micro_batcher.hpp"
+#include "plssvm/serve/serve_stats.hpp"
+#include "plssvm/serve/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace plssvm::serve {
+
+/// Engine sizing and batching knobs.
+struct engine_config {
+    /// Worker threads for batch evaluation; 0 means hardware concurrency.
+    std::size_t num_threads{ 0 };
+    /// Micro-batcher size trigger for the async path.
+    std::size_t max_batch_size{ 64 };
+    /// Micro-batcher latency deadline for the async path.
+    std::chrono::microseconds batch_delay{ 250 };
+};
+
+namespace detail {
+
+/**
+ * @brief Consumer loop shared by the binary and multi-class engines: pull
+ *        coalesced batches, assemble the batch matrix, evaluate, fulfil the
+ *        promises, record metrics.
+ *
+ * @p evaluate maps the assembled `aos_matrix` to one label per row. Any
+ * exception inside a batch (including allocation failure while assembling
+ * it) is propagated to that batch's promises instead of escaping the drain
+ * thread.
+ */
+template <typename T, typename Evaluate>
+void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std::size_t num_features, Evaluate &&evaluate) {
+    while (true) {
+        std::vector<typename micro_batcher<T>::request> batch = batcher.next_batch();
+        if (batch.empty()) {
+            return;  // shut down and drained
+        }
+        const std::size_t batch_size = batch.size();
+        try {
+            // points were validated on submit
+            aos_matrix<T> points{ batch_size, num_features };
+            for (std::size_t i = 0; i < batch_size; ++i) {
+                std::copy(batch[i].point.begin(), batch[i].point.end(), points.row_data(i));
+            }
+            const auto start = std::chrono::steady_clock::now();
+            const std::vector<T> labels = evaluate(points);
+            const auto end = std::chrono::steady_clock::now();
+            metrics.record_batch(batch_size, std::chrono::duration<double>(end - start).count());
+            for (std::size_t i = 0; i < batch_size; ++i) {
+                metrics.record_request_latency(std::chrono::duration<double>(end - batch[i].enqueued).count());
+                batch[i].result.set_value(labels[i]);
+            }
+        } catch (...) {
+            for (typename micro_batcher<T>::request &req : batch) {
+                req.result.set_exception(std::current_exception());
+            }
+        }
+    }
+}
+
+}  // namespace detail
+
+/// Partition @p num_rows of @p points across @p pool and evaluate @p cm into
+/// @p out. Shared by the binary and multi-class engines.
+template <typename T>
+void pooled_decision_values(const compiled_model<T> &cm, thread_pool &pool, const aos_matrix<T> &points, T *out) {
+    const std::size_t num_rows = points.num_rows();
+    if (num_rows == 0) {
+        return;
+    }
+    const std::size_t num_chunks = std::min(num_rows, pool.size());
+    const std::size_t chunk = (num_rows + num_chunks - 1) / num_chunks;
+    std::vector<std::future<void>> pending;
+    pending.reserve(num_chunks);
+    for (std::size_t begin = 0; begin < num_rows; begin += chunk) {
+        const std::size_t end = std::min(begin + chunk, num_rows);
+        pending.push_back(pool.enqueue([&cm, &points, out, begin, end]() {
+            cm.decision_values_into(points, begin, end, out + begin);
+        }));
+    }
+    for (std::future<void> &f : pending) {
+        f.get();  // rethrows evaluation errors (e.g. feature-count mismatch)
+    }
+}
+
+template <typename T>
+class inference_engine {
+  public:
+    using real_type = T;
+
+    /// Compile @p trained and start the engine's threads.
+    explicit inference_engine(const model<T> &trained, engine_config config = {}) :
+        inference_engine{ compiled_model<T>{ trained }, config } {}
+
+    /// Take ownership of an already-compiled model and start the engine.
+    explicit inference_engine(compiled_model<T> compiled, engine_config config = {}) :
+        compiled_{ std::move(compiled) },
+        config_{ config },
+        pool_{ config.num_threads },
+        batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } },
+        drainer_{ [this]() { drain_loop(); } } {}
+
+    inference_engine(const inference_engine &) = delete;
+    inference_engine &operator=(const inference_engine &) = delete;
+
+    /// Stops accepting requests, drains everything pending, then joins.
+    ~inference_engine() {
+        batcher_.shutdown();
+        drainer_.join();
+    }
+
+    [[nodiscard]] const compiled_model<T> &compiled() const noexcept { return compiled_; }
+    [[nodiscard]] const engine_config &config() const noexcept { return config_; }
+    [[nodiscard]] std::size_t num_threads() const noexcept { return pool_.size(); }
+
+    /// Synchronous batched decision values, partitioned across the pool.
+    [[nodiscard]] std::vector<T> decision_values(const aos_matrix<T> &points) {
+        compiled_.validate_features(points.num_cols());
+        std::vector<T> values(points.num_rows());
+        if (values.empty()) {
+            return values;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        pooled_decision_values(compiled_, pool_, points, values.data());
+        const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        metrics_.record_batch(points.num_rows(), elapsed);
+        metrics_.record_request_latency(elapsed);
+        return values;
+    }
+
+    /// Synchronous batched label prediction.
+    [[nodiscard]] std::vector<T> predict(const aos_matrix<T> &points) {
+        std::vector<T> values = decision_values(points);
+        for (T &v : values) {
+            v = compiled_.label_from_decision(v);
+        }
+        return values;
+    }
+
+    /**
+     * @brief Asynchronous single-point prediction.
+     * @return future resolving to the predicted label in the model's
+     *         original label domain
+     * @throws plssvm::invalid_data_exception if the feature count is wrong
+     *         (checked eagerly so the error surfaces at the call site)
+     */
+    [[nodiscard]] std::future<T> submit(std::vector<T> point) {
+        compiled_.validate_features(point.size());
+        return batcher_.enqueue(std::move(point));
+    }
+
+    /// Current latency/throughput aggregates.
+    [[nodiscard]] serve_stats stats() const { return metrics_.snapshot(); }
+
+    /// Publish the aggregates into @p t under @p prefix.
+    void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
+        metrics_.report_to(t, prefix);
+    }
+
+  private:
+    void drain_loop() {
+        detail::drain_requests(batcher_, metrics_, compiled_.num_features(), [this](const aos_matrix<T> &points) {
+            std::vector<T> values(points.num_rows());
+            pooled_decision_values(compiled_, pool_, points, values.data());
+            for (T &v : values) {
+                v = compiled_.label_from_decision(v);
+            }
+            return values;
+        });
+    }
+
+    compiled_model<T> compiled_;
+    engine_config config_;
+    thread_pool pool_;
+    micro_batcher<T> batcher_;
+    serve_metrics metrics_;
+    std::thread drainer_;
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_INFERENCE_ENGINE_HPP_

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * @brief Request-coalescing micro-batcher for online inference.
+ *
+ * Single-point predict requests arrive one at a time but the batch kernels of
+ * `compiled_model` amortize their per-call setup over many points. The
+ * micro-batcher bridges the two: producers enqueue points and receive a
+ * future; a consumer (the inference engine's drain thread) pulls *batches*
+ * formed under a dual policy:
+ *
+ *  - size trigger: a batch is released as soon as `max_batch_size` requests
+ *    are pending, and
+ *  - latency deadline: a partial batch is released once its oldest request
+ *    has waited `max_delay`, bounding the latency cost of batching.
+ */
+
+#ifndef PLSSVM_SERVE_MICRO_BATCHER_HPP_
+#define PLSSVM_SERVE_MICRO_BATCHER_HPP_
+
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace plssvm::serve {
+
+/// Batching policy knobs.
+struct batch_policy {
+    /// Release a batch as soon as this many requests are pending (>= 1).
+    std::size_t max_batch_size{ 64 };
+    /// Release a partial batch once its oldest request has waited this long.
+    std::chrono::microseconds max_delay{ 500 };
+};
+
+template <typename T>
+class micro_batcher {
+  public:
+    /// One pending predict request.
+    struct request {
+        std::vector<T> point;                                ///< feature vector
+        std::promise<T> result;                              ///< fulfilled by the consumer
+        std::chrono::steady_clock::time_point enqueued{};    ///< for latency accounting
+    };
+
+    explicit micro_batcher(batch_policy policy = {}) :
+        policy_{ policy } {
+        if (policy_.max_batch_size == 0) {
+            throw invalid_parameter_exception{ "micro_batcher max_batch_size must be at least 1!" };
+        }
+    }
+
+    micro_batcher(const micro_batcher &) = delete;
+    micro_batcher &operator=(const micro_batcher &) = delete;
+
+    [[nodiscard]] const batch_policy &policy() const noexcept { return policy_; }
+
+    /// Enqueue a predict request; the returned future is fulfilled once a
+    /// consumer processed the batch containing it.
+    /// @throws plssvm::exception if the batcher has been shut down
+    [[nodiscard]] std::future<T> enqueue(std::vector<T> point) {
+        std::future<T> future;
+        {
+            const std::lock_guard lock{ mutex_ };
+            if (stopped_) {
+                throw exception{ "micro_batcher: enqueue after shutdown!" };
+            }
+            request &req = queue_.emplace_back();
+            req.point = std::move(point);
+            req.enqueued = std::chrono::steady_clock::now();
+            future = req.result.get_future();
+        }
+        cv_.notify_all();
+        return future;
+    }
+
+    /**
+     * @brief Block until a batch is ready under the policy and pop it.
+     *
+     * Returns an empty vector only after `shutdown()` once all pending
+     * requests have been drained — the consumer's exit signal. After
+     * shutdown, still-pending requests are handed out without waiting so
+     * nothing is ever dropped.
+     */
+    [[nodiscard]] std::vector<request> next_batch() {
+        std::unique_lock lock{ mutex_ };
+        cv_.wait(lock, [this]() { return stopped_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            return {};  // shut down and fully drained
+        }
+        if (!stopped_ && queue_.size() < policy_.max_batch_size) {
+            // partial batch: hold for stragglers until the oldest request's deadline
+            const auto deadline = queue_.front().enqueued + policy_.max_delay;
+            cv_.wait_until(lock, deadline, [this]() { return stopped_ || queue_.size() >= policy_.max_batch_size; });
+        }
+        const std::size_t batch_size = std::min(queue_.size(), policy_.max_batch_size);
+        std::vector<request> batch;
+        batch.reserve(batch_size);
+        for (std::size_t i = 0; i < batch_size; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        return batch;
+    }
+
+    /// Reject new requests and wake all waiting consumers; pending requests
+    /// remain retrievable via `next_batch()`.
+    void shutdown() {
+        {
+            const std::lock_guard lock{ mutex_ };
+            stopped_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] bool is_shutdown() const {
+        const std::lock_guard lock{ mutex_ };
+        return stopped_;
+    }
+
+    /// Number of currently queued requests.
+    [[nodiscard]] std::size_t pending() const {
+        const std::lock_guard lock{ mutex_ };
+        return queue_.size();
+    }
+
+  private:
+    batch_policy policy_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<request> queue_;
+    bool stopped_{ false };
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_MICRO_BATCHER_HPP_

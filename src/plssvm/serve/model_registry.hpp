@@ -1,0 +1,184 @@
+/**
+ * @file
+ * @brief Multi-tenant registry of named, ready-to-serve models.
+ *
+ * A serving process typically hosts many models (per customer, per A/B arm,
+ * per label subset). The registry owns one engine per registered name —
+ * binary `inference_engine`s or `multiclass_engine`s for one-vs-all
+ * ensembles — hands out shared pointers so in-flight users keep an evicted
+ * engine alive, and applies least-recently-used eviction once `capacity()`
+ * engines are resident (compiled models pin the full SV matrix in memory,
+ * so residency must be bounded).
+ */
+
+#ifndef PLSSVM_SERVE_MODEL_REGISTRY_HPP_
+#define PLSSVM_SERVE_MODEL_REGISTRY_HPP_
+
+#include "plssvm/core/model.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/ext/multiclass.hpp"
+#include "plssvm/serve/inference_engine.hpp"
+#include "plssvm/serve/multiclass_engine.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace plssvm::serve {
+
+template <typename T>
+class model_registry {
+  public:
+    /// @param capacity maximum resident engines (>= 1) before LRU eviction
+    /// @param default_config engine configuration applied when a load call
+    ///        does not pass its own
+    explicit model_registry(const std::size_t capacity = 8, engine_config default_config = {}) :
+        capacity_{ capacity },
+        default_config_{ default_config } {
+        if (capacity_ == 0) {
+            throw invalid_parameter_exception{ "model_registry capacity must be at least 1!" };
+        }
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    /// Register a binary model under @p name (replacing any previous entry).
+    std::shared_ptr<inference_engine<T>> load(const std::string &name, const model<T> &trained) {
+        return load(name, trained, default_config_);
+    }
+
+    std::shared_ptr<inference_engine<T>> load(const std::string &name, const model<T> &trained, const engine_config &config) {
+        auto engine = std::make_shared<inference_engine<T>>(trained, config);
+        insert(name, entry{ engine, nullptr, 0 });
+        return engine;
+    }
+
+    /// Register a one-vs-all ensemble under @p name (replacing any previous entry).
+    std::shared_ptr<multiclass_engine<T>> load(const std::string &name, const ext::multiclass_model<T> &ensemble) {
+        return load(name, ensemble, default_config_);
+    }
+
+    std::shared_ptr<multiclass_engine<T>> load(const std::string &name, const ext::multiclass_model<T> &ensemble, const engine_config &config) {
+        auto engine = std::make_shared<multiclass_engine<T>>(ensemble, config);
+        insert(name, entry{ nullptr, engine, 0 });
+        return engine;
+    }
+
+    /// Load a LIBSVM model file and register it under @p name.
+    std::shared_ptr<inference_engine<T>> load_file(const std::string &name, const std::string &filename) {
+        return load(name, model<T>::load(filename));
+    }
+
+    /// Binary engine registered under @p name, or nullptr (also for names
+    /// holding a multi-class engine). Refreshes the LRU age only on a hit, so
+    /// type-mismatched probes neither protect nor penalise an entry.
+    [[nodiscard]] std::shared_ptr<inference_engine<T>> find(const std::string &name) {
+        const std::lock_guard lock{ mutex_ };
+        const auto it = entries_.find(name);
+        if (it == entries_.end() || it->second.binary == nullptr) {
+            return nullptr;
+        }
+        it->second.last_used = ++clock_;
+        return it->second.binary;
+    }
+
+    /// Multi-class engine registered under @p name, or nullptr (also for
+    /// names holding a binary engine). Refreshes the LRU age only on a hit.
+    [[nodiscard]] std::shared_ptr<multiclass_engine<T>> find_multiclass(const std::string &name) {
+        const std::lock_guard lock{ mutex_ };
+        const auto it = entries_.find(name);
+        if (it == entries_.end() || it->second.multiclass == nullptr) {
+            return nullptr;
+        }
+        it->second.last_used = ++clock_;
+        return it->second.multiclass;
+    }
+
+    [[nodiscard]] bool contains(const std::string &name) const {
+        const std::lock_guard lock{ mutex_ };
+        return entries_.count(name) > 0;
+    }
+
+    /// Remove @p name; in-flight shared pointers keep the engine alive.
+    bool evict(const std::string &name) {
+        entry displaced;  // engine teardown (if last owner) happens after unlock
+        const std::lock_guard lock{ mutex_ };
+        const auto it = entries_.find(name);
+        if (it == entries_.end()) {
+            return false;
+        }
+        displaced = std::move(it->second);
+        entries_.erase(it);
+        return true;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        const std::lock_guard lock{ mutex_ };
+        return entries_.size();
+    }
+
+    /// Registered names, most recently used first.
+    [[nodiscard]] std::vector<std::string> names() const {
+        const std::lock_guard lock{ mutex_ };
+        std::vector<std::pair<std::uint64_t, std::string>> aged;
+        aged.reserve(entries_.size());
+        for (const auto &[name, e] : entries_) {
+            aged.emplace_back(e.last_used, name);
+        }
+        std::sort(aged.begin(), aged.end(), [](const auto &a, const auto &b) { return a.first > b.first; });
+        std::vector<std::string> result;
+        result.reserve(aged.size());
+        for (auto &[age, name] : aged) {
+            result.push_back(std::move(name));
+        }
+        return result;
+    }
+
+  private:
+    struct entry {
+        std::shared_ptr<inference_engine<T>> binary;
+        std::shared_ptr<multiclass_engine<T>> multiclass;
+        std::uint64_t last_used{ 0 };
+    };
+
+    /// Insert (or replace) @p name and apply LRU eviction. Displaced engines
+    /// are destroyed only after the lock is released: tearing an engine down
+    /// joins its drain thread, which must not stall every other tenant.
+    void insert(const std::string &name, entry &&e) {
+        std::vector<entry> displaced;  // destroyed after the lock scope
+        const std::lock_guard lock{ mutex_ };
+        e.last_used = ++clock_;
+        const auto it = entries_.find(name);
+        if (it != entries_.end()) {
+            displaced.push_back(std::move(it->second));
+            entries_.erase(it);
+        }
+        entries_.emplace(name, std::move(e));
+        while (entries_.size() > capacity_) {
+            auto victim = entries_.begin();
+            for (auto candidate = entries_.begin(); candidate != entries_.end(); ++candidate) {
+                if (candidate->second.last_used < victim->second.last_used) {
+                    victim = candidate;
+                }
+            }
+            displaced.push_back(std::move(victim->second));
+            entries_.erase(victim);
+        }
+    }
+
+    std::size_t capacity_;
+    engine_config default_config_;
+    mutable std::mutex mutex_;
+    std::map<std::string, entry> entries_;
+    std::uint64_t clock_{ 0 };
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_MODEL_REGISTRY_HPP_

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * @brief Serving engine for one-vs-all multi-class ensembles.
+ *
+ * Wraps an `ext::multiclass_model` as a set of compiled binary heads sharing
+ * one thread pool and one micro-batcher. The decision semantics replicate
+ * `ext::one_vs_all::predict` exactly: each head's decision value is oriented
+ * toward "this class" (the binary trainer may have mapped the rest-side to
+ * +1) and the argmax over oriented scores wins, first class on ties.
+ */
+
+#ifndef PLSSVM_SERVE_MULTICLASS_ENGINE_HPP_
+#define PLSSVM_SERVE_MULTICLASS_ENGINE_HPP_
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/detail/tracker.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/ext/multiclass.hpp"
+#include "plssvm/serve/compiled_model.hpp"
+#include "plssvm/serve/inference_engine.hpp"
+#include "plssvm/serve/micro_batcher.hpp"
+#include "plssvm/serve/serve_stats.hpp"
+#include "plssvm/serve/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <limits>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace plssvm::serve {
+
+template <typename T>
+class multiclass_engine {
+  public:
+    using real_type = T;
+
+    /// Compile every binary head of @p ensemble and start the engine.
+    explicit multiclass_engine(const ext::multiclass_model<T> &ensemble, engine_config config = {}) :
+        class_labels_{ ensemble.class_labels() },
+        config_{ config },
+        pool_{ config.num_threads },
+        batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } } {
+        if (ensemble.num_classes() == 0) {
+            throw invalid_data_exception{ "The multi-class model is empty!" };
+        }
+        heads_.reserve(ensemble.num_classes());
+        orientation_.reserve(ensemble.num_classes());
+        for (const model<T> &binary : ensemble.binary_models()) {
+            // orient toward "this class"; see ext::one_vs_all::predict
+            orientation_.push_back(binary.positive_label() > T{ 0 } ? T{ 1 } : T{ -1 });
+            heads_.emplace_back(binary);
+        }
+        drainer_ = std::thread{ [this]() { drain_loop(); } };
+    }
+
+    multiclass_engine(const multiclass_engine &) = delete;
+    multiclass_engine &operator=(const multiclass_engine &) = delete;
+
+    ~multiclass_engine() {
+        batcher_.shutdown();
+        drainer_.join();
+    }
+
+    [[nodiscard]] std::size_t num_classes() const noexcept { return heads_.size(); }
+    [[nodiscard]] const std::vector<T> &class_labels() const noexcept { return class_labels_; }
+    [[nodiscard]] std::size_t num_features() const noexcept { return heads_.front().num_features(); }
+
+    /// Oriented per-class scores: entry (point, class) is the decision value
+    /// of head `class` oriented toward that class.
+    [[nodiscard]] aos_matrix<T> decision_matrix(const aos_matrix<T> &points) {
+        heads_.front().validate_features(points.num_cols());
+        const std::size_t num_points = points.num_rows();
+        aos_matrix<T> scores{ num_points, heads_.size() };
+        if (num_points == 0) {
+            return scores;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<T> values(num_points);
+        for (std::size_t c = 0; c < heads_.size(); ++c) {
+            pooled_decision_values(heads_[c], pool_, points, values.data());
+            const T orientation = orientation_[c];
+            for (std::size_t p = 0; p < num_points; ++p) {
+                scores(p, c) = orientation * values[p];
+            }
+        }
+        const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        metrics_.record_batch(num_points, elapsed);
+        metrics_.record_request_latency(elapsed);
+        return scores;
+    }
+
+    /// Synchronous batched class-label prediction (argmax over oriented scores).
+    [[nodiscard]] std::vector<T> predict(const aos_matrix<T> &points) {
+        const aos_matrix<T> scores = decision_matrix(points);
+        std::vector<T> labels(points.num_rows());
+        for (std::size_t p = 0; p < labels.size(); ++p) {
+            labels[p] = argmax_label(scores.row_data(p));
+        }
+        return labels;
+    }
+
+    /// Asynchronous single-point prediction resolving to the class label.
+    [[nodiscard]] std::future<T> submit(std::vector<T> point) {
+        heads_.front().validate_features(point.size());
+        return batcher_.enqueue(std::move(point));
+    }
+
+    [[nodiscard]] serve_stats stats() const { return metrics_.snapshot(); }
+
+    void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
+        metrics_.report_to(t, prefix);
+    }
+
+  private:
+    /// Winning class label for one row of oriented scores.
+    [[nodiscard]] T argmax_label(const T *scores) const {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < heads_.size(); ++c) {
+            if (scores[c] > scores[best]) {
+                best = c;
+            }
+        }
+        return class_labels_[best];
+    }
+
+    void drain_loop() {
+        detail::drain_requests(batcher_, metrics_, num_features(), [this](const aos_matrix<T> &points) {
+            const std::size_t batch_size = points.num_rows();
+            std::vector<T> values(batch_size);
+            std::vector<T> best_score(batch_size, -std::numeric_limits<T>::infinity());
+            std::vector<T> labels(batch_size, class_labels_.front());
+            for (std::size_t c = 0; c < heads_.size(); ++c) {
+                pooled_decision_values(heads_[c], pool_, points, values.data());
+                for (std::size_t i = 0; i < batch_size; ++i) {
+                    const T score = orientation_[c] * values[i];
+                    if (score > best_score[i]) {
+                        best_score[i] = score;
+                        labels[i] = class_labels_[c];
+                    }
+                }
+            }
+            return labels;
+        });
+    }
+
+    std::vector<T> class_labels_;
+    std::vector<compiled_model<T>> heads_;
+    std::vector<T> orientation_;
+    engine_config config_;
+    thread_pool pool_;
+    micro_batcher<T> batcher_;
+    serve_metrics metrics_;
+    std::thread drainer_;
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_MULTICLASS_ENGINE_HPP_

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * @brief Per-engine serving statistics: latency percentiles and throughput.
+ *
+ * Every inference engine owns one `serve_metrics` instance. The batch/drain
+ * paths record per-request latencies and per-batch kernel times; `snapshot()`
+ * aggregates them into a `serve_stats` value and `report_to()` publishes the
+ * aggregate through the library-wide `plssvm::detail::tracker` (the same
+ * channel the training pipeline uses for its component timings).
+ *
+ * Latency samples live in a fixed-size ring buffer (the most recent
+ * `sample_capacity` requests), so percentiles track current behaviour and
+ * memory stays bounded no matter how long an engine serves.
+ */
+
+#ifndef PLSSVM_SERVE_SERVE_STATS_HPP_
+#define PLSSVM_SERVE_SERVE_STATS_HPP_
+
+#include "plssvm/detail/tracker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plssvm::serve {
+
+/// Aggregated serving statistics of one engine.
+///
+/// Latency percentiles are computed over *call* samples: the async submit
+/// path records one sample per request (enqueue to fulfilment), the sync
+/// batch path records one sample per `predict`/`decision_values` call (its
+/// wall time — which *is* the end-to-end latency each point in that call
+/// experienced). `total_requests` always counts points, so on sync-heavy
+/// workloads there are fewer samples than requests by design.
+struct serve_stats {
+    std::size_t total_requests{ 0 };     ///< predict requests served (points, not batches)
+    std::size_t total_batches{ 0 };      ///< batch kernel invocations
+    double mean_batch_size{ 0.0 };       ///< total_requests / total_batches
+    double p50_latency_seconds{ 0.0 };   ///< median call latency (see above)
+    double p99_latency_seconds{ 0.0 };   ///< tail call latency
+    double max_latency_seconds{ 0.0 };   ///< worst recorded call latency
+    double requests_per_second{ 0.0 };   ///< throughput over the recording window
+    double batch_kernel_seconds{ 0.0 };  ///< wall time spent inside batch kernels
+};
+
+/// Thread-safe recorder behind `serve_stats`.
+class serve_metrics {
+  public:
+    /// Ring-buffer capacity for latency samples.
+    static constexpr std::size_t sample_capacity = 8192;
+
+    /// Record one request's end-to-end latency.
+    void record_request_latency(const double seconds) {
+        const std::lock_guard lock{ mutex_ };
+        push_sample(seconds);
+        note_activity();
+    }
+
+    /// Record one batch kernel invocation covering @p num_requests points.
+    void record_batch(const std::size_t num_requests, const double kernel_seconds) {
+        const std::lock_guard lock{ mutex_ };
+        total_requests_ += num_requests;
+        ++total_batches_;
+        batch_kernel_seconds_ += kernel_seconds;
+        note_activity();
+    }
+
+    /// Aggregate everything recorded so far.
+    [[nodiscard]] serve_stats snapshot() const {
+        std::vector<double> samples;
+        serve_stats stats;
+        {
+            const std::lock_guard lock{ mutex_ };
+            samples.assign(samples_.begin(), samples_.end());
+            stats.total_requests = total_requests_;
+            stats.total_batches = total_batches_;
+            stats.batch_kernel_seconds = batch_kernel_seconds_;
+            const double window = std::chrono::duration<double>(last_activity_ - first_activity_).count();
+            if (total_requests_ > 0) {
+                // zero-width window (single batch): fall back to kernel time
+                const double denom = window > 0.0 ? window : batch_kernel_seconds_;
+                stats.requests_per_second = denom > 0.0 ? static_cast<double>(total_requests_) / denom : 0.0;
+            }
+        }
+        if (stats.total_batches > 0) {
+            stats.mean_batch_size = static_cast<double>(stats.total_requests) / static_cast<double>(stats.total_batches);
+        }
+        if (!samples.empty()) {
+            std::sort(samples.begin(), samples.end());
+            stats.p50_latency_seconds = percentile(samples, 0.50);
+            stats.p99_latency_seconds = percentile(samples, 0.99);
+            stats.max_latency_seconds = samples.back();
+        }
+        return stats;
+    }
+
+    /// Publish a snapshot into @p t: batch kernel time as a component timing,
+    /// the latency/throughput aggregates as named metrics.
+    void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
+        const serve_stats stats = snapshot();
+        const std::string p{ prefix };
+        t.add(p + "/batch_kernel", stats.batch_kernel_seconds);
+        t.set_metric(p + "/total_requests", static_cast<double>(stats.total_requests));
+        t.set_metric(p + "/total_batches", static_cast<double>(stats.total_batches));
+        t.set_metric(p + "/mean_batch_size", stats.mean_batch_size);
+        t.set_metric(p + "/p50_latency_s", stats.p50_latency_seconds);
+        t.set_metric(p + "/p99_latency_s", stats.p99_latency_seconds);
+        t.set_metric(p + "/max_latency_s", stats.max_latency_seconds);
+        t.set_metric(p + "/requests_per_s", stats.requests_per_second);
+    }
+
+  private:
+    /// Nearest-rank percentile of pre-sorted @p sorted (non-empty).
+    [[nodiscard]] static double percentile(const std::vector<double> &sorted, const double q) {
+        const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(rank, sorted.size() - 1)];
+    }
+
+    void push_sample(const double seconds) {
+        if (samples_.size() < sample_capacity) {
+            samples_.push_back(seconds);
+        } else {
+            samples_[next_sample_] = seconds;
+        }
+        next_sample_ = (next_sample_ + 1) % sample_capacity;
+    }
+
+    void note_activity() {
+        const auto now = std::chrono::steady_clock::now();
+        if (first_activity_ == std::chrono::steady_clock::time_point{}) {
+            first_activity_ = now;
+        }
+        last_activity_ = now;
+    }
+
+    mutable std::mutex mutex_;
+    std::vector<double> samples_;
+    std::size_t next_sample_{ 0 };
+    std::size_t total_requests_{ 0 };
+    std::size_t total_batches_{ 0 };
+    double batch_kernel_seconds_{ 0.0 };
+    std::chrono::steady_clock::time_point first_activity_{};
+    std::chrono::steady_clock::time_point last_activity_{};
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_SERVE_STATS_HPP_

@@ -1,0 +1,59 @@
+#include "plssvm/serve/thread_pool.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace plssvm::serve {
+
+thread_pool::thread_pool(std::size_t num_threads) {
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0) {
+            num_threads = 1;
+        }
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this]() { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard lock{ mutex_ };
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_) {
+        worker.join();
+    }
+}
+
+void thread_pool::enqueue_detached(std::function<void()> job) {
+    {
+        const std::lock_guard lock{ mutex_ };
+        jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void thread_pool::worker_loop() {
+    while (true) {
+        std::function<void()> job;
+        {
+            std::unique_lock lock{ mutex_ };
+            cv_.wait(lock, [this]() { return stop_ || !jobs_.empty(); });
+            if (jobs_.empty()) {
+                return;  // stop requested and queue drained
+            }
+            job = std::move(jobs_.front());
+            jobs_.pop_front();
+        }
+        job();
+    }
+}
+
+}  // namespace plssvm::serve

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * @brief Fixed-size worker thread pool backing the inference engines.
+ *
+ * Deliberately minimal: a mutex/condvar job queue and N workers. The serving
+ * layer uses it for two things: partitioning synchronous batch predictions
+ * across cores, and keeping that parallelism *bounded per engine* (an OpenMP
+ * `parallel for` would compete globally across all engines of a process).
+ */
+
+#ifndef PLSSVM_SERVE_THREAD_POOL_HPP_
+#define PLSSVM_SERVE_THREAD_POOL_HPP_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace plssvm::serve {
+
+class thread_pool {
+  public:
+    /// Start @p num_threads workers; 0 means `std::thread::hardware_concurrency()`.
+    explicit thread_pool(std::size_t num_threads = 0);
+
+    thread_pool(const thread_pool &) = delete;
+    thread_pool &operator=(const thread_pool &) = delete;
+
+    /// Drains outstanding jobs, then joins all workers.
+    ~thread_pool();
+
+    /// Number of worker threads.
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue a fire-and-forget job.
+    void enqueue_detached(std::function<void()> job);
+
+    /// Enqueue a job and obtain a future for its result.
+    template <typename F>
+    [[nodiscard]] std::future<std::invoke_result_t<F>> enqueue(F &&job) {
+        using result_type = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<result_type()>>(std::forward<F>(job));
+        std::future<result_type> future = task->get_future();
+        enqueue_detached([task]() { (*task)(); });
+        return future;
+    }
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_{ false };
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_THREAD_POOL_HPP_

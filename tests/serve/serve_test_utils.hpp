@@ -1,0 +1,59 @@
+/**
+ * @file
+ * @brief Shared helpers for the serving-subsystem tests: deterministic
+ *        synthetic models and query points for every kernel type.
+ */
+
+#ifndef PLSSVM_TESTS_SERVE_SERVE_TEST_UTILS_HPP_
+#define PLSSVM_TESTS_SERVE_SERVE_TEST_UTILS_HPP_
+
+#include "plssvm/core/matrix.hpp"
+#include "plssvm/core/model.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/detail/rng.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace plssvm::test {
+
+/// Deterministic random matrix with entries ~ N(0, 1).
+[[nodiscard]] inline aos_matrix<double> random_matrix(const std::size_t rows, const std::size_t cols, const std::uint64_t seed) {
+    auto engine = detail::make_engine(seed);
+    aos_matrix<double> m{ rows, cols };
+    for (double &v : m.data()) {
+        v = detail::standard_normal<double>(engine);
+    }
+    return m;
+}
+
+/// Synthetic trained model: random support vectors and weights, fixed rho.
+/// `num_sv` deliberately defaults to a non-multiple of the SoA padding so the
+/// padded tail is exercised.
+[[nodiscard]] inline model<double> random_model(const kernel_type kernel,
+                                                const std::size_t num_sv = 37,
+                                                const std::size_t dim = 11,
+                                                const std::uint64_t seed = 42) {
+    parameter params;
+    params.kernel = kernel;
+    params.degree = 3;
+    params.gamma = 0.35;
+    params.coef0 = 0.75;
+
+    auto engine = detail::make_engine(seed + 1);
+    std::vector<double> alpha(num_sv);
+    for (double &a : alpha) {
+        a = detail::standard_normal<double>(engine);
+    }
+    return model<double>{ params, random_matrix(num_sv, dim, seed), std::move(alpha), /*rho=*/0.125, /*positive=*/1.0, /*negative=*/-1.0 };
+}
+
+/// All kernel types the library ships.
+[[nodiscard]] inline std::vector<kernel_type> all_kernel_types() {
+    return { kernel_type::linear, kernel_type::polynomial, kernel_type::rbf, kernel_type::sigmoid };
+}
+
+}  // namespace plssvm::test
+
+#endif  // PLSSVM_TESTS_SERVE_SERVE_TEST_UTILS_HPP_

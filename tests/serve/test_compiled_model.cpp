@@ -1,0 +1,147 @@
+/**
+ * @file
+ * @brief Unit tests for `serve::compiled_model`: numerical parity with the
+ *        naive decision function and with the `decision_values` free function
+ *        for every kernel type.
+ */
+
+#include "serve/serve_test_utils.hpp"
+
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/core/predict.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/serve/compiled_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::kernel_params;
+using plssvm::kernel_type;
+using plssvm::model;
+using plssvm::serve::compiled_model;
+namespace test = plssvm::test;
+
+/// Naive reference: direct sum over kernel evaluations, no precomputation.
+std::vector<double> naive_decision_values(const model<double> &m, const aos_matrix<double> &points) {
+    const kernel_params<double> kp{ m.params().kernel, m.params().degree, m.effective_gamma(), m.params().coef0 };
+    std::vector<double> values(points.num_rows());
+    for (std::size_t p = 0; p < points.num_rows(); ++p) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < m.num_support_vectors(); ++i) {
+            sum += m.alpha()[i] * plssvm::kernels::apply(kp, m.support_vectors().row_data(i), points.row_data(p), m.num_features());
+        }
+        values[p] = sum + m.bias();
+    }
+    return values;
+}
+
+TEST(CompiledModel, MatchesNaiveReferenceForAllKernels) {
+    const aos_matrix<double> points = test::random_matrix(23, 11, 7);
+    for (const kernel_type kernel : test::all_kernel_types()) {
+        const model<double> m = test::random_model(kernel);
+        const compiled_model<double> compiled{ m };
+        const std::vector<double> expected = naive_decision_values(m, points);
+        const std::vector<double> actual = compiled.decision_values(points);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (std::size_t p = 0; p < actual.size(); ++p) {
+            EXPECT_NEAR(actual[p], expected[p], 1e-10 * (1.0 + std::abs(expected[p])))
+                << "kernel=" << plssvm::kernel_type_to_string(kernel) << " point=" << p;
+        }
+    }
+}
+
+TEST(CompiledModel, BitExactWithDecisionValuesFreeFunction) {
+    const aos_matrix<double> points = test::random_matrix(17, 11, 8);
+    for (const kernel_type kernel : test::all_kernel_types()) {
+        const model<double> m = test::random_model(kernel);
+        const compiled_model<double> compiled{ m };
+        const std::vector<double> via_free = plssvm::decision_values(m, points);
+        const std::vector<double> via_compiled = compiled.decision_values(points);
+        ASSERT_EQ(via_free.size(), via_compiled.size());
+        for (std::size_t p = 0; p < via_free.size(); ++p) {
+            EXPECT_DOUBLE_EQ(via_free[p], via_compiled[p]) << "kernel=" << plssvm::kernel_type_to_string(kernel);
+        }
+    }
+}
+
+TEST(CompiledModel, SerialRangeMatchesParallelBatch) {
+    const aos_matrix<double> points = test::random_matrix(19, 11, 9);
+    for (const kernel_type kernel : test::all_kernel_types()) {
+        const compiled_model<double> compiled{ test::random_model(kernel) };
+        const std::vector<double> parallel = compiled.decision_values(points);
+        // evaluate in two uneven serial chunks
+        std::vector<double> serial(points.num_rows());
+        compiled.decision_values_into(points, 0, 5, serial.data());
+        compiled.decision_values_into(points, 5, points.num_rows(), serial.data() + 5);
+        for (std::size_t p = 0; p < serial.size(); ++p) {
+            EXPECT_DOUBLE_EQ(serial[p], parallel[p]);
+        }
+    }
+}
+
+TEST(CompiledModel, SinglePointMatchesBatch) {
+    const aos_matrix<double> points = test::random_matrix(5, 11, 10);
+    for (const kernel_type kernel : test::all_kernel_types()) {
+        const compiled_model<double> compiled{ test::random_model(kernel) };
+        const std::vector<double> batch = compiled.decision_values(points);
+        for (std::size_t p = 0; p < points.num_rows(); ++p) {
+            EXPECT_DOUBLE_EQ(compiled.decision_value(points.row_data(p)), batch[p]);
+        }
+    }
+}
+
+TEST(CompiledModel, PredictLabelsMapsToLabelDomain) {
+    const model<double> m = test::random_model(kernel_type::linear);
+    const compiled_model<double> compiled{ m };
+    const aos_matrix<double> points = test::random_matrix(29, 11, 11);
+    const std::vector<double> values = compiled.decision_values(points);
+    const std::vector<double> labels = compiled.predict_labels(points);
+    for (std::size_t p = 0; p < labels.size(); ++p) {
+        EXPECT_EQ(labels[p], values[p] > 0.0 ? m.positive_label() : m.negative_label());
+    }
+}
+
+TEST(CompiledModel, FeatureCountMismatchThrows) {
+    const compiled_model<double> compiled{ test::random_model(kernel_type::rbf) };
+    const aos_matrix<double> wrong = test::random_matrix(3, 5, 12);
+    EXPECT_THROW((void) compiled.decision_values(wrong), plssvm::invalid_data_exception);
+}
+
+TEST(CompiledModel, ExposesModelMetadata) {
+    const model<double> m = test::random_model(kernel_type::polynomial, 37, 11);
+    const compiled_model<double> compiled{ m };
+    EXPECT_EQ(compiled.num_support_vectors(), 37u);
+    EXPECT_EQ(compiled.num_features(), 11u);
+    EXPECT_EQ(compiled.bias(), m.bias());
+    EXPECT_EQ(compiled.positive_label(), m.positive_label());
+    EXPECT_EQ(compiled.negative_label(), m.negative_label());
+    EXPECT_EQ(compiled.params().kernel, kernel_type::polynomial);
+    EXPECT_FALSE(compiled.empty());
+    EXPECT_TRUE(compiled_model<double>{}.empty());
+}
+
+TEST(CompiledModel, RbfOfSupportVectorItselfStaysSane) {
+    // the cached-norm distance form can go slightly negative on identical
+    // points; the clamp must keep k(x, x) = 1 exactly representable
+    const model<double> m = test::random_model(kernel_type::rbf, 8, 6, 21);
+    const compiled_model<double> compiled{ m };
+    aos_matrix<double> sv_points{ m.num_support_vectors(), m.num_features() };
+    for (std::size_t i = 0; i < m.num_support_vectors(); ++i) {
+        for (std::size_t k = 0; k < m.num_features(); ++k) {
+            sv_points(i, k) = m.support_vectors()(i, k);
+        }
+    }
+    const std::vector<double> actual = compiled.decision_values(sv_points);
+    const std::vector<double> expected = naive_decision_values(m, sv_points);
+    for (std::size_t p = 0; p < actual.size(); ++p) {
+        EXPECT_NEAR(actual[p], expected[p], 1e-10 * (1.0 + std::abs(expected[p])));
+    }
+}
+
+}  // namespace

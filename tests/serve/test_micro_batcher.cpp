@@ -1,0 +1,121 @@
+/**
+ * @file
+ * @brief Unit tests for the request-coalescing `serve::micro_batcher`:
+ *        size trigger, latency deadline, shutdown draining.
+ */
+
+#include "plssvm/exceptions.hpp"
+#include "plssvm/serve/micro_batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using plssvm::serve::batch_policy;
+using plssvm::serve::micro_batcher;
+using namespace std::chrono_literals;
+
+TEST(MicroBatcher, RejectsZeroBatchSize) {
+    EXPECT_THROW((micro_batcher<double>{ batch_policy{ 0, 1ms } }), plssvm::invalid_parameter_exception);
+}
+
+TEST(MicroBatcher, SizeTriggerReleasesFullBatchImmediately) {
+    // deadline far away: only the size trigger can release the batch quickly
+    micro_batcher<double> batcher{ batch_policy{ 4, std::chrono::microseconds{ 10'000'000 } } };
+    std::vector<std::future<double>> futures;
+    for (int i = 0; i < 4; ++i) {
+        futures.push_back(batcher.enqueue({ 1.0, 2.0 }));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const auto batch = batcher.next_batch();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_EQ(batch.size(), 4u);
+    EXPECT_LT(elapsed, 5s) << "size-complete batch must not wait for the deadline";
+    EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(MicroBatcher, DeadlineReleasesPartialBatch) {
+    micro_batcher<double> batcher{ batch_policy{ 100, 50ms } };
+    (void) batcher.enqueue({ 1.0 });
+    (void) batcher.enqueue({ 2.0 });
+    const auto start = std::chrono::steady_clock::now();
+    const auto batch = batcher.next_batch();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_EQ(batch.size(), 2u);
+    // the oldest request's deadline had mostly elapsed before next_batch was
+    // called, so only a loose lower bound is meaningful
+    EXPECT_GE(elapsed, 1ms);
+}
+
+TEST(MicroBatcher, BatchesNeverExceedMaxSize) {
+    micro_batcher<double> batcher{ batch_policy{ 3, 1ms } };
+    for (int i = 0; i < 8; ++i) {
+        (void) batcher.enqueue({ static_cast<double>(i) });
+    }
+    batcher.shutdown();
+    std::vector<std::size_t> sizes;
+    while (true) {
+        const auto batch = batcher.next_batch();
+        if (batch.empty()) {
+            break;
+        }
+        sizes.push_back(batch.size());
+    }
+    ASSERT_EQ(sizes.size(), 3u);
+    EXPECT_EQ(sizes[0], 3u);
+    EXPECT_EQ(sizes[1], 3u);
+    EXPECT_EQ(sizes[2], 2u);
+}
+
+TEST(MicroBatcher, PreservesFifoOrderAndPayload) {
+    micro_batcher<double> batcher{ batch_policy{ 8, 1ms } };
+    for (int i = 0; i < 5; ++i) {
+        (void) batcher.enqueue({ static_cast<double>(i), static_cast<double>(10 * i) });
+    }
+    batcher.shutdown();
+    const auto batch = batcher.next_batch();
+    ASSERT_EQ(batch.size(), 5u);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_EQ(batch[i].point.size(), 2u);
+        EXPECT_EQ(batch[i].point[0], static_cast<double>(i));
+        EXPECT_EQ(batch[i].point[1], static_cast<double>(10 * i));
+    }
+}
+
+TEST(MicroBatcher, ShutdownWakesBlockedConsumer) {
+    micro_batcher<double> batcher{ batch_policy{ 4, std::chrono::microseconds{ 10'000'000 } } };
+    std::thread consumer{ [&batcher]() {
+        const auto batch = batcher.next_batch();
+        EXPECT_TRUE(batch.empty());
+    } };
+    std::this_thread::sleep_for(20ms);  // let the consumer block on the empty queue
+    batcher.shutdown();
+    consumer.join();
+}
+
+TEST(MicroBatcher, EnqueueAfterShutdownThrows) {
+    micro_batcher<double> batcher;
+    batcher.shutdown();
+    EXPECT_TRUE(batcher.is_shutdown());
+    EXPECT_THROW((void) batcher.enqueue({ 1.0 }), plssvm::exception);
+}
+
+TEST(MicroBatcher, ShutdownStillDrainsPendingRequests) {
+    micro_batcher<double> batcher{ batch_policy{ 10, std::chrono::microseconds{ 10'000'000 } } };
+    auto future = batcher.enqueue({ 3.5 });
+    batcher.shutdown();
+    // pending requests survive shutdown and are handed out without waiting
+    auto batch = batcher.next_batch();
+    ASSERT_EQ(batch.size(), 1u);
+    batch[0].result.set_value(7.0);
+    EXPECT_EQ(future.get(), 7.0);
+    EXPECT_TRUE(batcher.next_batch().empty());
+}
+
+}  // namespace
