@@ -1,19 +1,26 @@
 /**
  * @file
- * @brief Serving throughput benchmark: batched `serve::inference_engine`
- *        against a naive per-point `decision_values` loop.
+ * @brief Serving throughput benchmark: engine vs. naive loop, and the
+ *        per-path comparison of the blocked batch-prediction kernels.
  *
- * The naive loop is what a user without the serving layer writes: call the
- * one-shot `decision_values` free function per incoming request, paying the
- * per-model setup (collapsed `w`, resolved kernel params, SoA copy) on every
- * single point. The engine pays it once and streams micro-batches through the
- * vectorized batch kernels. Reported per kernel type:
+ * Two experiments:
  *
- *  - naive requests/s (per-point decision_values loop),
- *  - batched sync requests/s (engine.predict over full batches),
- *  - async submit requests/s (micro-batcher coalescing path),
- *  - the batched/naive speedup (the issue's acceptance gate: >= 3x on a
- *    4-thread host).
+ *  1. Engine vs. naive loop (PR 1's experiment): the naive loop calls the
+ *     one-shot `decision_values` free function per incoming request, paying
+ *     the per-model setup (collapsed `w`, resolved kernel params, SoA copy)
+ *     on every single point; the engine pays it once and streams batches
+ *     through the batch kernels. Gate: batched sync >= 3x naive.
+ *
+ *  2. Execution-path comparison (this PR's experiment): points/s of the
+ *     per-point reference sweep vs. the register-tiled blocked host kernels
+ *     vs. the device predict kernels, per kernel type and batch size.
+ *     Gates: blocked >= 2x reference for RBF at batch 256, and blocked
+ *     beats reference for every non-linear kernel at batch >= 64 (the
+ *     linear "blocked" path is the same w-dot sweep as the reference).
+ *
+ * Besides the human-readable tables the benchmark writes a machine-readable
+ * `BENCH_serve.json` into the working directory so the serving perf
+ * trajectory can be tracked across commits.
  */
 
 #include "common/bench_utils.hpp"
@@ -62,11 +69,66 @@ using plssvm::model;
     return model<double>{ params, random_matrix(num_sv, dim, seed), std::move(alpha), 0.1, 1.0, -1.0 };
 }
 
+/// One engine-vs-naive row of the JSON report.
+struct engine_result {
+    std::string kernel;
+    double naive_rps;
+    double sync_rps;
+    double async_rps;
+    double sync_speedup;
+    double p99_latency_s;
+};
+
+/// One execution-path row of the JSON report.
+struct path_result {
+    std::string kernel;
+    std::size_t batch;
+    double reference_pps;
+    double blocked_pps;
+    double device_pps;
+    double blocked_speedup;
+    std::string dispatched_path;
+};
+
+void write_json(const char *file_name, const std::size_t num_sv, const std::size_t dim,
+                const std::size_t num_queries, const std::size_t engine_threads, const std::size_t repeats,
+                const bool quick, const std::vector<engine_result> &engines, const std::vector<path_result> &paths,
+                const double rbf256_speedup, const bool blocked_beats_reference, const double worst_sync_speedup,
+                const bool pass) {
+    std::FILE *f = std::fopen(file_name, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "warning: could not open %s for writing\n", file_name);
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"serve_throughput\",\n");
+    std::fprintf(f, "  \"config\": { \"num_sv\": %zu, \"dim\": %zu, \"num_queries\": %zu, \"engine_threads\": %zu, \"repeats\": %zu, \"quick\": %s },\n",
+                 num_sv, dim, num_queries, engine_threads, repeats, quick ? "true" : "false");
+    std::fprintf(f, "  \"engine\": [\n");
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+        const engine_result &r = engines[i];
+        std::fprintf(f, "    { \"kernel\": \"%s\", \"naive_rps\": %.1f, \"sync_rps\": %.1f, \"async_rps\": %.1f, \"sync_speedup\": %.2f, \"p99_latency_s\": %.6e }%s\n",
+                     r.kernel.c_str(), r.naive_rps, r.sync_rps, r.async_rps, r.sync_speedup, r.p99_latency_s,
+                     i + 1 < engines.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"paths\": [\n");
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        const path_result &r = paths[i];
+        std::fprintf(f, "    { \"kernel\": \"%s\", \"batch\": %zu, \"reference_pps\": %.1f, \"blocked_pps\": %.1f, \"device_pps\": %.1f, \"blocked_speedup\": %.2f, \"dispatched_path\": \"%s\" }%s\n",
+                     r.kernel.c_str(), r.batch, r.reference_pps, r.blocked_pps, r.device_pps, r.blocked_speedup,
+                     r.dispatched_path.c_str(), i + 1 < paths.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"pass\": %s }\n",
+                 rbf256_speedup, blocked_beats_reference ? "true" : "false", worst_sync_speedup, pass ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char **argv) {
     const auto options = plssvm::bench::bench_options::parse(argc, argv,
-        "Serving throughput: batched inference engine vs. naive per-point decision_values loop.");
+        "Serving throughput: engine vs. naive loop, and blocked vs. reference vs. device execution paths.");
 
     const auto num_sv = static_cast<std::size_t>(512 * options.scale);
     const auto dim = static_cast<std::size_t>(64 * options.scale);
@@ -77,9 +139,13 @@ int main(int argc, char **argv) {
     std::printf("serving throughput: %zu SVs, %zu features, %zu queries, %zu engine threads, %zu repeats\n\n",
                 num_sv, dim, num_queries, engine_threads, repeats);
 
-    plssvm::bench::table_printer table{ { "kernel", "naive req/s", "sync req/s", "async req/s", "sync speedup", "p99 latency" } };
+    // ------------------------------------------------------------------
+    // experiment 1: engine vs. naive per-point free-function loop
+    // ------------------------------------------------------------------
+    plssvm::bench::table_printer engine_table{ { "kernel", "naive req/s", "sync req/s", "async req/s", "sync speedup", "p99 latency" } };
+    std::vector<engine_result> engine_results;
 
-    double worst_speedup = -1.0;
+    double worst_sync_speedup = -1.0;
     for (const kernel_type kernel : { kernel_type::linear, kernel_type::polynomial, kernel_type::rbf }) {
         const model<double> trained = make_model(kernel, num_sv, dim, options.seed);
         const aos_matrix<double> queries = random_matrix(num_queries, dim, options.seed + 7);
@@ -125,17 +191,102 @@ int main(int argc, char **argv) {
 
         const double n = static_cast<double>(num_queries);
         const double speedup = naive.mean / sync.mean;
-        worst_speedup = worst_speedup < 0.0 ? speedup : std::min(worst_speedup, speedup);
+        worst_sync_speedup = worst_sync_speedup < 0.0 ? speedup : std::min(worst_sync_speedup, speedup);
         const auto stats = engine.stats();
-        table.add_row({ std::string{ plssvm::kernel_type_to_string(kernel) },
-                        plssvm::bench::format_double(n / naive.mean, 0),
-                        plssvm::bench::format_double(n / sync.mean, 0),
-                        plssvm::bench::format_double(n / async.mean, 0),
-                        plssvm::bench::format_double(speedup, 1) + "x",
-                        plssvm::bench::format_seconds(stats.p99_latency_seconds) });
+        engine_results.push_back(engine_result{ std::string{ plssvm::kernel_type_to_string(kernel) },
+                                                n / naive.mean, n / sync.mean, n / async.mean, speedup,
+                                                stats.p99_latency_seconds });
+        engine_table.add_row({ std::string{ plssvm::kernel_type_to_string(kernel) },
+                               plssvm::bench::format_double(n / naive.mean, 0),
+                               plssvm::bench::format_double(n / sync.mean, 0),
+                               plssvm::bench::format_double(n / async.mean, 0),
+                               plssvm::bench::format_double(speedup, 1) + "x",
+                               plssvm::bench::format_seconds(stats.p99_latency_seconds) });
     }
+    engine_table.print();
 
-    table.print();
-    std::printf("\nworst batched-sync speedup over naive loop: %.1fx (acceptance gate: >= 3x)\n", worst_speedup);
-    return worst_speedup >= 3.0 ? 0 : 1;
+    // ------------------------------------------------------------------
+    // experiment 2: reference vs. blocked vs. device execution paths
+    // ------------------------------------------------------------------
+    std::printf("\nexecution paths (points/s; serial host, single simulated device):\n\n");
+    plssvm::bench::table_printer path_table{ { "kernel", "batch", "reference pts/s", "blocked pts/s", "device pts/s", "blocked speedup", "dispatch" } };
+    std::vector<path_result> path_results;
+    const plssvm::serve::predict_dispatcher default_dispatcher{};
+
+    const std::vector<std::size_t> batch_sizes = options.quick
+                                                     ? std::vector<std::size_t>{ 1, 64, 256 }
+                                                     : std::vector<std::size_t>{ 1, 64, 256, 1024 };
+    double rbf256_speedup = 0.0;
+    bool blocked_beats_reference = true;
+    for (const kernel_type kernel : { kernel_type::linear, kernel_type::polynomial, kernel_type::rbf }) {
+        const model<double> trained = make_model(kernel, num_sv, dim, options.seed);
+        const plssvm::serve::compiled_model<double> compiled{ trained };
+
+        for (const std::size_t batch : batch_sizes) {
+            const aos_matrix<double> queries = random_matrix(batch, dim, options.seed + 11);
+            std::vector<double> out(batch);
+            // repeat each batch until the timing window dominates loop/timer
+            // overhead; the linear paths are orders of magnitude faster per
+            // point, so they need a much larger point budget per sample
+            const std::size_t target_points = kernel == kernel_type::linear
+                                                  ? (options.quick ? 131072 : 524288)
+                                                  : (options.quick ? 1024 : 4096);
+            const std::size_t inner = std::max<std::size_t>(1, target_points / batch);
+
+            const auto time_path = [&](auto &&evaluate) {
+                return plssvm::bench::measure(repeats, [&]() {
+                    plssvm::bench::stopwatch timer;
+                    for (std::size_t r = 0; r < inner; ++r) {
+                        evaluate();
+                        volatile double sink = out.front();
+                        (void) sink;
+                    }
+                    return timer.seconds();
+                });
+            };
+
+            const auto reference = time_path([&]() { compiled.decision_values_reference_into(queries, 0, batch, out.data()); });
+            const auto blocked = time_path([&]() { compiled.decision_values_into(queries, 0, batch, out.data()); });
+            const auto device = time_path([&]() { compiled.decision_values_device_into(queries, 0, batch, out.data()); });
+
+            const double points = static_cast<double>(batch * inner);
+            const double speedup = reference.mean / blocked.mean;
+            const plssvm::serve::predict_path dispatched = default_dispatcher.choose(batch, num_sv, dim, kernel);
+
+            if (kernel == kernel_type::rbf && batch == 256) {
+                rbf256_speedup = speedup;
+            }
+            // the linear "blocked" path is the same w-dot sweep as the
+            // reference (bit-identical by design), so the beats-gate only
+            // binds where tiling applies: the non-linear SV sweeps
+            if (kernel != kernel_type::linear && batch >= 64 && speedup <= 1.0) {
+                blocked_beats_reference = false;
+            }
+
+            path_results.push_back(path_result{ std::string{ plssvm::kernel_type_to_string(kernel) }, batch,
+                                                points / reference.mean, points / blocked.mean, points / device.mean,
+                                                speedup, std::string{ plssvm::serve::predict_path_to_string(dispatched) } });
+            path_table.add_row({ std::string{ plssvm::kernel_type_to_string(kernel) },
+                                 std::to_string(batch),
+                                 plssvm::bench::format_double(points / reference.mean, 0),
+                                 plssvm::bench::format_double(points / blocked.mean, 0),
+                                 plssvm::bench::format_double(points / device.mean, 0),
+                                 plssvm::bench::format_double(speedup, 2) + "x",
+                                 std::string{ plssvm::serve::predict_path_to_string(dispatched) } });
+        }
+    }
+    path_table.print();
+
+    // ------------------------------------------------------------------
+    // gates + JSON report
+    // ------------------------------------------------------------------
+    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= 2.0 && blocked_beats_reference;
+    write_json("BENCH_serve.json", num_sv, dim, num_queries, engine_threads, repeats, options.quick,
+               engine_results, path_results, rbf256_speedup, blocked_beats_reference, worst_sync_speedup, pass);
+
+    std::printf("\nworst batched-sync speedup over naive loop: %.1fx (gate: >= 3x)\n", worst_sync_speedup);
+    std::printf("blocked speedup over per-point reference, rbf @ batch 256: %.2fx (gate: >= 2x)\n", rbf256_speedup);
+    std::printf("blocked beats reference at batch >= 64 for every non-linear kernel: %s\n", blocked_beats_reference ? "yes" : "NO");
+    std::printf("report written to BENCH_serve.json\n");
+    return pass ? 0 : 1;
 }

@@ -1,0 +1,178 @@
+#include "plssvm/serve/batch_kernels.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+/**
+ * Function multi-versioning of the non-linear batch kernel: the baseline
+ * build stays portable (plain x86-64 / SSE2), but on CPUs with AVX2+FMA or
+ * AVX-512 the runtime resolver picks a clone compiled for that ISA, which
+ * widens the register tile's FMA throughput by 2-4x. The clones may contract
+ * multiply+add to FMA, so blocked results can differ from the scalar
+ * reference path in the last bits on such machines — parity tests compare
+ * with rel. tolerance 1e-10 (see batch_kernels.hpp).
+ */
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+    #define PLSSVM_SERVE_TARGET_CLONES __attribute__((target_clones("default", "arch=x86-64-v3", "arch=x86-64-v4")))
+#else
+    #define PLSSVM_SERVE_TARGET_CLONES
+#endif
+
+namespace plssvm::serve::batch {
+
+namespace {
+
+constexpr std::size_t B = batch_point_tile;
+constexpr std::size_t W = batch_sv_tile;
+
+/**
+ * @brief Core accumulation of one full B x W register tile:
+ *        `acc[p][j] = sum_f x_p[f] * sv[i0 + j][f]`.
+ *
+ * All loop bounds are compile-time constants so the accumulator block stays
+ * in registers across the whole feature sweep; each column load `col[j]` is
+ * reused for all B points. The feature-ascending elementwise accumulation
+ * matches the reference path's arithmetic order exactly.
+ *
+ * @param col0 SoA column base of the tile, i.e. `sv_data + i0`
+ * @param x_rows the B contiguous AoS query rows
+ */
+template <typename T>
+[[gnu::always_inline]] inline void accumulate_tile_full(const T *col0, const std::size_t padded, const std::size_t dim,
+                                                        const T *const *x_rows, T acc[B][W]) {
+    for (std::size_t p = 0; p < B; ++p) {
+        for (std::size_t j = 0; j < W; ++j) {
+            acc[p][j] = T{ 0 };
+        }
+    }
+    for (std::size_t f = 0; f < dim; ++f) {
+        const T *col = col0 + f * padded;
+        for (std::size_t p = 0; p < B; ++p) {
+            const T xf = x_rows[p][f];
+            #pragma omp simd
+            for (std::size_t j = 0; j < W; ++j) {
+                acc[p][j] += xf * col[j];
+            }
+        }
+    }
+}
+
+/// Remainder-tile core accumulation with runtime point (@p pb) and SV (@p jw)
+/// counts; per-point arithmetic is identical to the full-tile version.
+template <typename T>
+[[gnu::always_inline]] inline void accumulate_tile_partial(const T *col0, const std::size_t padded, const std::size_t dim,
+                                                           const T *const *x_rows, const std::size_t pb, const std::size_t jw,
+                                                           T acc[B][W]) {
+    for (std::size_t p = 0; p < pb; ++p) {
+        for (std::size_t j = 0; j < jw; ++j) {
+            acc[p][j] = T{ 0 };
+        }
+    }
+    for (std::size_t f = 0; f < dim; ++f) {
+        const T *col = col0 + f * padded;
+        for (std::size_t p = 0; p < pb; ++p) {
+            const T xf = x_rows[p][f];
+            #pragma omp simd
+            for (std::size_t j = 0; j < jw; ++j) {
+                acc[p][j] += xf * col[j];
+            }
+        }
+    }
+}
+
+/// Shared body of `kernel_decision_values`; force-inlined into each ISA clone
+/// so the register tile compiles with the clone's vector width.
+template <typename T>
+[[gnu::always_inline]] inline void kernel_decision_values_body(const soa_matrix<T> &sv, const T *alpha, const T *sv_sq_norms,
+                                                               const kernel_params<T> &kp, const T bias,
+                                                               const aos_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end,
+                                                               T *out) {
+    const std::size_t dim = sv.num_cols();
+    const std::size_t num_sv = sv.num_rows();
+    const std::size_t padded = sv.padded_rows();
+    const T *sv_data = sv.data().data();
+    const bool rbf = !kernels::uses_inner_product_core(kp.kernel);
+
+    for (std::size_t p0 = row_begin; p0 < row_end; p0 += B) {
+        const std::size_t pb = std::min(B, row_end - p0);
+
+        const T *x_rows[B] = {};
+        T x_sq[B] = {};
+        T partial[B] = {};
+        for (std::size_t p = 0; p < pb; ++p) {
+            x_rows[p] = points.row_data(p0 + p);
+            if (rbf) {
+                // same dot call as the reference path -> identical ||x||^2
+                x_sq[p] = kernels::dot(x_rows[p], x_rows[p], dim);
+            }
+        }
+
+        for (std::size_t i0 = 0; i0 < num_sv; i0 += W) {
+            const std::size_t jw = std::min(W, num_sv - i0);
+            T acc[B][W];
+            // a full register tile may read the zero padding beyond num_sv
+            // (jw < W); the epilogue below only consumes the jw real SVs
+            if (pb == B && i0 + W <= padded) {
+                accumulate_tile_full(sv_data + i0, padded, dim, x_rows, acc);
+            } else {
+                accumulate_tile_partial(sv_data + i0, padded, dim, x_rows, pb, jw, acc);
+            }
+            for (std::size_t p = 0; p < pb; ++p) {
+                T sum = partial[p];
+                if (rbf) {
+                    for (std::size_t j = 0; j < jw; ++j) {
+                        // clamp tiny negative rounding residue like the reference
+                        const T core = std::max(sv_sq_norms[i0 + j] + x_sq[p] - T{ 2 } * acc[p][j], T{ 0 });
+                        sum += alpha[i0 + j] * kernels::finish(kp, core);
+                    }
+                } else {
+                    for (std::size_t j = 0; j < jw; ++j) {
+                        sum += alpha[i0 + j] * kernels::finish(kp, acc[p][j]);
+                    }
+                }
+                partial[p] = sum;
+            }
+        }
+
+        for (std::size_t p = 0; p < pb; ++p) {
+            out[p0 - row_begin + p] = partial[p] + bias;
+        }
+    }
+}
+
+}  // namespace
+
+template <typename T>
+void linear_decision_values(const T *w, const T bias, const std::size_t dim,
+                            const aos_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end,
+                            T *out) {
+    // GEMV X * w: w is L1-resident after the first row, each query row is
+    // streamed exactly once; kernels::dot keeps bit-parity with the
+    // reference path.
+    for (std::size_t p = row_begin; p < row_end; ++p) {
+        out[p - row_begin] = kernels::dot(w, points.row_data(p), dim) + bias;
+    }
+}
+
+template <>
+PLSSVM_SERVE_TARGET_CLONES
+void kernel_decision_values<float>(const soa_matrix<float> &sv, const float *alpha, const float *sv_sq_norms,
+                                   const kernel_params<float> &kp, const float bias,
+                                   const aos_matrix<float> &points, const std::size_t row_begin, const std::size_t row_end,
+                                   float *out) {
+    kernel_decision_values_body<float>(sv, alpha, sv_sq_norms, kp, bias, points, row_begin, row_end, out);
+}
+
+template <>
+PLSSVM_SERVE_TARGET_CLONES
+void kernel_decision_values<double>(const soa_matrix<double> &sv, const double *alpha, const double *sv_sq_norms,
+                                    const kernel_params<double> &kp, const double bias,
+                                    const aos_matrix<double> &points, const std::size_t row_begin, const std::size_t row_end,
+                                    double *out) {
+    kernel_decision_values_body<double>(sv, alpha, sv_sq_norms, kp, bias, points, row_begin, row_end, out);
+}
+
+template void linear_decision_values<float>(const float *, float, std::size_t, const aos_matrix<float> &, std::size_t, std::size_t, float *);
+template void linear_decision_values<double>(const double *, double, std::size_t, const aos_matrix<double> &, std::size_t, std::size_t, double *);
+
+}  // namespace plssvm::serve::batch

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * @brief Register/cache-tiled batch-prediction kernels of the serving layer.
+ *
+ * The per-point reference path (`compiled_model::decision_values_reference_into`)
+ * re-streams the entire padded SoA support-vector panel from memory for every
+ * query point: one pass of `padded_sv * dim` loads, one accumulator load and
+ * store per multiply-add. These kernels instead process a *tile* of
+ * `batch_point_tile` points against register panels of `batch_sv_tile`
+ * support vectors, so
+ *
+ *  - each SoA column load is reused `batch_point_tile` times,
+ *  - the `batch_point_tile x batch_sv_tile` core accumulator lives entirely
+ *    in registers across the whole feature sweep (no accumulator traffic),
+ *  - the support-vector panel is streamed from memory once per *point tile*
+ *    instead of once per *point* — a `batch_point_tile`-fold traffic cut.
+ *
+ * This is the GEMM-shaped rewrite of the prediction sweep the paper's
+ * profiling section motivates: the inner-product core of a batch is exactly
+ * `points (B x d) * sv^T (d x num_sv)`.
+ *
+ * Numerical contract: for every point the arithmetic *order* is identical to
+ * the scalar reference path (feature-ascending elementwise core accumulation,
+ * support-vector-ascending epilogue sum, identical `kernels::dot` calls for
+ * the linear kernel and the RBF `||x||^2` term). Tiling only changes the
+ * memory access order. The non-linear kernel is ISA-multi-versioned
+ * (`target_clones`): on AVX2/AVX-512 hosts the selected clone may contract
+ * multiply+add to FMA, so blocked and reference results agree bit-for-bit on
+ * baseline builds and to ~1e-15 relative where FMA contraction differs;
+ * parity tests therefore compare bit-tolerantly (rel. error <= 1e-10). The
+ * linear path shares `kernels::dot` with the reference and is always
+ * bit-identical to it.
+ *
+ * Tile-size constants can be overridden at configure time, e.g.
+ * `cmake -DCMAKE_CXX_FLAGS="-DPLSSVM_SERVE_POINT_TILE=8 -DPLSSVM_SERVE_SV_TILE=8"`;
+ * `PLSSVM_SERVE_SV_TILE` must divide `compiled_model_row_padding` (64).
+ * Remainder tiles (batch sizes that are not tile multiples, support-vector
+ * counts that are not `batch_sv_tile` multiples) are handled explicitly and
+ * produce the same per-point arithmetic as full tiles.
+ */
+
+#ifndef PLSSVM_SERVE_BATCH_KERNELS_HPP_
+#define PLSSVM_SERVE_BATCH_KERNELS_HPP_
+
+#include "plssvm/core/kernel_functions.hpp"
+#include "plssvm/core/matrix.hpp"
+
+#include <cstddef>
+
+namespace plssvm::serve {
+
+/// Points processed per register tile (B): every SoA column load is reused
+/// this many times.
+#ifndef PLSSVM_SERVE_POINT_TILE
+inline constexpr std::size_t batch_point_tile = 4;
+#else
+inline constexpr std::size_t batch_point_tile = PLSSVM_SERVE_POINT_TILE;
+#endif
+
+/// Support vectors processed per register tile (W): the core accumulator is
+/// a `batch_point_tile x batch_sv_tile` block held in registers.
+#ifndef PLSSVM_SERVE_SV_TILE
+inline constexpr std::size_t batch_sv_tile = 8;
+#else
+inline constexpr std::size_t batch_sv_tile = PLSSVM_SERVE_SV_TILE;
+#endif
+
+static_assert(batch_point_tile >= 1, "batch_point_tile must be at least 1");
+static_assert(batch_sv_tile >= 1, "batch_sv_tile must be at least 1");
+
+namespace batch {
+
+/**
+ * @brief Blocked linear decision values: `out[p - row_begin] = <w, x_p> + bias`
+ *        for rows [@p row_begin, @p row_end) of @p points.
+ *
+ * The linear kernel needs no SV sweep at serve time (the normal vector `w`
+ * is collapsed once at compile time), so the batch shape is a GEMV
+ * `X * w`: each contiguous AoS query row is dotted against the
+ * register/L1-resident `w`. Uses the same `kernels::dot` as the reference
+ * path for bit-identical results.
+ *
+ * @param w collapsed normal vector (@p dim entries)
+ */
+template <typename T>
+void linear_decision_values(const T *w, T bias, std::size_t dim,
+                            const aos_matrix<T> &points, std::size_t row_begin, std::size_t row_end,
+                            T *out);
+
+/**
+ * @brief Blocked non-linear decision values for rows [@p row_begin, @p row_end)
+ *        of @p points against the padded SoA support-vector panel @p sv.
+ *
+ * Core accumulation is the register-tiled inner-product GEMM described in the
+ * file header; the epilogue applies the kernel function per (point, SV) pair
+ * and reduces with the SV weights @p alpha.
+ *
+ * @param sv padded feature-major support vectors
+ * @param alpha SV weights (@p num_sv entries; only real SVs are read)
+ * @param sv_sq_norms cached `||sv_i||^2` (@p num_sv entries); required for the
+ *        RBF kernel (distance core `||sv||^2 + ||x||^2 - 2<sv, x>`), ignored
+ *        (may be nullptr) for the inner-product kernels
+ */
+template <typename T>
+void kernel_decision_values(const soa_matrix<T> &sv, const T *alpha, const T *sv_sq_norms,
+                            const kernel_params<T> &kp, T bias,
+                            const aos_matrix<T> &points, std::size_t row_begin, std::size_t row_end,
+                            T *out);
+
+// ISA-multi-versioned explicit specializations (defined in batch_kernels.cpp)
+template <>
+void kernel_decision_values<float>(const soa_matrix<float> &, const float *, const float *,
+                                   const kernel_params<float> &, float,
+                                   const aos_matrix<float> &, std::size_t, std::size_t, float *);
+template <>
+void kernel_decision_values<double>(const soa_matrix<double> &, const double *, const double *,
+                                    const kernel_params<double> &, double,
+                                    const aos_matrix<double> &, std::size_t, std::size_t, double *);
+
+}  // namespace batch
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_BATCH_KERNELS_HPP_

@@ -21,19 +21,30 @@
  * (`decision_values_into`) and a parallel convenience wrapper so that the
  * serving layer can do its own work partitioning on a thread pool without
  * fighting nested parallelism.
+ *
+ * Batch evaluation has three executions of the same math (see
+ * `serve::predict_path`): the blocked host kernels of `serve/batch_kernels`
+ * (`decision_values_into`, the default), the per-point scalar sweep
+ * (`decision_values_reference_into`, parity baseline and tiny batches), and
+ * the device predict kernels (`decision_values_device_into`). The
+ * `predict_dispatcher` picks between them per batch.
  */
 
 #ifndef PLSSVM_SERVE_COMPILED_MODEL_HPP_
 #define PLSSVM_SERVE_COMPILED_MODEL_HPP_
 
+#include "plssvm/backends/device/predict_kernels.hpp"
 #include "plssvm/core/kernel_functions.hpp"
 #include "plssvm/core/matrix.hpp"
 #include "plssvm/core/model.hpp"
+#include "plssvm/core/sparse_matrix.hpp"
 #include "plssvm/exceptions.hpp"
+#include "plssvm/serve/batch_kernels.hpp"
 
 #include <algorithm>
 #include <cstddef>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace plssvm::serve {
@@ -115,18 +126,37 @@ class compiled_model {
 
     /// Decision value of a single feature vector @p x (`num_features()` entries).
     [[nodiscard]] T decision_value(const T *x) const {
-        std::vector<T> acc(accumulator_size());
+        // thread-local scratch: the single-point hot path must not pay a
+        // heap allocation per request (resize only ever grows the capacity)
+        static thread_local std::vector<T> acc;
+        acc.resize(accumulator_size());
         return decide_one(x, acc);
     }
 
     /**
      * @brief Serial batch kernel: decision values of rows [@p row_begin, @p row_end)
-     *        of @p points into `out[0 .. row_end - row_begin)`.
+     *        of @p points into `out[0 .. row_end - row_begin)`, evaluated by
+     *        the register/cache-tiled kernels of `serve/batch_kernels`.
      *
      * Serial on purpose: callers (the inference engine, the OpenMP wrapper
      * below) own the parallel decomposition.
      */
     void decision_values_into(const aos_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end, T *out) const {
+        validate_features(points.num_cols());
+        if (params_.kernel == kernel_type::linear) {
+            batch::linear_decision_values(w_.data(), bias_, dim_, points, row_begin, row_end, out);
+        } else {
+            batch::kernel_decision_values(sv_soa_, alpha_.data(), sv_sq_norms_.empty() ? nullptr : sv_sq_norms_.data(),
+                                          params_, bias_, points, row_begin, row_end, out);
+        }
+    }
+
+    /**
+     * @brief Per-point scalar sweep over the same range: the parity baseline
+     *        of the blocked kernels, and the execution path of tiny batches
+     *        (below `dispatch_params::min_blocked_batch`).
+     */
+    void decision_values_reference_into(const aos_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end, T *out) const {
         validate_features(points.num_cols());
         // one accumulator reused across the whole range -> no per-point allocation
         std::vector<T> acc(accumulator_size());
@@ -135,20 +165,110 @@ class compiled_model {
         }
     }
 
-    /// Parallel batch evaluation of all rows of @p points.
-    [[nodiscard]] std::vector<T> decision_values(const aos_matrix<T> &points) const {
+    /**
+     * @brief Evaluate rows [@p row_begin, @p row_end) through the blocked
+     *        *device* predict kernels: pack the range into the padded SoA
+     *        device layout, run `kernel_predict_linear` / `kernel_predict`,
+     *        apply the bias.
+     *
+     * On this simulation-backed build the kernels execute numerically on the
+     * host; the RBF core accumulates squared differences (not the cached-norm
+     * form), so results are tolerance-equal (~1e-12 rel.) to the host paths.
+     */
+    void decision_values_device_into(const aos_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end, T *out) const {
         validate_features(points.num_cols());
-        const std::size_t num_points = points.num_rows();
-        std::vector<T> values(num_points);
-        #pragma omp parallel
-        {
-            std::vector<T> acc(accumulator_size());
-            #pragma omp for schedule(static)
-            for (std::size_t p = 0; p < num_points; ++p) {
-                values[p] = decide_one(points.row_data(p), acc);
-            }
+        const std::size_t num_points = row_end - row_begin;
+        if (num_points == 0) {
+            return;
         }
-        return values;
+        // "upload": pack the queries into the padded SoA device layout (the
+        // canonical transform for full batches, a row-range copy otherwise)
+        const soa_matrix<T> batch_soa = [&]() {
+            if (row_begin == 0 && row_end == points.num_rows()) {
+                return transform_to_soa(points, compiled_model_row_padding);
+            }
+            soa_matrix<T> soa{ num_points, dim_, compiled_model_row_padding };
+            for (std::size_t p = 0; p < num_points; ++p) {
+                const T *row = points.row_data(row_begin + p);
+                for (std::size_t f = 0; f < dim_; ++f) {
+                    soa(p, f) = row[f];
+                }
+            }
+            return soa;
+        }();
+        decision_values_device_into(batch_soa, out);
+    }
+
+    /// Device-path evaluation of an already-packed SoA query batch. Lets
+    /// callers that evaluate several models against one batch (the
+    /// one-vs-all multi-class engine) pay the SoA pack once.
+    void decision_values_device_into(const soa_matrix<T> &packed, T *out) const {
+        validate_features(packed.num_cols());
+        const std::size_t num_points = packed.num_rows();
+        if (num_points == 0) {
+            return;
+        }
+        std::vector<T> padded_out(packed.padded_rows());
+        if (params_.kernel == kernel_type::linear) {
+            backend::device::kernel_predict_linear(w_.data(), dim_, packed.data().data(),
+                                                   num_points, packed.padded_rows(), padded_out.data());
+        } else {
+            backend::device::kernel_predict(sv_soa_.data().data(), alpha_.data(), num_sv_, sv_soa_.padded_rows(),
+                                            packed.data().data(), num_points, packed.padded_rows(),
+                                            dim_, params_, padded_out.data());
+        }
+        for (std::size_t p = 0; p < num_points; ++p) {
+            out[p] = padded_out[p] + bias_;
+        }
+    }
+
+    /// Parallel batch evaluation of all rows of @p points (blocked kernels).
+    [[nodiscard]] std::vector<T> decision_values(const aos_matrix<T> &points) const {
+        return parallel_decision_values(points);
+    }
+
+    /**
+     * @brief Serial sparse batch kernel over CSR query rows.
+     *
+     * Linear kernel fast path: each decision value is a sparse dot against
+     * the cached dense normal vector `w` — O(nnz) per row instead of O(dim).
+     * Non-linear kernels densify tiles of rows into a scratch batch and run
+     * the blocked dense kernels (a dedicated sparse SV sweep is future work,
+     * see ROADMAP "sparse query batches").
+     */
+    void decision_values_into(const csr_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end, T *out) const {
+        validate_features(points.num_cols());
+        if (params_.kernel == kernel_type::linear) {
+            const T *w = w_.data();
+            for (std::size_t p = row_begin; p < row_end; ++p) {
+                T sum{ 0 };
+                const auto *end = points.row_end(p);
+                for (const auto *e = points.row_begin(p); e != end; ++e) {
+                    sum += e->value * w[e->index];
+                }
+                out[p - row_begin] = sum + bias_;
+            }
+            return;
+        }
+        constexpr std::size_t tile = 64;
+        aos_matrix<T> dense{ std::min(tile, row_end - row_begin), dim_ };
+        for (std::size_t p0 = row_begin; p0 < row_end; p0 += tile) {
+            const std::size_t rows = std::min(tile, row_end - p0);
+            std::fill(dense.data().begin(), dense.data().end(), T{ 0 });
+            for (std::size_t p = 0; p < rows; ++p) {
+                T *row = dense.row_data(p);
+                const auto *end = points.row_end(p0 + p);
+                for (const auto *e = points.row_begin(p0 + p); e != end; ++e) {
+                    row[e->index] = e->value;
+                }
+            }
+            decision_values_into(dense, 0, rows, out + (p0 - row_begin));
+        }
+    }
+
+    /// Parallel sparse batch evaluation of all rows of @p points.
+    [[nodiscard]] std::vector<T> decision_values(const csr_matrix<T> &points) const {
+        return parallel_decision_values(points);
     }
 
     /// Predicted labels in the model's original label domain.
@@ -161,6 +281,30 @@ class compiled_model {
     }
 
   private:
+    /// Shared body of the dense/sparse parallel wrappers: contiguous blocks
+    /// keep each OpenMP thread inside the (tiled or CSR) serial range kernel.
+    /// The block size is derived from the host's thread count (with a floor
+    /// of a few point tiles) so large batches use every core while tiles
+    /// stay full.
+    template <typename Matrix>
+    [[nodiscard]] std::vector<T> parallel_decision_values(const Matrix &points) const {
+        validate_features(points.num_cols());
+        const std::size_t num_points = points.num_rows();
+        std::vector<T> values(num_points);
+        constexpr std::size_t min_block = 4 * batch_point_tile;
+        const std::size_t target_blocks = 4 * std::max<std::size_t>(1, std::thread::hardware_concurrency());
+        std::size_t block = std::max(min_block, (num_points + target_blocks - 1) / target_blocks);
+        block = (block + batch_point_tile - 1) / batch_point_tile * batch_point_tile;
+        const std::size_t num_blocks = (num_points + block - 1) / block;
+        #pragma omp parallel for schedule(static)
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+            const std::size_t begin = b * block;
+            const std::size_t end = std::min(begin + block, num_points);
+            decision_values_into(points, begin, end, values.data() + begin);
+        }
+        return values;
+    }
+
     /// Scratch entries `decide_one` needs (0 for linear: no accumulator sweep).
     [[nodiscard]] std::size_t accumulator_size() const noexcept {
         return params_.kernel == kernel_type::linear ? 0 : sv_soa_.padded_rows();

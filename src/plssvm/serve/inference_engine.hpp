@@ -19,9 +19,12 @@
 
 #include "plssvm/core/matrix.hpp"
 #include "plssvm/core/model.hpp"
+#include "plssvm/core/sparse_matrix.hpp"
 #include "plssvm/detail/tracker.hpp"
+#include "plssvm/exceptions.hpp"
 #include "plssvm/serve/compiled_model.hpp"
 #include "plssvm/serve/micro_batcher.hpp"
+#include "plssvm/serve/predict_dispatcher.hpp"
 #include "plssvm/serve/serve_stats.hpp"
 #include "plssvm/serve/thread_pool.hpp"
 
@@ -30,6 +33,7 @@
 #include <cstddef>
 #include <exception>
 #include <future>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -44,6 +48,8 @@ struct engine_config {
     std::size_t max_batch_size{ 64 };
     /// Micro-batcher latency deadline for the async path.
     std::chrono::microseconds batch_delay{ 250 };
+    /// Cost-model parameters of the per-batch execution-path dispatch.
+    dispatch_params dispatch{};
 };
 
 namespace detail {
@@ -90,10 +96,24 @@ void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std
 
 }  // namespace detail
 
+/// Resolve the "auto" parts of @p params against the engine's actual pool
+/// size and element type so the cost estimates match the host that will run
+/// the batch.
+[[nodiscard]] inline dispatch_params resolved_dispatch(dispatch_params params, const std::size_t pool_threads, const std::size_t real_bytes) {
+    if (params.host.num_threads == 0) {
+        params.host.num_threads = pool_threads;
+    }
+    if (params.real_bytes == 0) {
+        params.real_bytes = real_bytes;
+    }
+    return params;
+}
+
 /// Partition @p num_rows of @p points across @p pool and evaluate @p cm into
-/// @p out. Shared by the binary and multi-class engines.
-template <typename T>
-void pooled_decision_values(const compiled_model<T> &cm, thread_pool &pool, const aos_matrix<T> &points, T *out) {
+/// @p out (blocked host kernels). Shared by the binary and multi-class
+/// engines, for dense (`aos_matrix`) and sparse (`csr_matrix`) batches.
+template <typename T, typename Matrix>
+void pooled_decision_values(const compiled_model<T> &cm, thread_pool &pool, const Matrix &points, T *out) {
     const std::size_t num_rows = points.num_rows();
     if (num_rows == 0) {
         return;
@@ -113,6 +133,49 @@ void pooled_decision_values(const compiled_model<T> &cm, thread_pool &pool, cons
     }
 }
 
+/**
+ * @brief Evaluate one batch along an already-chosen execution path.
+ *
+ * Reference batches run serially (they are tiny by construction), blocked
+ * host batches are partitioned across @p pool, device batches run as one
+ * launch on the (simulated, single) device. @p packed must be the SoA-packed
+ * batch when @p path is `device` (callers evaluating several models against
+ * one batch pack once), and may be nullptr otherwise.
+ */
+template <typename T>
+void decision_values_via_path(const compiled_model<T> &cm, const predict_path path, thread_pool &pool,
+                              const aos_matrix<T> &points, const soa_matrix<T> *packed, T *out) {
+    switch (path) {
+        case predict_path::reference:
+            cm.decision_values_reference_into(points, 0, points.num_rows(), out);
+            break;
+        case predict_path::host_blocked:
+            pooled_decision_values(cm, pool, points, out);
+            break;
+        case predict_path::device:
+            cm.decision_values_device_into(*packed, out);
+            break;
+    }
+}
+
+/**
+ * @brief Evaluate one batch through the execution path the dispatcher picks
+ *        for its shape. Shared by the binary and multi-class engines.
+ * @return the chosen path, for `serve_metrics::record_path`
+ */
+template <typename T>
+predict_path dispatched_decision_values(const compiled_model<T> &cm, const predict_dispatcher &dispatcher,
+                                        thread_pool &pool, const aos_matrix<T> &points, T *out) {
+    const predict_path path = dispatcher.choose(points.num_rows(), cm.num_support_vectors(), cm.num_features(), cm.params().kernel);
+    if (path == predict_path::device) {
+        const soa_matrix<T> packed = transform_to_soa(points, compiled_model_row_padding);
+        decision_values_via_path(cm, path, pool, points, &packed, out);
+    } else {
+        decision_values_via_path<T>(cm, path, pool, points, nullptr, out);
+    }
+    return path;
+}
+
 template <typename T>
 class inference_engine {
   public:
@@ -127,6 +190,7 @@ class inference_engine {
         compiled_{ std::move(compiled) },
         config_{ config },
         pool_{ config.num_threads },
+        dispatcher_{ resolved_dispatch(config.dispatch, pool_.size(), sizeof(T)) },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } },
         drainer_{ [this]() { drain_loop(); } } {}
 
@@ -141,9 +205,11 @@ class inference_engine {
 
     [[nodiscard]] const compiled_model<T> &compiled() const noexcept { return compiled_; }
     [[nodiscard]] const engine_config &config() const noexcept { return config_; }
+    [[nodiscard]] const predict_dispatcher &dispatcher() const noexcept { return dispatcher_; }
     [[nodiscard]] std::size_t num_threads() const noexcept { return pool_.size(); }
 
-    /// Synchronous batched decision values, partitioned across the pool.
+    /// Synchronous batched decision values through the dispatched execution
+    /// path (host batches partitioned across the pool).
     [[nodiscard]] std::vector<T> decision_values(const aos_matrix<T> &points) {
         compiled_.validate_features(points.num_cols());
         std::vector<T> values(points.num_rows());
@@ -151,9 +217,43 @@ class inference_engine {
             return values;
         }
         const auto start = std::chrono::steady_clock::now();
-        pooled_decision_values(compiled_, pool_, points, values.data());
+        const predict_path path = dispatched_decision_values(compiled_, dispatcher_, pool_, points, values.data());
         const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
         metrics_.record_batch(points.num_rows(), elapsed);
+        metrics_.record_path(path);
+        metrics_.record_request_latency(elapsed);
+        return values;
+    }
+
+    /**
+     * @brief Synchronous batched decision values over sparse CSR queries.
+     *
+     * Linear models take the O(nnz)-per-row sparse dot fast path of
+     * `compiled_model`; non-linear models densify tiles internally and run
+     * the blocked kernels. The dispatcher decides serial (`reference`,
+     * tiny batches) vs. pooled (`host_blocked`) execution like the dense
+     * path; the device route has no sparse kernels yet and is clamped to
+     * the pooled host path.
+     */
+    [[nodiscard]] std::vector<T> decision_values(const csr_matrix<T> &points) {
+        compiled_.validate_features(points.num_cols());
+        const std::size_t num_rows = points.num_rows();
+        std::vector<T> values(num_rows);
+        if (values.empty()) {
+            return values;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        predict_path path = dispatcher_.choose(num_rows, compiled_.num_support_vectors(), compiled_.num_features(), compiled_.params().kernel);
+        if (path == predict_path::reference) {
+            // too small to be worth the pool round trip: run on this thread
+            compiled_.decision_values_into(points, 0, num_rows, values.data());
+        } else {
+            path = predict_path::host_blocked;
+            pooled_decision_values(compiled_, pool_, points, values.data());
+        }
+        const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        metrics_.record_batch(num_rows, elapsed);
+        metrics_.record_path(path);
         metrics_.record_request_latency(elapsed);
         return values;
     }
@@ -179,6 +279,27 @@ class inference_engine {
         return batcher_.enqueue(std::move(point));
     }
 
+    /**
+     * @brief Asynchronous single-point prediction from a sparse feature
+     *        vector (CSR-style (index, value) entries).
+     *
+     * The point is densified at submit time — the micro-batcher assembles
+     * dense batch matrices — so sparse clients skip sending explicit zeros
+     * over the wire but share the batched execution paths.
+     * @throws plssvm::invalid_data_exception if any feature index is out of
+     *         range for the model
+     */
+    [[nodiscard]] std::future<T> submit(const std::vector<typename csr_matrix<T>::entry> &sparse_point) {
+        std::vector<T> dense(compiled_.num_features(), T{ 0 });
+        for (const auto &e : sparse_point) {
+            if (e.index >= compiled_.num_features()) {
+                throw invalid_data_exception{ "Sparse feature index " + std::to_string(e.index) + " is out of range for a model with " + std::to_string(compiled_.num_features()) + " features!" };
+            }
+            dense[e.index] = e.value;
+        }
+        return batcher_.enqueue(std::move(dense));
+    }
+
     /// Current latency/throughput aggregates.
     [[nodiscard]] serve_stats stats() const { return metrics_.snapshot(); }
 
@@ -191,7 +312,8 @@ class inference_engine {
     void drain_loop() {
         detail::drain_requests(batcher_, metrics_, compiled_.num_features(), [this](const aos_matrix<T> &points) {
             std::vector<T> values(points.num_rows());
-            pooled_decision_values(compiled_, pool_, points, values.data());
+            const predict_path path = dispatched_decision_values(compiled_, dispatcher_, pool_, points, values.data());
+            metrics_.record_path(path);
             for (T &v : values) {
                 v = compiled_.label_from_decision(v);
             }
@@ -202,6 +324,7 @@ class inference_engine {
     compiled_model<T> compiled_;
     engine_config config_;
     thread_pool pool_;
+    predict_dispatcher dispatcher_;
     micro_batcher<T> batcher_;
     serve_metrics metrics_;
     std::thread drainer_;

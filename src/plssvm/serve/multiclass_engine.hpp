@@ -44,6 +44,7 @@ class multiclass_engine {
         class_labels_{ ensemble.class_labels() },
         config_{ config },
         pool_{ config.num_threads },
+        dispatcher_{ resolved_dispatch(config.dispatch, pool_.size(), sizeof(T)) },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } } {
         if (ensemble.num_classes() == 0) {
             throw invalid_data_exception{ "The multi-class model is empty!" };
@@ -81,8 +82,14 @@ class multiclass_engine {
         }
         const auto start = std::chrono::steady_clock::now();
         std::vector<T> values(num_points);
+        // all heads share one shape -> the dispatcher picks one path, and a
+        // device-routed batch is SoA-packed once for every head
+        const predict_path path = choose_path(num_points);
+        const soa_matrix<T> packed = path == predict_path::device
+                                         ? transform_to_soa(points, compiled_model_row_padding)
+                                         : soa_matrix<T>{};
         for (std::size_t c = 0; c < heads_.size(); ++c) {
-            pooled_decision_values(heads_[c], pool_, points, values.data());
+            decision_values_via_path(heads_[c], path, pool_, points, &packed, values.data());
             const T orientation = orientation_[c];
             for (std::size_t p = 0; p < num_points; ++p) {
                 scores(p, c) = orientation * values[p];
@@ -90,6 +97,7 @@ class multiclass_engine {
         }
         const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
         metrics_.record_batch(num_points, elapsed);
+        metrics_.record_path(path);
         metrics_.record_request_latency(elapsed);
         return scores;
     }
@@ -117,6 +125,12 @@ class multiclass_engine {
     }
 
   private:
+    /// Dispatch decision for one batch; every head shares the same shape.
+    [[nodiscard]] predict_path choose_path(const std::size_t batch_size) const {
+        const compiled_model<T> &head = heads_.front();
+        return dispatcher_.choose(batch_size, head.num_support_vectors(), head.num_features(), head.params().kernel);
+    }
+
     /// Winning class label for one row of oriented scores.
     [[nodiscard]] T argmax_label(const T *scores) const {
         std::size_t best = 0;
@@ -134,8 +148,13 @@ class multiclass_engine {
             std::vector<T> values(batch_size);
             std::vector<T> best_score(batch_size, -std::numeric_limits<T>::infinity());
             std::vector<T> labels(batch_size, class_labels_.front());
+            const predict_path path = choose_path(batch_size);
+            const soa_matrix<T> packed = path == predict_path::device
+                                             ? transform_to_soa(points, compiled_model_row_padding)
+                                             : soa_matrix<T>{};
+            metrics_.record_path(path);
             for (std::size_t c = 0; c < heads_.size(); ++c) {
-                pooled_decision_values(heads_[c], pool_, points, values.data());
+                decision_values_via_path(heads_[c], path, pool_, points, &packed, values.data());
                 for (std::size_t i = 0; i < batch_size; ++i) {
                     const T score = orientation_[c] * values[i];
                     if (score > best_score[i]) {
@@ -153,6 +172,7 @@ class multiclass_engine {
     std::vector<T> orientation_;
     engine_config config_;
     thread_pool pool_;
+    predict_dispatcher dispatcher_;
     micro_batcher<T> batcher_;
     serve_metrics metrics_;
     std::thread drainer_;

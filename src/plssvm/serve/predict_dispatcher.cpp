@@ -1,0 +1,34 @@
+#include "plssvm/serve/predict_dispatcher.hpp"
+
+#include <cstddef>
+
+namespace plssvm::serve {
+
+double predict_dispatcher::host_seconds(const std::size_t batch_size, const std::size_t num_sv, const std::size_t dim, const kernel_type kernel) const {
+    const sim::kernel_cost cost = sim::serve_predict_cost(batch_size, num_sv, dim, kernel, params_.real_bytes);
+    return sim::host_roofline_seconds(params_.host, cost);
+}
+
+double predict_dispatcher::device_seconds(const std::size_t batch_size, const std::size_t num_sv, const std::size_t dim, const kernel_type kernel) const {
+    const sim::kernel_cost cost = sim::serve_predict_cost(batch_size, num_sv, dim, kernel, params_.real_bytes);
+    const double kernel_time = sim::roofline_seconds(params_.device, params_.profile, cost);
+    const double upload = sim::transfer_seconds(params_.device, params_.profile,
+                                                static_cast<double>(batch_size * dim * params_.real_bytes));
+    const double download = sim::transfer_seconds(params_.device, params_.profile,
+                                                  static_cast<double>(batch_size * params_.real_bytes));
+    return kernel_time + upload + download;
+}
+
+predict_path predict_dispatcher::choose(const std::size_t batch_size, const std::size_t num_sv, const std::size_t dim, const kernel_type kernel) const {
+    if (batch_size < params_.min_blocked_batch) {
+        return predict_path::reference;
+    }
+    if (!params_.allow_device) {
+        return predict_path::host_blocked;
+    }
+    return device_seconds(batch_size, num_sv, dim, kernel) < host_seconds(batch_size, num_sv, dim, kernel)
+               ? predict_path::device
+               : predict_path::host_blocked;
+}
+
+}  // namespace plssvm::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * @brief Cost-model-driven host/device routing of prediction batches.
+ *
+ * The serving layer has three ways to evaluate a batch (see `predict_path`):
+ * the per-point scalar reference sweep, the register/cache-tiled host batch
+ * kernels, and the blocked device predict kernels of the `sim`-backed device
+ * layer. Which one wins depends on the batch shape: the device amortizes a
+ * fixed per-batch cost (kernel launch, point upload, result download) over
+ * the batch, the host pays none of that but sustains far fewer FLOP/s, and
+ * below a handful of points the blocked kernels cannot fill a register tile
+ * and the reference sweep is just as fast.
+ *
+ * `predict_dispatcher` makes that call per batch by consulting the same
+ * `sim::cost_model` formulas the device layer charges at launch time
+ * (`predict_kernel_cost` + roofline + transfer costs), so the crossover
+ * moves correctly with batch size, #SV, feature count, and kernel type.
+ * Every parameter is injectable (`dispatch_params`) for tests and for
+ * calibration against measured hardware.
+ *
+ * The device path is **opt-in** (`allow_device`): on this simulation-backed
+ * build the device kernels execute numerically on the host, and their RBF
+ * core accumulates squared differences rather than the cached-norm form, so
+ * results are only tolerance-equal (~1e-12 relative), not bit-equal, to the
+ * host paths. Deployments with a real accelerator flip the flag.
+ */
+
+#ifndef PLSSVM_SERVE_PREDICT_DISPATCHER_HPP_
+#define PLSSVM_SERVE_PREDICT_DISPATCHER_HPP_
+
+#include "plssvm/core/kernel_types.hpp"
+#include "plssvm/serve/serve_stats.hpp"
+#include "plssvm/sim/cost_model.hpp"
+#include "plssvm/sim/device_spec.hpp"
+#include "plssvm/sim/runtime_profile.hpp"
+
+#include <cstddef>
+
+namespace plssvm::serve {
+
+/// Injectable knobs of the dispatch decision.
+struct dispatch_params {
+    /// Batches smaller than this always take the per-point reference path
+    /// (a register tile cannot be filled, so blocking buys nothing).
+    std::size_t min_blocked_batch{ 8 };
+    /// Host execution model of the blocked batch kernels.
+    sim::host_profile host{};
+    /// Whether batches may be routed to the device predict kernels at all.
+    bool allow_device{ false };
+    /// Simulated device evaluated against the host (A100 = paper flagship).
+    sim::device_spec device{ sim::devices::nvidia_a100() };
+    /// Runtime profile charged for device launches and transfers.
+    sim::runtime_profile profile{};
+    /// sizeof(real_type) of the served model; 0 means "auto" (the serving
+    /// engines resolve it to their `sizeof(T)`, standalone dispatchers
+    /// default to sizeof(double)).
+    std::size_t real_bytes{ 0 };
+};
+
+class predict_dispatcher {
+  public:
+    predict_dispatcher() :
+        predict_dispatcher{ dispatch_params{} } {}
+
+    explicit predict_dispatcher(dispatch_params params) :
+        params_{ params } {
+        if (params_.real_bytes == 0) {
+            params_.real_bytes = sizeof(double);
+        }
+    }
+
+    [[nodiscard]] const dispatch_params &params() const noexcept { return params_; }
+
+    /// Estimated host seconds for one blocked sweep over the batch.
+    [[nodiscard]] double host_seconds(std::size_t batch_size, std::size_t num_sv, std::size_t dim, kernel_type kernel) const;
+
+    /// Estimated device seconds: kernel roofline + launch overhead + the
+    /// per-batch point upload and result download (SVs are device-resident).
+    [[nodiscard]] double device_seconds(std::size_t batch_size, std::size_t num_sv, std::size_t dim, kernel_type kernel) const;
+
+    /// Pick the execution path for one batch of the given shape.
+    [[nodiscard]] predict_path choose(std::size_t batch_size, std::size_t num_sv, std::size_t dim, kernel_type kernel) const;
+
+  private:
+    dispatch_params params_{};
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_PREDICT_DISPATCHER_HPP_

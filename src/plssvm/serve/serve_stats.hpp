@@ -28,6 +28,30 @@
 
 namespace plssvm::serve {
 
+/// Execution path a prediction batch was routed to by the
+/// `predict_dispatcher` (recorded per batch in `serve_stats`).
+enum class predict_path {
+    /// Serial small-batch path: the per-point scalar sweep for dense batches
+    /// (also the parity baseline), the serial CSR sweep for sparse ones.
+    reference,
+    /// Register/cache-tiled host batch kernels (`serve/batch_kernels`).
+    host_blocked,
+    /// Blocked device predict kernels (`backends/device/predict_kernels`).
+    device,
+};
+
+[[nodiscard]] constexpr std::string_view predict_path_to_string(const predict_path path) noexcept {
+    switch (path) {
+        case predict_path::reference:
+            return "reference";
+        case predict_path::host_blocked:
+            return "host_blocked";
+        case predict_path::device:
+            return "device";
+    }
+    return "unknown";
+}
+
 /// Aggregated serving statistics of one engine.
 ///
 /// Latency percentiles are computed over *call* samples: the async submit
@@ -45,6 +69,9 @@ struct serve_stats {
     double max_latency_seconds{ 0.0 };   ///< worst recorded call latency
     double requests_per_second{ 0.0 };   ///< throughput over the recording window
     double batch_kernel_seconds{ 0.0 };  ///< wall time spent inside batch kernels
+    std::size_t reference_batches{ 0 };     ///< batches routed to the per-point reference path
+    std::size_t host_blocked_batches{ 0 };  ///< batches routed to the tiled host kernels
+    std::size_t device_batches{ 0 };        ///< batches routed to the device predict kernels
 };
 
 /// Thread-safe recorder behind `serve_stats`.
@@ -69,6 +96,22 @@ class serve_metrics {
         note_activity();
     }
 
+    /// Record which execution path one batch was dispatched to.
+    void record_path(const predict_path path) {
+        const std::lock_guard lock{ mutex_ };
+        switch (path) {
+            case predict_path::reference:
+                ++reference_batches_;
+                break;
+            case predict_path::host_blocked:
+                ++host_blocked_batches_;
+                break;
+            case predict_path::device:
+                ++device_batches_;
+                break;
+        }
+    }
+
     /// Aggregate everything recorded so far.
     [[nodiscard]] serve_stats snapshot() const {
         std::vector<double> samples;
@@ -79,6 +122,9 @@ class serve_metrics {
             stats.total_requests = total_requests_;
             stats.total_batches = total_batches_;
             stats.batch_kernel_seconds = batch_kernel_seconds_;
+            stats.reference_batches = reference_batches_;
+            stats.host_blocked_batches = host_blocked_batches_;
+            stats.device_batches = device_batches_;
             const double window = std::chrono::duration<double>(last_activity_ - first_activity_).count();
             if (total_requests_ > 0) {
                 // zero-width window (single batch): fall back to kernel time
@@ -111,6 +157,9 @@ class serve_metrics {
         t.set_metric(p + "/p99_latency_s", stats.p99_latency_seconds);
         t.set_metric(p + "/max_latency_s", stats.max_latency_seconds);
         t.set_metric(p + "/requests_per_s", stats.requests_per_second);
+        t.set_metric(p + "/reference_batches", static_cast<double>(stats.reference_batches));
+        t.set_metric(p + "/host_blocked_batches", static_cast<double>(stats.host_blocked_batches));
+        t.set_metric(p + "/device_batches", static_cast<double>(stats.device_batches));
     }
 
   private:
@@ -142,6 +191,9 @@ class serve_metrics {
     std::size_t next_sample_{ 0 };
     std::size_t total_requests_{ 0 };
     std::size_t total_batches_{ 0 };
+    std::size_t reference_batches_{ 0 };
+    std::size_t host_blocked_batches_{ 0 };
+    std::size_t device_batches_{ 0 };
     double batch_kernel_seconds_{ 0.0 };
     std::chrono::steady_clock::time_point first_activity_{};
     std::chrono::steady_clock::time_point last_activity_{};

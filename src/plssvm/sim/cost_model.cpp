@@ -34,6 +34,17 @@ constexpr double effective_bandwidth_fraction = 0.75;
 
 }  // namespace
 
+double host_roofline_seconds(const host_profile &host, const kernel_cost &cost) {
+    const double threads = static_cast<double>(std::max<std::size_t>(host.num_threads, 1));
+    const double thread_scale = threads > 1.0 ? threads * host.parallel_efficiency : 1.0;
+    const double flop_rate = host.effective_gflops * 1e9 * thread_scale;
+    const double compute_time = cost.flops / flop_rate;
+    // the streaming sweeps saturate the shared memory system regardless of
+    // the thread count, so bandwidth is not scaled by threads
+    const double memory_time = cost.global_bytes / (host.effective_bandwidth_gbs * 1e9);
+    return std::max(compute_time, memory_time);
+}
+
 double roofline_seconds(const device_spec &spec, const runtime_profile &profile, const kernel_cost &cost) {
     const double achieved_flops = spec.peak_flops() * spec.fp64_efficiency * profile.efficiency_factor;
     const double achieved_bandwidth = spec.bandwidth_bytes_per_s() * effective_bandwidth_fraction;
@@ -100,6 +111,19 @@ kernel_cost predict_kernel_cost(const std::size_t num_predict, const std::size_t
     } else {
         cost.flops = static_cast<double>(num_predict) * static_cast<double>(num_sv) * (2.0 * static_cast<double>(dim) + epilogue_flops(kernel));
         cost.global_bytes = (static_cast<double>(num_sv) + static_cast<double>(num_predict)) * static_cast<double>(dim) * static_cast<double>(real_bytes);
+    }
+    return cost;
+}
+
+kernel_cost serve_predict_cost(const std::size_t batch, const std::size_t num_sv, const std::size_t dim, const kernel_type kernel, const std::size_t real_bytes) {
+    kernel_cost cost;
+    if (kernel == kernel_type::linear) {
+        // w is precompiled: one dot product per prediction point
+        cost.flops = 2.0 * static_cast<double>(batch) * static_cast<double>(dim);
+        cost.global_bytes = (static_cast<double>(batch) * static_cast<double>(dim) + static_cast<double>(dim) + static_cast<double>(batch)) * static_cast<double>(real_bytes);
+    } else {
+        cost.flops = static_cast<double>(batch) * static_cast<double>(num_sv) * (2.0 * static_cast<double>(dim) + epilogue_flops(kernel));
+        cost.global_bytes = (static_cast<double>(num_sv) + static_cast<double>(batch)) * static_cast<double>(dim) * static_cast<double>(real_bytes);
     }
     return cost;
 }

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * @brief Parity tests of the blocked batch-prediction kernels: the tiled
+ *        host path and the device batch path against the per-point scalar
+ *        reference sweep, across all kernel types and deliberately awkward
+ *        shapes (batch/SV counts that are not tile multiples, single-point
+ *        batches, dim = 1, fewer SVs than one tile).
+ */
+
+#include "serve/serve_test_utils.hpp"
+
+#include "plssvm/core/kernel_types.hpp"
+#include "plssvm/serve/batch_kernels.hpp"
+#include "plssvm/serve/compiled_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::kernel_type;
+using plssvm::serve::compiled_model;
+namespace test = plssvm::test;
+
+/// Deliberately awkward (num_points, num_sv, dim) shapes.
+struct batch_shape {
+    std::size_t num_points;
+    std::size_t num_sv;
+    std::size_t dim;
+};
+
+[[nodiscard]] std::vector<batch_shape> awkward_shapes() {
+    return {
+        { 1, 37, 11 },    // single-point batch
+        { 3, 37, 11 },    // batch smaller than the point tile
+        { 5, 1, 11 },     // a single support vector
+        { 7, 5, 1 },      // dim = 1, fewer SVs than one SV tile
+        { 4, 8, 3 },      // exact point tile, exact SV tile
+        { 64, 64, 16 },   // tile multiples everywhere
+        { 100, 130, 11 }, // nothing is a tile (or padding) multiple
+        { 129, 33, 7 },   // odd everything, batch > 2 blocks of the point tile
+    };
+}
+
+class BatchKernelsAllKernels : public ::testing::TestWithParam<kernel_type> {};
+
+TEST_P(BatchKernelsAllKernels, BlockedMatchesReferenceAcrossAwkwardShapes) {
+    const kernel_type kernel = GetParam();
+    for (const batch_shape &shape : awkward_shapes()) {
+        const compiled_model<double> compiled{ test::random_model(kernel, shape.num_sv, shape.dim) };
+        const aos_matrix<double> points = test::random_matrix(shape.num_points, shape.dim, 13);
+
+        std::vector<double> reference(shape.num_points);
+        std::vector<double> blocked(shape.num_points);
+        compiled.decision_values_reference_into(points, 0, shape.num_points, reference.data());
+        compiled.decision_values_into(points, 0, shape.num_points, blocked.data());
+
+        for (std::size_t p = 0; p < shape.num_points; ++p) {
+            EXPECT_NEAR(blocked[p], reference[p], 1e-10 * (1.0 + std::abs(reference[p])))
+                << "shape=(" << shape.num_points << ", " << shape.num_sv << ", " << shape.dim << ") point=" << p;
+        }
+    }
+}
+
+TEST_P(BatchKernelsAllKernels, DevicePathMatchesReferenceAcrossAwkwardShapes) {
+    const kernel_type kernel = GetParam();
+    for (const batch_shape &shape : awkward_shapes()) {
+        const compiled_model<double> compiled{ test::random_model(kernel, shape.num_sv, shape.dim) };
+        const aos_matrix<double> points = test::random_matrix(shape.num_points, shape.dim, 17);
+
+        std::vector<double> reference(shape.num_points);
+        std::vector<double> device(shape.num_points);
+        compiled.decision_values_reference_into(points, 0, shape.num_points, reference.data());
+        compiled.decision_values_device_into(points, 0, shape.num_points, device.data());
+
+        // the device RBF core accumulates squared differences instead of the
+        // cached-norm form -> tolerance-equal only
+        for (std::size_t p = 0; p < shape.num_points; ++p) {
+            EXPECT_NEAR(device[p], reference[p], 1e-9 * (1.0 + std::abs(reference[p])))
+                << "shape=(" << shape.num_points << ", " << shape.num_sv << ", " << shape.dim << ") point=" << p;
+        }
+    }
+}
+
+TEST_P(BatchKernelsAllKernels, SubRangeEvaluationIsConsistentWithFullBatch) {
+    // evaluating [7, 23) of a larger batch must equal the same rows of the
+    // full-batch evaluation, for every path (tile boundaries shift)
+    const kernel_type kernel = GetParam();
+    const compiled_model<double> compiled{ test::random_model(kernel, 37, 11) };
+    const aos_matrix<double> points = test::random_matrix(29, 11, 19);
+
+    std::vector<double> full(29);
+    compiled.decision_values_into(points, 0, 29, full.data());
+    std::vector<double> range(23 - 7);
+    compiled.decision_values_into(points, 7, 23, range.data());
+    for (std::size_t p = 7; p < 23; ++p) {
+        EXPECT_DOUBLE_EQ(range[p - 7], full[p]) << "point=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, BatchKernelsAllKernels,
+                         ::testing::ValuesIn(test::all_kernel_types()),
+                         [](const auto &info) { return std::string{ plssvm::kernel_type_to_string(info.param) }; });
+
+TEST(BatchKernels, LinearPathIsBitExactWithReference) {
+    // the linear blocked path shares kernels::dot with the reference sweep
+    const compiled_model<double> compiled{ test::random_model(kernel_type::linear, 37, 11) };
+    const aos_matrix<double> points = test::random_matrix(23, 11, 23);
+    std::vector<double> reference(23);
+    std::vector<double> blocked(23);
+    compiled.decision_values_reference_into(points, 0, 23, reference.data());
+    compiled.decision_values_into(points, 0, 23, blocked.data());
+    for (std::size_t p = 0; p < 23; ++p) {
+        EXPECT_DOUBLE_EQ(blocked[p], reference[p]) << "point=" << p;
+    }
+}
+
+TEST(BatchKernels, EmptyRangeIsANoOp) {
+    const compiled_model<double> compiled{ test::random_model(kernel_type::rbf) };
+    const aos_matrix<double> points = test::random_matrix(5, 11, 29);
+    double sentinel = 42.0;
+    compiled.decision_values_into(points, 2, 2, &sentinel);
+    compiled.decision_values_device_into(points, 2, 2, &sentinel);
+    EXPECT_DOUBLE_EQ(sentinel, 42.0);
+}
+
+}  // namespace

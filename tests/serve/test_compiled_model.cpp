@@ -9,6 +9,7 @@
 
 #include "plssvm/core/kernel_functions.hpp"
 #include "plssvm/core/predict.hpp"
+#include "plssvm/core/sparse_matrix.hpp"
 #include "plssvm/exceptions.hpp"
 #include "plssvm/serve/compiled_model.hpp"
 
@@ -91,7 +92,12 @@ TEST(CompiledModel, SinglePointMatchesBatch) {
         const compiled_model<double> compiled{ test::random_model(kernel) };
         const std::vector<double> batch = compiled.decision_values(points);
         for (std::size_t p = 0; p < points.num_rows(); ++p) {
-            EXPECT_DOUBLE_EQ(compiled.decision_value(points.row_data(p)), batch[p]);
+            // single-point goes through the scalar reference sweep, the batch
+            // through the ISA-multi-versioned blocked kernels; on AVX2+ hosts
+            // FMA contraction makes them tolerance-equal, not bit-equal
+            const double single = compiled.decision_value(points.row_data(p));
+            EXPECT_NEAR(single, batch[p], 1e-10 * (1.0 + std::abs(batch[p])))
+                << "kernel=" << plssvm::kernel_type_to_string(kernel) << " point=" << p;
         }
     }
 }
@@ -124,6 +130,56 @@ TEST(CompiledModel, ExposesModelMetadata) {
     EXPECT_EQ(compiled.params().kernel, kernel_type::polynomial);
     EXPECT_FALSE(compiled.empty());
     EXPECT_TRUE(compiled_model<double>{}.empty());
+}
+
+/// Random matrix with ~60% exact zeros (sparse query workload).
+[[nodiscard]] aos_matrix<double> sparse_random_matrix(const std::size_t rows, const std::size_t cols, const std::uint64_t seed) {
+    aos_matrix<double> dense = test::random_matrix(rows, cols, seed);
+    std::size_t i = 0;
+    for (double &v : dense.data()) {
+        if (i++ % 5 < 3) {
+            v = 0.0;
+        }
+    }
+    return dense;
+}
+
+TEST(CompiledModel, SparseDecisionValuesMatchDenseForAllKernels) {
+    const aos_matrix<double> dense = sparse_random_matrix(23, 11, 14);
+    const plssvm::csr_matrix<double> sparse{ dense };
+    for (const kernel_type kernel : test::all_kernel_types()) {
+        const compiled_model<double> compiled{ test::random_model(kernel) };
+        const std::vector<double> expected = compiled.decision_values(dense);
+        const std::vector<double> actual = compiled.decision_values(sparse);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (std::size_t p = 0; p < actual.size(); ++p) {
+            // the linear fast path sums only the nonzeros -> different
+            // summation order than the dense dot, hence tolerance-equal
+            EXPECT_NEAR(actual[p], expected[p], 1e-10 * (1.0 + std::abs(expected[p])))
+                << "kernel=" << plssvm::kernel_type_to_string(kernel) << " point=" << p;
+        }
+    }
+}
+
+TEST(CompiledModel, SparseRangeEvaluationMatchesFullBatch) {
+    const aos_matrix<double> dense = sparse_random_matrix(90, 11, 15);
+    const plssvm::csr_matrix<double> sparse{ dense };
+    for (const kernel_type kernel : { kernel_type::linear, kernel_type::rbf }) {
+        const compiled_model<double> compiled{ test::random_model(kernel) };
+        const std::vector<double> full = compiled.decision_values(sparse);
+        std::vector<double> range(90);
+        compiled.decision_values_into(sparse, 0, 70, range.data());
+        compiled.decision_values_into(sparse, 70, 90, range.data() + 70);
+        for (std::size_t p = 0; p < 90; ++p) {
+            EXPECT_DOUBLE_EQ(range[p], full[p]) << "kernel=" << plssvm::kernel_type_to_string(kernel) << " point=" << p;
+        }
+    }
+}
+
+TEST(CompiledModel, SparseFeatureCountMismatchThrows) {
+    const compiled_model<double> compiled{ test::random_model(kernel_type::linear) };
+    const plssvm::csr_matrix<double> wrong{ test::random_matrix(3, 5, 16) };
+    EXPECT_THROW((void) compiled.decision_values(wrong), plssvm::invalid_data_exception);
 }
 
 TEST(CompiledModel, RbfOfSupportVectorItselfStaysSane) {

@@ -73,6 +73,45 @@ TEST(InferenceEngine, SubmitMatchesSyncPredict) {
     }
 }
 
+TEST(InferenceEngine, SparseDecisionValuesMatchDense) {
+    // sparse CSR batches share the execution paths of the dense batches
+    aos_matrix<double> dense = test::random_matrix(40, 11, 21);
+    std::size_t i = 0;
+    for (double &v : dense.data()) {
+        if (i++ % 3 != 0) {
+            v = 0.0;
+        }
+    }
+    const plssvm::csr_matrix<double> sparse{ dense };
+    for (const kernel_type kernel : { kernel_type::linear, kernel_type::rbf }) {
+        inference_engine<double> engine{ test::random_model(kernel), engine_config{ .num_threads = 2 } };
+        const std::vector<double> expected = engine.decision_values(dense);
+        const std::vector<double> actual = engine.decision_values(sparse);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (std::size_t p = 0; p < actual.size(); ++p) {
+            EXPECT_NEAR(actual[p], expected[p], 1e-10 * (1.0 + std::abs(expected[p])))
+                << "kernel=" << plssvm::kernel_type_to_string(kernel) << " point=" << p;
+        }
+    }
+}
+
+TEST(InferenceEngine, SparseSubmitMatchesDenseSubmit) {
+    inference_engine<double> engine{ test::random_model(kernel_type::rbf), engine_config{ .num_threads = 2, .max_batch_size = 4, .batch_delay = 100us } };
+    // dense point {0, 1.5, 0, ..., -2.25 at index 7}
+    std::vector<double> dense(11, 0.0);
+    dense[1] = 1.5;
+    dense[7] = -2.25;
+    const std::vector<plssvm::csr_matrix<double>::entry> sparse{ { 1, 1.5 }, { 7, -2.25 } };
+    const double expected = engine.submit(std::move(dense)).get();
+    EXPECT_EQ(engine.submit(sparse).get(), expected);
+}
+
+TEST(InferenceEngine, SparseSubmitWithOutOfRangeIndexThrowsEagerly) {
+    inference_engine<double> engine{ test::random_model(kernel_type::linear) };
+    const std::vector<plssvm::csr_matrix<double>::entry> bad{ { 11, 1.0 } };  // valid indices: 0..10
+    EXPECT_THROW((void) engine.submit(bad), plssvm::invalid_data_exception);
+}
+
 TEST(InferenceEngine, SubmitWithWrongFeatureCountThrowsEagerly) {
     inference_engine<double> engine{ test::random_model(kernel_type::linear) };
     EXPECT_THROW((void) engine.submit({ 1.0, 2.0 }), plssvm::invalid_data_exception);
