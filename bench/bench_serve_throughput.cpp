@@ -11,16 +11,26 @@
  *     on every single point; the engine pays it once and streams batches
  *     through the batch kernels. Gate: batched sync >= 3x naive.
  *
- *  2. Execution-path comparison (this PR's experiment): points/s of the
+ *  2. Execution-path comparison (PR 2's experiment): points/s of the
  *     per-point reference sweep vs. the register-tiled blocked host kernels
  *     vs. the device predict kernels, per kernel type and batch size.
  *     Gates: blocked >= 2x reference for RBF at batch 256, and blocked
  *     beats reference for every non-linear kernel at batch >= 64 (the
  *     linear "blocked" path is the same w-dot sweep as the reference).
  *
+ *  3. Reload under load (this PR's experiment): closed-loop producers keep
+ *     submitting against a registry-resident engine while the registry
+ *     shadow-compiles and atomically swaps replacement models on the shared
+ *     executor's background lane. Client-side p99 is measured in a steady
+ *     phase and during the reload storm. Gate: p99 during reload <= 2x
+ *     steady-state p99 and zero failed requests (zero-downtime reload).
+ *
  * Besides the human-readable tables the benchmark writes a machine-readable
  * `BENCH_serve.json` into the working directory so the serving perf
- * trajectory can be tracked across commits.
+ * trajectory can be tracked across commits. The JSON also records the
+ * measured `host_profile` (blocked-kernel GFLOP/s, stream bandwidth), which
+ * `serve::calibrated_host_profile` feeds back into the predict dispatcher
+ * on the next engine start.
  */
 
 #include "common/bench_utils.hpp"
@@ -33,12 +43,14 @@
 #include "plssvm/serve/serve.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -90,11 +102,25 @@ struct path_result {
     std::string dispatched_path;
 };
 
+/// The reload-under-load measurement of the JSON report.
+struct reload_result {
+    double steady_p99_s{ 0.0 };
+    double reload_p99_s{ 0.0 };
+    double p99_ratio{ 0.0 };
+    double steady_rps{ 0.0 };
+    double reload_rps{ 0.0 };
+    std::size_t reloads{ 0 };
+    std::size_t steady_samples{ 0 };
+    std::size_t reload_samples{ 0 };
+    std::size_t failed_requests{ 0 };
+};
+
 void write_json(const char *file_name, const std::size_t num_sv, const std::size_t dim,
                 const std::size_t num_queries, const std::size_t engine_threads, const std::size_t repeats,
                 const bool quick, const std::vector<engine_result> &engines, const std::vector<path_result> &paths,
+                const reload_result &reload, const plssvm::sim::host_profile &host_profile,
                 const double rbf256_speedup, const bool blocked_beats_reference, const double worst_sync_speedup,
-                const bool pass) {
+                const bool reload_pass, const bool pass) {
     std::FILE *f = std::fopen(file_name, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "warning: could not open %s for writing\n", file_name);
@@ -118,10 +144,26 @@ void write_json(const char *file_name, const std::size_t num_sv, const std::size
                      r.dispatched_path.c_str(), i + 1 < paths.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"pass\": %s }\n",
-                 rbf256_speedup, blocked_beats_reference ? "true" : "false", worst_sync_speedup, pass ? "true" : "false");
+    std::fprintf(f, "  \"reload_under_load\": { \"steady_p99_s\": %.6e, \"reload_p99_s\": %.6e, \"p99_ratio\": %.2f, \"steady_rps\": %.1f, \"reload_rps\": %.1f, \"reloads\": %zu, \"steady_samples\": %zu, \"reload_samples\": %zu, \"failed_requests\": %zu },\n",
+                 reload.steady_p99_s, reload.reload_p99_s, reload.p99_ratio, reload.steady_rps, reload.reload_rps,
+                 reload.reloads, reload.steady_samples, reload.reload_samples, reload.failed_requests);
+    std::fprintf(f, "  \"host_profile\": { \"effective_gflops\": %.3f, \"effective_bandwidth_gbs\": %.3f },\n",
+                 host_profile.effective_gflops, host_profile.effective_bandwidth_gbs);
+    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"reload_p99_within_2x\": %s, \"pass\": %s }\n",
+                 rbf256_speedup, blocked_beats_reference ? "true" : "false", worst_sync_speedup,
+                 reload_pass ? "true" : "false", pass ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
+}
+
+/// Nearest-rank percentile of @p samples (sorted in place; 0.0 if empty).
+[[nodiscard]] double percentile(std::vector<double> &samples, const double q) {
+    if (samples.empty()) {
+        return 0.0;
+    }
+    std::sort(samples.begin(), samples.end());
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(rank, samples.size() - 1)];
 }
 
 }  // namespace
@@ -278,15 +320,133 @@ int main(int argc, char **argv) {
     path_table.print();
 
     // ------------------------------------------------------------------
+    // experiment 3: zero-downtime reload under load
+    // ------------------------------------------------------------------
+    std::printf("\nreload under load (registry shadow-compile + atomic swap on the shared executor):\n\n");
+    reload_result reload;
+    {
+        plssvm::serve::executor exec{ engine_threads };
+        plssvm::serve::engine_config config;
+        config.exec = &exec;
+        config.max_batch_size = 128;
+        config.batch_delay = std::chrono::microseconds{ 200 };
+        plssvm::serve::model_registry<double> registry{ 8, config };
+        (void) registry.load("live", make_model(kernel_type::rbf, num_sv, dim, options.seed));
+        const aos_matrix<double> queries = random_matrix(256, dim, options.seed + 23);
+
+        constexpr std::size_t num_producers = 3;  // leaves executor headroom for the compile lane
+        const double phase_seconds = options.quick ? 0.5 : 1.5;
+        std::atomic<std::size_t> failed{ 0 };
+
+        // closed-loop clients: each keeps exactly one request in flight and
+        // records its end-to-end latency
+        const auto run_phase = [&](std::vector<double> &latencies) {
+            std::vector<std::vector<double>> per_producer(num_producers);
+            std::vector<std::thread> producers;
+            std::atomic<bool> stop{ false };
+            for (std::size_t t = 0; t < num_producers; ++t) {
+                producers.emplace_back([&, t]() {
+                    auto engine = registry.find("live");
+                    std::size_t row = t * 57;
+                    while (!stop.load(std::memory_order_relaxed)) {
+                        const double *point = queries.row_data(row++ % queries.num_rows());
+                        plssvm::bench::stopwatch request_timer;
+                        try {
+                            (void) engine->submit(std::vector<double>(point, point + dim)).get();
+                            per_producer[t].push_back(request_timer.seconds());
+                        } catch (...) {
+                            ++failed;
+                        }
+                    }
+                });
+            }
+            plssvm::bench::stopwatch phase_timer;
+            while (phase_timer.seconds() < phase_seconds) {
+                std::this_thread::sleep_for(std::chrono::milliseconds{ 10 });
+            }
+            stop.store(true);
+            for (std::thread &producer : producers) {
+                producer.join();
+            }
+            for (std::vector<double> &samples : per_producer) {
+                latencies.insert(latencies.end(), samples.begin(), samples.end());
+            }
+        };
+
+        // phase A: steady state
+        std::vector<double> steady_latencies;
+        plssvm::bench::stopwatch steady_timer;
+        run_phase(steady_latencies);
+        const double steady_elapsed = steady_timer.seconds();
+
+        // phase B: same load, with shadow reloads paced across the phase
+        // (reload is a deployment event, not a steady stream — the question
+        // the gate answers is whether one swap spikes the tail). Replacement
+        // models are generated up front; the timed path is compile + swap.
+        std::vector<model<double>> replacements;
+        for (std::size_t r = 0; r < 8; ++r) {
+            replacements.push_back(make_model(kernel_type::rbf, num_sv, dim, options.seed + 100 + r));
+        }
+        std::vector<double> reload_latencies;
+        std::atomic<bool> reloading{ true };
+        std::thread reloader{ [&]() {
+            std::size_t round = 0;
+            while (reloading.load()) {
+                registry.reload("live", replacements[round++ % replacements.size()]).get();
+                ++reload.reloads;
+                // space the swaps out so the phase measures "serving across
+                // reload events", not a 100%-duty-cycle compile storm
+                std::this_thread::sleep_for(std::chrono::milliseconds{ options.quick ? 60 : 100 });
+            }
+        } };
+        plssvm::bench::stopwatch reload_timer;
+        run_phase(reload_latencies);
+        reloading.store(false);
+        reloader.join();
+        const double reload_elapsed = reload_timer.seconds();
+
+        reload.steady_samples = steady_latencies.size();
+        reload.reload_samples = reload_latencies.size();
+        reload.failed_requests = failed.load();
+        reload.steady_p99_s = percentile(steady_latencies, 0.99);
+        reload.reload_p99_s = percentile(reload_latencies, 0.99);
+        reload.p99_ratio = reload.steady_p99_s > 0.0 ? reload.reload_p99_s / reload.steady_p99_s : 0.0;
+        reload.steady_rps = steady_elapsed > 0.0 ? static_cast<double>(reload.steady_samples) / steady_elapsed : 0.0;
+        reload.reload_rps = reload_elapsed > 0.0 ? static_cast<double>(reload.reload_samples) / reload_elapsed : 0.0;
+
+        plssvm::bench::table_printer reload_table{ { "phase", "requests", "req/s", "p99 latency" } };
+        reload_table.add_row({ "steady", std::to_string(reload.steady_samples),
+                               plssvm::bench::format_double(reload.steady_rps, 0),
+                               plssvm::bench::format_seconds(reload.steady_p99_s) });
+        reload_table.add_row({ "reloading (" + std::to_string(reload.reloads) + " swaps)",
+                               std::to_string(reload.reload_samples),
+                               plssvm::bench::format_double(reload.reload_rps, 0),
+                               plssvm::bench::format_seconds(reload.reload_p99_s) });
+        reload_table.print();
+        const auto final_stats = registry.find("live")->stats();
+        std::printf("\nfinal snapshot version: %llu, engine reloads recorded: %zu\n",
+                    static_cast<unsigned long long>(final_stats.snapshot_version), final_stats.reloads);
+    }
+
+    // the measured host profile closes the calibration loop: the next engine
+    // start in this directory picks it up via serve::calibrated_host_profile
+    const plssvm::sim::host_profile measured_host = plssvm::serve::measure_host_profile(sizeof(double));
+
+    // ------------------------------------------------------------------
     // gates + JSON report
     // ------------------------------------------------------------------
-    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= 2.0 && blocked_beats_reference;
+    const bool reload_pass = reload.failed_requests == 0 && reload.reloads > 0
+                             && reload.p99_ratio <= 2.0;
+    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= 2.0 && blocked_beats_reference && reload_pass;
     write_json("BENCH_serve.json", num_sv, dim, num_queries, engine_threads, repeats, options.quick,
-               engine_results, path_results, rbf256_speedup, blocked_beats_reference, worst_sync_speedup, pass);
+               engine_results, path_results, reload, measured_host,
+               rbf256_speedup, blocked_beats_reference, worst_sync_speedup, reload_pass, pass);
 
     std::printf("\nworst batched-sync speedup over naive loop: %.1fx (gate: >= 3x)\n", worst_sync_speedup);
     std::printf("blocked speedup over per-point reference, rbf @ batch 256: %.2fx (gate: >= 2x)\n", rbf256_speedup);
     std::printf("blocked beats reference at batch >= 64 for every non-linear kernel: %s\n", blocked_beats_reference ? "yes" : "NO");
+    std::printf("p99 during reload: %.0f us vs steady %.0f us -> %.2fx (gate: <= 2x, %zu swaps, %zu failed requests)\n",
+                1e6 * reload.reload_p99_s, 1e6 * reload.steady_p99_s, reload.p99_ratio, reload.reloads, reload.failed_requests);
     std::printf("report written to BENCH_serve.json\n");
     return pass ? 0 : 1;
 }

@@ -1,7 +1,9 @@
 /**
  * @file
- * @brief Serving quickstart: train a model, register it, serve synchronous
- *        batches and asynchronous single-point requests, print the stats.
+ * @brief Serving quickstart: train a model, register it on the shared
+ *        executor, serve synchronous batches and asynchronous single-point
+ *        requests with in-engine scaling (raw-feature clients), hot-swap a
+ *        retrained model with zero downtime, print the stats.
  *
  * Build & run:
  *   cmake -B build -S . && cmake --build build -j
@@ -17,42 +19,55 @@
 
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <vector>
 
 int main() {
-    // 1. train a small RBF model (stand-in for loading one from disk with
-    //    `registry.load_file("churn-v3", "churn.model")`)
+    // 1. generate raw training data and fit the server-side scaling on it:
+    //    clients will send UNSCALED features, the engine applies the
+    //    transform inside the batch path (it is versioned with the model)
     plssvm::datagen::classification_params gen;
     gen.num_points = 512;
     gen.num_features = 16;
     gen.class_sep = 1.5;
-    const auto train = plssvm::datagen::make_classification<double>(gen);
+    auto train = plssvm::datagen::make_classification<double>(gen);
+    auto scaling = std::make_shared<plssvm::io::scaling<double>>(-1.0, 1.0);
+    plssvm::aos_matrix<double> scaled_points = train.points();
+    scaling->fit_transform(scaled_points);
+    const plssvm::data_set<double> scaled_train{ std::move(scaled_points), std::vector<double>(train.labels()) };
 
     plssvm::parameter params;
     params.kernel = plssvm::kernel_type::rbf;
     const auto svm = plssvm::make_csvm<double>(plssvm::backend_type::openmp, params);
-    const auto model = svm->fit(train, plssvm::solver_control{ .epsilon = 1e-6 });
+    const auto model = svm->fit(scaled_train, plssvm::solver_control{ .epsilon = 1e-6 });
 
-    // 2. register the model: the registry compiles it once (collapsed w /
-    //    SoA support vectors / cached norms) and owns the serving engine
+    // 2. register the model. All engines of the registry share ONE executor
+    //    (here: the process-wide pool); `num_threads` is the engine's lane
+    //    quota on it, not a private pool size. The registry compiles the
+    //    model once and freezes it into an immutable snapshot together with
+    //    the scaling transform.
     plssvm::serve::engine_config config;
-    config.num_threads = 4;
+    config.num_threads = 4;  // lane quota on the shared executor
     config.max_batch_size = 64;
     config.batch_delay = std::chrono::microseconds{ 250 };
-    plssvm::serve::model_registry<double> registry{ /*capacity=*/8 };
-    auto engine = registry.load("quickstart", model, config);
+    plssvm::serve::model_registry<double> registry{ /*capacity=*/8, config };
+    auto engine = registry.load("quickstart", model, scaling);
+    std::printf("engine runs on a shared executor with %zu workers (lane quota %zu), snapshot v%llu\n",
+                engine->stats().executor_threads, engine->num_threads(),
+                static_cast<unsigned long long>(engine->snapshot_version()));
 
-    // 3. synchronous batch prediction: one call, partitioned across the pool
+    // 3. synchronous batch prediction over RAW client features: one call,
+    //    scaled server-side, partitioned across the executor lane
     gen.seed = 99;
-    const auto queries = plssvm::datagen::make_classification<double>(gen).points();
-    const std::vector<double> labels = engine->predict(queries);
-    std::printf("sync batch: predicted %zu labels, first = %+.0f\n", labels.size(), labels.front());
+    const auto raw_queries = plssvm::datagen::make_classification<double>(gen).points();
+    const std::vector<double> labels = engine->predict(raw_queries);
+    std::printf("sync batch: predicted %zu labels from raw features, first = %+.0f\n", labels.size(), labels.front());
 
-    // 4. asynchronous single-point requests: the micro-batcher coalesces them
-    //    into batched kernel invocations under the size/deadline policy
+    // 4. asynchronous single-point requests (also raw): the micro-batcher
+    //    coalesces them into batched kernel invocations
     std::vector<std::future<double>> futures;
     for (std::size_t p = 0; p < 256; ++p) {
-        futures.push_back(engine->submit(std::vector<double>(queries.row_data(p), queries.row_data(p) + queries.num_cols())));
+        futures.push_back(engine->submit(std::vector<double>(raw_queries.row_data(p), raw_queries.row_data(p) + raw_queries.num_cols())));
     }
     std::size_t agree = 0;
     for (std::size_t p = 0; p < futures.size(); ++p) {
@@ -60,16 +75,30 @@ int main() {
     }
     std::printf("async submit: %zu/%zu labels agree with the sync batch\n", agree, futures.size());
 
-    // 5. serving statistics, also publishable through the library tracker
+    // 5. zero-downtime reload: retrain and hot-swap. The replacement is
+    //    shadow-compiled on the executor's background lane and swapped in
+    //    atomically — the engine pointer keeps serving throughout, requests
+    //    in flight finish on the snapshot they started with.
+    const auto retrained = svm->fit(scaled_train, plssvm::solver_control{ .epsilon = 1e-8 });
+    std::future<void> swap = registry.reload("quickstart", retrained, scaling);
+    (void) engine->predict(raw_queries);  // still serving while compiling
+    swap.get();                           // the new snapshot is live
+    std::printf("hot-swapped to snapshot v%llu after %zu reload(s), same engine pointer\n",
+                static_cast<unsigned long long>(engine->snapshot_version()), engine->stats().reloads);
+
+    // 6. serving statistics, also publishable through the library tracker
     const plssvm::serve::serve_stats stats = engine->stats();
     std::printf("served %zu requests in %zu batches (mean batch %.1f)\n",
                 stats.total_requests, stats.total_batches, stats.mean_batch_size);
     std::printf("latency p50 %.0f us | p99 %.0f us | throughput %.0f req/s\n",
                 1e6 * stats.p50_latency_seconds, 1e6 * stats.p99_latency_seconds, stats.requests_per_second);
+    std::printf("lane queue depth %zu (max %zu), %zu stolen tasks, executor threads %zu\n",
+                stats.queue_depth, stats.max_queue_depth, stats.steals, stats.executor_threads);
 
     plssvm::detail::tracker tracker;
     engine->report_to(tracker);
-    std::printf("tracker metric serve/p99_latency_s = %.6f\n", tracker.get_metric("serve/p99_latency_s"));
+    std::printf("tracker metric serve/p99_latency_s = %.6f, serve/snapshot_version = %.0f\n",
+                tracker.get_metric("serve/p99_latency_s"), tracker.get_metric("serve/snapshot_version"));
 
     return 0;
 }

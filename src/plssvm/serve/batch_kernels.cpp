@@ -12,7 +12,10 @@
  * reference path in the last bits on such machines — parity tests compare
  * with rel. tolerance 1e-10 (see batch_kernels.hpp).
  */
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+    // sanitizers cannot handle the ifunc resolvers multi-versioning emits
+    // (they run before the sanitizer runtime initializes -> startup crash),
+    // so sanitizer builds fall back to the portable baseline clone
     #define PLSSVM_SERVE_TARGET_CLONES __attribute__((target_clones("default", "arch=x86-64-v3", "arch=x86-64-v4")))
 #else
     #define PLSSVM_SERVE_TARGET_CLONES

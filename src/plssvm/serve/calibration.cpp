@@ -1,0 +1,153 @@
+#include "plssvm/serve/calibration.hpp"
+
+#include "plssvm/core/model.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/detail/rng.hpp"
+#include "plssvm/serve/compiled_model.hpp"
+
+#include <chrono>
+#include <cstddef>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace plssvm::serve {
+
+namespace {
+
+/// Extract the number following `"key":` after @p from in @p text; -1.0 if absent.
+[[nodiscard]] double parse_number_after(const std::string &text, const std::string &key, const std::size_t from) {
+    const std::size_t key_pos = text.find('"' + key + '"', from);
+    if (key_pos == std::string::npos) {
+        return -1.0;
+    }
+    const std::size_t colon = text.find(':', key_pos);
+    if (colon == std::string::npos) {
+        return -1.0;
+    }
+    const char *begin = text.c_str() + colon + 1;
+    char *end = nullptr;
+    const double value = std::strtod(begin, &end);
+    return end == begin ? -1.0 : value;
+}
+
+}  // namespace
+
+bool is_default_host_profile(const sim::host_profile &profile) noexcept {
+    const sim::host_profile defaults{};
+    return profile.effective_gflops == defaults.effective_gflops
+           && profile.effective_bandwidth_gbs == defaults.effective_bandwidth_gbs
+           && profile.num_threads == defaults.num_threads
+           && profile.parallel_efficiency == defaults.parallel_efficiency;
+}
+
+bool host_profile_from_bench_json(const std::string &path, sim::host_profile &out) {
+    std::ifstream file{ path };
+    if (!file) {
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string text = buffer.str();
+    const std::size_t section = text.find("\"host_profile\"");
+    if (section == std::string::npos) {
+        return false;
+    }
+    const double gflops = parse_number_after(text, "effective_gflops", section);
+    const double bandwidth = parse_number_after(text, "effective_bandwidth_gbs", section);
+    if (gflops <= 0.0 || bandwidth <= 0.0) {
+        return false;
+    }
+    out.effective_gflops = gflops;
+    out.effective_bandwidth_gbs = bandwidth;
+    return true;
+}
+
+sim::host_profile measure_host_profile(const std::size_t real_bytes) {
+    using clock = std::chrono::steady_clock;
+    sim::host_profile profile{};
+
+    // --- compute rate: time the blocked RBF batch kernel on a small synthetic
+    // --- model and charge it the same flops the dispatcher will charge ------
+    constexpr std::size_t num_sv = 256;
+    constexpr std::size_t dim = 64;
+    constexpr std::size_t batch = 64;
+    parameter params;
+    params.kernel = kernel_type::rbf;
+    params.gamma = 0.25;
+    auto engine = detail::make_engine(0x5eed);
+    aos_matrix<double> sv{ num_sv, dim };
+    for (double &v : sv.data()) {
+        v = detail::standard_normal<double>(engine);
+    }
+    std::vector<double> alpha(num_sv);
+    for (double &a : alpha) {
+        a = detail::standard_normal<double>(engine);
+    }
+    const compiled_model<double> compiled{ model<double>{ params, std::move(sv), std::move(alpha), 0.1, 1.0, -1.0 } };
+    aos_matrix<double> queries{ batch, dim };
+    for (double &v : queries.data()) {
+        v = detail::standard_normal<double>(engine);
+    }
+    std::vector<double> out(batch);
+
+    compiled.decision_values_into(queries, 0, batch, out.data());  // warm up
+    const double flops_per_sweep = sim::serve_predict_cost(batch, num_sv, dim, kernel_type::rbf, real_bytes).flops;
+    std::size_t sweeps = 0;
+    const auto compute_start = clock::now();
+    double compute_elapsed = 0.0;
+    // run until the window dominates timer noise (>= 2 ms), at least 4 sweeps
+    while (sweeps < 4 || compute_elapsed < 2e-3) {
+        compiled.decision_values_into(queries, 0, batch, out.data());
+        ++sweeps;
+        compute_elapsed = std::chrono::duration<double>(clock::now() - compute_start).count();
+    }
+    if (compute_elapsed > 0.0) {
+        profile.effective_gflops = flops_per_sweep * static_cast<double>(sweeps) / compute_elapsed / 1e9;
+    }
+
+    // --- bandwidth: a streaming reduction over a buffer far beyond L2 -------
+    constexpr std::size_t stream_doubles = 2 * 1024 * 1024;  // 16 MiB
+    std::vector<double> stream(stream_doubles, 1.0);
+    double sink = 0.0;
+    const auto mem_start = clock::now();
+    double mem_elapsed = 0.0;
+    std::size_t passes = 0;
+    while (passes < 2 || mem_elapsed < 2e-3) {
+        double sum = 0.0;
+        const double *data = stream.data();
+        #pragma omp simd reduction(+ : sum)
+        for (std::size_t i = 0; i < stream_doubles; ++i) {
+            sum += data[i];
+        }
+        sink += sum;
+        ++passes;
+        mem_elapsed = std::chrono::duration<double>(clock::now() - mem_start).count();
+    }
+    if (mem_elapsed > 0.0 && sink != -1.0) {
+        profile.effective_bandwidth_gbs = static_cast<double>(passes * stream_doubles * sizeof(double)) / mem_elapsed / 1e9;
+    }
+    return profile;
+}
+
+sim::host_profile calibrated_host_profile(const std::size_t real_bytes) {
+    static std::mutex cache_mutex;
+    static std::map<std::size_t, sim::host_profile> cache;
+    const std::lock_guard lock{ cache_mutex };
+    const auto it = cache.find(real_bytes);
+    if (it != cache.end()) {
+        return it->second;
+    }
+    sim::host_profile profile{};
+    if (!host_profile_from_bench_json(bench_serve_json_path, profile)) {
+        profile = measure_host_profile(real_bytes);
+    }
+    cache.emplace(real_bytes, profile);
+    return profile;
+}
+
+}  // namespace plssvm::serve

@@ -1,0 +1,247 @@
+#include "plssvm/serve/executor.hpp"
+
+#include "plssvm/exceptions.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace plssvm::serve {
+
+namespace {
+/// The executor (if any) whose worker the current thread is.
+thread_local const executor *current_worker_executor = nullptr;
+}  // namespace
+
+bool executor::on_worker_thread() const noexcept {
+    return current_worker_executor == this;
+}
+
+executor::executor(std::size_t num_threads) {
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0) {
+            num_threads = 1;
+        }
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this, i]() { worker_loop(i); });
+    }
+}
+
+executor::~executor() {
+    {
+        const std::lock_guard lock{ mutex_ };
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_) {
+        worker.join();
+    }
+}
+
+executor &executor::process_wide() {
+    // Engines referencing the process-wide executor must be destroyed before
+    // static destruction tears it down — trivially true for engines with
+    // automatic storage duration, the recommended ownership.
+    static executor instance{ 0 };
+    return instance;
+}
+
+std::size_t executor::lane::max_concurrency() const noexcept {
+    if (owner_ == nullptr || state_ == nullptr) {
+        return 0;
+    }
+    const std::size_t workers = owner_->size();
+    const std::size_t quota = state_->options.quota;  // immutable after creation
+    return quota == 0 ? workers : std::min(quota, workers);
+}
+
+void executor::lane::enqueue_detached(std::function<void()> job) {
+    if (owner_ == nullptr || state_ == nullptr) {
+        throw exception{ "executor::lane: enqueue on a detached lane!" };
+    }
+    {
+        const std::lock_guard lock{ owner_->mutex_ };
+        if (state_->closed || owner_->stop_) {
+            throw exception{ "executor::lane: enqueue after shutdown!" };
+        }
+        state_->jobs.push_back(std::move(job));
+        ++state_->submitted;
+        state_->max_queue_depth = std::max(state_->max_queue_depth, state_->jobs.size());
+    }
+    owner_->work_cv_.notify_one();
+}
+
+bool executor::lane::try_run_one() {
+    if (owner_ == nullptr || state_ == nullptr) {
+        return false;
+    }
+    std::function<void()> job;
+    {
+        const std::lock_guard lock{ owner_->mutex_ };
+        if (state_->jobs.empty()) {
+            return false;
+        }
+        job = std::move(state_->jobs.front());
+        state_->jobs.pop_front();
+        ++state_->in_flight;
+    }
+    job();
+    job = nullptr;  // destroy captures outside the lock (see worker_loop)
+    {
+        const std::lock_guard lock{ owner_->mutex_ };
+        --state_->in_flight;
+        ++state_->completed;
+        if (!state_->jobs.empty()) {
+            // quota headroom may have opened up for a sleeping worker
+            owner_->work_cv_.notify_one();
+        }
+        if (state_->closed && state_->jobs.empty() && state_->in_flight == 0) {
+            owner_->drain_cv_.notify_all();
+        }
+    }
+    return true;
+}
+
+lane_stats executor::lane::stats() const {
+    lane_stats stats;
+    if (owner_ == nullptr || state_ == nullptr) {
+        return stats;
+    }
+    const std::lock_guard lock{ owner_->mutex_ };
+    stats.submitted = state_->submitted;
+    stats.completed = state_->completed;
+    stats.stolen = state_->stolen;
+    stats.queue_depth = state_->jobs.size();
+    stats.in_flight = state_->in_flight;
+    stats.max_queue_depth = state_->max_queue_depth;
+    return stats;
+}
+
+void executor::lane::close() {
+    if (owner_ != nullptr && state_ != nullptr) {
+        owner_->close_lane(state_);
+    }
+    owner_ = nullptr;
+    state_.reset();
+}
+
+executor::lane executor::create_lane(lane_options options) {
+    if (options.weight == 0) {
+        options.weight = 1;
+    }
+    auto state = std::make_shared<lane_state>();
+    state->options = std::move(options);
+    {
+        const std::lock_guard lock{ mutex_ };
+        state->affinity = lane_counter_++ % workers_.size();
+        lanes_.push_back(state);
+    }
+    return lane{ this, std::move(state) };
+}
+
+std::size_t executor::num_lanes() const {
+    const std::lock_guard lock{ mutex_ };
+    return lanes_.size();
+}
+
+std::size_t executor::total_steals() const {
+    const std::lock_guard lock{ mutex_ };
+    return total_steals_;
+}
+
+bool executor::any_queued_job() const {
+    return std::any_of(lanes_.begin(), lanes_.end(),
+                       [](const std::shared_ptr<lane_state> &lane) { return !lane->jobs.empty(); });
+}
+
+std::shared_ptr<executor::lane_state> executor::pick_runnable_lane() {
+    if (lanes_.empty()) {
+        return nullptr;
+    }
+    const auto runnable = [](const lane_state &lane) {
+        return !lane.jobs.empty() && (lane.options.quota == 0 || lane.in_flight < lane.options.quota);
+    };
+    // the cursor's lane keeps its remaining weight credits first ...
+    if (rr_credits_ > 0) {
+        const std::size_t idx = rr_cursor_ % lanes_.size();
+        if (runnable(*lanes_[idx])) {
+            --rr_credits_;
+            return lanes_[idx];
+        }
+        rr_credits_ = 0;  // not runnable any more: forfeit and rotate
+    }
+    // ... then the sweep resumes one past the cursor, so a hot lane cannot
+    // recapture the cursor before every other runnable lane had its turn
+    for (std::size_t i = 1; i <= lanes_.size(); ++i) {
+        const std::size_t idx = (rr_cursor_ + i) % lanes_.size();
+        if (runnable(*lanes_[idx])) {
+            rr_cursor_ = idx;
+            rr_credits_ = lanes_[idx]->options.weight - 1;
+            return lanes_[idx];
+        }
+    }
+    return nullptr;
+}
+
+void executor::worker_loop(const std::size_t worker_index) {
+    current_worker_executor = this;
+    std::unique_lock lock{ mutex_ };
+    while (true) {
+        std::shared_ptr<lane_state> lane;
+        work_cv_.wait(lock, [this, &lane]() {
+            lane = pick_runnable_lane();
+            return lane != nullptr || (stop_ && !any_queued_job());
+        });
+        if (lane == nullptr) {
+            return;  // stop requested and every queue drained
+        }
+        std::function<void()> job = std::move(lane->jobs.front());
+        lane->jobs.pop_front();
+        ++lane->in_flight;
+        if (lane->affinity != worker_index) {
+            ++lane->stolen;
+            ++total_steals_;
+        }
+        lock.unlock();
+        job();
+        // destroy the closure before re-locking: its captures can hold the
+        // last reference to an engine, whose teardown re-enters the executor
+        // (lane close) — running that under mutex_ would self-deadlock
+        job = nullptr;
+        lock.lock();
+        --lane->in_flight;
+        ++lane->completed;
+        if (!lane->jobs.empty()) {
+            // quota headroom may have opened up for a sleeping worker
+            work_cv_.notify_one();
+        }
+        if (lane->closed && lane->jobs.empty() && lane->in_flight == 0) {
+            drain_cv_.notify_all();
+        }
+    }
+}
+
+void executor::close_lane(const std::shared_ptr<lane_state> &state) {
+    std::unique_lock lock{ mutex_ };
+    state->closed = true;
+    // enqueue-time notifications may all have been consumed already; make
+    // sure sleeping workers see the remaining queued jobs of this lane
+    work_cv_.notify_all();
+    drain_cv_.wait(lock, [&state]() { return state->jobs.empty() && state->in_flight == 0; });
+    lanes_.erase(std::remove(lanes_.begin(), lanes_.end(), state), lanes_.end());
+    rr_credits_ = 0;  // indices shifted; restart the rotation cleanly
+    if (!lanes_.empty()) {
+        rr_cursor_ %= lanes_.size();
+    } else {
+        rr_cursor_ = 0;
+    }
+}
+
+}  // namespace plssvm::serve

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * @brief Process-wide serving executor: a work-stealing worker pool shared by
+ *        every inference engine, with per-engine submission lanes.
+ *
+ * The first serving iteration gave every `inference_engine` its own
+ * `thread_pool`, so a multi-tenant `model_registry` with eight resident
+ * models on a four-core host ran 32 worker threads fighting for four cores.
+ * The executor inverts that ownership: the *process* owns one fixed set of
+ * workers, and engines own lightweight **lanes** — named submission queues
+ * with a concurrency *quota* (the most workers a lane may occupy at once)
+ * and a *weight* (how many consecutive tasks a worker takes from the lane
+ * before rotating on).
+ *
+ * Scheduling: every lane has an affine worker (assigned round-robin at lane
+ * creation). Workers drain runnable lanes in rotation order starting from
+ * their last position, so a saturated lane cannot starve the others — any
+ * lane with queued work and spare quota is reached after at most one sweep
+ * of the lane list. A task executed by a non-affine worker is counted as a
+ * *steal* (the idle worker stole it from the lane's home worker); per-lane
+ * steal and queue-depth counters feed `serve_stats`.
+ *
+ * Quota semantics: `quota` caps how many workers service one lane
+ * simultaneously. Capping the greedy tenants is what *guarantees* the quiet
+ * ones — if every lane's quota is at most `size() - k`, any other lane is
+ * always able to claim `k` workers the moment it has queued work.
+ *
+ * Tasks must not block on futures of tasks in the same executor (a task
+ * waiting for a worker while holding a worker can deadlock once all workers
+ * wait). The serving layer obeys this: engines enqueue leaf work only and
+ * block on results from *their own* (drain or caller) threads.
+ */
+
+#ifndef PLSSVM_SERVE_EXECUTOR_HPP_
+#define PLSSVM_SERVE_EXECUTOR_HPP_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace plssvm::serve {
+
+/// Per-lane scheduling knobs.
+struct lane_options {
+    /// Diagnostic name (shows up in nothing but debuggers and tests).
+    std::string name{};
+    /// Most workers that may service this lane concurrently; 0 = no cap.
+    std::size_t quota{ 0 };
+    /// Consecutive tasks one worker visit may take before rotating to the
+    /// next runnable lane (>= 1); higher weight = larger share under
+    /// contention.
+    std::size_t weight{ 1 };
+};
+
+/// Point-in-time counters of one lane.
+struct lane_stats {
+    std::size_t submitted{ 0 };        ///< tasks ever enqueued
+    std::size_t completed{ 0 };        ///< tasks finished
+    std::size_t stolen{ 0 };           ///< tasks run by a non-affine worker
+    std::size_t queue_depth{ 0 };      ///< currently queued tasks
+    std::size_t in_flight{ 0 };        ///< tasks executing right now
+    std::size_t max_queue_depth{ 0 };  ///< high-water mark of queue_depth
+};
+
+class executor {
+    /// All lane state lives behind the executor's mutex; the handle class
+    /// below only holds a shared_ptr to it.
+    struct lane_state {
+        lane_options options;
+        std::deque<std::function<void()>> jobs;
+        std::size_t affinity{ 0 };   ///< home worker index (steal accounting)
+        std::size_t in_flight{ 0 };
+        std::size_t submitted{ 0 };
+        std::size_t completed{ 0 };
+        std::size_t stolen{ 0 };
+        std::size_t max_queue_depth{ 0 };
+        bool closed{ false };        ///< no further enqueues; drain pending
+    };
+
+  public:
+    /// Start @p num_threads workers; 0 means `std::thread::hardware_concurrency()`.
+    explicit executor(std::size_t num_threads = 0);
+
+    executor(const executor &) = delete;
+    executor &operator=(const executor &) = delete;
+
+    /// Drains all lanes, then joins the workers. Every lane handle must have
+    /// been destroyed (or must never enqueue again) before this runs.
+    ~executor();
+
+    /// The lazily-created executor shared by all engines that do not inject
+    /// their own (`engine_config::exec == nullptr`). Sized to the hardware.
+    [[nodiscard]] static executor &process_wide();
+
+    /// Number of worker threads.
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// True iff the calling thread is one of THIS executor's workers. Work
+    /// that would fan out over the executor must run inline instead when
+    /// already on a worker (a worker blocking on its own pool can deadlock
+    /// it — e.g. an engine torn down by the last-owner reload task draining
+    /// its final batches).
+    [[nodiscard]] bool on_worker_thread() const noexcept;
+
+    /**
+     * @brief Move-only handle to one submission lane. Destroying the handle
+     *        blocks until the lane's queued and in-flight tasks finished,
+     *        then unregisters it — so a dying engine can never leave work
+     *        behind that touches freed state.
+     */
+    class lane {
+      public:
+        lane() = default;
+        lane(lane &&other) noexcept :
+            owner_{ std::exchange(other.owner_, nullptr) },
+            state_{ std::move(other.state_) } {}
+
+        lane &operator=(lane &&other) noexcept {
+            if (this != &other) {
+                close();
+                owner_ = std::exchange(other.owner_, nullptr);
+                state_ = std::move(other.state_);
+            }
+            return *this;
+        }
+
+        lane(const lane &) = delete;
+        lane &operator=(const lane &) = delete;
+
+        ~lane() { close(); }
+
+        [[nodiscard]] bool attached() const noexcept { return state_ != nullptr; }
+        [[nodiscard]] executor *owner() const noexcept { return owner_; }
+
+        /// Effective parallelism of this lane: its quota clamped to the pool.
+        [[nodiscard]] std::size_t max_concurrency() const noexcept;
+
+        /// Enqueue a fire-and-forget task.
+        /// @throws plssvm::exception if the lane is detached or closed
+        void enqueue_detached(std::function<void()> job);
+
+        /// Enqueue a task and obtain a future for its result.
+        template <typename F>
+        [[nodiscard]] std::future<std::invoke_result_t<F>> enqueue(F &&job) {
+            using result_type = std::invoke_result_t<F>;
+            auto task = std::make_shared<std::packaged_task<result_type()>>(std::forward<F>(job));
+            std::future<result_type> future = task->get_future();
+            enqueue_detached([task]() { (*task)(); });
+            return future;
+        }
+
+        /// Pop one queued task of THIS lane and run it on the calling
+        /// thread. Lets a caller that is about to block on lane futures
+        /// help drain its own queue instead ("help while waiting"), which
+        /// makes waiting immune to worker starvation — even with every
+        /// worker busy (or tearing down this very engine), the caller
+        /// finishes its own fan-out itself. Ignores the quota: the caller
+        /// spends its own thread, not a worker.
+        /// @return true iff a task was executed
+        bool try_run_one();
+
+        /// Current counters of this lane.
+        [[nodiscard]] lane_stats stats() const;
+
+      private:
+        friend class executor;
+        lane(executor *owner, std::shared_ptr<lane_state> state) :
+            owner_{ owner },
+            state_{ std::move(state) } {}
+
+        /// Drain and unregister (the destructor body).
+        void close();
+
+        executor *owner_{ nullptr };
+        std::shared_ptr<lane_state> state_;
+    };
+
+    /// Register a new lane.
+    [[nodiscard]] lane create_lane(lane_options options = {});
+
+    /// Number of currently registered lanes.
+    [[nodiscard]] std::size_t num_lanes() const;
+
+    /// Tasks executed by a non-affine worker, over all lanes ever registered.
+    [[nodiscard]] std::size_t total_steals() const;
+
+  private:
+    void worker_loop(std::size_t worker_index);
+
+    /// Next lane with queued work and spare quota, in rotation order from
+    /// `rr_cursor_` (weighted: a lane keeps the cursor for `weight` pops).
+    /// Requires `mutex_` held; nullptr if nothing is runnable.
+    [[nodiscard]] std::shared_ptr<lane_state> pick_runnable_lane();
+
+    [[nodiscard]] bool any_queued_job() const;
+
+    void close_lane(const std::shared_ptr<lane_state> &state);
+
+    std::vector<std::thread> workers_;
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;   ///< workers wait here for runnable lanes
+    std::condition_variable drain_cv_;  ///< lane closers wait here for drain
+    std::vector<std::shared_ptr<lane_state>> lanes_;
+    std::size_t rr_cursor_{ 0 };
+    std::size_t rr_credits_{ 0 };      ///< remaining weight of the cursor's lane
+    std::size_t lane_counter_{ 0 };    ///< round-robin affinity assignment
+    std::size_t total_steals_{ 0 };
+    bool stop_{ false };
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_EXECUTOR_HPP_

@@ -1,17 +1,33 @@
 /**
  * @file
- * @brief Thread-pool-backed inference engine over a `compiled_model`.
+ * @brief Inference engine over an immutable model snapshot, executing on a
+ *        shared `serve::executor` lane.
  *
  * The engine exposes the two serving entry points:
  *  - `predict(points)` / `decision_values(points)`: synchronous batch
- *    evaluation, partitioned across the engine's thread pool;
+ *    evaluation, partitioned across the engine's executor lane;
  *  - `submit(point) -> std::future<label>`: asynchronous single-point
  *    requests, coalesced into batches by the `micro_batcher` and evaluated
  *    by a dedicated drain thread.
  *
- * Every engine records latency/throughput statistics (`stats()`) and can
- * publish them through `plssvm::detail::tracker` (`report_to()`), the same
- * channel the training pipeline uses for its component timings.
+ * Threads are NOT owned per engine: all engines of a process share one
+ * `serve::executor` (`engine_config::exec`, defaulting to the process-wide
+ * instance) and submit through a per-engine lane whose quota
+ * (`engine_config::num_threads`) bounds how many workers the engine may
+ * occupy at once — eight resident engines on a four-core host run on four
+ * worker threads, not thirty-two.
+ *
+ * Model state is NOT mutable in place: every batch evaluates against the
+ * `engine_snapshot` current at its start (see `snapshot.hpp`), and
+ * `reload()` publishes a freshly compiled snapshot with one atomic swap —
+ * in-flight batches finish on the old snapshot, p99 stays flat, and no
+ * request ever observes a half-built model. Snapshots optionally carry an
+ * `io::scaling` input transform applied inside the batch path, so clients
+ * send raw features and the transform is versioned with the model.
+ *
+ * Every engine records latency/throughput statistics (`stats()`, including
+ * lane queue depth / steal counters and the snapshot version) and can
+ * publish them through `plssvm::detail::tracker` (`report_to()`).
  */
 
 #ifndef PLSSVM_SERVE_INFERENCE_ENGINE_HPP_
@@ -22,17 +38,22 @@
 #include "plssvm/core/sparse_matrix.hpp"
 #include "plssvm/detail/tracker.hpp"
 #include "plssvm/exceptions.hpp"
+#include "plssvm/serve/calibration.hpp"
 #include "plssvm/serve/compiled_model.hpp"
+#include "plssvm/serve/executor.hpp"
 #include "plssvm/serve/micro_batcher.hpp"
 #include "plssvm/serve/predict_dispatcher.hpp"
 #include "plssvm/serve/serve_stats.hpp"
-#include "plssvm/serve/thread_pool.hpp"
+#include "plssvm/serve/snapshot.hpp"
 
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -42,7 +63,8 @@ namespace plssvm::serve {
 
 /// Engine sizing and batching knobs.
 struct engine_config {
-    /// Worker threads for batch evaluation; 0 means hardware concurrency.
+    /// Lane quota on the shared executor: the most workers this engine may
+    /// occupy concurrently; 0 means "up to the whole executor".
     std::size_t num_threads{ 0 };
     /// Micro-batcher size trigger for the async path.
     std::size_t max_batch_size{ 64 };
@@ -50,6 +72,11 @@ struct engine_config {
     std::chrono::microseconds batch_delay{ 250 };
     /// Cost-model parameters of the per-batch execution-path dispatch.
     dispatch_params dispatch{};
+    /// Shared executor to run on; nullptr = `executor::process_wide()`.
+    executor *exec{ nullptr };
+    /// Lane weight: consecutive tasks one worker visit may take (>= 1);
+    /// higher weight = larger share of the executor under contention.
+    std::size_t lane_weight{ 1 };
 };
 
 namespace detail {
@@ -59,10 +86,11 @@ namespace detail {
  *        coalesced batches, assemble the batch matrix, evaluate, fulfil the
  *        promises, record metrics.
  *
- * @p evaluate maps the assembled `aos_matrix` to one label per row. Any
- * exception inside a batch (including allocation failure while assembling
- * it) is propagated to that batch's promises instead of escaping the drain
- * thread.
+ * @p evaluate maps the assembled `aos_matrix` to one label per row; it takes
+ * the matrix by mutable reference so a snapshot-attached input scaling can be
+ * applied in place. Any exception inside a batch (including allocation
+ * failure while assembling it) is propagated to that batch's promises
+ * instead of escaping the drain thread.
  */
 template <typename T, typename Evaluate>
 void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std::size_t num_features, Evaluate &&evaluate) {
@@ -96,10 +124,14 @@ void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std
 
 }  // namespace detail
 
-/// Resolve the "auto" parts of @p params against the engine's actual pool
-/// size and element type so the cost estimates match the host that will run
-/// the batch.
+/// Resolve the "auto" parts of @p params against the engine's actual lane
+/// concurrency and element type so the cost estimates match the host that
+/// will run the batch. A default host profile is replaced with calibrated
+/// numbers unless calibration was switched off.
 [[nodiscard]] inline dispatch_params resolved_dispatch(dispatch_params params, const std::size_t pool_threads, const std::size_t real_bytes) {
+    if (params.calibrate_host && is_default_host_profile(params.host)) {
+        params.host = calibrated_host_profile(real_bytes == 0 ? sizeof(double) : real_bytes);
+    }
     if (params.host.num_threads == 0) {
         params.host.num_threads = pool_threads;
     }
@@ -109,26 +141,38 @@ void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std
     return params;
 }
 
-/// Partition @p num_rows of @p points across @p pool and evaluate @p cm into
+/// Partition @p num_rows of @p points across @p lane and evaluate @p cm into
 /// @p out (blocked host kernels). Shared by the binary and multi-class
 /// engines, for dense (`aos_matrix`) and sparse (`csr_matrix`) batches.
 template <typename T, typename Matrix>
-void pooled_decision_values(const compiled_model<T> &cm, thread_pool &pool, const Matrix &points, T *out) {
+void pooled_decision_values(const compiled_model<T> &cm, executor::lane &lane, const Matrix &points, T *out) {
     const std::size_t num_rows = points.num_rows();
     if (num_rows == 0) {
         return;
     }
-    const std::size_t num_chunks = std::min(num_rows, pool.size());
+    if (lane.owner() == nullptr || lane.owner()->on_worker_thread()) {
+        // already on a worker of this executor (e.g. an engine torn down by
+        // the last-owner reload task drains its final batches here): fanning
+        // out and blocking on our own pool could deadlock it — run inline
+        cm.decision_values_into(points, 0, num_rows, out);
+        return;
+    }
+    const std::size_t num_chunks = std::min(num_rows, std::max<std::size_t>(1, lane.max_concurrency()));
     const std::size_t chunk = (num_rows + num_chunks - 1) / num_chunks;
     std::vector<std::future<void>> pending;
     pending.reserve(num_chunks);
     for (std::size_t begin = 0; begin < num_rows; begin += chunk) {
         const std::size_t end = std::min(begin + chunk, num_rows);
-        pending.push_back(pool.enqueue([&cm, &points, out, begin, end]() {
+        pending.push_back(lane.enqueue([&cm, &points, out, begin, end]() {
             cm.decision_values_into(points, begin, end, out + begin);
         }));
     }
     for (std::future<void> &f : pending) {
+        // help while waiting: drain our own lane instead of blocking, so the
+        // batch completes even if every worker is busy (or busy tearing this
+        // very engine down — the deadlock the executor tests pin down)
+        while (f.wait_for(std::chrono::seconds{ 0 }) != std::future_status::ready && lane.try_run_one()) {
+        }
         f.get();  // rethrows evaluation errors (e.g. feature-count mismatch)
     }
 }
@@ -137,20 +181,20 @@ void pooled_decision_values(const compiled_model<T> &cm, thread_pool &pool, cons
  * @brief Evaluate one batch along an already-chosen execution path.
  *
  * Reference batches run serially (they are tiny by construction), blocked
- * host batches are partitioned across @p pool, device batches run as one
+ * host batches are partitioned across @p lane, device batches run as one
  * launch on the (simulated, single) device. @p packed must be the SoA-packed
  * batch when @p path is `device` (callers evaluating several models against
  * one batch pack once), and may be nullptr otherwise.
  */
 template <typename T>
-void decision_values_via_path(const compiled_model<T> &cm, const predict_path path, thread_pool &pool,
+void decision_values_via_path(const compiled_model<T> &cm, const predict_path path, executor::lane &lane,
                               const aos_matrix<T> &points, const soa_matrix<T> *packed, T *out) {
     switch (path) {
         case predict_path::reference:
             cm.decision_values_reference_into(points, 0, points.num_rows(), out);
             break;
         case predict_path::host_blocked:
-            pooled_decision_values(cm, pool, points, out);
+            pooled_decision_values(cm, lane, points, out);
             break;
         case predict_path::device:
             cm.decision_values_device_into(*packed, out);
@@ -165,13 +209,13 @@ void decision_values_via_path(const compiled_model<T> &cm, const predict_path pa
  */
 template <typename T>
 predict_path dispatched_decision_values(const compiled_model<T> &cm, const predict_dispatcher &dispatcher,
-                                        thread_pool &pool, const aos_matrix<T> &points, T *out) {
+                                        executor::lane &lane, const aos_matrix<T> &points, T *out) {
     const predict_path path = dispatcher.choose(points.num_rows(), cm.num_support_vectors(), cm.num_features(), cm.params().kernel);
     if (path == predict_path::device) {
         const soa_matrix<T> packed = transform_to_soa(points, compiled_model_row_padding);
-        decision_values_via_path(cm, path, pool, points, &packed, out);
+        decision_values_via_path(cm, path, lane, points, &packed, out);
     } else {
-        decision_values_via_path<T>(cm, path, pool, points, nullptr, out);
+        decision_values_via_path<T>(cm, path, lane, points, nullptr, out);
     }
     return path;
 }
@@ -180,49 +224,81 @@ template <typename T>
 class inference_engine {
   public:
     using real_type = T;
+    using snapshot_type = engine_snapshot<T>;
+    using snapshot_ptr = std::shared_ptr<const snapshot_type>;
 
-    /// Compile @p trained and start the engine's threads.
-    explicit inference_engine(const model<T> &trained, engine_config config = {}) :
-        inference_engine{ compiled_model<T>{ trained }, config } {}
+    /// Compile @p trained and start the engine. An optional @p input_scaling
+    /// is applied server-side to every batch (raw-feature client contract).
+    explicit inference_engine(const model<T> &trained, engine_config config = {}, scaling_ptr<T> input_scaling = nullptr) :
+        inference_engine{ compiled_model<T>{ trained }, config, std::move(input_scaling) } {}
 
     /// Take ownership of an already-compiled model and start the engine.
-    explicit inference_engine(compiled_model<T> compiled, engine_config config = {}) :
-        compiled_{ std::move(compiled) },
+    explicit inference_engine(compiled_model<T> compiled, engine_config config = {}, scaling_ptr<T> input_scaling = nullptr) :
         config_{ config },
-        pool_{ config.num_threads },
-        dispatcher_{ resolved_dispatch(config.dispatch, pool_.size(), sizeof(T)) },
+        exec_{ config.exec != nullptr ? config.exec : &executor::process_wide() },
+        lane_{ exec_->create_lane(lane_options{ .name = "engine", .quota = config.num_threads, .weight = config.lane_weight }) },
+        num_features_{ compiled.num_features() },
+        snapshot_{ std::make_shared<const snapshot_type>(snapshot_type{ std::move(compiled), std::move(input_scaling), 1 }) },
+        dispatcher_{ resolved_dispatch(config.dispatch, lane_.max_concurrency(), sizeof(T)) },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } },
         drainer_{ [this]() { drain_loop(); } } {}
 
     inference_engine(const inference_engine &) = delete;
     inference_engine &operator=(const inference_engine &) = delete;
 
-    /// Stops accepting requests, drains everything pending, then joins.
+    /// Stops accepting requests, drains everything pending, then detaches
+    /// from the executor (joining only the engine's own drain thread).
     ~inference_engine() {
         batcher_.shutdown();
         drainer_.join();
     }
 
-    [[nodiscard]] const compiled_model<T> &compiled() const noexcept { return compiled_; }
+    /// The snapshot currently served (the caller's shared_ptr stays valid
+    /// across reloads).
+    [[nodiscard]] snapshot_ptr snapshot() const { return snapshot_.load(); }
+
     [[nodiscard]] const engine_config &config() const noexcept { return config_; }
     [[nodiscard]] const predict_dispatcher &dispatcher() const noexcept { return dispatcher_; }
-    [[nodiscard]] std::size_t num_threads() const noexcept { return pool_.size(); }
+    [[nodiscard]] executor &shared_executor() const noexcept { return *exec_; }
+    [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
+    /// Effective parallelism: the lane quota clamped to the executor size.
+    [[nodiscard]] std::size_t num_threads() const noexcept { return lane_.max_concurrency(); }
+    /// Version tag of the currently served snapshot (starts at 1).
+    [[nodiscard]] std::uint64_t snapshot_version() const { return snapshot_.load()->version; }
+
+    /**
+     * @brief Zero-downtime model replacement: compile @p trained into a fresh
+     *        snapshot and atomically swap it in.
+     *
+     * Serving continues on the old snapshot for the whole compile; batches
+     * that already loaded the old snapshot finish on it (RCU grace period =
+     * shared_ptr lifetime). The feature count must match — in-flight and
+     * future `submit` points were validated against it.
+     *
+     * @throws plssvm::invalid_data_exception if the feature count differs
+     */
+    void reload(const model<T> &trained, scaling_ptr<T> input_scaling = nullptr) {
+        install(compiled_model<T>{ trained }, std::move(input_scaling));
+    }
+
+    /// Swap in an already-compiled replacement model (same feature count).
+    void install(compiled_model<T> fresh, scaling_ptr<T> input_scaling = nullptr) {
+        if (fresh.num_features() != num_features_) {
+            throw invalid_data_exception{ "Reload feature count mismatch: engine serves " + std::to_string(num_features_) + " features but the replacement model has " + std::to_string(fresh.num_features()) + "!" };
+        }
+        // version assignment and publication under one lock: concurrent
+        // installs must not publish out of version order (a reader could
+        // otherwise see the version counter regress)
+        const std::lock_guard lock{ install_mutex_ };
+        snapshot_.store(std::make_shared<const snapshot_type>(snapshot_type{ std::move(fresh), std::move(input_scaling), ++last_version_ }));
+        metrics_.record_reload();
+    }
 
     /// Synchronous batched decision values through the dispatched execution
-    /// path (host batches partitioned across the pool).
+    /// path (host batches partitioned across the engine's lane). @p points
+    /// are raw client features; a snapshot-attached scaling is applied here.
     [[nodiscard]] std::vector<T> decision_values(const aos_matrix<T> &points) {
-        compiled_.validate_features(points.num_cols());
-        std::vector<T> values(points.num_rows());
-        if (values.empty()) {
-            return values;
-        }
-        const auto start = std::chrono::steady_clock::now();
-        const predict_path path = dispatched_decision_values(compiled_, dispatcher_, pool_, points, values.data());
-        const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-        metrics_.record_batch(points.num_rows(), elapsed);
-        metrics_.record_path(path);
-        metrics_.record_request_latency(elapsed);
-        return values;
+        return decision_values_on(snapshot_.load(), points);
     }
 
     /**
@@ -233,23 +309,30 @@ class inference_engine {
      * the blocked kernels. The dispatcher decides serial (`reference`,
      * tiny batches) vs. pooled (`host_blocked`) execution like the dense
      * path; the device route has no sparse kernels yet and is clamped to
-     * the pooled host path.
+     * the pooled host path. A snapshot-attached scaling densifies the batch
+     * (explicit zeros scale to non-zero values) and takes the dense path.
      */
     [[nodiscard]] std::vector<T> decision_values(const csr_matrix<T> &points) {
-        compiled_.validate_features(points.num_cols());
+        const snapshot_ptr snap = snapshot_.load();
+        snap->compiled.validate_features(points.num_cols());
+        if (snap->input_scaling != nullptr) {
+            // min-max scaling maps explicit zeros to non-zero values, so the
+            // sparse fast paths cannot apply: take the dense batch path
+            return decision_values(points.to_dense());
+        }
         const std::size_t num_rows = points.num_rows();
         std::vector<T> values(num_rows);
         if (values.empty()) {
             return values;
         }
         const auto start = std::chrono::steady_clock::now();
-        predict_path path = dispatcher_.choose(num_rows, compiled_.num_support_vectors(), compiled_.num_features(), compiled_.params().kernel);
+        predict_path path = dispatcher_.choose(num_rows, snap->compiled.num_support_vectors(), snap->compiled.num_features(), snap->compiled.params().kernel);
         if (path == predict_path::reference) {
-            // too small to be worth the pool round trip: run on this thread
-            compiled_.decision_values_into(points, 0, num_rows, values.data());
+            // too small to be worth the lane round trip: run on this thread
+            snap->compiled.decision_values_into(points, 0, num_rows, values.data());
         } else {
             path = predict_path::host_blocked;
-            pooled_decision_values(compiled_, pool_, points, values.data());
+            pooled_decision_values(snap->compiled, lane_, points, values.data());
         }
         const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
         metrics_.record_batch(num_rows, elapsed);
@@ -258,24 +341,31 @@ class inference_engine {
         return values;
     }
 
-    /// Synchronous batched label prediction.
+    /// Synchronous batched label prediction (values and label mapping come
+    /// from one snapshot, even if a reload lands mid-call).
     [[nodiscard]] std::vector<T> predict(const aos_matrix<T> &points) {
-        std::vector<T> values = decision_values(points);
+        const snapshot_ptr snap = snapshot_.load();
+        std::vector<T> values = decision_values_on(snap, points);
         for (T &v : values) {
-            v = compiled_.label_from_decision(v);
+            v = snap->compiled.label_from_decision(v);
         }
         return values;
     }
 
     /**
      * @brief Asynchronous single-point prediction.
+     *
+     * The point is raw client features; the drain thread applies the
+     * then-current snapshot's scaling, so the response is always consistent
+     * with exactly one snapshot even across reloads.
+     *
      * @return future resolving to the predicted label in the model's
      *         original label domain
      * @throws plssvm::invalid_data_exception if the feature count is wrong
      *         (checked eagerly so the error surfaces at the call site)
      */
     [[nodiscard]] std::future<T> submit(std::vector<T> point) {
-        compiled_.validate_features(point.size());
+        compiled_model<T>::validate_feature_count(num_features_, point.size());
         return batcher_.enqueue(std::move(point));
     }
 
@@ -290,40 +380,90 @@ class inference_engine {
      *         range for the model
      */
     [[nodiscard]] std::future<T> submit(const std::vector<typename csr_matrix<T>::entry> &sparse_point) {
-        std::vector<T> dense(compiled_.num_features(), T{ 0 });
+        std::vector<T> dense(num_features_, T{ 0 });
         for (const auto &e : sparse_point) {
-            if (e.index >= compiled_.num_features()) {
-                throw invalid_data_exception{ "Sparse feature index " + std::to_string(e.index) + " is out of range for a model with " + std::to_string(compiled_.num_features()) + " features!" };
+            if (e.index >= num_features_) {
+                throw invalid_data_exception{ "Sparse feature index " + std::to_string(e.index) + " is out of range for a model with " + std::to_string(num_features_) + " features!" };
             }
             dense[e.index] = e.value;
         }
         return batcher_.enqueue(std::move(dense));
     }
 
-    /// Current latency/throughput aggregates.
-    [[nodiscard]] serve_stats stats() const { return metrics_.snapshot(); }
+    /// Current latency/throughput aggregates, including the engine's lane
+    /// counters on the shared executor and the served snapshot version.
+    [[nodiscard]] serve_stats stats() const {
+        serve_stats stats = metrics_.snapshot();
+        const lane_stats lane = lane_.stats();
+        stats.queue_depth = lane.queue_depth;
+        stats.max_queue_depth = lane.max_queue_depth;
+        stats.steals = lane.stolen;
+        stats.executor_threads = exec_->size();
+        stats.snapshot_version = snapshot_.load()->version;
+        return stats;
+    }
 
     /// Publish the aggregates into @p t under @p prefix.
     void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
         metrics_.report_to(t, prefix);
+        const serve_stats stats = this->stats();
+        const std::string p{ prefix };
+        t.set_metric(p + "/queue_depth", static_cast<double>(stats.queue_depth));
+        t.set_metric(p + "/max_queue_depth", static_cast<double>(stats.max_queue_depth));
+        t.set_metric(p + "/steals", static_cast<double>(stats.steals));
+        t.set_metric(p + "/executor_threads", static_cast<double>(stats.executor_threads));
+        t.set_metric(p + "/snapshot_version", static_cast<double>(stats.snapshot_version));
     }
 
   private:
+    /// Shared body of `decision_values` / `predict`: evaluate the whole
+    /// batch against the one snapshot the caller loaded.
+    [[nodiscard]] std::vector<T> decision_values_on(const snapshot_ptr &snap, const aos_matrix<T> &points) {
+        snap->compiled.validate_features(points.num_cols());
+        std::vector<T> values(points.num_rows());
+        if (values.empty()) {
+            return values;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        predict_path path{};
+        if (snap->input_scaling != nullptr) {
+            aos_matrix<T> scaled = points;  // never mutate the caller's batch
+            snap->input_scaling->transform(scaled);
+            path = dispatched_decision_values(snap->compiled, dispatcher_, lane_, scaled, values.data());
+        } else {
+            path = dispatched_decision_values(snap->compiled, dispatcher_, lane_, points, values.data());
+        }
+        const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        metrics_.record_batch(points.num_rows(), elapsed);
+        metrics_.record_path(path);
+        metrics_.record_request_latency(elapsed);
+        return values;
+    }
+
     void drain_loop() {
-        detail::drain_requests(batcher_, metrics_, compiled_.num_features(), [this](const aos_matrix<T> &points) {
+        detail::drain_requests(batcher_, metrics_, num_features_, [this](aos_matrix<T> &points) {
+            // one snapshot for the whole batch: scaling and model always match
+            const snapshot_ptr snap = snapshot_.load();
+            if (snap->input_scaling != nullptr) {
+                snap->input_scaling->transform(points);  // engine-owned matrix
+            }
             std::vector<T> values(points.num_rows());
-            const predict_path path = dispatched_decision_values(compiled_, dispatcher_, pool_, points, values.data());
+            const predict_path path = dispatched_decision_values(snap->compiled, dispatcher_, lane_, points, values.data());
             metrics_.record_path(path);
             for (T &v : values) {
-                v = compiled_.label_from_decision(v);
+                v = snap->compiled.label_from_decision(v);
             }
             return values;
         });
     }
 
-    compiled_model<T> compiled_;
     engine_config config_;
-    thread_pool pool_;
+    executor *exec_;
+    executor::lane lane_;
+    std::size_t num_features_;
+    snapshot_handle<snapshot_type> snapshot_;
+    std::mutex install_mutex_;         ///< serializes version bump + publication
+    std::uint64_t last_version_{ 1 };  ///< guarded by install_mutex_
     predict_dispatcher dispatcher_;
     micro_batcher<T> batcher_;
     serve_metrics metrics_;

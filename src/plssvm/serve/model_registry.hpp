@@ -9,6 +9,20 @@
  * engine alive, and applies least-recently-used eviction once `capacity()`
  * engines are resident (compiled models pin the full SV matrix in memory,
  * so residency must be bounded).
+ *
+ * All engines of a registry share one `serve::executor`
+ * (`default_config.exec`, defaulting to the process-wide instance): eight
+ * resident engines on a four-core host run on one executor's worth of
+ * worker threads, not eight pools.
+ *
+ * Model replacement is zero-downtime: `reload(name, model)` shadow-compiles
+ * the replacement on the registry's background lane of the shared executor
+ * (one task at a time, so compiles never crowd out serving) and atomically
+ * swaps the engine's snapshot when ready — the engine keeps serving the old
+ * snapshot throughout, the handed-out engine pointer stays valid, and
+ * in-flight batches finish on the snapshot they started with. All LRU age
+ * bookkeeping (find hits, loads, reload scheduling and completion) goes
+ * through the registry's one mutex, so age refreshes cannot race the swap.
  */
 
 #ifndef PLSSVM_SERVE_MODEL_REGISTRY_HPP_
@@ -17,12 +31,15 @@
 #include "plssvm/core/model.hpp"
 #include "plssvm/exceptions.hpp"
 #include "plssvm/ext/multiclass.hpp"
+#include "plssvm/serve/executor.hpp"
 #include "plssvm/serve/inference_engine.hpp"
 #include "plssvm/serve/multiclass_engine.hpp"
+#include "plssvm/serve/snapshot.hpp"
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,35 +54,50 @@ class model_registry {
   public:
     /// @param capacity maximum resident engines (>= 1) before LRU eviction
     /// @param default_config engine configuration applied when a load call
-    ///        does not pass its own
+    ///        does not pass its own; its `exec` (nullptr = the process-wide
+    ///        executor) becomes the shared executor of every engine
     explicit model_registry(const std::size_t capacity = 8, engine_config default_config = {}) :
         capacity_{ capacity },
-        default_config_{ default_config } {
+        default_config_{ default_config },
+        exec_{ default_config.exec != nullptr ? default_config.exec : &executor::process_wide() },
+        reload_lane_{ exec_->create_lane(lane_options{ .name = "registry-reload", .quota = 1 }) } {
         if (capacity_ == 0) {
             throw invalid_parameter_exception{ "model_registry capacity must be at least 1!" };
         }
+        default_config_.exec = exec_;
     }
 
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
+    /// The executor every engine of this registry runs on.
+    [[nodiscard]] executor &shared_executor() const noexcept { return *exec_; }
+
     /// Register a binary model under @p name (replacing any previous entry).
-    std::shared_ptr<inference_engine<T>> load(const std::string &name, const model<T> &trained) {
-        return load(name, trained, default_config_);
+    /// An optional @p input_scaling makes the engine accept raw client
+    /// features (applied server-side, versioned with the model snapshot).
+    std::shared_ptr<inference_engine<T>> load(const std::string &name, const model<T> &trained, scaling_ptr<T> input_scaling = nullptr) {
+        return load(name, trained, default_config_, std::move(input_scaling));
     }
 
-    std::shared_ptr<inference_engine<T>> load(const std::string &name, const model<T> &trained, const engine_config &config) {
-        auto engine = std::make_shared<inference_engine<T>>(trained, config);
+    std::shared_ptr<inference_engine<T>> load(const std::string &name, const model<T> &trained, engine_config config, scaling_ptr<T> input_scaling = nullptr) {
+        if (config.exec == nullptr) {
+            config.exec = exec_;
+        }
+        auto engine = std::make_shared<inference_engine<T>>(trained, config, std::move(input_scaling));
         insert(name, entry{ engine, nullptr, 0 });
         return engine;
     }
 
     /// Register a one-vs-all ensemble under @p name (replacing any previous entry).
-    std::shared_ptr<multiclass_engine<T>> load(const std::string &name, const ext::multiclass_model<T> &ensemble) {
-        return load(name, ensemble, default_config_);
+    std::shared_ptr<multiclass_engine<T>> load(const std::string &name, const ext::multiclass_model<T> &ensemble, scaling_ptr<T> input_scaling = nullptr) {
+        return load(name, ensemble, default_config_, std::move(input_scaling));
     }
 
-    std::shared_ptr<multiclass_engine<T>> load(const std::string &name, const ext::multiclass_model<T> &ensemble, const engine_config &config) {
-        auto engine = std::make_shared<multiclass_engine<T>>(ensemble, config);
+    std::shared_ptr<multiclass_engine<T>> load(const std::string &name, const ext::multiclass_model<T> &ensemble, engine_config config, scaling_ptr<T> input_scaling = nullptr) {
+        if (config.exec == nullptr) {
+            config.exec = exec_;
+        }
+        auto engine = std::make_shared<multiclass_engine<T>>(ensemble, config, std::move(input_scaling));
         insert(name, entry{ nullptr, engine, 0 });
         return engine;
     }
@@ -73,6 +105,70 @@ class model_registry {
     /// Load a LIBSVM model file and register it under @p name.
     std::shared_ptr<inference_engine<T>> load_file(const std::string &name, const std::string &filename) {
         return load(name, model<T>::load(filename));
+    }
+
+    /**
+     * @brief Zero-downtime replacement of the model served under @p name.
+     *
+     * The replacement is compiled on the registry's background lane of the
+     * shared executor (shadow load) and atomically swapped into the resident
+     * engine when ready; requests keep flowing against the old snapshot in
+     * the meantime and the engine pointer held by clients stays the same.
+     * If @p name is not resident, this degenerates to a synchronous `load`.
+     *
+     * @return future resolving when the new snapshot is live (holds a
+     *         compile error if the swap failed, e.g. feature-count mismatch)
+     * @throws plssvm::invalid_parameter_exception if @p name currently
+     *         serves a multi-class ensemble (type cannot change via reload)
+     */
+    std::future<void> reload(const std::string &name, model<T> trained, scaling_ptr<T> input_scaling = nullptr) {
+        std::shared_ptr<inference_engine<T>> engine;
+        {
+            const std::lock_guard lock{ mutex_ };
+            const auto it = entries_.find(name);
+            if (it != entries_.end()) {
+                if (it->second.binary == nullptr) {
+                    throw invalid_parameter_exception{ "reload type mismatch: '" + name + "' serves a multi-class ensemble!" };
+                }
+                engine = it->second.binary;
+                it->second.last_used = ++clock_;  // a reload is a use
+            }
+        }
+        if (engine == nullptr) {
+            (void) load(name, trained, std::move(input_scaling));
+            return resolved_future();
+        }
+        // shadow-compile off the serving path; the captured shared_ptr keeps
+        // the engine alive even if it gets evicted mid-compile
+        return reload_lane_.enqueue([this, name, engine = std::move(engine), trained = std::move(trained), input_scaling = std::move(input_scaling)]() mutable {
+            engine->reload(trained, std::move(input_scaling));
+            touch(name);
+        });
+    }
+
+    /// Zero-downtime replacement of the one-vs-all ensemble under @p name
+    /// (same contract as the binary overload).
+    std::future<void> reload(const std::string &name, ext::multiclass_model<T> ensemble, scaling_ptr<T> input_scaling = nullptr) {
+        std::shared_ptr<multiclass_engine<T>> engine;
+        {
+            const std::lock_guard lock{ mutex_ };
+            const auto it = entries_.find(name);
+            if (it != entries_.end()) {
+                if (it->second.multiclass == nullptr) {
+                    throw invalid_parameter_exception{ "reload type mismatch: '" + name + "' serves a binary model!" };
+                }
+                engine = it->second.multiclass;
+                it->second.last_used = ++clock_;
+            }
+        }
+        if (engine == nullptr) {
+            (void) load(name, ensemble, std::move(input_scaling));
+            return resolved_future();
+        }
+        return reload_lane_.enqueue([this, name, engine = std::move(engine), ensemble = std::move(ensemble), input_scaling = std::move(input_scaling)]() mutable {
+            engine->reload(ensemble, std::move(input_scaling));
+            touch(name);
+        });
     }
 
     /// Binary engine registered under @p name, or nullptr (also for names
@@ -147,6 +243,22 @@ class model_registry {
         std::uint64_t last_used{ 0 };
     };
 
+    [[nodiscard]] static std::future<void> resolved_future() {
+        std::promise<void> promise;
+        promise.set_value();
+        return promise.get_future();
+    }
+
+    /// Refresh the LRU age of @p name (if still resident) under the same
+    /// lock every other age update takes — called after a snapshot swap.
+    void touch(const std::string &name) {
+        const std::lock_guard lock{ mutex_ };
+        const auto it = entries_.find(name);
+        if (it != entries_.end()) {
+            it->second.last_used = ++clock_;
+        }
+    }
+
     /// Insert (or replace) @p name and apply LRU eviction. Displaced engines
     /// are destroyed only after the lock is released: tearing an engine down
     /// joins its drain thread, which must not stall every other tenant.
@@ -174,9 +286,14 @@ class model_registry {
 
     std::size_t capacity_;
     engine_config default_config_;
+    executor *exec_;
     mutable std::mutex mutex_;
     std::map<std::string, entry> entries_;
     std::uint64_t clock_{ 0 };
+    /// Background shadow-compile lane; declared last so its destructor runs
+    /// first and drains pending reload tasks (which capture `this`) before
+    /// any other member dies.
+    executor::lane reload_lane_;
 };
 
 }  // namespace plssvm::serve

@@ -2,11 +2,17 @@
  * @file
  * @brief Serving engine for one-vs-all multi-class ensembles.
  *
- * Wraps an `ext::multiclass_model` as a set of compiled binary heads sharing
- * one thread pool and one micro-batcher. The decision semantics replicate
- * `ext::one_vs_all::predict` exactly: each head's decision value is oriented
- * toward "this class" (the binary trainer may have mapped the rest-side to
- * +1) and the argmax over oriented scores wins, first class on ties.
+ * Wraps an `ext::multiclass_model` as a set of compiled binary heads frozen
+ * into one `multiclass_snapshot`, sharing the process-wide executor through
+ * one lane and one micro-batcher — the same thread and model-lifecycle
+ * ownership as the binary `inference_engine` (see `snapshot.hpp`): reloads
+ * shadow-compile a fresh snapshot and swap it atomically, and an optional
+ * `io::scaling` input transform is applied server-side per batch.
+ *
+ * The decision semantics replicate `ext::one_vs_all::predict` exactly: each
+ * head's decision value is oriented toward "this class" (the binary trainer
+ * may have mapped the rest-side to +1) and the argmax over oriented scores
+ * wins, first class on ties.
  */
 
 #ifndef PLSSVM_SERVE_MULTICLASS_ENGINE_HPP_
@@ -17,17 +23,22 @@
 #include "plssvm/exceptions.hpp"
 #include "plssvm/ext/multiclass.hpp"
 #include "plssvm/serve/compiled_model.hpp"
+#include "plssvm/serve/executor.hpp"
 #include "plssvm/serve/inference_engine.hpp"
 #include "plssvm/serve/micro_batcher.hpp"
 #include "plssvm/serve/serve_stats.hpp"
-#include "plssvm/serve/thread_pool.hpp"
+#include "plssvm/serve/snapshot.hpp"
 
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <future>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -38,24 +49,21 @@ template <typename T>
 class multiclass_engine {
   public:
     using real_type = T;
+    using snapshot_type = multiclass_snapshot<T>;
+    using snapshot_ptr = std::shared_ptr<const snapshot_type>;
 
-    /// Compile every binary head of @p ensemble and start the engine.
-    explicit multiclass_engine(const ext::multiclass_model<T> &ensemble, engine_config config = {}) :
-        class_labels_{ ensemble.class_labels() },
+    /// Compile every binary head of @p ensemble and start the engine. An
+    /// optional @p input_scaling is applied server-side to every batch.
+    explicit multiclass_engine(const ext::multiclass_model<T> &ensemble, engine_config config = {}, scaling_ptr<T> input_scaling = nullptr) :
         config_{ config },
-        pool_{ config.num_threads },
-        dispatcher_{ resolved_dispatch(config.dispatch, pool_.size(), sizeof(T)) },
+        exec_{ config.exec != nullptr ? config.exec : &executor::process_wide() },
+        lane_{ exec_->create_lane(lane_options{ .name = "multiclass-engine", .quota = config.num_threads, .weight = config.lane_weight }) },
+        snapshot_{ initial_snapshot(ensemble, std::move(input_scaling)) },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } } {
-        if (ensemble.num_classes() == 0) {
-            throw invalid_data_exception{ "The multi-class model is empty!" };
-        }
-        heads_.reserve(ensemble.num_classes());
-        orientation_.reserve(ensemble.num_classes());
-        for (const model<T> &binary : ensemble.binary_models()) {
-            // orient toward "this class"; see ext::one_vs_all::predict
-            orientation_.push_back(binary.positive_label() > T{ 0 } ? T{ 1 } : T{ -1 });
-            heads_.emplace_back(binary);
-        }
+        const snapshot_ptr snap = snapshot_.load();
+        num_features_ = snap->heads.front().num_features();
+        num_classes_ = snap->heads.size();
+        dispatcher_ = predict_dispatcher{ resolved_dispatch(config.dispatch, lane_.max_concurrency(), sizeof(T)) };
         drainer_ = std::thread{ [this]() { drain_loop(); } };
     }
 
@@ -67,30 +75,83 @@ class multiclass_engine {
         drainer_.join();
     }
 
-    [[nodiscard]] std::size_t num_classes() const noexcept { return heads_.size(); }
-    [[nodiscard]] const std::vector<T> &class_labels() const noexcept { return class_labels_; }
-    [[nodiscard]] std::size_t num_features() const noexcept { return heads_.front().num_features(); }
+    [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+    [[nodiscard]] std::vector<T> class_labels() const { return snapshot_.load()->class_labels; }
+    [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
+    [[nodiscard]] executor &shared_executor() const noexcept { return *exec_; }
+    /// Effective parallelism: the lane quota clamped to the executor size.
+    [[nodiscard]] std::size_t num_threads() const noexcept { return lane_.max_concurrency(); }
+    [[nodiscard]] snapshot_ptr snapshot() const { return snapshot_.load(); }
+    [[nodiscard]] std::uint64_t snapshot_version() const { return snapshot_.load()->version; }
+
+    /**
+     * @brief Zero-downtime ensemble replacement: compile every head of
+     *        @p ensemble into a fresh snapshot and atomically swap it in.
+     *        Serving continues on the old snapshot throughout the compile.
+     * @throws plssvm::invalid_data_exception if the feature or class count
+     *         differs from the currently served ensemble (checked BEFORE the
+     *         expensive head compile, so a doomed reload fails fast and does
+     *         not stall the background lane)
+     */
+    void reload(const ext::multiclass_model<T> &ensemble, scaling_ptr<T> input_scaling = nullptr) {
+        if (ensemble.num_classes() != num_classes_ || ensemble.binary_models().size() != num_classes_) {
+            throw invalid_data_exception{ "Reload class count mismatch: engine serves " + std::to_string(num_classes_) + " classes but the replacement ensemble has " + std::to_string(ensemble.num_classes()) + " (with " + std::to_string(ensemble.binary_models().size()) + " binary heads)!" };
+        }
+        const std::size_t replacement_features = ensemble.binary_models().front().num_features();
+        if (replacement_features != num_features_) {
+            throw invalid_data_exception{ "Reload feature count mismatch: engine serves " + std::to_string(num_features_) + " features but the replacement ensemble has " + std::to_string(replacement_features) + "!" };
+        }
+        snapshot_type next = compile(ensemble, std::move(input_scaling));
+        // version assignment and publication under one lock: concurrent
+        // reloads must not publish out of version order
+        const std::lock_guard lock{ install_mutex_ };
+        next.version = ++last_version_;
+        snapshot_.store(std::make_shared<const snapshot_type>(std::move(next)));
+        metrics_.record_reload();
+    }
 
     /// Oriented per-class scores: entry (point, class) is the decision value
-    /// of head `class` oriented toward that class.
+    /// of head `class` oriented toward that class. @p points are raw client
+    /// features; a snapshot-attached scaling is applied here.
     [[nodiscard]] aos_matrix<T> decision_matrix(const aos_matrix<T> &points) {
-        heads_.front().validate_features(points.num_cols());
+        return decision_matrix_on(snapshot_.load(), points);
+    }
+
+    /// Synchronous batched class-label prediction (argmax over oriented
+    /// scores; scores and label mapping come from one snapshot).
+    [[nodiscard]] std::vector<T> predict(const aos_matrix<T> &points) {
+        const snapshot_ptr snap = snapshot_.load();
+        const aos_matrix<T> scores = decision_matrix_on(snap, points);
+        std::vector<T> labels(points.num_rows());
+        for (std::size_t p = 0; p < labels.size(); ++p) {
+            labels[p] = argmax_label(*snap, scores.row_data(p));
+        }
+        return labels;
+    }
+
+  private:
+    /// Shared body of `decision_matrix` / `predict`: score the whole batch
+    /// against the one snapshot the caller loaded.
+    [[nodiscard]] aos_matrix<T> decision_matrix_on(const snapshot_ptr &snap, const aos_matrix<T> &points) {
+        snap->heads.front().validate_features(points.num_cols());
         const std::size_t num_points = points.num_rows();
-        aos_matrix<T> scores{ num_points, heads_.size() };
+        aos_matrix<T> scores{ num_points, num_classes_ };
         if (num_points == 0) {
             return scores;
         }
         const auto start = std::chrono::steady_clock::now();
+        aos_matrix<T> scaled;
+        const aos_matrix<T> &batch = scaled_batch(*snap, points, scaled);
         std::vector<T> values(num_points);
         // all heads share one shape -> the dispatcher picks one path, and a
         // device-routed batch is SoA-packed once for every head
-        const predict_path path = choose_path(num_points);
+        const predict_path path = choose_path(*snap, num_points);
         const soa_matrix<T> packed = path == predict_path::device
-                                         ? transform_to_soa(points, compiled_model_row_padding)
+                                         ? transform_to_soa(batch, compiled_model_row_padding)
                                          : soa_matrix<T>{};
-        for (std::size_t c = 0; c < heads_.size(); ++c) {
-            decision_values_via_path(heads_[c], path, pool_, points, &packed, values.data());
-            const T orientation = orientation_[c];
+        for (std::size_t c = 0; c < snap->heads.size(); ++c) {
+            decision_values_via_path(snap->heads[c], path, lane_, batch, &packed, values.data());
+            const T orientation = snap->orientation[c];
             for (std::size_t p = 0; p < num_points; ++p) {
                 scores(p, c) = orientation * values[p];
             }
@@ -102,64 +163,121 @@ class multiclass_engine {
         return scores;
     }
 
-    /// Synchronous batched class-label prediction (argmax over oriented scores).
-    [[nodiscard]] std::vector<T> predict(const aos_matrix<T> &points) {
-        const aos_matrix<T> scores = decision_matrix(points);
-        std::vector<T> labels(points.num_rows());
-        for (std::size_t p = 0; p < labels.size(); ++p) {
-            labels[p] = argmax_label(scores.row_data(p));
-        }
-        return labels;
-    }
-
+  public:
     /// Asynchronous single-point prediction resolving to the class label.
+    /// Raw client features; the drain thread applies the then-current
+    /// snapshot's scaling.
     [[nodiscard]] std::future<T> submit(std::vector<T> point) {
-        heads_.front().validate_features(point.size());
+        compiled_model<T>::validate_feature_count(num_features_, point.size());
         return batcher_.enqueue(std::move(point));
     }
 
-    [[nodiscard]] serve_stats stats() const { return metrics_.snapshot(); }
+    /// Current latency/throughput aggregates, including the engine's lane
+    /// counters on the shared executor and the served snapshot version.
+    [[nodiscard]] serve_stats stats() const {
+        serve_stats stats = metrics_.snapshot();
+        const lane_stats lane = lane_.stats();
+        stats.queue_depth = lane.queue_depth;
+        stats.max_queue_depth = lane.max_queue_depth;
+        stats.steals = lane.stolen;
+        stats.executor_threads = exec_->size();
+        stats.snapshot_version = snapshot_.load()->version;
+        return stats;
+    }
 
     void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
         metrics_.report_to(t, prefix);
+        const serve_stats stats = this->stats();
+        const std::string p{ prefix };
+        t.set_metric(p + "/queue_depth", static_cast<double>(stats.queue_depth));
+        t.set_metric(p + "/max_queue_depth", static_cast<double>(stats.max_queue_depth));
+        t.set_metric(p + "/steals", static_cast<double>(stats.steals));
+        t.set_metric(p + "/executor_threads", static_cast<double>(stats.executor_threads));
+        t.set_metric(p + "/snapshot_version", static_cast<double>(stats.snapshot_version));
     }
 
   private:
+    /// The snapshot the engine starts serving (version 1).
+    [[nodiscard]] static snapshot_ptr initial_snapshot(const ext::multiclass_model<T> &ensemble, scaling_ptr<T> input_scaling) {
+        snapshot_type snap = compile(ensemble, std::move(input_scaling));
+        snap.version = 1;
+        return std::make_shared<const snapshot_type>(std::move(snap));
+    }
+
+    /// Compile every binary head of @p ensemble into a snapshot (version 0;
+    /// the caller stamps the real version at publication).
+    [[nodiscard]] static snapshot_type compile(const ext::multiclass_model<T> &ensemble, scaling_ptr<T> input_scaling) {
+        if (ensemble.num_classes() == 0 || ensemble.binary_models().empty()) {
+            throw invalid_data_exception{ "The multi-class model is empty!" };
+        }
+        snapshot_type snap;
+        snap.class_labels = ensemble.class_labels();
+        snap.input_scaling = std::move(input_scaling);
+        snap.heads.reserve(ensemble.num_classes());
+        snap.orientation.reserve(ensemble.num_classes());
+        for (const model<T> &binary : ensemble.binary_models()) {
+            // orient toward "this class"; see ext::one_vs_all::predict
+            snap.orientation.push_back(binary.positive_label() > T{ 0 } ? T{ 1 } : T{ -1 });
+            snap.heads.emplace_back(binary);
+        }
+        if (snap.heads.size() != snap.class_labels.size()) {
+            throw invalid_data_exception{ "The multi-class model has " + std::to_string(snap.class_labels.size()) + " class labels but " + std::to_string(snap.heads.size()) + " binary heads!" };
+        }
+        return snap;
+    }
+
+    /// @p points if the snapshot has no input scaling, otherwise a scaled
+    /// copy materialized into @p scratch.
+    [[nodiscard]] static const aos_matrix<T> &scaled_batch(const snapshot_type &snap, const aos_matrix<T> &points, aos_matrix<T> &scratch) {
+        if (snap.input_scaling == nullptr) {
+            return points;
+        }
+        scratch = points;
+        snap.input_scaling->transform(scratch);
+        return scratch;
+    }
+
     /// Dispatch decision for one batch; every head shares the same shape.
-    [[nodiscard]] predict_path choose_path(const std::size_t batch_size) const {
-        const compiled_model<T> &head = heads_.front();
+    [[nodiscard]] predict_path choose_path(const snapshot_type &snap, const std::size_t batch_size) const {
+        const compiled_model<T> &head = snap.heads.front();
         return dispatcher_.choose(batch_size, head.num_support_vectors(), head.num_features(), head.params().kernel);
     }
 
     /// Winning class label for one row of oriented scores.
-    [[nodiscard]] T argmax_label(const T *scores) const {
+    [[nodiscard]] static T argmax_label(const snapshot_type &snap, const T *scores) {
         std::size_t best = 0;
-        for (std::size_t c = 1; c < heads_.size(); ++c) {
+        for (std::size_t c = 1; c < snap.heads.size(); ++c) {
             if (scores[c] > scores[best]) {
                 best = c;
             }
         }
-        return class_labels_[best];
+        return snap.class_labels[best];
     }
 
     void drain_loop() {
-        detail::drain_requests(batcher_, metrics_, num_features(), [this](const aos_matrix<T> &points) {
+        detail::drain_requests(batcher_, metrics_, num_features_, [this](aos_matrix<T> &points) {
+            // one snapshot for the whole batch: heads, orientation, labels,
+            // and scaling always belong together
+            const snapshot_ptr snap = snapshot_.load();
+            if (snap->input_scaling != nullptr) {
+                snap->input_scaling->transform(points);  // engine-owned matrix
+            }
             const std::size_t batch_size = points.num_rows();
             std::vector<T> values(batch_size);
             std::vector<T> best_score(batch_size, -std::numeric_limits<T>::infinity());
-            std::vector<T> labels(batch_size, class_labels_.front());
-            const predict_path path = choose_path(batch_size);
+            std::vector<T> labels(batch_size, snap->class_labels.front());
+            const predict_path path = choose_path(*snap, batch_size);
             const soa_matrix<T> packed = path == predict_path::device
                                              ? transform_to_soa(points, compiled_model_row_padding)
                                              : soa_matrix<T>{};
             metrics_.record_path(path);
-            for (std::size_t c = 0; c < heads_.size(); ++c) {
-                decision_values_via_path(heads_[c], path, pool_, points, &packed, values.data());
+            for (std::size_t c = 0; c < snap->heads.size(); ++c) {
+                decision_values_via_path(snap->heads[c], path, lane_, points, &packed, values.data());
                 for (std::size_t i = 0; i < batch_size; ++i) {
-                    const T score = orientation_[c] * values[i];
+                    const T score = snap->orientation[c] * values[i];
                     if (score > best_score[i]) {
                         best_score[i] = score;
-                        labels[i] = class_labels_[c];
+                        labels[i] = snap->class_labels[c];
                     }
                 }
             }
@@ -167,11 +285,14 @@ class multiclass_engine {
         });
     }
 
-    std::vector<T> class_labels_;
-    std::vector<compiled_model<T>> heads_;
-    std::vector<T> orientation_;
     engine_config config_;
-    thread_pool pool_;
+    executor *exec_;
+    executor::lane lane_;
+    snapshot_handle<snapshot_type> snapshot_;
+    std::mutex install_mutex_;         ///< serializes version bump + publication
+    std::uint64_t last_version_{ 1 };  ///< guarded by install_mutex_
+    std::size_t num_features_{ 0 };
+    std::size_t num_classes_{ 0 };
     predict_dispatcher dispatcher_;
     micro_batcher<T> batcher_;
     serve_metrics metrics_;

@@ -55,6 +55,11 @@ struct dispatch_params {
     /// engines resolve it to their `sizeof(T)`, standalone dispatchers
     /// default to sizeof(double)).
     std::size_t real_bytes{ 0 };
+    /// Replace a *default* host profile with measured numbers at engine
+    /// start (`serve::calibrated_host_profile`): `BENCH_serve.json` if
+    /// present, a one-time in-process micro-measurement otherwise.
+    /// Explicitly injected host profiles are never overridden.
+    bool calibrate_host{ true };
 };
 
 class predict_dispatcher {

@@ -16,13 +16,15 @@
 #define PLSSVM_SERVE_SERVE_HPP_
 
 #include "plssvm/serve/batch_kernels.hpp"        // IWYU pragma: export
+#include "plssvm/serve/calibration.hpp"         // IWYU pragma: export
 #include "plssvm/serve/compiled_model.hpp"      // IWYU pragma: export
+#include "plssvm/serve/executor.hpp"            // IWYU pragma: export
 #include "plssvm/serve/inference_engine.hpp"    // IWYU pragma: export
 #include "plssvm/serve/predict_dispatcher.hpp"  // IWYU pragma: export
 #include "plssvm/serve/micro_batcher.hpp"       // IWYU pragma: export
 #include "plssvm/serve/model_registry.hpp"      // IWYU pragma: export
 #include "plssvm/serve/multiclass_engine.hpp"   // IWYU pragma: export
 #include "plssvm/serve/serve_stats.hpp"         // IWYU pragma: export
-#include "plssvm/serve/thread_pool.hpp"         // IWYU pragma: export
+#include "plssvm/serve/snapshot.hpp"            // IWYU pragma: export
 
 #endif  // PLSSVM_SERVE_SERVE_HPP_

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -72,6 +73,14 @@ struct serve_stats {
     std::size_t reference_batches{ 0 };     ///< batches routed to the per-point reference path
     std::size_t host_blocked_batches{ 0 };  ///< batches routed to the tiled host kernels
     std::size_t device_batches{ 0 };        ///< batches routed to the device predict kernels
+    // --- shared-executor and model-lifecycle counters (filled in by the
+    // --- engines from their executor lane and snapshot handle) -------------
+    std::size_t queue_depth{ 0 };        ///< tasks currently queued on the engine's lane
+    std::size_t max_queue_depth{ 0 };    ///< high-water mark of the lane queue
+    std::size_t steals{ 0 };             ///< lane tasks executed by a non-affine worker
+    std::size_t executor_threads{ 0 };   ///< workers of the shared executor
+    std::size_t reloads{ 0 };            ///< snapshot swaps since engine start
+    std::uint64_t snapshot_version{ 0 }; ///< version of the currently served snapshot
 };
 
 /// Thread-safe recorder behind `serve_stats`.
@@ -94,6 +103,12 @@ class serve_metrics {
         ++total_batches_;
         batch_kernel_seconds_ += kernel_seconds;
         note_activity();
+    }
+
+    /// Record one completed snapshot swap (model reload).
+    void record_reload() {
+        const std::lock_guard lock{ mutex_ };
+        ++reloads_;
     }
 
     /// Record which execution path one batch was dispatched to.
@@ -125,6 +140,7 @@ class serve_metrics {
             stats.reference_batches = reference_batches_;
             stats.host_blocked_batches = host_blocked_batches_;
             stats.device_batches = device_batches_;
+            stats.reloads = reloads_;
             const double window = std::chrono::duration<double>(last_activity_ - first_activity_).count();
             if (total_requests_ > 0) {
                 // zero-width window (single batch): fall back to kernel time
@@ -160,6 +176,7 @@ class serve_metrics {
         t.set_metric(p + "/reference_batches", static_cast<double>(stats.reference_batches));
         t.set_metric(p + "/host_blocked_batches", static_cast<double>(stats.host_blocked_batches));
         t.set_metric(p + "/device_batches", static_cast<double>(stats.device_batches));
+        t.set_metric(p + "/reloads", static_cast<double>(stats.reloads));
     }
 
   private:
@@ -194,6 +211,7 @@ class serve_metrics {
     std::size_t reference_batches_{ 0 };
     std::size_t host_blocked_batches_{ 0 };
     std::size_t device_batches_{ 0 };
+    std::size_t reloads_{ 0 };
     double batch_kernel_seconds_{ 0.0 };
     std::chrono::steady_clock::time_point first_activity_{};
     std::chrono::steady_clock::time_point last_activity_{};

@@ -40,9 +40,12 @@ using plssvm::parameter;
 class EndToEndAllBackends : public ::testing::TestWithParam<backend_type> {};
 
 TEST_P(EndToEndAllBackends, FullPipelineThroughFiles) {
-    const std::string data_file = "/tmp/plssvm_e2e_train.libsvm";
-    const std::string scale_file = "/tmp/plssvm_e2e_scale.txt";
-    const std::string model_file = "/tmp/plssvm_e2e.model";
+    // per-backend file names: the four instantiations run concurrently under
+    // `ctest -j` and must not clobber each other's files
+    const std::string suffix{ plssvm::backend_type_to_string(GetParam()) };
+    const std::string data_file = "/tmp/plssvm_e2e_train_" + suffix + ".libsvm";
+    const std::string scale_file = "/tmp/plssvm_e2e_scale_" + suffix + ".txt";
+    const std::string model_file = "/tmp/plssvm_e2e_" + suffix + ".model";
 
     // generate + scale + persist
     auto train = planes(220, 1);

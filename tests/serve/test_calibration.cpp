@@ -1,0 +1,101 @@
+/**
+ * @file
+ * @brief Tests for the dispatcher host-profile calibration: the in-process
+ *        micro-measurement, the `BENCH_serve.json` parse path, and the
+ *        "never override an injected profile" contract of
+ *        `serve::resolved_dispatch`.
+ */
+
+#include "plssvm/serve/calibration.hpp"
+#include "plssvm/serve/inference_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+using plssvm::serve::calibrated_host_profile;
+using plssvm::serve::dispatch_params;
+using plssvm::serve::host_profile_from_bench_json;
+using plssvm::serve::is_default_host_profile;
+using plssvm::serve::measure_host_profile;
+using plssvm::serve::resolved_dispatch;
+
+TEST(Calibration, MicroMeasurementProducesPlausibleNumbers) {
+    const plssvm::sim::host_profile measured = measure_host_profile(sizeof(double));
+    // sanity bounds only: any machine that builds this runs the blocked
+    // kernels somewhere between 0.01 and 10000 GFLOP/s / GB/s
+    EXPECT_GT(measured.effective_gflops, 0.01);
+    EXPECT_LT(measured.effective_gflops, 1e4);
+    EXPECT_GT(measured.effective_bandwidth_gbs, 0.01);
+    EXPECT_LT(measured.effective_bandwidth_gbs, 1e4);
+    EXPECT_EQ(measured.num_threads, 0u) << "thread count resolution is the engine's job";
+}
+
+TEST(Calibration, DefaultProfileDetection) {
+    EXPECT_TRUE(is_default_host_profile(plssvm::sim::host_profile{}));
+    plssvm::sim::host_profile injected{};
+    injected.effective_gflops = 7.5;
+    EXPECT_FALSE(is_default_host_profile(injected));
+}
+
+TEST(Calibration, ParsesHostProfileFromBenchJson) {
+    const std::string path = "test_calibration_bench.json";
+    {
+        std::ofstream file{ path };
+        file << "{\n  \"bench\": \"serve_throughput\",\n"
+             << "  \"host_profile\": { \"effective_gflops\": 12.5, \"effective_bandwidth_gbs\": 21.75 },\n"
+             << "  \"gates\": { \"pass\": true }\n}\n";
+    }
+    plssvm::sim::host_profile parsed{};
+    ASSERT_TRUE(host_profile_from_bench_json(path, parsed));
+    EXPECT_DOUBLE_EQ(parsed.effective_gflops, 12.5);
+    EXPECT_DOUBLE_EQ(parsed.effective_bandwidth_gbs, 21.75);
+    std::remove(path.c_str());
+}
+
+TEST(Calibration, MissingFileOrSectionIsRejected) {
+    plssvm::sim::host_profile out{};
+    EXPECT_FALSE(host_profile_from_bench_json("does_not_exist.json", out));
+
+    const std::string path = "test_calibration_no_section.json";
+    {
+        std::ofstream file{ path };
+        file << "{ \"bench\": \"serve_throughput\" }\n";
+    }
+    EXPECT_FALSE(host_profile_from_bench_json(path, out));
+    std::remove(path.c_str());
+}
+
+TEST(Calibration, ResolvedDispatchCalibratesOnlyDefaultProfiles) {
+    // a default profile with calibration on is replaced by measured numbers
+    dispatch_params defaults{};
+    const dispatch_params calibrated = resolved_dispatch(defaults, 2, sizeof(double));
+    EXPECT_FALSE(is_default_host_profile(calibrated.host));
+    EXPECT_EQ(calibrated.host.num_threads, 2u);
+
+    // an explicitly injected profile is never overridden
+    dispatch_params injected{};
+    injected.host.effective_gflops = 0.5;
+    const dispatch_params kept = resolved_dispatch(injected, 2, sizeof(double));
+    EXPECT_DOUBLE_EQ(kept.host.effective_gflops, 0.5);
+
+    // calibration can be switched off entirely
+    dispatch_params off{};
+    off.calibrate_host = false;
+    const dispatch_params untouched = resolved_dispatch(off, 2, sizeof(double));
+    EXPECT_DOUBLE_EQ(untouched.host.effective_gflops, plssvm::sim::host_profile{}.effective_gflops);
+}
+
+TEST(Calibration, CalibratedProfileIsCachedPerProcess) {
+    const plssvm::sim::host_profile first = calibrated_host_profile(sizeof(double));
+    const plssvm::sim::host_profile second = calibrated_host_profile(sizeof(double));
+    EXPECT_DOUBLE_EQ(first.effective_gflops, second.effective_gflops);
+    EXPECT_DOUBLE_EQ(first.effective_bandwidth_gbs, second.effective_bandwidth_gbs);
+    EXPECT_GT(first.effective_gflops, 0.0);
+}
+
+}  // namespace

@@ -175,6 +175,47 @@ TEST(MulticlassEngine, DecisionMatrixShapeAndArgmaxConsistency) {
     }
 }
 
+TEST(ModelRegistry, MulticlassReloadSwapsSnapshotBehindAStableEnginePointer) {
+    plssvm::data_set<double> data{ aos_matrix<double>{ 1, 1 } };
+    const auto ensemble = trained_ensemble(data);
+
+    model_registry<double> registry{ 4 };
+    auto engine = registry.load("landcover", ensemble);
+    EXPECT_EQ(engine->snapshot_version(), 1u);
+    const std::vector<double> before = engine->predict(data.points());
+
+    // retrain (same shape) and hot-swap; the engine pointer must survive
+    plssvm::data_set<double> data2{ aos_matrix<double>{ 1, 1 } };
+    const auto retrained = trained_ensemble(data2);
+    registry.reload("landcover", retrained).get();
+    EXPECT_EQ(registry.find_multiclass("landcover"), engine);
+    EXPECT_EQ(engine->snapshot_version(), 2u);
+    EXPECT_EQ(engine->stats().reloads, 1u);
+    EXPECT_EQ(engine->predict(data.points()).size(), before.size());
+
+    // class-count mismatches surface through the future, nothing is swapped
+    std::future<void> bad = registry.reload("landcover", plssvm::ext::multiclass_model<double>{ { 0.0 }, {} });
+    EXPECT_THROW(bad.get(), plssvm::exception);
+    EXPECT_EQ(engine->snapshot_version(), 2u);
+}
+
+TEST(ModelRegistry, EnginesShareTheRegistryExecutor) {
+    plssvm::data_set<double> data{ aos_matrix<double>{ 1, 1 } };
+    const auto ensemble = trained_ensemble(data);
+
+    plssvm::serve::executor ex{ 2 };
+    engine_config config;
+    config.exec = &ex;
+    model_registry<double> registry{ 4, config };
+    EXPECT_EQ(&registry.shared_executor(), &ex);
+    auto binary = registry.load("bin", test::random_model(kernel_type::linear));
+    auto multi = registry.load("multi", ensemble);
+    EXPECT_EQ(&binary->shared_executor(), &ex);
+    EXPECT_EQ(&multi->shared_executor(), &ex);
+    EXPECT_EQ(binary->stats().executor_threads, 2u);
+    EXPECT_EQ(multi->stats().executor_threads, 2u);
+}
+
 TEST(ModelRegistry, HostsMulticlassEnsembles) {
     plssvm::data_set<double> data{ aos_matrix<double>{ 1, 1 } };
     const auto ensemble = trained_ensemble(data);
