@@ -18,12 +18,19 @@
  *     beats reference for every non-linear kernel at batch >= 64 (the
  *     linear "blocked" path is the same w-dot sweep as the reference).
  *
- *  3. Reload under load (this PR's experiment): closed-loop producers keep
+ *  3. Reload under load (PR 3's experiment): closed-loop producers keep
  *     submitting against a registry-resident engine while the registry
  *     shadow-compiles and atomically swaps replacement models on the shared
  *     executor's background lane. Client-side p99 is measured in a steady
  *     phase and during the reload storm. Gate: p99 during reload <= 2x
  *     steady-state p99 and zero failed requests (zero-downtime reload).
+ *
+ *  4. Sparsity sweep (this PR's experiment): points/s of the sparse
+ *     execution paths (CSR queries against the sparse-compiled SV panel)
+ *     vs. the dense-blocked kernels on the same data at 95/99/99.9% zeros,
+ *     for the linear and RBF kernels on a text-shaped model (wide feature
+ *     dimension). Gates: sparse-linear >= 2x dense-blocked at 99% sparsity,
+ *     and the nnz-aware dispatcher auto-selects the sparse path there.
  *
  * Besides the human-readable tables the benchmark writes a machine-readable
  * `BENCH_serve.json` into the working directory so the serving perf
@@ -81,6 +88,33 @@ using plssvm::model;
     return model<double>{ params, random_matrix(num_sv, dim, seed), std::move(alpha), 0.1, 1.0, -1.0 };
 }
 
+/// Random matrix with each entry non-zero with probability @p density.
+[[nodiscard]] aos_matrix<double> sparse_random_matrix(const std::size_t rows, const std::size_t cols,
+                                                      const double density, const std::uint64_t seed) {
+    auto engine = plssvm::detail::make_engine(seed);
+    aos_matrix<double> m{ rows, cols };
+    for (double &v : m.data()) {
+        if (plssvm::detail::uniform_real<double>(engine, 0.0, 1.0) < density) {
+            v = plssvm::detail::standard_normal<double>(engine);
+        }
+    }
+    return m;
+}
+
+[[nodiscard]] model<double> make_sparse_model(const kernel_type kernel, const std::size_t num_sv, const std::size_t dim,
+                                              const double density, const std::uint64_t seed) {
+    plssvm::parameter params;
+    params.kernel = kernel;
+    params.gamma = 0.2;
+    params.coef0 = 0.5;
+    auto engine = plssvm::detail::make_engine(seed + 1);
+    std::vector<double> alpha(num_sv);
+    for (double &a : alpha) {
+        a = plssvm::detail::standard_normal<double>(engine);
+    }
+    return model<double>{ params, sparse_random_matrix(num_sv, dim, density, seed), std::move(alpha), 0.1, 1.0, -1.0 };
+}
+
 /// One engine-vs-naive row of the JSON report.
 struct engine_result {
     std::string kernel;
@@ -102,6 +136,16 @@ struct path_result {
     std::string dispatched_path;
 };
 
+/// One sparsity-sweep row of the JSON report.
+struct sparse_result {
+    std::string kernel;
+    double density;
+    double dense_blocked_pps;
+    double sparse_pps;
+    double sparse_speedup;
+    std::string dispatched_path;
+};
+
 /// The reload-under-load measurement of the JSON report.
 struct reload_result {
     double steady_p99_s{ 0.0 };
@@ -118,9 +162,11 @@ struct reload_result {
 void write_json(const char *file_name, const std::size_t num_sv, const std::size_t dim,
                 const std::size_t num_queries, const std::size_t engine_threads, const std::size_t repeats,
                 const bool quick, const std::vector<engine_result> &engines, const std::vector<path_result> &paths,
+                const std::vector<sparse_result> &sparse,
                 const reload_result &reload, const plssvm::sim::host_profile &host_profile,
                 const double rbf256_speedup, const bool blocked_beats_reference, const double worst_sync_speedup,
-                const bool reload_pass, const bool pass) {
+                const bool reload_pass, const double sparse_linear_99_speedup, const bool sparse_dispatch_auto,
+                const bool pass) {
     std::FILE *f = std::fopen(file_name, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "warning: could not open %s for writing\n", file_name);
@@ -143,15 +189,23 @@ void write_json(const char *file_name, const std::size_t num_sv, const std::size
                      r.kernel.c_str(), r.batch, r.reference_pps, r.blocked_pps, r.device_pps, r.blocked_speedup,
                      r.dispatched_path.c_str(), i + 1 < paths.size() ? "," : "");
     }
+    std::fprintf(f, "  ],\n  \"sparse\": [\n");
+    for (std::size_t i = 0; i < sparse.size(); ++i) {
+        const sparse_result &r = sparse[i];
+        std::fprintf(f, "    { \"kernel\": \"%s\", \"density\": %.4f, \"dense_blocked_pps\": %.1f, \"sparse_pps\": %.1f, \"sparse_speedup\": %.2f, \"dispatched_path\": \"%s\" }%s\n",
+                     r.kernel.c_str(), r.density, r.dense_blocked_pps, r.sparse_pps, r.sparse_speedup,
+                     r.dispatched_path.c_str(), i + 1 < sparse.size() ? "," : "");
+    }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"reload_under_load\": { \"steady_p99_s\": %.6e, \"reload_p99_s\": %.6e, \"p99_ratio\": %.2f, \"steady_rps\": %.1f, \"reload_rps\": %.1f, \"reloads\": %zu, \"steady_samples\": %zu, \"reload_samples\": %zu, \"failed_requests\": %zu },\n",
                  reload.steady_p99_s, reload.reload_p99_s, reload.p99_ratio, reload.steady_rps, reload.reload_rps,
                  reload.reloads, reload.steady_samples, reload.reload_samples, reload.failed_requests);
     std::fprintf(f, "  \"host_profile\": { \"effective_gflops\": %.3f, \"effective_bandwidth_gbs\": %.3f },\n",
                  host_profile.effective_gflops, host_profile.effective_bandwidth_gbs);
-    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"reload_p99_within_2x\": %s, \"pass\": %s }\n",
+    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"reload_p99_within_2x\": %s, \"sparse_linear_99pct_speedup\": %.2f, \"sparse_dispatcher_auto\": %s, \"pass\": %s }\n",
                  rbf256_speedup, blocked_beats_reference ? "true" : "false", worst_sync_speedup,
-                 reload_pass ? "true" : "false", pass ? "true" : "false");
+                 reload_pass ? "true" : "false", sparse_linear_99_speedup, sparse_dispatch_auto ? "true" : "false",
+                 pass ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -428,6 +482,86 @@ int main(int argc, char **argv) {
                     static_cast<unsigned long long>(final_stats.snapshot_version), final_stats.reloads);
     }
 
+    // ------------------------------------------------------------------
+    // experiment 4: sparsity sweep (sparse SV-side kernels vs dense-blocked)
+    // ------------------------------------------------------------------
+    std::printf("\nsparsity sweep (text-shaped model; CSR queries x sparse-compiled SV panel vs dense-blocked):\n\n");
+    plssvm::bench::table_printer sparse_table{ { "kernel", "zeros", "dense-blocked pts/s", "sparse pts/s", "sparse speedup", "dispatch" } };
+    std::vector<sparse_result> sparse_results;
+    double sparse_linear_99_speedup = 0.0;
+    bool sparse_dispatch_auto = true;
+    {
+        // wide feature dimension, the text/categorical serving shape that
+        // motivates the sparse SV form; independent of --scale so the gate
+        // measures a fixed workload
+        const std::size_t sparse_num_sv = 256;
+        const std::size_t sparse_dim = options.quick ? 512 : 1024;
+        const std::size_t sparse_batch = 256;
+        // the gate asks what a real engine would do: resolve the dispatch
+        // params exactly like inference_engine does at start (calibrated
+        // host profile, element size), not the hard-coded defaults
+        const plssvm::serve::predict_dispatcher sparse_dispatcher{
+            plssvm::serve::resolved_dispatch(plssvm::serve::dispatch_params{}, /*pool_threads=*/1, sizeof(double))
+        };
+
+        for (const kernel_type kernel : { kernel_type::linear, kernel_type::rbf }) {
+            for (const double density : { 0.05, 0.01, 0.001 }) {  // 95 / 99 / 99.9 % zeros
+                const model<double> trained = make_sparse_model(kernel, sparse_num_sv, sparse_dim, density, options.seed + 31);
+                // dense-blocked baseline: the panel compiled dense, dense queries
+                const plssvm::serve::compiled_model<double> dense_compiled{ trained, plssvm::serve::compile_options{ .sparse_density_threshold = 0.0 } };
+                // sparse contender: the same panel compiled sparse, CSR queries
+                const plssvm::serve::compiled_model<double> sparse_compiled{ trained, plssvm::serve::compile_options{ .sparse_density_threshold = 1.5 } };
+                const aos_matrix<double> queries = sparse_random_matrix(sparse_batch, sparse_dim, density, options.seed + 37);
+                const plssvm::csr_matrix<double> csr_queries{ queries };
+                std::vector<double> out(sparse_batch);
+
+                const std::size_t target_points = kernel == kernel_type::linear
+                                                      ? (options.quick ? 16384 : 65536)
+                                                      : (options.quick ? 1024 : 4096);
+                const std::size_t inner = std::max<std::size_t>(1, target_points / sparse_batch);
+                const auto time_path = [&](auto &&evaluate) {
+                    return plssvm::bench::measure(repeats, [&]() {
+                        plssvm::bench::stopwatch timer;
+                        for (std::size_t r = 0; r < inner; ++r) {
+                            evaluate();
+                            volatile double sink = out.front();
+                            (void) sink;
+                        }
+                        return timer.seconds();
+                    });
+                };
+
+                const auto dense_blocked = time_path([&]() { dense_compiled.decision_values_into(queries, 0, sparse_batch, out.data()); });
+                const auto sparse = time_path([&]() { sparse_compiled.decision_values_into(csr_queries, 0, sparse_batch, out.data()); });
+
+                const double points = static_cast<double>(sparse_batch * inner);
+                const double speedup = dense_blocked.mean / sparse.mean;
+
+                // what would the engine's nnz-aware dispatcher pick for this batch?
+                plssvm::serve::predict_shape shape{ sparse_batch, sparse_num_sv, sparse_dim, kernel,
+                                                    sparse_compiled.sparse_sv() ? sparse_compiled.sv_nnz() : 0,
+                                                    /*sparse_query=*/true, csr_queries.num_nonzeros() };
+                const plssvm::serve::predict_path dispatched = sparse_dispatcher.choose(shape);
+
+                if (kernel == kernel_type::linear && density == 0.01) {
+                    sparse_linear_99_speedup = speedup;
+                    sparse_dispatch_auto = dispatched == plssvm::serve::predict_path::host_sparse;
+                }
+
+                sparse_results.push_back(sparse_result{ std::string{ plssvm::kernel_type_to_string(kernel) }, density,
+                                                        points / dense_blocked.mean, points / sparse.mean, speedup,
+                                                        std::string{ plssvm::serve::predict_path_to_string(dispatched) } });
+                sparse_table.add_row({ std::string{ plssvm::kernel_type_to_string(kernel) },
+                                       plssvm::bench::format_double(100.0 * (1.0 - density), 1) + "%",
+                                       plssvm::bench::format_double(points / dense_blocked.mean, 0),
+                                       plssvm::bench::format_double(points / sparse.mean, 0),
+                                       plssvm::bench::format_double(speedup, 2) + "x",
+                                       std::string{ plssvm::serve::predict_path_to_string(dispatched) } });
+            }
+        }
+        sparse_table.print();
+    }
+
     // the measured host profile closes the calibration loop: the next engine
     // start in this directory picks it up via serve::calibrated_host_profile
     const plssvm::sim::host_profile measured_host = plssvm::serve::measure_host_profile(sizeof(double));
@@ -437,16 +571,20 @@ int main(int argc, char **argv) {
     // ------------------------------------------------------------------
     const bool reload_pass = reload.failed_requests == 0 && reload.reloads > 0
                              && reload.p99_ratio <= 2.0;
-    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= 2.0 && blocked_beats_reference && reload_pass;
+    const bool sparse_pass = sparse_linear_99_speedup >= 2.0 && sparse_dispatch_auto;
+    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= 2.0 && blocked_beats_reference && reload_pass && sparse_pass;
     write_json("BENCH_serve.json", num_sv, dim, num_queries, engine_threads, repeats, options.quick,
-               engine_results, path_results, reload, measured_host,
-               rbf256_speedup, blocked_beats_reference, worst_sync_speedup, reload_pass, pass);
+               engine_results, path_results, sparse_results, reload, measured_host,
+               rbf256_speedup, blocked_beats_reference, worst_sync_speedup, reload_pass,
+               sparse_linear_99_speedup, sparse_dispatch_auto, pass);
 
     std::printf("\nworst batched-sync speedup over naive loop: %.1fx (gate: >= 3x)\n", worst_sync_speedup);
     std::printf("blocked speedup over per-point reference, rbf @ batch 256: %.2fx (gate: >= 2x)\n", rbf256_speedup);
     std::printf("blocked beats reference at batch >= 64 for every non-linear kernel: %s\n", blocked_beats_reference ? "yes" : "NO");
     std::printf("p99 during reload: %.0f us vs steady %.0f us -> %.2fx (gate: <= 2x, %zu swaps, %zu failed requests)\n",
                 1e6 * reload.reload_p99_s, 1e6 * reload.steady_p99_s, reload.p99_ratio, reload.reloads, reload.failed_requests);
+    std::printf("sparse-linear speedup over dense-blocked at 99%% sparsity: %.2fx (gate: >= 2x, dispatcher picks sparse: %s)\n",
+                sparse_linear_99_speedup, sparse_dispatch_auto ? "yes" : "NO");
     std::printf("report written to BENCH_serve.json\n");
     return pass ? 0 : 1;
 }

@@ -30,6 +30,19 @@ class csr_matrix {
 
     csr_matrix() = default;
 
+    /// Build directly from CSR components. @p offsets must hold `rows + 1`
+    /// monotonically increasing entry offsets and the entries of each row
+    /// must be sorted by column index (the invariant every merge-join sweep
+    /// relies on).
+    csr_matrix(const std::size_t rows, const std::size_t cols, std::vector<std::size_t> offsets, std::vector<entry> entries) :
+        rows_{ rows },
+        cols_{ cols },
+        offsets_{ std::move(offsets) },
+        entries_{ std::move(entries) } {
+        PLSSVM_ASSERT(offsets_.size() == rows_ + 1, "CSR offsets must hold rows + 1 entries!");
+        PLSSVM_ASSERT(offsets_.back() == entries_.size(), "The last CSR offset must equal the entry count!");
+    }
+
     /// Build from a dense matrix, dropping exact zeros.
     explicit csr_matrix(const aos_matrix<T> &dense) :
         rows_{ dense.num_rows() },
@@ -51,6 +64,25 @@ class csr_matrix {
     [[nodiscard]] std::size_t num_cols() const noexcept { return cols_; }
     [[nodiscard]] std::size_t num_nonzeros() const noexcept { return entries_.size(); }
 
+    /// <a, b> over two column-ascending entry ranges via index merge
+    /// (LIBSVM's sparse dot product). Shared by `dot` and the serving
+    /// layer's sparse batch kernels so the merge loop exists exactly once.
+    [[nodiscard]] static T merge_dot(const entry *a, const entry *a_end, const entry *b, const entry *b_end) noexcept {
+        T sum{ 0 };
+        while (a != a_end && b != b_end) {
+            if (a->index == b->index) {
+                sum += a->value * b->value;
+                ++a;
+                ++b;
+            } else if (a->index < b->index) {
+                ++a;
+            } else {
+                ++b;
+            }
+        }
+        return sum;
+    }
+
     [[nodiscard]] const entry *row_begin(const std::size_t row) const noexcept {
         PLSSVM_ASSERT(row < rows_, "Row index out of bounds!");
         return entries_.data() + offsets_[row];
@@ -67,23 +99,7 @@ class csr_matrix {
 
     /// <row_a, row_b> via index merge (LIBSVM's sparse dot product).
     [[nodiscard]] T dot(const std::size_t row_a, const std::size_t row_b) const noexcept {
-        const entry *a = row_begin(row_a);
-        const entry *a_end = row_end(row_a);
-        const entry *b = row_begin(row_b);
-        const entry *b_end = row_end(row_b);
-        T sum{ 0 };
-        while (a != a_end && b != b_end) {
-            if (a->index == b->index) {
-                sum += a->value * b->value;
-                ++a;
-                ++b;
-            } else if (a->index < b->index) {
-                ++a;
-            } else {
-                ++b;
-            }
-        }
-        return sum;
+        return merge_dot(row_begin(row_a), row_end(row_a), row_begin(row_b), row_end(row_b));
     }
 
     /// ||row_a - row_b||^2 via index merge.
@@ -108,6 +124,30 @@ class csr_matrix {
             }
         }
         return sum;
+    }
+
+    /// The transpose as CSR — i.e. a CSC view of this matrix: row `f` of the
+    /// result lists the (row, value) pairs of column `f`, row-ascending.
+    /// This is the feature-major layout the dense-query x sparse-SV serving
+    /// sweep streams (`serve::batch::dense_sparse_kernel_decision_values`).
+    [[nodiscard]] csr_matrix transposed() const {
+        // counting sort by column: one pass to histogram, one stable pass to
+        // scatter (row-ascending within each output row by construction)
+        std::vector<std::size_t> t_offsets(cols_ + 1, 0);
+        for (const entry &e : entries_) {
+            ++t_offsets[e.index + 1];
+        }
+        for (std::size_t c = 0; c < cols_; ++c) {
+            t_offsets[c + 1] += t_offsets[c];
+        }
+        std::vector<entry> t_entries(entries_.size());
+        std::vector<std::size_t> cursor(t_offsets.begin(), t_offsets.end() - 1);
+        for (std::size_t r = 0; r < rows_; ++r) {
+            for (const entry *e = row_begin(r); e != row_end(r); ++e) {
+                t_entries[cursor[e->index]++] = entry{ static_cast<std::uint32_t>(r), e->value };
+            }
+        }
+        return csr_matrix{ cols_, rows_, std::move(t_offsets), std::move(t_entries) };
     }
 
     /// Densify (used by tests for round-trip checks).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <vector>
 
 /**
  * Function multi-versioning of the non-linear batch kernel: the baseline
@@ -177,5 +178,149 @@ void kernel_decision_values<double>(const soa_matrix<double> &sv, const double *
 
 template void linear_decision_values<float>(const float *, float, std::size_t, const aos_matrix<float> &, std::size_t, std::size_t, float *);
 template void linear_decision_values<double>(const double *, double, std::size_t, const aos_matrix<double> &, std::size_t, std::size_t, double *);
+
+// --- sparse SV-side sweeps --------------------------------------------------
+//
+// The sparse kernels are gather/merge bound, not FMA bound, so they are not
+// ISA-multi-versioned: there is no register tile for wider vectors to speed
+// up, and the branchy merge-joins do not vectorize anyway.
+
+namespace {
+
+/// ||row||^2 over the stored entries (exact: dropped entries are zero).
+template <typename T>
+[[nodiscard]] inline T row_sq_norm(const typename csr_matrix<T>::entry *e, const typename csr_matrix<T>::entry *e_end) noexcept {
+    T sum{ 0 };
+    for (; e != e_end; ++e) {
+        sum += e->value * e->value;
+    }
+    return sum;
+}
+
+}  // namespace
+
+template <typename T>
+void sparse_linear_decision_values(const typename csr_matrix<T>::entry *w_entries, const std::size_t w_nnz, const T bias,
+                                   const csr_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end,
+                                   T *out) {
+    const auto *w_end = w_entries + w_nnz;
+    for (std::size_t p = row_begin; p < row_end; ++p) {
+        out[p - row_begin] = csr_matrix<T>::merge_dot(w_entries, w_end, points.row_begin(p), points.row_end(p)) + bias;
+    }
+}
+
+template <typename T>
+void sparse_kernel_decision_values(const csr_matrix<T> &sv, const T *alpha, const T *sv_sq_norms,
+                                   const kernel_params<T> &kp, const T bias,
+                                   const csr_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end,
+                                   T *out) {
+    constexpr std::size_t S = sparse_point_tile;
+    const std::size_t num_sv = sv.num_rows();
+    const bool rbf = !kernels::uses_inner_product_core(kp.kernel);
+
+    for (std::size_t p0 = row_begin; p0 < row_end; p0 += S) {
+        const std::size_t pb = std::min(S, row_end - p0);
+        T x_sq[S] = {};
+        T partial[S] = {};
+        if (rbf) {
+            for (std::size_t p = 0; p < pb; ++p) {
+                x_sq[p] = row_sq_norm<T>(points.row_begin(p0 + p), points.row_end(p0 + p));
+            }
+        }
+        // one streaming pass over the CSR SV panel per point tile
+        for (std::size_t i = 0; i < num_sv; ++i) {
+            const auto *sv_row = sv.row_begin(i);
+            const auto *sv_row_end = sv.row_end(i);
+            const T a_i = alpha[i];
+            for (std::size_t p = 0; p < pb; ++p) {
+                const T dot = csr_matrix<T>::merge_dot(sv_row, sv_row_end, points.row_begin(p0 + p), points.row_end(p0 + p));
+                T core;
+                if (rbf) {
+                    // clamp tiny negative rounding residue like the reference
+                    core = std::max(sv_sq_norms[i] + x_sq[p] - T{ 2 } * dot, T{ 0 });
+                } else {
+                    core = dot;
+                }
+                partial[p] += a_i * kernels::finish(kp, core);
+            }
+        }
+        for (std::size_t p = 0; p < pb; ++p) {
+            out[p0 - row_begin + p] = partial[p] + bias;
+        }
+    }
+}
+
+template <typename T>
+void dense_sparse_kernel_decision_values(const csr_matrix<T> &sv_csc, const std::size_t num_sv,
+                                         const T *alpha, const T *sv_sq_norms,
+                                         const kernel_params<T> &kp, const T bias,
+                                         const aos_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end,
+                                         T *out) {
+    constexpr std::size_t S = sparse_point_tile;
+    const std::size_t dim = sv_csc.num_rows();  // rows of the transpose = features
+    const bool rbf = !kernels::uses_inner_product_core(kp.kernel);
+    // per-tile accumulator block: acc[p * num_sv + i] = <sv_i, x_p>; sized for
+    // one tile so it stays cache-resident across the whole feature sweep.
+    // thread-local scratch: this runs per lane chunk on the serving hot path
+    // and must not pay a heap allocation per call (resize only ever grows
+    // the capacity) — same pattern as compiled_model::decision_value
+    static thread_local std::vector<T> acc;
+    acc.resize(std::min(S, row_end > row_begin ? row_end - row_begin : std::size_t{ 0 }) * num_sv);
+
+    for (std::size_t p0 = row_begin; p0 < row_end; p0 += S) {
+        const std::size_t pb = std::min(S, row_end - p0);
+        const T *x_rows[S] = {};
+        T x_sq[S] = {};
+        for (std::size_t p = 0; p < pb; ++p) {
+            x_rows[p] = points.row_data(p0 + p);
+            if (rbf) {
+                // same dot call as the reference path -> identical ||x||^2
+                x_sq[p] = kernels::dot(x_rows[p], x_rows[p], dim);
+            }
+        }
+        std::fill(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(pb * num_sv), T{ 0 });
+        // feature-major sweep touching only the stored SV entries; each CSC
+        // row (one feature) is reused for the whole point tile
+        for (std::size_t f = 0; f < dim; ++f) {
+            const auto *col = sv_csc.row_begin(f);
+            const auto *col_end = sv_csc.row_end(f);
+            if (col == col_end) {
+                continue;  // all-zero feature column
+            }
+            for (std::size_t p = 0; p < pb; ++p) {
+                const T xf = x_rows[p][f];
+                if (xf == T{ 0 }) {
+                    continue;  // skipping exact-zero products is result-neutral
+                }
+                T *acc_p = acc.data() + p * num_sv;
+                for (const auto *e = col; e != col_end; ++e) {
+                    acc_p[e->index] += xf * e->value;
+                }
+            }
+        }
+        for (std::size_t p = 0; p < pb; ++p) {
+            const T *acc_p = acc.data() + p * num_sv;
+            T sum{ 0 };
+            if (rbf) {
+                for (std::size_t i = 0; i < num_sv; ++i) {
+                    const T core = std::max(sv_sq_norms[i] + x_sq[p] - T{ 2 } * acc_p[i], T{ 0 });
+                    sum += alpha[i] * kernels::finish(kp, core);
+                }
+            } else {
+                for (std::size_t i = 0; i < num_sv; ++i) {
+                    sum += alpha[i] * kernels::finish(kp, acc_p[i]);
+                }
+            }
+            out[p0 - row_begin + p] = sum + bias;
+        }
+    }
+}
+
+template void sparse_linear_decision_values<float>(const csr_matrix<float>::entry *, std::size_t, float, const csr_matrix<float> &, std::size_t, std::size_t, float *);
+template void sparse_linear_decision_values<double>(const csr_matrix<double>::entry *, std::size_t, double, const csr_matrix<double> &, std::size_t, std::size_t, double *);
+template void sparse_kernel_decision_values<float>(const csr_matrix<float> &, const float *, const float *, const kernel_params<float> &, float, const csr_matrix<float> &, std::size_t, std::size_t, float *);
+template void sparse_kernel_decision_values<double>(const csr_matrix<double> &, const double *, const double *, const kernel_params<double> &, double, const csr_matrix<double> &, std::size_t, std::size_t, double *);
+template void dense_sparse_kernel_decision_values<float>(const csr_matrix<float> &, std::size_t, const float *, const float *, const kernel_params<float> &, float, const aos_matrix<float> &, std::size_t, std::size_t, float *);
+template void dense_sparse_kernel_decision_values<double>(const csr_matrix<double> &, std::size_t, const double *, const double *, const kernel_params<double> &, double, const aos_matrix<double> &, std::size_t, std::size_t, double *);
 
 }  // namespace plssvm::serve::batch

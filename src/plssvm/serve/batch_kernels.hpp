@@ -44,6 +44,7 @@
 
 #include "plssvm/core/kernel_functions.hpp"
 #include "plssvm/core/matrix.hpp"
+#include "plssvm/core/sparse_matrix.hpp"
 
 #include <cstddef>
 
@@ -65,8 +66,19 @@ inline constexpr std::size_t batch_sv_tile = 8;
 inline constexpr std::size_t batch_sv_tile = PLSSVM_SERVE_SV_TILE;
 #endif
 
+/// Points processed per tile of the *sparse* sweeps: the CSR support-vector
+/// panel is streamed from memory once per tile of this many queries, and the
+/// dense-query x sparse-SV sweep keeps a `sparse_point_tile x num_sv`
+/// accumulator block cache-resident across the feature sweep.
+#ifndef PLSSVM_SERVE_SPARSE_POINT_TILE
+inline constexpr std::size_t sparse_point_tile = 16;
+#else
+inline constexpr std::size_t sparse_point_tile = PLSSVM_SERVE_SPARSE_POINT_TILE;
+#endif
+
 static_assert(batch_point_tile >= 1, "batch_point_tile must be at least 1");
 static_assert(batch_sv_tile >= 1, "batch_sv_tile must be at least 1");
+static_assert(sparse_point_tile >= 1, "sparse_point_tile must be at least 1");
 
 namespace batch {
 
@@ -106,6 +118,67 @@ void kernel_decision_values(const soa_matrix<T> &sv, const T *alpha, const T *sv
                             const kernel_params<T> &kp, T bias,
                             const aos_matrix<T> &points, std::size_t row_begin, std::size_t row_end,
                             T *out);
+
+/**
+ * @brief Sparse linear decision values: `out[p - row_begin] = <w, x_p> + bias`
+ *        for CSR rows [@p row_begin, @p row_end) of @p points, where the
+ *        precompiled normal vector is itself stored sparsely.
+ *
+ * Both sides are sorted by column index, so each row costs one O(nnz_row +
+ * nnz_w) merge-join — the LIBSVM-style sparse dot. Terms skipped by the merge
+ * are exact zero products, so the result is bit-identical to the dense
+ * `kernels::dot` sweep over the densified row.
+ *
+ * @param w_entries the non-zero entries of the collapsed normal vector `w`,
+ *        column-ascending (@p w_nnz of them)
+ */
+template <typename T>
+void sparse_linear_decision_values(const typename csr_matrix<T>::entry *w_entries, std::size_t w_nnz, T bias,
+                                   const csr_matrix<T> &points, std::size_t row_begin, std::size_t row_end,
+                                   T *out);
+
+/**
+ * @brief Sparse non-linear decision values for CSR query rows
+ *        [@p row_begin, @p row_end) against the CSR support-vector panel
+ *        @p sv: one merge-join row-pair core per (point, SV) pair.
+ *
+ * Point-tiled like the dense kernels: the whole CSR SV panel is streamed once
+ * per `sparse_point_tile` queries instead of once per query. The RBF core is
+ * the cached-norm form `||sv||^2 + ||x||^2 - 2<sv, x>` with `||x||^2` summed
+ * over the stored query entries (exact: dropped entries are zero).
+ *
+ * @param sv support vectors in CSR form (row = one SV, column-ascending)
+ * @param alpha SV weights (`sv.num_rows()` entries)
+ * @param sv_sq_norms cached `||sv_i||^2`; required for RBF, may be nullptr
+ *        for the inner-product kernels
+ */
+template <typename T>
+void sparse_kernel_decision_values(const csr_matrix<T> &sv, const T *alpha, const T *sv_sq_norms,
+                                   const kernel_params<T> &kp, T bias,
+                                   const csr_matrix<T> &points, std::size_t row_begin, std::size_t row_end,
+                                   T *out);
+
+/**
+ * @brief Sparse non-linear decision values for *dense* query rows
+ *        [@p row_begin, @p row_end) against the transposed (feature-major)
+ *        CSR support-vector panel @p sv_csc.
+ *
+ * The sparse analogue of the SoA sweep: for each feature `f`, only the
+ * support vectors actually storing `f` receive an accumulator update, so the
+ * core accumulation is O(sv_nnz) per point tile instead of O(num_sv * dim).
+ * The `sparse_point_tile x num_sv` accumulator block stays cache-resident
+ * across the feature sweep, and the panel is streamed once per point tile.
+ *
+ * @param sv_csc transposed SV panel: row `f` lists the (sv index, value)
+ *        pairs of feature `f` (`csr_matrix::transposed()` of the SV CSR)
+ * @param num_sv number of support vectors (columns of @p sv_csc)
+ */
+template <typename T>
+void dense_sparse_kernel_decision_values(const csr_matrix<T> &sv_csc, std::size_t num_sv,
+                                         const T *alpha, const T *sv_sq_norms,
+                                         const kernel_params<T> &kp, T bias,
+                                         const aos_matrix<T> &points, std::size_t row_begin, std::size_t row_end,
+                                         T *out);
 
 // ISA-multi-versioned explicit specializations (defined in batch_kernels.cpp)
 template <>

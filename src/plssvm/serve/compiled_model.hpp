@@ -17,6 +17,18 @@
  *    feature-major (SoA) layout so the per-feature accumulation sweep is a
  *    contiguous, vectorizable AXPY over all support vectors at once.
  *
+ * Very sparse models (text/categorical workloads — the dominant libsvm use
+ * case) additionally compile the support-vector panel itself into a *sparse*
+ * form: when the SV density falls below `compile_options::
+ * sparse_density_threshold`, the SVs are stored as CSR plus a transposed
+ * (feature-major) CSR variant, and the batch sweeps switch to the O(nnz)
+ * sparse kernels of `serve/batch_kernels` (CSR-query x CSR-SV merge-join
+ * row pairs, dense-query x transposed-CSR accumulation) instead of
+ * re-streaming mostly-zero dense panels. The dense SoA copy is kept
+ * alongside so the per-point reference sweep and the device path stay
+ * available as parity baselines; the dispatcher decides per batch which
+ * execution wins (`predict_path::host_sparse`).
+ *
  * The batch entry point is deliberately split into a serial range method
  * (`decision_values_into`) and a parallel convenience wrapper so that the
  * serving layer can do its own work partitioning on a thread pool without
@@ -43,6 +55,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,6 +67,16 @@ namespace plssvm::serve {
 /// of remainder handling.
 inline constexpr std::size_t compiled_model_row_padding = 64;
 
+/// Knobs of the model compile step (overridable per engine via
+/// `engine_config::compile`).
+struct compile_options {
+    /// SV-panel density (nnz / (num_sv * dim)) strictly below which the
+    /// sparse compiled form is built in addition to the dense state. A
+    /// density exactly at the threshold compiles dense. 0 disables the
+    /// sparse form entirely; any value > 1 forces it for every model.
+    double sparse_density_threshold{ 0.25 };
+};
+
 template <typename T>
 class compiled_model {
   public:
@@ -62,8 +85,11 @@ class compiled_model {
     compiled_model() = default;
 
     /// Precompute all prediction state from @p trained (the model itself is
-    /// not referenced afterwards).
-    explicit compiled_model(const model<T> &trained) :
+    /// not referenced afterwards). @p opts controls whether the support-vector
+    /// panel is additionally compiled into the sparse (CSR + transposed CSR)
+    /// form.
+    explicit compiled_model(const model<T> &trained, const compile_options opts = {}) :
+        options_{ opts },
         params_{ trained.params().kernel, trained.params().degree, trained.effective_gamma(), static_cast<T>(trained.params().coef0) },
         bias_{ trained.bias() },
         positive_label_{ trained.positive_label() },
@@ -72,6 +98,16 @@ class compiled_model {
         num_sv_{ trained.num_support_vectors() } {
         const aos_matrix<T> &sv = trained.support_vectors();
         const std::vector<T> &alpha = trained.alpha();
+
+        // density detection is one pass over the panel, charged once per
+        // compile (i.e. per reload), never on the serving path
+        sv_nnz_ = 0;
+        for (const T &v : sv.data()) {
+            sv_nnz_ += v != T{ 0 } ? 1 : 0;
+        }
+        const std::size_t cells = num_sv_ * dim_;
+        sv_density_ = cells == 0 ? 1.0 : static_cast<double>(sv_nnz_) / static_cast<double>(cells);
+        sparse_sv_ = cells > 0 && sv_density_ < opts.sparse_density_threshold;
 
         if (params_.kernel == kernel_type::linear) {
             // collapse SVs and weights into the normal vector once
@@ -84,6 +120,15 @@ class compiled_model {
                     w_[k] += a * row[k];
                 }
             }
+            if (sparse_sv_) {
+                // sparse form of w for the CSR-query merge-join: only the
+                // features any SV touches can be non-zero
+                for (std::size_t k = 0; k < dim_; ++k) {
+                    if (w_[k] != T{ 0 }) {
+                        w_sparse_.push_back(typename csr_matrix<T>::entry{ static_cast<std::uint32_t>(k), w_[k] });
+                    }
+                }
+            }
         } else {
             alpha_ = alpha;
             sv_soa_ = transform_to_soa(sv, compiled_model_row_padding);
@@ -94,10 +139,22 @@ class compiled_model {
                     sv_sq_norms_[i] = kernels::dot(row, row, dim_);
                 }
             }
+            if (sparse_sv_) {
+                sv_csr_ = csr_matrix<T>{ sv };
+                sv_csc_ = sv_csr_.transposed();
+            }
         }
     }
 
     [[nodiscard]] const kernel_params<T> &params() const noexcept { return params_; }
+    [[nodiscard]] const compile_options &options() const noexcept { return options_; }
+    /// Whether the sparse compiled form (CSR + transposed CSR SV panel, or
+    /// the sparse `w` for linear models) is active.
+    [[nodiscard]] bool sparse_sv() const noexcept { return sparse_sv_; }
+    /// SV-panel density detected at compile time (1.0 for an empty model).
+    [[nodiscard]] double sv_density() const noexcept { return sv_density_; }
+    /// Stored (non-zero) SV-panel entries detected at compile time.
+    [[nodiscard]] std::size_t sv_nnz() const noexcept { return sv_nnz_; }
     [[nodiscard]] T bias() const noexcept { return bias_; }
     [[nodiscard]] T positive_label() const noexcept { return positive_label_; }
     [[nodiscard]] T negative_label() const noexcept { return negative_label_; }
@@ -149,6 +206,28 @@ class compiled_model {
             batch::kernel_decision_values(sv_soa_, alpha_.data(), sv_sq_norms_.empty() ? nullptr : sv_sq_norms_.data(),
                                           params_, bias_, points, row_begin, row_end, out);
         }
+    }
+
+    /**
+     * @brief Serial *sparse* batch kernel over dense query rows: the
+     *        feature-major O(nnz) sweep against the transposed CSR SV panel
+     *        (`batch::dense_sparse_kernel_decision_values`).
+     *
+     * Only meaningful when the sparse compiled form is active and the kernel
+     * is non-linear; otherwise this falls through to the dense execution
+     * (linear prediction never touches the SV panel at serve time, and a
+     * dense-form model has no CSR panel to sweep). Keeping the call total
+     * lets the engines route `predict_path::host_sparse` unconditionally.
+     */
+    void decision_values_sparse_into(const aos_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end, T *out) const {
+        validate_features(points.num_cols());
+        if (!sparse_sv_ || params_.kernel == kernel_type::linear) {
+            decision_values_into(points, row_begin, row_end, out);
+            return;
+        }
+        batch::dense_sparse_kernel_decision_values(sv_csc_, num_sv_, alpha_.data(),
+                                                   sv_sq_norms_.empty() ? nullptr : sv_sq_norms_.data(),
+                                                   params_, bias_, points, row_begin, row_end, out);
     }
 
     /**
@@ -222,7 +301,8 @@ class compiled_model {
         }
     }
 
-    /// Parallel batch evaluation of all rows of @p points (blocked kernels).
+    /// Parallel batch evaluation of all rows of @p points (blocked kernels;
+    /// the sparse feature-major sweep when the sparse compiled form is active).
     [[nodiscard]] std::vector<T> decision_values(const aos_matrix<T> &points) const {
         return parallel_decision_values(points);
     }
@@ -231,14 +311,27 @@ class compiled_model {
      * @brief Serial sparse batch kernel over CSR query rows.
      *
      * Linear kernel fast path: each decision value is a sparse dot against
-     * the cached dense normal vector `w` — O(nnz) per row instead of O(dim).
-     * Non-linear kernels densify tiles of rows into a scratch batch and run
-     * the blocked dense kernels (a dedicated sparse SV sweep is future work,
-     * see ROADMAP "sparse query batches").
+     * the cached normal vector `w` — an O(nnz_row) gather against dense `w`,
+     * or the O(nnz_row + nnz_w) merge-join against the sparse `w` when the
+     * sparse compiled form is active AND `w` itself is mostly empty (the
+     * merge streams compact entries instead of gathering into a large,
+     * mostly-cold dense array; against a dense-ish `w` the gather is
+     * strictly cheaper). Both skip only exact-zero products, so results are
+     * bit-identical to the dense sweep.
+     *
+     * Non-linear kernels with the sparse compiled form run the true
+     * CSR-query x CSR-SV row-pair sweep (`batch::sparse_kernel_decision_values`,
+     * point-tiled so the panel streams once per tile); dense-form models
+     * densify tiles of rows into a scratch batch and run the blocked dense
+     * kernels.
      */
     void decision_values_into(const csr_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end, T *out) const {
         validate_features(points.num_cols());
         if (params_.kernel == kernel_type::linear) {
+            if (sparse_sv_ && w_sparse_.size() * 4 <= dim_) {
+                batch::sparse_linear_decision_values(w_sparse_.data(), w_sparse_.size(), bias_, points, row_begin, row_end, out);
+                return;
+            }
             const T *w = w_.data();
             for (std::size_t p = row_begin; p < row_end; ++p) {
                 T sum{ 0 };
@@ -250,6 +343,26 @@ class compiled_model {
             }
             return;
         }
+        if (sparse_sv_) {
+            batch::sparse_kernel_decision_values(sv_csr_, alpha_.data(),
+                                                 sv_sq_norms_.empty() ? nullptr : sv_sq_norms_.data(),
+                                                 params_, bias_, points, row_begin, row_end, out);
+            return;
+        }
+        decision_values_densified_into(points, row_begin, row_end, out);
+    }
+
+    /**
+     * @brief Densify-tiles execution of CSR query rows: scatter fixed-size
+     *        row tiles into dense scratch and run the blocked dense kernels.
+     *
+     * The CSR execution of dense-form models, and of sparse-form batches the
+     * dispatcher routes to the dense tiles (dense-ish queries, merge-hostile
+     * panels). Scratch stays O(tile x dim) regardless of the batch size, so
+     * wide-feature models never materialize the whole batch densely.
+     */
+    void decision_values_densified_into(const csr_matrix<T> &points, const std::size_t row_begin, const std::size_t row_end, T *out) const {
+        validate_features(points.num_cols());
         constexpr std::size_t tile = 64;
         aos_matrix<T> dense{ std::min(tile, row_end - row_begin), dim_ };
         for (std::size_t p0 = row_begin; p0 < row_end; p0 += tile) {
@@ -300,9 +413,24 @@ class compiled_model {
         for (std::size_t b = 0; b < num_blocks; ++b) {
             const std::size_t begin = b * block;
             const std::size_t end = std::min(begin + block, num_points);
-            decision_values_into(points, begin, end, values.data() + begin);
+            serial_into(points, begin, end, values.data() + begin);
         }
         return values;
+    }
+
+    /// Serial range kernel of the parallel wrappers: dense query batches
+    /// against a sparse-compiled model take the sparse feature-major sweep,
+    /// everything else the canonical `decision_values_into` overload.
+    void serial_into(const aos_matrix<T> &points, const std::size_t begin, const std::size_t end, T *out) const {
+        if (sparse_sv_ && params_.kernel != kernel_type::linear) {
+            decision_values_sparse_into(points, begin, end, out);
+        } else {
+            decision_values_into(points, begin, end, out);
+        }
+    }
+
+    void serial_into(const csr_matrix<T> &points, const std::size_t begin, const std::size_t end, T *out) const {
+        decision_values_into(points, begin, end, out);
     }
 
     /// Scratch entries `decide_one` needs (0 for linear: no accumulator sweep).
@@ -347,15 +475,22 @@ class compiled_model {
         return sum + bias_;
     }
 
+    compile_options options_{};
     kernel_params<T> params_{};
     T bias_{ 0 };
     T positive_label_{ 1 };
     T negative_label_{ -1 };
     std::size_t dim_{ 0 };
     std::size_t num_sv_{ 0 };
+    bool sparse_sv_{ false };     ///< sparse compiled form active
+    double sv_density_{ 1.0 };    ///< SV-panel density detected at compile time
+    std::size_t sv_nnz_{ 0 };     ///< stored SV-panel entries
     std::vector<T> alpha_;        ///< SV weights (non-linear kernels only)
     std::vector<T> w_;            ///< collapsed normal vector (linear kernel only)
+    std::vector<typename csr_matrix<T>::entry> w_sparse_;  ///< non-zeros of w (linear sparse form only)
     soa_matrix<T> sv_soa_;        ///< padded feature-major SV copy (non-linear kernels only)
+    csr_matrix<T> sv_csr_;        ///< CSR SV panel (non-linear sparse form only)
+    csr_matrix<T> sv_csc_;        ///< transposed CSR SV panel (non-linear sparse form only)
     std::vector<T> sv_sq_norms_;  ///< cached ||sv_i||^2 (rbf kernel only)
 };
 

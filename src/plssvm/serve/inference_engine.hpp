@@ -72,6 +72,10 @@ struct engine_config {
     std::chrono::microseconds batch_delay{ 250 };
     /// Cost-model parameters of the per-batch execution-path dispatch.
     dispatch_params dispatch{};
+    /// Model compile knobs (sparse SV-panel density threshold); applied by
+    /// the engine constructor AND every `reload`, so a reload can move a
+    /// model between the dense and sparse compiled forms.
+    compile_options compile{};
     /// Shared executor to run on; nullptr = `executor::process_wide()`.
     executor *exec{ nullptr };
     /// Lane weight: consecutive tasks one worker visit may take (>= 1);
@@ -141,11 +145,12 @@ void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std
     return params;
 }
 
-/// Partition @p num_rows of @p points across @p lane and evaluate @p cm into
-/// @p out (blocked host kernels). Shared by the binary and multi-class
-/// engines, for dense (`aos_matrix`) and sparse (`csr_matrix`) batches.
-template <typename T, typename Matrix>
-void pooled_decision_values(const compiled_model<T> &cm, executor::lane &lane, const Matrix &points, T *out) {
+/// Partition @p num_rows of @p points across @p lane and run the serial range
+/// kernel @p serial (`serial(points, begin, end, out + begin)`) per chunk.
+/// Shared by the binary and multi-class engines, for dense (`aos_matrix`) and
+/// sparse (`csr_matrix`) batches along every host execution path.
+template <typename T, typename Matrix, typename Serial>
+void pooled_evaluate(executor::lane &lane, const Matrix &points, T *out, Serial &&serial) {
     const std::size_t num_rows = points.num_rows();
     if (num_rows == 0) {
         return;
@@ -154,7 +159,7 @@ void pooled_decision_values(const compiled_model<T> &cm, executor::lane &lane, c
         // already on a worker of this executor (e.g. an engine torn down by
         // the last-owner reload task drains its final batches here): fanning
         // out and blocking on our own pool could deadlock it — run inline
-        cm.decision_values_into(points, 0, num_rows, out);
+        serial(points, std::size_t{ 0 }, num_rows, out);
         return;
     }
     const std::size_t num_chunks = std::min(num_rows, std::max<std::size_t>(1, lane.max_concurrency()));
@@ -163,8 +168,8 @@ void pooled_decision_values(const compiled_model<T> &cm, executor::lane &lane, c
     pending.reserve(num_chunks);
     for (std::size_t begin = 0; begin < num_rows; begin += chunk) {
         const std::size_t end = std::min(begin + chunk, num_rows);
-        pending.push_back(lane.enqueue([&cm, &points, out, begin, end]() {
-            cm.decision_values_into(points, begin, end, out + begin);
+        pending.push_back(lane.enqueue([&serial, &points, out, begin, end]() {
+            serial(points, begin, end, out + begin);
         }));
     }
     for (std::future<void> &f : pending) {
@@ -175,6 +180,15 @@ void pooled_decision_values(const compiled_model<T> &cm, executor::lane &lane, c
         }
         f.get();  // rethrows evaluation errors (e.g. feature-count mismatch)
     }
+}
+
+/// Partition @p points across @p lane and evaluate @p cm into @p out through
+/// the canonical (blocked dense / CSR) serial kernels.
+template <typename T, typename Matrix>
+void pooled_decision_values(const compiled_model<T> &cm, executor::lane &lane, const Matrix &points, T *out) {
+    pooled_evaluate(lane, points, out, [&cm](const Matrix &pts, const std::size_t begin, const std::size_t end, T *o) {
+        cm.decision_values_into(pts, begin, end, o);
+    });
 }
 
 /**
@@ -196,10 +210,23 @@ void decision_values_via_path(const compiled_model<T> &cm, const predict_path pa
         case predict_path::host_blocked:
             pooled_decision_values(cm, lane, points, out);
             break;
+        case predict_path::host_sparse:
+            pooled_evaluate(lane, points, out, [&cm](const aos_matrix<T> &pts, const std::size_t begin, const std::size_t end, T *o) {
+                cm.decision_values_sparse_into(pts, begin, end, o);
+            });
+            break;
         case predict_path::device:
             cm.decision_values_device_into(*packed, out);
             break;
     }
+}
+
+/// The dispatch shape of one dense query batch against @p cm (the sparse SV
+/// sweeps only compete when the model compiled the sparse form).
+template <typename T>
+[[nodiscard]] predict_shape dense_batch_shape(const compiled_model<T> &cm, const std::size_t batch_size) {
+    return predict_shape{ batch_size, cm.num_support_vectors(), cm.num_features(), cm.params().kernel,
+                          cm.sparse_sv() ? cm.sv_nnz() : 0 };
 }
 
 /**
@@ -210,7 +237,7 @@ void decision_values_via_path(const compiled_model<T> &cm, const predict_path pa
 template <typename T>
 predict_path dispatched_decision_values(const compiled_model<T> &cm, const predict_dispatcher &dispatcher,
                                         executor::lane &lane, const aos_matrix<T> &points, T *out) {
-    const predict_path path = dispatcher.choose(points.num_rows(), cm.num_support_vectors(), cm.num_features(), cm.params().kernel);
+    const predict_path path = dispatcher.choose(dense_batch_shape(cm, points.num_rows()));
     if (path == predict_path::device) {
         const soa_matrix<T> packed = transform_to_soa(points, compiled_model_row_padding);
         decision_values_via_path(cm, path, lane, points, &packed, out);
@@ -227,10 +254,12 @@ class inference_engine {
     using snapshot_type = engine_snapshot<T>;
     using snapshot_ptr = std::shared_ptr<const snapshot_type>;
 
-    /// Compile @p trained and start the engine. An optional @p input_scaling
-    /// is applied server-side to every batch (raw-feature client contract).
+    /// Compile @p trained (with the config's `compile` options, so very
+    /// sparse models get the sparse SV form) and start the engine. An
+    /// optional @p input_scaling is applied server-side to every batch
+    /// (raw-feature client contract).
     explicit inference_engine(const model<T> &trained, engine_config config = {}, scaling_ptr<T> input_scaling = nullptr) :
-        inference_engine{ compiled_model<T>{ trained }, config, std::move(input_scaling) } {}
+        inference_engine{ compiled_model<T>{ trained, config.compile }, config, std::move(input_scaling) } {}
 
     /// Take ownership of an already-compiled model and start the engine.
     explicit inference_engine(compiled_model<T> compiled, engine_config config = {}, scaling_ptr<T> input_scaling = nullptr) :
@@ -275,10 +304,14 @@ class inference_engine {
      * shared_ptr lifetime). The feature count must match — in-flight and
      * future `submit` points were validated against it.
      *
+     * The engine's `compile` options apply here too, so a reload moves the
+     * model between the dense and sparse compiled forms purely based on the
+     * replacement's SV density — with zero downtime either way.
+     *
      * @throws plssvm::invalid_data_exception if the feature count differs
      */
     void reload(const model<T> &trained, scaling_ptr<T> input_scaling = nullptr) {
-        install(compiled_model<T>{ trained }, std::move(input_scaling));
+        install(compiled_model<T>{ trained, config_.compile }, std::move(input_scaling));
     }
 
     /// Swap in an already-compiled replacement model (same feature count).
@@ -305,12 +338,15 @@ class inference_engine {
      * @brief Synchronous batched decision values over sparse CSR queries.
      *
      * Linear models take the O(nnz)-per-row sparse dot fast path of
-     * `compiled_model`; non-linear models densify tiles internally and run
-     * the blocked kernels. The dispatcher decides serial (`reference`,
-     * tiny batches) vs. pooled (`host_blocked`) execution like the dense
-     * path; the device route has no sparse kernels yet and is clamped to
-     * the pooled host path. A snapshot-attached scaling densifies the batch
-     * (explicit zeros scale to non-zero values) and takes the dense path.
+     * `compiled_model` (the merge-join against the sparse `w` when the
+     * sparse compiled form is active); non-linear sparse-compiled models run
+     * the true CSR-query x CSR-SV row-pair sweep, dense-compiled ones
+     * densify tiles internally and run the blocked kernels. The dispatcher
+     * decides per batch between serial (`reference`, tiny batches) and the
+     * pooled host paths (`host_blocked` / `host_sparse`) from the nnz-aware
+     * cost terms; the device has no sparse kernels and never serves CSR
+     * batches. A snapshot-attached scaling densifies the batch (explicit
+     * zeros scale to non-zero values) and takes the dense path.
      */
     [[nodiscard]] std::vector<T> decision_values(const csr_matrix<T> &points) {
         const snapshot_ptr snap = snapshot_.load();
@@ -326,13 +362,27 @@ class inference_engine {
             return values;
         }
         const auto start = std::chrono::steady_clock::now();
-        predict_path path = dispatcher_.choose(num_rows, snap->compiled.num_support_vectors(), snap->compiled.num_features(), snap->compiled.params().kernel);
+        predict_shape shape = dense_batch_shape(snap->compiled, num_rows);
+        shape.sparse_query = true;
+        shape.query_nnz = points.num_nonzeros();
+        predict_path path = dispatcher_.choose(shape);
         if (path == predict_path::reference) {
             // too small to be worth the lane round trip: run on this thread
             snap->compiled.decision_values_into(points, 0, num_rows, values.data());
-        } else {
-            path = predict_path::host_blocked;
+        } else if (path == predict_path::host_sparse) {
+            // the CSR serial kernel: the sparse merge-join/row-pair sweeps
+            // (or the O(nnz) linear fast path) over lane-partitioned chunks
             pooled_decision_values(snap->compiled, lane_, points, values.data());
+        } else {
+            // the nnz-aware cost terms prefer the dense blocked sweep for
+            // this shape (dense-ish batch, or merge-join-hostile panel):
+            // densify per fixed-size tile — never the whole batch — and run
+            // the tiled kernels
+            path = predict_path::host_blocked;
+            pooled_evaluate(lane_, points, values.data(),
+                            [&compiled = snap->compiled](const csr_matrix<T> &pts, const std::size_t begin, const std::size_t end, T *o) {
+                                compiled.decision_values_densified_into(pts, begin, end, o);
+                            });
         }
         const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
         metrics_.record_batch(num_rows, elapsed);

@@ -52,13 +52,15 @@ class multiclass_engine {
     using snapshot_type = multiclass_snapshot<T>;
     using snapshot_ptr = std::shared_ptr<const snapshot_type>;
 
-    /// Compile every binary head of @p ensemble and start the engine. An
-    /// optional @p input_scaling is applied server-side to every batch.
+    /// Compile every binary head of @p ensemble (with the config's `compile`
+    /// options, so very sparse heads get the sparse SV form) and start the
+    /// engine. An optional @p input_scaling is applied server-side to every
+    /// batch.
     explicit multiclass_engine(const ext::multiclass_model<T> &ensemble, engine_config config = {}, scaling_ptr<T> input_scaling = nullptr) :
         config_{ config },
         exec_{ config.exec != nullptr ? config.exec : &executor::process_wide() },
         lane_{ exec_->create_lane(lane_options{ .name = "multiclass-engine", .quota = config.num_threads, .weight = config.lane_weight }) },
-        snapshot_{ initial_snapshot(ensemble, std::move(input_scaling)) },
+        snapshot_{ initial_snapshot(ensemble, std::move(input_scaling), config.compile) },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } } {
         const snapshot_ptr snap = snapshot_.load();
         num_features_ = snap->heads.front().num_features();
@@ -101,7 +103,7 @@ class multiclass_engine {
         if (replacement_features != num_features_) {
             throw invalid_data_exception{ "Reload feature count mismatch: engine serves " + std::to_string(num_features_) + " features but the replacement ensemble has " + std::to_string(replacement_features) + "!" };
         }
-        snapshot_type next = compile(ensemble, std::move(input_scaling));
+        snapshot_type next = compile(ensemble, std::move(input_scaling), config_.compile);
         // version assignment and publication under one lock: concurrent
         // reloads must not publish out of version order
         const std::lock_guard lock{ install_mutex_ };
@@ -198,15 +200,15 @@ class multiclass_engine {
 
   private:
     /// The snapshot the engine starts serving (version 1).
-    [[nodiscard]] static snapshot_ptr initial_snapshot(const ext::multiclass_model<T> &ensemble, scaling_ptr<T> input_scaling) {
-        snapshot_type snap = compile(ensemble, std::move(input_scaling));
+    [[nodiscard]] static snapshot_ptr initial_snapshot(const ext::multiclass_model<T> &ensemble, scaling_ptr<T> input_scaling, const compile_options opts) {
+        snapshot_type snap = compile(ensemble, std::move(input_scaling), opts);
         snap.version = 1;
         return std::make_shared<const snapshot_type>(std::move(snap));
     }
 
     /// Compile every binary head of @p ensemble into a snapshot (version 0;
     /// the caller stamps the real version at publication).
-    [[nodiscard]] static snapshot_type compile(const ext::multiclass_model<T> &ensemble, scaling_ptr<T> input_scaling) {
+    [[nodiscard]] static snapshot_type compile(const ext::multiclass_model<T> &ensemble, scaling_ptr<T> input_scaling, const compile_options opts) {
         if (ensemble.num_classes() == 0 || ensemble.binary_models().empty()) {
             throw invalid_data_exception{ "The multi-class model is empty!" };
         }
@@ -218,7 +220,7 @@ class multiclass_engine {
         for (const model<T> &binary : ensemble.binary_models()) {
             // orient toward "this class"; see ext::one_vs_all::predict
             snap.orientation.push_back(binary.positive_label() > T{ 0 } ? T{ 1 } : T{ -1 });
-            snap.heads.emplace_back(binary);
+            snap.heads.emplace_back(binary, opts);
         }
         if (snap.heads.size() != snap.class_labels.size()) {
             throw invalid_data_exception{ "The multi-class model has " + std::to_string(snap.class_labels.size()) + " class labels but " + std::to_string(snap.heads.size()) + " binary heads!" };
@@ -237,10 +239,21 @@ class multiclass_engine {
         return scratch;
     }
 
-    /// Dispatch decision for one batch; every head shares the same shape.
+    /// Dispatch decision for one batch. Every head shares (batch, num_sv,
+    /// dim, kernel), but the sparse compiled form is decided *per head* by
+    /// its own density — so the sparse path is only on offer when EVERY
+    /// head has it, and the cost term must cover the densest head's panel
+    /// (all heads run the same chosen path).
     [[nodiscard]] predict_path choose_path(const snapshot_type &snap, const std::size_t batch_size) const {
-        const compiled_model<T> &head = snap.heads.front();
-        return dispatcher_.choose(batch_size, head.num_support_vectors(), head.num_features(), head.params().kernel);
+        predict_shape shape = dense_batch_shape(snap.heads.front(), batch_size);
+        std::size_t max_nnz = 0;
+        bool all_sparse = true;
+        for (const compiled_model<T> &head : snap.heads) {
+            all_sparse = all_sparse && head.sparse_sv();
+            max_nnz = std::max(max_nnz, head.sv_nnz());
+        }
+        shape.sv_nnz = all_sparse ? max_nnz : 0;
+        return dispatcher_.choose(shape);
     }
 
     /// Winning class label for one row of oriented scores.

@@ -1,11 +1,22 @@
 #include "plssvm/serve/predict_dispatcher.hpp"
 
+#include "plssvm/serve/batch_kernels.hpp"
+
 #include <cstddef>
 
 namespace plssvm::serve {
 
 double predict_dispatcher::host_seconds(const std::size_t batch_size, const std::size_t num_sv, const std::size_t dim, const kernel_type kernel) const {
     const sim::kernel_cost cost = sim::serve_predict_cost(batch_size, num_sv, dim, kernel, params_.real_bytes);
+    return sim::host_roofline_seconds(params_.host, cost);
+}
+
+double predict_dispatcher::host_sparse_seconds(const predict_shape &shape) const {
+    const std::size_t query_nnz = shape.sparse_query ? shape.query_nnz : shape.batch_size * shape.dim;
+    const sim::kernel_cost cost = sim::serve_sparse_predict_cost(shape.batch_size, shape.num_sv, shape.dim,
+                                                                 shape.sv_nnz, query_nnz, shape.sparse_query,
+                                                                 shape.kernel, params_.real_bytes,
+                                                                 sparse_point_tile);
     return sim::host_roofline_seconds(params_.host, cost);
 }
 
@@ -20,15 +31,34 @@ double predict_dispatcher::device_seconds(const std::size_t batch_size, const st
 }
 
 predict_path predict_dispatcher::choose(const std::size_t batch_size, const std::size_t num_sv, const std::size_t dim, const kernel_type kernel) const {
-    if (batch_size < params_.min_blocked_batch) {
+    return choose(predict_shape{ batch_size, num_sv, dim, kernel });
+}
+
+predict_path predict_dispatcher::choose(const predict_shape &shape) const {
+    if (shape.batch_size < params_.min_blocked_batch) {
         return predict_path::reference;
     }
-    if (!params_.allow_device) {
-        return predict_path::host_blocked;
+    // the sparse sweep exists for non-linear kernels iff the model compiled
+    // the sparse SV form, and for the linear kernel iff the queries are CSR
+    // (dense linear prediction is a GEMV against w, independent of SV nnz)
+    const bool sparse_available = shape.kernel == kernel_type::linear ? shape.sparse_query : shape.sv_nnz > 0;
+    predict_path best_path = predict_path::host_blocked;
+    double best = host_seconds(shape.batch_size, shape.num_sv, shape.dim, shape.kernel);
+    if (sparse_available) {
+        const double sparse = host_sparse_seconds(shape);
+        if (sparse < best) {
+            best = sparse;
+            best_path = predict_path::host_sparse;
+        }
     }
-    return device_seconds(batch_size, num_sv, dim, kernel) < host_seconds(batch_size, num_sv, dim, kernel)
-               ? predict_path::device
-               : predict_path::host_blocked;
+    if (params_.allow_device && !shape.sparse_query) {
+        const double device = device_seconds(shape.batch_size, shape.num_sv, shape.dim, shape.kernel);
+        if (device < best) {
+            best = device;
+            best_path = predict_path::device;
+        }
+    }
+    return best_path;
 }
 
 }  // namespace plssvm::serve

@@ -62,6 +62,25 @@ struct dispatch_params {
     bool calibrate_host{ true };
 };
 
+/**
+ * @brief Shape of one prediction batch, including the sparsity information
+ *        the nnz-aware cost terms need.
+ *
+ * `sv_nnz == 0` means the served model has no sparse compiled form (the
+ * sparse SV sweeps are unavailable); `sparse_query` marks CSR query batches
+ * with `query_nnz` total stored entries (`query_nnz` is ignored for dense
+ * batches — the cost model substitutes `batch_size * dim`).
+ */
+struct predict_shape {
+    std::size_t batch_size{ 0 };
+    std::size_t num_sv{ 0 };
+    std::size_t dim{ 0 };
+    kernel_type kernel{ kernel_type::linear };
+    std::size_t sv_nnz{ 0 };       ///< stored SV entries; 0 = no sparse compiled form
+    bool sparse_query{ false };    ///< the query batch arrives as CSR
+    std::size_t query_nnz{ 0 };    ///< stored query entries (CSR batches only)
+};
+
 class predict_dispatcher {
   public:
     predict_dispatcher() :
@@ -79,12 +98,31 @@ class predict_dispatcher {
     /// Estimated host seconds for one blocked sweep over the batch.
     [[nodiscard]] double host_seconds(std::size_t batch_size, std::size_t num_sv, std::size_t dim, kernel_type kernel) const;
 
+    /// Estimated host seconds for one sparse sweep over the batch
+    /// (`sim::serve_sparse_predict_cost`: O(nnz) core, panel streamed once
+    /// per point tile).
+    [[nodiscard]] double host_sparse_seconds(const predict_shape &shape) const;
+
     /// Estimated device seconds: kernel roofline + launch overhead + the
     /// per-batch point upload and result download (SVs are device-resident).
     [[nodiscard]] double device_seconds(std::size_t batch_size, std::size_t num_sv, std::size_t dim, kernel_type kernel) const;
 
-    /// Pick the execution path for one batch of the given shape.
+    /// Pick the execution path for one batch of the given shape (dense-model,
+    /// dense-query convenience overload).
     [[nodiscard]] predict_path choose(std::size_t batch_size, std::size_t num_sv, std::size_t dim, kernel_type kernel) const;
+
+    /**
+     * @brief Pick the execution path for one batch with full sparsity
+     *        information.
+     *
+     * The sparse path competes when it exists for the shape: non-linear
+     * kernels need the sparse compiled SV panel (`sv_nnz > 0`), the linear
+     * kernel needs a CSR query batch (its dense path never touches the SV
+     * panel, so SV sparsity is irrelevant there). CSR query batches never
+     * route to the device (it has no sparse kernels; the engines would have
+     * to densify, forfeiting the point of the sparse client contract).
+     */
+    [[nodiscard]] predict_path choose(const predict_shape &shape) const;
 
   private:
     dispatch_params params_{};

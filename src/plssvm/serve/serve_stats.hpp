@@ -37,6 +37,9 @@ enum class predict_path {
     reference,
     /// Register/cache-tiled host batch kernels (`serve/batch_kernels`).
     host_blocked,
+    /// Sparse host sweeps (`serve/batch_kernels` CSR kernels): CSR-query or
+    /// CSR-compiled SV panels evaluated in O(nnz) instead of O(dim)/O(sv*dim).
+    host_sparse,
     /// Blocked device predict kernels (`backends/device/predict_kernels`).
     device,
 };
@@ -47,6 +50,8 @@ enum class predict_path {
             return "reference";
         case predict_path::host_blocked:
             return "host_blocked";
+        case predict_path::host_sparse:
+            return "host_sparse";
         case predict_path::device:
             return "device";
     }
@@ -72,6 +77,7 @@ struct serve_stats {
     double batch_kernel_seconds{ 0.0 };  ///< wall time spent inside batch kernels
     std::size_t reference_batches{ 0 };     ///< batches routed to the per-point reference path
     std::size_t host_blocked_batches{ 0 };  ///< batches routed to the tiled host kernels
+    std::size_t host_sparse_batches{ 0 };   ///< batches routed to the sparse CSR sweeps
     std::size_t device_batches{ 0 };        ///< batches routed to the device predict kernels
     // --- shared-executor and model-lifecycle counters (filled in by the
     // --- engines from their executor lane and snapshot handle) -------------
@@ -121,6 +127,9 @@ class serve_metrics {
             case predict_path::host_blocked:
                 ++host_blocked_batches_;
                 break;
+            case predict_path::host_sparse:
+                ++host_sparse_batches_;
+                break;
             case predict_path::device:
                 ++device_batches_;
                 break;
@@ -139,6 +148,7 @@ class serve_metrics {
             stats.batch_kernel_seconds = batch_kernel_seconds_;
             stats.reference_batches = reference_batches_;
             stats.host_blocked_batches = host_blocked_batches_;
+            stats.host_sparse_batches = host_sparse_batches_;
             stats.device_batches = device_batches_;
             stats.reloads = reloads_;
             const double window = std::chrono::duration<double>(last_activity_ - first_activity_).count();
@@ -175,6 +185,7 @@ class serve_metrics {
         t.set_metric(p + "/requests_per_s", stats.requests_per_second);
         t.set_metric(p + "/reference_batches", static_cast<double>(stats.reference_batches));
         t.set_metric(p + "/host_blocked_batches", static_cast<double>(stats.host_blocked_batches));
+        t.set_metric(p + "/host_sparse_batches", static_cast<double>(stats.host_sparse_batches));
         t.set_metric(p + "/device_batches", static_cast<double>(stats.device_batches));
         t.set_metric(p + "/reloads", static_cast<double>(stats.reloads));
     }
@@ -210,6 +221,7 @@ class serve_metrics {
     std::size_t total_batches_{ 0 };
     std::size_t reference_batches_{ 0 };
     std::size_t host_blocked_batches_{ 0 };
+    std::size_t host_sparse_batches_{ 0 };
     std::size_t device_batches_{ 0 };
     std::size_t reloads_{ 0 };
     double batch_kernel_seconds_{ 0.0 };

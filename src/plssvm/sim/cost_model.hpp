@@ -130,6 +130,34 @@ struct host_profile {
  */
 [[nodiscard]] kernel_cost serve_predict_cost(std::size_t batch, std::size_t num_sv, std::size_t dim, kernel_type kernel, std::size_t real_bytes);
 
+/**
+ * @brief Cost of one serving batch predict along the *sparse* execution
+ *        paths (`serve::batch` CSR sweeps) of a model whose support-vector
+ *        panel was compiled into CSR form.
+ *
+ * The nnz-aware counterpart of `serve_predict_cost`. The sparse sweeps touch
+ * only the stored entries, but every touched entry is an indexed scalar
+ * access (a gather for the dense-query x CSC sweep, a compare-and-advance
+ * merge step for the CSR x CSR row pairs) while the dense kernels run wide
+ * FMA tiles — so each sparse step is charged a *flop-equivalent* constant
+ * calibrated against the measured blocked-kernel rate (see the constants in
+ * the implementation). That keeps the host-profile comparison honest: the
+ * sparse path only wins when nnz is genuinely small, not merely smaller
+ * than `num_sv * dim`.
+ *
+ * @param sv_nnz stored SV-panel entries
+ * @param query_nnz total stored query entries (pass `batch * dim` for dense
+ *        query batches)
+ * @param sparse_query whether the queries arrive as CSR (merge-join row
+ *        pairs) or dense (feature-major gather sweep) — the two sparse
+ *        kernels have very different per-step costs
+ * @param point_tile queries per streaming pass over the SV panel
+ */
+[[nodiscard]] kernel_cost serve_sparse_predict_cost(std::size_t batch, std::size_t num_sv, std::size_t dim,
+                                                    std::size_t sv_nnz, std::size_t query_nnz, bool sparse_query,
+                                                    kernel_type kernel, std::size_t real_bytes,
+                                                    std::size_t point_tile = 16);
+
 }  // namespace plssvm::sim
 
 #endif  // PLSSVM_SIM_COST_MODEL_HPP_

@@ -185,14 +185,23 @@ TEST(SnapshotLifecycle, ConcurrentReloadStressEveryResponseMatchesOneSnapshot) {
     constexpr std::size_t num_queries = 64;
 
     // all versions share dim but have different support vectors/weights, so
-    // their decision values for the same point differ (distinct fingerprints)
+    // their decision values for the same point differ (distinct fingerprints);
+    // odd versions have very sparse SV panels and compile into the SPARSE
+    // form under the engine's default threshold, so the reload storm also
+    // flips the compiled form back and forth while batches are in flight
     std::vector<model<double>> versions;
     std::vector<compiled_model<double>> compiled;
     for (std::size_t v = 0; v < num_versions; ++v) {
-        versions.push_back(test::random_model(kernel_type::linear, 16, dim, 1000 + v));
+        if (v % 2 == 0) {
+            versions.push_back(test::random_model(kernel_type::linear, 16, dim, 1000 + v));
+        } else {
+            versions.push_back(test::random_sparse_model(kernel_type::linear, 16, dim, 0.15, 1000 + v));
+        }
         compiled.emplace_back(versions[v]);
     }
+    EXPECT_TRUE(compiled[1].sparse_sv()) << "odd versions must exercise the sparse compiled form";
     const aos_matrix<double> queries = test::random_matrix(num_queries, dim, 77);
+    const plssvm::csr_matrix<double> csr_queries{ queries };
     // per-point fingerprint: the decision value of the point under version v
     std::vector<std::vector<double>> value_of(num_queries, std::vector<double>(num_versions));
     for (std::size_t p = 0; p < num_queries; ++p) {
@@ -242,6 +251,29 @@ TEST(SnapshotLifecycle, ConcurrentReloadStressEveryResponseMatchesOneSnapshot) {
                 } else {
                     for (std::size_t r = 1; r < batch_rows; ++r) {
                         if (!matches(values[r], value_of[offset + r][batch_version])) {
+                            ++mixed_batches;
+                            break;
+                        }
+                    }
+                }
+
+                // --- sync CSR batch through the sparse-query path ----------
+                // (the linear sparse sweeps are bit-compatible with the dense
+                // w-dot, so the same fingerprints identify the snapshot even
+                // while reloads flip the compiled form dense <-> sparse)
+                const std::vector<double> csr_values = engine.decision_values(csr_queries);
+                std::size_t csr_version = num_versions;
+                for (std::size_t v = 0; v < num_versions; ++v) {
+                    if (matches(csr_values[0], value_of[0][v])) {
+                        csr_version = v;
+                        break;
+                    }
+                }
+                if (csr_version == num_versions) {
+                    ++inconsistent;
+                } else {
+                    for (std::size_t r = 1; r < num_queries; ++r) {
+                        if (!matches(csr_values[r], value_of[r][csr_version])) {
                             ++mixed_batches;
                             break;
                         }
