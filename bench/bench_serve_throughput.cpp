@@ -25,12 +25,21 @@
  *     phase and during the reload storm. Gate: p99 during reload <= 2x
  *     steady-state p99 and zero failed requests (zero-downtime reload).
  *
- *  4. Sparsity sweep (this PR's experiment): points/s of the sparse
+ *  4. Sparsity sweep (PR 4's experiment): points/s of the sparse
  *     execution paths (CSR queries against the sparse-compiled SV panel)
  *     vs. the dense-blocked kernels on the same data at 95/99/99.9% zeros,
  *     for the linear and RBF kernels on a text-shaped model (wide feature
  *     dimension). Gates: sparse-linear >= 2x dense-blocked at 99% sparsity,
  *     and the nnz-aware dispatcher auto-selects the sparse path there.
+ *
+ *  5. QoS overload sweep (this PR's experiment): open-loop interactive
+ *     traffic at 1x/2x/4x offered load against a QoS-configured engine
+ *     (queue-depth shedding + load-adaptive batching). 1x is half the
+ *     engine's measured batched capacity, so 4x is genuine overload.
+ *     Gates: interactive p99 at 4x <= 3x its 1x value (admission control
+ *     bounds the queueing delay), shed fraction at 4x stays bounded
+ *     (<= 0.9), and the steady-state adaptive batch target at 4x is >= 2x
+ *     the idle target (the tuner demonstrably reacts to load).
  *
  * Besides the human-readable tables the benchmark writes a machine-readable
  * `BENCH_serve.json` into the working directory so the serving perf
@@ -55,6 +64,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <future>
 #include <string>
 #include <thread>
@@ -146,6 +156,27 @@ struct sparse_result {
     std::string dispatched_path;
 };
 
+/// One offered-load level of the QoS overload sweep.
+struct qos_phase_result {
+    double load_factor{ 0.0 };
+    double offered_rps{ 0.0 };
+    std::size_t submitted{ 0 };
+    std::size_t shed{ 0 };
+    double shed_fraction{ 0.0 };
+    double achieved_rps{ 0.0 };
+    double interactive_p99_s{ 0.0 };
+    double mean_batch{ 0.0 };
+    std::size_t target_batch{ 0 };  ///< adaptive target sampled mid-storm
+};
+
+/// The QoS overload-sweep measurement of the JSON report.
+struct qos_result {
+    double capacity_pps{ 0.0 };      ///< measured batched-path capacity
+    std::size_t idle_target{ 0 };    ///< adaptive batch target of an idle engine
+    std::size_t max_pending{ 0 };    ///< interactive shed threshold used
+    std::vector<qos_phase_result> phases;
+};
+
 /// The reload-under-load measurement of the JSON report.
 struct reload_result {
     double steady_p99_s{ 0.0 };
@@ -162,11 +193,12 @@ struct reload_result {
 void write_json(const char *file_name, const std::size_t num_sv, const std::size_t dim,
                 const std::size_t num_queries, const std::size_t engine_threads, const std::size_t repeats,
                 const bool quick, const std::vector<engine_result> &engines, const std::vector<path_result> &paths,
-                const std::vector<sparse_result> &sparse,
+                const std::vector<sparse_result> &sparse, const qos_result &qos,
                 const reload_result &reload, const plssvm::sim::host_profile &host_profile,
                 const double rbf256_speedup, const bool blocked_beats_reference, const double worst_sync_speedup,
                 const bool reload_pass, const double sparse_linear_99_speedup, const bool sparse_dispatch_auto,
-                const bool pass) {
+                const double qos_p99_ratio, const double qos_shed_fraction, const double qos_batch_growth,
+                const bool qos_pass, const bool pass) {
     std::FILE *f = std::fopen(file_name, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "warning: could not open %s for writing\n", file_name);
@@ -197,14 +229,24 @@ void write_json(const char *file_name, const std::size_t num_sv, const std::size
                      r.dispatched_path.c_str(), i + 1 < sparse.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"qos\": {\n    \"capacity_pps\": %.1f, \"idle_target_batch\": %zu, \"interactive_max_pending\": %zu,\n    \"sweep\": [\n",
+                 qos.capacity_pps, qos.idle_target, qos.max_pending);
+    for (std::size_t i = 0; i < qos.phases.size(); ++i) {
+        const qos_phase_result &r = qos.phases[i];
+        std::fprintf(f, "      { \"load_x\": %.1f, \"offered_rps\": %.1f, \"submitted\": %zu, \"shed\": %zu, \"shed_fraction\": %.3f, \"achieved_rps\": %.1f, \"interactive_p99_s\": %.6e, \"mean_batch\": %.1f, \"target_batch\": %zu }%s\n",
+                     r.load_factor, r.offered_rps, r.submitted, r.shed, r.shed_fraction, r.achieved_rps,
+                     r.interactive_p99_s, r.mean_batch, r.target_batch, i + 1 < qos.phases.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  },\n");
     std::fprintf(f, "  \"reload_under_load\": { \"steady_p99_s\": %.6e, \"reload_p99_s\": %.6e, \"p99_ratio\": %.2f, \"steady_rps\": %.1f, \"reload_rps\": %.1f, \"reloads\": %zu, \"steady_samples\": %zu, \"reload_samples\": %zu, \"failed_requests\": %zu },\n",
                  reload.steady_p99_s, reload.reload_p99_s, reload.p99_ratio, reload.steady_rps, reload.reload_rps,
                  reload.reloads, reload.steady_samples, reload.reload_samples, reload.failed_requests);
     std::fprintf(f, "  \"host_profile\": { \"effective_gflops\": %.3f, \"effective_bandwidth_gbs\": %.3f },\n",
                  host_profile.effective_gflops, host_profile.effective_bandwidth_gbs);
-    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"reload_p99_within_2x\": %s, \"sparse_linear_99pct_speedup\": %.2f, \"sparse_dispatcher_auto\": %s, \"pass\": %s }\n",
+    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"reload_p99_within_2x\": %s, \"sparse_linear_99pct_speedup\": %.2f, \"sparse_dispatcher_auto\": %s, \"qos_interactive_p99_ratio_4x\": %.2f, \"qos_shed_fraction_4x\": %.3f, \"qos_batch_growth_4x\": %.2f, \"qos_pass\": %s, \"pass\": %s }\n",
                  rbf256_speedup, blocked_beats_reference ? "true" : "false", worst_sync_speedup,
                  reload_pass ? "true" : "false", sparse_linear_99_speedup, sparse_dispatch_auto ? "true" : "false",
+                 qos_p99_ratio, qos_shed_fraction, qos_batch_growth, qos_pass ? "true" : "false",
                  pass ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -562,6 +604,164 @@ int main(int argc, char **argv) {
         sparse_table.print();
     }
 
+    // ------------------------------------------------------------------
+    // experiment 5: QoS overload sweep (admission control + adaptive batching)
+    // ------------------------------------------------------------------
+    std::printf("\nQoS overload sweep (open-loop interactive traffic, queue-depth shedding, adaptive batch sizing):\n\n");
+    qos_result qos;
+    double qos_p99_ratio = 0.0;
+    double qos_shed_fraction_4x = 0.0;
+    double qos_batch_growth = 0.0;
+    {
+        // a heavy fixed-shape model (independent of --scale): per-point cost
+        // must be high enough that a few producer threads can genuinely
+        // offer multiples of the engine's capacity
+        const std::size_t qos_num_sv = 2048;
+        const std::size_t qos_dim = 128;
+        const model<double> trained = make_model(kernel_type::rbf, qos_num_sv, qos_dim, options.seed + 51);
+        const aos_matrix<double> queries = random_matrix(512, qos_dim, options.seed + 53);
+        const double phase_seconds = options.quick ? 0.5 : 1.2;
+
+        const auto make_config = [&](plssvm::serve::executor &exec, const std::size_t interactive_max_pending) {
+            plssvm::serve::engine_config config;
+            config.exec = &exec;
+            config.num_threads = engine_threads;
+            config.max_batch_size = 64;
+            config.batch_delay = std::chrono::microseconds{ 300 };
+            // growth ceiling 64 keeps the 4x-overload batch execution time
+            // bounded relative to the 1x p99 (the p99-ratio gate) while
+            // still allowing 8x growth over the idle target of 8
+            config.qos.adaptive.min_batch_size = 8;
+            config.qos.adaptive.max_batch_size = 64;
+            // full saturation once the backlog reaches the shed threshold's
+            // neighbourhood, so a queue riding the cap drives targets up
+            config.qos.adaptive.backlog_at_max = 96.0;
+            config.qos.classes[plssvm::serve::class_index(plssvm::serve::request_class::interactive)].max_pending = interactive_max_pending;
+            return config;
+        };
+
+        // capacity: the batched sync path over a full query matrix is the
+        // throughput ceiling any admission policy has to respect
+        {
+            plssvm::serve::executor exec{ engine_threads };
+            plssvm::serve::inference_engine<double> engine{ trained, make_config(exec, 0) };
+            qos.idle_target = engine.stats().classes[plssvm::serve::class_index(plssvm::serve::request_class::interactive)].target_batch_size;
+            plssvm::bench::stopwatch probe;
+            std::size_t probed = 0;
+            while (probe.seconds() < (options.quick ? 0.2 : 0.4)) {
+                volatile double sink = engine.decision_values(queries).front();
+                (void) sink;
+                probed += queries.num_rows();
+            }
+            qos.capacity_pps = static_cast<double>(probed) / probe.seconds();
+        }
+        const double base_rps = 0.5 * qos.capacity_pps;  // 1x = comfortable half capacity
+
+        // one open-loop phase: producers pace class-tagged submits at the
+        // offered rate, reap fulfilled futures as they go, and the adaptive
+        // target is sampled mid-storm (it decays as the tail drains)
+        const auto run_phase = [&](plssvm::serve::inference_engine<double> &engine, const double offered_rps, qos_phase_result &out) {
+            constexpr std::size_t num_producers = 2;
+            std::atomic<bool> stop{ false };
+            std::atomic<std::size_t> submitted{ 0 };
+            std::atomic<std::size_t> shed{ 0 };
+            std::atomic<std::size_t> completed{ 0 };
+            std::vector<std::thread> producers;
+            for (std::size_t t = 0; t < num_producers; ++t) {
+                producers.emplace_back([&, t]() {
+                    const double rate = offered_rps / num_producers;
+                    std::deque<std::future<double>> in_flight;
+                    plssvm::bench::stopwatch pacer;
+                    std::size_t sent = 0;
+                    std::size_t row = t * 131;
+                    while (!stop.load(std::memory_order_relaxed)) {
+                        std::this_thread::sleep_for(std::chrono::microseconds{ 200 });
+                        const auto due = static_cast<std::size_t>(pacer.seconds() * rate);
+                        while (sent < due) {
+                            ++sent;
+                            ++submitted;
+                            const double *point = queries.row_data(row++ % queries.num_rows());
+                            try {
+                                in_flight.push_back(engine.submit(std::vector<double>(point, point + qos_dim),
+                                                                  plssvm::serve::request_options{ .cls = plssvm::serve::request_class::interactive }));
+                            } catch (const plssvm::serve::request_shed_exception &) {
+                                ++shed;
+                            }
+                        }
+                        while (!in_flight.empty() && in_flight.front().wait_for(std::chrono::seconds{ 0 }) == std::future_status::ready) {
+                            (void) in_flight.front().get();
+                            in_flight.pop_front();
+                            ++completed;
+                        }
+                    }
+                    for (std::future<double> &f : in_flight) {
+                        (void) f.get();  // admitted requests are always answered
+                        ++completed;
+                    }
+                });
+            }
+            plssvm::bench::stopwatch phase_timer;
+            // sample the steady-state adaptive target mid-storm
+            std::this_thread::sleep_for(std::chrono::duration<double>(0.9 * phase_seconds));
+            const plssvm::serve::serve_stats mid = engine.stats();
+            const auto &mid_interactive = mid.classes[plssvm::serve::class_index(plssvm::serve::request_class::interactive)];
+            out.target_batch = mid_interactive.target_batch_size;
+            while (phase_timer.seconds() < phase_seconds) {
+                std::this_thread::sleep_for(std::chrono::milliseconds{ 5 });
+            }
+            stop.store(true);
+            for (std::thread &producer : producers) {
+                producer.join();
+            }
+            const double elapsed = phase_timer.seconds();
+            const plssvm::serve::serve_stats stats = engine.stats();
+            const auto &interactive = stats.classes[plssvm::serve::class_index(plssvm::serve::request_class::interactive)];
+            out.offered_rps = offered_rps;
+            out.submitted = submitted.load();
+            out.shed = shed.load();
+            out.shed_fraction = out.submitted > 0 ? static_cast<double>(out.shed) / static_cast<double>(out.submitted) : 0.0;
+            out.achieved_rps = elapsed > 0.0 ? static_cast<double>(completed.load()) / elapsed : 0.0;
+            out.interactive_p99_s = interactive.p99_latency_seconds;
+            out.mean_batch = interactive.mean_batch_size;
+        };
+
+        // calibration at 1x with shedding off: Little's-law backlog sizes the
+        // shed threshold at the p99-level in-flight count, so admitted
+        // requests queue for at most about one steady-state p99
+        {
+            plssvm::serve::executor exec{ engine_threads };
+            plssvm::serve::inference_engine<double> engine{ trained, make_config(exec, 0) };
+            qos_phase_result calibration;
+            run_phase(engine, base_rps, calibration);
+            const double backlog = calibration.interactive_p99_s * calibration.achieved_rps;
+            qos.max_pending = std::clamp<std::size_t>(static_cast<std::size_t>(backlog), 32, 2048);
+        }
+
+        plssvm::bench::table_printer qos_table{ { "load", "offered req/s", "achieved req/s", "shed", "interactive p99", "mean batch", "target batch" } };
+        for (const double load : { 1.0, 2.0, 4.0 }) {
+            plssvm::serve::executor exec{ engine_threads };
+            plssvm::serve::inference_engine<double> engine{ trained, make_config(exec, qos.max_pending) };
+            qos_phase_result phase;
+            phase.load_factor = load;
+            run_phase(engine, load * base_rps, phase);
+            qos_table.add_row({ plssvm::bench::format_double(load, 0) + "x",
+                                plssvm::bench::format_double(phase.offered_rps, 0),
+                                plssvm::bench::format_double(phase.achieved_rps, 0),
+                                plssvm::bench::format_double(100.0 * phase.shed_fraction, 1) + "%",
+                                plssvm::bench::format_seconds(phase.interactive_p99_s),
+                                plssvm::bench::format_double(phase.mean_batch, 1),
+                                std::to_string(phase.target_batch) });
+            qos.phases.push_back(phase);
+        }
+        qos_table.print();
+
+        const qos_phase_result &at_1x = qos.phases.front();
+        const qos_phase_result &at_4x = qos.phases.back();
+        qos_p99_ratio = at_1x.interactive_p99_s > 0.0 ? at_4x.interactive_p99_s / at_1x.interactive_p99_s : 0.0;
+        qos_shed_fraction_4x = at_4x.shed_fraction;
+        qos_batch_growth = qos.idle_target > 0 ? static_cast<double>(at_4x.target_batch) / static_cast<double>(qos.idle_target) : 0.0;
+    }
+
     // the measured host profile closes the calibration loop: the next engine
     // start in this directory picks it up via serve::calibrated_host_profile
     const plssvm::sim::host_profile measured_host = plssvm::serve::measure_host_profile(sizeof(double));
@@ -572,11 +772,14 @@ int main(int argc, char **argv) {
     const bool reload_pass = reload.failed_requests == 0 && reload.reloads > 0
                              && reload.p99_ratio <= 2.0;
     const bool sparse_pass = sparse_linear_99_speedup >= 2.0 && sparse_dispatch_auto;
-    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= 2.0 && blocked_beats_reference && reload_pass && sparse_pass;
+    const bool qos_pass = qos_p99_ratio > 0.0 && qos_p99_ratio <= 3.0
+                          && qos_shed_fraction_4x <= 0.9 && qos_batch_growth >= 2.0;
+    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= 2.0 && blocked_beats_reference && reload_pass && sparse_pass && qos_pass;
     write_json("BENCH_serve.json", num_sv, dim, num_queries, engine_threads, repeats, options.quick,
-               engine_results, path_results, sparse_results, reload, measured_host,
+               engine_results, path_results, sparse_results, qos, reload, measured_host,
                rbf256_speedup, blocked_beats_reference, worst_sync_speedup, reload_pass,
-               sparse_linear_99_speedup, sparse_dispatch_auto, pass);
+               sparse_linear_99_speedup, sparse_dispatch_auto,
+               qos_p99_ratio, qos_shed_fraction_4x, qos_batch_growth, qos_pass, pass);
 
     std::printf("\nworst batched-sync speedup over naive loop: %.1fx (gate: >= 3x)\n", worst_sync_speedup);
     std::printf("blocked speedup over per-point reference, rbf @ batch 256: %.2fx (gate: >= 2x)\n", rbf256_speedup);
@@ -585,6 +788,10 @@ int main(int argc, char **argv) {
                 1e6 * reload.reload_p99_s, 1e6 * reload.steady_p99_s, reload.p99_ratio, reload.reloads, reload.failed_requests);
     std::printf("sparse-linear speedup over dense-blocked at 99%% sparsity: %.2fx (gate: >= 2x, dispatcher picks sparse: %s)\n",
                 sparse_linear_99_speedup, sparse_dispatch_auto ? "yes" : "NO");
+    std::printf("interactive p99 at 4x overload: %.2fx its 1x value (gate: <= 3x), shed fraction %.1f%% (gate: <= 90%%)\n",
+                qos_p99_ratio, 100.0 * qos_shed_fraction_4x);
+    std::printf("adaptive batch target at 4x overload: %zu vs idle %zu -> %.1fx (gate: >= 2x)\n",
+                qos.phases.empty() ? 0 : qos.phases.back().target_batch, qos.idle_target, qos_batch_growth);
     std::printf("report written to BENCH_serve.json\n");
     return pass ? 0 : 1;
 }

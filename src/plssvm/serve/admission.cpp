@@ -1,0 +1,86 @@
+#include "plssvm/serve/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+
+namespace plssvm::serve {
+
+token_bucket::token_bucket(const double rate_per_second, const double burst) :
+    rate_{ rate_per_second },
+    burst_{ burst > 0.0 ? burst : rate_per_second } {
+    if (rate_ > 0.0) {
+        // the cap must fit at least one whole token, or a sub-1.0 rate with
+        // its default burst could never accumulate enough to admit anything
+        burst_ = std::max(burst_, 1.0);
+    }
+    tokens_ = burst_;  // a fresh bucket starts full so cold starts admit a burst
+}
+
+void token_bucket::refill(const time_point now) {
+    if (!started_) {
+        last_refill_ = now;
+        started_ = true;
+        return;
+    }
+    if (now <= last_refill_) {
+        return;  // non-monotonic or same-instant call: nothing accrued
+    }
+    const double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_refill_ = now;
+}
+
+bool token_bucket::try_acquire(const time_point now) {
+    if (unlimited()) {
+        return true;
+    }
+    refill(now);
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+double token_bucket::available(const time_point now) {
+    if (unlimited()) {
+        return std::numeric_limits<double>::infinity();
+    }
+    refill(now);
+    return tokens_;
+}
+
+admission_controller::admission_controller(const qos_config &config) :
+    classes_{ config.classes } {
+    for (const request_class cls : all_request_classes) {
+        const class_qos_config &c = classes_[class_index(cls)];
+        if (c.rate_limit > 0.0) {
+            buckets_[class_index(cls)] = token_bucket{ c.rate_limit, c.burst };
+        }
+    }
+}
+
+admission_decision admission_controller::try_admit(const request_class cls, const std::size_t class_pending, const time_point now) {
+    const class_qos_config &c = classes_[class_index(cls)];
+    // queue depth first: a request the backlog would shed anyway must not
+    // burn a rate token
+    if (c.max_pending > 0 && class_pending >= c.max_pending) {
+        return admission_decision::shed_queue_full;
+    }
+    // rate-unlimited classes (the default) skip the controller mutex: the
+    // bucket set is immutable after construction and an unlimited bucket
+    // admits unconditionally, so the hot submit path stays lock-free here
+    if (buckets_[class_index(cls)].unlimited()) {
+        return admission_decision::admitted;
+    }
+    const std::lock_guard lock{ mutex_ };
+    if (!buckets_[class_index(cls)].try_acquire(now)) {
+        return admission_decision::shed_rate_limited;
+    }
+    return admission_decision::admitted;
+}
+
+}  // namespace plssvm::serve

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * @brief Per-engine admission control: token-bucket rate limiting and
+ *        queue-depth load shedding in front of the micro-batcher.
+ *
+ * Under overload, letting every request into the batcher only moves the
+ * queueing delay inside the process — every class's p99 explodes together.
+ * The admission controller fails the excess *fast* instead: each request
+ * class has a token bucket (sustained rate + burst) and a queue-depth shed
+ * threshold, and a request that would exceed either is rejected at the
+ * `submit()` call site with a typed `request_shed_exception` before it ever
+ * allocates queue state. Shed requests are counted per class in
+ * `serve_stats`, so operators can see load shedding happen instead of
+ * debugging mystery latency.
+ *
+ * The token bucket is driven by caller-supplied time points (the engines
+ * pass `steady_clock::now()`), which keeps refill arithmetic testable with
+ * a fake clock.
+ */
+
+#ifndef PLSSVM_SERVE_ADMISSION_HPP_
+#define PLSSVM_SERVE_ADMISSION_HPP_
+
+#include "plssvm/exceptions.hpp"
+#include "plssvm/serve/qos.hpp"
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace plssvm::serve {
+
+/// Thrown by the async submit path when admission control sheds the
+/// request (fail-fast backpressure: the caller is told immediately instead
+/// of queueing into an overloaded engine).
+class request_shed_exception : public exception {
+  public:
+    request_shed_exception(const request_class cls, const admission_decision reason) :
+        exception{ "request shed: " + std::string{ request_class_to_string(cls) } + " class "
+                   + (reason == admission_decision::shed_queue_full ? "backlog is full" : "rate limit exceeded") },
+        cls_{ cls },
+        reason_{ reason } {}
+
+    /// Class of the shed request.
+    [[nodiscard]] request_class shed_class() const noexcept { return cls_; }
+    /// Which limit shed it (`shed_rate_limited` or `shed_queue_full`).
+    [[nodiscard]] admission_decision reason() const noexcept { return reason_; }
+
+  private:
+    request_class cls_;
+    admission_decision reason_;
+};
+
+/**
+ * @brief Classic token bucket: `rate` tokens/s refill up to a `burst` cap;
+ *        each admitted request consumes one token.
+ *
+ * Time is injected by the caller (monotonic time points), so tests drive it
+ * with a fake clock. Not internally synchronized — `admission_controller`
+ * serializes access.
+ */
+class token_bucket {
+  public:
+    using time_point = std::chrono::steady_clock::time_point;
+
+    /// Unlimited bucket (every acquire succeeds).
+    token_bucket() = default;
+
+    /// @param rate_per_second sustained refill rate; <= 0 means unlimited
+    /// @param burst bucket capacity; <= 0 means one second of @p rate_per_second
+    token_bucket(double rate_per_second, double burst);
+
+    /// True iff the bucket is unlimited (rate <= 0 at construction).
+    [[nodiscard]] bool unlimited() const noexcept { return rate_ <= 0.0; }
+
+    /// Refill up to @p now and consume one token if available.
+    [[nodiscard]] bool try_acquire(time_point now);
+
+    /// Tokens available after refilling up to @p now (burst cap applied).
+    [[nodiscard]] double available(time_point now);
+
+  private:
+    void refill(time_point now);
+
+    double rate_{ 0.0 };
+    double burst_{ 0.0 };
+    double tokens_{ 0.0 };
+    time_point last_refill_{};
+    bool started_{ false };  ///< first call seeds `last_refill_` (bucket starts full)
+};
+
+/**
+ * @brief Per-engine admission controller: one token bucket + queue-depth
+ *        shed threshold per request class. Thread-safe (submit paths race).
+ */
+class admission_controller {
+  public:
+    using time_point = token_bucket::time_point;
+
+    /// Build the per-class buckets from @p config (`qos_config::classes`).
+    explicit admission_controller(const qos_config &config);
+
+    admission_controller(const admission_controller &) = delete;
+    admission_controller &operator=(const admission_controller &) = delete;
+
+    /**
+     * @brief Decide one request's fate.
+     *
+     * Queue depth is checked before the bucket so a doomed request never
+     * burns a token. @p class_pending is the number of requests of @p cls
+     * already queued in the micro-batcher.
+     */
+    [[nodiscard]] admission_decision try_admit(request_class cls, std::size_t class_pending, time_point now);
+
+    /// The (unresolved) QoS limits of @p cls as configured.
+    [[nodiscard]] const class_qos_config &config(request_class cls) const noexcept {
+        return classes_[class_index(cls)];
+    }
+
+  private:
+    per_class<class_qos_config> classes_;
+    std::mutex mutex_;
+    per_class<token_bucket> buckets_;
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_ADMISSION_HPP_

@@ -156,6 +156,19 @@ std::size_t executor::total_steals() const {
     return total_steals_;
 }
 
+executor_stats executor::stats() const {
+    executor_stats stats;
+    stats.workers = workers_.size();
+    const std::lock_guard lock{ mutex_ };
+    stats.lanes = lanes_.size();
+    stats.total_steals = total_steals_;
+    for (const std::shared_ptr<lane_state> &lane : lanes_) {
+        stats.queued += lane->jobs.size();
+        stats.in_flight += lane->in_flight;
+    }
+    return stats;
+}
+
 bool executor::any_queued_job() const {
     return std::any_of(lanes_.begin(), lanes_.end(),
                        [](const std::shared_ptr<lane_state> &lane) { return !lane->jobs.empty(); });

@@ -61,6 +61,16 @@ struct lane_options {
     std::size_t weight{ 1 };
 };
 
+/// Point-in-time aggregate counters of the whole executor (all lanes).
+/// The QoS batch tuner reads this as its cross-tenant pressure signal.
+struct executor_stats {
+    std::size_t workers{ 0 };       ///< worker threads of the pool
+    std::size_t lanes{ 0 };         ///< currently registered lanes
+    std::size_t queued{ 0 };        ///< tasks queued across all lanes right now
+    std::size_t in_flight{ 0 };     ///< tasks executing right now
+    std::size_t total_steals{ 0 };  ///< steals over all lanes ever registered
+};
+
 /// Point-in-time counters of one lane.
 struct lane_stats {
     std::size_t submitted{ 0 };        ///< tasks ever enqueued
@@ -192,6 +202,9 @@ class executor {
 
     /// Tasks executed by a non-affine worker, over all lanes ever registered.
     [[nodiscard]] std::size_t total_steals() const;
+
+    /// Aggregate counters over all registered lanes (one mutex acquisition).
+    [[nodiscard]] executor_stats stats() const;
 
   private:
     void worker_loop(std::size_t worker_index);

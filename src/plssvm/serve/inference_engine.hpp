@@ -6,9 +6,14 @@
  * The engine exposes the two serving entry points:
  *  - `predict(points)` / `decision_values(points)`: synchronous batch
  *    evaluation, partitioned across the engine's executor lane;
- *  - `submit(point) -> std::future<label>`: asynchronous single-point
- *    requests, coalesced into batches by the `micro_batcher` and evaluated
- *    by a dedicated drain thread.
+ *  - `submit(point[, options]) -> std::future<label>`: asynchronous
+ *    single-point requests, coalesced into batches by the `micro_batcher`
+ *    and evaluated by a dedicated drain thread. Requests carry a
+ *    `request_class` (interactive / batch / background) and an optional
+ *    deadline budget; a per-engine `admission_controller` sheds excess
+ *    traffic fast (typed `request_shed_exception`, counted per class in
+ *    `serve_stats`), and a `batch_tuner` adapts each class's batch target
+ *    and flush deadline to the executor-lane telemetry after every batch.
  *
  * Threads are NOT owned per engine: all engines of a process share one
  * `serve::executor` (`engine_config::exec`, defaulting to the process-wide
@@ -38,11 +43,13 @@
 #include "plssvm/core/sparse_matrix.hpp"
 #include "plssvm/detail/tracker.hpp"
 #include "plssvm/exceptions.hpp"
+#include "plssvm/serve/admission.hpp"
 #include "plssvm/serve/calibration.hpp"
 #include "plssvm/serve/compiled_model.hpp"
 #include "plssvm/serve/executor.hpp"
 #include "plssvm/serve/micro_batcher.hpp"
 #include "plssvm/serve/predict_dispatcher.hpp"
+#include "plssvm/serve/qos.hpp"
 #include "plssvm/serve/serve_stats.hpp"
 #include "plssvm/serve/snapshot.hpp"
 
@@ -81,25 +88,32 @@ struct engine_config {
     /// Lane weight: consecutive tasks one worker visit may take (>= 1);
     /// higher weight = larger share of the executor under contention.
     std::size_t lane_weight{ 1 };
+    /// QoS control plane: per-class admission limits (token bucket + queue
+    /// depth shedding) and load-adaptive batch sizing. The defaults never
+    /// shed and adapt batches around `max_batch_size`/`batch_delay`.
+    qos_config qos{};
 };
 
 namespace detail {
 
 /**
  * @brief Consumer loop shared by the binary and multi-class engines: pull
- *        coalesced batches, assemble the batch matrix, evaluate, fulfil the
- *        promises, record metrics.
+ *        coalesced class-homogeneous batches, assemble the batch matrix,
+ *        evaluate, fulfil the promises, record per-class metrics, then let
+ *        the engine retune its adaptive batch policies.
  *
  * @p evaluate maps the assembled `aos_matrix` to one label per row; it takes
  * the matrix by mutable reference so a snapshot-attached input scaling can be
- * applied in place. Any exception inside a batch (including allocation
- * failure while assembling it) is propagated to that batch's promises
- * instead of escaping the drain thread.
+ * applied in place. @p post_batch runs after every batch (shed of exceptions)
+ * — the engines feed their executor-lane telemetry into the `batch_tuner`
+ * there. Any exception inside a batch (including allocation failure while
+ * assembling it) is propagated to that batch's promises instead of escaping
+ * the drain thread.
  */
-template <typename T, typename Evaluate>
-void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std::size_t num_features, Evaluate &&evaluate) {
+template <typename T, typename Evaluate, typename PostBatch>
+void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std::size_t num_features, Evaluate &&evaluate, PostBatch &&post_batch) {
     while (true) {
-        std::vector<typename micro_batcher<T>::request> batch = batcher.next_batch();
+        typename micro_batcher<T>::class_batch batch = batcher.next_batch();
         if (batch.empty()) {
             return;  // shut down and drained
         }
@@ -108,21 +122,78 @@ void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std
             // points were validated on submit
             aos_matrix<T> points{ batch_size, num_features };
             for (std::size_t i = 0; i < batch_size; ++i) {
-                std::copy(batch[i].point.begin(), batch[i].point.end(), points.row_data(i));
+                std::copy(batch.requests[i].point.begin(), batch.requests[i].point.end(), points.row_data(i));
             }
             const auto start = std::chrono::steady_clock::now();
             const std::vector<T> labels = evaluate(points);
             const auto end = std::chrono::steady_clock::now();
             metrics.record_batch(batch_size, std::chrono::duration<double>(end - start).count());
+            metrics.record_class_batch(batch.cls);
             for (std::size_t i = 0; i < batch_size; ++i) {
-                metrics.record_request_latency(std::chrono::duration<double>(end - batch[i].enqueued).count());
-                batch[i].result.set_value(labels[i]);
+                typename micro_batcher<T>::request &req = batch.requests[i];
+                const bool deadline_missed = req.deadline != no_deadline && end > req.deadline;
+                metrics.record_request_latency(batch.cls, std::chrono::duration<double>(end - req.enqueued).count(), deadline_missed);
+                req.result.set_value(labels[i]);
             }
         } catch (...) {
-            for (typename micro_batcher<T>::request &req : batch) {
+            for (typename micro_batcher<T>::request &req : batch.requests) {
                 req.result.set_exception(std::current_exception());
             }
         }
+        post_batch();
+    }
+}
+
+/// Shared admission gate of the async submit paths: consult the controller,
+/// record the decision, and fail the shed request fast with the typed error.
+template <typename T>
+void admit_or_shed(admission_controller &admission, serve_metrics &metrics, const micro_batcher<T> &batcher, const request_class cls) {
+    const admission_decision decision = admission.try_admit(cls, batcher.pending(cls), std::chrono::steady_clock::now());
+    metrics.record_admission(cls, decision);
+    if (decision != admission_decision::admitted) {
+        throw request_shed_exception{ cls, decision };
+    }
+}
+
+/// The deadline budget a request is enqueued with: its own, else the class
+/// default from the QoS config (0 = none either way). Shared by the engines.
+[[nodiscard]] inline std::chrono::microseconds effective_deadline(const admission_controller &admission, const request_options &options) {
+    return options.deadline.count() > 0 ? options.deadline : admission.config(options.cls).deadline_budget;
+}
+
+/// Drain-thread-local state + shared body of the adaptive-batching feedback
+/// loop (both engines retune identically after every drained batch): feed
+/// the lane telemetry and batcher backlog into the tuner, publish the
+/// recomputed per-class policies. The executor-wide scan (all lanes, one
+/// global mutex) is refreshed only every 8th batch — cross-tenant pressure
+/// moves slowly, and every drain thread of the process paying a full lane
+/// walk per batch would serialize engines on the scheduler lock.
+struct qos_feedback {
+    std::size_t retune_counter{ 0 };
+    std::size_t cached_cross_lane{ 0 };
+
+    template <typename T>
+    void retune(executor &exec, const executor::lane &lane_handle, batch_tuner &tuner, micro_batcher<T> &batcher) {
+        const lane_stats lane = lane_handle.stats();
+        if (retune_counter++ % 8 == 0) {
+            const executor_stats exec_stats = exec.stats();
+            cached_cross_lane = exec_stats.queued >= lane.queue_depth ? exec_stats.queued - lane.queue_depth : 0;
+        }
+        tuner.observe(batcher.pending(), lane.queue_depth, lane.stolen, cached_cross_lane);
+        batcher.set_class_policies(tuner.policies());
+    }
+};
+
+/// Copy the live QoS state (flush wakeups, saturation, per-class adaptive
+/// targets) into @p stats — the shared tail of both engines' `stats()`.
+template <typename T>
+void fill_qos_stats(serve_stats &stats, const micro_batcher<T> &batcher, const batch_tuner &tuner) {
+    stats.flush_timer_wakeups = batcher.timer_wakeups();
+    stats.batch_saturation = tuner.saturation();
+    const per_class<class_batch_policy> policies = batcher.class_policies();
+    for (const request_class cls : all_request_classes) {
+        stats.classes[class_index(cls)].target_batch_size = policies[class_index(cls)].target_batch_size;
+        stats.classes[class_index(cls)].flush_delay_seconds = std::chrono::duration<double>(policies[class_index(cls)].flush_delay).count();
     }
 }
 
@@ -269,8 +340,13 @@ class inference_engine {
         num_features_{ compiled.num_features() },
         snapshot_{ std::make_shared<const snapshot_type>(snapshot_type{ std::move(compiled), std::move(input_scaling), 1 }) },
         dispatcher_{ resolved_dispatch(config.dispatch, lane_.max_concurrency(), sizeof(T)) },
+        admission_{ config.qos },
+        tuner_{ config.qos, batch_policy{ config.max_batch_size, config.batch_delay },
+                [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); } },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } },
-        drainer_{ [this]() { drain_loop(); } } {}
+        drainer_{ [this]() { drain_loop(); } } {
+        batcher_.set_class_policies(tuner_.policies());
+    }
 
     inference_engine(const inference_engine &) = delete;
     inference_engine &operator=(const inference_engine &) = delete;
@@ -409,14 +485,19 @@ class inference_engine {
      * then-current snapshot's scaling, so the response is always consistent
      * with exactly one snapshot even across reloads.
      *
+     * @param options request class and optional deadline budget; defaults to
+     *        an interactive request with the class's configured deadline
      * @return future resolving to the predicted label in the model's
      *         original label domain
      * @throws plssvm::invalid_data_exception if the feature count is wrong
      *         (checked eagerly so the error surfaces at the call site)
+     * @throws plssvm::serve::request_shed_exception if admission control
+     *         sheds the request (rate limit or class backlog full)
      */
-    [[nodiscard]] std::future<T> submit(std::vector<T> point) {
+    [[nodiscard]] std::future<T> submit(std::vector<T> point, const request_options &options = {}) {
         compiled_model<T>::validate_feature_count(num_features_, point.size());
-        return batcher_.enqueue(std::move(point));
+        detail::admit_or_shed(admission_, metrics_, batcher_, options.cls);
+        return batcher_.enqueue(std::move(point), options.cls, detail::effective_deadline(admission_, options));
     }
 
     /**
@@ -425,11 +506,14 @@ class inference_engine {
      *
      * The point is densified at submit time — the micro-batcher assembles
      * dense batch matrices — so sparse clients skip sending explicit zeros
-     * over the wire but share the batched execution paths.
+     * over the wire but share the batched execution paths (including
+     * admission control and per-class accounting).
      * @throws plssvm::invalid_data_exception if any feature index is out of
      *         range for the model
+     * @throws plssvm::serve::request_shed_exception if admission control
+     *         sheds the request
      */
-    [[nodiscard]] std::future<T> submit(const std::vector<typename csr_matrix<T>::entry> &sparse_point) {
+    [[nodiscard]] std::future<T> submit(const std::vector<typename csr_matrix<T>::entry> &sparse_point, const request_options &options = {}) {
         std::vector<T> dense(num_features_, T{ 0 });
         for (const auto &e : sparse_point) {
             if (e.index >= num_features_) {
@@ -437,11 +521,13 @@ class inference_engine {
             }
             dense[e.index] = e.value;
         }
-        return batcher_.enqueue(std::move(dense));
+        detail::admit_or_shed(admission_, metrics_, batcher_, options.cls);
+        return batcher_.enqueue(std::move(dense), options.cls, detail::effective_deadline(admission_, options));
     }
 
     /// Current latency/throughput aggregates, including the engine's lane
-    /// counters on the shared executor and the served snapshot version.
+    /// counters on the shared executor, the served snapshot version, and the
+    /// live per-class QoS state (admission counters, adaptive batch targets).
     [[nodiscard]] serve_stats stats() const {
         serve_stats stats = metrics_.snapshot();
         const lane_stats lane = lane_.stats();
@@ -450,8 +536,12 @@ class inference_engine {
         stats.steals = lane.stolen;
         stats.executor_threads = exec_->size();
         stats.snapshot_version = snapshot_.load()->version;
+        detail::fill_qos_stats(stats, batcher_, tuner_);
         return stats;
     }
+
+    /// `stats()` rendered as a machine-readable JSON snapshot string.
+    [[nodiscard]] std::string stats_json() const { return to_json(stats()); }
 
     /// Publish the aggregates into @p t under @p prefix.
     void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
@@ -463,6 +553,8 @@ class inference_engine {
         t.set_metric(p + "/steals", static_cast<double>(stats.steals));
         t.set_metric(p + "/executor_threads", static_cast<double>(stats.executor_threads));
         t.set_metric(p + "/snapshot_version", static_cast<double>(stats.snapshot_version));
+        t.set_metric(p + "/flush_timer_wakeups", static_cast<double>(stats.flush_timer_wakeups));
+        t.set_metric(p + "/batch_saturation", stats.batch_saturation);
     }
 
   private:
@@ -491,20 +583,30 @@ class inference_engine {
     }
 
     void drain_loop() {
-        detail::drain_requests(batcher_, metrics_, num_features_, [this](aos_matrix<T> &points) {
-            // one snapshot for the whole batch: scaling and model always match
-            const snapshot_ptr snap = snapshot_.load();
-            if (snap->input_scaling != nullptr) {
-                snap->input_scaling->transform(points);  // engine-owned matrix
-            }
-            std::vector<T> values(points.num_rows());
-            const predict_path path = dispatched_decision_values(snap->compiled, dispatcher_, lane_, points, values.data());
-            metrics_.record_path(path);
-            for (T &v : values) {
-                v = snap->compiled.label_from_decision(v);
-            }
-            return values;
-        });
+        detail::drain_requests(
+            batcher_, metrics_, num_features_,
+            [this](aos_matrix<T> &points) {
+                // one snapshot for the whole batch: scaling and model always match
+                const snapshot_ptr snap = snapshot_.load();
+                if (snap->input_scaling != nullptr) {
+                    snap->input_scaling->transform(points);  // engine-owned matrix
+                }
+                std::vector<T> values(points.num_rows());
+                const predict_path path = dispatched_decision_values(snap->compiled, dispatcher_, lane_, points, values.data());
+                metrics_.record_path(path);
+                for (T &v : values) {
+                    v = snap->compiled.label_from_decision(v);
+                }
+                return values;
+            },
+            [this]() { feedback_.retune(*exec_, lane_, tuner_, batcher_); });
+    }
+
+    /// Cost-model estimate of one batch of @p batch_size against the current
+    /// snapshot, along the path the dispatcher would pick (tuner input).
+    [[nodiscard]] double estimated_batch_seconds(const std::size_t batch_size) const {
+        const snapshot_ptr snap = snapshot_.load();
+        return dispatcher_.estimated_seconds(dense_batch_shape(snap->compiled, batch_size));
     }
 
     engine_config config_;
@@ -515,8 +617,11 @@ class inference_engine {
     std::mutex install_mutex_;         ///< serializes version bump + publication
     std::uint64_t last_version_{ 1 };  ///< guarded by install_mutex_
     predict_dispatcher dispatcher_;
+    admission_controller admission_;   ///< QoS admission gate of the submit paths
+    batch_tuner tuner_;                ///< load-adaptive per-class batch policies
     micro_batcher<T> batcher_;
     serve_metrics metrics_;
+    detail::qos_feedback feedback_;    ///< drain-thread only
     std::thread drainer_;
 };
 

@@ -1,23 +1,39 @@
 /**
  * @file
- * @brief Request-coalescing micro-batcher for online inference.
+ * @brief Class-aware request-coalescing micro-batcher for online inference.
  *
- * Single-point predict requests arrive one at a time but the batch kernels of
- * `compiled_model` amortize their per-call setup over many points. The
- * micro-batcher bridges the two: producers enqueue points and receive a
- * future; a consumer (the inference engine's drain thread) pulls *batches*
- * formed under a dual policy:
+ * Single-point predict requests arrive one at a time but the batch kernels
+ * of `compiled_model` amortize their per-call setup over many points. The
+ * micro-batcher bridges the two: producers enqueue points (tagged with a
+ * `request_class` and an optional deadline) and receive a future; a consumer
+ * (the inference engine's drain thread) pulls *class-homogeneous batches*.
  *
- *  - size trigger: a batch is released as soon as `max_batch_size` requests
- *    are pending, and
- *  - latency deadline: a partial batch is released once its oldest request
- *    has waited `max_delay`, bounding the latency cost of batching.
+ * QoS structure (this replaces the original single FIFO):
+ *
+ *  - one FIFO per `request_class`; `next_batch()` always releases the
+ *    highest-priority class that is ready, so interactive traffic is never
+ *    stuck behind bulk work;
+ *  - per-class `class_batch_policy` (target size, flush delay, estimated
+ *    batch execution time), hot-swapped by the engine's adaptive
+ *    `batch_tuner` after every batch via `set_class_policies()`;
+ *  - a class is *ready* once its queue reaches the target size or its
+ *    oldest request's flush deadline passed. A request carrying a deadline
+ *    is flushed no later than `deadline - estimated_batch_latency`, so an
+ *    interactive request is never batched past its deadline budget.
+ *
+ * Wakeup discipline: the consumer blocks on ONE condition variable. With
+ * pending requests it waits until the *earliest* flush deadline across all
+ * classes (a single timed wait, recomputed after every wake — no polling
+ * loop); with no pending requests it waits untimed, so an idle engine
+ * performs no periodic wakeups at all. Timed-wait expirations are counted
+ * (`timer_wakeups()`) so the no-spurious-wakeup property is testable.
  */
 
 #ifndef PLSSVM_SERVE_MICRO_BATCHER_HPP_
 #define PLSSVM_SERVE_MICRO_BATCHER_HPP_
 
 #include "plssvm/exceptions.hpp"
+#include "plssvm/serve/qos.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -31,82 +47,141 @@
 
 namespace plssvm::serve {
 
-/// Batching policy knobs.
-struct batch_policy {
-    /// Release a batch as soon as this many requests are pending (>= 1).
-    std::size_t max_batch_size{ 64 };
-    /// Release a partial batch once its oldest request has waited this long.
-    std::chrono::microseconds max_delay{ 500 };
-};
-
 template <typename T>
 class micro_batcher {
   public:
+    using time_point = std::chrono::steady_clock::time_point;
+
     /// One pending predict request.
     struct request {
         std::vector<T> point;                                ///< feature vector
         std::promise<T> result;                              ///< fulfilled by the consumer
-        std::chrono::steady_clock::time_point enqueued{};    ///< for latency accounting
+        time_point enqueued{};                               ///< for latency accounting
+        time_point deadline{ no_deadline };                  ///< absolute fulfilment deadline
     };
 
+    /// One popped batch: requests of exactly one class, FIFO within it.
+    struct class_batch {
+        request_class cls{ request_class::interactive };
+        std::vector<request> requests;
+
+        [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
+        [[nodiscard]] std::size_t size() const noexcept { return requests.size(); }
+    };
+
+    /// Start with every class on the same base @p policy (the engine swaps
+    /// in adaptive per-class policies via `set_class_policies`).
     explicit micro_batcher(batch_policy policy = {}) :
         policy_{ policy } {
         if (policy_.max_batch_size == 0) {
             throw invalid_parameter_exception{ "micro_batcher max_batch_size must be at least 1!" };
+        }
+        for (class_batch_policy &p : class_policies_) {
+            p = class_batch_policy{ policy_.max_batch_size, policy_.max_delay, std::chrono::microseconds{ 0 } };
         }
     }
 
     micro_batcher(const micro_batcher &) = delete;
     micro_batcher &operator=(const micro_batcher &) = delete;
 
+    /// The static base policy the batcher was constructed with.
     [[nodiscard]] const batch_policy &policy() const noexcept { return policy_; }
+
+    /// The live policy of @p cls (adaptive targets, for `serve_stats`).
+    [[nodiscard]] class_batch_policy class_policy(const request_class cls) const {
+        const std::lock_guard lock{ mutex_ };
+        return class_policies_[class_index(cls)];
+    }
+
+    /// All live per-class policies.
+    [[nodiscard]] per_class<class_batch_policy> class_policies() const {
+        const std::lock_guard lock{ mutex_ };
+        return class_policies_;
+    }
+
+    /// Atomically replace the per-class batch policies (called by the
+    /// adaptive tuner). Consumers are woken: a shrunken target or flush
+    /// delay can make a waiting class ready immediately.
+    void set_class_policies(const per_class<class_batch_policy> &policies) {
+        {
+            const std::lock_guard lock{ mutex_ };
+            class_policies_ = policies;
+            for (class_batch_policy &p : class_policies_) {
+                p.target_batch_size = std::max<std::size_t>(1, p.target_batch_size);
+            }
+        }
+        cv_.notify_all();
+    }
 
     /// Enqueue a predict request; the returned future is fulfilled once a
     /// consumer processed the batch containing it.
+    /// @param cls priority class the request is queued under
+    /// @param deadline_budget time budget from now to fulfilment; 0 = none
     /// @throws plssvm::exception if the batcher has been shut down
-    [[nodiscard]] std::future<T> enqueue(std::vector<T> point) {
+    [[nodiscard]] std::future<T> enqueue(std::vector<T> point, const request_class cls = request_class::interactive,
+                                         const std::chrono::microseconds deadline_budget = std::chrono::microseconds{ 0 }) {
         std::future<T> future;
         {
             const std::lock_guard lock{ mutex_ };
             if (stopped_) {
                 throw exception{ "micro_batcher: enqueue after shutdown!" };
             }
-            request &req = queue_.emplace_back();
+            request &req = queues_[class_index(cls)].emplace_back();
             req.point = std::move(point);
             req.enqueued = std::chrono::steady_clock::now();
+            req.deadline = deadline_budget.count() > 0 ? req.enqueued + deadline_budget : no_deadline;
+            min_deadline_[class_index(cls)] = std::min(min_deadline_[class_index(cls)], req.deadline);
             future = req.result.get_future();
+            ++total_pending_;
         }
         cv_.notify_all();
         return future;
     }
 
     /**
-     * @brief Block until a batch is ready under the policy and pop it.
+     * @brief Block until some class is ready under its policy and pop that
+     *        class's batch (highest-priority ready class wins).
      *
-     * Returns an empty vector only after `shutdown()` once all pending
+     * Returns an empty batch only after `shutdown()` once all pending
      * requests have been drained — the consumer's exit signal. After
-     * shutdown, still-pending requests are handed out without waiting so
-     * nothing is ever dropped.
+     * shutdown, still-pending requests are handed out without waiting (in
+     * priority order) so nothing is ever dropped.
      */
-    [[nodiscard]] std::vector<request> next_batch() {
+    [[nodiscard]] class_batch next_batch() {
         std::unique_lock lock{ mutex_ };
-        cv_.wait(lock, [this]() { return stopped_ || !queue_.empty(); });
-        if (queue_.empty()) {
-            return {};  // shut down and fully drained
+        while (true) {
+            if (total_pending_ == 0) {
+                if (stopped_) {
+                    return {};  // shut down and fully drained
+                }
+                // idle: untimed wait — no periodic wakeups on an idle engine
+                cv_.wait(lock, [this]() { return stopped_ || total_pending_ > 0; });
+                continue;
+            }
+            const time_point now = std::chrono::steady_clock::now();
+            time_point earliest = no_deadline;
+            for (const request_class cls : all_request_classes) {
+                const std::deque<request> &queue = queues_[class_index(cls)];
+                if (queue.empty()) {
+                    continue;
+                }
+                const class_batch_policy &policy = class_policies_[class_index(cls)];
+                if (stopped_ || queue.size() >= std::max<std::size_t>(1, policy.target_batch_size)) {
+                    return pop_batch(cls);  // size-complete (or draining)
+                }
+                const time_point deadline = flush_deadline(cls);
+                if (deadline <= now) {
+                    return pop_batch(cls);  // flush-due partial batch
+                }
+                earliest = std::min(earliest, deadline);
+            }
+            // single timed wait on the earliest flush deadline across all
+            // classes; enqueues/policy swaps/shutdown re-notify and re-enter
+            // the evaluation above
+            if (cv_.wait_until(lock, earliest) == std::cv_status::timeout) {
+                ++timer_wakeups_;
+            }
         }
-        if (!stopped_ && queue_.size() < policy_.max_batch_size) {
-            // partial batch: hold for stragglers until the oldest request's deadline
-            const auto deadline = queue_.front().enqueued + policy_.max_delay;
-            cv_.wait_until(lock, deadline, [this]() { return stopped_ || queue_.size() >= policy_.max_batch_size; });
-        }
-        const std::size_t batch_size = std::min(queue_.size(), policy_.max_batch_size);
-        std::vector<request> batch;
-        batch.reserve(batch_size);
-        for (std::size_t i = 0; i < batch_size; ++i) {
-            batch.push_back(std::move(queue_.front()));
-            queue_.pop_front();
-        }
-        return batch;
     }
 
     /// Reject new requests and wake all waiting consumers; pending requests
@@ -124,17 +199,77 @@ class micro_batcher {
         return stopped_;
     }
 
-    /// Number of currently queued requests.
+    /// Number of currently queued requests over all classes.
     [[nodiscard]] std::size_t pending() const {
         const std::lock_guard lock{ mutex_ };
-        return queue_.size();
+        return total_pending_;
+    }
+
+    /// Number of currently queued requests of @p cls.
+    [[nodiscard]] std::size_t pending(const request_class cls) const {
+        const std::lock_guard lock{ mutex_ };
+        return queues_[class_index(cls)].size();
+    }
+
+    /// How many times a consumer's timed flush wait expired. Idle engines
+    /// wait untimed, so this stays 0 without traffic (regression-tested).
+    [[nodiscard]] std::size_t timer_wakeups() const {
+        const std::lock_guard lock{ mutex_ };
+        return timer_wakeups_;
     }
 
   private:
+    /// Latest instant the current batch of @p cls may still be flushed:
+    /// the oldest request's flush delay, clamped by the *tightest* deadline
+    /// queued in the class (a late-arriving request with a short budget must
+    /// not wait out an earlier request's long flush delay) minus the
+    /// estimated batch execution time. Never before the oldest request's
+    /// enqueue instant, so an already-doomed deadline degenerates to "flush
+    /// immediately", not to a wait in the past with unsigned-underflow
+    /// surprises. Requires `mutex_`.
+    [[nodiscard]] time_point flush_deadline(const request_class cls) const {
+        const class_batch_policy &policy = class_policies_[class_index(cls)];
+        const request &oldest = queues_[class_index(cls)].front();
+        time_point deadline = oldest.enqueued + policy.flush_delay;
+        const time_point tightest = min_deadline_[class_index(cls)];
+        if (tightest != no_deadline) {
+            deadline = std::min(deadline, std::max(tightest - policy.estimated_batch_latency, oldest.enqueued));
+        }
+        return deadline;
+    }
+
+    /// Pop up to the class target from @p cls (FIFO). Requires `mutex_`.
+    [[nodiscard]] class_batch pop_batch(const request_class cls) {
+        std::deque<request> &queue = queues_[class_index(cls)];
+        const std::size_t target = std::max<std::size_t>(1, class_policies_[class_index(cls)].target_batch_size);
+        const std::size_t batch_size = std::min(queue.size(), target);
+        class_batch batch;
+        batch.cls = cls;
+        batch.requests.reserve(batch_size);
+        for (std::size_t i = 0; i < batch_size; ++i) {
+            batch.requests.push_back(std::move(queue.front()));
+            queue.pop_front();
+        }
+        total_pending_ -= batch_size;
+        // the popped batch may have held the tightest deadline: recompute
+        // over what remains (one O(remaining) sweep per released batch)
+        time_point tightest = no_deadline;
+        for (const request &req : queue) {
+            tightest = std::min(tightest, req.deadline);
+        }
+        min_deadline_[class_index(cls)] = tightest;
+        return batch;
+    }
+
     batch_policy policy_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<request> queue_;
+    per_class<std::deque<request>> queues_;
+    per_class<class_batch_policy> class_policies_;
+    /// Tightest deadline currently queued per class (`no_deadline` if none).
+    per_class<time_point> min_deadline_{ no_deadline, no_deadline, no_deadline };
+    std::size_t total_pending_{ 0 };
+    std::size_t timer_wakeups_{ 0 };
     bool stopped_{ false };
 };
 

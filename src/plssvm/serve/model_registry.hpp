@@ -39,6 +39,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <future>
 #include <map>
 #include <memory>
@@ -217,6 +218,50 @@ class model_registry {
     [[nodiscard]] std::size_t size() const {
         const std::lock_guard lock{ mutex_ };
         return entries_.size();
+    }
+
+    /**
+     * @brief One scrapeable JSON object over every resident engine:
+     *        `{"models": {"<name>": <serve_stats json>, ...}}`, names in
+     *        registry (map) order.
+     *
+     * Engines are pinned under the registry mutex but their stats are
+     * collected outside it, so a slow engine cannot stall loads/evictions.
+     * Does not refresh LRU ages (scraping must not protect idle models).
+     */
+    [[nodiscard]] std::string stats_json() const {
+        // pin the engines under the lock, stringify outside it
+        std::vector<std::pair<std::string, entry>> resident;
+        {
+            const std::lock_guard lock{ mutex_ };
+            resident.assign(entries_.begin(), entries_.end());
+        }
+        std::string json = "{\"models\": {";
+        bool first = true;
+        for (const auto &[name, e] : resident) {
+            if (!std::exchange(first, false)) {
+                json += ", ";
+            }
+            // names are arbitrary user strings: escape them or one quote in
+            // a model name breaks every scraper
+            json += "\"";
+            for (const char c : name) {
+                if (c == '"' || c == '\\') {
+                    json += '\\';
+                    json += c;
+                } else if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    json += buffer;
+                } else {
+                    json += c;
+                }
+            }
+            json += "\": ";
+            json += e.binary != nullptr ? e.binary->stats_json() : e.multiclass->stats_json();
+        }
+        json += "}}";
+        return json;
     }
 
     /// Registered names, most recently used first.

@@ -61,11 +61,17 @@ class multiclass_engine {
         exec_{ config.exec != nullptr ? config.exec : &executor::process_wide() },
         lane_{ exec_->create_lane(lane_options{ .name = "multiclass-engine", .quota = config.num_threads, .weight = config.lane_weight }) },
         snapshot_{ initial_snapshot(ensemble, std::move(input_scaling), config.compile) },
+        // the dispatcher must be resolved BEFORE the tuner: the tuner's
+        // constructor already evaluates the latency estimator, which reads it
+        dispatcher_{ resolved_dispatch(config.dispatch, lane_.max_concurrency(), sizeof(T)) },
+        admission_{ config.qos },
+        tuner_{ config.qos, batch_policy{ config.max_batch_size, config.batch_delay },
+                [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); } },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } } {
         const snapshot_ptr snap = snapshot_.load();
         num_features_ = snap->heads.front().num_features();
         num_classes_ = snap->heads.size();
-        dispatcher_ = predict_dispatcher{ resolved_dispatch(config.dispatch, lane_.max_concurrency(), sizeof(T)) };
+        batcher_.set_class_policies(tuner_.policies());
         drainer_ = std::thread{ [this]() { drain_loop(); } };
     }
 
@@ -168,14 +174,18 @@ class multiclass_engine {
   public:
     /// Asynchronous single-point prediction resolving to the class label.
     /// Raw client features; the drain thread applies the then-current
-    /// snapshot's scaling.
-    [[nodiscard]] std::future<T> submit(std::vector<T> point) {
+    /// snapshot's scaling. Requests carry a `request_class` and optional
+    /// deadline budget through @p options and pass admission control first.
+    /// @throws plssvm::serve::request_shed_exception if the request is shed
+    [[nodiscard]] std::future<T> submit(std::vector<T> point, const request_options &options = {}) {
         compiled_model<T>::validate_feature_count(num_features_, point.size());
-        return batcher_.enqueue(std::move(point));
+        detail::admit_or_shed(admission_, metrics_, batcher_, options.cls);
+        return batcher_.enqueue(std::move(point), options.cls, detail::effective_deadline(admission_, options));
     }
 
     /// Current latency/throughput aggregates, including the engine's lane
-    /// counters on the shared executor and the served snapshot version.
+    /// counters on the shared executor, the served snapshot version, and the
+    /// live per-class QoS state (admission counters, adaptive batch targets).
     [[nodiscard]] serve_stats stats() const {
         serve_stats stats = metrics_.snapshot();
         const lane_stats lane = lane_.stats();
@@ -184,8 +194,12 @@ class multiclass_engine {
         stats.steals = lane.stolen;
         stats.executor_threads = exec_->size();
         stats.snapshot_version = snapshot_.load()->version;
+        detail::fill_qos_stats(stats, batcher_, tuner_);
         return stats;
     }
+
+    /// `stats()` rendered as a machine-readable JSON snapshot string.
+    [[nodiscard]] std::string stats_json() const { return to_json(stats()); }
 
     void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
         metrics_.report_to(t, prefix);
@@ -196,6 +210,8 @@ class multiclass_engine {
         t.set_metric(p + "/steals", static_cast<double>(stats.steals));
         t.set_metric(p + "/executor_threads", static_cast<double>(stats.executor_threads));
         t.set_metric(p + "/snapshot_version", static_cast<double>(stats.snapshot_version));
+        t.set_metric(p + "/flush_timer_wakeups", static_cast<double>(stats.flush_timer_wakeups));
+        t.set_metric(p + "/batch_saturation", stats.batch_saturation);
     }
 
   private:
@@ -267,6 +283,14 @@ class multiclass_engine {
         return snap.class_labels[best];
     }
 
+    /// Cost-model estimate of one batch: every head runs the same chosen
+    /// path over the same batch, so one head's estimate times the head count.
+    [[nodiscard]] double estimated_batch_seconds(const std::size_t batch_size) const {
+        const snapshot_ptr snap = snapshot_.load();
+        return static_cast<double>(snap->heads.size())
+               * dispatcher_.estimated_seconds(dense_batch_shape(snap->heads.front(), batch_size));
+    }
+
     void drain_loop() {
         detail::drain_requests(batcher_, metrics_, num_features_, [this](aos_matrix<T> &points) {
             // one snapshot for the whole batch: heads, orientation, labels,
@@ -295,7 +319,8 @@ class multiclass_engine {
                 }
             }
             return labels;
-        });
+        },
+        [this]() { feedback_.retune(*exec_, lane_, tuner_, batcher_); });
     }
 
     engine_config config_;
@@ -307,8 +332,11 @@ class multiclass_engine {
     std::size_t num_features_{ 0 };
     std::size_t num_classes_{ 0 };
     predict_dispatcher dispatcher_;
+    admission_controller admission_;   ///< QoS admission gate of the submit path
+    batch_tuner tuner_;                ///< load-adaptive per-class batch policies
     micro_batcher<T> batcher_;
     serve_metrics metrics_;
+    detail::qos_feedback feedback_;    ///< drain-thread only
     std::thread drainer_;
 };
 

@@ -61,4 +61,17 @@ predict_path predict_dispatcher::choose(const predict_shape &shape) const {
     return best_path;
 }
 
+double predict_dispatcher::estimated_seconds(const predict_shape &shape) const {
+    switch (choose(shape)) {
+        case predict_path::device:
+            return device_seconds(shape.batch_size, shape.num_sv, shape.dim, shape.kernel);
+        case predict_path::host_sparse:
+            return host_sparse_seconds(shape);
+        case predict_path::reference:
+        case predict_path::host_blocked:
+            break;
+    }
+    return host_seconds(shape.batch_size, shape.num_sv, shape.dim, shape.kernel);
+}
+
 }  // namespace plssvm::serve

@@ -111,6 +111,11 @@ class predict_dispatcher {
     /// dense-query convenience overload).
     [[nodiscard]] predict_path choose(std::size_t batch_size, std::size_t num_sv, std::size_t dim, kernel_type kernel) const;
 
+    /// Estimated seconds of the path `choose(shape)` would pick — the
+    /// cost-model per-batch latency estimate the QoS batch tuner feeds on
+    /// (reference batches are approximated with the host roofline).
+    [[nodiscard]] double estimated_seconds(const predict_shape &shape) const;
+
     /**
      * @brief Pick the execution path for one batch with full sparsity
      *        information.

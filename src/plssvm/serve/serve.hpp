@@ -15,6 +15,7 @@
 #ifndef PLSSVM_SERVE_SERVE_HPP_
 #define PLSSVM_SERVE_SERVE_HPP_
 
+#include "plssvm/serve/admission.hpp"           // IWYU pragma: export
 #include "plssvm/serve/batch_kernels.hpp"        // IWYU pragma: export
 #include "plssvm/serve/calibration.hpp"         // IWYU pragma: export
 #include "plssvm/serve/compiled_model.hpp"      // IWYU pragma: export
@@ -24,6 +25,7 @@
 #include "plssvm/serve/micro_batcher.hpp"       // IWYU pragma: export
 #include "plssvm/serve/model_registry.hpp"      // IWYU pragma: export
 #include "plssvm/serve/multiclass_engine.hpp"   // IWYU pragma: export
+#include "plssvm/serve/qos.hpp"                 // IWYU pragma: export
 #include "plssvm/serve/serve_stats.hpp"         // IWYU pragma: export
 #include "plssvm/serve/snapshot.hpp"            // IWYU pragma: export
 

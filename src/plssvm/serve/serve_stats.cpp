@@ -1,0 +1,75 @@
+#include "plssvm/serve/serve_stats.hpp"
+
+#include "plssvm/serve/qos.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace plssvm::serve {
+
+namespace {
+
+void append_field(std::string &out, const char *name, const std::size_t value, const bool trailing_comma = true) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer), "\"%s\": %zu%s", name, value, trailing_comma ? ", " : "");
+    out += buffer;
+}
+
+void append_field(std::string &out, const char *name, const double value, const bool trailing_comma = true) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer), "\"%s\": %.6e%s", name, value, trailing_comma ? ", " : "");
+    out += buffer;
+}
+
+}  // namespace
+
+std::string to_json(const serve_stats &stats) {
+    std::string json;
+    json.reserve(2048);
+    json += "{ ";
+    append_field(json, "total_requests", stats.total_requests);
+    append_field(json, "total_batches", stats.total_batches);
+    append_field(json, "mean_batch_size", stats.mean_batch_size);
+    append_field(json, "p50_latency_s", stats.p50_latency_seconds);
+    append_field(json, "p99_latency_s", stats.p99_latency_seconds);
+    append_field(json, "max_latency_s", stats.max_latency_seconds);
+    append_field(json, "requests_per_s", stats.requests_per_second);
+    append_field(json, "batch_kernel_s", stats.batch_kernel_seconds);
+    json += "\"paths\": { ";
+    append_field(json, "reference", stats.reference_batches);
+    append_field(json, "host_blocked", stats.host_blocked_batches);
+    append_field(json, "host_sparse", stats.host_sparse_batches);
+    append_field(json, "device", stats.device_batches, false);
+    json += " }, ";
+    append_field(json, "queue_depth", stats.queue_depth);
+    append_field(json, "max_queue_depth", stats.max_queue_depth);
+    append_field(json, "steals", stats.steals);
+    append_field(json, "executor_threads", stats.executor_threads);
+    append_field(json, "reloads", stats.reloads);
+    append_field(json, "snapshot_version", static_cast<std::size_t>(stats.snapshot_version));
+    append_field(json, "flush_timer_wakeups", stats.flush_timer_wakeups);
+    append_field(json, "batch_saturation", stats.batch_saturation);
+    json += "\"classes\": { ";
+    for (const request_class cls : all_request_classes) {
+        const class_serve_stats &c = stats.classes[class_index(cls)];
+        json += "\"";
+        json += request_class_to_string(cls);
+        json += "\": { ";
+        append_field(json, "admitted", c.admitted);
+        append_field(json, "shed_rate_limited", c.shed_rate_limited);
+        append_field(json, "shed_queue_full", c.shed_queue_full);
+        append_field(json, "deadline_misses", c.deadline_misses);
+        append_field(json, "completed", c.completed);
+        append_field(json, "batches", c.batches);
+        append_field(json, "mean_batch_size", c.mean_batch_size);
+        append_field(json, "p50_latency_s", c.p50_latency_seconds);
+        append_field(json, "p99_latency_s", c.p99_latency_seconds);
+        append_field(json, "target_batch_size", c.target_batch_size);
+        append_field(json, "flush_delay_s", c.flush_delay_seconds, false);
+        json += cls == all_request_classes.back() ? " }" : " }, ";
+    }
+    json += " } }";
+    return json;
+}
+
+}  // namespace plssvm::serve

@@ -1,22 +1,33 @@
 /**
  * @file
- * @brief Per-engine serving statistics: latency percentiles and throughput.
+ * @brief Per-engine serving statistics: latency percentiles, throughput,
+ *        and per-request-class QoS counters.
  *
  * Every inference engine owns one `serve_metrics` instance. The batch/drain
  * paths record per-request latencies and per-batch kernel times; `snapshot()`
  * aggregates them into a `serve_stats` value and `report_to()` publishes the
  * aggregate through the library-wide `plssvm::detail::tracker` (the same
  * channel the training pipeline uses for its component timings).
+ * `to_json()` renders a `serve_stats` value as a machine-readable JSON
+ * snapshot string for scraping.
  *
- * Latency samples live in a fixed-size ring buffer (the most recent
- * `sample_capacity` requests), so percentiles track current behaviour and
- * memory stays bounded no matter how long an engine serves.
+ * QoS accounting is per request class: admissions and sheds (from the
+ * admission controller), deadline misses, completed requests and batches,
+ * and dedicated latency rings so p50/p99 can be read per class — the whole
+ * point of admission control is that the interactive tail stays visible
+ * separately from bulk traffic.
+ *
+ * Latency samples live in fixed-size ring buffers (the most recent
+ * `sample_capacity` requests overall, `class_sample_capacity` per class), so
+ * percentiles track current behaviour and memory stays bounded no matter
+ * how long an engine serves.
  */
 
 #ifndef PLSSVM_SERVE_SERVE_STATS_HPP_
 #define PLSSVM_SERVE_SERVE_STATS_HPP_
 
 #include "plssvm/detail/tracker.hpp"
+#include "plssvm/serve/qos.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -58,6 +69,22 @@ enum class predict_path {
     return "unknown";
 }
 
+/// QoS aggregates of one request class.
+struct class_serve_stats {
+    std::size_t admitted{ 0 };           ///< requests past admission control
+    std::size_t shed_rate_limited{ 0 };  ///< requests shed by the token bucket
+    std::size_t shed_queue_full{ 0 };    ///< requests shed on queue depth
+    std::size_t deadline_misses{ 0 };    ///< requests fulfilled after their deadline
+    std::size_t completed{ 0 };          ///< requests fulfilled (async path)
+    std::size_t batches{ 0 };            ///< batches drained for this class
+    double mean_batch_size{ 0.0 };       ///< completed / batches
+    double p50_latency_seconds{ 0.0 };   ///< median submit-to-fulfilment latency
+    double p99_latency_seconds{ 0.0 };   ///< tail submit-to-fulfilment latency
+    // --- live adaptive policy (filled in by the engines from the batcher) --
+    std::size_t target_batch_size{ 0 };  ///< current adaptive batch target
+    double flush_delay_seconds{ 0.0 };   ///< current adaptive flush deadline
+};
+
 /// Aggregated serving statistics of one engine.
 ///
 /// Latency percentiles are computed over *call* samples: the async submit
@@ -87,18 +114,43 @@ struct serve_stats {
     std::size_t executor_threads{ 0 };   ///< workers of the shared executor
     std::size_t reloads{ 0 };            ///< snapshot swaps since engine start
     std::uint64_t snapshot_version{ 0 }; ///< version of the currently served snapshot
+    // --- QoS control plane (admission + adaptive batching) -----------------
+    per_class<class_serve_stats> classes{};  ///< per-request-class aggregates
+    std::size_t flush_timer_wakeups{ 0 };    ///< timed flush-wait expirations of the drain thread
+    double batch_saturation{ 0.0 };          ///< tuner load signal in [0, 1]
 };
+
+/// Render @p stats as a machine-readable JSON object (one line per field,
+/// classes keyed by name) — the scrape format of `engine.stats_json()`.
+[[nodiscard]] std::string to_json(const serve_stats &stats);
 
 /// Thread-safe recorder behind `serve_stats`.
 class serve_metrics {
   public:
-    /// Ring-buffer capacity for latency samples.
+    /// Ring-buffer capacity for the engine-wide latency samples.
     static constexpr std::size_t sample_capacity = 8192;
+    /// Ring-buffer capacity for each class's latency samples.
+    static constexpr std::size_t class_sample_capacity = 4096;
 
-    /// Record one request's end-to-end latency.
+    /// Record one request's end-to-end latency (sync batch path: classless,
+    /// engine-wide ring only).
     void record_request_latency(const double seconds) {
         const std::lock_guard lock{ mutex_ };
-        push_sample(seconds);
+        push_sample(samples_, next_sample_, sample_capacity, seconds);
+        note_activity();
+    }
+
+    /// Record one async request's end-to-end latency under its class (feeds
+    /// both the engine-wide and the per-class ring).
+    void record_request_latency(const request_class cls, const double seconds, const bool deadline_missed) {
+        const std::lock_guard lock{ mutex_ };
+        push_sample(samples_, next_sample_, sample_capacity, seconds);
+        class_state &state = classes_[class_index(cls)];
+        push_sample(state.samples, state.next_sample, class_sample_capacity, seconds);
+        ++state.completed;
+        if (deadline_missed) {
+            ++state.deadline_misses;
+        }
         note_activity();
     }
 
@@ -109,6 +161,30 @@ class serve_metrics {
         ++total_batches_;
         batch_kernel_seconds_ += kernel_seconds;
         note_activity();
+    }
+
+    /// Record that one drained batch belonged to @p cls (the per-class mean
+    /// batch size divides the per-request `completed` count by this).
+    void record_class_batch(const request_class cls) {
+        const std::lock_guard lock{ mutex_ };
+        ++classes_[class_index(cls)].batches;
+    }
+
+    /// Record one admission decision of the controller.
+    void record_admission(const request_class cls, const admission_decision decision) {
+        const std::lock_guard lock{ mutex_ };
+        class_state &state = classes_[class_index(cls)];
+        switch (decision) {
+            case admission_decision::admitted:
+                ++state.admitted;
+                break;
+            case admission_decision::shed_rate_limited:
+                ++state.shed_rate_limited;
+                break;
+            case admission_decision::shed_queue_full:
+                ++state.shed_queue_full;
+                break;
+        }
     }
 
     /// Record one completed snapshot swap (model reload).
@@ -139,6 +215,7 @@ class serve_metrics {
     /// Aggregate everything recorded so far.
     [[nodiscard]] serve_stats snapshot() const {
         std::vector<double> samples;
+        per_class<std::vector<double>> class_samples;
         serve_stats stats;
         {
             const std::lock_guard lock{ mutex_ };
@@ -151,6 +228,17 @@ class serve_metrics {
             stats.host_sparse_batches = host_sparse_batches_;
             stats.device_batches = device_batches_;
             stats.reloads = reloads_;
+            for (const request_class cls : all_request_classes) {
+                const class_state &state = classes_[class_index(cls)];
+                class_serve_stats &out = stats.classes[class_index(cls)];
+                out.admitted = state.admitted;
+                out.shed_rate_limited = state.shed_rate_limited;
+                out.shed_queue_full = state.shed_queue_full;
+                out.deadline_misses = state.deadline_misses;
+                out.completed = state.completed;
+                out.batches = state.batches;
+                class_samples[class_index(cls)] = state.samples;
+            }
             const double window = std::chrono::duration<double>(last_activity_ - first_activity_).count();
             if (total_requests_ > 0) {
                 // zero-width window (single batch): fall back to kernel time
@@ -166,6 +254,18 @@ class serve_metrics {
             stats.p50_latency_seconds = percentile(samples, 0.50);
             stats.p99_latency_seconds = percentile(samples, 0.99);
             stats.max_latency_seconds = samples.back();
+        }
+        for (const request_class cls : all_request_classes) {
+            class_serve_stats &out = stats.classes[class_index(cls)];
+            if (out.batches > 0) {
+                out.mean_batch_size = static_cast<double>(out.completed) / static_cast<double>(out.batches);
+            }
+            std::vector<double> &cs = class_samples[class_index(cls)];
+            if (!cs.empty()) {
+                std::sort(cs.begin(), cs.end());
+                out.p50_latency_seconds = percentile(cs, 0.50);
+                out.p99_latency_seconds = percentile(cs, 0.99);
+            }
         }
         return stats;
     }
@@ -188,22 +288,42 @@ class serve_metrics {
         t.set_metric(p + "/host_sparse_batches", static_cast<double>(stats.host_sparse_batches));
         t.set_metric(p + "/device_batches", static_cast<double>(stats.device_batches));
         t.set_metric(p + "/reloads", static_cast<double>(stats.reloads));
+        for (const request_class cls : all_request_classes) {
+            const class_serve_stats &c = stats.classes[class_index(cls)];
+            const std::string cp = p + "/" + std::string{ request_class_to_string(cls) };
+            t.set_metric(cp + "_admitted", static_cast<double>(c.admitted));
+            t.set_metric(cp + "_shed", static_cast<double>(c.shed_rate_limited + c.shed_queue_full));
+            t.set_metric(cp + "_deadline_misses", static_cast<double>(c.deadline_misses));
+            t.set_metric(cp + "_p99_latency_s", c.p99_latency_seconds);
+        }
     }
 
   private:
+    /// Per-class recorder state (latency ring + counters).
+    struct class_state {
+        std::vector<double> samples;
+        std::size_t next_sample{ 0 };
+        std::size_t admitted{ 0 };
+        std::size_t shed_rate_limited{ 0 };
+        std::size_t shed_queue_full{ 0 };
+        std::size_t deadline_misses{ 0 };
+        std::size_t completed{ 0 };
+        std::size_t batches{ 0 };
+    };
+
     /// Nearest-rank percentile of pre-sorted @p sorted (non-empty).
     [[nodiscard]] static double percentile(const std::vector<double> &sorted, const double q) {
         const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
         return sorted[std::min(rank, sorted.size() - 1)];
     }
 
-    void push_sample(const double seconds) {
-        if (samples_.size() < sample_capacity) {
-            samples_.push_back(seconds);
+    static void push_sample(std::vector<double> &samples, std::size_t &next, const std::size_t capacity, const double seconds) {
+        if (samples.size() < capacity) {
+            samples.push_back(seconds);
         } else {
-            samples_[next_sample_] = seconds;
+            samples[next] = seconds;
         }
-        next_sample_ = (next_sample_ + 1) % sample_capacity;
+        next = (next + 1) % capacity;
     }
 
     void note_activity() {
@@ -217,6 +337,7 @@ class serve_metrics {
     mutable std::mutex mutex_;
     std::vector<double> samples_;
     std::size_t next_sample_{ 0 };
+    per_class<class_state> classes_{};
     std::size_t total_requests_{ 0 };
     std::size_t total_batches_{ 0 };
     std::size_t reference_batches_{ 0 };

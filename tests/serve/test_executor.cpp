@@ -238,6 +238,9 @@ TEST(Executor, WorkerCanTearDownAnEngineItOwnsTheLastReferenceTo) {
     // them, so the drain would take the pooled path if it fanned out)
     config.max_batch_size = 64;
     config.batch_delay = std::chrono::microseconds{ 5'000'000 };
+    // static batching: the adaptive tuner would otherwise release small idle
+    // batches early and the submits would no longer be pending at teardown
+    config.qos.adaptive_batching = false;
     auto engine = std::make_shared<plssvm::serve::inference_engine<double>>(
         test::random_model(plssvm::kernel_type::rbf), config);
 

@@ -175,9 +175,10 @@ TEST(InferenceEngine, DestructorDrainsInFlightRequests) {
     const aos_matrix<double> points = test::random_matrix(12, 11, 9);
     std::vector<std::future<double>> futures;
     {
-        // long deadline and large batch: requests are pending when the engine
-        // is destroyed and must still be answered, not dropped
-        inference_engine<double> engine{ m, engine_config{ .num_threads = 2, .max_batch_size = 64, .batch_delay = std::chrono::microseconds{ 5'000'000 } } };
+        // long deadline, large batch, static batching (the adaptive tuner
+        // would release small idle batches early): requests are pending when
+        // the engine is destroyed and must still be answered, not dropped
+        inference_engine<double> engine{ m, engine_config{ .num_threads = 2, .max_batch_size = 64, .batch_delay = std::chrono::microseconds{ 5'000'000 }, .qos = { .adaptive_batching = false } } };
         for (std::size_t p = 0; p < points.num_rows(); ++p) {
             futures.push_back(engine.submit(std::vector<double>(points.row_data(p), points.row_data(p) + points.num_cols())));
         }

@@ -1,11 +1,15 @@
 /**
  * @file
  * @brief Unit tests for the request-coalescing `serve::micro_batcher`:
- *        size trigger, latency deadline, shutdown draining.
+ *        size trigger, latency deadline, shutdown draining, and the
+ *        flush-timer wakeup discipline (class-level QoS behaviour —
+ *        priority ordering, deadline clamping, adaptive policy swaps — is
+ *        covered in `test_qos.cpp`).
  */
 
 #include "plssvm/exceptions.hpp"
 #include "plssvm/serve/micro_batcher.hpp"
+#include "plssvm/serve/qos.hpp"
 
 #include <gtest/gtest.h>
 
@@ -36,6 +40,7 @@ TEST(MicroBatcher, SizeTriggerReleasesFullBatchImmediately) {
     const auto batch = batcher.next_batch();
     const auto elapsed = std::chrono::steady_clock::now() - start;
     EXPECT_EQ(batch.size(), 4u);
+    EXPECT_EQ(batch.cls, plssvm::serve::request_class::interactive) << "enqueue without a class defaults to interactive";
     EXPECT_LT(elapsed, 5s) << "size-complete batch must not wait for the deadline";
     EXPECT_EQ(batcher.pending(), 0u);
 }
@@ -82,9 +87,9 @@ TEST(MicroBatcher, PreservesFifoOrderAndPayload) {
     const auto batch = batcher.next_batch();
     ASSERT_EQ(batch.size(), 5u);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-        ASSERT_EQ(batch[i].point.size(), 2u);
-        EXPECT_EQ(batch[i].point[0], static_cast<double>(i));
-        EXPECT_EQ(batch[i].point[1], static_cast<double>(10 * i));
+        ASSERT_EQ(batch.requests[i].point.size(), 2u);
+        EXPECT_EQ(batch.requests[i].point[0], static_cast<double>(i));
+        EXPECT_EQ(batch.requests[i].point[1], static_cast<double>(10 * i));
     }
 }
 
@@ -113,9 +118,41 @@ TEST(MicroBatcher, ShutdownStillDrainsPendingRequests) {
     // pending requests survive shutdown and are handed out without waiting
     auto batch = batcher.next_batch();
     ASSERT_EQ(batch.size(), 1u);
-    batch[0].result.set_value(7.0);
+    batch.requests[0].result.set_value(7.0);
     EXPECT_EQ(future.get(), 7.0);
     EXPECT_TRUE(batcher.next_batch().empty());
+}
+
+// Satellite regression: a consumer blocked on an EMPTY batcher must wait
+// untimed on the condition variable — no flush-timer polling, no periodic
+// wakeups on an idle engine.
+TEST(MicroBatcher, IdleConsumerPerformsNoTimerWakeups) {
+    micro_batcher<double> batcher{ batch_policy{ 8, 100us } };
+    std::thread consumer{ [&batcher]() {
+        const auto batch = batcher.next_batch();
+        EXPECT_TRUE(batch.empty());
+    } };
+    // with a 100us flush delay, a polling implementation would rack up
+    // hundreds of timer wakeups over this window
+    std::this_thread::sleep_for(100ms);
+    EXPECT_EQ(batcher.timer_wakeups(), 0u) << "idle consumer must block untimed";
+    batcher.shutdown();
+    consumer.join();
+}
+
+// The flush release of a partial batch is ONE timed wait on the oldest
+// request's deadline, counted once — not a poll loop.
+TEST(MicroBatcher, PartialBatchFlushIsASingleTimedWakeup) {
+    micro_batcher<double> batcher{ batch_policy{ 100, 20ms } };
+    std::thread consumer{ [&batcher]() {
+        const auto batch = batcher.next_batch();
+        EXPECT_EQ(batch.size(), 1u);
+    } };
+    std::this_thread::sleep_for(5ms);  // consumer is idle-blocked (untimed)
+    (void) batcher.enqueue({ 1.0 });
+    consumer.join();  // released by the 20ms flush deadline
+    EXPECT_LE(batcher.timer_wakeups(), 1u);
+    batcher.shutdown();
 }
 
 }  // namespace
