@@ -10,10 +10,18 @@
  * queue-depth shedding with the typed `request_shed_exception`, deadline
  * budgets, and the per-class stats JSON snapshot.
  *
+ * `--stats-interval <s>` runs the observability demo: a scraper thread
+ * polls the registry's Prometheus text exposition every <s> seconds while
+ * traffic flows, exactly like a metrics agent would. `--dump-traces`
+ * additionally prints the flight recorder's JSON trace dump (the last N
+ * complete request lifecycles per class) on exit, plus the automatic
+ * violation dump captured at the first deadline miss.
+ *
  * Build & run:
  *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/serving_demo
  *   ./build/examples/serving_demo --qos
+ *   ./build/examples/serving_demo --stats-interval 1 --dump-traces
  */
 
 #include "plssvm/core/csvm_factory.hpp"
@@ -23,12 +31,15 @@
 #include "plssvm/detail/tracker.hpp"
 #include "plssvm/serve/serve.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -116,11 +127,118 @@ int qos_demo() {
     return 0;
 }
 
+/// The `--stats-interval` mode: a Prometheus scraper thread polls the
+/// registry while traffic flows; `--dump-traces` prints the flight-recorder
+/// JSON on exit.
+int obs_demo(const double stats_interval_s, const bool dump_traces) {
+    using namespace std::chrono_literals;
+
+    // 1. train a small model and register it — the observability plane is on
+    //    by default (sampling rate 1.0 for every class)
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 512;
+    gen.num_features = 16;
+    gen.class_sep = 1.5;
+    const auto train = plssvm::datagen::make_classification<double>(gen);
+    plssvm::parameter params;
+    params.kernel = plssvm::kernel_type::rbf;
+    const auto svm = plssvm::make_csvm<double>(plssvm::backend_type::openmp, params);
+    const auto model = svm->fit(plssvm::data_set<double>{ plssvm::aos_matrix<double>{ train.points() }, std::vector<double>(train.labels()) },
+                                plssvm::solver_control{ .epsilon = 1e-6 });
+
+    plssvm::serve::engine_config config;
+    config.num_threads = 2;
+    config.max_batch_size = 32;
+    config.batch_delay = std::chrono::microseconds{ 200 };
+    plssvm::serve::model_registry<double> registry{ /*capacity=*/4, config };
+    auto engine = registry.load("obs-demo", model);
+    std::printf("observability demo: tracing on, scraping metrics every %.1f s\n", stats_interval_s);
+
+    // 2. the scraper: what a Prometheus agent would do — poll the text
+    //    exposition on a fixed interval and ship it off. Here we print a
+    //    digest (size + a few representative sample lines) per scrape.
+    std::atomic<bool> stop{ false };
+    std::thread scraper{ [&]() {
+        std::size_t scrape = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(stats_interval_s));
+            const std::string text = registry.metrics_text();
+            std::size_t families = 0;
+            for (std::size_t pos = text.find("# TYPE"); pos != std::string::npos; pos = text.find("# TYPE", pos + 1)) {
+                ++families;
+            }
+            std::printf("scrape #%zu: %zu bytes, %zu metric families\n", ++scrape, text.size(), families);
+            // surface one histogram line so the scrape is visibly real
+            const std::size_t line = text.find("plssvm_serve_stage_latency_seconds_bucket");
+            if (line != std::string::npos) {
+                std::printf("  %.*s\n", static_cast<int>(text.find('\n', line) - line), text.c_str() + line);
+            }
+        }
+    } };
+
+    // 3. traffic: plain async submits plus a deadline-carrying slice — the
+    //    recorder always traces deadline requests, and an impossible 1 us
+    //    budget forces a deadline miss that triggers the automatic
+    //    violation dump
+    gen.seed = 7;
+    const auto queries = plssvm::datagen::make_classification<double>(gen).points();
+    const auto demo_deadline = std::chrono::steady_clock::now() + std::chrono::duration<double>(2.0 * stats_interval_s + 0.5);
+    std::size_t submitted = 0;
+    while (std::chrono::steady_clock::now() < demo_deadline) {
+        std::vector<std::future<double>> futures;
+        for (std::size_t p = 0; p < queries.num_rows(); ++p) {
+            plssvm::serve::request_options options;
+            if (p % 64 == 63) {
+                options.deadline = p % 128 == 127 ? std::chrono::microseconds{ 1 }  // guaranteed miss
+                                                  : std::chrono::microseconds{ 50000 };
+            }
+            futures.push_back(engine->submit(
+                std::vector<double>(queries.row_data(p), queries.row_data(p) + queries.num_cols()), options));
+        }
+        for (std::future<double> &f : futures) {
+            (void) f.get();
+        }
+        submitted += futures.size();
+        std::this_thread::sleep_for(50ms);
+    }
+    stop.store(true);
+    scraper.join();
+
+    // 4. the recorder's bookkeeping: every completed request carried the
+    //    full admit -> enqueue -> seal -> dispatch -> complete stamp chain
+    const auto &recorder = engine->recorder();
+    std::printf("served %zu requests: %zu traces recorded, %zu sheds, %zu violation dumps\n",
+                submitted, recorder.traces_recorded(), recorder.sheds_recorded(), recorder.violation_dumps());
+
+    const std::string violation = engine->last_violation_dump();
+    if (!violation.empty()) {
+        std::printf("violation dump captured at the first deadline miss (%zu bytes)\n", violation.size());
+    }
+    if (dump_traces) {
+        const std::string dump = engine->dump_traces();
+        std::printf("flight recorder dump (%zu bytes):\n%.400s%s\n", dump.size(), dump.c_str(),
+                    dump.size() > 400 ? "\n  ... (truncated)" : "");
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char **argv) {
     if (argc > 1 && std::strcmp(argv[1], "--qos") == 0) {
         return qos_demo();
+    }
+    double stats_interval_s = 0.0;
+    bool dump_traces = false;
+    for (int arg = 1; arg < argc; ++arg) {
+        if (std::strcmp(argv[arg], "--stats-interval") == 0 && arg + 1 < argc) {
+            stats_interval_s = std::atof(argv[++arg]);
+        } else if (std::strcmp(argv[arg], "--dump-traces") == 0) {
+            dump_traces = true;
+        }
+    }
+    if (stats_interval_s > 0.0 || dump_traces) {
+        return obs_demo(stats_interval_s > 0.0 ? stats_interval_s : 1.0, dump_traces);
     }
     // 1. generate raw training data and fit the server-side scaling on it:
     //    clients will send UNSCALED features, the engine applies the

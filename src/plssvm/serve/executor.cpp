@@ -4,11 +4,14 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 namespace plssvm::serve {
 
@@ -167,6 +170,66 @@ executor_stats executor::stats() const {
         stats.in_flight += lane->in_flight;
     }
     return stats;
+}
+
+std::vector<lane_report> executor::lane_reports() const {
+    std::vector<lane_report> reports;
+    const std::lock_guard lock{ mutex_ };
+    reports.reserve(lanes_.size());
+    for (const std::shared_ptr<lane_state> &lane : lanes_) {
+        lane_report &report = reports.emplace_back();
+        report.name = lane->options.name;
+        report.affinity = lane->affinity;
+        report.stats.submitted = lane->submitted;
+        report.stats.completed = lane->completed;
+        report.stats.stolen = lane->stolen;
+        report.stats.queue_depth = lane->jobs.size();
+        report.stats.in_flight = lane->in_flight;
+        report.stats.max_queue_depth = lane->max_queue_depth;
+    }
+    return reports;
+}
+
+std::string executor::stats_json() const {
+    const executor_stats totals = stats();
+    const std::vector<lane_report> lanes = lane_reports();
+    const auto append_count = [](std::string &out, const char *name, const std::size_t value, const bool trailing_comma = true) {
+        char buffer[96];
+        std::snprintf(buffer, sizeof(buffer), "\"%s\": %zu%s", name, value, trailing_comma ? ", " : "");
+        out += buffer;
+    };
+    std::string json;
+    json.reserve(512 + 256 * lanes.size());
+    json += "{ ";
+    append_count(json, "workers", totals.workers);
+    append_count(json, "num_lanes", totals.lanes);
+    append_count(json, "queued", totals.queued);
+    append_count(json, "in_flight", totals.in_flight);
+    append_count(json, "total_steals", totals.total_steals);
+    json += "\"lanes\": [ ";
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const lane_report &lane = lanes[i];
+        json += "{ \"name\": \"";
+        for (const char c : lane.name) {
+            // lane names are internal identifiers; escape just enough to
+            // never emit malformed JSON
+            if (c == '"' || c == '\\') {
+                json += '\\';
+            }
+            json += c;
+        }
+        json += "\", ";
+        append_count(json, "affinity", lane.affinity);
+        append_count(json, "submitted", lane.stats.submitted);
+        append_count(json, "completed", lane.stats.completed);
+        append_count(json, "stolen", lane.stats.stolen);
+        append_count(json, "queue_depth", lane.stats.queue_depth);
+        append_count(json, "in_flight", lane.stats.in_flight);
+        append_count(json, "max_queue_depth", lane.stats.max_queue_depth, false);
+        json += i + 1 < lanes.size() ? " }, " : " }";
+    }
+    json += " ] }";
+    return json;
 }
 
 bool executor::any_queued_job() const {

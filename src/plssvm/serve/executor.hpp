@@ -81,6 +81,14 @@ struct lane_stats {
     std::size_t max_queue_depth{ 0 };  ///< high-water mark of queue_depth
 };
 
+/// Name + counters of one registered lane (`executor::lane_reports()`), for
+/// the per-lane observability export.
+struct lane_report {
+    std::string name;                  ///< the lane's diagnostic name
+    std::size_t affinity{ 0 };         ///< home worker index
+    lane_stats stats;                  ///< point-in-time counters
+};
+
 class executor {
     /// All lane state lives behind the executor's mutex; the handle class
     /// below only holds a shared_ptr to it.
@@ -205,6 +213,15 @@ class executor {
 
     /// Aggregate counters over all registered lanes (one mutex acquisition).
     [[nodiscard]] executor_stats stats() const;
+
+    /// Name + counters of every registered lane, in registration order (one
+    /// mutex acquisition): the per-lane queue-depth/steal gauges of the
+    /// observability export.
+    [[nodiscard]] std::vector<lane_report> lane_reports() const;
+
+    /// Executor-wide counters plus every lane's per-lane gauges, rendered as
+    /// one machine-readable JSON object.
+    [[nodiscard]] std::string stats_json() const;
 
   private:
     void worker_loop(std::size_t worker_index);

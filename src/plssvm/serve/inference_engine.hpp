@@ -48,6 +48,7 @@
 #include "plssvm/serve/compiled_model.hpp"
 #include "plssvm/serve/executor.hpp"
 #include "plssvm/serve/micro_batcher.hpp"
+#include "plssvm/serve/obs.hpp"
 #include "plssvm/serve/predict_dispatcher.hpp"
 #include "plssvm/serve/qos.hpp"
 #include "plssvm/serve/serve_stats.hpp"
@@ -92,6 +93,10 @@ struct engine_config {
     /// depth shedding) and load-adaptive batch sizing. The defaults never
     /// shed and adapt batches around `max_batch_size`/`batch_delay`.
     qos_config qos{};
+    /// Observability plane: per-class trace sampling, flight-recorder
+    /// capacities, violation-dump rate limit. Defaults to tracing every
+    /// request (the stage histograms of `serve_stats` are always on).
+    obs::obs_config obs{};
 };
 
 namespace detail {
@@ -99,60 +104,108 @@ namespace detail {
 /**
  * @brief Consumer loop shared by the binary and multi-class engines: pull
  *        coalesced class-homogeneous batches, assemble the batch matrix,
- *        evaluate, fulfil the promises, record per-class metrics, then let
- *        the engine retune its adaptive batch policies.
+ *        evaluate, fulfil the promises, record per-class metrics and
+ *        lifecycle traces, then let the engine retune its adaptive batch
+ *        policies.
  *
- * @p evaluate maps the assembled `aos_matrix` to one label per row; it takes
- * the matrix by mutable reference so a snapshot-attached input scaling can be
- * applied in place. @p post_batch runs after every batch (shed of exceptions)
- * — the engines feed their executor-lane telemetry into the `batch_tuner`
- * there. Any exception inside a batch (including allocation failure while
- * assembling it) is propagated to that batch's promises instead of escaping
- * the drain thread.
+ * @p evaluate maps the assembled `aos_matrix` to one label per row plus the
+ * execution path the batch was dispatched to (as a pair); it takes the
+ * matrix by mutable reference so a snapshot-attached input scaling can be
+ * applied in place. @p estimate_batch_seconds supplies the cost model's
+ * per-batch latency estimate (calibration accounting + trace attribution).
+ * @p post_batch runs after every batch (shed of exceptions) with the batch's
+ * mean queue wait and its service time — the engines feed their
+ * executor-lane telemetry plus this wait/service split into the
+ * `batch_tuner` there. Any exception inside a batch (including allocation
+ * failure while assembling it) is propagated to that batch's promises
+ * instead of escaping the drain thread.
+ *
+ * Tracing cost discipline: the only clock reads added over the pre-obs loop
+ * are the batch-seal stamp (one per batch, in `pop_batch`) — every other
+ * stamp (admission, enqueue, dispatch-start, completion) reuses a read the
+ * loop already performed. Per-request work is a handful of subtractions,
+ * histogram increments inside the already-taken metrics mutex, and one
+ * lock-free ring publish for sampled requests.
  */
-template <typename T, typename Evaluate, typename PostBatch>
-void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, const std::size_t num_features, Evaluate &&evaluate, PostBatch &&post_batch) {
+template <typename T, typename Evaluate, typename PostBatch, typename Estimate>
+void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, obs::flight_recorder &recorder,
+                    const std::size_t num_features, Evaluate &&evaluate, PostBatch &&post_batch, Estimate &&estimate_batch_seconds) {
     while (true) {
         typename micro_batcher<T>::class_batch batch = batcher.next_batch();
         if (batch.empty()) {
             return;  // shut down and drained
         }
         const std::size_t batch_size = batch.size();
+        double mean_queue_wait_seconds = 0.0;
+        double service_seconds = 0.0;
         try {
             // points were validated on submit
             aos_matrix<T> points{ batch_size, num_features };
             for (std::size_t i = 0; i < batch_size; ++i) {
                 std::copy(batch.requests[i].point.begin(), batch.requests[i].point.end(), points.row_data(i));
             }
-            const auto start = std::chrono::steady_clock::now();
-            const std::vector<T> labels = evaluate(points);
+            const double estimated_seconds = estimate_batch_seconds(batch_size);
+            const auto dispatch_start = std::chrono::steady_clock::now();
+            auto [labels, path] = evaluate(points);
             const auto end = std::chrono::steady_clock::now();
-            metrics.record_batch(batch_size, std::chrono::duration<double>(end - start).count());
+            service_seconds = std::chrono::duration<double>(end - dispatch_start).count();
+            metrics.record_batch(batch_size, service_seconds);
             metrics.record_class_batch(batch.cls);
+            metrics.record_path(path);
+            metrics.record_batch_estimate(estimated_seconds, service_seconds);
             for (std::size_t i = 0; i < batch_size; ++i) {
                 typename micro_batcher<T>::request &req = batch.requests[i];
                 const bool deadline_missed = req.deadline != no_deadline && end > req.deadline;
-                metrics.record_request_latency(batch.cls, std::chrono::duration<double>(end - req.enqueued).count(), deadline_missed);
+                obs::stage_seconds stages{};
+                stages[obs::stage_index(obs::trace_stage::admission)] = std::chrono::duration<double>(req.enqueued - req.admitted).count();
+                stages[obs::stage_index(obs::trace_stage::queue_wait)] = std::chrono::duration<double>(batch.sealed - req.enqueued).count();
+                stages[obs::stage_index(obs::trace_stage::dispatch)] = std::chrono::duration<double>(dispatch_start - batch.sealed).count();
+                stages[obs::stage_index(obs::trace_stage::service)] = service_seconds;
+                mean_queue_wait_seconds += stages[obs::stage_index(obs::trace_stage::queue_wait)];
+                metrics.record_request_trace(batch.cls, stages, std::chrono::duration<double>(end - req.admitted).count(), deadline_missed);
+                if (req.traced) {
+                    obs::request_trace trace{};
+                    trace.id = req.trace_id;
+                    trace.cls = batch.cls;
+                    trace.path = path;
+                    trace.deadline_missed = deadline_missed;
+                    trace.batch_size = batch_size;
+                    trace.estimated_batch_seconds = estimated_seconds;
+                    trace.t_admit_ns = recorder.to_ns(req.admitted);
+                    trace.t_enqueue_ns = recorder.to_ns(req.enqueued);
+                    trace.t_seal_ns = recorder.to_ns(batch.sealed);
+                    trace.t_dispatch_ns = recorder.to_ns(dispatch_start);
+                    trace.t_complete_ns = recorder.to_ns(end);
+                    recorder.record_complete(trace);
+                }
                 req.result.set_value(labels[i]);
             }
+            mean_queue_wait_seconds /= static_cast<double>(batch_size);
         } catch (...) {
             for (typename micro_batcher<T>::request &req : batch.requests) {
                 req.result.set_exception(std::current_exception());
             }
         }
-        post_batch();
+        post_batch(mean_queue_wait_seconds, service_seconds);
     }
 }
 
 /// Shared admission gate of the async submit paths: consult the controller,
-/// record the decision, and fail the shed request fast with the typed error.
+/// record the decision (metrics counter + flight-recorder shed event), and
+/// fail the shed request fast with the typed error.
+/// @return the admission instant — trace stamp 1 of the admitted request
 template <typename T>
-void admit_or_shed(admission_controller &admission, serve_metrics &metrics, const micro_batcher<T> &batcher, const request_class cls) {
-    const admission_decision decision = admission.try_admit(cls, batcher.pending(cls), std::chrono::steady_clock::now());
+std::chrono::steady_clock::time_point admit_or_shed(admission_controller &admission, serve_metrics &metrics,
+                                                    obs::flight_recorder &recorder, const micro_batcher<T> &batcher,
+                                                    const request_class cls) {
+    const auto now = std::chrono::steady_clock::now();
+    const admission_decision decision = admission.try_admit(cls, batcher.pending(cls), now);
     metrics.record_admission(cls, decision);
     if (decision != admission_decision::admitted) {
+        recorder.record_shed(cls, decision);
         throw request_shed_exception{ cls, decision };
     }
+    return now;
 }
 
 /// The deadline budget a request is enqueued with: its own, else the class
@@ -173,13 +226,14 @@ struct qos_feedback {
     std::size_t cached_cross_lane{ 0 };
 
     template <typename T>
-    void retune(executor &exec, const executor::lane &lane_handle, batch_tuner &tuner, micro_batcher<T> &batcher) {
+    void retune(executor &exec, const executor::lane &lane_handle, batch_tuner &tuner, micro_batcher<T> &batcher,
+                const double queue_wait_seconds = 0.0, const double service_seconds = 0.0) {
         const lane_stats lane = lane_handle.stats();
         if (retune_counter++ % 8 == 0) {
             const executor_stats exec_stats = exec.stats();
             cached_cross_lane = exec_stats.queued >= lane.queue_depth ? exec_stats.queued - lane.queue_depth : 0;
         }
-        tuner.observe(batcher.pending(), lane.queue_depth, lane.stolen, cached_cross_lane);
+        tuner.observe(batcher.pending(), lane.queue_depth, lane.stolen, cached_cross_lane, queue_wait_seconds, service_seconds);
         batcher.set_class_policies(tuner.policies());
     }
 };
@@ -344,6 +398,7 @@ class inference_engine {
         tuner_{ config.qos, batch_policy{ config.max_batch_size, config.batch_delay },
                 [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); } },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } },
+        recorder_{ config.obs },
         drainer_{ [this]() { drain_loop(); } } {
         batcher_.set_class_policies(tuner_.policies());
     }
@@ -496,8 +551,10 @@ class inference_engine {
      */
     [[nodiscard]] std::future<T> submit(std::vector<T> point, const request_options &options = {}) {
         compiled_model<T>::validate_feature_count(num_features_, point.size());
-        detail::admit_or_shed(admission_, metrics_, batcher_, options.cls);
-        return batcher_.enqueue(std::move(point), options.cls, detail::effective_deadline(admission_, options));
+        const auto admitted = detail::admit_or_shed(admission_, metrics_, recorder_, batcher_, options.cls);
+        const std::chrono::microseconds deadline = detail::effective_deadline(admission_, options);
+        const std::uint64_t trace_id = recorder_.should_trace(options.cls, deadline.count() > 0) ? recorder_.next_trace_id() : 0;
+        return batcher_.enqueue(std::move(point), options.cls, deadline, admitted, trace_id);
     }
 
     /**
@@ -521,8 +578,10 @@ class inference_engine {
             }
             dense[e.index] = e.value;
         }
-        detail::admit_or_shed(admission_, metrics_, batcher_, options.cls);
-        return batcher_.enqueue(std::move(dense), options.cls, detail::effective_deadline(admission_, options));
+        const auto admitted = detail::admit_or_shed(admission_, metrics_, recorder_, batcher_, options.cls);
+        const std::chrono::microseconds deadline = detail::effective_deadline(admission_, options);
+        const std::uint64_t trace_id = recorder_.should_trace(options.cls, deadline.count() > 0) ? recorder_.next_trace_id() : 0;
+        return batcher_.enqueue(std::move(dense), options.cls, deadline, admitted, trace_id);
     }
 
     /// Current latency/throughput aggregates, including the engine's lane
@@ -542,6 +601,33 @@ class inference_engine {
 
     /// `stats()` rendered as a machine-readable JSON snapshot string.
     [[nodiscard]] std::string stats_json() const { return to_json(stats()); }
+
+    /// Emit every metric family of this engine (counters/gauges, latency +
+    /// stage histograms, flight-recorder counters) into @p builder under
+    /// @p labels — the building block of `registry.metrics_text()`.
+    void collect_metrics(obs::prometheus_builder &builder, const obs::label_set &labels = {}) const {
+        collect_serve_stats(builder, stats(), labels);
+        metrics_.collect_histograms(builder, labels);
+        recorder_.collect(builder, labels);
+    }
+
+    /// All engine metrics in the Prometheus text exposition format.
+    [[nodiscard]] std::string metrics_text() const {
+        obs::prometheus_builder builder;
+        collect_metrics(builder);
+        return builder.text();
+    }
+
+    /// The engine's flight recorder (retained lifecycle traces + shed events).
+    [[nodiscard]] const obs::flight_recorder &recorder() const noexcept { return recorder_; }
+
+    /// Explicit flight-recorder dump: every retained trace and shed event,
+    /// rendered as JSON.
+    [[nodiscard]] std::string dump_traces() const { return recorder_.dump_json("explicit"); }
+
+    /// JSON of the most recent automatic violation dump (triggered by a shed
+    /// or a deadline miss; empty string before the first violation).
+    [[nodiscard]] std::string last_violation_dump() const { return recorder_.last_violation_dump(); }
 
     /// Publish the aggregates into @p t under @p prefix.
     void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
@@ -584,7 +670,7 @@ class inference_engine {
 
     void drain_loop() {
         detail::drain_requests(
-            batcher_, metrics_, num_features_,
+            batcher_, metrics_, recorder_, num_features_,
             [this](aos_matrix<T> &points) {
                 // one snapshot for the whole batch: scaling and model always match
                 const snapshot_ptr snap = snapshot_.load();
@@ -593,13 +679,15 @@ class inference_engine {
                 }
                 std::vector<T> values(points.num_rows());
                 const predict_path path = dispatched_decision_values(snap->compiled, dispatcher_, lane_, points, values.data());
-                metrics_.record_path(path);
                 for (T &v : values) {
                     v = snap->compiled.label_from_decision(v);
                 }
-                return values;
+                return std::pair{ std::move(values), path };
             },
-            [this]() { feedback_.retune(*exec_, lane_, tuner_, batcher_); });
+            [this](const double queue_wait_seconds, const double service_seconds) {
+                feedback_.retune(*exec_, lane_, tuner_, batcher_, queue_wait_seconds, service_seconds);
+            },
+            [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); });
     }
 
     /// Cost-model estimate of one batch of @p batch_size against the current
@@ -621,6 +709,7 @@ class inference_engine {
     batch_tuner tuner_;                ///< load-adaptive per-class batch policies
     micro_batcher<T> batcher_;
     serve_metrics metrics_;
+    obs::flight_recorder recorder_;    ///< lifecycle traces + violation dumps
     detail::qos_feedback feedback_;    ///< drain-thread only
     std::thread drainer_;
 };

@@ -39,6 +39,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -56,13 +57,17 @@ class micro_batcher {
     struct request {
         std::vector<T> point;                                ///< feature vector
         std::promise<T> result;                              ///< fulfilled by the consumer
-        time_point enqueued{};                               ///< for latency accounting
+        time_point admitted{};                               ///< admission decision (trace stamp 1)
+        time_point enqueued{};                               ///< for latency accounting (trace stamp 2)
         time_point deadline{ no_deadline };                  ///< absolute fulfilment deadline
+        std::uint64_t trace_id{ 0 };                         ///< flight-recorder trace id (0 = unsampled)
+        bool traced{ false };                                ///< publish a lifecycle trace on completion
     };
 
     /// One popped batch: requests of exactly one class, FIFO within it.
     struct class_batch {
         request_class cls{ request_class::interactive };
+        time_point sealed{};                                 ///< batch-seal instant (trace stamp 3)
         std::vector<request> requests;
 
         [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
@@ -117,9 +122,14 @@ class micro_batcher {
     /// consumer processed the batch containing it.
     /// @param cls priority class the request is queued under
     /// @param deadline_budget time budget from now to fulfilment; 0 = none
+    /// @param admitted admission-decision instant (trace stamp 1; default:
+    ///                 same as the enqueue instant)
+    /// @param trace_id flight-recorder trace id; != 0 marks the request as
+    ///                 sampled for lifecycle tracing
     /// @throws plssvm::exception if the batcher has been shut down
     [[nodiscard]] std::future<T> enqueue(std::vector<T> point, const request_class cls = request_class::interactive,
-                                         const std::chrono::microseconds deadline_budget = std::chrono::microseconds{ 0 }) {
+                                         const std::chrono::microseconds deadline_budget = std::chrono::microseconds{ 0 },
+                                         const time_point admitted = {}, const std::uint64_t trace_id = 0) {
         std::future<T> future;
         {
             const std::lock_guard lock{ mutex_ };
@@ -129,6 +139,9 @@ class micro_batcher {
             request &req = queues_[class_index(cls)].emplace_back();
             req.point = std::move(point);
             req.enqueued = std::chrono::steady_clock::now();
+            req.admitted = admitted == time_point{} ? req.enqueued : admitted;
+            req.trace_id = trace_id;
+            req.traced = trace_id != 0;
             req.deadline = deadline_budget.count() > 0 ? req.enqueued + deadline_budget : no_deadline;
             min_deadline_[class_index(cls)] = std::min(min_deadline_[class_index(cls)], req.deadline);
             future = req.result.get_future();
@@ -245,6 +258,7 @@ class micro_batcher {
         const std::size_t batch_size = std::min(queue.size(), target);
         class_batch batch;
         batch.cls = cls;
+        batch.sealed = std::chrono::steady_clock::now();
         batch.requests.reserve(batch_size);
         for (std::size_t i = 0; i < batch_size; ++i) {
             batch.requests.push_back(std::move(queue.front()));

@@ -264,6 +264,40 @@ class model_registry {
         return json;
     }
 
+    /**
+     * @brief Every resident engine's metric families in the Prometheus text
+     *        exposition format, each labelled with `model="<name>"`, plus the
+     *        shared executor's per-lane queue-depth/steal gauges.
+     *
+     * Same pinning discipline as `stats_json()`: engines are pinned under
+     * the registry mutex, collected outside it, and LRU ages are not
+     * refreshed (scraping must not protect idle models).
+     */
+    [[nodiscard]] std::string metrics_text() const {
+        std::vector<std::pair<std::string, entry>> resident;
+        {
+            const std::lock_guard lock{ mutex_ };
+            resident.assign(entries_.begin(), entries_.end());
+        }
+        obs::prometheus_builder builder;
+        for (const auto &[name, e] : resident) {
+            const obs::label_set labels{ { "model", name } };
+            if (e.binary != nullptr) {
+                e.binary->collect_metrics(builder, labels);
+            } else {
+                e.multiclass->collect_metrics(builder, labels);
+            }
+        }
+        for (const lane_report &lane : exec_->lane_reports()) {
+            const obs::label_set labels{ { "lane", lane.name } };
+            builder.add_gauge("plssvm_serve_lane_queue_depth", "Tasks currently queued on an executor lane", labels, static_cast<double>(lane.stats.queue_depth));
+            builder.add_gauge("plssvm_serve_lane_in_flight", "Tasks of an executor lane executing right now", labels, static_cast<double>(lane.stats.in_flight));
+            builder.add_counter("plssvm_serve_lane_steals_total", "Lane tasks executed by a non-affine worker", labels, static_cast<double>(lane.stats.stolen));
+            builder.add_counter("plssvm_serve_lane_submitted_total", "Tasks ever enqueued on an executor lane", labels, static_cast<double>(lane.stats.submitted));
+        }
+        return builder.text();
+    }
+
     /// Registered names, most recently used first.
     [[nodiscard]] std::vector<std::string> names() const {
         const std::lock_guard lock{ mutex_ };

@@ -67,7 +67,8 @@ class multiclass_engine {
         admission_{ config.qos },
         tuner_{ config.qos, batch_policy{ config.max_batch_size, config.batch_delay },
                 [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); } },
-        batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } } {
+        batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } },
+        recorder_{ config.obs } {
         const snapshot_ptr snap = snapshot_.load();
         num_features_ = snap->heads.front().num_features();
         num_classes_ = snap->heads.size();
@@ -179,8 +180,10 @@ class multiclass_engine {
     /// @throws plssvm::serve::request_shed_exception if the request is shed
     [[nodiscard]] std::future<T> submit(std::vector<T> point, const request_options &options = {}) {
         compiled_model<T>::validate_feature_count(num_features_, point.size());
-        detail::admit_or_shed(admission_, metrics_, batcher_, options.cls);
-        return batcher_.enqueue(std::move(point), options.cls, detail::effective_deadline(admission_, options));
+        const auto admitted = detail::admit_or_shed(admission_, metrics_, recorder_, batcher_, options.cls);
+        const std::chrono::microseconds deadline = detail::effective_deadline(admission_, options);
+        const std::uint64_t trace_id = recorder_.should_trace(options.cls, deadline.count() > 0) ? recorder_.next_trace_id() : 0;
+        return batcher_.enqueue(std::move(point), options.cls, deadline, admitted, trace_id);
     }
 
     /// Current latency/throughput aggregates, including the engine's lane
@@ -200,6 +203,33 @@ class multiclass_engine {
 
     /// `stats()` rendered as a machine-readable JSON snapshot string.
     [[nodiscard]] std::string stats_json() const { return to_json(stats()); }
+
+    /// Emit every metric family of this engine (counters/gauges, latency +
+    /// stage histograms, flight-recorder counters) into @p builder under
+    /// @p labels — the building block of `registry.metrics_text()`.
+    void collect_metrics(obs::prometheus_builder &builder, const obs::label_set &labels = {}) const {
+        collect_serve_stats(builder, stats(), labels);
+        metrics_.collect_histograms(builder, labels);
+        recorder_.collect(builder, labels);
+    }
+
+    /// All engine metrics in the Prometheus text exposition format.
+    [[nodiscard]] std::string metrics_text() const {
+        obs::prometheus_builder builder;
+        collect_metrics(builder);
+        return builder.text();
+    }
+
+    /// The engine's flight recorder (retained lifecycle traces + shed events).
+    [[nodiscard]] const obs::flight_recorder &recorder() const noexcept { return recorder_; }
+
+    /// Explicit flight-recorder dump: every retained trace and shed event,
+    /// rendered as JSON.
+    [[nodiscard]] std::string dump_traces() const { return recorder_.dump_json("explicit"); }
+
+    /// JSON of the most recent automatic violation dump (triggered by a shed
+    /// or a deadline miss; empty string before the first violation).
+    [[nodiscard]] std::string last_violation_dump() const { return recorder_.last_violation_dump(); }
 
     void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
         metrics_.report_to(t, prefix);
@@ -255,12 +285,12 @@ class multiclass_engine {
         return scratch;
     }
 
-    /// Dispatch decision for one batch. Every head shares (batch, num_sv,
-    /// dim, kernel), but the sparse compiled form is decided *per head* by
-    /// its own density — so the sparse path is only on offer when EVERY
-    /// head has it, and the cost term must cover the densest head's panel
-    /// (all heads run the same chosen path).
-    [[nodiscard]] predict_path choose_path(const snapshot_type &snap, const std::size_t batch_size) const {
+    /// The dispatch shape of one ensemble batch. Every head shares (batch,
+    /// num_sv, dim, kernel), but the sparse compiled form is decided *per
+    /// head* by its own density — so the sparse path is only on offer when
+    /// EVERY head has it, and the cost term must cover the densest head's
+    /// panel (all heads run the same chosen path).
+    [[nodiscard]] static predict_shape ensemble_batch_shape(const snapshot_type &snap, const std::size_t batch_size) {
         predict_shape shape = dense_batch_shape(snap.heads.front(), batch_size);
         std::size_t max_nnz = 0;
         bool all_sparse = true;
@@ -269,7 +299,12 @@ class multiclass_engine {
             max_nnz = std::max(max_nnz, head.sv_nnz());
         }
         shape.sv_nnz = all_sparse ? max_nnz : 0;
-        return dispatcher_.choose(shape);
+        return shape;
+    }
+
+    /// Dispatch decision for one batch (see `ensemble_batch_shape`).
+    [[nodiscard]] predict_path choose_path(const snapshot_type &snap, const std::size_t batch_size) const {
+        return dispatcher_.choose(ensemble_batch_shape(snap, batch_size));
     }
 
     /// Winning class label for one row of oriented scores.
@@ -285,42 +320,48 @@ class multiclass_engine {
 
     /// Cost-model estimate of one batch: every head runs the same chosen
     /// path over the same batch, so one head's estimate times the head count.
+    /// The shape carries the all-heads sv_nnz adjustment of `choose_path`,
+    /// so the estimate is attributed to the path the batch will actually run.
     [[nodiscard]] double estimated_batch_seconds(const std::size_t batch_size) const {
         const snapshot_ptr snap = snapshot_.load();
         return static_cast<double>(snap->heads.size())
-               * dispatcher_.estimated_seconds(dense_batch_shape(snap->heads.front(), batch_size));
+               * dispatcher_.estimated_seconds(ensemble_batch_shape(*snap, batch_size));
     }
 
     void drain_loop() {
-        detail::drain_requests(batcher_, metrics_, num_features_, [this](aos_matrix<T> &points) {
-            // one snapshot for the whole batch: heads, orientation, labels,
-            // and scaling always belong together
-            const snapshot_ptr snap = snapshot_.load();
-            if (snap->input_scaling != nullptr) {
-                snap->input_scaling->transform(points);  // engine-owned matrix
-            }
-            const std::size_t batch_size = points.num_rows();
-            std::vector<T> values(batch_size);
-            std::vector<T> best_score(batch_size, -std::numeric_limits<T>::infinity());
-            std::vector<T> labels(batch_size, snap->class_labels.front());
-            const predict_path path = choose_path(*snap, batch_size);
-            const soa_matrix<T> packed = path == predict_path::device
-                                             ? transform_to_soa(points, compiled_model_row_padding)
-                                             : soa_matrix<T>{};
-            metrics_.record_path(path);
-            for (std::size_t c = 0; c < snap->heads.size(); ++c) {
-                decision_values_via_path(snap->heads[c], path, lane_, points, &packed, values.data());
-                for (std::size_t i = 0; i < batch_size; ++i) {
-                    const T score = snap->orientation[c] * values[i];
-                    if (score > best_score[i]) {
-                        best_score[i] = score;
-                        labels[i] = snap->class_labels[c];
+        detail::drain_requests(
+            batcher_, metrics_, recorder_, num_features_,
+            [this](aos_matrix<T> &points) {
+                // one snapshot for the whole batch: heads, orientation, labels,
+                // and scaling always belong together
+                const snapshot_ptr snap = snapshot_.load();
+                if (snap->input_scaling != nullptr) {
+                    snap->input_scaling->transform(points);  // engine-owned matrix
+                }
+                const std::size_t batch_size = points.num_rows();
+                std::vector<T> values(batch_size);
+                std::vector<T> best_score(batch_size, -std::numeric_limits<T>::infinity());
+                std::vector<T> labels(batch_size, snap->class_labels.front());
+                const predict_path path = choose_path(*snap, batch_size);
+                const soa_matrix<T> packed = path == predict_path::device
+                                                 ? transform_to_soa(points, compiled_model_row_padding)
+                                                 : soa_matrix<T>{};
+                for (std::size_t c = 0; c < snap->heads.size(); ++c) {
+                    decision_values_via_path(snap->heads[c], path, lane_, points, &packed, values.data());
+                    for (std::size_t i = 0; i < batch_size; ++i) {
+                        const T score = snap->orientation[c] * values[i];
+                        if (score > best_score[i]) {
+                            best_score[i] = score;
+                            labels[i] = snap->class_labels[c];
+                        }
                     }
                 }
-            }
-            return labels;
-        },
-        [this]() { feedback_.retune(*exec_, lane_, tuner_, batcher_); });
+                return std::pair{ std::move(labels), path };
+            },
+            [this](const double queue_wait_seconds, const double service_seconds) {
+                feedback_.retune(*exec_, lane_, tuner_, batcher_, queue_wait_seconds, service_seconds);
+            },
+            [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); });
     }
 
     engine_config config_;
@@ -336,6 +377,7 @@ class multiclass_engine {
     batch_tuner tuner_;                ///< load-adaptive per-class batch policies
     micro_batcher<T> batcher_;
     serve_metrics metrics_;
+    obs::flight_recorder recorder_;    ///< lifecycle traces + violation dumps
     detail::qos_feedback feedback_;    ///< drain-thread only
     std::thread drainer_;
 };

@@ -1,0 +1,423 @@
+#include "plssvm/serve/obs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plssvm::serve::obs {
+
+namespace {
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t value) {
+    value = std::max<std::size_t>(value, 2);
+    return std::bit_ceil(value);
+}
+
+void append_number(std::string &out, const double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+    out += buffer;
+}
+
+void append_number(std::string &out, const std::uint64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%llu", static_cast<unsigned long long>(value));
+    out += buffer;
+}
+
+/// Escape a Prometheus label value (backslash, double quote, newline).
+void append_escaped(std::string &out, const std::string_view value) {
+    for (const char c : value) {
+        switch (c) {
+            case '\\':
+                out += "\\\\";
+                break;
+            case '"':
+                out += "\\\"";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            default:
+                out += c;
+        }
+    }
+}
+
+// --- trace <-> slot-word packing -------------------------------------------
+
+constexpr std::size_t w_id = 0;
+constexpr std::size_t w_meta = 1;
+constexpr std::size_t w_batch = 2;
+constexpr std::size_t w_estimate = 3;
+constexpr std::size_t w_stamp0 = 4;  // admit, enqueue, seal, dispatch, complete
+
+[[nodiscard]] std::array<std::uint64_t, 9> encode(const request_trace &trace) {
+    std::array<std::uint64_t, 9> words{};
+    words[w_id] = trace.id;
+    words[w_meta] = static_cast<std::uint64_t>(trace.cls)
+        | (static_cast<std::uint64_t>(trace.path) << 8)
+        | (static_cast<std::uint64_t>(trace.shed_reason) << 16)
+        | (static_cast<std::uint64_t>(trace.shed ? 1 : 0) << 24)
+        | (static_cast<std::uint64_t>(trace.deadline_missed ? 1 : 0) << 25);
+    words[w_batch] = trace.batch_size;
+    words[w_estimate] = std::bit_cast<std::uint64_t>(trace.estimated_batch_seconds);
+    words[w_stamp0 + 0] = trace.t_admit_ns;
+    words[w_stamp0 + 1] = trace.t_enqueue_ns;
+    words[w_stamp0 + 2] = trace.t_seal_ns;
+    words[w_stamp0 + 3] = trace.t_dispatch_ns;
+    words[w_stamp0 + 4] = trace.t_complete_ns;
+    return words;
+}
+
+[[nodiscard]] request_trace decode(const std::array<std::uint64_t, 9> &words) {
+    request_trace trace{};
+    trace.id = words[w_id];
+    trace.cls = static_cast<request_class>(words[w_meta] & 0xffu);
+    trace.path = static_cast<predict_path>((words[w_meta] >> 8) & 0xffu);
+    trace.shed_reason = static_cast<admission_decision>((words[w_meta] >> 16) & 0xffu);
+    trace.shed = ((words[w_meta] >> 24) & 1u) != 0;
+    trace.deadline_missed = ((words[w_meta] >> 25) & 1u) != 0;
+    trace.batch_size = words[w_batch];
+    trace.estimated_batch_seconds = std::bit_cast<double>(words[w_estimate]);
+    trace.t_admit_ns = words[w_stamp0 + 0];
+    trace.t_enqueue_ns = words[w_stamp0 + 1];
+    trace.t_seal_ns = words[w_stamp0 + 2];
+    trace.t_dispatch_ns = words[w_stamp0 + 3];
+    trace.t_complete_ns = words[w_stamp0 + 4];
+    return trace;
+}
+
+void append_trace_json(std::string &out, const request_trace &trace) {
+    out += "{\"id\": ";
+    append_number(out, trace.id);
+    out += ", \"class\": \"";
+    out += request_class_to_string(trace.cls);
+    out += '"';
+    if (trace.shed) {
+        out += ", \"shed\": true, \"reason\": \"";
+        out += admission_decision_to_string(trace.shed_reason);
+        out += "\", \"t_admit_ns\": ";
+        append_number(out, trace.t_admit_ns);
+        out += '}';
+        return;
+    }
+    out += ", \"path\": \"";
+    out += predict_path_to_string(trace.path);
+    out += "\", \"deadline_missed\": ";
+    out += trace.deadline_missed ? "true" : "false";
+    out += ", \"batch_size\": ";
+    append_number(out, trace.batch_size);
+    out += ", \"estimated_batch_s\": ";
+    append_number(out, trace.estimated_batch_seconds);
+    out += ", \"t_admit_ns\": ";
+    append_number(out, trace.t_admit_ns);
+    out += ", \"t_enqueue_ns\": ";
+    append_number(out, trace.t_enqueue_ns);
+    out += ", \"t_seal_ns\": ";
+    append_number(out, trace.t_seal_ns);
+    out += ", \"t_dispatch_ns\": ";
+    append_number(out, trace.t_dispatch_ns);
+    out += ", \"t_complete_ns\": ";
+    append_number(out, trace.t_complete_ns);
+    out += ", \"spans_ns\": {";
+    const stage_seconds spans = trace.spans_seconds();
+    for (const trace_stage stage : all_trace_stages) {
+        out += '"';
+        out += trace_stage_to_string(stage);
+        out += "\": ";
+        append_number(out, static_cast<std::uint64_t>(spans[stage_index(stage)] * 1e9 + 0.5));
+        out += stage == all_trace_stages.back() ? "" : ", ";
+    }
+    out += "}}";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// trace_ring
+// ---------------------------------------------------------------------------
+
+void trace_ring::reset(const std::size_t capacity) {
+    const std::size_t n = round_up_pow2(capacity);
+    slots_ = std::vector<slot>(n);
+    mask_ = n - 1;
+    head_.store(0, std::memory_order_relaxed);
+}
+
+void trace_ring::publish(const request_trace &trace) noexcept {
+    if (slots_.empty()) {
+        return;
+    }
+    const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+    slot &s = slots_[static_cast<std::size_t>(ticket) & mask_];
+    // odd sequence = write in progress; readers skip the slot
+    s.seq.store(2 * ticket + 1, std::memory_order_release);
+    const std::array<std::uint64_t, 9> words = encode(trace);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        s.words[i].store(words[i], std::memory_order_relaxed);
+    }
+    s.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+void trace_ring::collect(std::vector<request_trace> &out) const {
+    if (slots_.empty()) {
+        return;
+    }
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t capacity = slots_.size();
+    const std::uint64_t first = head > capacity ? head - capacity : 0;
+    for (std::uint64_t ticket = first; ticket < head; ++ticket) {
+        const slot &s = slots_[static_cast<std::size_t>(ticket) & mask_];
+        if (s.seq.load(std::memory_order_acquire) != 2 * ticket + 2) {
+            continue;  // mid-write or already overwritten by a newer lap
+        }
+        std::array<std::uint64_t, 9> words{};
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            words[i] = s.words[i].load(std::memory_order_relaxed);
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_relaxed) != 2 * ticket + 2) {
+            continue;  // overwritten while copying — discard the torn record
+        }
+        out.push_back(decode(words));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prometheus_builder
+// ---------------------------------------------------------------------------
+
+prometheus_builder::family &prometheus_builder::family_for(const std::string_view name, const std::string_view type, const std::string_view help) {
+    for (family &fam : families_) {
+        if (fam.name == name) {
+            return fam;
+        }
+    }
+    families_.push_back(family{ std::string{ name }, std::string{ type }, std::string{ help }, {} });
+    return families_.back();
+}
+
+void prometheus_builder::add_sample(family &fam, const std::string_view name, const label_set &labels, const double value) {
+    std::string line{ name };
+    if (!labels.empty()) {
+        line += '{';
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            line += labels[i].first;
+            line += "=\"";
+            append_escaped(line, labels[i].second);
+            line += '"';
+            line += i + 1 < labels.size() ? "," : "";
+        }
+        line += '}';
+    }
+    line += ' ';
+    append_number(line, value);
+    fam.samples.push_back(std::move(line));
+}
+
+void prometheus_builder::add_counter(const std::string_view name, const std::string_view help, const label_set &labels, const double value) {
+    add_sample(family_for(name, "counter", help), name, labels, value);
+}
+
+void prometheus_builder::add_gauge(const std::string_view name, const std::string_view help, const label_set &labels, const double value) {
+    add_sample(family_for(name, "gauge", help), name, labels, value);
+}
+
+void prometheus_builder::add_histogram(const std::string_view name, const std::string_view help, const label_set &labels, const latency_histogram &hist) {
+    // decade-ish ladder from 10us to 10s: fine enough for latency SLOs,
+    // coarse enough to keep the exposition small
+    static constexpr std::array<double, 15> edges{
+        1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 1e-1, 1.0, 5.0, 10.0
+    };
+    family &fam = family_for(name, "histogram", help);
+    const std::string bucket_name = std::string{ name } + "_bucket";
+    for (const double edge : edges) {
+        label_set bucket_labels = labels;
+        char le[32];
+        std::snprintf(le, sizeof(le), "%g", edge);
+        bucket_labels.emplace_back("le", le);
+        add_sample(fam, bucket_name, bucket_labels, static_cast<double>(hist.count_le(edge)));
+    }
+    label_set inf_labels = labels;
+    inf_labels.emplace_back("le", "+Inf");
+    add_sample(fam, bucket_name, inf_labels, static_cast<double>(hist.count()));
+    add_sample(fam, std::string{ name } + "_sum", labels, hist.sum_seconds());
+    add_sample(fam, std::string{ name } + "_count", labels, static_cast<double>(hist.count()));
+}
+
+std::string prometheus_builder::text() const {
+    std::string out;
+    out.reserve(4096);
+    for (const family &fam : families_) {
+        out += "# HELP ";
+        out += fam.name;
+        out += ' ';
+        out += fam.help;
+        out += "\n# TYPE ";
+        out += fam.name;
+        out += ' ';
+        out += fam.type;
+        out += '\n';
+        for (const std::string &sample : fam.samples) {
+            out += sample;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// flight_recorder
+// ---------------------------------------------------------------------------
+
+flight_recorder::flight_recorder(const obs_config &config) :
+    config_{ config },
+    epoch_{ std::chrono::steady_clock::now() } {
+    for (const request_class cls : all_request_classes) {
+        const double rate = config_.sampling[class_index(cls)];
+        std::uint64_t period = 0;
+        if (rate >= 1.0) {
+            period = 1;
+        } else if (rate > 0.0) {
+            period = static_cast<std::uint64_t>(std::llround(1.0 / rate));
+            period = period == 0 ? 1 : period;
+        }
+        sample_period_[class_index(cls)] = period;
+        rings_[class_index(cls)].reset(config_.flight_recorder_capacity);
+    }
+    shed_ring_.reset(config_.shed_ring_capacity);
+}
+
+bool flight_recorder::should_trace(const request_class cls, const bool has_deadline) noexcept {
+    if (!config_.enabled) {
+        return false;
+    }
+    if (has_deadline) {
+        return true;
+    }
+    const std::uint64_t period = sample_period_[class_index(cls)];
+    if (period == 1) {
+        return true;
+    }
+    if (period == 0) {
+        sampled_out_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    const std::uint64_t n = sample_counters_[class_index(cls)].fetch_add(1, std::memory_order_relaxed);
+    if (n % period == 0) {
+        return true;
+    }
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void flight_recorder::record_complete(const request_trace &trace) {
+    if (!config_.enabled) {
+        return;
+    }
+    rings_[class_index(trace.cls)].publish(trace);
+    traces_recorded_.fetch_add(1, std::memory_order_relaxed);
+    if (trace.deadline_missed) {
+        deadline_miss_traces_.fetch_add(1, std::memory_order_relaxed);
+        maybe_violation_dump("deadline_miss");
+    }
+}
+
+void flight_recorder::record_shed(const request_class cls, const admission_decision reason) {
+    if (!config_.enabled) {
+        return;
+    }
+    request_trace trace{};
+    trace.id = next_trace_id();
+    trace.cls = cls;
+    trace.shed = true;
+    trace.shed_reason = reason;
+    trace.t_admit_ns = now_ns();
+    shed_ring_.publish(trace);
+    sheds_recorded_.fetch_add(1, std::memory_order_relaxed);
+    maybe_violation_dump("shed");
+}
+
+std::string flight_recorder::dump_json(const std::string_view reason) const {
+    std::string out;
+    out.reserve(4096);
+    out += "{\"reason\": \"";
+    out += reason;
+    out += "\", \"generated_ns\": ";
+    append_number(out, now_ns());
+    out += ", \"traces\": {";
+    for (const request_class cls : all_request_classes) {
+        out += '"';
+        out += request_class_to_string(cls);
+        out += "\": [";
+        const std::vector<request_trace> records = traces(cls);
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            append_trace_json(out, records[i]);
+            out += i + 1 < records.size() ? ", " : "";
+        }
+        out += ']';
+        out += cls == all_request_classes.back() ? "" : ", ";
+    }
+    out += "}, \"sheds\": [";
+    const std::vector<request_trace> sheds = shed_events();
+    for (std::size_t i = 0; i < sheds.size(); ++i) {
+        append_trace_json(out, sheds[i]);
+        out += i + 1 < sheds.size() ? ", " : "";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string flight_recorder::last_violation_dump() const {
+    const std::lock_guard lock{ dump_mutex_ };
+    return last_violation_dump_;
+}
+
+std::vector<request_trace> flight_recorder::traces(const request_class cls) const {
+    std::vector<request_trace> out;
+    rings_[class_index(cls)].collect(out);
+    return out;
+}
+
+std::vector<request_trace> flight_recorder::shed_events() const {
+    std::vector<request_trace> out;
+    shed_ring_.collect(out);
+    return out;
+}
+
+void flight_recorder::maybe_violation_dump(const std::string_view reason) {
+    const auto interval_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(config_.min_dump_interval).count());
+    const std::uint64_t now = now_ns() + 1;  // + 1: keep "never dumped" == 0 distinct
+    std::uint64_t last = last_dump_ns_.load(std::memory_order_relaxed);
+    if (last != 0 && now - last < interval_ns) {
+        return;  // rate-limited: a shed storm must not render JSON per shed
+    }
+    if (!last_dump_ns_.compare_exchange_strong(last, now, std::memory_order_relaxed)) {
+        return;  // another violator won the dump slot
+    }
+    std::string json = dump_json(reason);
+    {
+        const std::lock_guard lock{ dump_mutex_ };
+        last_violation_dump_ = std::move(json);
+    }
+    violation_dumps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void flight_recorder::collect(prometheus_builder &builder, const label_set &labels) const {
+    builder.add_counter("plssvm_serve_obs_traces_recorded_total", "Completed request traces published into the flight recorder", labels, static_cast<double>(traces_recorded()));
+    builder.add_counter("plssvm_serve_obs_sheds_recorded_total", "Shed events published into the flight recorder", labels, static_cast<double>(sheds_recorded()));
+    builder.add_counter("plssvm_serve_obs_sampled_out_total", "Admitted requests skipped by trace sampling", labels, static_cast<double>(sampled_out()));
+    builder.add_counter("plssvm_serve_obs_deadline_miss_traces_total", "Traces whose request missed its deadline", labels, static_cast<double>(deadline_miss_traces_.load(std::memory_order_relaxed)));
+    builder.add_counter("plssvm_serve_obs_violation_dumps_total", "Automatic flight-recorder dumps triggered by sheds or deadline misses", labels, static_cast<double>(violation_dumps()));
+}
+
+}  // namespace plssvm::serve::obs

@@ -62,7 +62,11 @@ predict_path predict_dispatcher::choose(const predict_shape &shape) const {
 }
 
 double predict_dispatcher::estimated_seconds(const predict_shape &shape) const {
-    switch (choose(shape)) {
+    return estimated_seconds(shape, choose(shape));
+}
+
+double predict_dispatcher::estimated_seconds(const predict_shape &shape, const predict_path path) const {
+    switch (path) {
         case predict_path::device:
             return device_seconds(shape.batch_size, shape.num_sv, shape.dim, shape.kernel);
         case predict_path::host_sparse:

@@ -116,6 +116,12 @@ class predict_dispatcher {
     /// (reference batches are approximated with the host roofline).
     [[nodiscard]] double estimated_seconds(const predict_shape &shape) const;
 
+    /// Estimated seconds of @p shape along an *already-chosen* @p path —
+    /// the attribution the observability plane records per batch, so the
+    /// measured-vs-estimated comparison always charges the path the batch
+    /// actually ran, even when a caller overrode the dispatch decision.
+    [[nodiscard]] double estimated_seconds(const predict_shape &shape, predict_path path) const;
+
     /**
      * @brief Pick the execution path for one batch with full sparsity
      *        information.

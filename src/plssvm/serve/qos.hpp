@@ -159,6 +159,13 @@ struct adaptive_batch_config {
     /// Pressure level mapped to full saturation (target = max_batch_size);
     /// 0 = 2x the resolved max_batch_size.
     double backlog_at_max{ 0.0 };
+    /// Queue-wait-to-service-time ratio mapped to full saturation. Batches
+    /// whose requests wait in the class FIFO much longer than the batch
+    /// takes to execute are the direct symptom of undersized batches — the
+    /// observability plane measures the split per batch and the tuner reads
+    /// it instead of inferring saturation only from depth EWMAs. 0 = 8.0
+    /// (waiting 8x the service time saturates the signal).
+    double wait_ratio_at_max{ 0.0 };
     /// Fraction of a class's deadline budget that may be spent *executing*
     /// the batch (the rest is queueing/flush headroom). The tuner halves a
     /// deadline-carrying class's target until the cost-model estimate of
@@ -212,10 +219,17 @@ struct batch_policy {
  * Target computation (see qos.cpp for the details):
  *   pressure   = EWMA(backlog + lane_depth + cross_lane/4)
  *   steal_rate = EWMA(new steals since the last observation)
- *   saturation = clamp01((pressure + steal_weight * steal_rate) / backlog_at_max)
+ *   wait_ratio = EWMA(batch queue-wait / batch service time)   [measured]
+ *   saturation = clamp01(max((pressure + steal_weight * steal_rate) / backlog_at_max,
+ *                            wait_ratio / wait_ratio_at_max))
  *   target     = min + saturation * (max - min), then halved while the
  *                cost-model batch estimate overruns the class's deadline share
  *   flush      = base_flush + saturation * (max_flush - base_flush)
+ *
+ * The wait-ratio term is fed from the observability plane's per-batch
+ * queue-wait vs service-time split (`obs` stage stamps): requests waiting
+ * far longer than their batch executes is direct evidence of saturation
+ * that queue-depth EWMAs only proxy.
  */
 class batch_tuner {
   public:
@@ -238,8 +252,14 @@ class batch_tuner {
      *                          tuner differentiates it internally)
      * @param cross_lane_queued tasks queued on *other* lanes of the shared
      *                          executor (cross-tenant pressure)
+     * @param queue_wait_seconds mean time the drained batch's requests spent
+     *                          waiting in the class FIFO (0 = no measurement:
+     *                          the wait-ratio term is skipped, preserving the
+     *                          depth-only behaviour)
+     * @param service_seconds   execution time of the drained batch
      */
-    void observe(std::size_t backlog, std::size_t lane_queue_depth, std::size_t lane_steals_total, std::size_t cross_lane_queued);
+    void observe(std::size_t backlog, std::size_t lane_queue_depth, std::size_t lane_steals_total, std::size_t cross_lane_queued,
+                 double queue_wait_seconds = 0.0, double service_seconds = 0.0);
 
     /// Current per-class batch policies (idle values before any observation).
     [[nodiscard]] per_class<class_batch_policy> policies() const;
@@ -259,6 +279,7 @@ class batch_tuner {
     mutable std::mutex mutex_;
     double ewma_pressure_{ 0.0 };
     double ewma_steal_rate_{ 0.0 };
+    double ewma_wait_ratio_{ 0.0 };
     std::size_t last_steals_total_{ 0 };
     bool steals_initialized_{ false };
     double saturation_{ 0.0 };

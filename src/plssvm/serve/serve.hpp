@@ -25,6 +25,7 @@
 #include "plssvm/serve/micro_batcher.hpp"       // IWYU pragma: export
 #include "plssvm/serve/model_registry.hpp"      // IWYU pragma: export
 #include "plssvm/serve/multiclass_engine.hpp"   // IWYU pragma: export
+#include "plssvm/serve/obs.hpp"                 // IWYU pragma: export
 #include "plssvm/serve/qos.hpp"                 // IWYU pragma: export
 #include "plssvm/serve/serve_stats.hpp"         // IWYU pragma: export
 #include "plssvm/serve/snapshot.hpp"            // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "plssvm/serve/serve_stats.hpp"
 
+#include "plssvm/serve/obs.hpp"
 #include "plssvm/serve/qos.hpp"
 
 #include <cstdio>
@@ -25,13 +26,14 @@ void append_field(std::string &out, const char *name, const double value, const 
 
 std::string to_json(const serve_stats &stats) {
     std::string json;
-    json.reserve(2048);
+    json.reserve(4096);
     json += "{ ";
     append_field(json, "total_requests", stats.total_requests);
     append_field(json, "total_batches", stats.total_batches);
     append_field(json, "mean_batch_size", stats.mean_batch_size);
     append_field(json, "p50_latency_s", stats.p50_latency_seconds);
     append_field(json, "p99_latency_s", stats.p99_latency_seconds);
+    append_field(json, "p999_latency_s", stats.p999_latency_seconds);
     append_field(json, "max_latency_s", stats.max_latency_seconds);
     append_field(json, "requests_per_s", stats.requests_per_second);
     append_field(json, "batch_kernel_s", stats.batch_kernel_seconds);
@@ -40,6 +42,11 @@ std::string to_json(const serve_stats &stats) {
     append_field(json, "host_blocked", stats.host_blocked_batches);
     append_field(json, "host_sparse", stats.host_sparse_batches);
     append_field(json, "device", stats.device_batches, false);
+    json += " }, ";
+    json += "\"cost_model\": { ";
+    append_field(json, "estimate_batches", stats.estimate_batches);
+    append_field(json, "median_rel_error", stats.estimate_median_rel_error);
+    append_field(json, "p99_rel_error", stats.estimate_p99_rel_error, false);
     json += " }, ";
     append_field(json, "queue_depth", stats.queue_depth);
     append_field(json, "max_queue_depth", stats.max_queue_depth);
@@ -64,12 +71,106 @@ std::string to_json(const serve_stats &stats) {
         append_field(json, "mean_batch_size", c.mean_batch_size);
         append_field(json, "p50_latency_s", c.p50_latency_seconds);
         append_field(json, "p99_latency_s", c.p99_latency_seconds);
+        append_field(json, "p999_latency_s", c.p999_latency_seconds);
+        json += "\"stages\": { ";
+        for (const obs::trace_stage stage : obs::all_trace_stages) {
+            const stage_latency_stats &s = c.stages[obs::stage_index(stage)];
+            json += "\"";
+            json += obs::trace_stage_to_string(stage);
+            json += "\": { ";
+            append_field(json, "p50_s", s.p50_seconds);
+            append_field(json, "p99_s", s.p99_seconds);
+            append_field(json, "total_s", s.total_seconds);
+            append_field(json, "count", s.count, false);
+            json += stage == obs::all_trace_stages.back() ? " }" : " }, ";
+        }
+        json += " }, ";
         append_field(json, "target_batch_size", c.target_batch_size);
         append_field(json, "flush_delay_s", c.flush_delay_seconds, false);
         json += cls == all_request_classes.back() ? " }" : " }, ";
     }
     json += " } }";
     return json;
+}
+
+void collect_serve_stats(obs::prometheus_builder &builder, const serve_stats &stats, const obs::label_set &labels) {
+    const auto with = [&labels](const char *key, const std::string_view value) {
+        obs::label_set extended = labels;
+        extended.emplace_back(key, std::string{ value });
+        return extended;
+    };
+
+    builder.add_counter("plssvm_serve_requests_total", "Prediction requests served (points, not batches)", labels, static_cast<double>(stats.total_requests));
+    builder.add_counter("plssvm_serve_batches_total", "Batch kernel invocations", labels, static_cast<double>(stats.total_batches));
+    builder.add_counter("plssvm_serve_batch_kernel_seconds_total", "Wall time spent inside batch kernels", labels, stats.batch_kernel_seconds);
+    builder.add_gauge("plssvm_serve_mean_batch_size", "Requests per batch over the engine lifetime", labels, stats.mean_batch_size);
+    builder.add_gauge("plssvm_serve_requests_per_second", "Throughput over the recording window", labels, stats.requests_per_second);
+    builder.add_gauge("plssvm_serve_p50_latency_seconds", "Median end-to-end request latency", labels, stats.p50_latency_seconds);
+    builder.add_gauge("plssvm_serve_p99_latency_seconds", "Tail end-to-end request latency", labels, stats.p99_latency_seconds);
+    builder.add_gauge("plssvm_serve_p999_latency_seconds", "Extreme-tail end-to-end request latency", labels, stats.p999_latency_seconds);
+    builder.add_counter("plssvm_serve_path_batches_total", "Batches per dispatch path", with("path", "reference"), static_cast<double>(stats.reference_batches));
+    builder.add_counter("plssvm_serve_path_batches_total", "Batches per dispatch path", with("path", "host_blocked"), static_cast<double>(stats.host_blocked_batches));
+    builder.add_counter("plssvm_serve_path_batches_total", "Batches per dispatch path", with("path", "host_sparse"), static_cast<double>(stats.host_sparse_batches));
+    builder.add_counter("plssvm_serve_path_batches_total", "Batches per dispatch path", with("path", "device"), static_cast<double>(stats.device_batches));
+    builder.add_counter("plssvm_serve_cost_estimate_batches_total", "Batches with a cost-model estimate recorded", labels, static_cast<double>(stats.estimate_batches));
+    builder.add_gauge("plssvm_serve_cost_estimate_median_rel_error", "Median relative error of the cost-model batch latency estimate", labels, stats.estimate_median_rel_error);
+    builder.add_gauge("plssvm_serve_queue_depth", "Tasks currently queued on the engine's executor lane", labels, static_cast<double>(stats.queue_depth));
+    builder.add_gauge("plssvm_serve_max_queue_depth", "High-water mark of the lane queue", labels, static_cast<double>(stats.max_queue_depth));
+    builder.add_counter("plssvm_serve_steals_total", "Lane tasks executed by a non-affine worker", labels, static_cast<double>(stats.steals));
+    builder.add_gauge("plssvm_serve_executor_threads", "Workers of the shared executor", labels, static_cast<double>(stats.executor_threads));
+    builder.add_counter("plssvm_serve_reloads_total", "Snapshot swaps since engine start", labels, static_cast<double>(stats.reloads));
+    builder.add_gauge("plssvm_serve_snapshot_version", "Version of the currently served model snapshot", labels, static_cast<double>(stats.snapshot_version));
+    builder.add_counter("plssvm_serve_flush_timer_wakeups_total", "Timed flush-wait expirations of the drain thread", labels, static_cast<double>(stats.flush_timer_wakeups));
+    builder.add_gauge("plssvm_serve_batch_saturation", "Adaptive batch tuner load signal in [0, 1]", labels, stats.batch_saturation);
+    for (const request_class cls : all_request_classes) {
+        const class_serve_stats &c = stats.classes[class_index(cls)];
+        const obs::label_set cl = with("class", request_class_to_string(cls));
+        builder.add_counter("plssvm_serve_admitted_total", "Requests past admission control", cl, static_cast<double>(c.admitted));
+        {
+            obs::label_set shed = cl;
+            shed.emplace_back("reason", "rate_limited");
+            builder.add_counter("plssvm_serve_shed_total", "Requests rejected by admission control", shed, static_cast<double>(c.shed_rate_limited));
+        }
+        {
+            obs::label_set shed = cl;
+            shed.emplace_back("reason", "queue_full");
+            builder.add_counter("plssvm_serve_shed_total", "Requests rejected by admission control", shed, static_cast<double>(c.shed_queue_full));
+        }
+        builder.add_counter("plssvm_serve_deadline_misses_total", "Requests fulfilled after their deadline", cl, static_cast<double>(c.deadline_misses));
+        builder.add_counter("plssvm_serve_completed_total", "Requests fulfilled on the async path", cl, static_cast<double>(c.completed));
+        builder.add_counter("plssvm_serve_class_batches_total", "Batches drained per request class", cl, static_cast<double>(c.batches));
+        builder.add_gauge("plssvm_serve_target_batch_size", "Current adaptive batch target", cl, static_cast<double>(c.target_batch_size));
+        builder.add_gauge("plssvm_serve_flush_delay_seconds", "Current adaptive flush deadline", cl, c.flush_delay_seconds);
+    }
+}
+
+void serve_metrics::collect_histograms(obs::prometheus_builder &builder, const obs::label_set &labels) const {
+    // copy the histograms out under the lock, render outside it
+    obs::latency_histogram latency;
+    obs::latency_histogram estimate;
+    per_class<obs::latency_histogram> class_latency{};
+    per_class<std::array<obs::latency_histogram, obs::num_trace_stages>> class_stages{};
+    {
+        const std::lock_guard lock{ mutex_ };
+        latency = latency_;
+        estimate = estimate_rel_error_;
+        for (const request_class cls : all_request_classes) {
+            class_latency[class_index(cls)] = classes_[class_index(cls)].latency;
+            class_stages[class_index(cls)] = classes_[class_index(cls)].stages;
+        }
+    }
+    builder.add_histogram("plssvm_serve_latency_seconds", "End-to-end request latency", labels, latency);
+    builder.add_histogram("plssvm_serve_cost_estimate_rel_error", "Relative error of the cost-model batch latency estimate (unitless, bucketed as seconds)", labels, estimate);
+    for (const request_class cls : all_request_classes) {
+        obs::label_set cl = labels;
+        cl.emplace_back("class", std::string{ request_class_to_string(cls) });
+        builder.add_histogram("plssvm_serve_class_latency_seconds", "End-to-end request latency per class", cl, class_latency[class_index(cls)]);
+        for (const obs::trace_stage stage : obs::all_trace_stages) {
+            obs::label_set sl = cl;
+            sl.emplace_back("stage", std::string{ obs::trace_stage_to_string(stage) });
+            builder.add_histogram("plssvm_serve_stage_latency_seconds", "Lifecycle stage latency per class", sl, class_stages[class_index(cls)][obs::stage_index(stage)]);
+        }
+    }
 }
 
 }  // namespace plssvm::serve

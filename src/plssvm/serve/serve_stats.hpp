@@ -1,7 +1,7 @@
 /**
  * @file
  * @brief Per-engine serving statistics: latency percentiles, throughput,
- *        and per-request-class QoS counters.
+ *        per-request-class QoS counters, and per-stage latency attribution.
  *
  * Every inference engine owns one `serve_metrics` instance. The batch/drain
  * paths record per-request latencies and per-batch kernel times; `snapshot()`
@@ -9,65 +9,51 @@
  * aggregate through the library-wide `plssvm::detail::tracker` (the same
  * channel the training pipeline uses for its component timings).
  * `to_json()` renders a `serve_stats` value as a machine-readable JSON
- * snapshot string for scraping.
+ * snapshot string for scraping; `collect_serve_stats()` +
+ * `serve_metrics::collect_histograms()` emit the same data in the Prometheus
+ * text exposition format (see `obs.hpp`).
  *
  * QoS accounting is per request class: admissions and sheds (from the
  * admission controller), deadline misses, completed requests and batches,
- * and dedicated latency rings so p50/p99 can be read per class — the whole
- * point of admission control is that the interactive tail stays visible
- * separately from bulk traffic.
+ * per-class end-to-end percentiles, and per-stage latency breakdowns
+ * (admission / queue_wait / dispatch / service) — the whole point of
+ * admission control is that the interactive tail stays visible separately
+ * from bulk traffic, and the stage split says *where* a blown tail spent
+ * its time.
  *
- * Latency samples live in fixed-size ring buffers (the most recent
- * `sample_capacity` requests overall, `class_sample_capacity` per class), so
- * percentiles track current behaviour and memory stays bounded no matter
- * how long an engine serves.
+ * Percentiles come from log-bucketed `obs::latency_histogram`s (bounded
+ * memory, <= ~6% bucket error, epoch-stable): unlike the overwriting sample
+ * rings they replace, two cumulative snapshots can be subtracted to get
+ * exact per-window percentiles that never blend pre- and post-load-change
+ * samples. All recorder state lives behind one mutex, so `snapshot()` is a
+ * consistent point-in-time read.
  */
 
 #ifndef PLSSVM_SERVE_SERVE_STATS_HPP_
 #define PLSSVM_SERVE_SERVE_STATS_HPP_
 
 #include "plssvm/detail/tracker.hpp"
+#include "plssvm/serve/obs.hpp"
 #include "plssvm/serve/qos.hpp"
 
-#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <vector>
 
 namespace plssvm::serve {
 
-/// Execution path a prediction batch was routed to by the
-/// `predict_dispatcher` (recorded per batch in `serve_stats`).
-enum class predict_path {
-    /// Serial small-batch path: the per-point scalar sweep for dense batches
-    /// (also the parity baseline), the serial CSR sweep for sparse ones.
-    reference,
-    /// Register/cache-tiled host batch kernels (`serve/batch_kernels`).
-    host_blocked,
-    /// Sparse host sweeps (`serve/batch_kernels` CSR kernels): CSR-query or
-    /// CSR-compiled SV panels evaluated in O(nnz) instead of O(dim)/O(sv*dim).
-    host_sparse,
-    /// Blocked device predict kernels (`backends/device/predict_kernels`).
-    device,
+/// Latency aggregates of one lifecycle stage of one request class.
+struct stage_latency_stats {
+    double p50_seconds{ 0.0 };    ///< median stage duration
+    double p99_seconds{ 0.0 };    ///< tail stage duration
+    double p999_seconds{ 0.0 };   ///< extreme-tail stage duration
+    double total_seconds{ 0.0 };  ///< summed stage time (attribution share)
+    std::size_t count{ 0 };       ///< observations recorded
 };
-
-[[nodiscard]] constexpr std::string_view predict_path_to_string(const predict_path path) noexcept {
-    switch (path) {
-        case predict_path::reference:
-            return "reference";
-        case predict_path::host_blocked:
-            return "host_blocked";
-        case predict_path::host_sparse:
-            return "host_sparse";
-        case predict_path::device:
-            return "device";
-    }
-    return "unknown";
-}
 
 /// QoS aggregates of one request class.
 struct class_serve_stats {
@@ -80,6 +66,10 @@ struct class_serve_stats {
     double mean_batch_size{ 0.0 };       ///< completed / batches
     double p50_latency_seconds{ 0.0 };   ///< median submit-to-fulfilment latency
     double p99_latency_seconds{ 0.0 };   ///< tail submit-to-fulfilment latency
+    double p999_latency_seconds{ 0.0 };  ///< extreme-tail submit-to-fulfilment latency
+    /// Per-stage latency breakdown (admission / queue_wait / dispatch /
+    /// service), indexed by `obs::stage_index()`.
+    std::array<stage_latency_stats, obs::num_trace_stages> stages{};
     // --- live adaptive policy (filled in by the engines from the batcher) --
     std::size_t target_batch_size{ 0 };  ///< current adaptive batch target
     double flush_delay_seconds{ 0.0 };   ///< current adaptive flush deadline
@@ -99,6 +89,7 @@ struct serve_stats {
     double mean_batch_size{ 0.0 };       ///< total_requests / total_batches
     double p50_latency_seconds{ 0.0 };   ///< median call latency (see above)
     double p99_latency_seconds{ 0.0 };   ///< tail call latency
+    double p999_latency_seconds{ 0.0 };  ///< extreme-tail call latency
     double max_latency_seconds{ 0.0 };   ///< worst recorded call latency
     double requests_per_second{ 0.0 };   ///< throughput over the recording window
     double batch_kernel_seconds{ 0.0 };  ///< wall time spent inside batch kernels
@@ -106,6 +97,10 @@ struct serve_stats {
     std::size_t host_blocked_batches{ 0 };  ///< batches routed to the tiled host kernels
     std::size_t host_sparse_batches{ 0 };   ///< batches routed to the sparse CSR sweeps
     std::size_t device_batches{ 0 };        ///< batches routed to the device predict kernels
+    // --- cost-model calibration (dispatcher estimate vs measured batch) ----
+    std::size_t estimate_batches{ 0 };            ///< batches with an estimate recorded
+    double estimate_median_rel_error{ 0.0 };      ///< median |est - measured| / measured
+    double estimate_p99_rel_error{ 0.0 };         ///< tail relative estimate error
     // --- shared-executor and model-lifecycle counters (filled in by the
     // --- engines from their executor lane and snapshot handle) -------------
     std::size_t queue_depth{ 0 };        ///< tasks currently queued on the engine's lane
@@ -124,29 +119,33 @@ struct serve_stats {
 /// classes keyed by name) — the scrape format of `engine.stats_json()`.
 [[nodiscard]] std::string to_json(const serve_stats &stats);
 
+/// Emit every counter/gauge of @p stats into @p builder under @p labels
+/// (the value half of the Prometheus exposition; the histogram half comes
+/// from `serve_metrics::collect_histograms()`).
+void collect_serve_stats(obs::prometheus_builder &builder, const serve_stats &stats, const obs::label_set &labels);
+
 /// Thread-safe recorder behind `serve_stats`.
 class serve_metrics {
   public:
-    /// Ring-buffer capacity for the engine-wide latency samples.
-    static constexpr std::size_t sample_capacity = 8192;
-    /// Ring-buffer capacity for each class's latency samples.
-    static constexpr std::size_t class_sample_capacity = 4096;
-
     /// Record one request's end-to-end latency (sync batch path: classless,
-    /// engine-wide ring only).
+    /// engine-wide histogram only).
     void record_request_latency(const double seconds) {
         const std::lock_guard lock{ mutex_ };
-        push_sample(samples_, next_sample_, sample_capacity, seconds);
+        latency_.record(seconds);
         note_activity();
     }
 
-    /// Record one async request's end-to-end latency under its class (feeds
-    /// both the engine-wide and the per-class ring).
-    void record_request_latency(const request_class cls, const double seconds, const bool deadline_missed) {
+    /// Record one async request's completed lifecycle under its class:
+    /// end-to-end latency into the engine-wide and per-class histograms,
+    /// each stage duration into the per-class stage histograms.
+    void record_request_trace(const request_class cls, const obs::stage_seconds &stages, const double total_seconds, const bool deadline_missed) {
         const std::lock_guard lock{ mutex_ };
-        push_sample(samples_, next_sample_, sample_capacity, seconds);
+        latency_.record(total_seconds);
         class_state &state = classes_[class_index(cls)];
-        push_sample(state.samples, state.next_sample, class_sample_capacity, seconds);
+        state.latency.record(total_seconds);
+        for (const obs::trace_stage stage : obs::all_trace_stages) {
+            state.stages[obs::stage_index(stage)].record(stages[obs::stage_index(stage)]);
+        }
         ++state.completed;
         if (deadline_missed) {
             ++state.deadline_misses;
@@ -161,6 +160,22 @@ class serve_metrics {
         ++total_batches_;
         batch_kernel_seconds_ += kernel_seconds;
         note_activity();
+    }
+
+    /// Record the cost model's estimate against the measured execution time
+    /// of one batch (the calibration signal of the dispatcher).
+    void record_batch_estimate(const double estimated_seconds, const double measured_seconds) {
+        if (!(measured_seconds > 0.0) || !(estimated_seconds >= 0.0)) {
+            return;
+        }
+        const double rel_error = estimated_seconds > measured_seconds
+            ? (estimated_seconds - measured_seconds) / measured_seconds
+            : (measured_seconds - estimated_seconds) / measured_seconds;
+        const std::lock_guard lock{ mutex_ };
+        // relative error recorded as "seconds" — the histogram is unit-
+        // agnostic (1.0 of error lands in the 1s bucket, resolution ~6%)
+        estimate_rel_error_.record(rel_error);
+        ++estimate_batches_;
     }
 
     /// Record that one drained batch belonged to @p cls (the per-class mean
@@ -212,63 +227,73 @@ class serve_metrics {
         }
     }
 
-    /// Aggregate everything recorded so far.
+    /// Aggregate everything recorded so far. One consistent point-in-time
+    /// read: counters and every percentile come from the same locked state.
     [[nodiscard]] serve_stats snapshot() const {
-        std::vector<double> samples;
-        per_class<std::vector<double>> class_samples;
         serve_stats stats;
-        {
-            const std::lock_guard lock{ mutex_ };
-            samples.assign(samples_.begin(), samples_.end());
-            stats.total_requests = total_requests_;
-            stats.total_batches = total_batches_;
-            stats.batch_kernel_seconds = batch_kernel_seconds_;
-            stats.reference_batches = reference_batches_;
-            stats.host_blocked_batches = host_blocked_batches_;
-            stats.host_sparse_batches = host_sparse_batches_;
-            stats.device_batches = device_batches_;
-            stats.reloads = reloads_;
-            for (const request_class cls : all_request_classes) {
-                const class_state &state = classes_[class_index(cls)];
-                class_serve_stats &out = stats.classes[class_index(cls)];
-                out.admitted = state.admitted;
-                out.shed_rate_limited = state.shed_rate_limited;
-                out.shed_queue_full = state.shed_queue_full;
-                out.deadline_misses = state.deadline_misses;
-                out.completed = state.completed;
-                out.batches = state.batches;
-                class_samples[class_index(cls)] = state.samples;
+        const std::lock_guard lock{ mutex_ };
+        stats.total_requests = total_requests_;
+        stats.total_batches = total_batches_;
+        stats.batch_kernel_seconds = batch_kernel_seconds_;
+        stats.reference_batches = reference_batches_;
+        stats.host_blocked_batches = host_blocked_batches_;
+        stats.host_sparse_batches = host_sparse_batches_;
+        stats.device_batches = device_batches_;
+        stats.reloads = reloads_;
+        stats.p50_latency_seconds = latency_.quantile(0.50);
+        stats.p99_latency_seconds = latency_.quantile(0.99);
+        stats.p999_latency_seconds = latency_.quantile(0.999);
+        stats.max_latency_seconds = latency_.max_seconds();
+        stats.estimate_batches = estimate_batches_;
+        stats.estimate_median_rel_error = estimate_rel_error_.quantile(0.50);
+        stats.estimate_p99_rel_error = estimate_rel_error_.quantile(0.99);
+        for (const request_class cls : all_request_classes) {
+            const class_state &state = classes_[class_index(cls)];
+            class_serve_stats &out = stats.classes[class_index(cls)];
+            out.admitted = state.admitted;
+            out.shed_rate_limited = state.shed_rate_limited;
+            out.shed_queue_full = state.shed_queue_full;
+            out.deadline_misses = state.deadline_misses;
+            out.completed = state.completed;
+            out.batches = state.batches;
+            if (out.batches > 0) {
+                out.mean_batch_size = static_cast<double>(out.completed) / static_cast<double>(out.batches);
             }
-            const double window = std::chrono::duration<double>(last_activity_ - first_activity_).count();
-            if (total_requests_ > 0) {
-                // zero-width window (single batch): fall back to kernel time
-                const double denom = window > 0.0 ? window : batch_kernel_seconds_;
-                stats.requests_per_second = denom > 0.0 ? static_cast<double>(total_requests_) / denom : 0.0;
+            out.p50_latency_seconds = state.latency.quantile(0.50);
+            out.p99_latency_seconds = state.latency.quantile(0.99);
+            out.p999_latency_seconds = state.latency.quantile(0.999);
+            for (const obs::trace_stage stage : obs::all_trace_stages) {
+                const obs::latency_histogram &hist = state.stages[obs::stage_index(stage)];
+                stage_latency_stats &s = out.stages[obs::stage_index(stage)];
+                s.p50_seconds = hist.quantile(0.50);
+                s.p99_seconds = hist.quantile(0.99);
+                s.p999_seconds = hist.quantile(0.999);
+                s.total_seconds = hist.sum_seconds();
+                s.count = static_cast<std::size_t>(hist.count());
             }
+        }
+        const double window = std::chrono::duration<double>(last_activity_ - first_activity_).count();
+        if (total_requests_ > 0) {
+            // zero-width window (single batch): fall back to kernel time
+            const double denom = window > 0.0 ? window : batch_kernel_seconds_;
+            stats.requests_per_second = denom > 0.0 ? static_cast<double>(total_requests_) / denom : 0.0;
         }
         if (stats.total_batches > 0) {
             stats.mean_batch_size = static_cast<double>(stats.total_requests) / static_cast<double>(stats.total_batches);
         }
-        if (!samples.empty()) {
-            std::sort(samples.begin(), samples.end());
-            stats.p50_latency_seconds = percentile(samples, 0.50);
-            stats.p99_latency_seconds = percentile(samples, 0.99);
-            stats.max_latency_seconds = samples.back();
-        }
-        for (const request_class cls : all_request_classes) {
-            class_serve_stats &out = stats.classes[class_index(cls)];
-            if (out.batches > 0) {
-                out.mean_batch_size = static_cast<double>(out.completed) / static_cast<double>(out.batches);
-            }
-            std::vector<double> &cs = class_samples[class_index(cls)];
-            if (!cs.empty()) {
-                std::sort(cs.begin(), cs.end());
-                out.p50_latency_seconds = percentile(cs, 0.50);
-                out.p99_latency_seconds = percentile(cs, 0.99);
-            }
-        }
         return stats;
     }
+
+    /// Copy of the engine-wide end-to-end latency histogram (for merging
+    /// across engines or window deltas via `delta_since`).
+    [[nodiscard]] obs::latency_histogram latency_histogram_snapshot() const {
+        const std::lock_guard lock{ mutex_ };
+        return latency_;
+    }
+
+    /// Emit the latency / stage / estimate-error histograms into @p builder
+    /// (the histogram half of the Prometheus exposition).
+    void collect_histograms(obs::prometheus_builder &builder, const obs::label_set &labels) const;
 
     /// Publish a snapshot into @p t: batch kernel time as a component timing,
     /// the latency/throughput aggregates as named metrics.
@@ -281,6 +306,7 @@ class serve_metrics {
         t.set_metric(p + "/mean_batch_size", stats.mean_batch_size);
         t.set_metric(p + "/p50_latency_s", stats.p50_latency_seconds);
         t.set_metric(p + "/p99_latency_s", stats.p99_latency_seconds);
+        t.set_metric(p + "/p999_latency_s", stats.p999_latency_seconds);
         t.set_metric(p + "/max_latency_s", stats.max_latency_seconds);
         t.set_metric(p + "/requests_per_s", stats.requests_per_second);
         t.set_metric(p + "/reference_batches", static_cast<double>(stats.reference_batches));
@@ -288,6 +314,7 @@ class serve_metrics {
         t.set_metric(p + "/host_sparse_batches", static_cast<double>(stats.host_sparse_batches));
         t.set_metric(p + "/device_batches", static_cast<double>(stats.device_batches));
         t.set_metric(p + "/reloads", static_cast<double>(stats.reloads));
+        t.set_metric(p + "/estimate_median_rel_error", stats.estimate_median_rel_error);
         for (const request_class cls : all_request_classes) {
             const class_serve_stats &c = stats.classes[class_index(cls)];
             const std::string cp = p + "/" + std::string{ request_class_to_string(cls) };
@@ -299,10 +326,10 @@ class serve_metrics {
     }
 
   private:
-    /// Per-class recorder state (latency ring + counters).
+    /// Per-class recorder state (latency + stage histograms, counters).
     struct class_state {
-        std::vector<double> samples;
-        std::size_t next_sample{ 0 };
+        obs::latency_histogram latency;
+        std::array<obs::latency_histogram, obs::num_trace_stages> stages{};
         std::size_t admitted{ 0 };
         std::size_t shed_rate_limited{ 0 };
         std::size_t shed_queue_full{ 0 };
@@ -310,21 +337,6 @@ class serve_metrics {
         std::size_t completed{ 0 };
         std::size_t batches{ 0 };
     };
-
-    /// Nearest-rank percentile of pre-sorted @p sorted (non-empty).
-    [[nodiscard]] static double percentile(const std::vector<double> &sorted, const double q) {
-        const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
-        return sorted[std::min(rank, sorted.size() - 1)];
-    }
-
-    static void push_sample(std::vector<double> &samples, std::size_t &next, const std::size_t capacity, const double seconds) {
-        if (samples.size() < capacity) {
-            samples.push_back(seconds);
-        } else {
-            samples[next] = seconds;
-        }
-        next = (next + 1) % capacity;
-    }
 
     void note_activity() {
         const auto now = std::chrono::steady_clock::now();
@@ -335,8 +347,9 @@ class serve_metrics {
     }
 
     mutable std::mutex mutex_;
-    std::vector<double> samples_;
-    std::size_t next_sample_{ 0 };
+    obs::latency_histogram latency_;
+    obs::latency_histogram estimate_rel_error_;
+    std::size_t estimate_batches_{ 0 };
     per_class<class_state> classes_{};
     std::size_t total_requests_{ 0 };
     std::size_t total_batches_{ 0 };
