@@ -50,6 +50,17 @@
  *     throughput >= 0.95x untraced (best-over-repeats on both sides, so
  *     scheduler noise does not fail the gate spuriously).
  *
+ *  7. Fault soak (this PR's experiment): experiment 1's async workload with
+ *     the deterministic fault injector live. Three phases: (a) a transient
+ *     soak — ~1% of batch-kernel evaluations abort and are transparently
+ *     retried; gates: zero lost requests and throughput >= 0.9x an identical
+ *     fault-free run. (b) a poison phase — one request per batch persistently
+ *     kills its batch; bisection must quarantine exactly the poisoned
+ *     requests with typed errors while every survivor matches the sync
+ *     answer. (c) a breaker phase — every competitive dispatch path fails
+ *     persistently; the per-path breakers must trip and reroute live traffic
+ *     down the ladder to the reference path with zero failed requests.
+ *
  * Besides the human-readable tables the benchmark writes a machine-readable
  * `BENCH_serve.json` into the working directory so the serving perf
  * trajectory can be tracked across commits. The JSON also records the
@@ -194,6 +205,23 @@ struct obs_result {
     std::size_t traces_recorded{ 0 };  ///< flight-recorder proof that tracing was live
 };
 
+/// The fault-soak measurement of the JSON report.
+struct fault_result {
+    double fault_free_rps{ 0.0 };          ///< best async req/s, injector installed but inert
+    double soak_rps{ 0.0 };                ///< best async req/s with transient faults firing
+    double throughput_ratio{ 0.0 };        ///< soak / fault-free (1.0 = faults are free)
+    std::size_t soak_requests{ 0 };        ///< requests per soak pass
+    std::size_t injected_faults{ 0 };      ///< batch-kernel rule firings across the soak
+    std::size_t batch_retries{ 0 };        ///< transparent whole-batch retries recorded
+    std::size_t lost_requests{ 0 };        ///< futures that never settled (must be 0)
+    std::size_t quarantined{ 0 };          ///< bisection-isolated requests (poison phase)
+    std::size_t quarantine_typed{ 0 };     ///< of those, futures carrying a typed serve error
+    std::size_t survivor_mismatches{ 0 };  ///< poison-phase survivors disagreeing with sync
+    std::size_t breaker_trips{ 0 };        ///< breaker open transitions (reroute phase)
+    std::size_t breaker_reference_batches{ 0 };  ///< batches rerouted to the reference path
+    std::size_t breaker_failed{ 0 };       ///< reroute-phase requests that errored (must be 0)
+};
+
 /// The reload-under-load measurement of the JSON report.
 struct reload_result {
     double steady_p99_s{ 0.0 };
@@ -211,11 +239,11 @@ void write_json(const char *file_name, const std::size_t num_sv, const std::size
                 const std::size_t num_queries, const std::size_t engine_threads, const std::size_t repeats,
                 const bool quick, const std::vector<engine_result> &engines, const std::vector<path_result> &paths,
                 const std::vector<sparse_result> &sparse, const qos_result &qos, const obs_result &obs,
-                const reload_result &reload, const plssvm::sim::host_profile &host_profile,
+                const fault_result &fault, const reload_result &reload, const plssvm::sim::host_profile &host_profile,
                 const double rbf256_speedup, const bool blocked_beats_reference, const double worst_sync_speedup,
                 const bool reload_pass, const double sparse_linear_99_speedup, const bool sparse_dispatch_auto,
                 const double qos_p99_ratio, const double qos_shed_fraction, const double qos_batch_growth,
-                const bool qos_pass, const bool obs_pass, const bool pass) {
+                const bool qos_pass, const bool obs_pass, const bool fault_pass, const bool pass) {
     std::FILE *f = std::fopen(file_name, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "warning: could not open %s for writing\n", file_name);
@@ -257,16 +285,22 @@ void write_json(const char *file_name, const std::size_t num_sv, const std::size
     std::fprintf(f, "    ]\n  },\n");
     std::fprintf(f, "  \"obs\": { \"traced_rps\": %.1f, \"untraced_rps\": %.1f, \"overhead_ratio\": %.3f, \"traces_recorded\": %zu },\n",
                  obs.traced_rps, obs.untraced_rps, obs.overhead_ratio, obs.traces_recorded);
+    std::fprintf(f, "  \"fault\": { \"fault_free_rps\": %.1f, \"soak_rps\": %.1f, \"throughput_ratio\": %.3f, \"soak_requests\": %zu, \"injected_faults\": %zu, \"batch_retries\": %zu, \"lost_requests\": %zu, \"quarantined\": %zu, \"quarantine_typed_errors\": %zu, \"survivor_mismatches\": %zu, \"breaker_trips\": %zu, \"breaker_reference_batches\": %zu, \"breaker_failed_requests\": %zu },\n",
+                 fault.fault_free_rps, fault.soak_rps, fault.throughput_ratio, fault.soak_requests,
+                 fault.injected_faults, fault.batch_retries, fault.lost_requests, fault.quarantined,
+                 fault.quarantine_typed, fault.survivor_mismatches, fault.breaker_trips,
+                 fault.breaker_reference_batches, fault.breaker_failed);
     std::fprintf(f, "  \"reload_under_load\": { \"steady_p99_s\": %.6e, \"reload_p99_s\": %.6e, \"p99_ratio\": %.2f, \"steady_rps\": %.1f, \"reload_rps\": %.1f, \"reloads\": %zu, \"steady_samples\": %zu, \"reload_samples\": %zu, \"failed_requests\": %zu },\n",
                  reload.steady_p99_s, reload.reload_p99_s, reload.p99_ratio, reload.steady_rps, reload.reload_rps,
                  reload.reloads, reload.steady_samples, reload.reload_samples, reload.failed_requests);
     std::fprintf(f, "  \"host_profile\": { \"effective_gflops\": %.3f, \"effective_bandwidth_gbs\": %.3f },\n",
                  host_profile.effective_gflops, host_profile.effective_bandwidth_gbs);
-    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"reload_p99_within_2x\": %s, \"sparse_linear_99pct_speedup\": %.2f, \"sparse_dispatcher_auto\": %s, \"qos_interactive_p99_ratio_4x\": %.2f, \"qos_shed_fraction_4x\": %.3f, \"qos_batch_growth_4x\": %.2f, \"qos_pass\": %s, \"obs_overhead_ratio\": %.3f, \"obs_pass\": %s, \"pass\": %s }\n",
+    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"reload_p99_within_2x\": %s, \"sparse_linear_99pct_speedup\": %.2f, \"sparse_dispatcher_auto\": %s, \"qos_interactive_p99_ratio_4x\": %.2f, \"qos_shed_fraction_4x\": %.3f, \"qos_batch_growth_4x\": %.2f, \"qos_pass\": %s, \"obs_overhead_ratio\": %.3f, \"obs_pass\": %s, \"fault_throughput_ratio\": %.3f, \"fault_pass\": %s, \"pass\": %s }\n",
                  rbf256_speedup, blocked_beats_reference ? "true" : "false", worst_sync_speedup,
                  reload_pass ? "true" : "false", sparse_linear_99_speedup, sparse_dispatch_auto ? "true" : "false",
                  qos_p99_ratio, qos_shed_fraction, qos_batch_growth, qos_pass ? "true" : "false",
                  obs.overhead_ratio, obs_pass ? "true" : "false",
+                 fault.throughput_ratio, fault_pass ? "true" : "false",
                  pass ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -842,6 +876,203 @@ int main(int argc, char **argv) {
         obs_table.print();
     }
 
+    // ------------------------------------------------------------------
+    // experiment 7: fault soak (deterministic injection vs. fault-free)
+    // ------------------------------------------------------------------
+    std::printf("\nfault soak (deterministic injection: transient kernel faults, poisoned requests, tripped breakers):\n\n");
+    fault_result fault;
+    {
+        namespace svf = plssvm::serve::fault;
+        const model<double> trained = make_model(kernel_type::rbf, num_sv, dim, options.seed);
+        const aos_matrix<double> queries = random_matrix(512, dim, options.seed + 61);
+        fault.soak_requests = options.quick ? 1024 : 4096;
+        // best-over-repeats on both sides, like the tracing-overhead gate:
+        // the ratio compares "least disturbed" runs so scheduler noise
+        // cannot fail the throughput gate spuriously. Passes are only a few
+        // milliseconds, so a generous repeat floor is nearly free and needed
+        // — a single retried batch shifts one short pass by several percent
+        const std::size_t fault_repeats = std::max<std::size_t>(repeats, 7);
+
+        const auto make_config = [&](std::shared_ptr<svf::injector> inject, const std::size_t max_batch) {
+            plssvm::serve::engine_config config;
+            config.num_threads = engine_threads;
+            config.max_batch_size = max_batch;
+            config.batch_delay = std::chrono::microseconds{ 200 };
+            config.fault.inject = std::move(inject);
+            return config;
+        };
+
+        // one async pass: submit single-point requests, settle every future.
+        // A future not ready within 30 s counts as lost — the zero-lost gate
+        // is the fault plane's core contract (every accepted promise settles)
+        const auto run_pass = [&](plssvm::serve::inference_engine<double> &engine,
+                                  std::size_t &answered, std::size_t &failed, std::size_t &typed,
+                                  std::size_t &lost, std::vector<double> *values) {
+            plssvm::bench::stopwatch timer;
+            std::vector<std::future<double>> futures;
+            futures.reserve(fault.soak_requests);
+            for (std::size_t p = 0; p < fault.soak_requests; ++p) {
+                const double *point = queries.row_data(p % queries.num_rows());
+                futures.push_back(engine.submit(std::vector<double>(point, point + dim)));
+            }
+            for (std::size_t p = 0; p < futures.size(); ++p) {
+                if (futures[p].wait_for(std::chrono::seconds{ 30 }) != std::future_status::ready) {
+                    ++lost;
+                    continue;
+                }
+                try {
+                    const double value = futures[p].get();
+                    if (values != nullptr) {
+                        (*values)[p] = value;
+                    }
+                    ++answered;
+                } catch (const plssvm::serve::request_failed_exception &) {
+                    ++failed;
+                    ++typed;
+                } catch (...) {
+                    ++failed;
+                }
+            }
+            return timer.seconds();
+        };
+
+        // phase (a): transient soak vs. fault-free baseline. Small static
+        // batches so the per-evaluation firing probability is exercised
+        // often; the baseline keeps an (inert) injector installed so both
+        // sides pay the hook overhead and the ratio isolates the faults.
+        const auto best_pass_seconds = [&](std::shared_ptr<svf::injector> inject,
+                                           plssvm::serve::serve_stats &stats_out,
+                                           std::size_t &answered, std::size_t &failed, std::size_t &lost) {
+            plssvm::serve::inference_engine<double> engine{ trained, make_config(inject, 32) };
+            std::size_t typed = 0;
+            double best = 0.0;
+            (void) run_pass(engine, answered, failed, typed, lost, nullptr);  // warm-up
+            answered = failed = typed = lost = 0;
+            for (std::size_t r = 0; r < fault_repeats; ++r) {
+                const double seconds = run_pass(engine, answered, failed, typed, lost, nullptr);
+                best = best == 0.0 ? seconds : std::min(best, seconds);
+            }
+            stats_out = engine.stats();
+            return best;
+        };
+
+        auto soak_inject = std::make_shared<svf::injector>(options.seed);
+        soak_inject->add_rule({ .site = svf::fault_site::batch_kernel, .kind = svf::fault_kind::kernel_throw, .probability = 0.01 });
+        plssvm::serve::serve_stats soak_stats;
+        std::size_t soak_answered = 0;
+        std::size_t soak_failed = 0;
+        std::size_t soak_lost = 0;
+        const double soak_seconds = best_pass_seconds(soak_inject, soak_stats, soak_answered, soak_failed, soak_lost);
+        const std::size_t soak_fired = soak_inject->fired(svf::fault_site::batch_kernel);
+
+        plssvm::serve::serve_stats baseline_stats;
+        std::size_t base_answered = 0;
+        std::size_t base_failed = 0;
+        std::size_t base_lost = 0;
+        const double baseline_seconds = best_pass_seconds(std::make_shared<svf::injector>(), baseline_stats, base_answered, base_failed, base_lost);
+
+        const double n = static_cast<double>(fault.soak_requests);
+        fault.fault_free_rps = n / baseline_seconds;
+        fault.soak_rps = n / soak_seconds;
+        fault.throughput_ratio = baseline_seconds / soak_seconds;  // = soak_rps / fault_free_rps
+        fault.injected_faults = soak_fired;
+        fault.batch_retries = soak_stats.fault.batch_retries;
+        fault.lost_requests = soak_lost + base_lost;
+
+        // phase (b): poisoned requests. Batch-local index 0 persistently
+        // kills its batch, so bisection must isolate the first request of
+        // every batch with a typed error and answer all survivors correctly.
+        std::size_t poison_failed = 0;
+        {
+            auto poison_inject = std::make_shared<svf::injector>(options.seed + 1);
+            poison_inject->add_rule({ .site = svf::fault_site::batch_kernel, .kind = svf::fault_kind::kernel_throw, .poison_index = 0 });
+            plssvm::serve::inference_engine<double> engine{ trained, make_config(poison_inject, 32) };
+            const std::size_t wave = 256;
+            const std::vector<double> expected = [&]() {
+                aos_matrix<double> points{ wave, dim };
+                for (std::size_t p = 0; p < wave; ++p) {
+                    std::copy(queries.row_data(p % queries.num_rows()), queries.row_data(p % queries.num_rows()) + dim, points.row_data(p));
+                }
+                return engine.predict(points);  // sync path: hooks do not fire here
+            }();
+            std::vector<std::future<double>> futures;
+            futures.reserve(wave);
+            for (std::size_t p = 0; p < wave; ++p) {
+                const double *point = queries.row_data(p % queries.num_rows());
+                futures.push_back(engine.submit(std::vector<double>(point, point + dim)));
+            }
+            for (std::size_t p = 0; p < wave; ++p) {
+                if (futures[p].wait_for(std::chrono::seconds{ 30 }) != std::future_status::ready) {
+                    ++fault.lost_requests;
+                    continue;
+                }
+                try {
+                    if (futures[p].get() != expected[p]) {
+                        ++fault.survivor_mismatches;
+                    }
+                } catch (const plssvm::serve::request_failed_exception &) {
+                    ++poison_failed;
+                    ++fault.quarantine_typed;
+                } catch (...) {
+                    ++poison_failed;
+                }
+            }
+            fault.quarantined = engine.stats().fault.quarantined_requests;
+        }
+
+        // phase (c): every competitive dispatch path fails persistently; the
+        // breakers must trip and demote live traffic down the ladder to the
+        // always-healthy reference path without losing a single request.
+        {
+            auto trip_inject = std::make_shared<svf::injector>(options.seed + 2);
+            for (const plssvm::serve::predict_path path : { plssvm::serve::predict_path::host_blocked,
+                                                            plssvm::serve::predict_path::host_sparse,
+                                                            plssvm::serve::predict_path::device }) {
+                trip_inject->add_rule({ .site = svf::fault_site::batch_kernel, .kind = svf::fault_kind::kernel_throw, .path = path });
+            }
+            plssvm::serve::engine_config config = make_config(trip_inject, 64);
+            config.fault.breaker.min_samples = 2;
+            config.fault.breaker.window = 8;
+            config.fault.breaker.open_duration = std::chrono::seconds{ 10 };  // stays open for the phase
+            plssvm::serve::inference_engine<double> engine{ trained, config };
+            const std::size_t wave = 256;
+            std::vector<std::future<double>> futures;
+            futures.reserve(wave);
+            for (std::size_t p = 0; p < wave; ++p) {
+                const double *point = queries.row_data(p % queries.num_rows());
+                futures.push_back(engine.submit(std::vector<double>(point, point + dim)));
+            }
+            for (std::future<double> &f : futures) {
+                if (f.wait_for(std::chrono::seconds{ 30 }) != std::future_status::ready) {
+                    ++fault.lost_requests;
+                    continue;
+                }
+                try {
+                    volatile double sink = f.get();
+                    (void) sink;
+                } catch (...) {
+                    ++fault.breaker_failed;
+                }
+            }
+            const plssvm::serve::serve_stats stats = engine.stats();
+            fault.breaker_trips = stats.fault.breaker_trips;
+            fault.breaker_reference_batches = stats.reference_batches;
+        }
+
+        plssvm::bench::table_printer fault_table{ { "phase", "async req/s", "injected", "retries", "quarantined", "breaker trips", "lost" } };
+        fault_table.add_row({ "fault-free", plssvm::bench::format_double(fault.fault_free_rps, 0), "0", "0", "0", "0",
+                              std::to_string(base_lost) });
+        fault_table.add_row({ "transient soak", plssvm::bench::format_double(fault.soak_rps, 0),
+                              std::to_string(fault.injected_faults), std::to_string(fault.batch_retries),
+                              std::to_string(soak_stats.fault.quarantined_requests), "0", std::to_string(soak_lost) });
+        fault_table.add_row({ "poisoned requests", "-", "-", "-", std::to_string(fault.quarantined), "-", "-" });
+        fault_table.add_row({ "tripped paths", "-", "-", "-", "-", std::to_string(fault.breaker_trips), "-" });
+        fault_table.print();
+        // transient faults are retried transparently: requests failed in the
+        // soak would also violate the contract, so fold them into "lost"
+        fault.lost_requests += soak_failed + base_failed;
+    }
+
     // the measured host profile closes the calibration loop: the next engine
     // start in this directory picks it up via serve::calibrated_host_profile
     const plssvm::sim::host_profile measured_host = plssvm::serve::measure_host_profile(sizeof(double));
@@ -856,12 +1087,20 @@ int main(int argc, char **argv) {
                           && qos_shed_fraction_4x <= 0.9 && qos_batch_growth >= 2.0;
     // tracing must demonstrably be live (traces recorded) AND nearly free
     const bool obs_pass = obs.traces_recorded > 0 && obs.overhead_ratio >= 0.95;
-    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= 2.0 && blocked_beats_reference && reload_pass && sparse_pass && qos_pass && obs_pass;
+    // the fault plane's contract: nothing is lost, transient faults cost
+    // < 10% throughput, poisoned requests are isolated with typed errors
+    // while survivors stay correct, and tripped breakers reroute traffic
+    const bool fault_pass = fault.lost_requests == 0 && fault.throughput_ratio >= 0.9
+                            && fault.quarantined >= 1 && fault.quarantine_typed == fault.quarantined
+                            && fault.survivor_mismatches == 0
+                            && fault.breaker_trips >= 1 && fault.breaker_reference_batches >= 1
+                            && fault.breaker_failed == 0;
+    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= 2.0 && blocked_beats_reference && reload_pass && sparse_pass && qos_pass && obs_pass && fault_pass;
     write_json("BENCH_serve.json", num_sv, dim, num_queries, engine_threads, repeats, options.quick,
-               engine_results, path_results, sparse_results, qos, obs, reload, measured_host,
+               engine_results, path_results, sparse_results, qos, obs, fault, reload, measured_host,
                rbf256_speedup, blocked_beats_reference, worst_sync_speedup, reload_pass,
                sparse_linear_99_speedup, sparse_dispatch_auto,
-               qos_p99_ratio, qos_shed_fraction_4x, qos_batch_growth, qos_pass, obs_pass, pass);
+               qos_p99_ratio, qos_shed_fraction_4x, qos_batch_growth, qos_pass, obs_pass, fault_pass, pass);
 
     std::printf("\nworst batched-sync speedup over naive loop: %.1fx (gate: >= 3x)\n", worst_sync_speedup);
     std::printf("blocked speedup over per-point reference, rbf @ batch 256: %.2fx (gate: >= 2x)\n", rbf256_speedup);
@@ -876,6 +1115,11 @@ int main(int argc, char **argv) {
                 qos.phases.empty() ? 0 : qos.phases.back().target_batch, qos.idle_target, qos_batch_growth);
     std::printf("tracing overhead: %.0f req/s traced vs %.0f req/s untraced -> %.3fx (gate: >= 0.95x, %zu traces recorded)\n",
                 obs.traced_rps, obs.untraced_rps, obs.overhead_ratio, obs.traces_recorded);
+    std::printf("fault soak: %.0f req/s under injection vs %.0f req/s fault-free -> %.3fx (gate: >= 0.9x, %zu lost)\n",
+                fault.soak_rps, fault.fault_free_rps, fault.throughput_ratio, fault.lost_requests);
+    std::printf("fault isolation: %zu quarantined (%zu typed, %zu survivor mismatches), %zu breaker trips -> %zu reference batches, %zu reroute failures\n",
+                fault.quarantined, fault.quarantine_typed, fault.survivor_mismatches,
+                fault.breaker_trips, fault.breaker_reference_batches, fault.breaker_failed);
     std::printf("report written to BENCH_serve.json\n");
     return pass ? 0 : 1;
 }

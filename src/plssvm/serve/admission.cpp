@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <limits>
 #include <mutex>
@@ -53,6 +54,17 @@ double token_bucket::available(const time_point now) {
     return tokens_;
 }
 
+double token_bucket::seconds_until_token(const time_point now) {
+    if (unlimited()) {
+        return 0.0;
+    }
+    refill(now);
+    if (tokens_ >= 1.0) {
+        return 0.0;
+    }
+    return (1.0 - tokens_) / rate_;
+}
+
 admission_controller::admission_controller(const qos_config &config) :
     classes_{ config.classes } {
     for (const request_class cls : all_request_classes) {
@@ -81,6 +93,16 @@ admission_decision admission_controller::try_admit(const request_class cls, cons
         return admission_decision::shed_rate_limited;
     }
     return admission_decision::admitted;
+}
+
+std::chrono::microseconds admission_controller::retry_after(const request_class cls, const time_point now) {
+    if (buckets_[class_index(cls)].unlimited()) {
+        return std::chrono::microseconds{ 0 };
+    }
+    const std::lock_guard lock{ mutex_ };
+    const double seconds = buckets_[class_index(cls)].seconds_until_token(now);
+    // round up: a client that waits the hinted duration must find a token
+    return std::chrono::microseconds{ static_cast<std::chrono::microseconds::rep>(std::ceil(seconds * 1e6)) };
 }
 
 }  // namespace plssvm::serve

@@ -36,20 +36,28 @@ namespace plssvm::serve {
 /// of queueing into an overloaded engine).
 class request_shed_exception : public exception {
   public:
-    request_shed_exception(const request_class cls, const admission_decision reason) :
+    request_shed_exception(const request_class cls, const admission_decision reason,
+                           const std::chrono::microseconds retry_after = std::chrono::microseconds{ 0 }) :
         exception{ "request shed: " + std::string{ request_class_to_string(cls) } + " class "
                    + (reason == admission_decision::shed_queue_full ? "backlog is full" : "rate limit exceeded") },
         cls_{ cls },
-        reason_{ reason } {}
+        reason_{ reason },
+        retry_after_{ retry_after } {}
 
     /// Class of the shed request.
     [[nodiscard]] request_class shed_class() const noexcept { return cls_; }
     /// Which limit shed it (`shed_rate_limited` or `shed_queue_full`).
     [[nodiscard]] admission_decision reason() const noexcept { return reason_; }
+    /// Structured backoff hint: how long until the class's token bucket
+    /// accrues the next token (0 = retry timing unknown, e.g. queue-full
+    /// sheds, which clear as soon as the backlog drains). A network front-end
+    /// maps this straight onto a Retry-After response header.
+    [[nodiscard]] std::chrono::microseconds retry_after() const noexcept { return retry_after_; }
 
   private:
     request_class cls_;
     admission_decision reason_;
+    std::chrono::microseconds retry_after_;
 };
 
 /**
@@ -79,6 +87,10 @@ class token_bucket {
 
     /// Tokens available after refilling up to @p now (burst cap applied).
     [[nodiscard]] double available(time_point now);
+
+    /// Seconds from @p now until one whole token is available (0 if a token
+    /// is available right now or the bucket is unlimited).
+    [[nodiscard]] double seconds_until_token(time_point now);
 
   private:
     void refill(time_point now);
@@ -117,6 +129,12 @@ class admission_controller {
     [[nodiscard]] const class_qos_config &config(request_class cls) const noexcept {
         return classes_[class_index(cls)];
     }
+
+    /// Retry-after hint for a rate-limited shed of @p cls: the time until
+    /// the class's bucket accrues its next whole token (rounded up to whole
+    /// microseconds; 0 for unlimited classes). Attached to
+    /// `request_shed_exception` and surfaced per class in `stats_json()`.
+    [[nodiscard]] std::chrono::microseconds retry_after(request_class cls, time_point now);
 
   private:
     per_class<class_qos_config> classes_;

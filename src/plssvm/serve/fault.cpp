@@ -1,0 +1,132 @@
+/**
+ * @file
+ * @brief Out-of-line pieces of the fault-tolerance plane: the deterministic
+ *        injector's rule evaluation and the pipeline hook functions (see
+ *        `fault.hpp` for the design overview).
+ */
+
+#include "plssvm/serve/fault.hpp"
+
+#include <cstddef>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <thread>
+
+namespace plssvm::serve::fault {
+
+fault_rule injector::evaluate(const fault_site site, const std::optional<predict_path> path,
+                              const std::ptrdiff_t begin, const std::ptrdiff_t end) {
+    const std::lock_guard lock{ mutex_ };
+    const std::size_t site_idx = fault_site_index(site);
+    ++evaluations_[site_idx];
+    if (rule_evaluations_.size() < rules_.size()) {
+        rule_evaluations_.resize(rules_.size());
+        rule_firings_.resize(rules_.size());
+    }
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+        const fault_rule &rule = rules_[r];
+        if (rule.site != site || rule.kind == fault_kind::none) {
+            continue;
+        }
+        if (rule.path.has_value() && (!path.has_value() || *rule.path != *path)) {
+            continue;
+        }
+        if (rule.poison_index >= 0
+            && (begin < 0 || end < 0 || rule.poison_index < begin || rule.poison_index >= end)) {
+            continue;
+        }
+        // per-rule evaluation counter drives `after` and the PRNG stream
+        const std::size_t eval = ++rule_evaluations_[r];
+        if (eval <= rule.after) {
+            continue;
+        }
+        if (rule.limit > 0 && rule_firings_[r] >= rule.limit) {
+            continue;
+        }
+        if (rule.probability < 1.0) {
+            // splitmix64 over (seed, rule index, evaluation count): replaying
+            // the same call sequence reproduces every firing decision
+            const double u = uniform(seed_ ^ (0x9e3779b97f4a7c15ULL * (r + 1)) ^ eval);
+            if (u >= rule.probability) {
+                continue;
+            }
+        }
+        ++rule_firings_[r];
+        ++fired_[site_idx];
+        return rule;
+    }
+    return fault_rule{ site, fault_kind::none };
+}
+
+kernel_hook_result hook_batch_kernel(injector *inj, const predict_path path, const std::ptrdiff_t begin, const std::ptrdiff_t end) {
+    if (inj == nullptr) {
+        return {};
+    }
+    const fault_rule rule = inj->evaluate(fault_site::batch_kernel, path, begin, end);
+    switch (rule.kind) {
+        case fault_kind::none:
+            return {};
+        case fault_kind::kernel_throw:
+            throw injected_fault_exception{ "injected kernel fault (batch_kernel site)" };
+        case fault_kind::wrong_result:
+            return kernel_hook_result{ true };
+        case fault_kind::worker_stall:
+        case fault_kind::slow_batch:
+            if (rule.stall.count() > 0) {
+                std::this_thread::sleep_for(rule.stall);
+            }
+            return {};
+        case fault_kind::alloc_failure:
+            throw std::bad_alloc{};
+    }
+    return {};
+}
+
+void hook_dispatch(injector *inj) {
+    if (inj == nullptr) {
+        return;
+    }
+    const fault_rule rule = inj->evaluate(fault_site::dispatch);
+    switch (rule.kind) {
+        case fault_kind::kernel_throw:
+            throw injected_fault_exception{ "injected fault (dispatch site)" };
+        case fault_kind::alloc_failure:
+            throw std::bad_alloc{};
+        case fault_kind::worker_stall:
+        case fault_kind::slow_batch:
+            if (rule.stall.count() > 0) {
+                std::this_thread::sleep_for(rule.stall);
+            }
+            return;
+        case fault_kind::none:
+        case fault_kind::wrong_result:
+            return;
+    }
+}
+
+void hook_allocation(injector *inj) {
+    if (inj == nullptr) {
+        return;
+    }
+    const fault_rule rule = inj->evaluate(fault_site::allocation);
+    if (rule.kind == fault_kind::alloc_failure || rule.kind == fault_kind::kernel_throw) {
+        throw std::bad_alloc{};
+    }
+    if ((rule.kind == fault_kind::worker_stall || rule.kind == fault_kind::slow_batch) && rule.stall.count() > 0) {
+        std::this_thread::sleep_for(rule.stall);
+    }
+}
+
+void hook_executor_task() {
+    injector *inj = injector::global();
+    if (inj == nullptr) {
+        return;
+    }
+    const fault_rule rule = inj->evaluate(fault_site::executor_task);
+    if ((rule.kind == fault_kind::worker_stall || rule.kind == fault_kind::slow_batch) && rule.stall.count() > 0) {
+        std::this_thread::sleep_for(rule.stall);
+    }
+}
+
+}  // namespace plssvm::serve::fault

@@ -47,6 +47,7 @@
 #include "plssvm/serve/calibration.hpp"
 #include "plssvm/serve/compiled_model.hpp"
 #include "plssvm/serve/executor.hpp"
+#include "plssvm/serve/fault.hpp"
 #include "plssvm/serve/micro_batcher.hpp"
 #include "plssvm/serve/obs.hpp"
 #include "plssvm/serve/predict_dispatcher.hpp"
@@ -97,6 +98,10 @@ struct engine_config {
     /// capacities, violation-dump rate limit. Defaults to tracing every
     /// request (the stage histograms of `serve_stats` are always on).
     obs::obs_config obs{};
+    /// Fault-tolerance plane: retry/backoff policy, per-path circuit
+    /// breakers, lane watchdog (off by default), and an optional fault
+    /// injector for tests and soak benches (see `fault.hpp`).
+    fault::fault_config fault{};
 };
 
 namespace detail {
@@ -104,57 +109,173 @@ namespace detail {
 /**
  * @brief Consumer loop shared by the binary and multi-class engines: pull
  *        coalesced class-homogeneous batches, assemble the batch matrix,
- *        evaluate, fulfil the promises, record per-class metrics and
- *        lifecycle traces, then let the engine retune its adaptive batch
- *        policies.
+ *        evaluate with retry/bisection under the fault plane, fulfil every
+ *        promise exactly once (value or typed error), record per-class
+ *        metrics and lifecycle traces, then let the engine retune its
+ *        adaptive batch policies.
  *
- * @p evaluate maps the assembled `aos_matrix` to one label per row plus the
- * execution path the batch was dispatched to (as a pair); it takes the
- * matrix by mutable reference so a snapshot-attached input scaling can be
- * applied in place. @p estimate_batch_seconds supplies the cost model's
- * per-batch latency estimate (calibration accounting + trace attribution).
- * @p post_batch runs after every batch (shed of exceptions) with the batch's
- * mean queue wait and its service time — the engines feed their
- * executor-lane telemetry plus this wait/service split into the
- * `batch_tuner` there. Any exception inside a batch (including allocation
- * failure while assembling it) is propagated to that batch's promises
- * instead of escaping the drain thread.
+ * Failure isolation: an evaluation attempt covers a contiguous request range
+ * and may throw (organically or via an injected fault). The full batch is
+ * retried up to `retry_config::max_attempts` with jittered exponential
+ * backoff; if it still fails, the range is bisected — each half evaluated
+ * without further whole-range retries — until the poisoned request is
+ * isolated at range size 1 and quarantined with a typed
+ * `request_failed_exception` (`fault::quarantine_error`). Every other request
+ * of the batch completes normally. Each attempt records success/failure into
+ * the per-path circuit breakers, and each attempt re-chooses its path among
+ * the non-tripped ones (@p choose_path takes the live `path_mask`), so a
+ * persistently failing path demotes traffic down the ladder mid-batch.
  *
- * Tracing cost discipline: the only clock reads added over the pre-obs loop
- * are the batch-seal stamp (one per batch, in `pop_batch`) — every other
- * stamp (admission, enqueue, dispatch-start, completion) reuses a read the
- * loop already performed. Per-request work is a handful of subtractions,
- * histogram increments inside the already-taken metrics mutex, and one
- * lock-free ring publish for sampled requests.
+ * Watchdog protocol: before evaluating, the batch's promises are wrapped in
+ * a settle-once `fault::inflight_batch` and published to @p supervisor with
+ * a deadline (when the watchdog is enabled). A stalled evaluation leads the
+ * watchdog to fail the unsettled promises and bump the lane generation; this
+ * loop re-checks `supervisor.generation()` at every loop head and before the
+ * post-batch retune, exiting promptly once abandoned. All settles funnel
+ * through the inflight wrapper, so the racing drain thread and watchdog can
+ * never double-settle a promise.
+ *
+ * @p choose_path maps (range size, allowed-path mask) to the dispatch path of
+ * one attempt; @p evaluate maps the assembled sub-matrix plus that path to
+ * one label per row. The sub-matrix is assembled *fresh per attempt* from the
+ * queued request points because @p evaluate may scale it in place — reusing
+ * it across attempts would double-apply the snapshot's input scaling.
+ * @p estimate_batch_seconds supplies the cost model's per-batch latency
+ * estimate (calibration accounting, trace attribution, watchdog budget).
+ * @p post_batch runs after every batch with the batch's mean queue wait and
+ * its service time — the engines feed their executor-lane telemetry plus
+ * this wait/service split into the `batch_tuner` there, then refresh their
+ * health state machine.
  */
-template <typename T, typename Evaluate, typename PostBatch, typename Estimate>
+template <typename T, typename ChoosePath, typename Evaluate, typename PostBatch, typename Estimate>
 void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, obs::flight_recorder &recorder,
-                    const std::size_t num_features, Evaluate &&evaluate, PostBatch &&post_batch, Estimate &&estimate_batch_seconds) {
-    while (true) {
+                    const std::size_t num_features, fault::fault_plane &plane, fault::drain_supervisor<T> &supervisor,
+                    const std::uint64_t generation, ChoosePath &&choose_path, Evaluate &&evaluate,
+                    PostBatch &&post_batch, Estimate &&estimate_batch_seconds) {
+    while (supervisor.generation() == generation) {
         typename micro_batcher<T>::class_batch batch = batcher.next_batch();
         if (batch.empty()) {
             return;  // shut down and drained
         }
         const std::size_t batch_size = batch.size();
+        // wrap the promises settle-once *before* any fallible work: from here
+        // on every exit path settles every slot exactly once
+        std::shared_ptr<fault::inflight_batch<T>> inflight;
+        try {
+            std::vector<std::promise<T>> promises;
+            promises.reserve(batch_size);
+            for (typename micro_batcher<T>::request &req : batch.requests) {
+                promises.push_back(std::move(req.result));
+            }
+            inflight = std::make_shared<fault::inflight_batch<T>>(std::move(promises), batch.cls);
+        } catch (...) {
+            for (typename micro_batcher<T>::request &req : batch.requests) {
+                req.result.set_exception(std::current_exception());
+            }
+            continue;
+        }
         double mean_queue_wait_seconds = 0.0;
         double service_seconds = 0.0;
         try {
-            // points were validated on submit
-            aos_matrix<T> points{ batch_size, num_features };
-            for (std::size_t i = 0; i < batch_size; ++i) {
-                std::copy(batch.requests[i].point.begin(), batch.requests[i].point.end(), points.row_data(i));
-            }
             const double estimated_seconds = estimate_batch_seconds(batch_size);
+            const fault::watchdog_config &wd = plane.config().watchdog;
+            if (wd.stall_timeout.count() > 0) {
+                const auto estimate_budget = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::duration<double>(wd.estimate_factor * estimated_seconds));
+                supervisor.publish(inflight, std::chrono::steady_clock::now() + std::max(wd.stall_timeout, estimate_budget), generation);
+            }
+
+            std::vector<T> labels(batch_size);
+            std::vector<std::exception_ptr> errors(batch_size);
+            predict_path batch_path = predict_path::reference;
+
+            // one evaluation attempt series over requests [begin, end):
+            // retry-with-backoff while allowed, each attempt on a freshly
+            // chosen (breaker-masked) path; returns the final error or null
+            const auto eval_range = [&](const std::size_t begin, const std::size_t end, const bool allow_retry) -> std::exception_ptr {
+                const fault::retry_config &rc = plane.config().retry;
+                const std::size_t max_attempts = allow_retry ? std::max<std::size_t>(1, rc.max_attempts) : 1;
+                std::size_t attempt = 0;
+                while (true) {
+                    predict_path path = predict_path::reference;
+                    bool chosen = false;
+                    try {
+                        fault::hook_dispatch(plane.inject());
+                        path = choose_path(end - begin, plane.ladder().allowed(std::chrono::steady_clock::now()));
+                        chosen = true;
+                        fault::hook_allocation(plane.inject());
+                        // fresh sub-matrix per attempt: evaluate may apply the
+                        // snapshot's input scaling in place
+                        aos_matrix<T> points{ end - begin, num_features };
+                        for (std::size_t i = begin; i < end; ++i) {
+                            std::copy(batch.requests[i].point.begin(), batch.requests[i].point.end(), points.row_data(i - begin));
+                        }
+                        const fault::kernel_hook_result injected = fault::hook_batch_kernel(
+                            plane.inject(), path, static_cast<std::ptrdiff_t>(begin), static_cast<std::ptrdiff_t>(end));
+                        std::vector<T> values = evaluate(points, path);
+                        if (injected.wrong_result && !values.empty()) {
+                            values.front() = -values.front() + T{ 1 };  // deterministic corruption
+                        }
+                        std::copy(values.begin(), values.end(), labels.begin() + static_cast<std::ptrdiff_t>(begin));
+                        plane.ladder().record(path, true, std::chrono::steady_clock::now());
+                        batch_path = path;
+                        return nullptr;
+                    } catch (...) {
+                        if (chosen) {
+                            plane.ladder().record(path, false, std::chrono::steady_clock::now());
+                        }
+                        ++attempt;
+                        if (attempt >= max_attempts) {
+                            return std::current_exception();
+                        }
+                        metrics.record_batch_retry();
+                        std::this_thread::sleep_for(plane.backoff(attempt));
+                    }
+                }
+            };
+
+            // bisection: a range that exhausts its retries splits in half
+            // (halves evaluated attempt-once — the transient budget is spent)
+            // until the poisoned request is isolated and quarantined
+            const auto resolve = [&](const auto &self, const std::size_t begin, const std::size_t end, const bool allow_retry) -> void {
+                const std::exception_ptr error = eval_range(begin, end, allow_retry);
+                if (error == nullptr) {
+                    return;
+                }
+                if (end - begin == 1) {
+                    errors[begin] = fault::quarantine_error(error, batch.cls);
+                    metrics.record_quarantine();
+                    return;
+                }
+                metrics.record_batch_bisection();
+                const std::size_t mid = begin + (end - begin) / 2;
+                self(self, begin, mid, false);
+                self(self, mid, end, false);
+            };
+
             const auto dispatch_start = std::chrono::steady_clock::now();
-            auto [labels, path] = evaluate(points);
+            resolve(resolve, 0, batch_size, true);
             const auto end = std::chrono::steady_clock::now();
+            supervisor.clear(generation);
             service_seconds = std::chrono::duration<double>(end - dispatch_start).count();
             metrics.record_batch(batch_size, service_seconds);
             metrics.record_class_batch(batch.cls);
-            metrics.record_path(path);
+            metrics.record_path(batch_path);
             metrics.record_batch_estimate(estimated_seconds, service_seconds);
+            const bool abandoned = inflight->abandoned();
             for (std::size_t i = 0; i < batch_size; ++i) {
                 typename micro_batcher<T>::request &req = batch.requests[i];
+                if (errors[i] != nullptr) {
+                    inflight->set_exception(i, errors[i]);
+                    continue;
+                }
+                if (abandoned) {
+                    // the watchdog failed this batch mid-evaluation: don't
+                    // record completions for requests whose futures already
+                    // hold a stall error (late set_value is a no-op anyway)
+                    inflight->set_value(i, labels[i]);
+                    continue;
+                }
                 const bool deadline_missed = req.deadline != no_deadline && end > req.deadline;
                 obs::stage_seconds stages{};
                 stages[obs::stage_index(obs::trace_stage::admission)] = std::chrono::duration<double>(req.enqueued - req.admitted).count();
@@ -167,7 +288,7 @@ void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, obs::flig
                     obs::request_trace trace{};
                     trace.id = req.trace_id;
                     trace.cls = batch.cls;
-                    trace.path = path;
+                    trace.path = batch_path;
                     trace.deadline_missed = deadline_missed;
                     trace.batch_size = batch_size;
                     trace.estimated_batch_seconds = estimated_seconds;
@@ -178,13 +299,20 @@ void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, obs::flig
                     trace.t_complete_ns = recorder.to_ns(end);
                     recorder.record_complete(trace);
                 }
-                req.result.set_value(labels[i]);
+                // settle LAST: a caller waking from future.get() must already
+                // see this request in the metrics (tests and scrapers read
+                // stats() right after get() returns)
+                inflight->set_value(i, labels[i]);
             }
             mean_queue_wait_seconds /= static_cast<double>(batch_size);
         } catch (...) {
-            for (typename micro_batcher<T>::request &req : batch.requests) {
-                req.result.set_exception(std::current_exception());
-            }
+            // out-of-band failure (e.g. allocation of the bookkeeping vectors):
+            // settle whatever is still pending with the raw cause
+            supervisor.clear(generation);
+            inflight->fail_unsettled(std::current_exception());
+        }
+        if (supervisor.generation() != generation) {
+            return;  // abandoned by the watchdog mid-batch: a fresh lane took over
         }
         post_batch(mean_queue_wait_seconds, service_seconds);
     }
@@ -203,7 +331,13 @@ std::chrono::steady_clock::time_point admit_or_shed(admission_controller &admiss
     metrics.record_admission(cls, decision);
     if (decision != admission_decision::admitted) {
         recorder.record_shed(cls, decision);
-        throw request_shed_exception{ cls, decision };
+        // rate-limited sheds carry a structured retry-after hint from the
+        // token bucket's refill rate; backlog sheds clear on drain progress,
+        // not on a predictable schedule, so they carry none
+        const std::chrono::microseconds retry_after = decision == admission_decision::shed_rate_limited
+                                                          ? admission.retry_after(cls, now)
+                                                          : std::chrono::microseconds{ 0 };
+        throw request_shed_exception{ cls, decision, retry_after };
     }
     return now;
 }
@@ -239,15 +373,37 @@ struct qos_feedback {
 };
 
 /// Copy the live QoS state (flush wakeups, saturation, per-class adaptive
-/// targets) into @p stats — the shared tail of both engines' `stats()`.
+/// targets, retry-after hints) into @p stats — the shared tail of both
+/// engines' `stats()`.
 template <typename T>
-void fill_qos_stats(serve_stats &stats, const micro_batcher<T> &batcher, const batch_tuner &tuner) {
+void fill_qos_stats(serve_stats &stats, const micro_batcher<T> &batcher, const batch_tuner &tuner,
+                    const admission_controller &admission) {
     stats.flush_timer_wakeups = batcher.timer_wakeups();
     stats.batch_saturation = tuner.saturation();
     const per_class<class_batch_policy> policies = batcher.class_policies();
     for (const request_class cls : all_request_classes) {
         stats.classes[class_index(cls)].target_batch_size = policies[class_index(cls)].target_batch_size;
         stats.classes[class_index(cls)].flush_delay_seconds = std::chrono::duration<double>(policies[class_index(cls)].flush_delay).count();
+        // static per-token spacing of the class's token bucket — the steady
+        // retry-after a rate-limited client of this class should expect
+        const double rate = admission.config(cls).rate_limit;
+        stats.classes[class_index(cls)].retry_after_hint_seconds = rate > 0.0 ? 1.0 / rate : 0.0;
+    }
+}
+
+/// Copy the live fault-plane state (health, breaker states/trips, stall
+/// restarts) into @p stats — shared by both engines' `stats()`. The counter
+/// fields (quarantines, retries, bisections, stall/shutdown failures) are
+/// filled by `serve_metrics::snapshot()` already.
+inline void fill_fault_stats(serve_stats &stats, fault::fault_plane &plane, const fault::health_monitor &health,
+                             const std::size_t stall_restarts) {
+    const auto now = std::chrono::steady_clock::now();
+    stats.fault.health = health.state();
+    stats.fault.health_transitions = health.transitions();
+    stats.fault.stall_restarts = stall_restarts;
+    stats.fault.breaker_trips = plane.ladder().trips();
+    for (const predict_path path : { predict_path::reference, predict_path::host_blocked, predict_path::host_sparse, predict_path::device }) {
+        stats.fault.breaker_states[static_cast<std::size_t>(path)] = plane.ladder().state(path, now);
     }
 }
 
@@ -294,6 +450,7 @@ void pooled_evaluate(executor::lane &lane, const Matrix &points, T *out, Serial 
     for (std::size_t begin = 0; begin < num_rows; begin += chunk) {
         const std::size_t end = std::min(begin + chunk, num_rows);
         pending.push_back(lane.enqueue([&serial, &points, out, begin, end]() {
+            fault::hook_executor_task();  // no-op without a global injector
             serial(points, begin, end, out + begin);
         }));
     }
@@ -399,18 +556,29 @@ class inference_engine {
                 [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); } },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } },
         recorder_{ config.obs },
-        drainer_{ [this]() { drain_loop(); } } {
+        fault_plane_{ config.fault } {
         batcher_.set_class_policies(tuner_.policies());
+        supervisor_.start(
+            config_.fault.watchdog,
+            [this](const std::uint64_t generation) { drain_loop(generation); },
+            [this](const std::size_t, const std::size_t failed_requests) {
+                metrics_.record_stall_failures(failed_requests);
+                update_health();
+            });
     }
 
     inference_engine(const inference_engine &) = delete;
     inference_engine &operator=(const inference_engine &) = delete;
 
     /// Stops accepting requests, drains everything pending, then detaches
-    /// from the executor (joining only the engine's own drain thread).
+    /// from the executor (joining only the engine's own drain/watchdog
+    /// threads). Any request still queued after the drain threads exit (a
+    /// watchdog-abandoned lane at teardown) is settled with a typed
+    /// `engine_shutdown` error — no promise is ever destroyed unsettled.
     ~inference_engine() {
         batcher_.shutdown();
-        drainer_.join();
+        supervisor_.stop();
+        metrics_.record_shutdown_failures(batcher_.fail_pending(std::exception_ptr{}));
     }
 
     /// The snapshot currently served (the caller's shared_ptr stays valid
@@ -595,9 +763,14 @@ class inference_engine {
         stats.steals = lane.stolen;
         stats.executor_threads = exec_->size();
         stats.snapshot_version = snapshot_.load()->version;
-        detail::fill_qos_stats(stats, batcher_, tuner_);
+        detail::fill_qos_stats(stats, batcher_, tuner_, admission_);
+        detail::fill_fault_stats(stats, fault_plane_, health_, supervisor_.stall_restarts());
         return stats;
     }
+
+    /// Current engine health (healthy / degraded / critical), as maintained
+    /// by the fault plane's health state machine.
+    [[nodiscard]] health_state health() const { return health_.state(); }
 
     /// `stats()` rendered as a machine-readable JSON snapshot string.
     [[nodiscard]] std::string stats_json() const { return to_json(stats()); }
@@ -628,6 +801,9 @@ class inference_engine {
     /// JSON of the most recent automatic violation dump (triggered by a shed
     /// or a deadline miss; empty string before the first violation).
     [[nodiscard]] std::string last_violation_dump() const { return recorder_.last_violation_dump(); }
+
+    /// The flight-recorder dump forced by the most recent health transition.
+    [[nodiscard]] std::string last_health_dump() const { return recorder_.last_health_dump(); }
 
     /// Publish the aggregates into @p t under @p prefix.
     void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
@@ -668,26 +844,73 @@ class inference_engine {
         return values;
     }
 
-    void drain_loop() {
+    void drain_loop(const std::uint64_t generation) {
         detail::drain_requests(
-            batcher_, metrics_, recorder_, num_features_,
-            [this](aos_matrix<T> &points) {
-                // one snapshot for the whole batch: scaling and model always match
+            batcher_, metrics_, recorder_, num_features_, fault_plane_, supervisor_, generation,
+            [this](const std::size_t range_size, const fault::path_mask &allowed) {
+                const snapshot_ptr snap = snapshot_.load();
+                return dispatcher_.choose(dense_batch_shape(snap->compiled, range_size), allowed);
+            },
+            [this](aos_matrix<T> &points, const predict_path path) {
+                // one snapshot for the whole attempt: scaling and model always match
                 const snapshot_ptr snap = snapshot_.load();
                 if (snap->input_scaling != nullptr) {
-                    snap->input_scaling->transform(points);  // engine-owned matrix
+                    snap->input_scaling->transform(points);  // attempt-owned matrix
                 }
                 std::vector<T> values(points.num_rows());
-                const predict_path path = dispatched_decision_values(snap->compiled, dispatcher_, lane_, points, values.data());
+                evaluate_on_path(snap->compiled, path, points, values.data());
                 for (T &v : values) {
                     v = snap->compiled.label_from_decision(v);
                 }
-                return std::pair{ std::move(values), path };
+                return values;
             },
             [this](const double queue_wait_seconds, const double service_seconds) {
                 feedback_.retune(*exec_, lane_, tuner_, batcher_, queue_wait_seconds, service_seconds);
+                update_health();
             },
             [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); });
+    }
+
+    /// Evaluate one dense batch along an already-chosen path, tolerating a
+    /// snapshot swap between the path choice and the evaluation: a reload may
+    /// have dropped the sparse compiled form, in which case the sparse sweep
+    /// demotes to the blocked dense path.
+    void evaluate_on_path(const compiled_model<T> &cm, predict_path path, const aos_matrix<T> &points, T *out) {
+        if (path == predict_path::host_sparse && !cm.sparse_sv()) {
+            path = predict_path::host_blocked;
+        }
+        if (path == predict_path::device) {
+            const soa_matrix<T> packed = transform_to_soa(points, compiled_model_row_padding);
+            decision_values_via_path(cm, path, lane_, points, &packed, out);
+        } else {
+            decision_values_via_path<T>(cm, path, lane_, points, nullptr, out);
+        }
+    }
+
+    /// Re-evaluate the health state machine from the live breaker states and
+    /// the cumulative serving counters; record the transition (flight
+    /// recorder dump) when the state changes. Called after every drained
+    /// batch and on every stall restart.
+    void update_health() {
+        const auto now = std::chrono::steady_clock::now();
+        fault::health_inputs inputs;
+        for (const predict_path path : { predict_path::host_blocked, predict_path::host_sparse, predict_path::device }) {
+            const fault::breaker_state state = fault_plane_.ladder().state(path, now);
+            inputs.breaker_open = inputs.breaker_open || state == fault::breaker_state::open;
+            inputs.breaker_half_open = inputs.breaker_half_open || state == fault::breaker_state::half_open;
+        }
+        const std::size_t stalls = supervisor_.stall_restarts();
+        inputs.stall_restarted = stalls > last_stall_seen_.exchange(stalls, std::memory_order_relaxed);
+        const serve_metrics::fault_counter_sample sample = metrics_.fault_counters();
+        inputs.admission_attempts = sample.admission_attempts;
+        inputs.shed = sample.shed;
+        inputs.completed = sample.completed;
+        inputs.deadline_misses = sample.deadline_misses;
+        inputs.quarantined = sample.quarantined;
+        const fault::health_transition transition = health_.observe(inputs);
+        if (transition.changed) {
+            recorder_.record_health_transition(health_state_to_string(transition.from), health_state_to_string(transition.to));
+        }
     }
 
     /// Cost-model estimate of one batch of @p batch_size against the current
@@ -709,9 +932,12 @@ class inference_engine {
     batch_tuner tuner_;                ///< load-adaptive per-class batch policies
     micro_batcher<T> batcher_;
     serve_metrics metrics_;
-    obs::flight_recorder recorder_;    ///< lifecycle traces + violation dumps
-    detail::qos_feedback feedback_;    ///< drain-thread only
-    std::thread drainer_;
+    obs::flight_recorder recorder_;             ///< lifecycle traces + violation dumps
+    mutable fault::fault_plane fault_plane_;    ///< breakers/backoff (mutable: `state()` advances open -> half-open on reads)
+    fault::health_monitor health_;              ///< engine health state machine
+    std::atomic<std::size_t> last_stall_seen_{ 0 };  ///< stall count at the last health observation
+    detail::qos_feedback feedback_;             ///< drain-thread only
+    fault::drain_supervisor<T> supervisor_;     ///< declared last: its threads use every other member
 };
 
 }  // namespace plssvm::serve

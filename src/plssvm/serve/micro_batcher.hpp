@@ -33,6 +33,7 @@
 #define PLSSVM_SERVE_MICRO_BATCHER_HPP_
 
 #include "plssvm/exceptions.hpp"
+#include "plssvm/serve/fault.hpp"
 #include "plssvm/serve/qos.hpp"
 
 #include <algorithm>
@@ -41,6 +42,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <future>
 #include <mutex>
 #include <utility>
@@ -89,6 +91,14 @@ class micro_batcher {
     micro_batcher(const micro_batcher &) = delete;
     micro_batcher &operator=(const micro_batcher &) = delete;
 
+    /// A batcher destroyed with requests still queued settles every one of
+    /// them with a typed `request_failed_exception` (`engine_shutdown`)
+    /// instead of letting the promise destructors raise `broken_promise` —
+    /// waiters blocked on futures always observe a structured error.
+    ~micro_batcher() {
+        (void) fail_pending(std::exception_ptr{});
+    }
+
     /// The static base policy the batcher was constructed with.
     [[nodiscard]] const batch_policy &policy() const noexcept { return policy_; }
 
@@ -134,7 +144,7 @@ class micro_batcher {
         {
             const std::lock_guard lock{ mutex_ };
             if (stopped_) {
-                throw exception{ "micro_batcher: enqueue after shutdown!" };
+                throw request_failed_exception{ failure_kind::engine_shutdown, cls, "micro_batcher: enqueue after shutdown!" };
             }
             request &req = queues_[class_index(cls)].emplace_back();
             req.point = std::move(point);
@@ -210,6 +220,37 @@ class micro_batcher {
     [[nodiscard]] bool is_shutdown() const {
         const std::lock_guard lock{ mutex_ };
         return stopped_;
+    }
+
+    /// Shut down and settle every still-queued request with @p error (or the
+    /// default typed `engine_shutdown` error if null) instead of handing it
+    /// to a consumer. Promises are settled *outside* the batcher mutex so a
+    /// waiter's continuation can re-enter the batcher without deadlocking.
+    /// Returns the number of requests failed.
+    std::size_t fail_pending(std::exception_ptr error) {
+        std::vector<request> orphans;
+        {
+            const std::lock_guard lock{ mutex_ };
+            stopped_ = true;
+            for (const request_class cls : all_request_classes) {
+                std::deque<request> &queue = queues_[class_index(cls)];
+                for (request &req : queue) {
+                    orphans.push_back(std::move(req));
+                }
+                queue.clear();
+                min_deadline_[class_index(cls)] = no_deadline;
+            }
+            total_pending_ = 0;
+        }
+        cv_.notify_all();
+        if (!orphans.empty() && error == nullptr) {
+            error = std::make_exception_ptr(request_failed_exception{
+                failure_kind::engine_shutdown, std::nullopt, "micro_batcher destroyed/stopped with the request still queued" });
+        }
+        for (request &req : orphans) {
+            req.result.set_exception(error);
+        }
+        return orphans.size();
     }
 
     /// Number of currently queued requests over all classes.

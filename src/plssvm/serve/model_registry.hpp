@@ -220,10 +220,28 @@ class model_registry {
         return entries_.size();
     }
 
+    /// Registry-wide health: the worst (max-severity) health state over every
+    /// resident engine. An empty registry is healthy.
+    [[nodiscard]] health_state health() const {
+        std::vector<std::pair<std::string, entry>> resident;
+        {
+            const std::lock_guard lock{ mutex_ };
+            resident.assign(entries_.begin(), entries_.end());
+        }
+        health_state worst = health_state::healthy;
+        for (const auto &[name, e] : resident) {
+            const health_state engine_health = e.binary != nullptr ? e.binary->health() : e.multiclass->health();
+            worst = std::max(worst, engine_health);
+        }
+        return worst;
+    }
+
     /**
      * @brief One scrapeable JSON object over every resident engine:
-     *        `{"models": {"<name>": <serve_stats json>, ...}}`, names in
-     *        registry (map) order.
+     *        `{"health": "<registry health>", "models":
+     *        {"<name>": <serve_stats json>, ...}}`, names in registry (map)
+     *        order. The top-level health is the max severity over the
+     *        engines' health states.
      *
      * Engines are pinned under the registry mutex but their stats are
      * collected outside it, so a slow engine cannot stall loads/evictions.
@@ -236,7 +254,13 @@ class model_registry {
             const std::lock_guard lock{ mutex_ };
             resident.assign(entries_.begin(), entries_.end());
         }
-        std::string json = "{\"models\": {";
+        health_state worst = health_state::healthy;
+        for (const auto &[name, e] : resident) {
+            worst = std::max(worst, e.binary != nullptr ? e.binary->health() : e.multiclass->health());
+        }
+        std::string json = "{\"health\": \"";
+        json += health_state_to_string(worst);
+        json += "\", \"models\": {";
         bool first = true;
         for (const auto &[name, e] : resident) {
             if (!std::exchange(first, false)) {
@@ -280,14 +304,19 @@ class model_registry {
             resident.assign(entries_.begin(), entries_.end());
         }
         obs::prometheus_builder builder;
+        health_state worst = health_state::healthy;
         for (const auto &[name, e] : resident) {
             const obs::label_set labels{ { "model", name } };
             if (e.binary != nullptr) {
                 e.binary->collect_metrics(builder, labels);
+                worst = std::max(worst, e.binary->health());
             } else {
                 e.multiclass->collect_metrics(builder, labels);
+                worst = std::max(worst, e.multiclass->health());
             }
         }
+        builder.add_gauge("plssvm_serve_registry_health", "Registry-wide health: worst engine state (0 healthy, 1 degraded, 2 critical)",
+                          {}, static_cast<double>(static_cast<std::uint8_t>(worst)));
         for (const lane_report &lane : exec_->lane_reports()) {
             const obs::label_set labels{ { "lane", lane.name } };
             builder.add_gauge("plssvm_serve_lane_queue_depth", "Tasks currently queued on an executor lane", labels, static_cast<double>(lane.stats.queue_depth));

@@ -68,20 +68,31 @@ class multiclass_engine {
         tuner_{ config.qos, batch_policy{ config.max_batch_size, config.batch_delay },
                 [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); } },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } },
-        recorder_{ config.obs } {
+        recorder_{ config.obs },
+        fault_plane_{ config.fault } {
         const snapshot_ptr snap = snapshot_.load();
         num_features_ = snap->heads.front().num_features();
         num_classes_ = snap->heads.size();
         batcher_.set_class_policies(tuner_.policies());
-        drainer_ = std::thread{ [this]() { drain_loop(); } };
+        supervisor_.start(
+            config_.fault.watchdog,
+            [this](const std::uint64_t generation) { drain_loop(generation); },
+            [this](const std::size_t, const std::size_t failed_requests) {
+                metrics_.record_stall_failures(failed_requests);
+                update_health();
+            });
     }
 
     multiclass_engine(const multiclass_engine &) = delete;
     multiclass_engine &operator=(const multiclass_engine &) = delete;
 
+    /// Stops accepting requests, drains everything pending, settles any
+    /// straggler promise with a typed `engine_shutdown` error, and joins the
+    /// engine's drain/watchdog threads.
     ~multiclass_engine() {
         batcher_.shutdown();
-        drainer_.join();
+        supervisor_.stop();
+        metrics_.record_shutdown_failures(batcher_.fail_pending(std::exception_ptr{}));
     }
 
     [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
@@ -197,9 +208,14 @@ class multiclass_engine {
         stats.steals = lane.stolen;
         stats.executor_threads = exec_->size();
         stats.snapshot_version = snapshot_.load()->version;
-        detail::fill_qos_stats(stats, batcher_, tuner_);
+        detail::fill_qos_stats(stats, batcher_, tuner_, admission_);
+        detail::fill_fault_stats(stats, fault_plane_, health_, supervisor_.stall_restarts());
         return stats;
     }
+
+    /// Current engine health (healthy / degraded / critical), as maintained
+    /// by the fault plane's health state machine.
+    [[nodiscard]] health_state health() const { return health_.state(); }
 
     /// `stats()` rendered as a machine-readable JSON snapshot string.
     [[nodiscard]] std::string stats_json() const { return to_json(stats()); }
@@ -230,6 +246,9 @@ class multiclass_engine {
     /// JSON of the most recent automatic violation dump (triggered by a shed
     /// or a deadline miss; empty string before the first violation).
     [[nodiscard]] std::string last_violation_dump() const { return recorder_.last_violation_dump(); }
+
+    /// The flight-recorder dump forced by the most recent health transition.
+    [[nodiscard]] std::string last_health_dump() const { return recorder_.last_health_dump(); }
 
     void report_to(plssvm::detail::tracker &t, const std::string_view prefix = "serve") const {
         metrics_.report_to(t, prefix);
@@ -307,6 +326,11 @@ class multiclass_engine {
         return dispatcher_.choose(ensemble_batch_shape(snap, batch_size));
     }
 
+    /// Breaker-masked dispatch decision (fault-plane overload).
+    [[nodiscard]] predict_path choose_path(const snapshot_type &snap, const std::size_t batch_size, const fault::path_mask &allowed) const {
+        return dispatcher_.choose(ensemble_batch_shape(snap, batch_size), allowed);
+    }
+
     /// Winning class label for one row of oriented scores.
     [[nodiscard]] static T argmax_label(const snapshot_type &snap, const T *scores) {
         std::size_t best = 0;
@@ -328,21 +352,30 @@ class multiclass_engine {
                * dispatcher_.estimated_seconds(ensemble_batch_shape(*snap, batch_size));
     }
 
-    void drain_loop() {
+    void drain_loop(const std::uint64_t generation) {
         detail::drain_requests(
-            batcher_, metrics_, recorder_, num_features_,
-            [this](aos_matrix<T> &points) {
-                // one snapshot for the whole batch: heads, orientation, labels,
+            batcher_, metrics_, recorder_, num_features_, fault_plane_, supervisor_, generation,
+            [this](const std::size_t range_size, const fault::path_mask &allowed) {
+                const snapshot_ptr snap = snapshot_.load();
+                return choose_path(*snap, range_size, allowed);
+            },
+            [this](aos_matrix<T> &points, predict_path path) {
+                // one snapshot for the whole attempt: heads, orientation, labels,
                 // and scaling always belong together
                 const snapshot_ptr snap = snapshot_.load();
                 if (snap->input_scaling != nullptr) {
-                    snap->input_scaling->transform(points);  // engine-owned matrix
+                    snap->input_scaling->transform(points);  // attempt-owned matrix
+                }
+                // a reload between the path choice and this attempt may have
+                // dropped a head's sparse compiled form: demote to the blocked
+                // dense sweep (every head runs the same path)
+                if (path == predict_path::host_sparse && ensemble_batch_shape(*snap, points.num_rows()).sv_nnz == 0) {
+                    path = predict_path::host_blocked;
                 }
                 const std::size_t batch_size = points.num_rows();
                 std::vector<T> values(batch_size);
                 std::vector<T> best_score(batch_size, -std::numeric_limits<T>::infinity());
                 std::vector<T> labels(batch_size, snap->class_labels.front());
-                const predict_path path = choose_path(*snap, batch_size);
                 const soa_matrix<T> packed = path == predict_path::device
                                                  ? transform_to_soa(points, compiled_model_row_padding)
                                                  : soa_matrix<T>{};
@@ -356,12 +389,36 @@ class multiclass_engine {
                         }
                     }
                 }
-                return std::pair{ std::move(labels), path };
+                return labels;
             },
             [this](const double queue_wait_seconds, const double service_seconds) {
                 feedback_.retune(*exec_, lane_, tuner_, batcher_, queue_wait_seconds, service_seconds);
+                update_health();
             },
             [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); });
+    }
+
+    /// Re-evaluate the health state machine (see `inference_engine`).
+    void update_health() {
+        const auto now = std::chrono::steady_clock::now();
+        fault::health_inputs inputs;
+        for (const predict_path path : { predict_path::host_blocked, predict_path::host_sparse, predict_path::device }) {
+            const fault::breaker_state state = fault_plane_.ladder().state(path, now);
+            inputs.breaker_open = inputs.breaker_open || state == fault::breaker_state::open;
+            inputs.breaker_half_open = inputs.breaker_half_open || state == fault::breaker_state::half_open;
+        }
+        const std::size_t stalls = supervisor_.stall_restarts();
+        inputs.stall_restarted = stalls > last_stall_seen_.exchange(stalls, std::memory_order_relaxed);
+        const serve_metrics::fault_counter_sample sample = metrics_.fault_counters();
+        inputs.admission_attempts = sample.admission_attempts;
+        inputs.shed = sample.shed;
+        inputs.completed = sample.completed;
+        inputs.deadline_misses = sample.deadline_misses;
+        inputs.quarantined = sample.quarantined;
+        const fault::health_transition transition = health_.observe(inputs);
+        if (transition.changed) {
+            recorder_.record_health_transition(health_state_to_string(transition.from), health_state_to_string(transition.to));
+        }
     }
 
     engine_config config_;
@@ -377,9 +434,12 @@ class multiclass_engine {
     batch_tuner tuner_;                ///< load-adaptive per-class batch policies
     micro_batcher<T> batcher_;
     serve_metrics metrics_;
-    obs::flight_recorder recorder_;    ///< lifecycle traces + violation dumps
-    detail::qos_feedback feedback_;    ///< drain-thread only
-    std::thread drainer_;
+    obs::flight_recorder recorder_;             ///< lifecycle traces + violation dumps
+    mutable fault::fault_plane fault_plane_;    ///< breakers/backoff (mutable: `state()` advances open -> half-open on reads)
+    fault::health_monitor health_;              ///< engine health state machine
+    std::atomic<std::size_t> last_stall_seen_{ 0 };  ///< stall count at the last health observation
+    detail::qos_feedback feedback_;             ///< drain-thread only
+    fault::drain_supervisor<T> supervisor_;     ///< declared last: its threads use every other member
 };
 
 }  // namespace plssvm::serve

@@ -346,6 +346,22 @@ void flight_recorder::record_shed(const request_class cls, const admission_decis
     maybe_violation_dump("shed");
 }
 
+void flight_recorder::record_health_transition(const std::string_view from, const std::string_view to) {
+    if (!config_.enabled) {
+        return;
+    }
+    std::string reason{ "health:" };
+    reason += from;
+    reason += "->";
+    reason += to;
+    std::string json = dump_json(reason);
+    {
+        const std::lock_guard lock{ dump_mutex_ };
+        last_health_dump_ = std::move(json);
+    }
+    health_dumps_.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::string flight_recorder::dump_json(const std::string_view reason) const {
     std::string out;
     out.reserve(4096);
@@ -379,6 +395,11 @@ std::string flight_recorder::dump_json(const std::string_view reason) const {
 std::string flight_recorder::last_violation_dump() const {
     const std::lock_guard lock{ dump_mutex_ };
     return last_violation_dump_;
+}
+
+std::string flight_recorder::last_health_dump() const {
+    const std::lock_guard lock{ dump_mutex_ };
+    return last_health_dump_;
 }
 
 std::vector<request_trace> flight_recorder::traces(const request_class cls) const {
@@ -418,6 +439,7 @@ void flight_recorder::collect(prometheus_builder &builder, const label_set &labe
     builder.add_counter("plssvm_serve_obs_sampled_out_total", "Admitted requests skipped by trace sampling", labels, static_cast<double>(sampled_out()));
     builder.add_counter("plssvm_serve_obs_deadline_miss_traces_total", "Traces whose request missed its deadline", labels, static_cast<double>(deadline_miss_traces_.load(std::memory_order_relaxed)));
     builder.add_counter("plssvm_serve_obs_violation_dumps_total", "Automatic flight-recorder dumps triggered by sheds or deadline misses", labels, static_cast<double>(violation_dumps()));
+    builder.add_counter("plssvm_serve_obs_health_dumps_total", "Forced flight-recorder dumps triggered by health transitions", labels, static_cast<double>(health_dumps()));
 }
 
 }  // namespace plssvm::serve::obs

@@ -464,12 +464,23 @@ class flight_recorder {
     /// rate-limited violation dump.
     void record_shed(request_class cls, admission_decision reason);
 
+    /// Record one engine health transition (`from` -> `to`). Health
+    /// transitions are rare and always operationally significant, so the
+    /// dump is forced (not rate-limited like shed/deadline-miss dumps).
+    void record_health_transition(std::string_view from, std::string_view to);
+
     /// Render every retained trace and shed event as JSON (explicit dump).
     [[nodiscard]] std::string dump_json(std::string_view reason) const;
 
     /// The JSON produced by the most recent automatic violation dump
     /// (empty string before the first violation).
     [[nodiscard]] std::string last_violation_dump() const;
+
+    /// The JSON produced by the most recent health-transition dump (empty
+    /// string before the first transition). Kept separate from
+    /// `last_violation_dump()`: a health flip is derived from underlying
+    /// violations and must not overwrite their root-cause evidence.
+    [[nodiscard]] std::string last_health_dump() const;
 
     /// Retained complete traces of @p cls, oldest first.
     [[nodiscard]] std::vector<request_trace> traces(request_class cls) const;
@@ -488,6 +499,9 @@ class flight_recorder {
 
     /// Automatic violation dumps rendered so far.
     [[nodiscard]] std::uint64_t violation_dumps() const noexcept { return violation_dumps_.load(std::memory_order_relaxed); }
+
+    /// Forced dumps triggered by health transitions.
+    [[nodiscard]] std::uint64_t health_dumps() const noexcept { return health_dumps_.load(std::memory_order_relaxed); }
 
     /// Emit the recorder's own counters into @p builder.
     void collect(prometheus_builder &builder, const label_set &labels) const;
@@ -508,8 +522,10 @@ class flight_recorder {
     std::atomic<std::uint64_t> deadline_miss_traces_{ 0 };
     std::atomic<std::uint64_t> last_dump_ns_{ 0 };
     std::atomic<std::uint64_t> violation_dumps_{ 0 };
+    std::atomic<std::uint64_t> health_dumps_{ 0 };
     mutable std::mutex dump_mutex_;
     std::string last_violation_dump_;
+    std::string last_health_dump_;
 };
 
 }  // namespace obs

@@ -35,6 +35,10 @@ predict_path predict_dispatcher::choose(const std::size_t batch_size, const std:
 }
 
 predict_path predict_dispatcher::choose(const predict_shape &shape) const {
+    return choose(shape, fault::path_mask::all());
+}
+
+predict_path predict_dispatcher::choose(const predict_shape &shape, const fault::path_mask &allowed) const {
     if (shape.batch_size < params_.min_blocked_batch) {
         return predict_path::reference;
     }
@@ -42,18 +46,24 @@ predict_path predict_dispatcher::choose(const predict_shape &shape) const {
     // the sparse SV form, and for the linear kernel iff the queries are CSR
     // (dense linear prediction is a GEMV against w, independent of SV nnz)
     const bool sparse_available = shape.kernel == kernel_type::linear ? shape.sparse_query : shape.sv_nnz > 0;
-    predict_path best_path = predict_path::host_blocked;
-    double best = host_seconds(shape.batch_size, shape.num_sv, shape.dim, shape.kernel);
-    if (sparse_available) {
+    // reference is the unconditional fallback when every competitive path is
+    // masked out by a tripped breaker
+    predict_path best_path = predict_path::reference;
+    double best = 0.0;
+    if (allowed.allows(predict_path::host_blocked)) {
+        best_path = predict_path::host_blocked;
+        best = host_seconds(shape.batch_size, shape.num_sv, shape.dim, shape.kernel);
+    }
+    if (sparse_available && allowed.allows(predict_path::host_sparse)) {
         const double sparse = host_sparse_seconds(shape);
-        if (sparse < best) {
+        if (best_path == predict_path::reference || sparse < best) {
             best = sparse;
             best_path = predict_path::host_sparse;
         }
     }
-    if (params_.allow_device && !shape.sparse_query) {
+    if (params_.allow_device && !shape.sparse_query && allowed.allows(predict_path::device)) {
         const double device = device_seconds(shape.batch_size, shape.num_sv, shape.dim, shape.kernel);
-        if (device < best) {
+        if (best_path == predict_path::reference || device < best) {
             best = device;
             best_path = predict_path::device;
         }

@@ -135,6 +135,20 @@ class predict_dispatcher {
      */
     [[nodiscard]] predict_path choose(const predict_shape &shape) const;
 
+    /**
+     * @brief Pick the execution path among the paths @p allowed permits —
+     *        the fallback-ladder overload the fault plane uses.
+     *
+     * Same cost comparison as `choose(shape)`, but a path whose circuit
+     * breaker is open (masked out of @p allowed) never competes: dispatch
+     * demotes device -> host_blocked/host_sparse -> reference as breakers
+     * trip. `reference` is the unconditional last resort — it is chosen
+     * whenever every competitive path is masked (or the batch is too small
+     * to block), regardless of the mask's reference bit. With a full mask
+     * this reduces exactly to `choose(shape)`.
+     */
+    [[nodiscard]] predict_path choose(const predict_shape &shape, const fault::path_mask &allowed) const;
+
   private:
     dispatch_params params_{};
 };

@@ -20,6 +20,7 @@
 #include "plssvm/serve/calibration.hpp"         // IWYU pragma: export
 #include "plssvm/serve/compiled_model.hpp"      // IWYU pragma: export
 #include "plssvm/serve/executor.hpp"            // IWYU pragma: export
+#include "plssvm/serve/fault.hpp"               // IWYU pragma: export
 #include "plssvm/serve/inference_engine.hpp"    // IWYU pragma: export
 #include "plssvm/serve/predict_dispatcher.hpp"  // IWYU pragma: export
 #include "plssvm/serve/micro_batcher.hpp"       // IWYU pragma: export

@@ -1,8 +1,11 @@
 #include "plssvm/serve/serve_stats.hpp"
 
+#include "plssvm/serve/fault.hpp"
 #include "plssvm/serve/obs.hpp"
 #include "plssvm/serve/qos.hpp"
 
+#include <array>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 
@@ -56,6 +59,29 @@ std::string to_json(const serve_stats &stats) {
     append_field(json, "snapshot_version", static_cast<std::size_t>(stats.snapshot_version));
     append_field(json, "flush_timer_wakeups", stats.flush_timer_wakeups);
     append_field(json, "batch_saturation", stats.batch_saturation);
+    json += "\"fault\": { ";
+    json += "\"health\": \"";
+    json += health_state_to_string(stats.fault.health);
+    json += "\", ";
+    append_field(json, "health_transitions", stats.fault.health_transitions);
+    append_field(json, "quarantined_requests", stats.fault.quarantined_requests);
+    append_field(json, "stall_failed_requests", stats.fault.stall_failed_requests);
+    append_field(json, "shutdown_failed_requests", stats.fault.shutdown_failed_requests);
+    append_field(json, "batch_retries", stats.fault.batch_retries);
+    append_field(json, "batch_bisections", stats.fault.batch_bisections);
+    append_field(json, "stall_restarts", stats.fault.stall_restarts);
+    append_field(json, "breaker_trips", stats.fault.breaker_trips);
+    json += "\"breakers\": { ";
+    constexpr std::array<predict_path, 4> paths{ predict_path::reference, predict_path::host_blocked,
+                                                 predict_path::host_sparse, predict_path::device };
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+        json += "\"";
+        json += predict_path_to_string(paths[p]);
+        json += "\": \"";
+        json += fault::breaker_state_to_string(stats.fault.breaker_states[p]);
+        json += p + 1 < paths.size() ? "\", " : "\"";
+    }
+    json += " } }, ";
     json += "\"classes\": { ";
     for (const request_class cls : all_request_classes) {
         const class_serve_stats &c = stats.classes[class_index(cls)];
@@ -86,7 +112,8 @@ std::string to_json(const serve_stats &stats) {
         }
         json += " }, ";
         append_field(json, "target_batch_size", c.target_batch_size);
-        append_field(json, "flush_delay_s", c.flush_delay_seconds, false);
+        append_field(json, "flush_delay_s", c.flush_delay_seconds);
+        append_field(json, "retry_after_hint_s", c.retry_after_hint_seconds, false);
         json += cls == all_request_classes.back() ? " }" : " }, ";
     }
     json += " } }";
@@ -122,6 +149,24 @@ void collect_serve_stats(obs::prometheus_builder &builder, const serve_stats &st
     builder.add_gauge("plssvm_serve_snapshot_version", "Version of the currently served model snapshot", labels, static_cast<double>(stats.snapshot_version));
     builder.add_counter("plssvm_serve_flush_timer_wakeups_total", "Timed flush-wait expirations of the drain thread", labels, static_cast<double>(stats.flush_timer_wakeups));
     builder.add_gauge("plssvm_serve_batch_saturation", "Adaptive batch tuner load signal in [0, 1]", labels, stats.batch_saturation);
+    builder.add_gauge("plssvm_serve_health", "Engine health state (0 = healthy, 1 = degraded, 2 = critical)", labels, static_cast<double>(static_cast<int>(stats.fault.health)));
+    builder.add_counter("plssvm_serve_health_transitions_total", "Health state transitions", labels, static_cast<double>(stats.fault.health_transitions));
+    builder.add_counter("plssvm_serve_quarantined_requests_total", "Requests isolated by batch bisection", labels, static_cast<double>(stats.fault.quarantined_requests));
+    builder.add_counter("plssvm_serve_stall_failed_requests_total", "Requests failed by the lane watchdog", labels, static_cast<double>(stats.fault.stall_failed_requests));
+    builder.add_counter("plssvm_serve_shutdown_failed_requests_total", "Requests failed at engine shutdown/teardown", labels, static_cast<double>(stats.fault.shutdown_failed_requests));
+    builder.add_counter("plssvm_serve_batch_retries_total", "Transient-failure batch retries", labels, static_cast<double>(stats.fault.batch_retries));
+    builder.add_counter("plssvm_serve_batch_bisections_total", "Failing-batch bisection steps", labels, static_cast<double>(stats.fault.batch_bisections));
+    builder.add_counter("plssvm_serve_stall_restarts_total", "Watchdog-triggered lane restarts", labels, static_cast<double>(stats.fault.stall_restarts));
+    builder.add_counter("plssvm_serve_breaker_trips_total", "Circuit-breaker open transitions across all paths", labels, static_cast<double>(stats.fault.breaker_trips));
+    {
+        constexpr std::array<predict_path, 4> paths{ predict_path::reference, predict_path::host_blocked,
+                                                     predict_path::host_sparse, predict_path::device };
+        for (std::size_t p = 0; p < paths.size(); ++p) {
+            builder.add_gauge("plssvm_serve_breaker_state", "Per-path circuit-breaker state (0 = closed, 1 = open, 2 = half_open)",
+                              with("path", predict_path_to_string(paths[p])),
+                              static_cast<double>(static_cast<int>(stats.fault.breaker_states[p])));
+        }
+    }
     for (const request_class cls : all_request_classes) {
         const class_serve_stats &c = stats.classes[class_index(cls)];
         const obs::label_set cl = with("class", request_class_to_string(cls));
@@ -141,6 +186,7 @@ void collect_serve_stats(obs::prometheus_builder &builder, const serve_stats &st
         builder.add_counter("plssvm_serve_class_batches_total", "Batches drained per request class", cl, static_cast<double>(c.batches));
         builder.add_gauge("plssvm_serve_target_batch_size", "Current adaptive batch target", cl, static_cast<double>(c.target_batch_size));
         builder.add_gauge("plssvm_serve_flush_delay_seconds", "Current adaptive flush deadline", cl, c.flush_delay_seconds);
+        builder.add_gauge("plssvm_serve_retry_after_hint_seconds", "Retry-after hint a rate-limited shed of this class would carry", cl, c.retry_after_hint_seconds);
     }
 }
 

@@ -33,6 +33,7 @@
 #define PLSSVM_SERVE_SERVE_STATS_HPP_
 
 #include "plssvm/detail/tracker.hpp"
+#include "plssvm/serve/fault.hpp"
 #include "plssvm/serve/obs.hpp"
 #include "plssvm/serve/qos.hpp"
 
@@ -73,6 +74,26 @@ struct class_serve_stats {
     // --- live adaptive policy (filled in by the engines from the batcher) --
     std::size_t target_batch_size{ 0 };  ///< current adaptive batch target
     double flush_delay_seconds{ 0.0 };   ///< current adaptive flush deadline
+    /// Current retry-after hint a rate-limited shed of this class would
+    /// carry (seconds until the class's token bucket accrues a token;
+    /// 0 = rate-unlimited). Filled in by the engines from the admission
+    /// controller at snapshot time.
+    double retry_after_hint_seconds{ 0.0 };
+};
+
+/// Fault-tolerance aggregates of one engine (see `fault.hpp`).
+struct fault_serve_stats {
+    health_state health{ health_state::healthy };       ///< current engine health
+    std::size_t health_transitions{ 0 };                ///< health state changes so far
+    std::size_t quarantined_requests{ 0 };              ///< requests isolated by batch bisection
+    std::size_t stall_failed_requests{ 0 };             ///< requests failed by the lane watchdog
+    std::size_t shutdown_failed_requests{ 0 };          ///< requests failed at shutdown/teardown
+    std::size_t batch_retries{ 0 };                     ///< transient-failure batch retries
+    std::size_t batch_bisections{ 0 };                  ///< failing-batch splits performed
+    std::size_t stall_restarts{ 0 };                    ///< watchdog-triggered lane restarts
+    std::size_t breaker_trips{ 0 };                     ///< circuit-breaker open transitions (all paths)
+    /// Current breaker state per dispatch path, indexed like `predict_path`.
+    std::array<fault::breaker_state, 4> breaker_states{};
 };
 
 /// Aggregated serving statistics of one engine.
@@ -113,6 +134,8 @@ struct serve_stats {
     per_class<class_serve_stats> classes{};  ///< per-request-class aggregates
     std::size_t flush_timer_wakeups{ 0 };    ///< timed flush-wait expirations of the drain thread
     double batch_saturation{ 0.0 };          ///< tuner load signal in [0, 1]
+    // --- fault-tolerance plane (breakers, watchdog, quarantine, health) ----
+    fault_serve_stats fault{};               ///< fault/health aggregates
 };
 
 /// Render @p stats as a machine-readable JSON object (one line per field,
@@ -208,6 +231,60 @@ class serve_metrics {
         ++reloads_;
     }
 
+    /// Record one request quarantined by batch bisection.
+    void record_quarantine() {
+        const std::lock_guard lock{ mutex_ };
+        ++quarantined_requests_;
+    }
+
+    /// Record one transient-failure retry of a whole batch.
+    void record_batch_retry() {
+        const std::lock_guard lock{ mutex_ };
+        ++batch_retries_;
+    }
+
+    /// Record one failing-batch bisection step.
+    void record_batch_bisection() {
+        const std::lock_guard lock{ mutex_ };
+        ++batch_bisections_;
+    }
+
+    /// Record @p count requests failed by the lane watchdog (stall).
+    void record_stall_failures(const std::size_t count) {
+        const std::lock_guard lock{ mutex_ };
+        stall_failed_requests_ += count;
+    }
+
+    /// Record @p count requests failed at shutdown/teardown.
+    void record_shutdown_failures(const std::size_t count) {
+        const std::lock_guard lock{ mutex_ };
+        shutdown_failed_requests_ += count;
+    }
+
+    /// Cumulative counters the health monitor diffs into per-window rates.
+    struct fault_counter_sample {
+        std::size_t admission_attempts{ 0 };  ///< admitted + shed decisions
+        std::size_t shed{ 0 };                ///< shed decisions (both reasons)
+        std::size_t completed{ 0 };           ///< async requests fulfilled
+        std::size_t deadline_misses{ 0 };     ///< fulfilled after the deadline
+        std::size_t quarantined{ 0 };         ///< quarantined by bisection
+    };
+
+    /// One consistent read of the health-relevant cumulative counters.
+    [[nodiscard]] fault_counter_sample fault_counters() const {
+        const std::lock_guard lock{ mutex_ };
+        fault_counter_sample sample;
+        for (const class_state &state : classes_) {
+            const std::size_t shed = state.shed_rate_limited + state.shed_queue_full;
+            sample.admission_attempts += state.admitted + shed;
+            sample.shed += shed;
+            sample.completed += state.completed;
+            sample.deadline_misses += state.deadline_misses;
+        }
+        sample.quarantined = quarantined_requests_;
+        return sample;
+    }
+
     /// Record which execution path one batch was dispatched to.
     void record_path(const predict_path path) {
         const std::lock_guard lock{ mutex_ };
@@ -247,6 +324,11 @@ class serve_metrics {
         stats.estimate_batches = estimate_batches_;
         stats.estimate_median_rel_error = estimate_rel_error_.quantile(0.50);
         stats.estimate_p99_rel_error = estimate_rel_error_.quantile(0.99);
+        stats.fault.quarantined_requests = quarantined_requests_;
+        stats.fault.stall_failed_requests = stall_failed_requests_;
+        stats.fault.shutdown_failed_requests = shutdown_failed_requests_;
+        stats.fault.batch_retries = batch_retries_;
+        stats.fault.batch_bisections = batch_bisections_;
         for (const request_class cls : all_request_classes) {
             const class_state &state = classes_[class_index(cls)];
             class_serve_stats &out = stats.classes[class_index(cls)];
@@ -358,6 +440,11 @@ class serve_metrics {
     std::size_t host_sparse_batches_{ 0 };
     std::size_t device_batches_{ 0 };
     std::size_t reloads_{ 0 };
+    std::size_t quarantined_requests_{ 0 };
+    std::size_t stall_failed_requests_{ 0 };
+    std::size_t shutdown_failed_requests_{ 0 };
+    std::size_t batch_retries_{ 0 };
+    std::size_t batch_bisections_{ 0 };
     double batch_kernel_seconds_{ 0.0 };
     std::chrono::steady_clock::time_point first_activity_{};
     std::chrono::steady_clock::time_point last_activity_{};

@@ -1,0 +1,635 @@
+/**
+ * @file
+ * @brief Fault-tolerance tests (ctest label `fault`, all suites prefixed
+ *        `Fault`): deterministic injector replay and rule targeting, circuit
+ *        breaker lifecycle with a fake clock, fallback-ladder dispatch
+ *        masking, batch bisection + quarantine through the engines, watchdog
+ *        stall recovery and lane restart, typed shutdown settlement of queued
+ *        promises, structured retry-after hints, and the health state
+ *        machine (engine + registry aggregation + stats exposition).
+ */
+
+#include "serve/serve_test_utils.hpp"
+
+#include "plssvm/backends/backend_types.hpp"
+#include "plssvm/core/data_set.hpp"
+#include "plssvm/core/parameter.hpp"
+#include "plssvm/detail/rng.hpp"
+#include "plssvm/exceptions.hpp"
+#include "plssvm/ext/multiclass.hpp"
+#include "plssvm/serve/fault.hpp"
+#include "plssvm/serve/inference_engine.hpp"
+#include "plssvm/serve/micro_batcher.hpp"
+#include "plssvm/serve/model_registry.hpp"
+#include "plssvm/serve/multiclass_engine.hpp"
+#include "plssvm/serve/predict_dispatcher.hpp"
+#include "plssvm/serve/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using plssvm::aos_matrix;
+using plssvm::kernel_type;
+using plssvm::serve::engine_config;
+using plssvm::serve::failure_kind;
+using plssvm::serve::health_state;
+using plssvm::serve::inference_engine;
+using plssvm::serve::micro_batcher;
+using plssvm::serve::multiclass_engine;
+using plssvm::serve::predict_path;
+using plssvm::serve::request_class;
+using plssvm::serve::request_failed_exception;
+using plssvm::serve::request_shed_exception;
+using plssvm::serve::serve_stats;
+namespace fault = plssvm::serve::fault;
+namespace test = plssvm::test;
+using namespace std::chrono_literals;
+
+using time_point = std::chrono::steady_clock::time_point;
+
+/// Fake-clock origin for the caller-clocked breaker tests.
+[[nodiscard]] time_point fake_now(const std::chrono::microseconds offset = 0us) {
+    return time_point{} + 1h + offset;
+}
+
+/// Poll until @p predicate holds or ~1 s elapses (post-batch bookkeeping like
+/// the health refresh runs *after* the request futures settle).
+template <typename Predicate>
+[[nodiscard]] bool eventually(Predicate &&predicate) {
+    for (int i = 0; i < 1000; ++i) {
+        if (predicate()) {
+            return true;
+        }
+        std::this_thread::sleep_for(1ms);
+    }
+    return predicate();
+}
+
+/// An engine config wired for deterministic fault tests: static batches of
+/// @p batch_size coalesced over a generous flush window, shared injector.
+[[nodiscard]] engine_config fault_test_config(std::shared_ptr<fault::injector> inject, const std::size_t batch_size = 8) {
+    engine_config config;
+    config.num_threads = 2;
+    config.max_batch_size = batch_size;
+    config.batch_delay = std::chrono::microseconds{ 20ms };
+    config.qos.adaptive_batching = false;
+    config.fault.inject = std::move(inject);
+    return config;
+}
+
+// ---------------------------------------------------------------------------
+// deterministic fault injector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, NoRulesIsANoOp) {
+    fault::injector inj{ 7 };
+    const fault::fault_rule fired = inj.evaluate(fault::fault_site::batch_kernel);
+    EXPECT_EQ(fired.kind, fault::fault_kind::none);
+    EXPECT_EQ(inj.evaluations(fault::fault_site::batch_kernel), 1u);
+    EXPECT_EQ(inj.fired(fault::fault_site::batch_kernel), 0u);
+    // the hooks are no-ops on a null injector too
+    EXPECT_NO_THROW((void) fault::hook_batch_kernel(nullptr, predict_path::host_blocked, 0, 8));
+    EXPECT_NO_THROW(fault::hook_dispatch(nullptr));
+    EXPECT_NO_THROW(fault::hook_allocation(nullptr));
+}
+
+TEST(FaultInjector, SameSeedReplaysTheSameFiringSequence) {
+    const auto run = [](const std::uint64_t seed) {
+        fault::injector inj{ seed };
+        inj.add_rule({ .site = fault::fault_site::dispatch, .kind = fault::fault_kind::kernel_throw, .probability = 0.35 });
+        std::vector<bool> fired;
+        for (int i = 0; i < 200; ++i) {
+            fired.push_back(inj.evaluate(fault::fault_site::dispatch).kind != fault::fault_kind::none);
+        }
+        return fired;
+    };
+    const std::vector<bool> first = run(1234);
+    const std::vector<bool> second = run(1234);
+    EXPECT_EQ(first, second);
+    // the probability actually thins the stream (not all-fire, not no-fire)
+    const std::size_t count = static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+    EXPECT_GT(count, 0u);
+    EXPECT_LT(count, first.size());
+}
+
+TEST(FaultInjector, AfterAndLimitBoundTheFiringWindow) {
+    fault::injector inj;
+    inj.add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::kernel_throw, .after = 3, .limit = 2 });
+    std::vector<bool> fired;
+    for (int i = 0; i < 8; ++i) {
+        fired.push_back(inj.evaluate(fault::fault_site::batch_kernel).kind != fault::fault_kind::none);
+    }
+    const std::vector<bool> expected{ false, false, false, true, true, false, false, false };
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(inj.fired(fault::fault_site::batch_kernel), 2u);
+}
+
+TEST(FaultInjector, PathFilterRestrictsARuleToOneDispatchPath) {
+    fault::injector inj;
+    inj.add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::kernel_throw, .path = predict_path::host_blocked });
+    EXPECT_EQ(inj.evaluate(fault::fault_site::batch_kernel, predict_path::reference).kind, fault::fault_kind::none);
+    EXPECT_EQ(inj.evaluate(fault::fault_site::batch_kernel, predict_path::device).kind, fault::fault_kind::none);
+    EXPECT_EQ(inj.evaluate(fault::fault_site::batch_kernel, predict_path::host_blocked).kind, fault::fault_kind::kernel_throw);
+}
+
+TEST(FaultInjector, PoisonIndexFiresOnlyOnCoveringRanges) {
+    fault::injector inj;
+    inj.add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::kernel_throw, .poison_index = 5 });
+    EXPECT_EQ(inj.evaluate(fault::fault_site::batch_kernel, {}, 0, 4).kind, fault::fault_kind::none);
+    EXPECT_EQ(inj.evaluate(fault::fault_site::batch_kernel, {}, 6, 8).kind, fault::fault_kind::none);
+    EXPECT_EQ(inj.evaluate(fault::fault_site::batch_kernel, {}, 0, 8).kind, fault::fault_kind::kernel_throw);
+    EXPECT_EQ(inj.evaluate(fault::fault_site::batch_kernel, {}, 5, 6).kind, fault::fault_kind::kernel_throw);
+}
+
+TEST(FaultInjector, GlobalInjectorDrivesTheExecutorTaskHook) {
+    fault::injector inj;
+    inj.add_rule({ .site = fault::fault_site::executor_task, .kind = fault::fault_kind::slow_batch, .stall = 1ms });
+    EXPECT_NO_THROW(fault::hook_executor_task());  // nothing installed
+    fault::injector::install_global(&inj);
+    fault::hook_executor_task();
+    fault::injector::install_global(nullptr);
+    EXPECT_EQ(inj.fired(fault::fault_site::executor_task), 1u);
+    EXPECT_EQ(fault::injector::global(), nullptr);
+    // kernel-throw hook actually throws the typed injected exception
+    fault::injector thrower;
+    thrower.add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::kernel_throw });
+    EXPECT_THROW((void) fault::hook_batch_kernel(&thrower, predict_path::reference, 0, 1), fault::injected_fault_exception);
+}
+
+// ---------------------------------------------------------------------------
+// circuit breaker + fallback ladder (fake clock, deterministic)
+// ---------------------------------------------------------------------------
+
+TEST(FaultBreaker, TripsOnceTheWindowedErrorRateIsReached) {
+    fault::circuit_breaker breaker{ fault::breaker_config{ .window = 8, .trip_error_rate = 0.5, .min_samples = 4 } };
+    EXPECT_TRUE(breaker.allow(fake_now()));
+    breaker.record(true, fake_now());
+    breaker.record(true, fake_now());
+    breaker.record(false, fake_now());
+    EXPECT_EQ(breaker.current(fake_now()), fault::breaker_state::closed) << "below min_samples";
+    breaker.record(false, fake_now());  // 2 errors / 4 samples = 50% at min_samples
+    EXPECT_EQ(breaker.current(fake_now()), fault::breaker_state::open);
+    EXPECT_FALSE(breaker.allow(fake_now()));
+    EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(FaultBreaker, HalfOpenProbesCloseAfterConsecutiveSuccesses) {
+    const fault::breaker_config config{ .window = 8, .trip_error_rate = 0.5, .min_samples = 2, .open_duration = 100ms, .half_open_probes = 2 };
+    fault::circuit_breaker breaker{ config };
+    breaker.record(false, fake_now());
+    breaker.record(false, fake_now());
+    EXPECT_EQ(breaker.current(fake_now()), fault::breaker_state::open);
+    EXPECT_FALSE(breaker.allow(fake_now(50ms))) << "cooldown not elapsed";
+    EXPECT_TRUE(breaker.allow(fake_now(150ms))) << "cooldown elapsed -> half-open probe allowed";
+    EXPECT_EQ(breaker.current(fake_now(150ms)), fault::breaker_state::half_open);
+    breaker.record(true, fake_now(151ms));
+    EXPECT_EQ(breaker.current(fake_now(151ms)), fault::breaker_state::half_open) << "one probe is not enough";
+    breaker.record(true, fake_now(152ms));
+    EXPECT_EQ(breaker.current(fake_now(152ms)), fault::breaker_state::closed);
+    EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(FaultBreaker, HalfOpenFailureReopensWithAFreshCooldown) {
+    const fault::breaker_config config{ .window = 8, .trip_error_rate = 0.5, .min_samples = 2, .open_duration = 100ms };
+    fault::circuit_breaker breaker{ config };
+    breaker.record(false, fake_now());
+    breaker.record(false, fake_now());
+    EXPECT_TRUE(breaker.allow(fake_now(150ms)));
+    breaker.record(false, fake_now(151ms));  // failed probe
+    EXPECT_EQ(breaker.current(fake_now(152ms)), fault::breaker_state::open);
+    EXPECT_FALSE(breaker.allow(fake_now(200ms))) << "cooldown restarts from the failed probe";
+    EXPECT_TRUE(breaker.allow(fake_now(300ms)));
+    EXPECT_EQ(breaker.trips(), 2u);
+}
+
+TEST(FaultLadder, MasksTrippedPathsButNeverReference) {
+    fault::path_ladder ladder{ fault::breaker_config{ .min_samples = 2, .open_duration = 10s } };
+    ladder.record(predict_path::host_blocked, false, fake_now());
+    ladder.record(predict_path::host_blocked, false, fake_now());
+    // pathological case: even the reference breaker tripping must not mask it
+    ladder.record(predict_path::reference, false, fake_now());
+    ladder.record(predict_path::reference, false, fake_now());
+    const fault::path_mask mask = ladder.allowed(fake_now(1ms));
+    EXPECT_FALSE(mask.allows(predict_path::host_blocked));
+    EXPECT_TRUE(mask.allows(predict_path::reference));
+    EXPECT_TRUE(mask.allows(predict_path::host_sparse));
+    EXPECT_TRUE(mask.allows(predict_path::device));
+    EXPECT_EQ(ladder.trips(), 2u);
+    EXPECT_EQ(ladder.trips(predict_path::host_blocked), 1u);
+}
+
+TEST(FaultDispatcher, MaskedChooseDemotesDownTheLadder) {
+    fault::path_mask no_blocked = fault::path_mask::all();
+    no_blocked.allowed[static_cast<std::size_t>(predict_path::host_blocked)] = false;
+    const plssvm::serve::predict_shape shape{ 1024, 512, 64, kernel_type::rbf };
+
+    // device enabled: with the host path tripped, the remaining competitive
+    // path (device) takes the traffic
+    plssvm::serve::dispatch_params params;
+    params.min_blocked_batch = 8;
+    params.allow_device = true;
+    const plssvm::serve::predict_dispatcher with_device{ params };
+    const predict_path unmasked = with_device.choose(shape, fault::path_mask::all());
+    EXPECT_EQ(unmasked, with_device.choose(shape)) << "a full mask must reduce to the plain choice";
+    EXPECT_EQ(with_device.choose(shape, no_blocked), predict_path::device);
+
+    // host-only deployment: masking the blocked path leaves reference as the
+    // bottom rung of the ladder
+    params.allow_device = false;
+    const plssvm::serve::predict_dispatcher host_only{ params };
+    EXPECT_EQ(host_only.choose(shape), predict_path::host_blocked);
+    EXPECT_EQ(host_only.choose(shape, no_blocked), predict_path::reference)
+        << "with every competitive path masked, reference is the last resort";
+}
+
+// ---------------------------------------------------------------------------
+// engine: retry, bisection + quarantine, typed errors
+// ---------------------------------------------------------------------------
+
+TEST(FaultEngine, TransientKernelFaultIsRetriedAndEveryRequestCompletes) {
+    auto inject = std::make_shared<fault::injector>();
+    inject->add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::kernel_throw, .limit = 1 });
+    inference_engine<double> engine{ test::random_model(kernel_type::linear), fault_test_config(inject) };
+
+    const aos_matrix<double> points = test::random_matrix(8, 11, 3);
+    const std::vector<double> expected = engine.predict(points);
+    std::vector<std::future<double>> futures;
+    for (std::size_t i = 0; i < points.num_rows(); ++i) {
+        futures.push_back(engine.submit(std::vector<double>(points.row_data(i), points.row_data(i) + points.num_cols())));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        EXPECT_EQ(futures[i].get(), expected[i]) << "request " << i;
+    }
+    const serve_stats stats = engine.stats();
+    EXPECT_GE(stats.fault.batch_retries, 1u);
+    EXPECT_EQ(stats.fault.quarantined_requests, 0u) << "a transient fault must not quarantine anything";
+}
+
+TEST(FaultEngine, PoisonedRequestIsQuarantinedAndTheRestComplete) {
+    auto inject = std::make_shared<fault::injector>();
+    // the first request of every batch is poisoned: only ranges covering
+    // batch-local index 0 throw, so bisection isolates exactly that request
+    inject->add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::kernel_throw, .poison_index = 0 });
+    inference_engine<double> engine{ test::random_model(kernel_type::rbf), fault_test_config(inject) };
+
+    const aos_matrix<double> points = test::random_matrix(8, 11, 5);
+    const std::vector<double> expected = engine.predict(points);
+    std::vector<std::future<double>> futures;
+    for (std::size_t i = 0; i < points.num_rows(); ++i) {
+        futures.push_back(engine.submit(std::vector<double>(points.row_data(i), points.row_data(i) + points.num_cols())));
+    }
+    std::size_t quarantined = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+            EXPECT_EQ(futures[i].get(), expected[i]) << "surviving request " << i;
+        } catch (const request_failed_exception &e) {
+            ++quarantined;
+            EXPECT_EQ(e.kind(), failure_kind::kernel_error);
+            EXPECT_NE(std::string{ e.what() }.find("quarantined"), std::string::npos) << e.what();
+        }
+    }
+    EXPECT_GE(quarantined, 1u);
+    EXPECT_LT(quarantined, futures.size()) << "bisection must isolate, not fail the whole batch";
+    const serve_stats stats = engine.stats();
+    EXPECT_EQ(stats.fault.quarantined_requests, quarantined);
+    EXPECT_GE(stats.fault.batch_bisections, 1u);
+    // one quarantine in the observation window degrades the engine's health
+    EXPECT_TRUE(eventually([&] { return engine.health() == health_state::degraded; }));
+    EXPECT_TRUE(eventually([&] { return engine.recorder().health_dumps() >= 1u; }));
+    EXPECT_NE(engine.last_health_dump().find("health:"), std::string::npos);
+}
+
+TEST(FaultEngine, InjectedAllocationFailureSurfacesAsTypedAllocationError) {
+    auto inject = std::make_shared<fault::injector>();
+    inject->add_rule({ .site = fault::fault_site::allocation, .kind = fault::fault_kind::alloc_failure });
+    inference_engine<double> engine{ test::random_model(kernel_type::linear), fault_test_config(inject, 4) };
+
+    std::vector<std::future<double>> futures;
+    for (int i = 0; i < 4; ++i) {
+        futures.push_back(engine.submit(std::vector<double>(11, 0.25)));
+    }
+    for (std::future<double> &f : futures) {
+        try {
+            (void) f.get();
+            FAIL() << "every attempt hits the allocation fault, so every request must fail typed";
+        } catch (const request_failed_exception &e) {
+            EXPECT_EQ(e.kind(), failure_kind::allocation);
+        }
+    }
+}
+
+TEST(FaultEngine, WrongResultInjectionCorruptsExactlyOneSlot) {
+    auto inject = std::make_shared<fault::injector>();
+    inject->add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::wrong_result, .limit = 1 });
+    inference_engine<double> engine{ test::random_model(kernel_type::linear), fault_test_config(inject) };
+
+    const aos_matrix<double> points = test::random_matrix(8, 11, 9);
+    const std::vector<double> expected = engine.predict(points);
+    std::vector<std::future<double>> futures;
+    for (std::size_t i = 0; i < points.num_rows(); ++i) {
+        futures.push_back(engine.submit(std::vector<double>(points.row_data(i), points.row_data(i) + points.num_cols())));
+    }
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        if (futures[i].get() != expected[i]) {
+            ++mismatches;
+        }
+    }
+    EXPECT_EQ(mismatches, 1u) << "wrong_result corrupts the first slot of the firing attempt's range, nothing else";
+}
+
+// ---------------------------------------------------------------------------
+// engine: watchdog stall recovery
+// ---------------------------------------------------------------------------
+
+TEST(FaultEngine, WatchdogFailsAStalledBatchAndRestartsTheLane) {
+    auto inject = std::make_shared<fault::injector>();
+    inject->add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::worker_stall, .limit = 1, .stall = 500ms });
+    engine_config config = fault_test_config(inject, 1);
+    config.batch_delay = std::chrono::microseconds{ 1ms };
+    config.fault.watchdog.stall_timeout = std::chrono::microseconds{ 50ms };
+    inference_engine<double> engine{ test::random_model(kernel_type::linear), config };
+
+    std::future<double> stalled = engine.submit(std::vector<double>(11, 0.5));
+    try {
+        (void) stalled.get();
+        FAIL() << "the stalled batch must fail with a typed worker_stall error";
+    } catch (const request_failed_exception &e) {
+        EXPECT_EQ(e.kind(), failure_kind::worker_stall);
+    }
+    // the watchdog settles the stalled futures *before* recording the stall
+    // counters, so the stats are eventually consistent here — poll
+    EXPECT_TRUE(eventually([&] { return engine.stats().fault.stall_restarts == 1u; }));
+    EXPECT_TRUE(eventually([&] { return engine.stats().fault.stall_failed_requests == 1u; }));
+    // the restarted lane serves new traffic (the stall rule is exhausted)
+    const aos_matrix<double> point = test::random_matrix(1, 11, 17);
+    const std::vector<double> expected = engine.predict(point);
+    std::future<double> next = engine.submit(std::vector<double>(point.row_data(0), point.row_data(0) + point.num_cols()));
+    EXPECT_EQ(next.get(), expected.front());
+    // a stall forces the health state machine to critical for its window
+    EXPECT_GE(engine.stats().fault.health_transitions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// shutdown settlement (satellite: no promise is ever destroyed unsettled)
+// ---------------------------------------------------------------------------
+
+TEST(FaultShutdown, FailPendingSettlesQueuedPromisesWithTypedErrors) {
+    micro_batcher<double> batcher{ plssvm::serve::batch_policy{ 64, std::chrono::microseconds{ 1s } } };
+    std::vector<std::future<double>> futures;
+    for (int i = 0; i < 3; ++i) {
+        futures.push_back(batcher.enqueue(std::vector<double>{ 1.0, 2.0 }, request_class::interactive,
+                                          std::chrono::microseconds{ 0 }, std::chrono::steady_clock::now(), 0));
+    }
+    // waiters are already blocked on the futures when the batcher stops
+    std::vector<std::thread> waiters;
+    std::vector<std::exception_ptr> outcomes(futures.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        waiters.emplace_back([&futures, &outcomes, i] {
+            try {
+                (void) futures[i].get();
+            } catch (...) {
+                outcomes[i] = std::current_exception();
+            }
+        });
+    }
+    EXPECT_EQ(batcher.fail_pending(std::exception_ptr{}), 3u);
+    for (std::thread &t : waiters) {
+        t.join();
+    }
+    for (const std::exception_ptr &outcome : outcomes) {
+        ASSERT_NE(outcome, nullptr) << "every waiter must be released with an error, not blocked forever";
+        try {
+            std::rethrow_exception(outcome);
+        } catch (const request_failed_exception &e) {
+            EXPECT_EQ(e.kind(), failure_kind::engine_shutdown);
+        }
+    }
+    // the batcher is stopped now: a late enqueue fails typed too
+    EXPECT_THROW((void) batcher.enqueue(std::vector<double>{ 1.0 }, request_class::interactive,
+                                        std::chrono::microseconds{ 0 }, std::chrono::steady_clock::now(), 0),
+                 request_failed_exception);
+}
+
+TEST(FaultShutdown, BatcherDestructionSettlesQueuedPromises) {
+    std::future<double> orphan;
+    {
+        micro_batcher<double> batcher{ plssvm::serve::batch_policy{ 64, std::chrono::microseconds{ 1s } } };
+        orphan = batcher.enqueue(std::vector<double>{ 1.0 }, request_class::background,
+                                 std::chrono::microseconds{ 0 }, std::chrono::steady_clock::now(), 0);
+    }
+    try {
+        (void) orphan.get();
+        FAIL() << "a promise queued at destruction must carry a typed error";
+    } catch (const request_failed_exception &e) {
+        EXPECT_EQ(e.kind(), failure_kind::engine_shutdown);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// retry-after hint (satellite: structured backpressure)
+// ---------------------------------------------------------------------------
+
+TEST(FaultRetryAfter, RateLimitedShedCarriesTheBucketRefillHint) {
+    engine_config config;
+    config.num_threads = 2;
+    config.qos.classes[plssvm::serve::class_index(request_class::interactive)].rate_limit = 10.0;
+    config.qos.classes[plssvm::serve::class_index(request_class::interactive)].burst = 1.0;
+    inference_engine<double> engine{ test::random_model(kernel_type::linear), config };
+
+    std::future<double> admitted = engine.submit(std::vector<double>(11, 0.1));
+    bool shed = false;
+    try {
+        (void) engine.submit(std::vector<double>(11, 0.2));
+    } catch (const request_shed_exception &e) {
+        shed = true;
+        // 10 tokens/s, empty bucket: the next token is ~100 ms out
+        EXPECT_GT(e.retry_after().count(), 0);
+        EXPECT_LE(e.retry_after(), std::chrono::microseconds{ 150ms });
+    }
+    EXPECT_TRUE(shed);
+    (void) admitted.get();
+    const serve_stats stats = engine.stats();
+    EXPECT_DOUBLE_EQ(stats.classes[plssvm::serve::class_index(request_class::interactive)].retry_after_hint_seconds, 0.1);
+    EXPECT_NE(engine.stats_json().find("\"retry_after_hint_s\": 1.000000e-01"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// fallback ladder end to end: breaker trip reroutes live traffic
+// ---------------------------------------------------------------------------
+
+TEST(FaultEngine, TrippedPathReroutesTrafficDownTheLadder) {
+    auto inject = std::make_shared<fault::injector>();
+    // the blocked host path persistently fails; reference stays healthy
+    inject->add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::kernel_throw, .path = predict_path::host_blocked });
+    // batch 64 deterministically picks the blocked host path (the default
+    // cost model routes 64-point batches there, see the dispatcher tests)
+    engine_config config = fault_test_config(inject, 64);
+    config.fault.breaker.min_samples = 2;
+    config.fault.breaker.window = 8;
+    config.fault.breaker.open_duration = std::chrono::microseconds{ 10s };  // stays open for the whole test
+    inference_engine<double> engine{ test::random_model(kernel_type::linear), config };
+
+    const aos_matrix<double> points = test::random_matrix(64, 11, 21);
+    const std::vector<double> expected = engine.predict(points);  // sync path, unaffected
+    std::vector<std::future<double>> futures;
+    for (std::size_t i = 0; i < points.num_rows(); ++i) {
+        futures.push_back(engine.submit(std::vector<double>(points.row_data(i), points.row_data(i) + points.num_cols())));
+    }
+    // attempt 1 + 2 fail on host_blocked and trip its breaker (min_samples
+    // 2); attempt 3 re-chooses under the new mask and lands on reference —
+    // every request completes without quarantine
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        EXPECT_EQ(futures[i].get(), expected[i]) << "request " << i;
+    }
+    const serve_stats stats = engine.stats();
+    EXPECT_GE(stats.fault.breaker_trips, 1u);
+    EXPECT_EQ(stats.fault.breaker_states[static_cast<std::size_t>(predict_path::host_blocked)], fault::breaker_state::open);
+    EXPECT_GE(stats.reference_batches, 1u) << "rerouted batches must show up in the path counts";
+    EXPECT_EQ(stats.fault.quarantined_requests, 0u);
+    // an open breaker drives the engine critical, visible in JSON too
+    EXPECT_TRUE(eventually([&] { return engine.health() == health_state::critical; }));
+    const std::string json = engine.stats_json();
+    EXPECT_NE(json.find("\"health\": \"critical\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"host_blocked\": \"open\""), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// health state machine + exposition
+// ---------------------------------------------------------------------------
+
+TEST(FaultHealth, MonitorTransitionsAreEdgeTriggeredAndRecover) {
+    fault::health_monitor monitor;
+    EXPECT_EQ(monitor.state(), health_state::healthy);
+    fault::health_inputs inputs;
+    inputs.breaker_open = true;
+    const fault::health_transition to_critical = monitor.observe(inputs);
+    EXPECT_TRUE(to_critical.changed);
+    EXPECT_EQ(to_critical.from, health_state::healthy);
+    EXPECT_EQ(to_critical.to, health_state::critical);
+    EXPECT_FALSE(monitor.observe(inputs).changed) << "steady state must not re-transition";
+    inputs.breaker_open = false;
+    inputs.breaker_half_open = true;
+    EXPECT_EQ(monitor.observe(inputs).to, health_state::degraded);
+    inputs.breaker_half_open = false;
+    const fault::health_transition recovered = monitor.observe(inputs);
+    EXPECT_TRUE(recovered.changed);
+    EXPECT_EQ(recovered.to, health_state::healthy);
+    EXPECT_EQ(monitor.transitions(), 3u);
+}
+
+TEST(FaultHealth, ShedRateDrivesDegradedAndCritical) {
+    fault::health_monitor monitor;
+    fault::health_inputs inputs;
+    inputs.admission_attempts = 100;
+    inputs.shed = 10;  // 10% shed in the window
+    EXPECT_EQ(monitor.observe(inputs).to, health_state::degraded);
+    inputs.admission_attempts = 200;
+    inputs.shed = 80;  // 70/100 shed in this window
+    EXPECT_EQ(monitor.observe(inputs).to, health_state::critical);
+    inputs.admission_attempts = 300;
+    inputs.shed = 80;  // clean window: deltas decide, not lifetime totals
+    EXPECT_EQ(monitor.observe(inputs).to, health_state::healthy);
+}
+
+TEST(FaultHealth, RegistryAggregatesWorstEngineHealth) {
+    plssvm::serve::model_registry<double> registry{ 4, engine_config{ .num_threads = 2 } };
+    (void) registry.load("clean", test::random_model(kernel_type::linear));
+    EXPECT_EQ(registry.health(), health_state::healthy);
+    EXPECT_EQ(registry.stats_json().rfind("{\"health\": \"healthy\"", 0), 0u);
+
+    auto inject = std::make_shared<fault::injector>();
+    inject->add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::kernel_throw, .poison_index = 0 });
+    auto poisoned = registry.load("poisoned", test::random_model(kernel_type::rbf), fault_test_config(inject));
+    std::vector<std::future<double>> futures;
+    for (int i = 0; i < 8; ++i) {
+        futures.push_back(poisoned->submit(std::vector<double>(11, 0.3)));
+    }
+    for (std::future<double> &f : futures) {
+        try {
+            (void) f.get();
+        } catch (const request_failed_exception &) {
+        }
+    }
+    EXPECT_TRUE(eventually([&] { return registry.health() == health_state::degraded; }));
+    EXPECT_EQ(registry.stats_json().rfind("{\"health\": \"degraded\"", 0), 0u);
+    EXPECT_NE(registry.metrics_text().find("plssvm_serve_registry_health 1"), std::string::npos);
+}
+
+TEST(FaultStats, JsonAndPrometheusExposeTheFaultPlane) {
+    inference_engine<double> engine{ test::random_model(kernel_type::linear), engine_config{ .num_threads = 2 } };
+    const std::string json = engine.stats_json();
+    for (const char *key : { "\"fault\": {", "\"health\": \"healthy\"", "\"quarantined_requests\": 0",
+                             "\"stall_restarts\": 0", "\"breaker_trips\": 0", "\"breakers\": {",
+                             "\"batch_retries\": 0", "\"batch_bisections\": 0", "\"shutdown_failed_requests\": 0" }) {
+        EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
+    }
+    const std::string text = engine.metrics_text();
+    for (const char *family : { "plssvm_serve_health ", "plssvm_serve_quarantined_requests_total",
+                                "plssvm_serve_breaker_state{", "plssvm_serve_breaker_trips_total",
+                                "plssvm_serve_stall_restarts_total", "plssvm_serve_retry_after_hint_seconds" }) {
+        EXPECT_NE(text.find(family), std::string::npos) << "missing " << family;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// multi-class engine shares the fault plane
+// ---------------------------------------------------------------------------
+
+TEST(FaultMulticlass, PoisonedRequestIsQuarantinedAndSurvivorsMatchSync) {
+    auto blobs_engine = plssvm::detail::make_engine(13);
+    const double centers[3][2] = { { 4.0, 0.0 }, { -4.0, 4.0 }, { 0.0, -4.0 } };
+    aos_matrix<double> train_points{ 90, 2 };
+    std::vector<double> train_labels(90);
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t i = 0; i < 30; ++i) {
+            const std::size_t row = c * 30 + i;
+            train_points(row, 0) = centers[c][0] + plssvm::detail::standard_normal<double>(blobs_engine);
+            train_points(row, 1) = centers[c][1] + plssvm::detail::standard_normal<double>(blobs_engine);
+            train_labels[row] = static_cast<double>(c);
+        }
+    }
+    plssvm::data_set<double> data{ std::move(train_points), std::move(train_labels) };
+    plssvm::parameter params;
+    params.kernel = kernel_type::linear;
+    plssvm::ext::one_vs_all<double> trainer{ plssvm::backend_type::openmp, params };
+    const auto ensemble = trainer.fit(data, plssvm::solver_control{ .epsilon = 1e-8 });
+
+    auto inject = std::make_shared<fault::injector>();
+    inject->add_rule({ .site = fault::fault_site::batch_kernel, .kind = fault::fault_kind::kernel_throw, .poison_index = 0 });
+    engine_config config = fault_test_config(inject);
+    multiclass_engine<double> engine{ ensemble, config };
+
+    const aos_matrix<double> queries = test::random_matrix(8, 2, 99);
+    const std::vector<double> expected = engine.predict(queries);
+    std::vector<std::future<double>> futures;
+    for (std::size_t i = 0; i < queries.num_rows(); ++i) {
+        futures.push_back(engine.submit(std::vector<double>{ queries(i, 0), queries(i, 1) }));
+    }
+    std::size_t quarantined = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+            EXPECT_EQ(futures[i].get(), expected[i]) << "surviving request " << i;
+        } catch (const request_failed_exception &e) {
+            ++quarantined;
+            EXPECT_EQ(e.kind(), failure_kind::kernel_error);
+        }
+    }
+    EXPECT_GE(quarantined, 1u);
+    EXPECT_LT(quarantined, futures.size());
+    EXPECT_EQ(engine.stats().fault.quarantined_requests, quarantined);
+    EXPECT_TRUE(eventually([&] { return engine.health() == health_state::degraded; }));
+}
+
+}  // namespace

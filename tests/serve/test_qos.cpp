@@ -511,7 +511,8 @@ TEST(QosStats, RegistryStatsJsonAggregatesAllResidentModels) {
     (void) registry.load("alpha", test::random_model(kernel_type::linear));
     (void) registry.load("beta", test::random_model(kernel_type::rbf));
     const std::string json = registry.stats_json();
-    EXPECT_EQ(json.rfind("{\"models\": {", 0), 0u) << json;
+    EXPECT_EQ(json.rfind("{\"health\": \"", 0), 0u) << json;
+    EXPECT_NE(json.find("\"models\": {"), std::string::npos) << json;
     EXPECT_NE(json.find("\"alpha\": {"), std::string::npos) << json;
     EXPECT_NE(json.find("\"beta\": {"), std::string::npos) << json;
 }
