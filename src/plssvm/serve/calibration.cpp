@@ -4,6 +4,7 @@
 #include "plssvm/core/parameter.hpp"
 #include "plssvm/detail/rng.hpp"
 #include "plssvm/serve/compiled_model.hpp"
+#include "plssvm/serve/topology.hpp"
 
 #include <chrono>
 #include <cstddef>
@@ -67,8 +68,43 @@ bool host_profile_from_bench_json(const std::string &path, sim::host_profile &ou
     return true;
 }
 
+namespace {
+
+/// Pin the calling thread to the first NUMA domain for the duration of a
+/// micro-measurement, restoring the previous affinity on destruction. On
+/// multi-socket hosts an unpinned measurement can migrate mid-stream and
+/// fold remote-memory latency into the profile — the engines' workers run
+/// domain-local (see `executor`), so the profile must be domain-local too.
+/// Single-node hosts: complete no-op.
+class measurement_pin {
+  public:
+    measurement_pin() {
+        const topology_info topo = probe_topology();
+        if (topo.multi_node()) {
+            previous_ = current_thread_affinity();
+            pinned_ = pin_current_thread(topo.domains.front().cpus);
+        }
+    }
+
+    measurement_pin(const measurement_pin &) = delete;
+    measurement_pin &operator=(const measurement_pin &) = delete;
+
+    ~measurement_pin() {
+        if (pinned_ && !previous_.empty()) {
+            (void) pin_current_thread(previous_);
+        }
+    }
+
+  private:
+    std::vector<int> previous_{};
+    bool pinned_{ false };
+};
+
+}  // namespace
+
 sim::host_profile measure_host_profile(const std::size_t real_bytes) {
     using clock = std::chrono::steady_clock;
+    const measurement_pin pin{};  // domain-local timing on multi-node hosts
     sim::host_profile profile{};
 
     // --- compute rate: time the blocked RBF batch kernel on a small synthetic

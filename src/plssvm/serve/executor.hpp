@@ -1,7 +1,7 @@
 /**
  * @file
- * @brief Process-wide serving executor: a work-stealing worker pool shared by
- *        every inference engine, with per-engine submission lanes.
+ * @brief Process-wide serving executor: a lock-free work-stealing worker pool
+ *        shared by every inference engine, with per-engine submission lanes.
  *
  * The first serving iteration gave every `inference_engine` its own
  * `thread_pool`, so a multi-tenant `model_registry` with eight resident
@@ -9,21 +9,45 @@
  * The executor inverts that ownership: the *process* owns one fixed set of
  * workers, and engines own lightweight **lanes** — named submission queues
  * with a concurrency *quota* (the most workers a lane may occupy at once)
- * and a *weight* (how many consecutive tasks a worker takes from the lane
+ * and a *weight* (how many tasks a worker takes from the lane per visit
  * before rotating on).
  *
+ * Hot path (this is the lock-free rewrite of the original single-mutex
+ * design): each worker owns a Chase–Lev deque (`work_stealing_deque.hpp`).
+ * Producers append to a small per-lane submission buffer (a per-lane mutex
+ * touched only by that lane's producers — never globally shared); workers
+ * *take* batches of up to `weight` tasks from runnable lanes into their own
+ * deque, claiming quota slots at take time, then pop/execute locally. Idle
+ * workers first steal from two randomly chosen victims (taking the fuller
+ * deque — "two-choice" load balancing), then sweep all victims, and finally
+ * park on an eventcount: sleep/wake costs no global lock and a wakeup can
+ * never be lost (the eventcount's seq_cst epoch/waiters protocol closes the
+ * check-then-sleep race). All counters feeding `stats()`/`lane_reports()`
+ * are per-lane atomics, so metrics scrapes never contend with dispatch.
+ *
  * Scheduling: every lane has an affine worker (assigned round-robin at lane
- * creation). Workers drain runnable lanes in rotation order starting from
- * their last position, so a saturated lane cannot starve the others — any
- * lane with queued work and spare quota is reached after at most one sweep
- * of the lane list. A task executed by a non-affine worker is counted as a
- * *steal* (the idle worker stole it from the lane's home worker); per-lane
- * steal and queue-depth counters feed `serve_stats`.
+ * creation, within the lane's NUMA home domain when one is given). Workers
+ * visit runnable lanes in rotation order starting one past their last
+ * position, so a saturated lane cannot starve the others — any lane with
+ * queued work and spare quota is reached after at most one sweep of the
+ * lane list. A task executed by a non-affine worker is counted as a *steal*
+ * (per-lane steal and queue-depth counters feed `serve_stats`); steals that
+ * hit another worker's deque directly are additionally counted in
+ * `deque_steals`.
+ *
+ * Topology: the executor probes NUMA domains (`topology.hpp`) and — when
+ * the host is multi-node and not oversubscribed — pins each worker to its
+ * domain's CPUs. Lanes carrying a `home_domain` get an affine worker inside
+ * that domain, so an engine's batches run where its snapshot's SV panels
+ * were first-touch allocated. Single-node hosts, unreadable `/sys`, and
+ * oversubscribed pools all degrade to the unpinned behavior.
  *
  * Quota semantics: `quota` caps how many workers service one lane
- * simultaneously. Capping the greedy tenants is what *guarantees* the quiet
- * ones — if every lane's quota is at most `size() - k`, any other lane is
- * always able to claim `k` workers the moment it has queued work.
+ * simultaneously (a claimed slot covers a task from take until completion,
+ * and moves with the task when it is stolen). Capping the greedy tenants is
+ * what *guarantees* the quiet ones — if every lane's quota is at most
+ * `size() - k`, any other lane is always able to claim `k` workers the
+ * moment it has queued work.
  *
  * Tasks must not block on futures of tasks in the same executor (a task
  * waiting for a worker while holding a worker can deadlock once all workers
@@ -33,21 +57,186 @@
 
 #ifndef PLSSVM_SERVE_EXECUTOR_HPP_
 #define PLSSVM_SERVE_EXECUTOR_HPP_
+#pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <thread>
-#include <type_traits>
-#include <utility>
-#include <vector>
+#include "plssvm/serve/topology.hpp"            // plssvm::serve::{topology_info, any_numa_domain}
+#include "plssvm/serve/work_stealing_deque.hpp"  // plssvm::serve::detail::{chase_lev_deque, cache_line_size}
+
+#include <atomic>              // std::atomic
+#include <condition_variable>  // std::condition_variable
+#include <cstddef>             // std::size_t
+#include <cstdint>             // std::uint64_t
+#include <deque>               // std::deque
+#include <future>              // std::future, std::packaged_task
+#include <memory>              // std::shared_ptr, std::unique_ptr
+#include <mutex>               // std::mutex
+#include <new>                 // placement new
+#include <random>              // std::mt19937
+#include <string>              // std::string
+#include <thread>              // std::thread
+#include <type_traits>         // std::invoke_result_t, std::decay_t, ...
+#include <utility>             // std::move, std::exchange, std::forward
+#include <vector>              // std::vector
 
 namespace plssvm::serve {
+
+namespace detail {
+
+/**
+ * @brief Move-only type-erased callable: the executor's unit of work.
+ * @details Replaces `std::function<void()>`, whose *copyable* requirement
+ *          forced every future-returning enqueue through a
+ *          `shared_ptr<packaged_task>` indirection. A `task` captures
+ *          move-only closures (packaged_task, unique_ptr captures) directly,
+ *          with small-buffer storage so typical closures allocate nothing.
+ */
+class task {
+    static constexpr std::size_t buffer_size = 56;
+
+    struct vtable {
+        void (*invoke)(void *storage);
+        void (*relocate)(void *from, void *to) noexcept;  // move + destroy source
+        void (*destroy)(void *storage) noexcept;
+    };
+
+    template <typename F>
+    static constexpr bool fits_inline = sizeof(F) <= buffer_size && alignof(F) <= alignof(std::max_align_t)
+                                        && std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    struct inline_ops {
+        static void invoke(void *storage) { (*static_cast<F *>(storage))(); }
+        static void relocate(void *from, void *to) noexcept {
+            ::new (to) F{ std::move(*static_cast<F *>(from)) };
+            static_cast<F *>(from)->~F();
+        }
+        static void destroy(void *storage) noexcept { static_cast<F *>(storage)->~F(); }
+        static constexpr vtable table{ &invoke, &relocate, &destroy };
+    };
+
+    template <typename F>
+    struct heap_ops {
+        static F *&ptr(void *storage) noexcept { return *static_cast<F **>(storage); }
+        static void invoke(void *storage) { (*ptr(storage))(); }
+        static void relocate(void *from, void *to) noexcept {
+            ::new (to) F *{ ptr(from) };
+        }
+        static void destroy(void *storage) noexcept { delete ptr(storage); }
+        static constexpr vtable table{ &invoke, &relocate, &destroy };
+    };
+
+  public:
+    task() noexcept = default;
+
+    template <typename F, typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, task>>>
+    task(F &&fn) {  // NOLINT(google-explicit-constructor): intentional — lambdas convert implicitly
+        using function_type = std::decay_t<F>;
+        if constexpr (fits_inline<function_type>) {
+            ::new (static_cast<void *>(buffer_)) function_type{ std::forward<F>(fn) };
+            vt_ = &inline_ops<function_type>::table;
+        } else {
+            ::new (static_cast<void *>(buffer_)) function_type *{ new function_type{ std::forward<F>(fn) } };
+            vt_ = &heap_ops<function_type>::table;
+        }
+    }
+
+    task(task &&other) noexcept :
+        vt_{ std::exchange(other.vt_, nullptr) } {
+        if (vt_ != nullptr) {
+            vt_->relocate(other.buffer_, buffer_);
+        }
+    }
+
+    task &operator=(task &&other) noexcept {
+        if (this != &other) {
+            reset();
+            vt_ = std::exchange(other.vt_, nullptr);
+            if (vt_ != nullptr) {
+                vt_->relocate(other.buffer_, buffer_);
+            }
+        }
+        return *this;
+    }
+
+    task(const task &) = delete;
+    task &operator=(const task &) = delete;
+
+    ~task() { reset(); }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+    /// Run the callable. Precondition: non-empty.
+    void operator()() { vt_->invoke(buffer_); }
+
+    void reset() noexcept {
+        if (vt_ != nullptr) {
+            vt_->destroy(buffer_);
+            vt_ = nullptr;
+        }
+    }
+
+  private:
+    const vtable *vt_{ nullptr };
+    alignas(std::max_align_t) unsigned char buffer_[buffer_size]{};
+};
+
+/**
+ * @brief Eventcount: the executor's lost-wakeup-free park/unpark protocol.
+ * @details Waiters `prepare_wait()` (registering themselves and sampling the
+ *          epoch), re-check their condition, then `wait()`. Notifiers bump
+ *          the epoch *before* reading the waiter count. Both sides use
+ *          seq_cst, so in the single total order either the waiter's
+ *          registration precedes the notifier's read (it is woken through
+ *          the cv) or the notifier's epoch bump precedes the waiter's epoch
+ *          sample (the wait predicate is already true). The cv's mutex is
+ *          touched only around actual sleeps and wakes — never on the task
+ *          hot path when nobody is parked... and even with parked workers,
+ *          notifiers take it only after the atomic waiter check.
+ */
+class eventcount {
+  public:
+    /// Register as a waiter and sample the epoch. Pair with wait()/cancel_wait().
+    [[nodiscard]] std::uint64_t prepare_wait() noexcept {
+        waiters_.fetch_add(1, std::memory_order_seq_cst);
+        return epoch_.load(std::memory_order_seq_cst);
+    }
+
+    /// Abort a prepared wait (the re-checked condition turned true).
+    void cancel_wait() noexcept {
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+
+    /// Sleep until the epoch moves past @p key.
+    void wait(const std::uint64_t key) {
+        std::unique_lock lock{ mutex_ };
+        cv_.wait(lock, [this, key]() { return epoch_.load(std::memory_order_seq_cst) != key; });
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    void notify_one() {
+        epoch_.fetch_add(1, std::memory_order_seq_cst);
+        if (waiters_.load(std::memory_order_seq_cst) > 0) {
+            const std::lock_guard lock{ mutex_ };
+            cv_.notify_one();
+        }
+    }
+
+    void notify_all() {
+        epoch_.fetch_add(1, std::memory_order_seq_cst);
+        if (waiters_.load(std::memory_order_seq_cst) > 0) {
+            const std::lock_guard lock{ mutex_ };
+            cv_.notify_all();
+        }
+    }
+
+  private:
+    alignas(cache_line_size) std::atomic<std::uint64_t> epoch_{ 0 };
+    alignas(cache_line_size) std::atomic<std::size_t> waiters_{ 0 };
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+}  // namespace detail
 
 /// Per-lane scheduling knobs.
 struct lane_options {
@@ -59,16 +248,32 @@ struct lane_options {
     /// next runnable lane (>= 1); higher weight = larger share under
     /// contention.
     std::size_t weight{ 1 };
+    /// NUMA domain this lane's memory lives on: its affine worker is chosen
+    /// inside the domain, so batches run local to their SV panels. Default:
+    /// no preference (round-robin over all workers, like before).
+    std::size_t home_domain{ any_numa_domain };
+};
+
+/// Executor construction knobs beyond the thread count.
+struct executor_options {
+    /// Topology to place workers on; empty `domains` = probe the real machine.
+    topology_info topology{};
+    /// Pin workers to their domain's CPUs (only ever active on multi-node
+    /// topologies with enough CPUs; otherwise silently degrades to no-op).
+    bool pin_workers{ true };
 };
 
 /// Point-in-time aggregate counters of the whole executor (all lanes).
 /// The QoS batch tuner reads this as its cross-tenant pressure signal.
+/// Lock-free: assembled from relaxed per-lane atomics, so scraping it never
+/// contends with dispatch.
 struct executor_stats {
     std::size_t workers{ 0 };       ///< worker threads of the pool
     std::size_t lanes{ 0 };         ///< currently registered lanes
     std::size_t queued{ 0 };        ///< tasks queued across all lanes right now
     std::size_t in_flight{ 0 };     ///< tasks executing right now
     std::size_t total_steals{ 0 };  ///< steals over all lanes ever registered
+    std::size_t deque_steals{ 0 };  ///< tasks lifted straight out of another worker's deque
 };
 
 /// Point-in-time counters of one lane.
@@ -86,27 +291,63 @@ struct lane_stats {
 struct lane_report {
     std::string name;                  ///< the lane's diagnostic name
     std::size_t affinity{ 0 };         ///< home worker index
+    std::size_t home_domain{ 0 };      ///< NUMA domain of the home worker
     lane_stats stats;                  ///< point-in-time counters
 };
 
 class executor {
-    /// All lane state lives behind the executor's mutex; the handle class
-    /// below only holds a shared_ptr to it.
+    struct work_item;
+
+    /// All hot lane state is atomic; the per-lane `buffer_mutex` guards only
+    /// this lane's submission buffer (producers + taking workers of *this*
+    /// lane — never a global serialization point). The handle class below
+    /// only holds a shared_ptr to it.
     struct lane_state {
         lane_options options;
-        std::deque<std::function<void()>> jobs;
-        std::size_t affinity{ 0 };   ///< home worker index (steal accounting)
-        std::size_t in_flight{ 0 };
-        std::size_t submitted{ 0 };
-        std::size_t completed{ 0 };
-        std::size_t stolen{ 0 };
-        std::size_t max_queue_depth{ 0 };
-        bool closed{ false };        ///< no further enqueues; drain pending
+        std::size_t affinity{ 0 };     ///< home worker index (steal accounting)
+        std::size_t home_domain{ 0 };  ///< resolved NUMA domain
+
+        /// submission buffer: producers push, workers take batches into
+        /// their deques, `try_run_one()` helpers pop directly
+        std::mutex buffer_mutex;
+        std::deque<work_item *> buffer;
+
+        /// closers wait here until completed == submitted
+        std::mutex drain_mutex;
+        std::condition_variable drain_cv;
+        std::atomic<bool> closed{ false };  ///< no further enqueues; drain pending
+
+        // hot counters, each on its own cache line: producers hit
+        // submitted/pending, completing workers hit completed/executing, and
+        // the scrape path reads all of them relaxed without any lock
+        alignas(detail::cache_line_size) std::atomic<std::size_t> submitted{ 0 };
+        alignas(detail::cache_line_size) std::atomic<std::size_t> completed{ 0 };
+        alignas(detail::cache_line_size) std::atomic<std::size_t> executing{ 0 };
+        alignas(detail::cache_line_size) std::atomic<std::size_t> pending{ 0 };  ///< tasks still in `buffer`
+        alignas(detail::cache_line_size) std::atomic<std::size_t> claimed{ 0 };  ///< quota slots held (deque + executing)
+        alignas(detail::cache_line_size) std::atomic<std::size_t> stolen{ 0 };
+        alignas(detail::cache_line_size) std::atomic<std::size_t> max_queue_depth{ 0 };
+    };
+
+    static_assert(alignof(lane_state) >= detail::cache_line_size,
+                  "lane_state hot counters must be cache-line separated");
+
+    /// One queued unit of work. Heap-allocated so a trivially-copyable
+    /// pointer flows through the Chase–Lev slots; the embedded shared_ptr
+    /// keeps the lane state alive for as long as any task of it exists.
+    struct work_item {
+        detail::task job;
+        std::shared_ptr<lane_state> lane;
+        bool claimed{ false };  ///< holds one of the lane's quota slots
     };
 
   public:
     /// Start @p num_threads workers; 0 means `std::thread::hardware_concurrency()`.
+    /// Probes the machine's NUMA topology and pins workers when profitable.
     explicit executor(std::size_t num_threads = 0);
+
+    /// Start workers on an explicit topology (tests inject fake ones here).
+    executor(std::size_t num_threads, executor_options options);
 
     executor(const executor &) = delete;
     executor &operator=(const executor &) = delete;
@@ -120,7 +361,7 @@ class executor {
     [[nodiscard]] static executor &process_wide();
 
     /// Number of worker threads.
-    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
 
     /// True iff the calling thread is one of THIS executor's workers. Work
     /// that would fan out over the executor must run inline instead when
@@ -128,6 +369,26 @@ class executor {
     /// it — e.g. an engine torn down by the last-owner reload task draining
     /// its final batches).
     [[nodiscard]] bool on_worker_thread() const noexcept;
+
+    /// The NUMA topology the workers were placed on.
+    [[nodiscard]] const topology_info &topology() const noexcept { return topology_; }
+
+    /// Number of NUMA domains workers are spread over.
+    [[nodiscard]] std::size_t num_domains() const noexcept { return topology_.num_domains(); }
+
+    /// True iff workers are actually pinned to their domain's CPUs (multi-
+    /// node topology, pinning requested, pool not oversubscribed).
+    [[nodiscard]] bool pinning_active() const noexcept { return pin_active_; }
+
+    /// NUMA domain of worker @p worker_index.
+    [[nodiscard]] std::size_t worker_domain(std::size_t worker_index) const;
+
+    /// Number of workers placed in NUMA domain @p domain.
+    [[nodiscard]] std::size_t workers_in_domain(std::size_t domain) const;
+
+    /// Pin the *calling* thread (e.g. an engine's drain thread) onto the
+    /// CPUs of @p domain. No-op (returns false) when pinning is inactive.
+    bool pin_current_thread_to_domain(std::size_t domain) const;
 
     /**
      * @brief Move-only handle to one submission lane. Destroying the handle
@@ -162,17 +423,22 @@ class executor {
         /// Effective parallelism of this lane: its quota clamped to the pool.
         [[nodiscard]] std::size_t max_concurrency() const noexcept;
 
-        /// Enqueue a fire-and-forget task.
-        /// @throws plssvm::exception if the lane is detached or closed
-        void enqueue_detached(std::function<void()> job);
+        /// NUMA domain of this lane's home worker.
+        [[nodiscard]] std::size_t home_domain() const noexcept;
 
-        /// Enqueue a task and obtain a future for its result.
+        /// Enqueue a fire-and-forget task (any move-only callable).
+        /// @throws plssvm::exception if the lane is detached or closed
+        void enqueue_detached(detail::task job);
+
+        /// Enqueue a task and obtain a future for its result. The callable
+        /// moves straight into the packaged_task — no shared_ptr hop like
+        /// the old copyable-std::function path required.
         template <typename F>
         [[nodiscard]] std::future<std::invoke_result_t<F>> enqueue(F &&job) {
             using result_type = std::invoke_result_t<F>;
-            auto task = std::make_shared<std::packaged_task<result_type()>>(std::forward<F>(job));
-            std::future<result_type> future = task->get_future();
-            enqueue_detached([task]() { (*task)(); });
+            std::packaged_task<result_type()> packaged{ std::forward<F>(job) };
+            std::future<result_type> future = packaged.get_future();
+            enqueue_detached(detail::task{ std::move(packaged) });
             return future;
         }
 
@@ -186,7 +452,7 @@ class executor {
         /// @return true iff a task was executed
         bool try_run_one();
 
-        /// Current counters of this lane.
+        /// Current counters of this lane (relaxed atomic reads, no lock).
         [[nodiscard]] lane_stats stats() const;
 
       private:
@@ -211,40 +477,93 @@ class executor {
     /// Tasks executed by a non-affine worker, over all lanes ever registered.
     [[nodiscard]] std::size_t total_steals() const;
 
-    /// Aggregate counters over all registered lanes (one mutex acquisition).
+    /// Tasks lifted directly out of another worker's deque (subset of the
+    /// activity behind total_steals; a health signal for the stealing path).
+    [[nodiscard]] std::size_t deque_steals() const;
+
+    /// Aggregate counters over all registered lanes. Lock-free snapshot of
+    /// the per-lane atomics — scraping never blocks dispatch.
     [[nodiscard]] executor_stats stats() const;
 
-    /// Name + counters of every registered lane, in registration order (one
-    /// mutex acquisition): the per-lane queue-depth/steal gauges of the
-    /// observability export.
+    /// Name + counters of every registered lane, in registration order: the
+    /// per-lane queue-depth/steal gauges of the observability export.
+    /// Lock-free like stats().
     [[nodiscard]] std::vector<lane_report> lane_reports() const;
 
-    /// Executor-wide counters plus every lane's per-lane gauges, rendered as
-    /// one machine-readable JSON object.
+    /// Executor-wide counters plus every lane's per-lane gauges and the
+    /// worker placement (`topology` section), rendered as one
+    /// machine-readable JSON object.
     [[nodiscard]] std::string stats_json() const;
 
   private:
+    /// Everything one worker thread owns, cache-line aligned so neighboring
+    /// workers never false-share. The deque is stolen from by the others;
+    /// cursor/rng/lane cache are strictly thread-private.
+    struct alignas(detail::cache_line_size) worker_state {
+        detail::chase_lev_deque<work_item *> deque{ 64 };
+        std::size_t domain{ 0 };
+        // --- owner-thread-private scheduling state ---
+        std::size_t cursor{ 0 };  ///< lane rotation position
+        std::uint64_t lanes_version_seen{ static_cast<std::uint64_t>(-1) };
+        std::shared_ptr<const std::vector<std::shared_ptr<lane_state>>> lanes_cache;
+        std::mt19937 rng;
+    };
+
+    static_assert(alignof(worker_state) >= detail::cache_line_size, "worker_state must not false-share");
+
+    using lane_vector = std::vector<std::shared_ptr<lane_state>>;
+
+    void start(std::size_t num_threads, executor_options options);
     void worker_loop(std::size_t worker_index);
 
-    /// Next lane with queued work and spare quota, in rotation order from
-    /// `rr_cursor_` (weighted: a lane keeps the cursor for `weight` pops).
-    /// Requires `mutex_` held; nullptr if nothing is runnable.
-    [[nodiscard]] std::shared_ptr<lane_state> pick_runnable_lane();
+    /// Refresh the worker's cached lane-list snapshot if lanes were
+    /// added/removed, then return it (owner thread only).
+    [[nodiscard]] const lane_vector &lane_snapshot_for(worker_state &self) const;
 
-    [[nodiscard]] bool any_queued_job() const;
+    /// Take up to `weight` tasks from the next runnable lane (rotation order,
+    /// same-domain lanes first on multi-node hosts) into the worker's deque.
+    /// @return true iff at least one task was taken
+    bool acquire_lane_work(worker_state &self);
+
+    /// Steal one task from another worker's deque and run it: two random
+    /// victims first (picking the fuller deque), then a full sweep.
+    /// @return true iff a task was stolen and executed
+    bool try_steal(worker_state &self, std::size_t worker_index);
+
+    /// Execute one work_item: quota/steal/completion accounting around the
+    /// closure call, closure destroyed outside all locks.
+    void run_item(work_item *item, std::size_t executed_by);
+
+    /// Park-side re-check: is there anything a worker could run right now?
+    [[nodiscard]] bool any_runnable_work(const worker_state &self) const;
 
     void close_lane(const std::shared_ptr<lane_state> &state);
 
+    /// Current registered-lane snapshot (copy-on-write, atomically swapped).
+    [[nodiscard]] std::shared_ptr<const lane_vector> lane_snapshot() const {
+        return lanes_.load(std::memory_order_acquire);
+    }
+
+    // --- immutable after construction ---
+    topology_info topology_{};
+    bool pin_active_{ false };
+    std::vector<std::size_t> worker_domains_;               ///< worker index -> domain index
+    std::vector<std::vector<std::size_t>> domain_workers_;  ///< domain index -> worker indices
+    std::vector<std::unique_ptr<worker_state>> states_;
     std::vector<std::thread> workers_;
-    mutable std::mutex mutex_;
-    std::condition_variable work_cv_;   ///< workers wait here for runnable lanes
-    std::condition_variable drain_cv_;  ///< lane closers wait here for drain
-    std::vector<std::shared_ptr<lane_state>> lanes_;
-    std::size_t rr_cursor_{ 0 };
-    std::size_t rr_credits_{ 0 };      ///< remaining weight of the cursor's lane
-    std::size_t lane_counter_{ 0 };    ///< round-robin affinity assignment
-    std::size_t total_steals_{ 0 };
-    bool stop_{ false };
+
+    // --- hot shared state ---
+    detail::eventcount park_;
+    std::atomic<bool> stop_{ false };
+    alignas(detail::cache_line_size) std::atomic<std::size_t> total_steals_{ 0 };
+    alignas(detail::cache_line_size) std::atomic<std::size_t> deque_steals_{ 0 };
+
+    // --- lane registry (cold path: create/close only; readers are lock-free) ---
+    mutable std::mutex lanes_mutex_;                         ///< serializes lane add/remove
+    std::atomic<std::shared_ptr<const lane_vector>> lanes_;  ///< current snapshot
+    std::atomic<std::uint64_t> lanes_version_{ 0 };
+    std::size_t lane_counter_{ 0 };                   ///< round-robin affinity (guarded by lanes_mutex_)
+    std::vector<std::size_t> domain_lane_counters_;   ///< per-domain round-robin (guarded by lanes_mutex_)
 };
 
 }  // namespace plssvm::serve

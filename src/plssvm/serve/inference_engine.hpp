@@ -90,6 +90,11 @@ struct engine_config {
     /// Lane weight: consecutive tasks one worker visit may take (>= 1);
     /// higher weight = larger share of the executor under contention.
     std::size_t lane_weight{ 1 };
+    /// NUMA domain this engine's lane (and drain thread) should live on, so
+    /// batches execute next to the snapshot's first-touch SV panels. Default:
+    /// no preference — placement behaves exactly like before. Used by
+    /// `sharded_engine` to spread per-domain replicas.
+    std::size_t home_domain{ any_numa_domain };
     /// QoS control plane: per-class admission limits (token bucket + queue
     /// depth shedding) and load-adaptive batch sizing. The defaults never
     /// shed and adapt batches around `max_batch_size`/`batch_delay`.
@@ -351,10 +356,11 @@ std::chrono::steady_clock::time_point admit_or_shed(admission_controller &admiss
 /// Drain-thread-local state + shared body of the adaptive-batching feedback
 /// loop (both engines retune identically after every drained batch): feed
 /// the lane telemetry and batcher backlog into the tuner, publish the
-/// recomputed per-class policies. The executor-wide scan (all lanes, one
-/// global mutex) is refreshed only every 8th batch — cross-tenant pressure
-/// moves slowly, and every drain thread of the process paying a full lane
-/// walk per batch would serialize engines on the scheduler lock.
+/// recomputed per-class policies. The executor-wide scan (a lock-free sweep
+/// over every lane's atomic counters since the work-stealing rewrite) is
+/// still refreshed only every 8th batch — cross-tenant pressure moves
+/// slowly, and the full lane walk per batch would be pointless cache
+/// traffic even without a lock to contend on.
 struct qos_feedback {
     std::size_t retune_counter{ 0 };
     std::size_t cached_cross_lane{ 0 };
@@ -547,7 +553,7 @@ class inference_engine {
     explicit inference_engine(compiled_model<T> compiled, engine_config config = {}, scaling_ptr<T> input_scaling = nullptr) :
         config_{ config },
         exec_{ config.exec != nullptr ? config.exec : &executor::process_wide() },
-        lane_{ exec_->create_lane(lane_options{ .name = "engine", .quota = config.num_threads, .weight = config.lane_weight }) },
+        lane_{ exec_->create_lane(lane_options{ .name = "engine", .quota = config.num_threads, .weight = config.lane_weight, .home_domain = config.home_domain }) },
         num_features_{ compiled.num_features() },
         snapshot_{ std::make_shared<const snapshot_type>(snapshot_type{ std::move(compiled), std::move(input_scaling), 1 }) },
         dispatcher_{ resolved_dispatch(config.dispatch, lane_.max_concurrency(), sizeof(T)) },
@@ -591,6 +597,11 @@ class inference_engine {
     [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
     /// Effective parallelism: the lane quota clamped to the executor size.
     [[nodiscard]] std::size_t num_threads() const noexcept { return lane_.max_concurrency(); }
+    /// NUMA domain the engine's lane is homed on (0 on single-node hosts).
+    [[nodiscard]] std::size_t home_domain() const noexcept { return lane_.home_domain(); }
+    /// Async requests accepted but not yet drained — the load signal the
+    /// sharded submit router balances replicas by.
+    [[nodiscard]] std::size_t pending_requests() const { return batcher_.pending(); }
     /// Version tag of the currently served snapshot (starts at 1).
     [[nodiscard]] std::uint64_t snapshot_version() const { return snapshot_.load()->version; }
 
@@ -762,6 +773,7 @@ class inference_engine {
         stats.max_queue_depth = lane.max_queue_depth;
         stats.steals = lane.stolen;
         stats.executor_threads = exec_->size();
+        stats.home_domain = lane_.home_domain();
         stats.snapshot_version = snapshot_.load()->version;
         detail::fill_qos_stats(stats, batcher_, tuner_, admission_);
         detail::fill_fault_stats(stats, fault_plane_, health_, supervisor_.stall_restarts());
@@ -845,6 +857,9 @@ class inference_engine {
     }
 
     void drain_loop(const std::uint64_t generation) {
+        // batches assembled and (for small rows) evaluated on this thread:
+        // keep it on the CPUs whose memory holds the engine's SV panels
+        (void) exec_->pin_current_thread_to_domain(lane_.home_domain());
         detail::drain_requests(
             batcher_, metrics_, recorder_, num_features_, fault_plane_, supervisor_, generation,
             [this](const std::size_t range_size, const fault::path_mask &allowed) {

@@ -34,6 +34,7 @@
 #include "plssvm/serve/executor.hpp"
 #include "plssvm/serve/inference_engine.hpp"
 #include "plssvm/serve/multiclass_engine.hpp"
+#include "plssvm/serve/sharded_engine.hpp"
 #include "plssvm/serve/snapshot.hpp"
 
 #include <algorithm>
@@ -85,7 +86,7 @@ class model_registry {
             config.exec = exec_;
         }
         auto engine = std::make_shared<inference_engine<T>>(trained, config, std::move(input_scaling));
-        insert(name, entry{ engine, nullptr, 0 });
+        insert(name, entry{ engine, nullptr, nullptr, 0 });
         return engine;
     }
 
@@ -99,13 +100,43 @@ class model_registry {
             config.exec = exec_;
         }
         auto engine = std::make_shared<multiclass_engine<T>>(ensemble, config, std::move(input_scaling));
-        insert(name, entry{ nullptr, engine, 0 });
+        insert(name, entry{ nullptr, engine, nullptr, 0 });
         return engine;
     }
 
     /// Load a LIBSVM model file and register it under @p name.
     std::shared_ptr<inference_engine<T>> load_file(const std::string &name, const std::string &filename) {
         return load(name, model<T>::load(filename));
+    }
+
+    /// Register @p name as a NUMA-sharded engine: one replica per memory
+    /// domain of the shared executor (exactly one — i.e. a plain engine plus
+    /// routing — on single-node hosts), submits balanced least-loaded across
+    /// the replicas. Replaces any previous entry under the name.
+    std::shared_ptr<sharded_engine<T>> load_sharded(const std::string &name, const model<T> &trained, scaling_ptr<T> input_scaling = nullptr) {
+        return load_sharded(name, trained, default_config_, std::move(input_scaling));
+    }
+
+    std::shared_ptr<sharded_engine<T>> load_sharded(const std::string &name, const model<T> &trained, engine_config config, scaling_ptr<T> input_scaling = nullptr) {
+        if (config.exec == nullptr) {
+            config.exec = exec_;
+        }
+        auto engine = std::make_shared<sharded_engine<T>>(trained, config, std::move(input_scaling));
+        insert(name, entry{ nullptr, nullptr, engine, 0 });
+        return engine;
+    }
+
+    /// Sharded engine registered under @p name, or nullptr (also for names
+    /// holding a plain binary or multi-class engine). Refreshes the LRU age
+    /// only on a hit.
+    [[nodiscard]] std::shared_ptr<sharded_engine<T>> find_sharded(const std::string &name) {
+        const std::lock_guard lock{ mutex_ };
+        const auto it = entries_.find(name);
+        if (it == entries_.end() || it->second.sharded == nullptr) {
+            return nullptr;
+        }
+        it->second.last_used = ++clock_;
+        return it->second.sharded;
     }
 
     /**
@@ -124,16 +155,26 @@ class model_registry {
      */
     std::future<void> reload(const std::string &name, model<T> trained, scaling_ptr<T> input_scaling = nullptr) {
         std::shared_ptr<inference_engine<T>> engine;
+        std::shared_ptr<sharded_engine<T>> sharded;
         {
             const std::lock_guard lock{ mutex_ };
             const auto it = entries_.find(name);
             if (it != entries_.end()) {
-                if (it->second.binary == nullptr) {
+                if (it->second.binary == nullptr && it->second.sharded == nullptr) {
                     throw invalid_parameter_exception{ "reload type mismatch: '" + name + "' serves a multi-class ensemble!" };
                 }
                 engine = it->second.binary;
+                sharded = it->second.sharded;
                 it->second.last_used = ++clock_;  // a reload is a use
             }
+        }
+        if (sharded != nullptr) {
+            // every replica shadow-compiles and swaps on the background lane,
+            // same zero-downtime contract as the single-engine path
+            return reload_lane_.enqueue([this, name, sharded = std::move(sharded), trained = std::move(trained), input_scaling = std::move(input_scaling)]() mutable {
+                sharded->reload(trained, std::move(input_scaling));
+                touch(name);
+            });
         }
         if (engine == nullptr) {
             (void) load(name, trained, std::move(input_scaling));
@@ -230,8 +271,7 @@ class model_registry {
         }
         health_state worst = health_state::healthy;
         for (const auto &[name, e] : resident) {
-            const health_state engine_health = e.binary != nullptr ? e.binary->health() : e.multiclass->health();
-            worst = std::max(worst, engine_health);
+            worst = std::max(worst, entry_health(e));
         }
         return worst;
     }
@@ -256,7 +296,7 @@ class model_registry {
         }
         health_state worst = health_state::healthy;
         for (const auto &[name, e] : resident) {
-            worst = std::max(worst, e.binary != nullptr ? e.binary->health() : e.multiclass->health());
+            worst = std::max(worst, entry_health(e));
         }
         std::string json = "{\"health\": \"";
         json += health_state_to_string(worst);
@@ -282,7 +322,13 @@ class model_registry {
                 }
             }
             json += "\": ";
-            json += e.binary != nullptr ? e.binary->stats_json() : e.multiclass->stats_json();
+            if (e.binary != nullptr) {
+                json += e.binary->stats_json();
+            } else if (e.multiclass != nullptr) {
+                json += e.multiclass->stats_json();
+            } else {
+                json += e.sharded->stats_json();
+            }
         }
         json += "}}";
         return json;
@@ -309,11 +355,12 @@ class model_registry {
             const obs::label_set labels{ { "model", name } };
             if (e.binary != nullptr) {
                 e.binary->collect_metrics(builder, labels);
-                worst = std::max(worst, e.binary->health());
-            } else {
+            } else if (e.multiclass != nullptr) {
                 e.multiclass->collect_metrics(builder, labels);
-                worst = std::max(worst, e.multiclass->health());
+            } else {
+                e.sharded->collect_metrics(builder, labels);
             }
+            worst = std::max(worst, entry_health(e));
         }
         builder.add_gauge("plssvm_serve_registry_health", "Registry-wide health: worst engine state (0 healthy, 1 degraded, 2 critical)",
                           {}, static_cast<double>(static_cast<std::uint8_t>(worst)));
@@ -323,6 +370,7 @@ class model_registry {
             builder.add_gauge("plssvm_serve_lane_in_flight", "Tasks of an executor lane executing right now", labels, static_cast<double>(lane.stats.in_flight));
             builder.add_counter("plssvm_serve_lane_steals_total", "Lane tasks executed by a non-affine worker", labels, static_cast<double>(lane.stats.stolen));
             builder.add_counter("plssvm_serve_lane_submitted_total", "Tasks ever enqueued on an executor lane", labels, static_cast<double>(lane.stats.submitted));
+            builder.add_gauge("plssvm_serve_lane_home_domain", "NUMA domain an executor lane is homed on", labels, static_cast<double>(lane.home_domain));
         }
         return builder.text();
     }
@@ -348,8 +396,20 @@ class model_registry {
     struct entry {
         std::shared_ptr<inference_engine<T>> binary;
         std::shared_ptr<multiclass_engine<T>> multiclass;
+        std::shared_ptr<sharded_engine<T>> sharded;
         std::uint64_t last_used{ 0 };
     };
+
+    /// Health of whichever engine kind @p e holds.
+    [[nodiscard]] static health_state entry_health(const entry &e) {
+        if (e.binary != nullptr) {
+            return e.binary->health();
+        }
+        if (e.multiclass != nullptr) {
+            return e.multiclass->health();
+        }
+        return e.sharded->health();
+    }
 
     [[nodiscard]] static std::future<void> resolved_future() {
         std::promise<void> promise;

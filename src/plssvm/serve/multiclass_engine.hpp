@@ -59,7 +59,7 @@ class multiclass_engine {
     explicit multiclass_engine(const ext::multiclass_model<T> &ensemble, engine_config config = {}, scaling_ptr<T> input_scaling = nullptr) :
         config_{ config },
         exec_{ config.exec != nullptr ? config.exec : &executor::process_wide() },
-        lane_{ exec_->create_lane(lane_options{ .name = "multiclass-engine", .quota = config.num_threads, .weight = config.lane_weight }) },
+        lane_{ exec_->create_lane(lane_options{ .name = "multiclass-engine", .quota = config.num_threads, .weight = config.lane_weight, .home_domain = config.home_domain }) },
         snapshot_{ initial_snapshot(ensemble, std::move(input_scaling), config.compile) },
         // the dispatcher must be resolved BEFORE the tuner: the tuner's
         // constructor already evaluates the latency estimator, which reads it
@@ -101,6 +101,10 @@ class multiclass_engine {
     [[nodiscard]] executor &shared_executor() const noexcept { return *exec_; }
     /// Effective parallelism: the lane quota clamped to the executor size.
     [[nodiscard]] std::size_t num_threads() const noexcept { return lane_.max_concurrency(); }
+    /// NUMA domain the engine's lane is homed on (0 on single-node hosts).
+    [[nodiscard]] std::size_t home_domain() const noexcept { return lane_.home_domain(); }
+    /// Async requests accepted but not yet drained (sharded-routing signal).
+    [[nodiscard]] std::size_t pending_requests() const { return batcher_.pending(); }
     [[nodiscard]] snapshot_ptr snapshot() const { return snapshot_.load(); }
     [[nodiscard]] std::uint64_t snapshot_version() const { return snapshot_.load()->version; }
 
@@ -207,6 +211,7 @@ class multiclass_engine {
         stats.max_queue_depth = lane.max_queue_depth;
         stats.steals = lane.stolen;
         stats.executor_threads = exec_->size();
+        stats.home_domain = lane_.home_domain();
         stats.snapshot_version = snapshot_.load()->version;
         detail::fill_qos_stats(stats, batcher_, tuner_, admission_);
         detail::fill_fault_stats(stats, fault_plane_, health_, supervisor_.stall_restarts());
@@ -353,6 +358,8 @@ class multiclass_engine {
     }
 
     void drain_loop(const std::uint64_t generation) {
+        // keep ensemble batch assembly local to the snapshot's home domain
+        (void) exec_->pin_current_thread_to_domain(lane_.home_domain());
         detail::drain_requests(
             batcher_, metrics_, recorder_, num_features_, fault_plane_, supervisor_, generation,
             [this](const std::size_t range_size, const fault::path_mask &allowed) {

@@ -29,6 +29,9 @@
 #include "plssvm/serve/obs.hpp"                 // IWYU pragma: export
 #include "plssvm/serve/qos.hpp"                 // IWYU pragma: export
 #include "plssvm/serve/serve_stats.hpp"         // IWYU pragma: export
+#include "plssvm/serve/sharded_engine.hpp"      // IWYU pragma: export
 #include "plssvm/serve/snapshot.hpp"            // IWYU pragma: export
+#include "plssvm/serve/topology.hpp"            // IWYU pragma: export
+#include "plssvm/serve/work_stealing_deque.hpp"  // IWYU pragma: export
 
 #endif  // PLSSVM_SERVE_SERVE_HPP_

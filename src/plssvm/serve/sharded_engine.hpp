@@ -1,0 +1,222 @@
+/**
+ * @file
+ * @brief NUMA-sharded serving: one `inference_engine` replica per memory
+ *        domain with load-balanced request routing.
+ *
+ * On a multi-socket host a single engine's SV panels live in ONE node's
+ * memory: half the workers stream every batch over the interconnect. A
+ * `sharded_engine` replicates the compiled model once per NUMA domain —
+ * each replica's lane and drain thread are homed on its domain
+ * (`engine_config::home_domain`), so the snapshot's panels are first-touched
+ * and then always scanned by domain-local cores. Requests are routed with a
+ * two-choice least-loaded policy over the replicas' pending-request counts
+ * (async `submit`) or plain round-robin (synchronous batches), and
+ * `reload()` swaps every replica's snapshot behind the same RCU discipline
+ * as a single engine — clients never observe a torn version for longer than
+ * the sequential per-replica swap window.
+ *
+ * On single-node hosts this degrades to exactly one replica, i.e. a plain
+ * `inference_engine` with a few pointers of overhead: it is always safe for
+ * the registry to serve every model sharded.
+ */
+
+#ifndef PLSSVM_SERVE_SHARDED_ENGINE_HPP_
+#define PLSSVM_SERVE_SHARDED_ENGINE_HPP_
+#pragma once
+
+#include "plssvm/serve/executor.hpp"
+#include "plssvm/serve/inference_engine.hpp"
+#include "plssvm/serve/serve_stats.hpp"
+#include "plssvm/serve/topology.hpp"
+
+#include <algorithm>  // std::max
+#include <atomic>     // std::atomic
+#include <cstddef>    // std::size_t
+#include <future>     // std::future
+#include <memory>     // std::unique_ptr, std::make_unique
+#include <string>     // std::string
+#include <utility>    // std::move
+#include <vector>     // std::vector
+
+namespace plssvm::serve {
+
+template <typename T>
+class sharded_engine {
+  public:
+    /**
+     * @brief Compile @p trained once per NUMA domain and start the replicas.
+     * @param[in] num_shards replica count; 0 = one per executor NUMA domain.
+     *            Per-replica `num_threads` defaults to the workers of the
+     *            replica's home domain, so the shards exactly partition the
+     *            pool instead of all contending for it.
+     */
+    explicit sharded_engine(const model<T> &trained, engine_config config = {}, scaling_ptr<T> input_scaling = nullptr,
+                            std::size_t num_shards = 0) :
+        exec_{ config.exec != nullptr ? config.exec : &executor::process_wide() } {
+        config.exec = exec_;
+        const std::size_t domains = std::max<std::size_t>(std::size_t{ 1 }, exec_->num_domains());
+        const std::size_t shards = num_shards != 0 ? num_shards : domains;
+        replicas_.reserve(shards);
+        for (std::size_t shard = 0; shard < shards; ++shard) {
+            engine_config replica_config = config;
+            replica_config.home_domain = shard % domains;
+            if (replica_config.num_threads == 0 && exec_->pinning_active()) {
+                replica_config.num_threads = std::max<std::size_t>(std::size_t{ 1 }, exec_->workers_in_domain(replica_config.home_domain));
+            }
+            replicas_.push_back(std::make_unique<inference_engine<T>>(
+                compile_on_domain(trained, replica_config), replica_config, input_scaling));
+        }
+    }
+
+    sharded_engine(const sharded_engine &) = delete;
+    sharded_engine &operator=(const sharded_engine &) = delete;
+
+    [[nodiscard]] std::size_t num_shards() const noexcept { return replicas_.size(); }
+    [[nodiscard]] executor &shared_executor() const noexcept { return *exec_; }
+    [[nodiscard]] inference_engine<T> &replica(const std::size_t shard) { return *replicas_[shard]; }
+    [[nodiscard]] const inference_engine<T> &replica(const std::size_t shard) const { return *replicas_[shard]; }
+    [[nodiscard]] std::size_t num_features() const noexcept { return replicas_.front()->num_features(); }
+    /// Version of the served snapshot (identical across replicas outside a
+    /// reload's brief sequential swap window).
+    [[nodiscard]] std::uint64_t snapshot_version() const { return replicas_.front()->snapshot_version(); }
+
+    /**
+     * @brief Route one async request to the least-loaded of two candidate
+     *        replicas ("power of two choices": near-optimal balance without
+     *        a global queue). Candidate one rotates round-robin so an idle
+     *        service still spreads requests evenly.
+     */
+    [[nodiscard]] std::future<T> submit(std::vector<T> point, const request_options &options = {}) {
+        return replicas_[route()]->submit(std::move(point), options);
+    }
+
+    [[nodiscard]] std::future<T> submit(const std::vector<typename csr_matrix<T>::entry> &sparse_point, const request_options &options = {}) {
+        return replicas_[route()]->submit(sparse_point, options);
+    }
+
+    /// Synchronous batch against the next replica round-robin (a sync batch
+    /// occupies its replica's lane for the whole call, so rotation — not
+    /// queue depth — is the fair signal).
+    [[nodiscard]] std::vector<T> predict(const aos_matrix<T> &points) {
+        return replicas_[rotate()]->predict(points);
+    }
+
+    [[nodiscard]] std::vector<T> decision_values(const aos_matrix<T> &points) {
+        return replicas_[rotate()]->decision_values(points);
+    }
+
+    /// Zero-downtime reload of every replica (sequential snapshot swaps:
+    /// each replica keeps serving its old snapshot until its own swap).
+    void reload(const model<T> &trained, scaling_ptr<T> input_scaling = nullptr) {
+        for (const std::unique_ptr<inference_engine<T>> &replica : replicas_) {
+            replica->reload(trained, input_scaling);
+        }
+    }
+
+    /// Worst replica health (a degraded shard degrades the model).
+    [[nodiscard]] health_state health() const {
+        health_state worst = health_state::healthy;
+        for (const std::unique_ptr<inference_engine<T>> &replica : replicas_) {
+            worst = std::max(worst, replica->health());
+        }
+        return worst;
+    }
+
+    /// Requests accepted but not yet drained, over all replicas.
+    [[nodiscard]] std::size_t pending_requests() const {
+        std::size_t pending = 0;
+        for (const std::unique_ptr<inference_engine<T>> &replica : replicas_) {
+            pending += replica->pending_requests();
+        }
+        return pending;
+    }
+
+    /**
+     * @brief Aggregated stats over the replicas: counters sum, latency
+     *        percentiles and gauges take the worst replica (a documented
+     *        approximation — per-replica exact stats via `replica(i)`).
+     */
+    [[nodiscard]] serve_stats stats() const {
+        serve_stats total = replicas_.front()->stats();
+        for (std::size_t shard = 1; shard < replicas_.size(); ++shard) {
+            const serve_stats s = replicas_[shard]->stats();
+            total.total_requests += s.total_requests;
+            total.total_batches += s.total_batches;
+            total.requests_per_second += s.requests_per_second;
+            total.queue_depth += s.queue_depth;
+            total.max_queue_depth = std::max(total.max_queue_depth, s.max_queue_depth);
+            total.steals += s.steals;
+            total.reloads = std::max(total.reloads, s.reloads);
+            total.p50_latency_seconds = std::max(total.p50_latency_seconds, s.p50_latency_seconds);
+            total.p99_latency_seconds = std::max(total.p99_latency_seconds, s.p99_latency_seconds);
+            total.p999_latency_seconds = std::max(total.p999_latency_seconds, s.p999_latency_seconds);
+            total.max_latency_seconds = std::max(total.max_latency_seconds, s.max_latency_seconds);
+            total.fault.health = std::max(total.fault.health, s.fault.health);
+        }
+        return total;
+    }
+
+    /// `{"shards": N, "replicas": [<serve_stats json>, ...]}`.
+    [[nodiscard]] std::string stats_json() const {
+        std::string json = "{\"shards\": " + std::to_string(replicas_.size()) + ", \"replicas\": [";
+        for (std::size_t shard = 0; shard < replicas_.size(); ++shard) {
+            if (shard != 0) {
+                json += ", ";
+            }
+            json += replicas_[shard]->stats_json();
+        }
+        json += "]}";
+        return json;
+    }
+
+    /// Per-replica metric families, each additionally labelled `shard="<i>"`.
+    void collect_metrics(obs::prometheus_builder &builder, const obs::label_set &labels = {}) const {
+        for (std::size_t shard = 0; shard < replicas_.size(); ++shard) {
+            obs::label_set shard_labels = labels;
+            shard_labels.emplace_back("shard", std::to_string(shard));
+            replicas_[shard]->collect_metrics(builder, shard_labels);
+        }
+    }
+
+  private:
+    /// Compile the replica's model snapshot *on its home domain* so the SV
+    /// panels are first-touch allocated in domain-local memory. Only worth a
+    /// hop when pinning is active; single-node hosts (and callers already on
+    /// a worker, which must never block on their own pool) compile inline.
+    [[nodiscard]] compiled_model<T> compile_on_domain(const model<T> &trained, const engine_config &replica_config) {
+        if (!exec_->pinning_active() || exec_->on_worker_thread()) {
+            return compiled_model<T>{ trained, replica_config.compile };
+        }
+        executor::lane compile_lane = exec_->create_lane(lane_options{
+            .name = "shard-compile", .quota = 1, .home_domain = replica_config.home_domain });
+        std::future<compiled_model<T>> compiled = compile_lane.enqueue(
+            [&trained, &replica_config]() { return compiled_model<T>{ trained, replica_config.compile }; });
+        while (compiled.wait_for(std::chrono::milliseconds{ 1 }) != std::future_status::ready) {
+            (void) compile_lane.try_run_one();  // help while waiting, never deadlock
+        }
+        return compiled.get();
+    }
+
+    /// Two-choice least-loaded routing for async submits.
+    [[nodiscard]] std::size_t route() {
+        const std::size_t shards = replicas_.size();
+        if (shards == 1) {
+            return 0;
+        }
+        const std::size_t first = rotate();
+        const std::size_t second = (first + 1) % shards;
+        return replicas_[second]->pending_requests() < replicas_[first]->pending_requests() ? second : first;
+    }
+
+    [[nodiscard]] std::size_t rotate() noexcept {
+        return rr_.fetch_add(1, std::memory_order_relaxed) % replicas_.size();
+    }
+
+    executor *exec_;
+    std::vector<std::unique_ptr<inference_engine<T>>> replicas_;
+    std::atomic<std::size_t> rr_{ 0 };
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_SHARDED_ENGINE_HPP_

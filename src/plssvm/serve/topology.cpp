@@ -1,0 +1,145 @@
+/**
+ * @file
+ * @brief NUMA topology probe implementation (sysfs parser + thread pinning).
+ */
+
+#include "plssvm/serve/topology.hpp"
+
+#include <algorithm>  // std::sort
+#include <cstddef>    // std::size_t
+#include <fstream>    // std::ifstream
+#include <string>     // std::string, std::stoi
+#include <thread>     // std::thread::hardware_concurrency
+#include <vector>     // std::vector
+
+#if defined(__linux__)
+    #include <pthread.h>  // pthread_{get,set}affinity_np
+    #include <sched.h>    // cpu_set_t, CPU_*
+#endif
+
+namespace plssvm::serve {
+
+std::vector<int> parse_cpu_list(const std::string &list) {
+    std::vector<int> cpus;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        // one comma-separated token: either "N" or "N-M"
+        std::size_t end = list.find(',', pos);
+        if (end == std::string::npos) {
+            end = list.size();
+        }
+        const std::string token = list.substr(pos, end - pos);
+        pos = end + 1;
+        if (token.empty() || token == "\n") {
+            continue;
+        }
+        try {
+            const std::size_t dash = token.find('-');
+            if (dash == std::string::npos) {
+                cpus.push_back(std::stoi(token));
+            } else {
+                const int first = std::stoi(token.substr(0, dash));
+                const int last = std::stoi(token.substr(dash + 1));
+                // refuse absurd ranges rather than allocating gigabytes
+                if (first < 0 || last < first || last - first > 4096) {
+                    continue;
+                }
+                for (int cpu = first; cpu <= last; ++cpu) {
+                    cpus.push_back(cpu);
+                }
+            }
+        } catch (...) {
+            // malformed token: skip it, keep what we have
+        }
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+topology_info single_node_topology(std::size_t num_cpus) {
+    if (num_cpus == 0) {
+        num_cpus = std::max<std::size_t>(std::size_t{ 1 }, std::thread::hardware_concurrency());
+    }
+    topology_info topo{};
+    topo.source = "fallback";
+    numa_domain node{};
+    node.id = 0;
+    node.cpus.reserve(num_cpus);
+    for (std::size_t cpu = 0; cpu < num_cpus; ++cpu) {
+        node.cpus.push_back(static_cast<int>(cpu));
+    }
+    topo.domains.push_back(std::move(node));
+    return topo;
+}
+
+topology_info probe_topology(const std::string &sysfs_node_root) {
+    topology_info topo{};
+    topo.source = "sysfs";
+    // Node directories are contiguous on every kernel that matters; scan
+    // until the first gap. The cap bounds the probe on hostile fake trees.
+    constexpr std::size_t max_nodes = 256;
+    for (std::size_t id = 0; id < max_nodes; ++id) {
+        const std::string path = sysfs_node_root + "/node" + std::to_string(id) + "/cpulist";
+        std::ifstream file{ path };
+        if (!file.is_open()) {
+            break;
+        }
+        std::string list;
+        std::getline(file, list);
+        std::vector<int> cpus = parse_cpu_list(list);
+        if (cpus.empty()) {
+            // memory-only node (e.g. CXL expander): no CPUs to run on, skip
+            continue;
+        }
+        numa_domain node{};
+        node.id = id;
+        node.cpus = std::move(cpus);
+        topo.domains.push_back(std::move(node));
+    }
+    if (topo.domains.empty() || topo.num_cpus() == 0) {
+        return single_node_topology();
+    }
+    return topo;
+}
+
+bool pin_current_thread([[maybe_unused]] const std::vector<int> &cpus) noexcept {
+#if defined(__linux__)
+    if (cpus.empty()) {
+        return false;
+    }
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    bool any = false;
+    for (const int cpu : cpus) {
+        if (cpu >= 0 && cpu < CPU_SETSIZE) {
+            CPU_SET(cpu, &set);
+            any = true;
+        }
+    }
+    if (!any) {
+        return false;
+    }
+    return pthread_setaffinity_np(pthread_self(), sizeof(cpu_set_t), &set) == 0;
+#else
+    return false;
+#endif
+}
+
+std::vector<int> current_thread_affinity() {
+    std::vector<int> cpus;
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (pthread_getaffinity_np(pthread_self(), sizeof(cpu_set_t), &set) == 0) {
+        for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+            if (CPU_ISSET(cpu, &set)) {
+                cpus.push_back(cpu);
+            }
+        }
+    }
+#endif
+    return cpus;
+}
+
+}  // namespace plssvm::serve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * @brief NUMA topology discovery for the serving executor.
+ *
+ * Parses `/sys/devices/system/node` into a list of NUMA domains with their
+ * CPU sets so the executor can pin workers per domain and lanes can resolve
+ * to a *home domain* — an engine's batches then run on the cores whose local
+ * memory first-touched the snapshot's SV panels. Every failure mode (no
+ * sysfs, unreadable files, empty cpulists, single-node hosts) degrades to a
+ * one-domain fallback covering all hardware threads, which callers treat as
+ * "no pinning": behavior is then identical to the pre-NUMA executor.
+ *
+ * The sysfs root is injectable so tests can point the probe at a fake tree.
+ */
+
+#ifndef PLSSVM_SERVE_TOPOLOGY_HPP_
+#define PLSSVM_SERVE_TOPOLOGY_HPP_
+#pragma once
+
+#include <cstddef>  // std::size_t
+#include <string>   // std::string
+#include <vector>   // std::vector
+
+namespace plssvm::serve {
+
+/// Sentinel for "no NUMA home requested": the lane/engine is placed by the
+/// executor's round-robin like before.
+inline constexpr std::size_t any_numa_domain = static_cast<std::size_t>(-1);
+
+/// One NUMA node: its id and the logical CPUs local to it.
+struct numa_domain {
+    std::size_t id{ 0 };
+    std::vector<int> cpus{};
+};
+
+/// The probed machine topology. Always contains at least one domain.
+struct topology_info {
+    std::vector<numa_domain> domains{};
+    /// "sysfs" when parsed from /sys, "fallback" for the single-node default.
+    std::string source{ "fallback" };
+
+    [[nodiscard]] std::size_t num_domains() const noexcept { return domains.size(); }
+    [[nodiscard]] bool multi_node() const noexcept { return domains.size() > 1; }
+    [[nodiscard]] std::size_t num_cpus() const noexcept {
+        std::size_t total = 0;
+        for (const numa_domain &d : domains) {
+            total += d.cpus.size();
+        }
+        return total;
+    }
+};
+
+/**
+ * @brief Parse a kernel cpulist string ("0-3,8,10-11") into CPU ids.
+ * @details Malformed ranges are skipped rather than thrown: a probe must
+ *          never take the serving plane down.
+ */
+[[nodiscard]] std::vector<int> parse_cpu_list(const std::string &list);
+
+/**
+ * @brief Single-domain fallback covering @p num_cpus hardware threads
+ *        (`std::thread::hardware_concurrency()` when 0).
+ */
+[[nodiscard]] topology_info single_node_topology(std::size_t num_cpus = 0);
+
+/**
+ * @brief Probe NUMA domains from sysfs.
+ * @param[in] sysfs_node_root directory containing `node<N>/cpulist` entries;
+ *            injectable for tests. Unreadable/absent trees or trees that
+ *            yield zero usable CPUs return single_node_topology().
+ */
+[[nodiscard]] topology_info probe_topology(const std::string &sysfs_node_root = "/sys/devices/system/node");
+
+/**
+ * @brief Pin the calling thread to the given CPU set.
+ * @return `true` on success; `false` on empty sets, kernel rejection, or
+ *         non-Linux platforms (pinning is then a silent no-op by design).
+ */
+bool pin_current_thread(const std::vector<int> &cpus) noexcept;
+
+/// Read back the calling thread's CPU affinity mask (empty when unsupported).
+[[nodiscard]] std::vector<int> current_thread_affinity();
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_TOPOLOGY_HPP_

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * @brief A Chase–Lev work-stealing deque (lock-free, growable).
+ *
+ * One owner thread pushes and pops on the *bottom*; any number of thief
+ * threads `steal()` from the *top*. This is the classic algorithm from
+ * Chase & Lev, "Dynamic Circular Work-Stealing Deque" (SPAA '05), with the
+ * memory orders of Lê et al., "Correct and Efficient Work-Stealing for Weak
+ * Memory Models" (PPoPP '13) — except that the standalone
+ * `std::atomic_thread_fence(seq_cst)` at the pop/steal synchronization
+ * points is replaced by seq_cst *operations* on `top_`/`bottom_`.
+ * Fence-based Chase–Lev is correct C++ but ThreadSanitizer does not model
+ * standalone fences and reports false races on the slot accesses; the
+ * operation-based variant is strictly stronger, costs one extra barrier on
+ * the owner's push, and keeps the `executor` TSan-clean with zero
+ * suppressions (a hard CI gate).
+ *
+ * Elements must be trivially copyable (the executor stores raw
+ * `work_item *`): slots are `std::atomic<T>`, so the benign stale read a
+ * thief can make before losing its CAS on `top_` is well-defined — the
+ * loaded value is simply discarded when the CAS fails.
+ *
+ * Growth: the owner allocates a doubled ring, copies the live window, and
+ * publishes it with a release store. Retired rings are kept until the deque
+ * is destroyed so a thief holding a stale ring pointer can still complete
+ * its (doomed-to-fail-CAS) read — the classic epoch-free reclamation choice;
+ * at most `log2(peak/initial)` retired rings ever accumulate.
+ */
+
+#ifndef PLSSVM_SERVE_WORK_STEALING_DEQUE_HPP_
+#define PLSSVM_SERVE_WORK_STEALING_DEQUE_HPP_
+#pragma once
+
+#include <atomic>       // std::atomic
+#include <cstddef>      // std::size_t
+#include <cstdint>      // std::int64_t
+#include <memory>       // std::unique_ptr, std::make_unique
+#include <optional>     // std::optional, std::nullopt
+#include <type_traits>  // std::is_trivially_copyable_v
+#include <vector>       // std::vector
+
+namespace plssvm::serve::detail {
+
+/// Hardware destructive interference size: hot indices are padded to this so
+/// the owner's `bottom_` and the thieves' `top_` never share a cache line.
+inline constexpr std::size_t cache_line_size = 64;
+
+template <typename T>
+class chase_lev_deque {
+    static_assert(std::is_trivially_copyable_v<T>, "chase_lev_deque slots are std::atomic<T>: T must be trivially copyable");
+
+  public:
+    /// @param[in] initial_capacity starting ring size; rounded up to a power of two, minimum 2.
+    explicit chase_lev_deque(std::size_t initial_capacity = 256) {
+        std::size_t cap = 2;
+        while (cap < initial_capacity && cap < (std::size_t{ 1 } << 62)) {
+            cap <<= 1;
+        }
+        rings_.push_back(std::make_unique<ring>(cap));
+        active_.store(rings_.back().get(), std::memory_order_relaxed);
+    }
+
+    chase_lev_deque(const chase_lev_deque &) = delete;
+    chase_lev_deque &operator=(const chase_lev_deque &) = delete;
+
+    /**
+     * @brief Owner only: push @p value on the bottom. Grows when full.
+     */
+    void push(T value) {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        ring *a = active_.load(std::memory_order_relaxed);
+        if (b - t >= static_cast<std::int64_t>(a->capacity)) {
+            a = grow(a, t, b);
+        }
+        a->slot(b).store(value, std::memory_order_relaxed);
+        // seq_cst publish (release would suffice for the slot; seq_cst keeps
+        // the operation-based fence protocol — see file comment)
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+
+    /**
+     * @brief Owner only: pop the most recently pushed element (LIFO end).
+     * @return the element, or `std::nullopt` when the deque is empty.
+     */
+    [[nodiscard]] std::optional<T> pop() {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        ring *a = active_.load(std::memory_order_relaxed);
+        // reserve the bottom slot before reading top: a thief that reads our
+        // new bottom afterwards will not race us for this slot
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        if (t < b) {
+            // more than one element: the reserved slot is ours alone
+            return a->slot(b).load(std::memory_order_relaxed);
+        }
+        std::optional<T> result{};
+        if (t == b) {
+            // exactly one element: race thieves for it via top
+            const T value = a->slot(b).load(std::memory_order_relaxed);
+            if (top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed)) {
+                result = value;
+            }
+            // won or lost, the deque is now empty: restore the canonical
+            // empty shape bottom == top == t+1
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        } else {
+            // already empty: undo the reservation
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return result;
+    }
+
+    /**
+     * @brief Thief: steal the oldest element (FIFO end). Lock-free; any thread.
+     * @return the element, or `std::nullopt` when empty or a race was lost.
+     */
+    [[nodiscard]] std::optional<T> steal() {
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b) {
+            return std::nullopt;
+        }
+        // acquire pairs with the release publish in grow(): the ring we load
+        // is at least as new as the one holding index t
+        ring *a = active_.load(std::memory_order_acquire);
+        const T value = a->slot(t).load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed)) {
+            // lost the race: `value` may be stale garbage — discarded unread
+            return std::nullopt;
+        }
+        return value;
+    }
+
+    /// Racy size estimate for victim selection and park decisions (never
+    /// negative; may be stale by the time the caller acts on it).
+    [[nodiscard]] std::size_t size_estimate() const noexcept {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+    [[nodiscard]] bool empty_estimate() const noexcept { return size_estimate() == 0; }
+
+    /// Current ring capacity (owner/test use).
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return active_.load(std::memory_order_acquire)->capacity;
+    }
+
+  private:
+    struct ring {
+        explicit ring(std::size_t cap) :
+            capacity{ cap },
+            mask{ cap - 1 },
+            slots{ std::make_unique<std::atomic<T>[]>(cap) } { }
+
+        [[nodiscard]] std::atomic<T> &slot(std::int64_t index) noexcept {
+            return slots[static_cast<std::size_t>(index) & mask];
+        }
+
+        std::size_t capacity;
+        std::size_t mask;
+        std::unique_ptr<std::atomic<T>[]> slots;
+    };
+
+    /// Owner only: double the ring, copy the live window [t, b), publish.
+    ring *grow(ring *old, std::int64_t t, std::int64_t b) {
+        rings_.push_back(std::make_unique<ring>(old->capacity * 2));
+        ring *bigger = rings_.back().get();
+        for (std::int64_t i = t; i < b; ++i) {
+            bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed), std::memory_order_relaxed);
+        }
+        active_.store(bigger, std::memory_order_release);
+        return bigger;
+    }
+
+    // top_ (thieves' CAS line) and bottom_ (owner's line) on separate cache
+    // lines; active_ is read by both but written only on the rare grow
+    alignas(cache_line_size) std::atomic<std::int64_t> top_{ 0 };
+    alignas(cache_line_size) std::atomic<std::int64_t> bottom_{ 0 };
+    alignas(cache_line_size) std::atomic<ring *> active_{ nullptr };
+    // retired rings: owner-only mutation (push in grow), freed on destruction
+    std::vector<std::unique_ptr<ring>> rings_{};
+};
+
+// layout guard: the alignas separation above is load-bearing for the bench
+// gate — a refactor that packs top_ and bottom_ onto one line would silently
+// reintroduce owner/thief false sharing
+static_assert(alignof(chase_lev_deque<void *>) == cache_line_size,
+              "chase_lev_deque must be cache-line aligned");
+static_assert(sizeof(chase_lev_deque<void *>) >= 3 * cache_line_size,
+              "top_, bottom_, and active_ must occupy distinct cache lines");
+
+}  // namespace plssvm::serve::detail
+
+#endif  // PLSSVM_SERVE_WORK_STEALING_DEQUE_HPP_

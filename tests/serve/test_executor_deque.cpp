@@ -1,0 +1,239 @@
+/**
+ * @file
+ * @brief Stress tests for the Chase–Lev work-stealing deque underneath the
+ *        serving executor: owner push/pop vs N concurrent thieves, index
+ *        wraparound at tiny capacities (the ABA-prone regime), and ring
+ *        growth racing in-flight steals.
+ *
+ * Every test checks the one invariant that matters for a work queue feeding
+ * promises: each pushed element is consumed EXACTLY once — no element lost
+ * (a dropped batch = a hung future) and none duplicated (a double-run task =
+ * a double-settled promise). The suites run under the TSan CI job via the
+ * `executor` ctest label, which is what actually validates the memory
+ * orders; the assertions here validate the algorithm.
+ */
+
+#include "plssvm/serve/executor.hpp"
+#include "plssvm/serve/work_stealing_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using plssvm::serve::detail::chase_lev_deque;
+
+// value type: encode (producer-visible) payload ids as pointers-sized ints
+using payload = std::size_t;
+
+TEST(ExecutorDeque, OwnerPushPopIsLifo) {
+    chase_lev_deque<payload> deque{ 8 };
+    EXPECT_EQ(deque.size_estimate(), 0u);
+    EXPECT_EQ(deque.pop(), std::nullopt);
+    for (payload v = 1; v <= 5; ++v) {
+        deque.push(v);
+    }
+    EXPECT_EQ(deque.size_estimate(), 5u);
+    for (payload v = 5; v >= 1; --v) {
+        const std::optional<payload> got = deque.pop();
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, v);
+    }
+    EXPECT_EQ(deque.pop(), std::nullopt);
+    EXPECT_EQ(deque.size_estimate(), 0u);
+}
+
+TEST(ExecutorDeque, StealTakesTheOldestElement) {
+    chase_lev_deque<payload> deque{ 8 };
+    deque.push(11);
+    deque.push(22);
+    deque.push(33);
+    EXPECT_EQ(deque.steal(), std::optional<payload>{ 11 });  // FIFO end
+    EXPECT_EQ(deque.pop(), std::optional<payload>{ 33 });    // LIFO end
+    EXPECT_EQ(deque.steal(), std::optional<payload>{ 22 });
+    EXPECT_EQ(deque.steal(), std::nullopt);
+    EXPECT_EQ(deque.pop(), std::nullopt);
+}
+
+TEST(ExecutorDeque, GrowsBeyondInitialCapacityPreservingEveryElement) {
+    chase_lev_deque<payload> deque{ 2 };
+    const std::size_t initial_capacity = deque.capacity();
+    constexpr std::size_t count = 1000;
+    for (payload v = 0; v < count; ++v) {
+        deque.push(v);
+    }
+    EXPECT_GT(deque.capacity(), initial_capacity);
+    EXPECT_EQ(deque.size_estimate(), count);
+    std::vector<bool> seen(count, false);
+    // drain from both ends
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::optional<payload> got = (i % 2 == 0) ? deque.pop() : deque.steal();
+        ASSERT_TRUE(got.has_value());
+        ASSERT_LT(*got, count);
+        EXPECT_FALSE(seen[*got]) << "element " << *got << " consumed twice";
+        seen[*got] = true;
+    }
+    EXPECT_EQ(deque.pop(), std::nullopt);
+}
+
+/// Owner pushes and pops while N thieves steal: every element consumed
+/// exactly once, across repeated rounds.
+TEST(ExecutorDeque, OwnerVersusManyThievesConsumesEachElementExactlyOnce) {
+    constexpr std::size_t num_thieves = 4;
+    constexpr std::size_t elements = 20000;
+    chase_lev_deque<payload> deque{ 16 };
+    std::vector<std::atomic<std::uint32_t>> consumed(elements);
+    std::atomic<std::size_t> total_consumed{ 0 };
+    std::atomic<bool> done_pushing{ false };
+
+    std::vector<std::thread> thieves;
+    thieves.reserve(num_thieves);
+    for (std::size_t t = 0; t < num_thieves; ++t) {
+        thieves.emplace_back([&]() {
+            while (!done_pushing.load(std::memory_order_acquire) || deque.size_estimate() > 0) {
+                if (const std::optional<payload> got = deque.steal()) {
+                    consumed[*got].fetch_add(1, std::memory_order_relaxed);
+                    total_consumed.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+
+    // owner: push everything, interleaving pops (LIFO) like a real worker
+    for (payload v = 0; v < elements; ++v) {
+        deque.push(v);
+        if (v % 3 == 0) {
+            if (const std::optional<payload> got = deque.pop()) {
+                consumed[*got].fetch_add(1, std::memory_order_relaxed);
+                total_consumed.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+    done_pushing.store(true, std::memory_order_release);
+    // owner helps drain the rest
+    while (total_consumed.load(std::memory_order_relaxed) < elements) {
+        if (const std::optional<payload> got = deque.pop()) {
+            consumed[*got].fetch_add(1, std::memory_order_relaxed);
+            total_consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    for (std::thread &thief : thieves) {
+        thief.join();
+    }
+
+    for (std::size_t v = 0; v < elements; ++v) {
+        EXPECT_EQ(consumed[v].load(), 1u) << "element " << v << " consumed " << consumed[v].load() << " times";
+    }
+    EXPECT_EQ(total_consumed.load(), elements);
+    EXPECT_EQ(deque.steal(), std::nullopt);
+}
+
+/// Tiny capacity forces the ring indices to wrap thousands of times while a
+/// thief races the owner over the SAME slots — the classic ABA regime for
+/// circular work-stealing deques. The exactly-once invariant must hold.
+TEST(ExecutorDeque, WraparoundAtSmallCapacityKeepsExactlyOnceUnderRacingThief) {
+    constexpr std::size_t elements = 50000;
+    chase_lev_deque<payload> deque{ 2 };  // wraps every 2 pushes until growth
+    std::vector<std::atomic<std::uint32_t>> consumed(elements);
+    std::atomic<std::size_t> total_consumed{ 0 };
+    std::atomic<bool> done{ false };
+
+    std::thread thief{ [&]() {
+        while (!done.load(std::memory_order_acquire) || deque.size_estimate() > 0) {
+            if (const std::optional<payload> got = deque.steal()) {
+                consumed[*got].fetch_add(1, std::memory_order_relaxed);
+                total_consumed.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    } };
+
+    // keep the deque shallow (pop almost every push) so top and bottom chase
+    // each other around the tiny ring instead of triggering growth
+    for (payload v = 0; v < elements; ++v) {
+        deque.push(v);
+        if (const std::optional<payload> got = deque.pop()) {
+            consumed[*got].fetch_add(1, std::memory_order_relaxed);
+            total_consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    done.store(true, std::memory_order_release);
+    while (total_consumed.load(std::memory_order_relaxed) < elements) {
+        if (const std::optional<payload> got = deque.pop()) {
+            consumed[*got].fetch_add(1, std::memory_order_relaxed);
+            total_consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    thief.join();
+
+    for (std::size_t v = 0; v < elements; ++v) {
+        ASSERT_EQ(consumed[v].load(), 1u) << "element " << v;
+    }
+}
+
+/// Growth publishes a new ring while thieves hold references into the old
+/// one: push bursts larger than the capacity force repeated growth mid-steal.
+TEST(ExecutorDeque, GrowthUnderConcurrentStealLosesNothing) {
+    constexpr std::size_t num_thieves = 3;
+    constexpr std::size_t bursts = 50;
+    constexpr std::size_t burst_size = 512;
+    constexpr std::size_t elements = bursts * burst_size;
+    chase_lev_deque<payload> deque{ 2 };
+    std::vector<std::atomic<std::uint32_t>> consumed(elements);
+    std::atomic<std::size_t> total_consumed{ 0 };
+    std::atomic<bool> done{ false };
+
+    std::vector<std::thread> thieves;
+    for (std::size_t t = 0; t < num_thieves; ++t) {
+        thieves.emplace_back([&]() {
+            while (!done.load(std::memory_order_acquire) || deque.size_estimate() > 0) {
+                if (const std::optional<payload> got = deque.steal()) {
+                    consumed[*got].fetch_add(1, std::memory_order_relaxed);
+                    total_consumed.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+
+    for (std::size_t burst = 0; burst < bursts; ++burst) {
+        // a whole burst without pops: guaranteed growth while thieves race
+        for (std::size_t i = 0; i < burst_size; ++i) {
+            deque.push(burst * burst_size + i);
+        }
+        // owner drains half of its own backlog LIFO
+        for (std::size_t i = 0; i < burst_size / 2; ++i) {
+            if (const std::optional<payload> got = deque.pop()) {
+                consumed[*got].fetch_add(1, std::memory_order_relaxed);
+                total_consumed.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+    done.store(true, std::memory_order_release);
+    while (total_consumed.load(std::memory_order_relaxed) < elements) {
+        if (const std::optional<payload> got = deque.pop()) {
+            consumed[*got].fetch_add(1, std::memory_order_relaxed);
+            total_consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    for (std::thread &thief : thieves) {
+        thief.join();
+    }
+
+    EXPECT_GE(deque.capacity(), burst_size);
+    for (std::size_t v = 0; v < elements; ++v) {
+        ASSERT_EQ(consumed[v].load(), 1u) << "element " << v;
+    }
+}
+
+/// The cache-line layout the perf gate depends on is a compile-time contract.
+TEST(ExecutorDeque, HotIndicesAreCacheLineSeparated) {
+    EXPECT_EQ(alignof(chase_lev_deque<void *>), plssvm::serve::detail::cache_line_size);
+    EXPECT_GE(sizeof(chase_lev_deque<void *>), 3 * plssvm::serve::detail::cache_line_size);
+}
+
+}  // namespace
