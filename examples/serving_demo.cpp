@@ -17,11 +17,19 @@
  * complete request lifecycles per class) on exit, plus the automatic
  * violation dump captured at the first deadline miss.
  *
+ * `--listen [port]` runs the network serving demo: the epoll front-end of
+ * `plssvm::serve::net` is started over the registry (port 0 = ephemeral)
+ * and a loopback client exercises both wire modes — the curl-able JSON
+ * lines (readiness probe + one prediction) and the binary framing. With
+ * `--serve-seconds <s>` the server then stays up so you can poke it from
+ * another terminal with `nc`.
+ *
  * Build & run:
  *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/serving_demo
  *   ./build/examples/serving_demo --qos
  *   ./build/examples/serving_demo --stats-interval 1 --dump-traces
+ *   ./build/examples/serving_demo --listen 7143 --serve-seconds 60
  */
 
 #include "plssvm/core/csvm_factory.hpp"
@@ -31,8 +39,10 @@
 #include "plssvm/detail/tracker.hpp"
 #include "plssvm/serve/serve.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +51,12 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+// loopback client of the `--listen` demo
+#include <arpa/inet.h>    // htons, htonl
+#include <netinet/in.h>   // sockaddr_in, INADDR_LOOPBACK
+#include <sys/socket.h>   // socket, connect
+#include <unistd.h>       // write, read, close
 
 namespace {
 
@@ -222,11 +238,111 @@ int obs_demo(const double stats_interval_s, const bool dump_traces) {
     return 0;
 }
 
+/// The `--listen` mode: serve a registry over TCP via the epoll front-end
+/// and exercise both wire modes with a loopback client.
+int listen_demo(const std::uint16_t port, const double serve_seconds) {
+    namespace net = plssvm::serve::net;
+
+    // 1. train a small model and register it, exactly like the quickstart
+    plssvm::datagen::classification_params gen;
+    gen.num_points = 512;
+    gen.num_features = 16;
+    gen.class_sep = 1.5;
+    const auto train = plssvm::datagen::make_classification<double>(gen);
+    plssvm::parameter params;
+    params.kernel = plssvm::kernel_type::rbf;
+    const auto svm = plssvm::make_csvm<double>(plssvm::backend_type::openmp, params);
+    const auto model = svm->fit(plssvm::data_set<double>{ plssvm::aos_matrix<double>{ train.points() }, std::vector<double>(train.labels()) },
+                                plssvm::solver_control{ .epsilon = 1e-6 });
+
+    plssvm::serve::engine_config config;
+    config.num_threads = 2;
+    config.max_batch_size = 32;
+    config.batch_delay = std::chrono::microseconds{ 200 };
+    plssvm::serve::model_registry<double> registry{ /*capacity=*/4, config };
+    (void) registry.load("quickstart", model);
+
+    // 2. the network front-end: requests from every connection flow into
+    //    the same micro-batcher, so concurrent sockets feed one batch
+    net::net_server_config server_config;
+    server_config.port = port;
+    server_config.event_threads = 2;
+    net::net_server server{ server_config, std::make_shared<net::registry_dispatcher<double>>(registry) };
+    std::printf("serving \"quickstart\" on 127.0.0.1:%u (binary frames and JSON lines share the port)\n", server.port());
+    std::printf("try from another terminal:\n");
+    std::printf("  printf '{\"op\":\"ready\"}\\n' | nc 127.0.0.1 %u\n", server.port());
+    std::printf("  printf '{\"model\":\"quickstart\",\"id\":1,\"features\":[0.1,...x16]}\\n' | nc 127.0.0.1 %u\n\n", server.port());
+
+    // 3. the built-in loopback client: a readiness probe and one prediction
+    //    over the JSON-lines mode (what nc/curl would send)
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr *>(&addr), sizeof(addr)) != 0) {
+        std::fprintf(stderr, "loopback connect failed\n");
+        return 1;
+    }
+    std::string request = "{\"op\":\"ready\"}\n{\"model\":\"quickstart\",\"id\":7,\"features\":[";
+    for (std::size_t feature = 0; feature < gen.num_features; ++feature) {
+        request += (feature == 0 ? "" : ",") + std::to_string(train.points().row_data(0)[feature]);
+    }
+    request += "]}\n";
+    if (::write(fd, request.data(), request.size()) != static_cast<ssize_t>(request.size())) {
+        std::fprintf(stderr, "loopback write failed\n");
+        ::close(fd);
+        return 1;
+    }
+    std::string received;
+    char buf[4096];
+    while (std::count(received.begin(), received.end(), '\n') < 2) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0) {
+            break;
+        }
+        received.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    std::printf("loopback JSON-lines exchange:\n%s", received.c_str());
+
+    // 4. net-plane stats: connection/request counters and stage latency
+    const net::net_counters counters = server.counters();
+    std::printf("net counters: %llu accepted, %llu requests, %llu ok, ready=%s\n",
+                static_cast<unsigned long long>(counters.connections_accepted),
+                static_cast<unsigned long long>(counters.requests_total),
+                static_cast<unsigned long long>(counters.responses_ok),
+                server.ready() ? "true" : "false");
+
+    if (serve_seconds > 0.0) {
+        std::printf("serving for %.0f more second(s)...\n", serve_seconds);
+        std::this_thread::sleep_for(std::chrono::duration<double>(serve_seconds));
+        std::printf("final net stats: %s\n", server.stats_json().c_str());
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char **argv) {
     if (argc > 1 && std::strcmp(argv[1], "--qos") == 0) {
         return qos_demo();
+    }
+    bool listen_mode = false;
+    std::uint16_t listen_port = 0;
+    double serve_seconds = 0.0;
+    for (int arg = 1; arg < argc; ++arg) {
+        if (std::strcmp(argv[arg], "--listen") == 0) {
+            listen_mode = true;
+            if (arg + 1 < argc && argv[arg + 1][0] != '-') {
+                listen_port = static_cast<std::uint16_t>(std::atoi(argv[++arg]));
+            }
+        } else if (std::strcmp(argv[arg], "--serve-seconds") == 0 && arg + 1 < argc) {
+            serve_seconds = std::atof(argv[++arg]);
+        }
+    }
+    if (listen_mode) {
+        return listen_demo(listen_port, serve_seconds);
     }
     double stats_interval_s = 0.0;
     bool dump_traces = false;

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * @brief One accepted client connection of the network serving plane.
+ *
+ * A connection is owned by exactly one event thread (its epoll instance),
+ * which performs all reads and lifecycle transitions. Writes are shared:
+ * completion workers serialize responses and flush them directly under
+ * `out_mutex_` (lowest latency when the socket buffer has room), falling
+ * back to arming `EPOLLOUT` on the owning event loop when the kernel buffer
+ * is full. The file descriptor stays open until the last reference drops —
+ * completion tasks hold a `shared_ptr`, so a response racing a close can
+ * never write into a recycled descriptor; it just hits the `closed_` flag
+ * and is dropped.
+ */
+
+#ifndef PLSSVM_SERVE_NET_CONNECTION_HPP_
+#define PLSSVM_SERVE_NET_CONNECTION_HPP_
+
+#include "plssvm/serve/net/framing.hpp"  // frame_decoder
+
+#include <atomic>   // std::atomic
+#include <cstddef>  // std::size_t
+#include <cstdint>  // std::uint64_t
+#include <mutex>    // std::mutex
+#include <string>   // std::string
+
+namespace plssvm::serve::net {
+
+class net_server;
+
+class connection {
+    friend class net_server;
+
+  public:
+    connection(int fd, std::uint64_t id, std::size_t max_frame_bytes) :
+        fd_{ fd },
+        id_{ id },
+        decoder_{ max_frame_bytes } {}
+
+    connection(const connection &) = delete;
+    connection &operator=(const connection &) = delete;
+
+    /// Closes the socket. Runs when the last owner (event loop map or
+    /// in-flight completion task) releases the connection.
+    ~connection();
+
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+    [[nodiscard]] frame_decoder::wire_mode mode() const noexcept { return decoder_.mode(); }
+    [[nodiscard]] bool closed() const noexcept { return closed_.load(std::memory_order_acquire); }
+
+  private:
+    /// Append @p bytes to the outbound buffer and flush as much as the
+    /// socket accepts; arms `EPOLLOUT` on the owner loop for the rest.
+    /// Callable from any thread; a no-op once the connection is closed.
+    void enqueue_output(const std::string &bytes, net_server &server);
+
+    /// Flush the pending outbound bytes (requires `out_mutex_` held).
+    void flush_locked(net_server &server);
+
+    int fd_;
+    std::uint64_t id_;
+    frame_decoder decoder_;
+    int epoll_fd_{ -1 };  ///< owner event loop's epoll instance (for EPOLLOUT arming)
+
+    std::mutex out_mutex_;
+    std::string outbound_;
+    std::size_t out_sent_{ 0 };
+    bool want_write_{ false };
+
+    std::atomic<bool> closed_{ false };
+
+    // per-connection counters surfaced in `net_server::stats_json()`
+    std::atomic<std::uint64_t> requests_{ 0 };
+    std::atomic<std::uint64_t> responses_{ 0 };
+    std::atomic<std::uint64_t> bytes_in_{ 0 };
+    std::atomic<std::uint64_t> bytes_out_{ 0 };
+};
+
+}  // namespace plssvm::serve::net
+
+#endif  // PLSSVM_SERVE_NET_CONNECTION_HPP_

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * @brief Request/response message model of the network serving plane.
+ *
+ * One `net_request` / `net_response` pair exists independently of the wire
+ * encoding; the binary framing codec and the JSON-lines codec both map onto
+ * it, so the server's dispatch logic is written once.
+ *
+ * Binary request payload (all integers little-endian):
+ * @code
+ *   u64  id                      client-chosen, echoed verbatim
+ *   u8   flags                   bit0 = sparse payload, bit1 = has deadline
+ *   u8   request_class           0 interactive / 1 batch / 2 background
+ *   u16  model_len  + bytes      model name
+ *  [u32  deadline_us]            only when bit1 is set
+ *   dense:  u32 count + count * f64
+ *   sparse: u32 nnz   + nnz * (u32 index, f64 value)
+ * @endcode
+ *
+ * Binary response payload:
+ * @code
+ *   u64  id
+ *   u8   status                  see `response_status`
+ *   ok:          f64 decision value
+ *   retry_after: u64 retry-after hint in microseconds
+ *   otherwise:   u16 error_len + bytes
+ * @endcode
+ *
+ * JSON-lines requests are objects like
+ * `{"model":"demo","id":7,"class":"interactive","deadline_us":2000,"features":[...]}`
+ * (or `"sparse":[[index,value],...]`), plus side-channel ops
+ * `{"op":"ready"}`, `{"op":"live"}`, `{"op":"stats"}`, `{"op":"metrics"}`
+ * that back readiness/liveness probes and observability scrapes.
+ */
+
+#ifndef PLSSVM_SERVE_NET_PROTOCOL_HPP_
+#define PLSSVM_SERVE_NET_PROTOCOL_HPP_
+
+#include "plssvm/serve/net/framing.hpp"  // wire_reader, wire_writer
+#include "plssvm/serve/qos.hpp"          // plssvm::serve::request_class
+
+#include <chrono>       // std::chrono::microseconds
+#include <cstdint>      // std::uint8_t, std::uint32_t, std::uint64_t
+#include <optional>     // std::optional
+#include <string>       // std::string
+#include <string_view>  // std::string_view
+#include <utility>      // std::pair
+#include <vector>       // std::vector
+
+namespace plssvm::serve::net {
+
+/// What a decoded message asks the server to do. `predict` is the only op
+/// of the binary mode; the probe/scrape ops exist in the JSON mode so that
+/// orchestrators and humans can poke the server with one printable line.
+enum class request_op : std::uint8_t {
+    predict = 0,
+    ready = 1,    ///< readiness probe: healthy/degraded => ready, critical => not ready
+    live = 2,     ///< liveness probe: answered as long as the event loop runs
+    stats = 3,    ///< JSON stats snapshot (registry + net counters)
+    metrics = 4,  ///< Prometheus exposition (JSON-escaped into one line)
+};
+
+/// Typed result of one request, shared by both wire encodings.
+enum class response_status : std::uint8_t {
+    ok = 0,
+    retry_after = 1,  ///< request was shed; carries the token-bucket backoff hint
+    failed = 2,       ///< accepted but failed to settle (fault plane gave up)
+    bad_request = 3,  ///< malformed payload / feature-count mismatch
+    not_found = 4,    ///< unknown model name
+};
+
+[[nodiscard]] constexpr std::string_view response_status_to_string(const response_status s) noexcept {
+    switch (s) {
+        case response_status::ok:
+            return "ok";
+        case response_status::retry_after:
+            return "retry_after";
+        case response_status::failed:
+            return "failed";
+        case response_status::bad_request:
+            return "bad_request";
+        case response_status::not_found:
+            return "not_found";
+    }
+    return "unknown";
+}
+
+/// One decoded client request.
+struct net_request {
+    request_op op{ request_op::predict };
+    std::uint64_t id{ 0 };
+    std::string model;
+    request_class cls{ request_class::interactive };
+    std::chrono::microseconds deadline{ 0 };  ///< 0 = class default
+    bool sparse{ false };
+    std::vector<double> dense;
+    std::vector<std::pair<std::uint32_t, double>> sparse_entries;
+};
+
+/// One response to a predict request.
+struct net_response {
+    std::uint64_t id{ 0 };
+    response_status status{ response_status::ok };
+    double value{ 0.0 };
+    std::uint64_t retry_after_us{ 0 };
+    std::string error;
+};
+
+/// Encode a predict request as a binary frame payload (client side).
+[[nodiscard]] std::string encode_request_binary(const net_request &req);
+
+/// Decode a binary request payload; returns the error message on failure.
+[[nodiscard]] std::optional<std::string> decode_request_binary(const std::string &payload, net_request &out);
+
+/// Encode a response as a binary frame payload (server side).
+[[nodiscard]] std::string encode_response_binary(const net_response &resp);
+
+/// Decode a binary response payload (client side: bench, tests).
+[[nodiscard]] std::optional<std::string> decode_response_binary(const std::string &payload, net_response &out);
+
+/// Parse one JSON-line request; returns the error message on failure.
+[[nodiscard]] std::optional<std::string> parse_request_json(const std::string &line, net_request &out);
+
+/// Encode a response as one JSON line (no trailing newline).
+[[nodiscard]] std::string encode_response_json(const net_response &resp);
+
+/// Escape @p s for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace plssvm::serve::net
+
+#endif  // PLSSVM_SERVE_NET_PROTOCOL_HPP_

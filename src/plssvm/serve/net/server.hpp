@@ -1,0 +1,298 @@
+/**
+ * @file
+ * @brief Epoll-based network front-end of the serving subsystem.
+ *
+ * Thread structure:
+ *  - one **acceptor** thread owns the listening socket and distributes
+ *    accepted connections round-robin across the event loops;
+ *  - N **event** threads each own a private epoll instance (edge-triggered)
+ *    and perform all reads, request decoding, and engine submission — a
+ *    connection belongs to exactly one event thread, so no read path ever
+ *    needs a lock;
+ *  - M **completion** workers block on the `std::future`s returned by the
+ *    engines' async submit path, serialize responses, and write them back.
+ *
+ * Requests therefore flow straight into the existing
+ * `model_registry`/`inference_engine` micro-batcher, which coalesces points
+ * *across* client connections — concurrent sockets feed one batch.
+ * `request_shed_exception` maps to a `RETRY_AFTER` wire response carrying
+ * the token-bucket backoff hint, and the registry's worst-engine
+ * `health_state` backs the JSON-mode readiness probe (`ready` iff not
+ * critical).
+ */
+
+#ifndef PLSSVM_SERVE_NET_SERVER_HPP_
+#define PLSSVM_SERVE_NET_SERVER_HPP_
+
+#include "plssvm/exceptions.hpp"             // plssvm::exception
+#include "plssvm/serve/fault.hpp"            // plssvm::serve::health_state
+#include "plssvm/serve/model_registry.hpp"   // plssvm::serve::model_registry
+#include "plssvm/serve/net/connection.hpp"   // plssvm::serve::net::connection
+#include "plssvm/serve/net/framing.hpp"      // framing constants
+#include "plssvm/serve/net/protocol.hpp"     // net_request, net_response
+#include "plssvm/serve/obs.hpp"              // plssvm::serve::obs::prometheus_builder, latency_histogram
+#include "plssvm/serve/qos.hpp"              // plssvm::serve::request_options
+
+#include <atomic>              // std::atomic
+#include <chrono>              // std::chrono::steady_clock
+#include <condition_variable>  // std::condition_variable
+#include <cstdint>             // std::uint16_t, std::uint64_t
+#include <deque>               // std::deque
+#include <future>              // std::future, std::async, std::launch
+#include <memory>              // std::shared_ptr, std::unique_ptr
+#include <mutex>               // std::mutex
+#include <string>              // std::string
+#include <thread>              // std::thread
+#include <type_traits>         // std::is_same_v
+#include <utility>             // std::move
+#include <vector>              // std::vector
+
+namespace plssvm::serve::net {
+
+/// Thrown by a dispatcher when the requested model is not resident; the
+/// server maps it to a `not_found` wire response.
+class model_not_found_error : public exception {
+  public:
+    explicit model_not_found_error(const std::string &name) :
+        exception{ "no model named \"" + name + "\" is resident" } {}
+};
+
+/// Tuning knobs of one `net_server`.
+struct net_server_config {
+    /// IPv4 address to bind (loopback by default — this is a backend port).
+    std::string bind_address{ "127.0.0.1" };
+    /// TCP port; 0 binds an ephemeral port (read it back via `port()`).
+    std::uint16_t port{ 0 };
+    /// Event (read/decode/submit) threads, each with a private epoll set.
+    std::size_t event_threads{ 1 };
+    /// Completion workers blocking on engine futures and writing responses.
+    std::size_t completion_threads{ 2 };
+    /// Per-message size bound (binary frame payload or one JSON line).
+    std::size_t max_frame_bytes{ default_max_frame_bytes };
+    /// Accept cap: connections beyond this are closed immediately.
+    std::size_t max_connections{ 1024 };
+    /// `listen(2)` backlog.
+    int listen_backlog{ 128 };
+};
+
+/**
+ * @brief Type-erased bridge between the wire layer and the model store, so
+ *        `net_server` needs no template parameter and tests can substitute
+ *        a stub dispatcher.
+ */
+class model_dispatcher {
+  public:
+    virtual ~model_dispatcher() = default;
+
+    /// Submit one predict request into the async serving path. Throws
+    /// `model_not_found_error`, `request_shed_exception`, or
+    /// `invalid_data_exception`; otherwise returns the engine future.
+    [[nodiscard]] virtual std::future<double> submit(const net_request &req) = 0;
+
+    /// Worst-engine health (backs the readiness probe).
+    [[nodiscard]] virtual health_state health() const = 0;
+
+    /// Model-store JSON stats (embedded in the `stats` op response).
+    [[nodiscard]] virtual std::string stats_json() const = 0;
+
+    /// Model-store Prometheus exposition.
+    [[nodiscard]] virtual std::string metrics_text() const = 0;
+};
+
+/// `model_dispatcher` over a `model_registry<T>`: resolves the model name
+/// against binary, sharded, and multi-class engines (in that order).
+template <typename T>
+class registry_dispatcher final : public model_dispatcher {
+  public:
+    explicit registry_dispatcher(model_registry<T> &registry) :
+        registry_{ registry } {}
+
+    [[nodiscard]] std::future<double> submit(const net_request &req) override {
+        const request_options options{ req.cls, req.deadline };
+        if (const auto engine = registry_.find(req.model); engine != nullptr) {
+            return wrap(submit_to(*engine, req, options));
+        }
+        if (const auto sharded = registry_.find_sharded(req.model); sharded != nullptr) {
+            return wrap(submit_to(*sharded, req, options));
+        }
+        if (const auto multiclass = registry_.find_multiclass(req.model); multiclass != nullptr) {
+            if (req.sparse) {
+                throw invalid_data_exception{ "sparse submit is not supported for multi-class models" };
+            }
+            return wrap(multiclass->submit(to_point(req), options));
+        }
+        throw model_not_found_error{ req.model };
+    }
+
+    [[nodiscard]] health_state health() const override { return registry_.health(); }
+
+    [[nodiscard]] std::string stats_json() const override { return registry_.stats_json(); }
+
+    [[nodiscard]] std::string metrics_text() const override { return registry_.metrics_text(); }
+
+  private:
+    [[nodiscard]] static std::vector<T> to_point(const net_request &req) {
+        return std::vector<T>(req.dense.begin(), req.dense.end());
+    }
+
+    template <typename Engine>
+    [[nodiscard]] static std::future<T> submit_to(Engine &engine, const net_request &req, const request_options &options) {
+        if (req.sparse) {
+            std::vector<typename csr_matrix<T>::entry> entries;
+            entries.reserve(req.sparse_entries.size());
+            for (const auto &[index, value] : req.sparse_entries) {
+                entries.push_back(typename csr_matrix<T>::entry{ index, static_cast<T>(value) });
+            }
+            return engine.submit(entries, options);
+        }
+        return engine.submit(to_point(req), options);
+    }
+
+    /// Adapt the engine's `future<T>` to the dispatcher's `future<double>`.
+    /// `launch::deferred` runs the cast inline in the completion worker's
+    /// `get()` — no extra thread, and exceptions still propagate.
+    [[nodiscard]] static std::future<double> wrap(std::future<T> f) {
+        if constexpr (std::is_same_v<T, double>) {
+            return f;
+        } else {
+            return std::async(std::launch::deferred, [f = std::move(f)]() mutable { return static_cast<double>(f.get()); });
+        }
+    }
+
+    model_registry<T> &registry_;
+};
+
+/// Monotonic counter snapshot of one server (see `net_server::counters()`).
+struct net_counters {
+    std::uint64_t connections_accepted{ 0 };
+    std::uint64_t connections_closed{ 0 };
+    std::uint64_t connections_open{ 0 };
+    std::uint64_t connections_rejected{ 0 };
+    std::uint64_t bytes_in{ 0 };
+    std::uint64_t bytes_out{ 0 };
+    std::uint64_t frames_in{ 0 };
+    std::uint64_t lines_in{ 0 };
+    std::uint64_t requests_total{ 0 };
+    std::uint64_t ops_total{ 0 };
+    std::uint64_t responses_ok{ 0 };
+    std::uint64_t responses_retry_after{ 0 };
+    std::uint64_t responses_failed{ 0 };
+    std::uint64_t responses_bad_request{ 0 };
+    std::uint64_t responses_not_found{ 0 };
+    std::uint64_t malformed_total{ 0 };
+    std::uint64_t oversized_total{ 0 };
+    std::uint64_t bad_magic_total{ 0 };
+};
+
+/**
+ * @brief The epoll server. Starts its threads in the constructor, stops and
+ *        joins them in `stop()`/the destructor. All inflight futures are
+ *        drained before `stop()` returns, so destroying the server before
+ *        the registry is always safe.
+ */
+class net_server {
+    friend class connection;
+
+  public:
+    net_server(net_server_config config, std::shared_ptr<model_dispatcher> dispatcher);
+
+    net_server(const net_server &) = delete;
+    net_server &operator=(const net_server &) = delete;
+
+    ~net_server();
+
+    /// Stop accepting, close every connection, drain inflight completions,
+    /// and join all threads. Idempotent.
+    void stop();
+
+    /// The bound TCP port (resolves port 0 to the kernel-assigned one).
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// Readiness: serving is possible unless the model store is critical.
+    [[nodiscard]] bool ready() const { return dispatcher_->health() != health_state::critical; }
+
+    [[nodiscard]] net_counters counters() const;
+
+    /// Net-plane JSON stats: connection/traffic/request counters, stage
+    /// latency quantiles, and per-connection counters. Single line.
+    [[nodiscard]] std::string stats_json() const;
+
+    /// Append the net-plane samples (prefix `plssvm_serve_net_`).
+    void collect_metrics(obs::prometheus_builder &builder) const;
+
+    /// Model-store exposition plus the net-plane samples.
+    [[nodiscard]] std::string metrics_text() const;
+
+  private:
+    struct event_loop;
+
+    struct completion_task {
+        std::shared_ptr<connection> conn;
+        std::uint64_t id{ 0 };
+        frame_decoder::wire_mode mode{ frame_decoder::wire_mode::binary };
+        std::future<double> future;
+        std::chrono::steady_clock::time_point received;
+    };
+
+    void accept_loop();
+    void event_loop_run(event_loop &loop);
+    void completion_loop();
+
+    void adopt_pending(event_loop &loop);
+    void handle_readable(event_loop &loop, const std::shared_ptr<connection> &conn);
+    void handle_writable(const std::shared_ptr<connection> &conn);
+    void handle_message(const std::shared_ptr<connection> &conn, const std::string &msg, bool is_json);
+    void handle_op(const std::shared_ptr<connection> &conn, const net_request &req);
+    void respond(const std::shared_ptr<connection> &conn, frame_decoder::wire_mode mode, const net_response &resp,
+                 std::chrono::steady_clock::time_point received);
+    void close_connection(event_loop &loop, const std::shared_ptr<connection> &conn);
+
+    net_server_config config_;
+    std::shared_ptr<model_dispatcher> dispatcher_;
+
+    int listen_fd_{ -1 };
+    int accept_wake_fd_{ -1 };
+    std::uint16_t port_{ 0 };
+    std::atomic<bool> stopping_{ false };
+    std::atomic<std::uint64_t> next_connection_id_{ 0 };
+    std::size_t next_loop_{ 0 };
+
+    std::vector<std::unique_ptr<event_loop>> loops_;
+    std::thread acceptor_;
+
+    std::mutex completion_mutex_;
+    std::condition_variable completion_cv_;
+    std::deque<completion_task> completion_queue_;
+    bool completion_stop_{ false };
+    std::vector<std::thread> completion_workers_;
+
+    // counters (relaxed atomics; snapshot via `counters()`)
+    std::atomic<std::uint64_t> accepted_{ 0 };
+    std::atomic<std::uint64_t> closed_{ 0 };
+    std::atomic<std::uint64_t> open_{ 0 };
+    std::atomic<std::uint64_t> rejected_{ 0 };
+    std::atomic<std::uint64_t> bytes_in_{ 0 };
+    std::atomic<std::uint64_t> bytes_out_{ 0 };
+    std::atomic<std::uint64_t> frames_in_{ 0 };
+    std::atomic<std::uint64_t> lines_in_{ 0 };
+    std::atomic<std::uint64_t> requests_{ 0 };
+    std::atomic<std::uint64_t> ops_{ 0 };
+    std::atomic<std::uint64_t> responses_ok_{ 0 };
+    std::atomic<std::uint64_t> responses_retry_after_{ 0 };
+    std::atomic<std::uint64_t> responses_failed_{ 0 };
+    std::atomic<std::uint64_t> responses_bad_request_{ 0 };
+    std::atomic<std::uint64_t> responses_not_found_{ 0 };
+    std::atomic<std::uint64_t> malformed_{ 0 };
+    std::atomic<std::uint64_t> oversized_{ 0 };
+    std::atomic<std::uint64_t> bad_magic_{ 0 };
+
+    // net-stage latency: request decoded -> response serialized (e2e), and
+    // the synchronous decode+submit slice on the event thread (handle)
+    mutable std::mutex hist_mutex_;
+    obs::latency_histogram e2e_hist_;
+    obs::latency_histogram handle_hist_;
+};
+
+}  // namespace plssvm::serve::net
+
+#endif  // PLSSVM_SERVE_NET_SERVER_HPP_

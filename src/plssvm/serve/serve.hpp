@@ -26,6 +26,9 @@
 #include "plssvm/serve/micro_batcher.hpp"       // IWYU pragma: export
 #include "plssvm/serve/model_registry.hpp"      // IWYU pragma: export
 #include "plssvm/serve/multiclass_engine.hpp"   // IWYU pragma: export
+#include "plssvm/serve/net/framing.hpp"         // IWYU pragma: export
+#include "plssvm/serve/net/protocol.hpp"        // IWYU pragma: export
+#include "plssvm/serve/net/server.hpp"          // IWYU pragma: export
 #include "plssvm/serve/obs.hpp"                 // IWYU pragma: export
 #include "plssvm/serve/qos.hpp"                 // IWYU pragma: export
 #include "plssvm/serve/serve_stats.hpp"         // IWYU pragma: export
