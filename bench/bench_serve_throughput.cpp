@@ -75,6 +75,14 @@
  *     end-to-end p99 <= 3x the in-process async p99 — the transport may
  *     cost syscalls and wakeups, but not change the latency class.
  *
+ * 10. Wire-tracing overhead (this PR's experiment): closed-loop loopback
+ *     binary clients stream frames carrying a client-supplied trace id on
+ *     every request (forcing a full wire-to-wire trace each) against one
+ *     server, and the same load against a server with wire tracing
+ *     disabled. Rounds interleave and each side keeps its best pass.
+ *     Gates: traced throughput >= 0.95x untraced, zero failed/lost, and
+ *     retained traces must actually carry net stamps.
+ *
  * Besides the human-readable tables the benchmark writes a machine-readable
  * `BENCH_serve.json` into the working directory so the serving perf
  * trajectory can be tracked across commits. The JSON also records the
@@ -291,6 +299,22 @@ struct net_result {
     std::size_t repeats{ 0 };          ///< measurement rounds actually run (floor applied)
 };
 
+/// The wire-tracing overhead measurement of the JSON report: closed-loop
+/// loopback throughput with a client-supplied trace id on every frame
+/// (always-on wire-to-wire tracing, the worst case) vs. the same load with
+/// wire tracing disabled at the server.
+struct obs_wire_result {
+    double traced_rps{ 0.0 };           ///< responses/s with always-on wire tracing
+    double untraced_rps{ 0.0 };         ///< responses/s with wire tracing disabled
+    double ratio{ 0.0 };                ///< traced / untraced (gate: >= 0.95)
+    std::size_t wire_traces{ 0 };       ///< retained traces carrying net stamps (must be > 0)
+    std::size_t connections{ 0 };       ///< concurrent loopback connections per side
+    std::size_t requests_per_side{ 0 }; ///< requests per measured pass
+    std::size_t failed{ 0 };            ///< non-ok responses across measured rounds (must be 0)
+    std::size_t lost{ 0 };              ///< requests without a response (must be 0)
+    std::size_t repeats{ 0 };           ///< measurement rounds actually run (floor applied)
+};
+
 /// Minimal mutex+condvar thread pool over `std::function` jobs: the executor
 /// design the work-stealing rewrite replaced. Experiment 8 uses it as the
 /// dispatch-overhead baseline the new hot path must not lose to.
@@ -366,13 +390,13 @@ void write_json(const char *file_name, const std::size_t num_sv, const std::size
                 const bool quick, const std::vector<engine_result> &engines, const std::vector<path_result> &paths,
                 const std::vector<sparse_result> &sparse, const qos_result &qos, const obs_result &obs,
                 const fault_result &fault, const reload_result &reload, const executor_result &exec_scaling,
-                const net_result &net, const plssvm::sim::host_profile &host_profile,
+                const net_result &net, const obs_wire_result &obs_wire, const plssvm::sim::host_profile &host_profile,
                 const double rbf256_speedup, const double rbf256_target,
                 const bool blocked_beats_reference, const double worst_sync_speedup,
                 const bool reload_pass, const double sparse_linear_99_speedup, const bool sparse_dispatch_auto,
                 const double qos_p99_ratio, const double qos_shed_fraction, const double qos_batch_growth,
                 const bool qos_pass, const bool obs_pass, const bool fault_pass, const bool executor_pass,
-                const bool net_pass, const bool pass) {
+                const bool net_pass, const bool obs_wire_pass, const bool pass) {
     std::FILE *f = std::fopen(file_name, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "warning: could not open %s for writing\n", file_name);
@@ -436,9 +460,12 @@ void write_json(const char *file_name, const std::size_t num_sv, const std::size
                  net.inproc_p99_s, net.net_p99_s, net.p99_ratio, net.offered_rps,
                  net.inproc_achieved_rps, net.net_achieved_rps, net.connections, net.requests_per_side,
                  net.net_failed, net.net_lost, net.repeats);
+    std::fprintf(f, "  \"obs_wire\": { \"traced_rps\": %.1f, \"untraced_rps\": %.1f, \"ratio\": %.3f, \"wire_traces\": %zu, \"connections\": %zu, \"requests_per_side\": %zu, \"failed\": %zu, \"lost\": %zu, \"repeats\": %zu },\n",
+                 obs_wire.traced_rps, obs_wire.untraced_rps, obs_wire.ratio, obs_wire.wire_traces,
+                 obs_wire.connections, obs_wire.requests_per_side, obs_wire.failed, obs_wire.lost, obs_wire.repeats);
     std::fprintf(f, "  \"host_profile\": { \"effective_gflops\": %.3f, \"effective_bandwidth_gbs\": %.3f },\n",
                  host_profile.effective_gflops, host_profile.effective_bandwidth_gbs);
-    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"rbf_batch256_target\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"reload_p99_within_2x\": %s, \"sparse_linear_99pct_speedup\": %.2f, \"sparse_dispatcher_auto\": %s, \"qos_interactive_p99_ratio_4x\": %.2f, \"qos_shed_fraction_4x\": %.3f, \"qos_batch_growth_4x\": %.2f, \"qos_pass\": %s, \"obs_overhead_ratio\": %.3f, \"obs_pass\": %s, \"fault_throughput_ratio\": %.3f, \"fault_pass\": %s, \"executor_single_vs_mutex\": %.3f, \"executor_engines8_vs_1\": %.2f, \"executor_scaling_target\": %.2f, \"executor_pass\": %s, \"net_p99_ratio\": %.2f, \"net_pass\": %s, \"pass\": %s }\n",
+    std::fprintf(f, "  \"gates\": { \"rbf_batch256_blocked_speedup\": %.2f, \"rbf_batch256_target\": %.2f, \"blocked_beats_reference_at_64plus\": %s, \"worst_engine_sync_speedup\": %.2f, \"reload_p99_within_2x\": %s, \"sparse_linear_99pct_speedup\": %.2f, \"sparse_dispatcher_auto\": %s, \"qos_interactive_p99_ratio_4x\": %.2f, \"qos_shed_fraction_4x\": %.3f, \"qos_batch_growth_4x\": %.2f, \"qos_pass\": %s, \"obs_overhead_ratio\": %.3f, \"obs_pass\": %s, \"fault_throughput_ratio\": %.3f, \"fault_pass\": %s, \"executor_single_vs_mutex\": %.3f, \"executor_engines8_vs_1\": %.2f, \"executor_scaling_target\": %.2f, \"executor_pass\": %s, \"net_p99_ratio\": %.2f, \"net_pass\": %s, \"obs_wire_ratio\": %.3f, \"obs_wire_pass\": %s, \"pass\": %s }\n",
                  rbf256_speedup, rbf256_target, blocked_beats_reference ? "true" : "false", worst_sync_speedup,
                  reload_pass ? "true" : "false", sparse_linear_99_speedup, sparse_dispatch_auto ? "true" : "false",
                  qos_p99_ratio, qos_shed_fraction, qos_batch_growth, qos_pass ? "true" : "false",
@@ -447,6 +474,7 @@ void write_json(const char *file_name, const std::size_t num_sv, const std::size
                  exec_scaling.ws_vs_mutex, exec_scaling.engines8_speedup, exec_scaling.scaling_target,
                  executor_pass ? "true" : "false",
                  net.p99_ratio, net_pass ? "true" : "false",
+                 obs_wire.ratio, obs_wire_pass ? "true" : "false",
                  pass ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -1675,6 +1703,203 @@ int main(int argc, char **argv) {
         server.stop();
     }
 
+    // ------------------------------------------------------------------
+    // experiment 10: wire-tracing overhead (closed-loop loopback, a client
+    // trace id on every frame vs. wire tracing disabled at the server)
+    // ------------------------------------------------------------------
+    std::printf("\nwire tracing overhead (closed-loop loopback, client trace ids on every frame vs. tracing off):\n\n");
+    obs_wire_result obs_wire;
+    {
+        namespace svn = plssvm::serve::net;
+        const model<double> trained = make_model(kernel_type::rbf, num_sv, dim, options.seed);
+        const aos_matrix<double> queries = random_matrix(num_queries, dim, options.seed + 131);
+
+        plssvm::serve::engine_config config;
+        config.num_threads = engine_threads;
+        config.max_batch_size = 128;
+        config.batch_delay = std::chrono::microseconds{ 200 };
+
+        // each side gets its own registry + engine so the traced side's
+        // flight recorder and time series never touch the untraced side
+        plssvm::serve::model_registry<double> traced_registry{ 4, config };
+        (void) traced_registry.load("bench", trained);
+        plssvm::serve::model_registry<double> untraced_registry{ 4, config };
+        (void) untraced_registry.load("bench", trained);
+
+        svn::net_server_config traced_config;
+        traced_config.event_threads = 1;
+        traced_config.completion_threads = 2;
+        traced_config.wire_tracing = true;
+        svn::net_server_config untraced_config = traced_config;
+        untraced_config.wire_tracing = false;
+        svn::net_server traced_server{ traced_config, std::make_shared<svn::registry_dispatcher<double>>(traced_registry) };
+        svn::net_server untraced_server{ untraced_config, std::make_shared<svn::registry_dispatcher<double>>(untraced_registry) };
+
+        obs_wire.connections = 4;
+        const std::size_t per_conn = options.quick ? 128 : 512;
+        obs_wire.requests_per_side = obs_wire.connections * per_conn;
+        const std::size_t wire_repeats = std::max<std::size_t>(repeats, 3);
+        obs_wire.repeats = wire_repeats;
+
+        // frames are encoded once per side: the traced side carries a
+        // client-supplied trace id on EVERY request, which forces a full
+        // wire-to-wire trace regardless of sampling — the worst case the
+        // gate bounds
+        const auto encode_side = [&](const bool traced) {
+            std::vector<std::vector<std::string>> frames(obs_wire.connections);
+            for (std::size_t c = 0; c < obs_wire.connections; ++c) {
+                frames[c].reserve(per_conn);
+                for (std::size_t i = 0; i < per_conn; ++i) {
+                    svn::net_request req;
+                    req.id = i;
+                    req.model = "bench";
+                    req.trace_id = traced ? c * per_conn + i + 1 : 0;
+                    const std::size_t row = (c * per_conn + i) % num_queries;
+                    req.dense.assign(queries.row_data(row), queries.row_data(row) + dim);
+                    frames[c].push_back(svn::encode_frame(svn::frame_type::request, svn::encode_request_binary(req)));
+                }
+            }
+            return frames;
+        };
+        const std::vector<std::vector<std::string>> traced_frames = encode_side(true);
+        const std::vector<std::vector<std::string>> untraced_frames = encode_side(false);
+
+        const auto connect_loopback = [](const std::uint16_t port) {
+            const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (fd < 0) {
+                return -1;
+            }
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_port = htons(port);
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr), sizeof(addr)) != 0) {
+                ::close(fd);
+                return -1;
+            }
+            const int one = 1;
+            (void) ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            const timeval receive_timeout{ 10, 0 };
+            (void) ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &receive_timeout, sizeof(receive_timeout));
+            return fd;
+        };
+        const auto write_all = [](const int fd, const std::string &data) {
+            std::size_t off = 0;
+            while (off < data.size()) {
+                const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+                if (n < 0 && errno == EINTR) {
+                    continue;
+                }
+                if (n <= 0) {
+                    return false;
+                }
+                off += static_cast<std::size_t>(n);
+            }
+            return true;
+        };
+
+        // one closed-loop pass: per connection a writer streams every frame
+        // back-to-back (kernel socket-buffer flow control closes the loop)
+        // while a reader drains responses through the frame decoder; the
+        // pass wall time is the throughput denominator
+        const auto run_pass = [&](svn::net_server &server, const std::vector<std::vector<std::string>> &frames,
+                                  std::size_t &failed, std::size_t &lost) {
+            std::atomic<std::size_t> pass_failed{ 0 };
+            std::atomic<std::size_t> pass_answered{ 0 };
+            plssvm::bench::stopwatch timer;
+            std::vector<std::thread> clients;
+            clients.reserve(obs_wire.connections);
+            for (std::size_t c = 0; c < obs_wire.connections; ++c) {
+                clients.emplace_back([&, c]() {
+                    const int fd = connect_loopback(server.port());
+                    if (fd < 0) {
+                        return;
+                    }
+                    std::size_t conn_answered = 0;
+                    std::size_t conn_failed = 0;
+                    std::thread reader{ [&]() {
+                        svn::frame_decoder decoder;
+                        std::string payload;
+                        char buf[16384];
+                        while (conn_answered < per_conn) {
+                            const ssize_t n = ::read(fd, buf, sizeof(buf));
+                            if (n <= 0) {
+                                break;  // EOF, error, or receive timeout: rest counts as lost
+                            }
+                            decoder.append(buf, static_cast<std::size_t>(n));
+                            while (decoder.next(payload) == svn::frame_decoder::status::frame) {
+                                svn::net_response resp;
+                                if (svn::decode_response_binary(payload, resp) == std::nullopt) {
+                                    if (resp.status != svn::response_status::ok) {
+                                        ++conn_failed;
+                                    }
+                                    ++conn_answered;
+                                }
+                            }
+                        }
+                    } };
+                    for (const std::string &frame : frames[c]) {
+                        if (!write_all(fd, frame)) {
+                            break;
+                        }
+                    }
+                    reader.join();
+                    ::close(fd);
+                    pass_failed.fetch_add(conn_failed);
+                    pass_answered.fetch_add(conn_answered);
+                });
+            }
+            for (std::thread &t : clients) {
+                t.join();
+            }
+            const double elapsed = timer.seconds();
+            failed += pass_failed.load();
+            lost += obs_wire.requests_per_side - pass_answered.load();
+            return elapsed;
+        };
+
+        // interleave the measured rounds like the other ratio gates: both
+        // sides see the same machine state, best-over-repeats per side
+        std::size_t warm_failed = 0;
+        std::size_t warm_lost = 0;
+        (void) run_pass(traced_server, traced_frames, warm_failed, warm_lost);
+        (void) run_pass(untraced_server, untraced_frames, warm_failed, warm_lost);
+        double traced_seconds = std::numeric_limits<double>::infinity();
+        double untraced_seconds = std::numeric_limits<double>::infinity();
+        std::size_t traced_failed = 0;
+        std::size_t traced_lost = 0;
+        std::size_t untraced_failed = 0;
+        std::size_t untraced_lost = 0;
+        for (std::size_t round = 0; round < wire_repeats; ++round) {
+            traced_seconds = std::min(traced_seconds, run_pass(traced_server, traced_frames, traced_failed, traced_lost));
+            untraced_seconds = std::min(untraced_seconds, run_pass(untraced_server, untraced_frames, untraced_failed, untraced_lost));
+        }
+        obs_wire.failed = traced_failed + untraced_failed;
+        obs_wire.lost = traced_lost + untraced_lost;
+        obs_wire.traced_rps = static_cast<double>(obs_wire.requests_per_side) / traced_seconds;
+        obs_wire.untraced_rps = static_cast<double>(obs_wire.requests_per_side) / untraced_seconds;
+        obs_wire.ratio = obs_wire.untraced_rps > 0.0 ? obs_wire.traced_rps / obs_wire.untraced_rps : 0.0;
+
+        // tracing must demonstrably have been live end to end: retained
+        // traces on the traced engine must carry net stamps
+        const auto traced_engine = traced_registry.find("bench");
+        for (const auto &trace : traced_engine->recorder().traces(plssvm::serve::request_class::interactive)) {
+            if (trace.t_net_accepted_ns != 0) {
+                ++obs_wire.wire_traces;
+            }
+        }
+
+        plssvm::bench::table_printer wire_table{ { "wire path", "req/s", "failed", "lost" } };
+        wire_table.add_row({ "traced (id on every frame)", plssvm::bench::format_double(obs_wire.traced_rps, 0),
+                             std::to_string(traced_failed), std::to_string(traced_lost) });
+        wire_table.add_row({ "untraced (tracing off)", plssvm::bench::format_double(obs_wire.untraced_rps, 0),
+                             std::to_string(untraced_failed), std::to_string(untraced_lost) });
+        wire_table.print();
+
+        traced_server.stop();
+        untraced_server.stop();
+    }
+
     // the measured host profile closes the calibration loop: the next engine
     // start in this directory picks it up via serve::calibrated_host_profile
     const plssvm::sim::host_profile measured_host = plssvm::serve::measure_host_profile(sizeof(double));
@@ -1713,13 +1938,17 @@ int main(int argc, char **argv) {
     // wakeups) costs at most 3x the in-process async p99 at the same load
     const bool net_pass = net.net_failed == 0 && net.net_lost == 0
                           && net.p99_ratio > 0.0 && net.p99_ratio <= 3.0;
-    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= rbf256_target && blocked_beats_reference && reload_pass && sparse_pass && qos_pass && obs_pass && fault_pass && executor_pass && net_pass;
+    // wire tracing must demonstrably be live (traces with net stamps
+    // retained) AND nearly free on the wire hot path
+    const bool obs_wire_pass = obs_wire.wire_traces > 0 && obs_wire.failed == 0 && obs_wire.lost == 0
+                               && obs_wire.ratio >= 0.95;
+    const bool pass = worst_sync_speedup >= 3.0 && rbf256_speedup >= rbf256_target && blocked_beats_reference && reload_pass && sparse_pass && qos_pass && obs_pass && fault_pass && executor_pass && net_pass && obs_wire_pass;
     write_json("BENCH_serve.json", num_sv, dim, num_queries, engine_threads, repeats, options.quick,
-               engine_results, path_results, sparse_results, qos, obs, fault, reload, exec_scaling, net, measured_host,
+               engine_results, path_results, sparse_results, qos, obs, fault, reload, exec_scaling, net, obs_wire, measured_host,
                rbf256_speedup, rbf256_target, blocked_beats_reference, worst_sync_speedup, reload_pass,
                sparse_linear_99_speedup, sparse_dispatch_auto,
                qos_p99_ratio, qos_shed_fraction_4x, qos_batch_growth, qos_pass, obs_pass, fault_pass,
-               executor_pass, net_pass, pass);
+               executor_pass, net_pass, obs_wire_pass, pass);
 
     std::printf("\nworst batched-sync speedup over naive loop: %.1fx (gate: >= 3x)\n", worst_sync_speedup);
     std::printf("blocked speedup over per-point reference, rbf @ batch 256: %.2fx (gate: >= %.1fx on this host)\n", rbf256_speedup, rbf256_target);
@@ -1745,6 +1974,8 @@ int main(int argc, char **argv) {
                 engine_threads, exec_scaling.engines8_speedup, exec_scaling.scaling_target);
     std::printf("net plane: loopback p99 %.0f us vs in-process %.0f us -> %.2fx (gate: <= 3x, %zu failed, %zu lost)\n",
                 1e6 * net.net_p99_s, 1e6 * net.inproc_p99_s, net.p99_ratio, net.net_failed, net.net_lost);
+    std::printf("wire tracing: %.0f req/s traced vs %.0f req/s untraced -> %.3fx (gate: >= 0.95x, %zu wire traces retained)\n",
+                obs_wire.traced_rps, obs_wire.untraced_rps, obs_wire.ratio, obs_wire.wire_traces);
     std::printf("report written to BENCH_serve.json\n");
     return pass ? 0 : 1;
 }

@@ -54,11 +54,19 @@
 
 // loopback client of the `--listen` demo
 #include <arpa/inet.h>    // htons, htonl
+#include <csignal>        // std::signal, SIGTERM, SIGINT
 #include <netinet/in.h>   // sockaddr_in, INADDR_LOOPBACK
 #include <sys/socket.h>   // socket, connect
 #include <unistd.h>       // write, read, close
 
 namespace {
+
+/// SIGTERM/SIGINT observed while `--listen` serves: triggers a graceful
+/// drain (stop accepting, settle inflight requests, exit 0) instead of
+/// killing responses mid-write.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void on_shutdown_signal(int) { g_shutdown_requested = 1; }
 
 /// The `--qos` mode: graceful degradation under class-tagged overload.
 int qos_demo() {
@@ -315,8 +323,29 @@ int listen_demo(const std::uint16_t port, const double serve_seconds) {
                 server.ready() ? "true" : "false");
 
     if (serve_seconds > 0.0) {
-        std::printf("serving for %.0f more second(s)...\n", serve_seconds);
-        std::this_thread::sleep_for(std::chrono::duration<double>(serve_seconds));
+        // 5. graceful drain on SIGTERM/SIGINT: stop accepting, flip the
+        //    readiness probe to not-ready, let inflight requests settle,
+        //    then exit 0 — what an orchestrator's rolling restart expects
+        std::signal(SIGTERM, on_shutdown_signal);
+        std::signal(SIGINT, on_shutdown_signal);
+        std::printf("serving for %.0f more second(s) (SIGTERM drains gracefully)...\n", serve_seconds);
+        const auto serve_until = std::chrono::steady_clock::now() + std::chrono::duration<double>(serve_seconds);
+        while (std::chrono::steady_clock::now() < serve_until && g_shutdown_requested == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds{ 50 });
+        }
+        if (g_shutdown_requested != 0) {
+            std::printf("shutdown signal received: draining (inflight=%llu, ready -> false)\n",
+                        static_cast<unsigned long long>(server.inflight()));
+            server.begin_drain();
+            const auto drain_deadline = std::chrono::steady_clock::now() + std::chrono::seconds{ 10 };
+            while (server.inflight() > 0 && std::chrono::steady_clock::now() < drain_deadline) {
+                std::this_thread::sleep_for(std::chrono::milliseconds{ 10 });
+            }
+            std::printf("drained: inflight=%llu\n", static_cast<unsigned long long>(server.inflight()));
+            server.stop();
+            std::printf("graceful shutdown complete\n");
+            return 0;
+        }
         std::printf("final net stats: %s\n", server.stats_json().c_str());
     }
     return 0;

@@ -890,6 +890,10 @@ struct health_inputs {
     bool breaker_half_open{ false };
     /// A stall restart happened since the last observation.
     bool stall_restarted{ false };
+    /// SLO burn-rate alert at degraded severity (multi-window, see slo.hpp).
+    bool slo_degraded{ false };
+    /// SLO burn-rate alert at critical severity.
+    bool slo_critical{ false };
     /// Cumulative counters (the monitor diffs them internally into a window).
     std::size_t admission_attempts{ 0 };
     std::size_t shed{ 0 };
@@ -925,9 +929,9 @@ class health_monitor {
         const double miss_rate = d_completed > 0 ? static_cast<double>(d_misses) / static_cast<double>(d_completed) : 0.0;
 
         health_state next = health_state::healthy;
-        if (in.breaker_open || in.stall_restarted || shed_rate >= 0.5) {
+        if (in.breaker_open || in.stall_restarted || in.slo_critical || shed_rate >= 0.5) {
             next = health_state::critical;
-        } else if (in.breaker_half_open || d_quarantined > 0 || shed_rate >= 0.05 || miss_rate >= 0.05) {
+        } else if (in.breaker_half_open || in.slo_degraded || d_quarantined > 0 || shed_rate >= 0.05 || miss_rate >= 0.05) {
             next = health_state::degraded;
         }
 

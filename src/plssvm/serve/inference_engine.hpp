@@ -53,6 +53,7 @@
 #include "plssvm/serve/predict_dispatcher.hpp"
 #include "plssvm/serve/qos.hpp"
 #include "plssvm/serve/serve_stats.hpp"
+#include "plssvm/serve/slo.hpp"
 #include "plssvm/serve/snapshot.hpp"
 
 #include <algorithm>
@@ -107,6 +108,10 @@ struct engine_config {
     /// breakers, lane watchdog (off by default), and an optional fault
     /// injector for tests and soak benches (see `fault.hpp`).
     fault::fault_config fault{};
+    /// SLO plane: per-class latency/availability objectives evaluated as
+    /// multi-window burn rates over the rolling time series (see `slo.hpp`).
+    /// All objectives are disabled by default — no evaluation overhead.
+    slo_config slo{};
 };
 
 namespace detail {
@@ -302,7 +307,21 @@ void drain_requests(micro_batcher<T> &batcher, serve_metrics &metrics, obs::flig
                     trace.t_seal_ns = recorder.to_ns(batch.sealed);
                     trace.t_dispatch_ns = recorder.to_ns(dispatch_start);
                     trace.t_complete_ns = recorder.to_ns(end);
-                    recorder.record_complete(trace);
+                    if (req.wire != nullptr) {
+                        // wire-traced: convert the head net stamps into the
+                        // recorder's epoch, park the partial trace in the
+                        // context, and let the net completion path publish it
+                        // once the response is flushed (the tail stamps don't
+                        // exist yet)
+                        trace.t_net_accepted_ns = recorder.to_ns(req.wire->accepted);
+                        trace.t_net_read_ns = recorder.to_ns(req.wire->read_done);
+                        trace.t_net_decoded_ns = recorder.to_ns(req.wire->decoded);
+                        trace.t_net_dispatch_ns = recorder.to_ns(req.wire->dispatched);
+                        req.wire->trace = trace;
+                        req.wire->engine_filled.store(true, std::memory_order_release);
+                    } else {
+                        recorder.record_complete(trace);
+                    }
                 }
                 // settle LAST: a caller waking from future.get() must already
                 // see this request in the metrics (tests and scrapers read
@@ -562,7 +581,8 @@ class inference_engine {
                 [this](const std::size_t batch_size) { return estimated_batch_seconds(batch_size); } },
         batcher_{ batch_policy{ config.max_batch_size, config.batch_delay } },
         recorder_{ config.obs },
-        fault_plane_{ config.fault } {
+        fault_plane_{ config.fault },
+        slo_{ config.slo } {
         batcher_.set_class_policies(tuner_.policies());
         supervisor_.start(
             config_.fault.watchdog,
@@ -729,11 +749,39 @@ class inference_engine {
      *         sheds the request (rate limit or class backlog full)
      */
     [[nodiscard]] std::future<T> submit(std::vector<T> point, const request_options &options = {}) {
+        return submit(std::move(point), options, nullptr);
+    }
+
+    /**
+     * @brief Asynchronous single-point prediction carrying a wire-to-wire
+     *        trace context (the net plane's entry point).
+     *
+     * A client-supplied trace id (`wire->client_supplied`) forces the request
+     * to be traced regardless of the per-class sampling period, so an
+     * operator can always correlate one specific wire request end to end;
+     * otherwise the usual sampling decision applies. For traced requests the
+     * drain thread parks the engine-side trace in @p wire instead of
+     * publishing it (`engine_filled`), and the net completion path calls
+     * `publish_wire_trace()` after the response bytes are flushed — the
+     * flight recorder then retains the full >= 9-stamp wire trace.
+     */
+    [[nodiscard]] std::future<T> submit(std::vector<T> point, const request_options &options,
+                                        std::shared_ptr<obs::wire_trace_context> wire) {
         compiled_model<T>::validate_feature_count(num_features_, point.size());
         const auto admitted = detail::admit_or_shed(admission_, metrics_, recorder_, batcher_, options.cls);
         const std::chrono::microseconds deadline = detail::effective_deadline(admission_, options);
-        const std::uint64_t trace_id = recorder_.should_trace(options.cls, deadline.count() > 0) ? recorder_.next_trace_id() : 0;
-        return batcher_.enqueue(std::move(point), options.cls, deadline, admitted, trace_id);
+        std::uint64_t trace_id = 0;
+        if (wire != nullptr && wire->client_supplied) {
+            trace_id = wire->trace_id != 0 ? wire->trace_id : recorder_.next_trace_id();
+        } else if (recorder_.should_trace(options.cls, deadline.count() > 0)) {
+            trace_id = recorder_.next_trace_id();
+        }
+        if (trace_id == 0) {
+            wire = nullptr;  // unsampled: no engine-side fill, no publish
+        } else if (wire != nullptr) {
+            wire->trace_id = trace_id;
+        }
+        return batcher_.enqueue(std::move(point), options.cls, deadline, admitted, trace_id, std::move(wire));
     }
 
     /**
@@ -784,23 +832,70 @@ class inference_engine {
     /// by the fault plane's health state machine.
     [[nodiscard]] health_state health() const { return health_.state(); }
 
-    /// `stats()` rendered as a machine-readable JSON snapshot string.
-    [[nodiscard]] std::string stats_json() const { return to_json(stats()); }
-
-    /// Emit every metric family of this engine (counters/gauges, latency +
-    /// stage histograms, flight-recorder counters) into @p builder under
-    /// @p labels — the building block of `registry.metrics_text()`.
-    void collect_metrics(obs::prometheus_builder &builder, const obs::label_set &labels = {}) const {
-        collect_serve_stats(builder, stats(), labels);
-        metrics_.collect_histograms(builder, labels);
-        recorder_.collect(builder, labels);
+    /// The most recent SLO burn-rate evaluation (over the fast + slow
+    /// trailing windows ending at @p now).
+    [[nodiscard]] slo_report slo(const std::chrono::steady_clock::time_point now = std::chrono::steady_clock::now()) const {
+        return slo_.evaluate(metrics_.series(), now);
     }
 
-    /// All engine metrics in the Prometheus text exposition format.
+    /// `stats()` rendered as a machine-readable JSON snapshot string,
+    /// including the rolling `windows` (10 s / 1 m / 5 m rates and
+    /// percentiles) and `slo` (burn rates, alert states) sections.
+    [[nodiscard]] std::string stats_json() const {
+        std::string json = to_json(stats());
+        std::string extra = ", \"windows\": ";
+        extra += windows_json(metrics_.windows());
+        extra += ", \"slo\": ";
+        extra += to_json(slo());
+        json.insert(json.size() - 1, extra);  // splice before the closing '}'
+        return json;
+    }
+
+    /// Emit every metric family of this engine (counters/gauges, latency +
+    /// stage histograms, windowed rates/percentiles, SLO alert states,
+    /// flight-recorder counters) into @p builder under @p labels — the
+    /// building block of `registry.metrics_text()`. Process-wide families
+    /// (`plssvm_serve_build_info`, uptime) are NOT emitted here: they carry
+    /// no per-engine labels, so the aggregating exposition adds them exactly
+    /// once (see `obs::collect_build_info`).
+    void collect_metrics(obs::prometheus_builder &builder, const obs::label_set &labels = {}) const {
+        collect_serve_stats(builder, stats(), labels);
+        collect_window_stats(builder, metrics_.windows(), labels);
+        metrics_.collect_histograms(builder, labels);
+        recorder_.collect(builder, labels);
+        if (slo_.any_enabled()) {
+            const slo_report report = slo();
+            for (const request_class cls : all_request_classes) {
+                obs::label_set cl = labels;
+                cl.emplace_back("class", std::string{ request_class_to_string(cls) });
+                builder.add_gauge("plssvm_serve_slo_state", "Per-class SLO burn-rate alert state (0 = ok, 1 = degraded, 2 = critical)",
+                                  cl, static_cast<double>(static_cast<int>(report.classes[class_index(cls)].state)));
+            }
+        }
+    }
+
+    /// All engine metrics in the Prometheus text exposition format
+    /// (including the process-wide build-info/uptime families — this is a
+    /// complete standalone exposition).
     [[nodiscard]] std::string metrics_text() const {
         obs::prometheus_builder builder;
         collect_metrics(builder);
+        obs::collect_build_info(builder);
         return builder.text();
+    }
+
+    /// Publish a completed wire-to-wire trace: the drain thread parked the
+    /// engine-side trace in @p ctx (`engine_filled`), the caller (the net
+    /// completion path) stamped `encoded` / `flushed` after the response
+    /// bytes left the process. No-op if the engine never filled the context
+    /// (unsampled request, or the request failed before completion).
+    void publish_wire_trace(obs::wire_trace_context &ctx) {
+        if (!ctx.engine_filled.load(std::memory_order_acquire)) {
+            return;
+        }
+        ctx.trace.t_net_encoded_ns = recorder_.to_ns(ctx.encoded);
+        ctx.trace.t_net_flushed_ns = recorder_.to_ns(ctx.flushed);
+        recorder_.record_complete(ctx.trace);
     }
 
     /// The engine's flight recorder (retained lifecycle traces + shed events).
@@ -922,9 +1017,24 @@ class inference_engine {
         inputs.completed = sample.completed;
         inputs.deadline_misses = sample.deadline_misses;
         inputs.quarantined = sample.quarantined;
+        int slo_worst = 0;
+        if (slo_.any_enabled()) {
+            const slo_report report = slo_.evaluate(metrics_.series(), now);
+            inputs.slo_degraded = report.worst == slo_alert_state::degraded;
+            inputs.slo_critical = report.worst == slo_alert_state::critical;
+            slo_worst = static_cast<int>(report.worst);
+        }
         const fault::health_transition transition = health_.observe(inputs);
         if (transition.changed) {
             recorder_.record_health_transition(health_state_to_string(transition.from), health_state_to_string(transition.to));
+        }
+        const int slo_prev = last_slo_worst_.exchange(slo_worst, std::memory_order_relaxed);
+        if (slo_worst > slo_prev && !transition.changed) {
+            // an SLO burn escalation always forces evidence retention, even
+            // when the health state was already pinned by another signal
+            recorder_.record_health_transition(
+                slo_alert_state_to_string(static_cast<slo_alert_state>(slo_prev)),
+                slo_alert_state_to_string(static_cast<slo_alert_state>(slo_worst)));
         }
     }
 
@@ -949,8 +1059,10 @@ class inference_engine {
     serve_metrics metrics_;
     obs::flight_recorder recorder_;             ///< lifecycle traces + violation dumps
     mutable fault::fault_plane fault_plane_;    ///< breakers/backoff (mutable: `state()` advances open -> half-open on reads)
+    slo_engine slo_;                            ///< multi-window burn-rate evaluator
     fault::health_monitor health_;              ///< engine health state machine
     std::atomic<std::size_t> last_stall_seen_{ 0 };  ///< stall count at the last health observation
+    std::atomic<int> last_slo_worst_{ 0 };      ///< SLO alert severity at the last health observation
     detail::qos_feedback feedback_;             ///< drain-thread only
     fault::drain_supervisor<T> supervisor_;     ///< declared last: its threads use every other member
 };

@@ -34,6 +34,7 @@
 
 #include "plssvm/exceptions.hpp"
 #include "plssvm/serve/fault.hpp"
+#include "plssvm/serve/obs.hpp"
 #include "plssvm/serve/qos.hpp"
 
 #include <algorithm>
@@ -44,6 +45,7 @@
 #include <deque>
 #include <exception>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -64,6 +66,7 @@ class micro_batcher {
         time_point deadline{ no_deadline };                  ///< absolute fulfilment deadline
         std::uint64_t trace_id{ 0 };                         ///< flight-recorder trace id (0 = unsampled)
         bool traced{ false };                                ///< publish a lifecycle trace on completion
+        std::shared_ptr<obs::wire_trace_context> wire{};     ///< wire-to-wire trace context (null for in-process requests)
     };
 
     /// One popped batch: requests of exactly one class, FIFO within it.
@@ -139,7 +142,8 @@ class micro_batcher {
     /// @throws plssvm::exception if the batcher has been shut down
     [[nodiscard]] std::future<T> enqueue(std::vector<T> point, const request_class cls = request_class::interactive,
                                          const std::chrono::microseconds deadline_budget = std::chrono::microseconds{ 0 },
-                                         const time_point admitted = {}, const std::uint64_t trace_id = 0) {
+                                         const time_point admitted = {}, const std::uint64_t trace_id = 0,
+                                         std::shared_ptr<obs::wire_trace_context> wire = {}) {
         std::future<T> future;
         {
             const std::lock_guard lock{ mutex_ };
@@ -152,6 +156,7 @@ class micro_batcher {
             req.admitted = admitted == time_point{} ? req.enqueued : admitted;
             req.trace_id = trace_id;
             req.traced = trace_id != 0;
+            req.wire = std::move(wire);
             req.deadline = deadline_budget.count() > 0 ? req.enqueued + deadline_budget : no_deadline;
             min_deadline_[class_index(cls)] = std::min(min_deadline_[class_index(cls)], req.deadline);
             future = req.result.get_future();

@@ -306,22 +306,7 @@ class model_registry {
             if (!std::exchange(first, false)) {
                 json += ", ";
             }
-            // names are arbitrary user strings: escape them or one quote in
-            // a model name breaks every scraper
-            json += "\"";
-            for (const char c : name) {
-                if (c == '"' || c == '\\') {
-                    json += '\\';
-                    json += c;
-                } else if (static_cast<unsigned char>(c) < 0x20) {
-                    char buffer[8];
-                    std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
-                    json += buffer;
-                } else {
-                    json += c;
-                }
-            }
-            json += "\": ";
+            append_escaped_name(json, name);
             if (e.binary != nullptr) {
                 json += e.binary->stats_json();
             } else if (e.multiclass != nullptr) {
@@ -364,6 +349,7 @@ class model_registry {
         }
         builder.add_gauge("plssvm_serve_registry_health", "Registry-wide health: worst engine state (0 healthy, 1 degraded, 2 critical)",
                           {}, static_cast<double>(static_cast<std::uint8_t>(worst)));
+        obs::collect_build_info(builder);
         for (const lane_report &lane : exec_->lane_reports()) {
             const obs::label_set labels{ { "lane", lane.name } };
             builder.add_gauge("plssvm_serve_lane_queue_depth", "Tasks currently queued on an executor lane", labels, static_cast<double>(lane.stats.queue_depth));
@@ -373,6 +359,38 @@ class model_registry {
             builder.add_gauge("plssvm_serve_lane_home_domain", "NUMA domain an executor lane is homed on", labels, static_cast<double>(lane.home_domain));
         }
         return builder.text();
+    }
+
+    /**
+     * @brief Retained wire-to-wire traces of every resident engine:
+     *        `{"models": {"<name>": <dump json>, ...}}`. Backs the `trace`
+     *        wire op. Same pinning discipline as `stats_json()` — engines are
+     *        pinned under the registry mutex, dumped outside it, and LRU ages
+     *        are not refreshed.
+     */
+    [[nodiscard]] std::string trace_json() const {
+        std::vector<std::pair<std::string, entry>> resident;
+        {
+            const std::lock_guard lock{ mutex_ };
+            resident.assign(entries_.begin(), entries_.end());
+        }
+        std::string json = "{\"models\": {";
+        bool first = true;
+        for (const auto &[name, e] : resident) {
+            if (!std::exchange(first, false)) {
+                json += ", ";
+            }
+            append_escaped_name(json, name);
+            if (e.binary != nullptr) {
+                json += e.binary->dump_traces();
+            } else if (e.multiclass != nullptr) {
+                json += e.multiclass->dump_traces();
+            } else {
+                json += e.sharded->dump_traces();
+            }
+        }
+        json += "}}";
+        return json;
     }
 
     /// Registered names, most recently used first.
@@ -399,6 +417,26 @@ class model_registry {
         std::shared_ptr<sharded_engine<T>> sharded;
         std::uint64_t last_used{ 0 };
     };
+
+    /// Append `"<name>": ` to @p json with the name JSON-escaped — model
+    /// names are arbitrary user strings: one quote in a name would otherwise
+    /// break every scraper.
+    static void append_escaped_name(std::string &json, const std::string &name) {
+        json += "\"";
+        for (const char c : name) {
+            if (c == '"' || c == '\\') {
+                json += '\\';
+                json += c;
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+                json += buffer;
+            } else {
+                json += c;
+            }
+        }
+        json += "\": ";
+    }
 
     /// Health of whichever engine kind @p e holds.
     [[nodiscard]] static health_state entry_health(const entry &e) {

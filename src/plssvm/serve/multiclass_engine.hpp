@@ -230,14 +230,17 @@ class multiclass_engine {
     /// @p labels — the building block of `registry.metrics_text()`.
     void collect_metrics(obs::prometheus_builder &builder, const obs::label_set &labels = {}) const {
         collect_serve_stats(builder, stats(), labels);
+        collect_window_stats(builder, metrics_.windows(), labels);
         metrics_.collect_histograms(builder, labels);
         recorder_.collect(builder, labels);
     }
 
-    /// All engine metrics in the Prometheus text exposition format.
+    /// All engine metrics in the Prometheus text exposition format (plus the
+    /// process-wide build-info/uptime families — a standalone exposition).
     [[nodiscard]] std::string metrics_text() const {
         obs::prometheus_builder builder;
         collect_metrics(builder);
+        obs::collect_build_info(builder);
         return builder.text();
     }
 

@@ -17,16 +17,34 @@
 #define PLSSVM_SERVE_NET_CONNECTION_HPP_
 
 #include "plssvm/serve/net/framing.hpp"  // frame_decoder
+#include "plssvm/serve/obs.hpp"          // plssvm::serve::obs::latency_histogram
 
 #include <atomic>   // std::atomic
 #include <cstddef>  // std::size_t
 #include <cstdint>  // std::uint64_t
+#include <memory>   // std::shared_ptr
 #include <mutex>    // std::mutex
 #include <string>   // std::string
 
 namespace plssvm::serve::net {
 
 class net_server;
+
+/// Accumulated accounting of one remote peer (keyed by client IP). Shared by
+/// every connection from that peer and retained by the server past the
+/// connections' lifetimes, so per-client budgets survive reconnect churn.
+/// Counters are relaxed atomics; the end-to-end latency histogram takes its
+/// own mutex (recorded once per response, off the read path).
+struct peer_stats {
+    std::string peer;  ///< remote address ("other" = overflow aggregate past the tracked-peer cap)
+    std::atomic<std::uint64_t> connections{ 0 };
+    std::atomic<std::uint64_t> requests{ 0 };
+    std::atomic<std::uint64_t> sheds{ 0 };
+    std::atomic<std::uint64_t> bytes_in{ 0 };
+    std::atomic<std::uint64_t> bytes_out{ 0 };
+    mutable std::mutex hist_mutex;
+    obs::latency_histogram e2e;
+};
 
 class connection {
     friend class net_server;
@@ -74,6 +92,10 @@ class connection {
     std::atomic<std::uint64_t> responses_{ 0 };
     std::atomic<std::uint64_t> bytes_in_{ 0 };
     std::atomic<std::uint64_t> bytes_out_{ 0 };
+
+    /// Shared accounting record of this connection's remote peer (attached
+    /// by the acceptor; never null once adopted by an event loop).
+    std::shared_ptr<peer_stats> peer_;
 };
 
 }  // namespace plssvm::serve::net

@@ -12,6 +12,7 @@ namespace {
 
 constexpr std::uint8_t flag_sparse = 0x01;
 constexpr std::uint8_t flag_deadline = 0x02;
+constexpr std::uint8_t flag_trace = 0x04;
 
 // hard cap on entries a single request may carry, so a hostile length field
 // inside an accepted frame cannot trigger a huge allocation (the frame size
@@ -72,11 +73,17 @@ std::string encode_request_binary(const net_request &req) {
     if (req.deadline.count() > 0) {
         flags |= flag_deadline;
     }
+    if (req.trace_id != 0) {
+        flags |= flag_trace;
+    }
     w.u8(flags);
     w.u8(static_cast<std::uint8_t>(req.cls));
     w.str16(req.model);
     if (flags & flag_deadline) {
         w.u32(static_cast<std::uint32_t>(req.deadline.count()));
+    }
+    if (flags & flag_trace) {
+        w.u64(req.trace_id);
     }
     if (req.sparse) {
         w.u32(static_cast<std::uint32_t>(req.sparse_entries.size()));
@@ -107,6 +114,12 @@ std::optional<std::string> decode_request_binary(const std::string &payload, net
     out.cls = static_cast<request_class>(cls);
     if (flags & flag_deadline) {
         out.deadline = std::chrono::microseconds{ r.u32() };
+    }
+    if (flags & flag_trace) {
+        out.trace_id = r.u64();
+        if (out.trace_id == 0) {
+            return std::string{ "trace flag set but trace id is zero" };
+        }
     }
     out.sparse = (flags & flag_sparse) != 0;
     const std::uint32_t count = r.u32();
@@ -493,6 +506,9 @@ std::optional<std::string> parse_request_json(const std::string &line, net_reque
         } else if (op->str == "metrics") {
             out.op = request_op::metrics;
             return std::nullopt;
+        } else if (op->str == "trace") {
+            out.op = request_op::trace;
+            return std::nullopt;
         } else {
             return "unknown op \"" + op->str + "\"";
         }
@@ -531,6 +547,13 @@ std::optional<std::string> parse_request_json(const std::string &line, net_reque
             return std::string{ "\"deadline_us\" must be a non-negative number" };
         }
         out.deadline = std::chrono::microseconds{ static_cast<std::int64_t>(deadline->num) };
+    }
+
+    if (const json_value *trace_id = root.get("trace_id"); trace_id != nullptr) {
+        if (trace_id->k != json_value::kind::number || trace_id->num < 1) {
+            return std::string{ "\"trace_id\" must be a positive number" };
+        }
+        out.trace_id = static_cast<std::uint64_t>(trace_id->num);
     }
 
     const json_value *features = root.get("features");

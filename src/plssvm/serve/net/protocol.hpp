@@ -9,10 +9,12 @@
  * Binary request payload (all integers little-endian):
  * @code
  *   u64  id                      client-chosen, echoed verbatim
- *   u8   flags                   bit0 = sparse payload, bit1 = has deadline
+ *   u8   flags                   bit0 = sparse payload, bit1 = has deadline,
+ *                                bit2 = has trace id
  *   u8   request_class           0 interactive / 1 batch / 2 background
  *   u16  model_len  + bytes      model name
  *  [u32  deadline_us]            only when bit1 is set
+ *  [u64  trace_id]               only when bit2 is set (forces wire tracing)
  *   dense:  u32 count + count * f64
  *   sparse: u32 nnz   + nnz * (u32 index, f64 value)
  * @endcode
@@ -28,9 +30,11 @@
  *
  * JSON-lines requests are objects like
  * `{"model":"demo","id":7,"class":"interactive","deadline_us":2000,"features":[...]}`
- * (or `"sparse":[[index,value],...]`), plus side-channel ops
- * `{"op":"ready"}`, `{"op":"live"}`, `{"op":"stats"}`, `{"op":"metrics"}`
- * that back readiness/liveness probes and observability scrapes.
+ * (or `"sparse":[[index,value],...]`; an optional `"trace_id"` forces wire
+ * tracing of the request), plus side-channel ops `{"op":"ready"}`,
+ * `{"op":"live"}`, `{"op":"stats"}`, `{"op":"metrics"}`, `{"op":"trace"}`
+ * that back readiness/liveness probes and observability scrapes (`trace`
+ * returns the model store's retained wire-to-wire traces).
  */
 
 #ifndef PLSSVM_SERVE_NET_PROTOCOL_HPP_
@@ -58,6 +62,7 @@ enum class request_op : std::uint8_t {
     live = 2,     ///< liveness probe: answered as long as the event loop runs
     stats = 3,    ///< JSON stats snapshot (registry + net counters)
     metrics = 4,  ///< Prometheus exposition (JSON-escaped into one line)
+    trace = 5,    ///< retained wire-to-wire traces of every resident engine
 };
 
 /// Typed result of one request, shared by both wire encodings.
@@ -92,6 +97,7 @@ struct net_request {
     std::string model;
     request_class cls{ request_class::interactive };
     std::chrono::microseconds deadline{ 0 };  ///< 0 = class default
+    std::uint64_t trace_id{ 0 };              ///< != 0 forces a wire-to-wire trace under this id
     bool sparse{ false };
     std::vector<double> dense;
     std::vector<std::pair<std::uint32_t, double>> sparse_entries;

@@ -69,6 +69,9 @@ void connection::flush_locked(net_server &server) {
             out_sent_ += static_cast<std::size_t>(n);
             bytes_out_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
             server.bytes_out_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+            if (peer_ != nullptr) {
+                peer_->bytes_out.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+            }
             continue;
         }
         if (n < 0 && errno == EINTR) {
@@ -274,14 +277,18 @@ void net_server::accept_loop() {
             // accept until EAGAIN (the listening socket is level-triggered
             // here, but draining keeps the backlog short under bursts)
             while (true) {
-                const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+                sockaddr_in peer_addr{};
+                socklen_t peer_len = sizeof(peer_addr);
+                const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr *>(&peer_addr), &peer_len,
+                                         SOCK_NONBLOCK | SOCK_CLOEXEC);
                 if (fd < 0) {
                     if (errno == EINTR) {
                         continue;
                     }
                     break;  // EAGAIN or transient accept error
                 }
-                if (open_.load(std::memory_order_relaxed) >= config_.max_connections) {
+                if (draining_.load(std::memory_order_acquire)
+                    || open_.load(std::memory_order_relaxed) >= config_.max_connections) {
                     rejected_.fetch_add(1, std::memory_order_relaxed);
                     ::close(fd);
                     continue;
@@ -289,8 +296,15 @@ void net_server::accept_loop() {
                 const int nodelay = 1;
                 ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
 
+                char address[INET_ADDRSTRLEN] = "unknown";
+                if (peer_addr.sin_family == AF_INET) {
+                    ::inet_ntop(AF_INET, &peer_addr.sin_addr, address, sizeof(address));
+                }
+
                 auto conn = std::make_shared<connection>(fd, next_connection_id_.fetch_add(1, std::memory_order_relaxed) + 1,
                                                          config_.max_frame_bytes);
+                conn->peer_ = peer_for(address);
+                conn->peer_->connections.fetch_add(1, std::memory_order_relaxed);
                 accepted_.fetch_add(1, std::memory_order_relaxed);
                 open_.fetch_add(1, std::memory_order_relaxed);
 
@@ -384,6 +398,9 @@ void net_server::handle_writable(const std::shared_ptr<connection> &conn) {
 }
 
 void net_server::handle_readable(event_loop &loop, const std::shared_ptr<connection> &conn) {
+    // first net stamp of every message surfaced by this read cycle: the
+    // moment the event thread started servicing the socket
+    const auto accepted = std::chrono::steady_clock::now();
     bool eof = false;
     char buf[16384];
     while (true) {
@@ -392,6 +409,9 @@ void net_server::handle_readable(event_loop &loop, const std::shared_ptr<connect
             conn->decoder_.append(buf, static_cast<std::size_t>(n));
             conn->bytes_in_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
             bytes_in_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+            if (conn->peer_ != nullptr) {
+                conn->peer_->bytes_in.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+            }
             continue;
         }
         if (n < 0 && errno == EINTR) {
@@ -416,7 +436,7 @@ void net_server::handle_readable(event_loop &loop, const std::shared_ptr<connect
             } else {
                 lines_in_.fetch_add(1, std::memory_order_relaxed);
             }
-            handle_message(conn, msg, st == frame_decoder::status::line);
+            handle_message(conn, msg, st == frame_decoder::status::line, accepted, std::chrono::steady_clock::now());
             continue;
         }
         // protocol error: answer once (when the mode is known), then close
@@ -437,8 +457,10 @@ void net_server::handle_readable(event_loop &loop, const std::shared_ptr<connect
     }
 }
 
-void net_server::handle_message(const std::shared_ptr<connection> &conn, const std::string &msg, const bool is_json) {
-    const auto received = std::chrono::steady_clock::now();
+void net_server::handle_message(const std::shared_ptr<connection> &conn, const std::string &msg, const bool is_json,
+                                const std::chrono::steady_clock::time_point accepted,
+                                const std::chrono::steady_clock::time_point read_done) {
+    const auto received = read_done;
     const frame_decoder::wire_mode mode = is_json ? frame_decoder::wire_mode::json_lines : frame_decoder::wire_mode::binary;
 
     net_request req;
@@ -461,13 +483,34 @@ void net_server::handle_message(const std::shared_ptr<connection> &conn, const s
 
     requests_.fetch_add(1, std::memory_order_relaxed);
     conn->requests_.fetch_add(1, std::memory_order_relaxed);
+    if (conn->peer_ != nullptr) {
+        conn->peer_->requests.fetch_add(1, std::memory_order_relaxed);
+    }
     try {
         completion_task task;
         task.conn = conn;
         task.id = req.id;
         task.mode = mode;
         task.received = received;
-        task.future = dispatcher_->submit(req);
+        if (config_.wire_tracing) {
+            // stamp the net head stages; the engine merges them with its own
+            // lifecycle stamps if its sampling decision (or a client-supplied
+            // trace id) selects the request
+            task.wire = std::make_shared<obs::wire_trace_context>();
+            task.wire->trace_id = req.trace_id;
+            task.wire->client_supplied = req.trace_id != 0;
+            task.wire->accepted = accepted;
+            task.wire->read_done = read_done;
+            // one stamp for decode + dispatch: they are adjacent on this
+            // thread and a second clock read would only measure the clock
+            const auto decoded = std::chrono::steady_clock::now();
+            task.wire->decoded = decoded;
+            task.wire->dispatched = decoded;
+            task.future = dispatcher_->submit(req, task.wire);
+        } else {
+            task.future = dispatcher_->submit(req);
+        }
+        inflight_.fetch_add(1, std::memory_order_acq_rel);
         {
             const std::lock_guard lock{ hist_mutex_ };
             handle_hist_.record(seconds_since(received));
@@ -510,7 +553,7 @@ void net_server::handle_op(const std::shared_ptr<connection> &conn, const net_re
     switch (req.op) {
         case request_op::ready: {
             const health_state health = dispatcher_->health();
-            line = std::string{ "{\"status\": \"ok\", \"ready\": " } + (health != health_state::critical ? "true" : "false")
+            line = std::string{ "{\"status\": \"ok\", \"ready\": " } + (ready() ? "true" : "false")
                    + ", \"health\": \"" + std::string{ health_state_to_string(health) } + "\"}";
             break;
         }
@@ -523,6 +566,9 @@ void net_server::handle_op(const std::shared_ptr<connection> &conn, const net_re
         case request_op::metrics:
             line = "{\"status\": \"ok\", \"metrics\": \"" + json_escape(metrics_text()) + "\"}";
             break;
+        case request_op::trace:
+            line = "{\"status\": \"ok\", \"traces\": " + dispatcher_->trace_json() + "}";
+            break;
         default:
             return;
     }
@@ -532,7 +578,8 @@ void net_server::handle_op(const std::shared_ptr<connection> &conn, const net_re
 }
 
 void net_server::respond(const std::shared_ptr<connection> &conn, const frame_decoder::wire_mode mode, const net_response &resp,
-                         const std::chrono::steady_clock::time_point received) {
+                         const std::chrono::steady_clock::time_point received,
+                         const std::shared_ptr<obs::wire_trace_context> &wire_ctx) {
     switch (resp.status) {
         case response_status::ok:
             responses_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -557,11 +604,30 @@ void net_server::respond(const std::shared_ptr<connection> &conn, const frame_de
     } else {
         wire = encode_frame(frame_type::response, encode_response_binary(resp));
     }
+    if (wire_ctx != nullptr) {
+        wire_ctx->encoded = std::chrono::steady_clock::now();
+    }
     conn->enqueue_output(wire, *this);
     conn->responses_.fetch_add(1, std::memory_order_relaxed);
+    if (wire_ctx != nullptr) {
+        // last stamp of the wire-to-wire trace: the response bytes left (or
+        // were handed to the kernel to leave) the process
+        wire_ctx->flushed = std::chrono::steady_clock::now();
+        if (wire_ctx->finish) {
+            wire_ctx->finish(*wire_ctx);
+        }
+    }
+    const double e2e = seconds_since(received);
     {
         const std::lock_guard lock{ hist_mutex_ };
-        e2e_hist_.record(seconds_since(received));
+        e2e_hist_.record(e2e);
+    }
+    if (conn->peer_ != nullptr) {
+        if (resp.status == response_status::retry_after) {
+            conn->peer_->sheds.fetch_add(1, std::memory_order_relaxed);
+        }
+        const std::lock_guard lock{ conn->peer_->hist_mutex };
+        conn->peer_->e2e.record(e2e);
     }
 }
 
@@ -616,13 +682,31 @@ void net_server::completion_loop() {
             resp.status = response_status::failed;
             resp.error = e.what();
         }
-        respond(task.conn, task.mode, resp, task.received);
+        respond(task.conn, task.mode, resp, task.received, task.wire);
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
     }
 }
 
 // ---------------------------------------------------------------------------
 // stats / metrics
 // ---------------------------------------------------------------------------
+
+std::shared_ptr<peer_stats> net_server::peer_for(const std::string &address) {
+    const std::lock_guard lock{ peers_mutex_ };
+    if (const auto it = peers_.find(address); it != peers_.end()) {
+        return it->second;
+    }
+    // cap the tracked-peer cardinality: past the cap everything shares one
+    // overflow record, so a port scan cannot grow the map (or the metric
+    // label space) unbounded
+    const std::string key = peers_.size() < config_.max_tracked_peers ? address : std::string{ "other" };
+    auto &slot = peers_[key];
+    if (slot == nullptr) {
+        slot = std::make_shared<peer_stats>();
+        slot->peer = key;
+    }
+    return slot;
+}
 
 net_counters net_server::counters() const {
     net_counters c;
@@ -662,6 +746,9 @@ std::string net_server::stats_json() const {
     }
     char buf[512];
     std::string json = "{\"listen_port\": " + std::to_string(port_);
+    json += ", \"draining\": ";
+    json += draining() ? "true" : "false";
+    json += ", \"inflight\": " + std::to_string(inflight());
     std::snprintf(buf, sizeof(buf),
                   ", \"connections\": {\"accepted\": %llu, \"open\": %llu, \"closed\": %llu, \"rejected\": %llu}",
                   static_cast<unsigned long long>(c.connections_accepted), static_cast<unsigned long long>(c.connections_open),
@@ -701,6 +788,35 @@ std::string net_server::stats_json() const {
             first = false;
         }
     }
+    json += "], \"per_peer\": [";
+    std::vector<std::shared_ptr<peer_stats>> peers;
+    {
+        const std::lock_guard lock{ peers_mutex_ };
+        peers.reserve(peers_.size());
+        for (const auto &[address, stats] : peers_) {
+            peers.push_back(stats);
+        }
+    }
+    first = true;
+    for (const auto &peer : peers) {
+        double p99{};
+        {
+            const std::lock_guard lock{ peer->hist_mutex };
+            p99 = peer->e2e.quantile(0.99);
+        }
+        json += first ? "" : ", ";
+        first = false;
+        json += "{\"peer\": \"" + json_escape(peer->peer) + "\"";
+        std::snprintf(buf, sizeof(buf),
+                      ", \"connections\": %llu, \"requests\": %llu, \"sheds\": %llu, \"bytes_in\": %llu, \"bytes_out\": %llu, "
+                      "\"e2e_p99_us\": %.1f}",
+                      static_cast<unsigned long long>(peer->connections.load(std::memory_order_relaxed)),
+                      static_cast<unsigned long long>(peer->requests.load(std::memory_order_relaxed)),
+                      static_cast<unsigned long long>(peer->sheds.load(std::memory_order_relaxed)),
+                      static_cast<unsigned long long>(peer->bytes_in.load(std::memory_order_relaxed)),
+                      static_cast<unsigned long long>(peer->bytes_out.load(std::memory_order_relaxed)), p99 * 1e6);
+        json += buf;
+    }
     json += "]}";
     return json;
 }
@@ -737,19 +853,62 @@ void net_server::collect_metrics(obs::prometheus_builder &builder) const {
                         static_cast<double>(c.oversized_total));
     builder.add_counter("plssvm_serve_net_protocol_errors_total", "Protocol errors by kind.", { { "kind", "bad_magic" } },
                         static_cast<double>(c.bad_magic_total));
-    builder.add_gauge("plssvm_serve_net_ready", "Readiness (1 = model store below critical).", no_labels, ready() ? 1.0 : 0.0);
+    builder.add_gauge("plssvm_serve_net_ready", "Readiness (1 = not draining and model store below critical).", no_labels,
+                      ready() ? 1.0 : 0.0);
+    builder.add_gauge("plssvm_serve_net_draining", "Graceful drain in progress (1 = rejecting new connections).", no_labels,
+                      draining() ? 1.0 : 0.0);
+    builder.add_gauge("plssvm_serve_net_inflight_requests", "Predict requests submitted but not yet answered.", no_labels,
+                      static_cast<double>(inflight()));
+    builder.add_counter("plssvm_serve_net_exposition_invalid_total", "Merged metric expositions that failed the validity check.",
+                        no_labels, static_cast<double>(exposition_invalid_.load(std::memory_order_relaxed)));
     {
         const std::lock_guard lock{ hist_mutex_ };
         builder.add_histogram("plssvm_serve_net_request_seconds", "Request decoded to response serialized.", no_labels, e2e_hist_);
         builder.add_histogram("plssvm_serve_net_handle_seconds", "Synchronous decode+submit slice on the event thread.", no_labels,
                               handle_hist_);
     }
+    // per-peer accounting (bounded label space: see max_tracked_peers)
+    std::vector<std::shared_ptr<peer_stats>> peers;
+    {
+        const std::lock_guard lock{ peers_mutex_ };
+        peers.reserve(peers_.size());
+        for (const auto &[address, stats] : peers_) {
+            peers.push_back(stats);
+        }
+    }
+    for (const auto &peer : peers) {
+        const obs::label_set labels{ { "peer", peer->peer } };
+        builder.add_counter("plssvm_serve_net_peer_connections_total", "Connections accepted from a peer.", labels,
+                            static_cast<double>(peer->connections.load(std::memory_order_relaxed)));
+        builder.add_counter("plssvm_serve_net_peer_requests_total", "Predict requests decoded from a peer.", labels,
+                            static_cast<double>(peer->requests.load(std::memory_order_relaxed)));
+        builder.add_counter("plssvm_serve_net_peer_sheds_total", "Requests of a peer answered retry_after.", labels,
+                            static_cast<double>(peer->sheds.load(std::memory_order_relaxed)));
+        builder.add_counter("plssvm_serve_net_peer_bytes_in_total", "Bytes read from a peer.", labels,
+                            static_cast<double>(peer->bytes_in.load(std::memory_order_relaxed)));
+        builder.add_counter("plssvm_serve_net_peer_bytes_out_total", "Bytes written to a peer.", labels,
+                            static_cast<double>(peer->bytes_out.load(std::memory_order_relaxed)));
+        double p99{};
+        {
+            const std::lock_guard lock{ peer->hist_mutex };
+            p99 = peer->e2e.quantile(0.99);
+        }
+        builder.add_gauge("plssvm_serve_net_peer_e2e_p99_seconds", "Per-peer end-to-end p99 latency.", labels, p99);
+    }
 }
 
 std::string net_server::metrics_text() const {
     obs::prometheus_builder builder;
     collect_metrics(builder);
-    return dispatcher_->metrics_text() + builder.text();
+    obs::collect_build_info(builder);
+    // the model store renders its own exposition: merge instead of naively
+    // concatenating, so shared families (build info, window stats) keep one
+    // HELP/TYPE header and duplicate series are dropped
+    std::string merged = obs::merge_expositions({ dispatcher_->metrics_text(), builder.text() });
+    if (!obs::exposition_valid(merged)) {
+        exposition_invalid_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return merged;
 }
 
 }  // namespace plssvm::serve::net

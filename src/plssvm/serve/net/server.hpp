@@ -39,6 +39,7 @@
 #include <cstdint>             // std::uint16_t, std::uint64_t
 #include <deque>               // std::deque
 #include <future>              // std::future, std::async, std::launch
+#include <map>                 // std::map
 #include <memory>              // std::shared_ptr, std::unique_ptr
 #include <mutex>               // std::mutex
 #include <string>              // std::string
@@ -73,6 +74,14 @@ struct net_server_config {
     std::size_t max_connections{ 1024 };
     /// `listen(2)` backlog.
     int listen_backlog{ 128 };
+    /// Stamp wire-to-wire trace contexts onto predict requests (accepted /
+    /// read / decoded / dispatched / encoded / flushed, merged with the
+    /// engine lifecycle stamps). Sampling still happens per engine; turning
+    /// this off removes even the per-request context allocation.
+    bool wire_tracing{ true };
+    /// Distinct remote peers tracked individually; further peers aggregate
+    /// under the label `other` so a scan cannot grow the map unbounded.
+    std::size_t max_tracked_peers{ 64 };
 };
 
 /**
@@ -89,6 +98,15 @@ class model_dispatcher {
     /// `invalid_data_exception`; otherwise returns the engine future.
     [[nodiscard]] virtual std::future<double> submit(const net_request &req) = 0;
 
+    /// Wire-traced submit: @p wire carries the net-stage stamps into the
+    /// engine, whose drain thread parks the merged trace back in it. The
+    /// default ignores the context (stub dispatchers simply never publish a
+    /// trace), so existing dispatchers keep working unchanged.
+    [[nodiscard]] virtual std::future<double> submit(const net_request &req, const std::shared_ptr<obs::wire_trace_context> &wire) {
+        (void) wire;
+        return submit(req);
+    }
+
     /// Worst-engine health (backs the readiness probe).
     [[nodiscard]] virtual health_state health() const = 0;
 
@@ -97,6 +115,10 @@ class model_dispatcher {
 
     /// Model-store Prometheus exposition.
     [[nodiscard]] virtual std::string metrics_text() const = 0;
+
+    /// Retained wire-to-wire traces of the model store (backs the `trace`
+    /// wire op). Stub dispatchers inherit an empty object.
+    [[nodiscard]] virtual std::string trace_json() const { return "{}"; }
 };
 
 /// `model_dispatcher` over a `model_registry<T>`: resolves the model name
@@ -108,11 +130,51 @@ class registry_dispatcher final : public model_dispatcher {
         registry_{ registry } {}
 
     [[nodiscard]] std::future<double> submit(const net_request &req) override {
+        return submit(req, nullptr);
+    }
+
+    /**
+     * @brief Wire-traced submit. The context's `finish` hook is pointed at
+     *        the engine that will fill the trace, via a `weak_ptr`: the
+     *        context travels through the engine's own batcher queue, so a
+     *        strong reference would form a cycle (engine -> queued request
+     *        -> context -> closure -> engine) whose last reference can drop
+     *        on the engine's drain thread — destroying the engine there
+     *        self-joins the thread. With the weak hook a trace completing
+     *        after an LRU eviction is simply dropped (diagnostic data).
+     *        Sparse and multi-class submits are served untraced (the dense
+     *        binary path is the wire-traced one); the engine still applies
+     *        its own sampling decision.
+     */
+    [[nodiscard]] std::future<double> submit(const net_request &req, const std::shared_ptr<obs::wire_trace_context> &wire) override {
         const request_options options{ req.cls, req.deadline };
         if (const auto engine = registry_.find(req.model); engine != nullptr) {
+            if (wire != nullptr && !req.sparse) {
+                wire->finish = [weak = std::weak_ptr<inference_engine<T>>{ engine }](obs::wire_trace_context &ctx) {
+                    if (const auto locked = weak.lock()) {
+                        locked->publish_wire_trace(ctx);
+                    }
+                };
+                return wrap(engine->submit(to_point(req), options, wire));
+            }
             return wrap(submit_to(*engine, req, options));
         }
         if (const auto sharded = registry_.find_sharded(req.model); sharded != nullptr) {
+            if (wire != nullptr && !req.sparse) {
+                // the sharded submit points `finish` at the routed replica
+                // (raw reference); re-wrap it so the replica is only touched
+                // while the owning sharded engine is provably alive
+                std::future<T> f = sharded->submit(to_point(req), options, wire);
+                if (wire->finish) {
+                    wire->finish = [weak = std::weak_ptr<sharded_engine<T>>{ sharded },
+                                    inner = std::move(wire->finish)](obs::wire_trace_context &ctx) {
+                        if (const auto locked = weak.lock()) {
+                            inner(ctx);
+                        }
+                    };
+                }
+                return wrap(std::move(f));
+            }
             return wrap(submit_to(*sharded, req, options));
         }
         if (const auto multiclass = registry_.find_multiclass(req.model); multiclass != nullptr) {
@@ -129,6 +191,8 @@ class registry_dispatcher final : public model_dispatcher {
     [[nodiscard]] std::string stats_json() const override { return registry_.stats_json(); }
 
     [[nodiscard]] std::string metrics_text() const override { return registry_.metrics_text(); }
+
+    [[nodiscard]] std::string trace_json() const override { return registry_.trace_json(); }
 
   private:
     [[nodiscard]] static std::vector<T> to_point(const net_request &req) {
@@ -209,7 +273,23 @@ class net_server {
     [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
     /// Readiness: serving is possible unless the model store is critical.
-    [[nodiscard]] bool ready() const { return dispatcher_->health() != health_state::critical; }
+    /// A draining server reports not-ready so load balancers stop routing
+    /// to it while inflight requests settle.
+    [[nodiscard]] bool ready() const {
+        return !draining_.load(std::memory_order_acquire) && dispatcher_->health() != health_state::critical;
+    }
+
+    /// Enter graceful drain: new connections are rejected at accept,
+    /// readiness flips to not-ready, but established connections and
+    /// inflight requests keep being served. Poll `inflight()` for zero (and
+    /// then `stop()`) to settle a SIGTERM cleanly. Idempotent.
+    void begin_drain() { draining_.store(true, std::memory_order_release); }
+
+    [[nodiscard]] bool draining() const noexcept { return draining_.load(std::memory_order_acquire); }
+
+    /// Predict requests submitted to an engine whose response has not been
+    /// written back yet.
+    [[nodiscard]] std::uint64_t inflight() const noexcept { return inflight_.load(std::memory_order_acquire); }
 
     [[nodiscard]] net_counters counters() const;
 
@@ -232,6 +312,7 @@ class net_server {
         frame_decoder::wire_mode mode{ frame_decoder::wire_mode::binary };
         std::future<double> future;
         std::chrono::steady_clock::time_point received;
+        std::shared_ptr<obs::wire_trace_context> wire;  ///< null when wire tracing is off
     };
 
     void accept_loop();
@@ -241,11 +322,17 @@ class net_server {
     void adopt_pending(event_loop &loop);
     void handle_readable(event_loop &loop, const std::shared_ptr<connection> &conn);
     void handle_writable(const std::shared_ptr<connection> &conn);
-    void handle_message(const std::shared_ptr<connection> &conn, const std::string &msg, bool is_json);
+    void handle_message(const std::shared_ptr<connection> &conn, const std::string &msg, bool is_json,
+                        std::chrono::steady_clock::time_point accepted, std::chrono::steady_clock::time_point read_done);
     void handle_op(const std::shared_ptr<connection> &conn, const net_request &req);
     void respond(const std::shared_ptr<connection> &conn, frame_decoder::wire_mode mode, const net_response &resp,
-                 std::chrono::steady_clock::time_point received);
+                 std::chrono::steady_clock::time_point received, const std::shared_ptr<obs::wire_trace_context> &wire = nullptr);
     void close_connection(event_loop &loop, const std::shared_ptr<connection> &conn);
+
+    /// Shared accounting record of @p address, creating it on first contact;
+    /// past `max_tracked_peers` distinct peers everything lands on the
+    /// `other` overflow record.
+    [[nodiscard]] std::shared_ptr<peer_stats> peer_for(const std::string &address);
 
     net_server_config config_;
     std::shared_ptr<model_dispatcher> dispatcher_;
@@ -254,6 +341,8 @@ class net_server {
     int accept_wake_fd_{ -1 };
     std::uint16_t port_{ 0 };
     std::atomic<bool> stopping_{ false };
+    std::atomic<bool> draining_{ false };
+    std::atomic<std::uint64_t> inflight_{ 0 };
     std::atomic<std::uint64_t> next_connection_id_{ 0 };
     std::size_t next_loop_{ 0 };
 
@@ -291,6 +380,14 @@ class net_server {
     mutable std::mutex hist_mutex_;
     obs::latency_histogram e2e_hist_;
     obs::latency_histogram handle_hist_;
+
+    // per-peer accounting (keyed by remote IP; retained past disconnects)
+    mutable std::mutex peers_mutex_;
+    std::map<std::string, std::shared_ptr<peer_stats>> peers_;
+
+    /// Scrapes whose merged exposition failed the validity check (bumped in
+    /// `metrics_text()`, surfaced on the next scrape).
+    mutable std::atomic<std::uint64_t> exposition_invalid_{ 0 };
 };
 
 }  // namespace plssvm::serve::net

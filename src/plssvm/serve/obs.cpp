@@ -9,6 +9,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace plssvm::serve::obs {
@@ -58,9 +60,10 @@ constexpr std::size_t w_meta = 1;
 constexpr std::size_t w_batch = 2;
 constexpr std::size_t w_estimate = 3;
 constexpr std::size_t w_stamp0 = 4;  // admit, enqueue, seal, dispatch, complete
+constexpr std::size_t w_net0 = 9;    // accepted, read, decoded, dispatch, encoded, flushed
 
-[[nodiscard]] std::array<std::uint64_t, 9> encode(const request_trace &trace) {
-    std::array<std::uint64_t, 9> words{};
+[[nodiscard]] std::array<std::uint64_t, 15> encode(const request_trace &trace) {
+    std::array<std::uint64_t, 15> words{};
     words[w_id] = trace.id;
     words[w_meta] = static_cast<std::uint64_t>(trace.cls)
         | (static_cast<std::uint64_t>(trace.path) << 8)
@@ -74,10 +77,16 @@ constexpr std::size_t w_stamp0 = 4;  // admit, enqueue, seal, dispatch, complete
     words[w_stamp0 + 2] = trace.t_seal_ns;
     words[w_stamp0 + 3] = trace.t_dispatch_ns;
     words[w_stamp0 + 4] = trace.t_complete_ns;
+    words[w_net0 + 0] = trace.t_net_accepted_ns;
+    words[w_net0 + 1] = trace.t_net_read_ns;
+    words[w_net0 + 2] = trace.t_net_decoded_ns;
+    words[w_net0 + 3] = trace.t_net_dispatch_ns;
+    words[w_net0 + 4] = trace.t_net_encoded_ns;
+    words[w_net0 + 5] = trace.t_net_flushed_ns;
     return words;
 }
 
-[[nodiscard]] request_trace decode(const std::array<std::uint64_t, 9> &words) {
+[[nodiscard]] request_trace decode(const std::array<std::uint64_t, 15> &words) {
     request_trace trace{};
     trace.id = words[w_id];
     trace.cls = static_cast<request_class>(words[w_meta] & 0xffu);
@@ -92,6 +101,12 @@ constexpr std::size_t w_stamp0 = 4;  // admit, enqueue, seal, dispatch, complete
     trace.t_seal_ns = words[w_stamp0 + 2];
     trace.t_dispatch_ns = words[w_stamp0 + 3];
     trace.t_complete_ns = words[w_stamp0 + 4];
+    trace.t_net_accepted_ns = words[w_net0 + 0];
+    trace.t_net_read_ns = words[w_net0 + 1];
+    trace.t_net_decoded_ns = words[w_net0 + 2];
+    trace.t_net_dispatch_ns = words[w_net0 + 3];
+    trace.t_net_encoded_ns = words[w_net0 + 4];
+    trace.t_net_flushed_ns = words[w_net0 + 5];
     return trace;
 }
 
@@ -127,6 +142,23 @@ void append_trace_json(std::string &out, const request_trace &trace) {
     append_number(out, trace.t_dispatch_ns);
     out += ", \"t_complete_ns\": ";
     append_number(out, trace.t_complete_ns);
+    if (trace.t_net_accepted_ns != 0) {
+        out += ", \"net\": {\"t_accepted_ns\": ";
+        append_number(out, trace.t_net_accepted_ns);
+        out += ", \"t_read_ns\": ";
+        append_number(out, trace.t_net_read_ns);
+        out += ", \"t_decoded_ns\": ";
+        append_number(out, trace.t_net_decoded_ns);
+        out += ", \"t_dispatch_ns\": ";
+        append_number(out, trace.t_net_dispatch_ns);
+        out += ", \"t_encoded_ns\": ";
+        append_number(out, trace.t_net_encoded_ns);
+        out += ", \"t_flushed_ns\": ";
+        append_number(out, trace.t_net_flushed_ns);
+        out += ", \"wire_complete\": ";
+        out += trace.wire_complete() ? "true" : "false";
+        out += '}';
+    }
     out += ", \"spans_ns\": {";
     const stage_seconds spans = trace.spans_seconds();
     for (const trace_stage stage : all_trace_stages) {
@@ -140,6 +172,142 @@ void append_trace_json(std::string &out, const request_trace &trace) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// time_series_store
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::int64_t steady_second(const std::chrono::steady_clock::time_point tp) noexcept {
+    return std::chrono::duration_cast<std::chrono::seconds>(tp.time_since_epoch()).count();
+}
+
+}  // namespace
+
+time_series_store::time_series_store(const std::size_t capacity_seconds) :
+    buckets_(std::max<std::size_t>(capacity_seconds, 8)) {}
+
+time_series_store::bucket *time_series_store::acquire_bucket(const std::int64_t second) noexcept {
+    bucket &b = buckets_[static_cast<std::size_t>(second) % buckets_.size()];
+    std::int64_t current = b.second.load(std::memory_order_acquire);
+    if (current != second) {
+        if (current > second) {
+            return nullptr;  // observation older than the bucket's new lap: drop
+        }
+        if (b.second.compare_exchange_strong(current, second, std::memory_order_acq_rel)) {
+            // we won the rotation: zero the contents before publishing `ready`
+            for (std::size_t cls = 0; cls < num_request_classes; ++cls) {
+                b.completed[cls].store(0, std::memory_order_relaxed);
+                b.shed[cls].store(0, std::memory_order_relaxed);
+                b.failed[cls].store(0, std::memory_order_relaxed);
+                b.deadline_misses[cls].store(0, std::memory_order_relaxed);
+                for (auto &word : b.hist[cls]) {
+                    word.store(0, std::memory_order_relaxed);
+                }
+            }
+            b.ready.store(second, std::memory_order_release);
+            return &b;
+        }
+        if (current != second) {
+            return current > second ? nullptr : &b;  // raced with an even newer lap
+        }
+    }
+    // join: wait (briefly — zeroing is sub-microsecond) until the rotating
+    // writer published `ready`; bail if a newer second laps the bucket
+    for (int spin = 0; b.ready.load(std::memory_order_acquire) != second; ++spin) {
+        if (b.second.load(std::memory_order_relaxed) != second) {
+            return nullptr;
+        }
+        if (spin > 1024) {
+            return nullptr;  // pathological stall: drop the observation
+        }
+    }
+    return &b;
+}
+
+void time_series_store::record_complete(const request_class cls, const std::chrono::steady_clock::time_point now,
+                                        const double latency_seconds, const bool deadline_missed) noexcept {
+    bucket *b = acquire_bucket(steady_second(now));
+    if (b == nullptr) {
+        return;
+    }
+    const std::size_t i = class_index(cls);
+    b->completed[i].fetch_add(1, std::memory_order_relaxed);
+    if (deadline_missed) {
+        b->deadline_misses[i].fetch_add(1, std::memory_order_relaxed);
+    }
+    const double ns_d = latency_seconds > 0.0 ? latency_seconds * 1e9 : 0.0;
+    const auto ns = ns_d < static_cast<double>(latency_histogram::max_value_ns)
+        ? static_cast<std::uint64_t>(ns_d)
+        : latency_histogram::max_value_ns;
+    b->hist[i][latency_histogram::bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void time_series_store::record_shed(const request_class cls, const std::chrono::steady_clock::time_point now) noexcept {
+    bucket *b = acquire_bucket(steady_second(now));
+    if (b != nullptr) {
+        b->shed[class_index(cls)].fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void time_series_store::record_failure(const request_class cls, const std::chrono::steady_clock::time_point now) noexcept {
+    bucket *b = acquire_bucket(steady_second(now));
+    if (b != nullptr) {
+        b->failed[class_index(cls)].fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+std::vector<time_series_store::window_view> time_series_store::windows(const std::chrono::steady_clock::time_point now,
+                                                                       const std::vector<std::chrono::seconds> &spans) const {
+    std::vector<window_view> views(spans.size());
+    std::int64_t max_span = 0;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        views[i].window = spans[i];
+        max_span = std::max<std::int64_t>(max_span, spans[i].count());
+    }
+    const std::int64_t now_sec = steady_second(now);
+    for (const bucket &b : buckets_) {
+        const std::int64_t sec = b.ready.load(std::memory_order_acquire);
+        if (sec < 0 || sec > now_sec || now_sec - sec >= max_span) {
+            continue;  // unused, from the future (clock skew), or expired
+        }
+        // copy the bucket, then re-validate it was not rotated mid-copy
+        per_class<std::uint64_t> completed{};
+        per_class<std::uint64_t> shed{};
+        per_class<std::uint64_t> failed{};
+        per_class<std::uint64_t> misses{};
+        std::array<std::array<std::uint64_t, latency_histogram::num_buckets>, num_request_classes> hist{};
+        for (std::size_t cls = 0; cls < num_request_classes; ++cls) {
+            completed[cls] = b.completed[cls].load(std::memory_order_relaxed);
+            shed[cls] = b.shed[cls].load(std::memory_order_relaxed);
+            failed[cls] = b.failed[cls].load(std::memory_order_relaxed);
+            misses[cls] = b.deadline_misses[cls].load(std::memory_order_relaxed);
+            for (std::size_t w = 0; w < latency_histogram::num_buckets; ++w) {
+                hist[cls][w] = b.hist[cls][w].load(std::memory_order_relaxed);
+            }
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (b.second.load(std::memory_order_relaxed) != sec) {
+            continue;  // rotated while copying — drop rather than tear
+        }
+        for (std::size_t v = 0; v < views.size(); ++v) {
+            if (now_sec - sec >= views[v].window.count()) {
+                continue;
+            }
+            for (std::size_t cls = 0; cls < num_request_classes; ++cls) {
+                views[v].completed[cls] += completed[cls];
+                views[v].shed[cls] += shed[cls];
+                views[v].failed[cls] += failed[cls];
+                views[v].deadline_misses[cls] += misses[cls];
+                for (std::size_t w = 0; w < latency_histogram::num_buckets; ++w) {
+                    views[v].latency[cls].accumulate(w, hist[cls][w]);
+                }
+            }
+        }
+    }
+    return views;
+}
 
 // ---------------------------------------------------------------------------
 // trace_ring
@@ -160,7 +328,7 @@ void trace_ring::publish(const request_trace &trace) noexcept {
     slot &s = slots_[static_cast<std::size_t>(ticket) & mask_];
     // odd sequence = write in progress; readers skip the slot
     s.seq.store(2 * ticket + 1, std::memory_order_release);
-    const std::array<std::uint64_t, 9> words = encode(trace);
+    const std::array<std::uint64_t, 15> words = encode(trace);
     for (std::size_t i = 0; i < words.size(); ++i) {
         s.words[i].store(words[i], std::memory_order_relaxed);
     }
@@ -179,7 +347,7 @@ void trace_ring::collect(std::vector<request_trace> &out) const {
         if (s.seq.load(std::memory_order_acquire) != 2 * ticket + 2) {
             continue;  // mid-write or already overwritten by a newer lap
         }
-        std::array<std::uint64_t, 9> words{};
+        std::array<std::uint64_t, 15> words{};
         for (std::size_t i = 0; i < words.size(); ++i) {
             words[i] = s.words[i].load(std::memory_order_relaxed);
         }
@@ -431,6 +599,205 @@ void flight_recorder::maybe_violation_dump(const std::string_view reason) {
         last_violation_dump_ = std::move(json);
     }
     violation_dumps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// exposition merge + validity
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Family a sample line belongs to, given the declared histogram families:
+/// `name_bucket` / `name_sum` / `name_count` fold back onto `name`.
+[[nodiscard]] std::string_view sample_family(const std::string_view series_name,
+                                             const std::unordered_map<std::string, std::string> &family_types) {
+    if (family_types.count(std::string{ series_name }) != 0) {
+        return series_name;
+    }
+    for (const std::string_view suffix : { std::string_view{ "_bucket" }, std::string_view{ "_sum" }, std::string_view{ "_count" } }) {
+        if (series_name.size() > suffix.size() && series_name.substr(series_name.size() - suffix.size()) == suffix) {
+            const std::string_view base = series_name.substr(0, series_name.size() - suffix.size());
+            const auto it = family_types.find(std::string{ base });
+            if (it != family_types.end() && it->second == "histogram") {
+                return base;
+            }
+        }
+    }
+    return {};
+}
+
+/// `name` or `name{labels}` of a sample line (everything before the value).
+[[nodiscard]] std::string_view series_key(const std::string_view line) {
+    const std::size_t space = line.rfind(' ');
+    return space == std::string_view::npos ? line : line.substr(0, space);
+}
+
+/// Bare metric name of a series key (strips the label block).
+[[nodiscard]] std::string_view series_name(const std::string_view key) {
+    const std::size_t brace = key.find('{');
+    return brace == std::string_view::npos ? key : key.substr(0, brace);
+}
+
+}  // namespace
+
+std::string merge_expositions(const std::vector<std::string> &texts) {
+    struct merged_family {
+        std::string help_line;
+        std::string type_line;
+        std::vector<std::string> samples;
+    };
+    std::vector<std::string> order;                        // family names, first-seen
+    std::unordered_map<std::string, merged_family> families;
+    std::unordered_set<std::string> seen_series;
+    std::string pending_help;                              // HELP line waiting for its TYPE
+    std::string current;                                   // family the next samples belong to
+
+    for (const std::string &text : texts) {
+        current.clear();
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t end = text.find('\n', pos);
+            if (end == std::string::npos) {
+                end = text.size();
+            }
+            const std::string_view line{ text.data() + pos, end - pos };
+            pos = end + 1;
+            if (line.empty()) {
+                continue;
+            }
+            if (line.rfind("# HELP ", 0) == 0) {
+                pending_help = std::string{ line };
+                continue;
+            }
+            if (line.rfind("# TYPE ", 0) == 0) {
+                const std::string_view rest = line.substr(7);
+                const std::size_t space = rest.find(' ');
+                const std::string name{ space == std::string_view::npos ? rest : rest.substr(0, space) };
+                auto [it, inserted] = families.try_emplace(name);
+                if (inserted) {
+                    it->second.help_line = pending_help;
+                    it->second.type_line = std::string{ line };
+                    order.push_back(name);
+                }
+                current = name;
+                pending_help.clear();
+                continue;
+            }
+            // sample line: group under the family of the preceding TYPE
+            // header; duplicate series (same name + labels) keep the first
+            const std::string key{ series_key(line) };
+            if (!seen_series.insert(key).second) {
+                continue;
+            }
+            auto it = families.find(current);
+            if (it != families.end()) {
+                it->second.samples.emplace_back(line);
+            }
+        }
+    }
+
+    std::string out;
+    out.reserve(4096);
+    for (const std::string &name : order) {
+        const merged_family &fam = families[name];
+        if (!fam.help_line.empty()) {
+            out += fam.help_line;
+            out += '\n';
+        }
+        out += fam.type_line;
+        out += '\n';
+        for (const std::string &sample : fam.samples) {
+            out += sample;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+bool exposition_valid(const std::string_view text) {
+    std::unordered_map<std::string, std::string> family_types;  // name -> type
+    std::unordered_set<std::string> seen_series;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string_view::npos) {
+            end = text.size();
+        }
+        const std::string_view line = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty() || line.rfind("# HELP ", 0) == 0) {
+            continue;
+        }
+        if (line.rfind("# TYPE ", 0) == 0) {
+            const std::string_view rest = line.substr(7);
+            const std::size_t space = rest.find(' ');
+            if (space == std::string_view::npos) {
+                return false;  // TYPE without a type token
+            }
+            const std::string name{ rest.substr(0, space) };
+            if (!family_types.emplace(name, std::string{ rest.substr(space + 1) }).second) {
+                return false;  // family declared twice
+            }
+            continue;
+        }
+        if (line[0] == '#') {
+            continue;  // comment
+        }
+        const std::string_view key = series_key(line);
+        if (key.size() == line.size()) {
+            return false;  // sample line without a value
+        }
+        if (sample_family(series_name(key), family_types).empty()) {
+            return false;  // sample without a declared family
+        }
+        if (!seen_series.insert(std::string{ key }).second) {
+            return false;  // duplicate series
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// build info + uptime
+// ---------------------------------------------------------------------------
+
+std::string_view compiled_isa() noexcept {
+#if defined(__AVX512F__)
+    return "avx512f";
+#elif defined(__AVX2__)
+    return "avx2";
+#elif defined(__AVX__)
+    return "avx";
+#elif defined(__SSE4_2__)
+    return "sse4.2";
+#elif defined(__SSE2__) || defined(__x86_64__)
+    return "sse2";
+#elif defined(__aarch64__)
+    return "neon";
+#else
+    return "generic";
+#endif
+}
+
+namespace {
+
+/// Process-wide serving epoch: first touch of the obs plane.
+[[nodiscard]] std::chrono::steady_clock::time_point process_epoch() noexcept {
+    static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+}  // namespace
+
+double process_uptime_seconds() noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - process_epoch()).count();
+}
+
+void collect_build_info(prometheus_builder &builder) {
+    builder.add_gauge("plssvm_serve_build_info", "Serving stack build metadata (constant 1; version/ISA in labels)",
+                      { { "version", std::string{ serve_version } }, { "isa", std::string{ compiled_isa() } } }, 1.0);
+    builder.add_gauge("plssvm_serve_uptime_seconds", "Seconds since the serving plane was initialized in this process",
+                      {}, process_uptime_seconds());
 }
 
 void flight_recorder::collect(prometheus_builder &builder, const label_set &labels) const {

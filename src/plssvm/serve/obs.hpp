@@ -42,6 +42,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -186,6 +187,21 @@ class latency_histogram {
         max_ns_ = ns > max_ns_ ? ns : max_ns_;
     }
 
+    /// Fold @p count observations quantized at bucket @p index into the
+    /// histogram (used by time-series window merges; the sum charges each
+    /// observation at the bucket's upper bound, consistent with quantile()'s
+    /// one-sided error).
+    void accumulate(const std::size_t index, const std::uint64_t count) noexcept {
+        if (index >= num_buckets || count == 0) {
+            return;
+        }
+        counts_[index] += count;
+        count_ += count;
+        const std::uint64_t upper = bucket_upper_ns(index);
+        sum_seconds_ += static_cast<double>(count) * static_cast<double>(upper) * 1e-9;
+        max_ns_ = upper > max_ns_ ? upper : max_ns_;
+    }
+
     /// Fold @p other into this histogram (cross-engine aggregation).
     void merge(const latency_histogram &other) noexcept {
         for (std::size_t i = 0; i < num_buckets; ++i) {
@@ -260,6 +276,105 @@ class latency_histogram {
 };
 
 // ---------------------------------------------------------------------------
+// rolling time-series store
+// ---------------------------------------------------------------------------
+
+/**
+ * @brief Lock-free rolling time series of per-second buckets: per-class
+ *        counter deltas plus a mergeable `latency_histogram` per bucket,
+ *        so windowed rates and percentiles (10s / 1m / 5m) are computable
+ *        at any moment without a since-epoch bias.
+ *
+ * Writers (engine drain lanes) claim the bucket of the observation's wall
+ * second with one CAS per rotation (once per second per bucket) and record
+ * with relaxed atomic adds — no mutex on the hot path, TSan-clean. Readers
+ * sweep the ring (only on stats/scrape requests), re-validating each
+ * bucket's second after copying so a concurrent rotation drops the bucket
+ * instead of yielding torn data.
+ *
+ * The clock is injected per call (`record*`/`windows` take the observation
+ * time point), which makes bucket rollover, ring wraparound, and idle-gap
+ * behavior deterministic under a fake clock in tests.
+ */
+class time_series_store {
+  public:
+    /// Default ring capacity in seconds: covers the 5 m window plus slack.
+    static constexpr std::size_t default_capacity_seconds = 330;
+
+    explicit time_series_store(std::size_t capacity_seconds = default_capacity_seconds);
+
+    time_series_store(const time_series_store &) = delete;
+    time_series_store &operator=(const time_series_store &) = delete;
+
+    /// Record one completed request observed at @p now.
+    void record_complete(request_class cls, std::chrono::steady_clock::time_point now,
+                         double latency_seconds, bool deadline_missed) noexcept;
+
+    /// Record one shed decision observed at @p now.
+    void record_shed(request_class cls, std::chrono::steady_clock::time_point now) noexcept;
+
+    /// Record one failed (typed-error) request observed at @p now.
+    void record_failure(request_class cls, std::chrono::steady_clock::time_point now) noexcept;
+
+    /// Aggregates of one trailing window ending at the query instant.
+    struct window_view {
+        std::chrono::seconds window{ 0 };
+        per_class<std::uint64_t> completed{};
+        per_class<std::uint64_t> shed{};
+        per_class<std::uint64_t> failed{};
+        per_class<std::uint64_t> deadline_misses{};
+        per_class<latency_histogram> latency{};
+
+        [[nodiscard]] std::uint64_t total_completed() const noexcept {
+            std::uint64_t total = 0;
+            for (const std::uint64_t v : completed) { total += v; }
+            return total;
+        }
+
+        /// Requests per second over the window (completed only).
+        [[nodiscard]] double rate(const request_class cls) const noexcept {
+            return window.count() > 0 ? static_cast<double>(completed[class_index(cls)]) / static_cast<double>(window.count()) : 0.0;
+        }
+
+        /// Fraction of offered requests answered (1.0 when idle).
+        [[nodiscard]] double availability(const request_class cls) const noexcept {
+            const std::size_t i = class_index(cls);
+            const std::uint64_t offered = completed[i] + shed[i] + failed[i];
+            return offered == 0 ? 1.0 : static_cast<double>(completed[i]) / static_cast<double>(offered);
+        }
+    };
+
+    /// One sweep over the ring producing every requested trailing window
+    /// (ending at @p now). Buckets older than the largest span are skipped;
+    /// a bucket rotated concurrently with the read is dropped, not torn.
+    [[nodiscard]] std::vector<window_view> windows(std::chrono::steady_clock::time_point now,
+                                                   const std::vector<std::chrono::seconds> &spans) const;
+
+    /// Ring capacity in seconds.
+    [[nodiscard]] std::size_t capacity_seconds() const noexcept { return buckets_.size(); }
+
+  private:
+    /// One per-second bucket. `second` is the claimed absolute steady-clock
+    /// second, `ready` flips to that second only after the claimant zeroed
+    /// the contents; writers that lose the rotation race spin briefly on
+    /// `ready`, writers lapped by a newer second drop the observation.
+    struct bucket {
+        std::atomic<std::int64_t> second{ -1 };
+        std::atomic<std::int64_t> ready{ -1 };
+        per_class<std::atomic<std::uint64_t>> completed{};
+        per_class<std::atomic<std::uint64_t>> shed{};
+        per_class<std::atomic<std::uint64_t>> failed{};
+        per_class<std::atomic<std::uint64_t>> deadline_misses{};
+        std::array<std::array<std::atomic<std::uint64_t>, latency_histogram::num_buckets>, num_request_classes> hist{};
+    };
+
+    /// Rotate-or-join the bucket of @p second; nullptr when lapped.
+    [[nodiscard]] bucket *acquire_bucket(std::int64_t second) noexcept;
+
+    std::vector<bucket> buckets_;
+};
+
+// ---------------------------------------------------------------------------
 // request traces + lock-free trace ring
 // ---------------------------------------------------------------------------
 
@@ -281,11 +396,29 @@ struct request_trace {
     std::uint64_t t_seal_ns{ 0 };               ///< batch sealed (popped for draining)
     std::uint64_t t_dispatch_ns{ 0 };           ///< kernel dispatch started
     std::uint64_t t_complete_ns{ 0 };           ///< promise fulfilled
+    // Wire-to-wire net stamps (0 for in-process requests): set by the net
+    // plane for requests that arrived over TCP, converted into the owning
+    // recorder's epoch so all eleven stamps share one timeline.
+    std::uint64_t t_net_accepted_ns{ 0 };       ///< read event began being serviced
+    std::uint64_t t_net_read_ns{ 0 };           ///< message bytes fully reassembled
+    std::uint64_t t_net_decoded_ns{ 0 };        ///< request decoded (binary/JSON)
+    std::uint64_t t_net_dispatch_ns{ 0 };       ///< handed to the model dispatcher
+    std::uint64_t t_net_encoded_ns{ 0 };        ///< response bytes encoded
+    std::uint64_t t_net_flushed_ns{ 0 };        ///< response handed to the socket
 
     /// All five lifecycle stamps present and monotone.
     [[nodiscard]] bool spans_complete() const noexcept {
         return !shed && t_admit_ns != 0 && t_admit_ns <= t_enqueue_ns && t_enqueue_ns <= t_seal_ns
             && t_seal_ns <= t_dispatch_ns && t_dispatch_ns <= t_complete_ns;
+    }
+
+    /// True for a wire-to-wire trace: the engine lifecycle is complete and
+    /// all six net stamps are present and monotone around it (>= 9 stamps).
+    [[nodiscard]] bool wire_complete() const noexcept {
+        return spans_complete() && t_net_accepted_ns != 0 && t_net_accepted_ns <= t_net_read_ns
+            && t_net_read_ns <= t_net_decoded_ns && t_net_decoded_ns <= t_net_dispatch_ns
+            && t_net_dispatch_ns <= t_admit_ns && t_complete_ns <= t_net_encoded_ns
+            && t_net_encoded_ns <= t_net_flushed_ns;
     }
 
     /// Per-stage durations in seconds (0 for unreached stages).
@@ -300,6 +433,45 @@ struct request_trace {
         spans[stage_index(trace_stage::service)] = span(t_dispatch_ns, t_complete_ns);
         return spans;
     }
+};
+
+/**
+ * @brief Per-request wire trace context shared between the net plane and the
+ *        engine drain loop.
+ *
+ * The net plane captures its stamps as raw steady-clock time points (it has
+ * no recorder epoch); the engine that serves the request converts everything
+ * into its own recorder's epoch. Ownership: the net server allocates one
+ * context per traced wire request and keeps it alive through the completion
+ * path; the dispatcher installs `finish` (capturing the engine `shared_ptr`,
+ * so the recorder outlives the trace) and the engine fills `trace` with the
+ * head net stamps plus its five lifecycle stamps at completion. After the
+ * response is flushed, the net completion worker stamps `encoded`/`flushed`
+ * and calls `finish`, which publishes the complete >= 9-stamp trace into the
+ * engine's per-class rings.
+ */
+struct wire_trace_context {
+    /// Trace id: nonzero when supplied by the client (always traced) or
+    /// assigned by the engine's recorder at admission.
+    std::uint64_t trace_id{ 0 };
+    /// True when the id came in over the wire (forces tracing through any
+    /// sampling decision).
+    bool client_supplied{ false };
+    // net head stamps (steady clock, raw)
+    std::chrono::steady_clock::time_point accepted{};
+    std::chrono::steady_clock::time_point read_done{};
+    std::chrono::steady_clock::time_point decoded{};
+    std::chrono::steady_clock::time_point dispatched{};
+    // net tail stamps (steady clock, raw) — set by the completion worker
+    std::chrono::steady_clock::time_point encoded{};
+    std::chrono::steady_clock::time_point flushed{};
+    /// Engine-filled trace (head net stamps + engine lifecycle, recorder
+    /// epoch). Valid once `engine_filled` is true (release/acquire).
+    request_trace trace{};
+    std::atomic<bool> engine_filled{ false };
+    /// Publishes the finished trace into the serving engine's recorder;
+    /// installed by the dispatcher, invoked by the net completion worker.
+    std::function<void(wire_trace_context &)> finish{};
 };
 
 /**
@@ -338,11 +510,12 @@ class trace_ring {
     [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
   private:
-    /// One ring slot: the sequence word plus the trace packed into nine
-    /// relaxed-atomic words (id, meta, batch size, estimate bits, 5 stamps).
+    /// One ring slot: the sequence word plus the trace packed into fifteen
+    /// relaxed-atomic words (id, meta, batch size, estimate bits, 5 engine
+    /// stamps, 6 net stamps).
     struct slot {
         std::atomic<std::uint64_t> seq{ 0 };
-        std::array<std::atomic<std::uint64_t>, 9> words{};
+        std::array<std::atomic<std::uint64_t>, 15> words{};
     };
 
     std::vector<slot> slots_;
@@ -393,6 +566,37 @@ class prometheus_builder {
 
     std::vector<family> families_;
 };
+
+/// Merge one or more rendered Prometheus text expositions into a single
+/// valid one: repeated `# HELP` / `# TYPE` headers of the same family are
+/// deduplicated (first declaration wins), samples regroup under their family
+/// in first-seen order, and exact duplicate series (same name + label set)
+/// keep the first sample — so component expositions that each carry e.g.
+/// `plssvm_serve_build_info` combine without double declarations.
+[[nodiscard]] std::string merge_expositions(const std::vector<std::string> &texts);
+
+/// Single-pass validity check over exposition text: every sample belongs to
+/// a previously declared family (histogram `_bucket`/`_sum`/`_count`
+/// suffixes resolve to their base family), no family is declared twice, and
+/// no series (name + label set) repeats.
+[[nodiscard]] bool exposition_valid(std::string_view text);
+
+// ---------------------------------------------------------------------------
+// build info + uptime
+// ---------------------------------------------------------------------------
+
+/// Version string reported by `plssvm_serve_build_info`.
+inline constexpr std::string_view serve_version = "0.1.0";
+
+/// Best compile-time ISA the serving kernels were built against.
+[[nodiscard]] std::string_view compiled_isa() noexcept;
+
+/// Seconds since the process's serving plane was first touched.
+[[nodiscard]] double process_uptime_seconds() noexcept;
+
+/// Emit `plssvm_serve_build_info{version,isa} 1` and
+/// `plssvm_serve_uptime_seconds` into @p builder.
+void collect_build_info(prometheus_builder &builder);
 
 // ---------------------------------------------------------------------------
 // flight recorder

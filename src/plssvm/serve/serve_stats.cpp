@@ -5,9 +5,11 @@
 #include "plssvm/serve/qos.hpp"
 
 #include <array>
+#include <chrono>
 #include <cstddef>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace plssvm::serve {
 
@@ -119,6 +121,62 @@ std::string to_json(const serve_stats &stats) {
     }
     json += " } }";
     return json;
+}
+
+std::vector<std::chrono::seconds> serve_window_spans() {
+    return { std::chrono::seconds{ 10 }, std::chrono::seconds{ 60 }, std::chrono::seconds{ 300 } };
+}
+
+std::string windows_json(const std::vector<obs::time_series_store::window_view> &views) {
+    std::string json;
+    json.reserve(1024);
+    json += "{ ";
+    for (std::size_t v = 0; v < views.size(); ++v) {
+        const obs::time_series_store::window_view &view = views[v];
+        json += "\"";
+        json += std::to_string(view.window.count());
+        json += "s\": { ";
+        for (const request_class cls : all_request_classes) {
+            const std::size_t i = class_index(cls);
+            json += "\"";
+            json += request_class_to_string(cls);
+            json += "\": { ";
+            append_field(json, "completed", static_cast<std::size_t>(view.completed[i]));
+            append_field(json, "shed", static_cast<std::size_t>(view.shed[i]));
+            append_field(json, "failed", static_cast<std::size_t>(view.failed[i]));
+            append_field(json, "deadline_misses", static_cast<std::size_t>(view.deadline_misses[i]));
+            append_field(json, "rps", view.rate(cls));
+            append_field(json, "availability", view.availability(cls));
+            append_field(json, "p50_latency_s", view.latency[i].quantile(0.50));
+            append_field(json, "p99_latency_s", view.latency[i].quantile(0.99));
+            append_field(json, "p999_latency_s", view.latency[i].quantile(0.999), false);
+            json += cls == all_request_classes.back() ? " }" : " }, ";
+        }
+        json += v + 1 < views.size() ? " }, " : " }";
+    }
+    json += " }";
+    return json;
+}
+
+void collect_window_stats(obs::prometheus_builder &builder,
+                          const std::vector<obs::time_series_store::window_view> &views,
+                          const obs::label_set &labels) {
+    for (const obs::time_series_store::window_view &view : views) {
+        const std::string window_label = std::to_string(view.window.count()) + "s";
+        for (const request_class cls : all_request_classes) {
+            const std::size_t i = class_index(cls);
+            obs::label_set wl = labels;
+            wl.emplace_back("class", std::string{ request_class_to_string(cls) });
+            wl.emplace_back("window", window_label);
+            builder.add_gauge("plssvm_serve_window_rps", "Completed requests per second over the trailing window", wl, view.rate(cls));
+            builder.add_gauge("plssvm_serve_window_shed_rps", "Shed requests per second over the trailing window", wl,
+                              view.window.count() > 0 ? static_cast<double>(view.shed[i]) / static_cast<double>(view.window.count()) : 0.0);
+            builder.add_gauge("plssvm_serve_window_availability", "Fraction of offered requests answered over the trailing window (1 when idle)", wl, view.availability(cls));
+            builder.add_gauge("plssvm_serve_window_p50_latency_seconds", "Median end-to-end latency over the trailing window", wl, view.latency[i].quantile(0.50));
+            builder.add_gauge("plssvm_serve_window_p99_latency_seconds", "Tail end-to-end latency over the trailing window", wl, view.latency[i].quantile(0.99));
+            builder.add_gauge("plssvm_serve_window_p999_latency_seconds", "Extreme-tail end-to-end latency over the trailing window", wl, view.latency[i].quantile(0.999));
+        }
+    }
 }
 
 void collect_serve_stats(obs::prometheus_builder &builder, const serve_stats &stats, const obs::label_set &labels) {

@@ -44,6 +44,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace plssvm::serve {
 
@@ -148,6 +149,19 @@ struct serve_stats {
 /// from `serve_metrics::collect_histograms()`).
 void collect_serve_stats(obs::prometheus_builder &builder, const serve_stats &stats, const obs::label_set &labels);
 
+/// Trailing windows reported by the rolling time series (10 s / 1 m / 5 m).
+[[nodiscard]] std::vector<std::chrono::seconds> serve_window_spans();
+
+/// Render time-series window views as the `windows` JSON section of
+/// `stats_json()` (per-window per-class rates + percentiles).
+[[nodiscard]] std::string windows_json(const std::vector<obs::time_series_store::window_view> &views);
+
+/// Emit the `plssvm_serve_window_*` Prometheus families (windowed rates,
+/// availability, percentiles per class and window) into @p builder.
+void collect_window_stats(obs::prometheus_builder &builder,
+                          const std::vector<obs::time_series_store::window_view> &views,
+                          const obs::label_set &labels);
+
 /// Thread-safe recorder behind `serve_stats`.
 class serve_metrics {
   public:
@@ -161,8 +175,12 @@ class serve_metrics {
 
     /// Record one async request's completed lifecycle under its class:
     /// end-to-end latency into the engine-wide and per-class histograms,
-    /// each stage duration into the per-class stage histograms.
-    void record_request_trace(const request_class cls, const obs::stage_seconds &stages, const double total_seconds, const bool deadline_missed) {
+    /// each stage duration into the per-class stage histograms, and the
+    /// rolling time series (bucketed at @p completed_at, which defaults to
+    /// now — the drain loop passes the completion stamp it already took).
+    void record_request_trace(const request_class cls, const obs::stage_seconds &stages, const double total_seconds, const bool deadline_missed,
+                              const std::chrono::steady_clock::time_point completed_at = std::chrono::steady_clock::now()) {
+        series_.record_complete(cls, completed_at, total_seconds, deadline_missed);
         const std::lock_guard lock{ mutex_ };
         latency_.record(total_seconds);
         class_state &state = classes_[class_index(cls)];
@@ -211,6 +229,9 @@ class serve_metrics {
 
     /// Record one admission decision of the controller.
     void record_admission(const request_class cls, const admission_decision decision) {
+        if (decision != admission_decision::admitted) {
+            series_.record_shed(cls, std::chrono::steady_clock::now());
+        }
         const std::lock_guard lock{ mutex_ };
         class_state &state = classes_[class_index(cls)];
         switch (decision) {
@@ -232,8 +253,10 @@ class serve_metrics {
         ++reloads_;
     }
 
-    /// Record one request quarantined by batch bisection.
-    void record_quarantine() {
+    /// Record one request quarantined by batch bisection (a failed request
+    /// from the time series / SLO availability point of view).
+    void record_quarantine(const request_class cls = request_class::interactive) {
+        series_.record_failure(cls, std::chrono::steady_clock::now());
         const std::lock_guard lock{ mutex_ };
         ++quarantined_requests_;
     }
@@ -374,6 +397,16 @@ class serve_metrics {
         return latency_;
     }
 
+    /// The rolling per-second time series behind the windowed stats (the
+    /// SLO engine evaluates burn rates over it).
+    [[nodiscard]] const obs::time_series_store &series() const noexcept { return series_; }
+
+    /// The standard trailing windows (10 s / 1 m / 5 m) ending at @p now.
+    [[nodiscard]] std::vector<obs::time_series_store::window_view> windows(
+        const std::chrono::steady_clock::time_point now = std::chrono::steady_clock::now()) const {
+        return series_.windows(now, serve_window_spans());
+    }
+
     /// Emit the latency / stage / estimate-error histograms into @p builder
     /// (the histogram half of the Prometheus exposition).
     void collect_histograms(obs::prometheus_builder &builder, const obs::label_set &labels) const;
@@ -430,6 +463,8 @@ class serve_metrics {
     }
 
     mutable std::mutex mutex_;
+    /// Rolling per-second buckets (lock-free; lives outside `mutex_`).
+    obs::time_series_store series_;
     obs::latency_histogram latency_;
     obs::latency_histogram estimate_rel_error_;
     std::size_t estimate_batches_{ 0 };

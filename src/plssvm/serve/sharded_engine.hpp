@@ -90,6 +90,21 @@ class sharded_engine {
         return replicas_[route()]->submit(std::move(point), options);
     }
 
+    /// Wire-traced async submit: routes like the plain overload, then points
+    /// the context's `finish` hook at the chosen replica — the wire trace
+    /// must be published through the SAME replica's recorder that filled it
+    /// (each recorder has its own epoch). The caller owning the replica's
+    /// lifetime (the registry dispatcher) re-wraps `finish` with a pin on
+    /// this engine.
+    [[nodiscard]] std::future<T> submit(std::vector<T> point, const request_options &options,
+                                        const std::shared_ptr<obs::wire_trace_context> &wire) {
+        inference_engine<T> &replica = *replicas_[route()];
+        if (wire != nullptr) {
+            wire->finish = [&replica](obs::wire_trace_context &ctx) { replica.publish_wire_trace(ctx); };
+        }
+        return replica.submit(std::move(point), options, wire);
+    }
+
     [[nodiscard]] std::future<T> submit(const std::vector<typename csr_matrix<T>::entry> &sparse_point, const request_options &options = {}) {
         return replicas_[route()]->submit(sparse_point, options);
     }
@@ -164,6 +179,20 @@ class sharded_engine {
                 json += ", ";
             }
             json += replicas_[shard]->stats_json();
+        }
+        json += "]}";
+        return json;
+    }
+
+    /// Every replica's retained flight-recorder traces:
+    /// `{"shards": N, "replicas": [<dump json>, ...]}`.
+    [[nodiscard]] std::string dump_traces() const {
+        std::string json = "{\"shards\": " + std::to_string(replicas_.size()) + ", \"replicas\": [";
+        for (std::size_t shard = 0; shard < replicas_.size(); ++shard) {
+            if (shard != 0) {
+                json += ", ";
+            }
+            json += replicas_[shard]->dump_traces();
         }
         json += "]}";
         return json;

@@ -1,0 +1,117 @@
+#include "plssvm/serve/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace plssvm::serve {
+
+namespace {
+
+void append_double(std::string &out, double value) {
+    if (!std::isfinite(value)) {
+        value = 1e12;  // JSON has no Infinity literal; clamp degenerate burns
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    out += buffer;
+}
+
+/// Fraction of requests in @p view (class @p cls) slower than @p threshold.
+[[nodiscard]] double latency_error_fraction(const obs::time_series_store::window_view &view,
+                                            const request_class cls, const double threshold_s) noexcept {
+    const obs::latency_histogram &hist = view.latency[class_index(cls)];
+    const std::uint64_t total = hist.count();
+    if (total == 0) {
+        return 0.0;
+    }
+    const std::uint64_t good = hist.count_le(threshold_s);
+    return static_cast<double>(total - std::min(good, total)) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double slo_engine::burn_rate(const double error_fraction, const double target) noexcept {
+    const double budget = 1.0 - target;
+    if (budget <= 0.0) {
+        return error_fraction > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    }
+    return (error_fraction < 0.0 ? 0.0 : error_fraction) / budget;
+}
+
+slo_report slo_engine::evaluate(const obs::time_series_store &store,
+                                const std::chrono::steady_clock::time_point now) const {
+    slo_report report;
+    if (!any_enabled()) {
+        return report;
+    }
+    const std::vector<obs::time_series_store::window_view> views =
+        store.windows(now, { config_.fast_window, config_.slow_window });
+    const obs::time_series_store::window_view &fast = views[0];
+    const obs::time_series_store::window_view &slow = views[1];
+
+    for (const request_class cls : all_request_classes) {
+        const std::size_t i = class_index(cls);
+        const slo_objective &objective = config_.objectives[i];
+        slo_class_report &out = report.classes[i];
+        out.enabled = objective.enabled;
+        if (!objective.enabled) {
+            continue;
+        }
+        out.fast_offered = fast.completed[i] + fast.shed[i] + fast.failed[i];
+        out.latency_fast_burn = burn_rate(latency_error_fraction(fast, cls, objective.latency_threshold_s), objective.latency_target);
+        out.latency_slow_burn = burn_rate(latency_error_fraction(slow, cls, objective.latency_threshold_s), objective.latency_target);
+        out.availability_fast_burn = burn_rate(1.0 - fast.availability(cls), objective.availability_target);
+        out.availability_slow_burn = burn_rate(1.0 - slow.availability(cls), objective.availability_target);
+        if (out.fast_offered < config_.min_requests) {
+            continue;  // too little traffic to alert on — burn rates still reported
+        }
+        const auto fires = [&](const double fast_burn, const double slow_burn, const double threshold) {
+            return fast_burn >= threshold && slow_burn >= threshold;
+        };
+        if (fires(out.latency_fast_burn, out.latency_slow_burn, config_.critical_burn)
+            || fires(out.availability_fast_burn, out.availability_slow_burn, config_.critical_burn)) {
+            out.state = slo_alert_state::critical;
+        } else if (fires(out.latency_fast_burn, out.latency_slow_burn, config_.degraded_burn)
+                   || fires(out.availability_fast_burn, out.availability_slow_burn, config_.degraded_burn)) {
+            out.state = slo_alert_state::degraded;
+        }
+        report.worst = std::max(report.worst, out.state);
+    }
+    return report;
+}
+
+std::string to_json(const slo_report &report) {
+    std::string out;
+    out.reserve(512);
+    out += "{\"worst\": \"";
+    out += slo_alert_state_to_string(report.worst);
+    out += "\", \"classes\": {";
+    for (const request_class cls : all_request_classes) {
+        const slo_class_report &c = report.classes[class_index(cls)];
+        out += '"';
+        out += request_class_to_string(cls);
+        out += "\": {\"enabled\": ";
+        out += c.enabled ? "true" : "false";
+        out += ", \"state\": \"";
+        out += slo_alert_state_to_string(c.state);
+        out += "\", \"fast_offered\": ";
+        append_double(out, static_cast<double>(c.fast_offered));
+        out += ", \"latency_fast_burn\": ";
+        append_double(out, c.latency_fast_burn);
+        out += ", \"latency_slow_burn\": ";
+        append_double(out, c.latency_slow_burn);
+        out += ", \"availability_fast_burn\": ";
+        append_double(out, c.availability_fast_burn);
+        out += ", \"availability_slow_burn\": ";
+        append_double(out, c.availability_slow_burn);
+        out += '}';
+        out += cls == all_request_classes.back() ? "" : ", ";
+    }
+    out += "}}";
+    return out;
+}
+
+}  // namespace plssvm::serve

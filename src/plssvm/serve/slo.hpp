@@ -1,0 +1,143 @@
+/**
+ * @file
+ * @brief SLO engine of the serving stack: per-class latency/availability
+ *        objectives evaluated as multi-window burn rates over the rolling
+ *        `obs::time_series_store`.
+ *
+ * An SLO ("99% of interactive requests under 50 ms over 30 days") implies an
+ * error budget (1% of requests may be slow). The *burn rate* is how fast the
+ * service is consuming that budget right now: a burn rate of 1 exhausts the
+ * budget exactly at the SLO horizon, 14.4 exhausts a 30-day budget in ~2
+ * days. Alerting on a single window either flaps (short window) or pages far
+ * too late (long window), so — following the multi-window pattern from the
+ * SRE workbook — an alert fires only when BOTH a fast window (default 1 m)
+ * and a slow window (default 5 m) burn above the threshold: the slow window
+ * proves the problem is sustained, the fast window proves it is still
+ * happening.
+ *
+ * The engine is a pure function of (store, now): the clock is injected per
+ * call, so burn-rate arithmetic and alert transitions are deterministic
+ * under a fake clock in tests. Alerts feed the fault plane's
+ * `health_monitor` (degraded/critical) and force flight-recorder dumps.
+ */
+
+#ifndef PLSSVM_SERVE_SLO_HPP_
+#define PLSSVM_SERVE_SLO_HPP_
+
+#include "plssvm/serve/obs.hpp"
+#include "plssvm/serve/qos.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace plssvm::serve {
+
+/// One request class's service-level objective.
+struct slo_objective {
+    /// Off by default: an engine without configured objectives never alerts.
+    bool enabled{ false };
+    /// A request is "good" (latency-wise) when served within this budget.
+    double latency_threshold_s{ 0.050 };
+    /// Target fraction of requests under the latency threshold.
+    double latency_target{ 0.99 };
+    /// Target fraction of offered requests answered (not shed, not failed).
+    double availability_target{ 0.999 };
+};
+
+/// SLO evaluation configuration of one engine.
+struct slo_config {
+    /// Per-class objectives (all disabled by default).
+    per_class<slo_objective> objectives{};
+    /// Fast window: proves the burn is still happening.
+    std::chrono::seconds fast_window{ 60 };
+    /// Slow window: proves the burn is sustained, not a blip.
+    std::chrono::seconds slow_window{ 300 };
+    /// Both windows at or above this burn rate -> critical alert.
+    double critical_burn{ 14.4 };
+    /// Both windows at or above this burn rate -> degraded alert.
+    double degraded_burn{ 6.0 };
+    /// Minimum offered requests in the fast window before alerting (burn
+    /// rates over near-zero traffic are noise).
+    std::uint64_t min_requests{ 10 };
+};
+
+/// Alert severity of one class (or the engine-worst).
+enum class slo_alert_state : std::uint8_t {
+    ok = 0,
+    degraded = 1,
+    critical = 2,
+};
+
+[[nodiscard]] constexpr std::string_view slo_alert_state_to_string(const slo_alert_state state) noexcept {
+    switch (state) {
+        case slo_alert_state::ok:
+            return "ok";
+        case slo_alert_state::degraded:
+            return "degraded";
+        case slo_alert_state::critical:
+            return "critical";
+    }
+    return "unknown";
+}
+
+/// Burn rates + alert state of one class.
+struct slo_class_report {
+    bool enabled{ false };
+    std::uint64_t fast_offered{ 0 };           ///< requests offered in the fast window
+    double latency_fast_burn{ 0.0 };
+    double latency_slow_burn{ 0.0 };
+    double availability_fast_burn{ 0.0 };
+    double availability_slow_burn{ 0.0 };
+    slo_alert_state state{ slo_alert_state::ok };
+};
+
+/// One evaluation of every class's objectives.
+struct slo_report {
+    per_class<slo_class_report> classes{};
+    slo_alert_state worst{ slo_alert_state::ok };
+};
+
+/// Render @p report as a JSON object (the `slo` section of `stats_json()`).
+[[nodiscard]] std::string to_json(const slo_report &report);
+
+/**
+ * @brief Stateless multi-window burn-rate evaluator over a
+ *        `obs::time_series_store`.
+ */
+class slo_engine {
+  public:
+    explicit slo_engine(const slo_config &config = {}) :
+        config_{ config } {}
+
+    [[nodiscard]] const slo_config &config() const noexcept { return config_; }
+
+    /// True when at least one class has an enabled objective.
+    [[nodiscard]] bool any_enabled() const noexcept {
+        for (const slo_objective &objective : config_.objectives) {
+            if (objective.enabled) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// Budget-consumption rate of an observed @p error_fraction against an
+    /// objective @p target fraction: 1.0 burns the budget exactly at the SLO
+    /// horizon. A degenerate target of 1.0 (zero budget) burns infinitely
+    /// fast on any error.
+    [[nodiscard]] static double burn_rate(double error_fraction, double target) noexcept;
+
+    /// Evaluate every enabled objective against the store's fast + slow
+    /// windows ending at @p now (injectable clock: deterministic in tests).
+    [[nodiscard]] slo_report evaluate(const obs::time_series_store &store,
+                                      std::chrono::steady_clock::time_point now) const;
+
+  private:
+    slo_config config_;
+};
+
+}  // namespace plssvm::serve
+
+#endif  // PLSSVM_SERVE_SLO_HPP_
